@@ -1,0 +1,43 @@
+//! Deep-learning accelerator models for the VEDLIoT reproduction.
+//!
+//! This crate rebuilds the hardware side of the paper's §II:
+//!
+//! * [`catalog`] — the accelerator survey behind **Fig. 3**: a datasheet
+//!   database of DL accelerators from milliwatt microcontrollers to 400 W
+//!   cloud parts, with peak performance, power and supported precisions.
+//!   The paper's observation that "most architectures cluster around an
+//!   energy efficiency of about 1 TOPS/W" is checked in tests.
+//! * [`perf`] — the roofline + batch-dependent-utilization performance
+//!   and power model behind **Fig. 4** (YoloV4 GOPS and Watt across ten
+//!   platforms at batch 1/4/8). The model consumes per-layer MAC/memory
+//!   footprints from [`vedliot_nnir::cost`].
+//! * [`approaches`] — the four accelerator design approaches of §II-B:
+//!   off-the-shelf selection, statically configured FPGA, dynamically
+//!   (partially) reconfigurable FPGA, and fully simultaneous co-design.
+//! * [`memory`] — the memory-hierarchy study: on-chip buffer tiling and
+//!   DRAM traffic estimation for convolutional workloads.
+//!
+//! # Example
+//!
+//! ```
+//! use vedliot_accel::{catalog, perf::PerfModel};
+//! use vedliot_nnir::zoo;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let yolo = zoo::yolov4(416, 80)?;
+//! let db = catalog::catalog();
+//! let gpu = db.find("GTX 1660").expect("catalog entry");
+//! let result = PerfModel::new(gpu.clone()).run(&yolo)?;
+//! assert!(result.achieved_gops > 0.0);
+//! assert!(result.avg_power_w <= gpu.tdp_w + 1e-9);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod approaches;
+pub mod catalog;
+pub mod memory;
+pub mod perf;
+
+pub use catalog::{AcceleratorClass, AcceleratorSpec, Catalog};
+pub use perf::{PerfModel, RunResult};

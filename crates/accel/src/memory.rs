@@ -1,0 +1,185 @@
+//! Memory-hierarchy study (paper §II-B).
+//!
+//! "An in-depth study of how the memory is utilized in current
+//! accelerators and exploring new approaches for the memory hierarchy for
+//! future DL accelerators is performed." This module models DRAM traffic
+//! of a layer under output-stationary tiling with a given on-chip buffer,
+//! and sweeps buffer sizes to expose the traffic/buffer trade-off curve.
+
+use serde::{Deserialize, Serialize};
+use vedliot_nnir::cost::CostReport;
+use vedliot_nnir::{DataType, Graph, NnirError};
+
+/// DRAM traffic estimate for one layer under a given buffer size.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrafficReport {
+    /// Layer name.
+    pub name: String,
+    /// Weight bytes fetched from DRAM (with re-fetch when tiled).
+    pub weight_bytes: u64,
+    /// Input activation bytes fetched.
+    pub input_bytes: u64,
+    /// Output activation bytes written.
+    pub output_bytes: u64,
+    /// Number of weight tiles the layer was split into.
+    pub tiles: usize,
+}
+
+impl TrafficReport {
+    /// Total DRAM traffic in bytes.
+    #[must_use]
+    pub fn total_bytes(&self) -> u64 {
+        self.weight_bytes + self.input_bytes + self.output_bytes
+    }
+}
+
+/// Whole-model DRAM traffic under one buffer size.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelTraffic {
+    /// On-chip buffer size in KiB.
+    pub buffer_kib: usize,
+    /// Per-layer reports.
+    pub layers: Vec<TrafficReport>,
+}
+
+impl ModelTraffic {
+    /// Total DRAM traffic in bytes.
+    #[must_use]
+    pub fn total_bytes(&self) -> u64 {
+        self.layers.iter().map(TrafficReport::total_bytes).sum()
+    }
+
+    /// Arithmetic intensity in MACs per DRAM byte for the given MAC count.
+    #[must_use]
+    pub fn intensity(&self, total_macs: u64) -> f64 {
+        let bytes = self.total_bytes();
+        if bytes == 0 {
+            return 0.0;
+        }
+        total_macs as f64 / bytes as f64
+    }
+}
+
+/// Estimates DRAM traffic for every layer of a graph, given an on-chip
+/// buffer of `buffer_kib` KiB and activations/weights stored at `dtype`.
+///
+/// The model is output-stationary: output activations are written once;
+/// if a layer's weights exceed half the buffer, weights are processed in
+/// tiles and the *input* activations are re-fetched once per tile —
+/// the classic buffer/bandwidth trade-off future memory hierarchies
+/// attack.
+///
+/// # Errors
+///
+/// Propagates cost-analysis failures.
+pub fn model_traffic(
+    graph: &Graph,
+    buffer_kib: usize,
+    dtype: DataType,
+) -> Result<ModelTraffic, NnirError> {
+    let cost = CostReport::of(graph)?;
+    let buffer_bytes = (buffer_kib as u64) * 1024;
+    let weight_budget = (buffer_bytes / 2).max(1);
+    let elem = dtype.bytes() as u64;
+
+    let mut layers = Vec::with_capacity(cost.per_node.len());
+    for layer in &cost.per_node {
+        if layer.macs == 0 && layer.params == 0 {
+            continue;
+        }
+        let weight_bytes = layer.params as u64 * elem;
+        let input_bytes = layer.input_elems as u64 * elem;
+        let output_bytes = layer.output_elems as u64 * elem;
+        let tiles = if weight_bytes == 0 {
+            1
+        } else {
+            weight_bytes.div_ceil(weight_budget) as usize
+        };
+        layers.push(TrafficReport {
+            name: layer.name.clone(),
+            weight_bytes,
+            input_bytes: input_bytes * tiles as u64,
+            output_bytes,
+            tiles,
+        });
+    }
+    Ok(ModelTraffic { buffer_kib, layers })
+}
+
+/// Sweeps buffer sizes and returns `(buffer_kib, total_traffic_bytes)`
+/// points — the curve the memory study plots.
+///
+/// # Errors
+///
+/// Propagates cost-analysis failures.
+pub fn buffer_sweep(
+    graph: &Graph,
+    buffer_sizes_kib: &[usize],
+    dtype: DataType,
+) -> Result<Vec<(usize, u64)>, NnirError> {
+    buffer_sizes_kib
+        .iter()
+        .map(|&kib| Ok((kib, model_traffic(graph, kib, dtype)?.total_bytes())))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vedliot_nnir::zoo;
+
+    #[test]
+    fn bigger_buffers_never_increase_traffic() {
+        let model = zoo::mobilenet_v3_large(1000).unwrap();
+        let sweep = buffer_sweep(&model, &[64, 256, 1024, 4096, 16384], DataType::I8).unwrap();
+        for pair in sweep.windows(2) {
+            assert!(
+                pair[1].1 <= pair[0].1,
+                "traffic increased from {} KiB to {} KiB",
+                pair[0].0,
+                pair[1].0
+            );
+        }
+    }
+
+    #[test]
+    fn huge_buffer_reaches_compulsory_traffic() {
+        // With an effectively unbounded buffer every byte is moved once:
+        // traffic = weights + inputs + outputs.
+        let model = zoo::lenet5(10).unwrap();
+        let t = model_traffic(&model, 1 << 20, DataType::F32).unwrap();
+        assert!(t.layers.iter().all(|l| l.tiles == 1));
+        let compulsory: u64 = t
+            .layers
+            .iter()
+            .map(|l| l.weight_bytes + l.input_bytes + l.output_bytes)
+            .sum();
+        assert_eq!(t.total_bytes(), compulsory);
+    }
+
+    #[test]
+    fn tiny_buffer_forces_tiling_and_refetch() {
+        let model = zoo::resnet50(1000).unwrap();
+        let small = model_traffic(&model, 64, DataType::I8).unwrap();
+        assert!(small.layers.iter().any(|l| l.tiles > 1));
+        let big = model_traffic(&model, 1 << 20, DataType::I8).unwrap();
+        assert!(small.total_bytes() > big.total_bytes());
+    }
+
+    #[test]
+    fn quantization_cuts_traffic_proportionally() {
+        let model = zoo::lenet5(10).unwrap();
+        let f32t = model_traffic(&model, 1 << 20, DataType::F32).unwrap();
+        let i8t = model_traffic(&model, 1 << 20, DataType::I8).unwrap();
+        assert_eq!(f32t.total_bytes(), 4 * i8t.total_bytes());
+    }
+
+    #[test]
+    fn intensity_increases_with_buffer() {
+        let model = zoo::resnet50(1000).unwrap();
+        let cost = vedliot_nnir::cost::CostReport::of(&model).unwrap();
+        let small = model_traffic(&model, 64, DataType::I8).unwrap();
+        let big = model_traffic(&model, 32768, DataType::I8).unwrap();
+        assert!(big.intensity(cost.total_macs) > small.intensity(cost.total_macs));
+    }
+}

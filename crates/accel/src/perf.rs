@@ -1,0 +1,560 @@
+//! Roofline performance and power model — the machinery behind Fig. 4.
+//!
+//! The paper measured YoloV4 throughput (GOPS) and power across ten
+//! platforms at batch sizes 1/4/8. Those measurements are reproduced here
+//! with an analytical model that captures the three effects visible in
+//! the figure:
+//!
+//! 1. **Roofline**: each layer is either compute-bound (MACs over peak
+//!    throughput at the chosen precision) or memory-bound (weight +
+//!    activation traffic over DRAM bandwidth).
+//! 2. **Batch-dependent utilization**: GPUs are badly under-utilized at
+//!    batch 1 and improve towards batch 8, FPGAs/dataflow parts are batch
+//!    insensitive, CPUs barely change — which is why the B1→B8 spread in
+//!    Fig. 4 is large for GPUs and small elsewhere.
+//! 3. **Pipeline fill**: layers too small to fill the machine get further
+//!    de-rated (kernel-launch / systolic-fill overhead), so very large
+//!    parts don't reach peak on small layers.
+//!
+//! Power is modelled as idle + dynamic power proportional to achieved
+//! utilization, clamped to TDP, which reproduces the "more batch = more
+//! throughput *and* more power" pattern of the figure.
+
+use crate::catalog::{AcceleratorClass, AcceleratorSpec};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use vedliot_nnir::cost::CostReport;
+use vedliot_nnir::{DataType, Graph, NnirError};
+
+/// Error produced by the performance model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AccelError {
+    /// The accelerator does not support the requested precision.
+    PrecisionUnsupported {
+        /// Platform name.
+        platform: String,
+        /// The unsupported datatype.
+        dtype: DataType,
+    },
+    /// The workload graph was malformed.
+    Graph(NnirError),
+}
+
+impl fmt::Display for AccelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccelError::PrecisionUnsupported { platform, dtype } => {
+                write!(f, "{platform} does not support {dtype}")
+            }
+            AccelError::Graph(e) => write!(f, "workload graph error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AccelError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AccelError::Graph(e) => Some(e),
+            AccelError::PrecisionUnsupported { .. } => None,
+        }
+    }
+}
+
+impl From<NnirError> for AccelError {
+    fn from(e: NnirError) -> Self {
+        AccelError::Graph(e)
+    }
+}
+
+/// Which roof limited a layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Bound {
+    /// Limited by arithmetic throughput.
+    Compute,
+    /// Limited by memory bandwidth.
+    Memory,
+}
+
+/// Per-layer timing record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerTiming {
+    /// Layer name from the graph.
+    pub name: String,
+    /// MACs executed.
+    pub macs: u64,
+    /// Time on the compute roof in microseconds.
+    pub compute_us: f64,
+    /// Time on the memory roof in microseconds.
+    pub memory_us: f64,
+    /// Actual layer latency (max of the roofs).
+    pub latency_us: f64,
+    /// Which roof limited the layer.
+    pub bound: Bound,
+}
+
+/// Result of running one workload on one platform at one batch size.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Platform name.
+    pub platform: String,
+    /// Workload model name.
+    pub model: String,
+    /// Batch size.
+    pub batch: usize,
+    /// Precision the workload executed at.
+    pub precision: DataType,
+    /// End-to-end latency for the whole batch in milliseconds.
+    pub latency_ms: f64,
+    /// Inferences per second (batch / latency).
+    pub throughput_ips: f64,
+    /// Achieved GOPS (total ops / latency) — the y-axis of Fig. 4.
+    pub achieved_gops: f64,
+    /// Average power draw in watts — the second series of Fig. 4.
+    pub avg_power_w: f64,
+    /// Energy per inference in joules.
+    pub energy_per_inference_j: f64,
+    /// Achieved fraction of peak throughput.
+    pub utilization: f64,
+    /// Per-layer breakdown.
+    pub per_layer: Vec<LayerTiming>,
+}
+
+impl RunResult {
+    /// Achieved efficiency in GOPS per watt.
+    #[must_use]
+    pub fn gops_per_watt(&self) -> f64 {
+        if self.avg_power_w <= 0.0 {
+            return 0.0;
+        }
+        self.achieved_gops / self.avg_power_w
+    }
+
+    /// Fraction of execution *time* spent in memory-bound layers.
+    #[must_use]
+    pub fn memory_bound_fraction(&self) -> f64 {
+        let total: f64 = self.per_layer.iter().map(|l| l.latency_us).sum();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        self.per_layer
+            .iter()
+            .filter(|l| l.bound == Bound::Memory)
+            .map(|l| l.latency_us)
+            .sum::<f64>()
+            / total
+    }
+}
+
+/// Class-specific utilization parameters.
+struct UtilParams {
+    /// Utilization of the compute roof at batch 1.
+    base: f64,
+    /// Asymptotic utilization at large batch.
+    max: f64,
+    /// Batches-to-half-saturation of the batch ramp.
+    half_sat: f64,
+    /// Seconds of work needed to fill the machine's pipeline.
+    fill_s: f64,
+}
+
+fn util_params(class: AcceleratorClass) -> UtilParams {
+    match class {
+        AcceleratorClass::Cpu => UtilParams {
+            base: 0.12,
+            max: 0.16,
+            half_sat: 4.0,
+            fill_s: 1e-6,
+        },
+        AcceleratorClass::Gpu => UtilParams {
+            base: 0.28,
+            max: 0.65,
+            half_sat: 3.0,
+            fill_s: 10e-6,
+        },
+        AcceleratorClass::EmbeddedGpu => UtilParams {
+            base: 0.16,
+            max: 0.50,
+            half_sat: 3.0,
+            fill_s: 8e-6,
+        },
+        AcceleratorClass::Fpga => UtilParams {
+            base: 0.50,
+            max: 0.60,
+            half_sat: 1.0,
+            fill_s: 5e-6,
+        },
+        AcceleratorClass::Asic => UtilParams {
+            base: 0.35,
+            max: 0.60,
+            half_sat: 2.0,
+            fill_s: 10e-6,
+        },
+        AcceleratorClass::Microcontroller => UtilParams {
+            base: 0.55,
+            max: 0.65,
+            half_sat: 1.0,
+            fill_s: 1e-6,
+        },
+    }
+}
+
+/// The analytical performance/power model for one accelerator.
+///
+/// ```
+/// use vedliot_accel::{catalog, perf::PerfModel};
+/// use vedliot_nnir::zoo;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let model = zoo::mobilenet_v3_large(1000)?;
+/// let nx = catalog::catalog().find("Xavier NX").expect("entry").clone();
+/// let b1 = PerfModel::new(nx.clone()).run(&model)?;
+/// let b8 = PerfModel::new(nx).run(&model.with_batch(8)?)?;
+/// // Larger batches improve achieved throughput on embedded GPUs.
+/// assert!(b8.achieved_gops > b1.achieved_gops);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct PerfModel {
+    spec: AcceleratorSpec,
+    precision: Option<DataType>,
+}
+
+impl PerfModel {
+    /// Model for a platform at its best supported precision (the paper's
+    /// methodology: "the tests were executed using INT8, FP16 or FP32"
+    /// depending on hardware support).
+    #[must_use]
+    pub fn new(spec: AcceleratorSpec) -> Self {
+        PerfModel {
+            spec,
+            precision: None,
+        }
+    }
+
+    /// Forces a specific precision.
+    #[must_use]
+    pub fn with_precision(mut self, dtype: DataType) -> Self {
+        self.precision = Some(dtype);
+        self
+    }
+
+    /// The platform being modelled.
+    #[must_use]
+    pub fn spec(&self) -> &AcceleratorSpec {
+        &self.spec
+    }
+
+    /// Runs a workload graph (at the graph's own batch size).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError::PrecisionUnsupported`] if a forced precision
+    /// is not in the platform's datasheet, or [`AccelError::Graph`] if the
+    /// graph fails cost analysis.
+    pub fn run(&self, graph: &Graph) -> Result<RunResult, AccelError> {
+        let precision = match self.precision {
+            Some(d) => d,
+            None => self.spec.best_precision(),
+        };
+        let peak_gops = self.spec.peak_gops_at(precision).ok_or_else(|| {
+            AccelError::PrecisionUnsupported {
+                platform: self.spec.name.clone(),
+                dtype: precision,
+            }
+        })?;
+        let cost = CostReport::of(graph)?;
+        let batch = cost.batch.max(1);
+
+        let p = util_params(self.spec.class);
+        let batch_util = p.base + (p.max - p.base) * ((batch as f64 - 1.0) / (batch as f64 - 1.0 + p.half_sat));
+        let peak_ops_per_s = peak_gops * 1e9;
+        let bytes_per_elem = precision.bytes() as f64;
+        let bw_bytes_per_s = self.spec.mem_bw_gbps * 1e9;
+
+        let mut per_layer = Vec::with_capacity(cost.per_node.len());
+        let mut total_s = 0.0f64;
+        for layer in &cost.per_node {
+            let ops = 2.0 * layer.macs as f64 + layer.elementwise as f64;
+            if ops == 0.0 {
+                continue;
+            }
+            // Pipeline-fill de-rating: layers smaller than the fill window
+            // cannot reach the batch utilization.
+            let fill_ops = peak_ops_per_s * p.fill_s;
+            let fill_factor = ops / (ops + fill_ops);
+            let util = (batch_util * fill_factor).max(1e-4);
+            let compute_s = ops / (peak_ops_per_s * util);
+
+            // Memory roof: weights once + input/output activations.
+            let weight_bytes = layer.params as f64 * bytes_per_elem;
+            let act_bytes = (layer.input_elems + layer.output_elems) as f64 * bytes_per_elem;
+            let memory_s = (weight_bytes + act_bytes) / bw_bytes_per_s;
+
+            let latency_s = compute_s.max(memory_s);
+            total_s += latency_s;
+            // Bound classification compares against the *ideal* compute
+            // roof (no fill derate): a layer is memory-bound when its
+            // arithmetic intensity falls below the machine balance, not
+            // merely because it is too small to fill the pipeline.
+            let ideal_compute_s = ops / (peak_ops_per_s * batch_util);
+            per_layer.push(LayerTiming {
+                name: layer.name.clone(),
+                macs: layer.macs,
+                compute_us: compute_s * 1e6,
+                memory_us: memory_s * 1e6,
+                latency_us: latency_s * 1e6,
+                bound: if ideal_compute_s >= memory_s {
+                    Bound::Compute
+                } else {
+                    Bound::Memory
+                },
+            });
+        }
+
+        let total_ops = cost.total_ops() as f64;
+        let achieved_ops_per_s = if total_s > 0.0 { total_ops / total_s } else { 0.0 };
+        let utilization = (achieved_ops_per_s / peak_ops_per_s).min(1.0);
+
+        // Power: idle + dynamic. Memory-bound phases still draw a floor of
+        // dynamic power (DRAM + control), so the dynamic term is bounded
+        // below by 30% whenever the device is busy.
+        let dynamic_fraction = utilization.max(0.30_f64.min(batch_util));
+        let avg_power_w = (self.spec.idle_w
+            + (self.spec.tdp_w - self.spec.idle_w) * dynamic_fraction)
+            .min(self.spec.tdp_w);
+
+        let latency_ms = total_s * 1e3;
+        let throughput_ips = if total_s > 0.0 {
+            batch as f64 / total_s
+        } else {
+            0.0
+        };
+        let energy_per_inference_j = if throughput_ips > 0.0 {
+            avg_power_w / throughput_ips
+        } else {
+            0.0
+        };
+
+        Ok(RunResult {
+            platform: self.spec.name.clone(),
+            model: cost.model.clone(),
+            batch,
+            precision,
+            latency_ms,
+            throughput_ips,
+            achieved_gops: achieved_ops_per_s / 1e9,
+            avg_power_w,
+            energy_per_inference_j,
+            utilization,
+            per_layer,
+        })
+    }
+
+    /// The *naive* performance estimate: total ops over vendor peak
+    /// throughput, no utilization/roofline modelling. This is the model
+    /// the ablation bench compares against — it predicts identical GOPS
+    /// at every batch size and wildly optimistic latencies, i.e. it
+    /// cannot reproduce Fig. 4's shape at all.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`run`](Self::run).
+    pub fn run_naive(&self, graph: &Graph) -> Result<RunResult, AccelError> {
+        let precision = match self.precision {
+            Some(d) => d,
+            None => self.spec.best_precision(),
+        };
+        let peak_gops = self.spec.peak_gops_at(precision).ok_or_else(|| {
+            AccelError::PrecisionUnsupported {
+                platform: self.spec.name.clone(),
+                dtype: precision,
+            }
+        })?;
+        let cost = CostReport::of(graph)?;
+        let total_ops = cost.total_ops() as f64;
+        let total_s = total_ops / (peak_gops * 1e9);
+        let batch = cost.batch.max(1);
+        Ok(RunResult {
+            platform: self.spec.name.clone(),
+            model: cost.model.clone(),
+            batch,
+            precision,
+            latency_ms: total_s * 1e3,
+            throughput_ips: batch as f64 / total_s,
+            achieved_gops: peak_gops,
+            avg_power_w: self.spec.tdp_w,
+            energy_per_inference_j: self.spec.tdp_w * total_s / batch as f64,
+            utilization: 1.0,
+            per_layer: Vec::new(),
+        })
+    }
+
+    /// Runs a workload at each batch size (rebatching the graph), the
+    /// B1/B4/B8 sweep of Fig. 4.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first error from [`run`](Self::run) or rebatching.
+    pub fn batch_sweep(&self, graph: &Graph, batches: &[usize]) -> Result<Vec<RunResult>, AccelError> {
+        batches
+            .iter()
+            .map(|&b| {
+                let g = graph.with_batch(b)?;
+                self.run(&g)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::catalog;
+    use vedliot_nnir::zoo;
+
+    fn yolo_small() -> Graph {
+        // 416 is the paper's size but slow to rebuild repeatedly in tests;
+        // the model is built once per test here.
+        zoo::yolov4(416, 80).unwrap()
+    }
+
+    #[test]
+    fn gpu_beats_cpu_on_yolov4() {
+        let c = catalog();
+        let yolo = yolo_small();
+        let gpu = PerfModel::new(c.find("GTX 1660").unwrap().clone())
+            .run(&yolo)
+            .unwrap();
+        let cpu = PerfModel::new(c.find("EPYC 3451").unwrap().clone())
+            .run(&yolo)
+            .unwrap();
+        assert!(
+            gpu.achieved_gops > 2.0 * cpu.achieved_gops,
+            "gpu {} vs cpu {}",
+            gpu.achieved_gops,
+            cpu.achieved_gops
+        );
+    }
+
+    #[test]
+    fn batch_scaling_is_large_on_gpu_small_on_cpu() {
+        let c = catalog();
+        let yolo = yolo_small();
+        let gpu = PerfModel::new(c.find("GTX 1660").unwrap().clone());
+        let cpu = PerfModel::new(c.find("EPYC 3451").unwrap().clone());
+        let g = gpu.batch_sweep(&yolo, &[1, 8]).unwrap();
+        let p = cpu.batch_sweep(&yolo, &[1, 8]).unwrap();
+        let gpu_gain = g[1].achieved_gops / g[0].achieved_gops;
+        let cpu_gain = p[1].achieved_gops / p[0].achieved_gops;
+        assert!(gpu_gain > 1.5, "gpu B8/B1 gain {gpu_gain}");
+        assert!(cpu_gain < 1.3, "cpu B8/B1 gain {cpu_gain}");
+        assert!(gpu_gain > cpu_gain);
+    }
+
+    #[test]
+    fn power_stays_between_idle_and_tdp() {
+        let c = catalog();
+        let yolo = yolo_small();
+        for spec in c.fig4_platforms() {
+            let r = PerfModel::new((*spec).clone()).run(&yolo).unwrap();
+            assert!(
+                r.avg_power_w >= spec.idle_w && r.avg_power_w <= spec.tdp_w,
+                "{}: {} W outside [{}, {}]",
+                spec.name,
+                r.avg_power_w,
+                spec.idle_w,
+                spec.tdp_w
+            );
+        }
+    }
+
+    #[test]
+    fn higher_batch_draws_more_power_on_gpu() {
+        let c = catalog();
+        let yolo = yolo_small();
+        let sweep = PerfModel::new(c.find("Xavier NX").unwrap().clone())
+            .batch_sweep(&yolo, &[1, 4, 8])
+            .unwrap();
+        assert!(sweep[2].avg_power_w >= sweep[0].avg_power_w);
+        assert!(sweep[2].achieved_gops > sweep[0].achieved_gops);
+    }
+
+    #[test]
+    fn unsupported_precision_is_an_error() {
+        let c = catalog();
+        let yolo = zoo::tiny_cnn("t", vedliot_nnir::Shape::nchw(1, 3, 32, 32), &[8], 2).unwrap();
+        let err = PerfModel::new(c.find("GTX 1660").unwrap().clone())
+            .with_precision(DataType::Binary)
+            .run(&yolo);
+        assert!(matches!(err, Err(AccelError::PrecisionUnsupported { .. })));
+    }
+
+    #[test]
+    fn agx_low_power_mode_is_slower_but_cheaper() {
+        let c = catalog();
+        let yolo = yolo_small();
+        let hi = PerfModel::new(c.find("Xavier AGX (30W)").unwrap().clone())
+            .run(&yolo)
+            .unwrap();
+        let lo = PerfModel::new(c.find("Xavier AGX (10W)").unwrap().clone())
+            .run(&yolo)
+            .unwrap();
+        assert!(hi.achieved_gops > lo.achieved_gops);
+        assert!(hi.avg_power_w > lo.avg_power_w);
+    }
+
+    #[test]
+    fn mobilenet_is_more_memory_bound_than_resnet() {
+        // The §III claim: theoretical FLOP reductions (depthwise convs)
+        // do not translate proportionally, because those layers hit the
+        // memory roof.
+        let c = catalog();
+        // ZU15: high sustained utilization, modest DRAM bandwidth — the
+        // regime where depthwise layers hit the memory roof.
+        let fpga = PerfModel::new(c.find("Zynq ZU15").unwrap().clone());
+        let mobilenet = fpga.run(&zoo::mobilenet_v3_large(1000).unwrap()).unwrap();
+        let resnet = fpga.run(&zoo::resnet50(1000).unwrap()).unwrap();
+        assert!(
+            mobilenet.memory_bound_fraction() > resnet.memory_bound_fraction(),
+            "mobilenet {} vs resnet {}",
+            mobilenet.memory_bound_fraction(),
+            resnet.memory_bound_fraction()
+        );
+    }
+
+    #[test]
+    fn utilization_never_exceeds_one() {
+        let c = catalog();
+        let small = zoo::lenet5(10).unwrap();
+        for spec in c.entries().iter().take(12) {
+            let r = PerfModel::new(spec.clone()).run(&small).unwrap();
+            assert!(r.utilization <= 1.0);
+        }
+    }
+
+    #[test]
+    fn naive_model_cannot_reproduce_fig4_shape() {
+        // The ablation DESIGN.md calls out: the naive peak-GOPS model
+        // predicts no batch effect and much lower latency than the
+        // utilization model — so the Fig. 4 B1/B4/B8 spread vanishes.
+        let c = catalog();
+        let yolo = yolo_small();
+        let pm = PerfModel::new(c.find("GTX 1660").unwrap().clone());
+        let naive_b1 = pm.run_naive(&yolo).unwrap();
+        let naive_b8 = pm.run_naive(&yolo.with_batch(8).unwrap()).unwrap();
+        assert!((naive_b8.achieved_gops - naive_b1.achieved_gops).abs() < 1e-9);
+        let real_b1 = pm.run(&yolo).unwrap();
+        assert!(naive_b1.latency_ms < real_b1.latency_ms / 2.0);
+        assert!(real_b1.achieved_gops < naive_b1.achieved_gops);
+    }
+
+    #[test]
+    fn energy_per_inference_is_consistent() {
+        let c = catalog();
+        let m = zoo::mobilenet_v3_large(1000).unwrap();
+        let r = PerfModel::new(c.find("Myriad").unwrap().clone()).run(&m).unwrap();
+        let expected = r.avg_power_w * (r.latency_ms / 1e3) / r.batch as f64;
+        assert!((r.energy_per_inference_j - expected).abs() / expected < 1e-6);
+    }
+}

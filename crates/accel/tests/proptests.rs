@@ -1,0 +1,105 @@
+//! Property-based tests of the performance model: results must respect
+//! basic physical monotonicities for arbitrary plausible platforms.
+
+use proptest::prelude::*;
+use vedliot_accel::catalog::{AcceleratorClass, AcceleratorSpec};
+use vedliot_accel::perf::PerfModel;
+use vedliot_nnir::{zoo, DataType, Shape};
+
+fn spec(class: AcceleratorClass, peak_gops: f64, tdp: f64, bw: f64) -> AcceleratorSpec {
+    AcceleratorSpec {
+        name: format!("synthetic-{class}"),
+        vendor: "prop".into(),
+        class,
+        peak_gops: vec![(DataType::I8, peak_gops)],
+        tdp_w: tdp,
+        idle_w: tdp * 0.2,
+        mem_bw_gbps: bw,
+        on_chip_kib: 1024,
+        fig4_platform: false,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// More peak throughput never slows a workload down (all else equal).
+    #[test]
+    fn more_peak_never_slower(
+        peak_lo in 100.0f64..2_000.0,
+        factor in 1.0f64..20.0,
+        bw in 5.0f64..200.0,
+    ) {
+        let model = zoo::tiny_cnn("p", Shape::nchw(1, 3, 32, 32), &[16, 32], 4).unwrap();
+        let slow = PerfModel::new(spec(AcceleratorClass::Asic, peak_lo, 10.0, bw))
+            .run(&model)
+            .unwrap();
+        let fast = PerfModel::new(spec(AcceleratorClass::Asic, peak_lo * factor, 10.0, bw))
+            .run(&model)
+            .unwrap();
+        prop_assert!(fast.latency_ms <= slow.latency_ms + 1e-9);
+    }
+
+    /// More bandwidth never slows a workload down.
+    #[test]
+    fn more_bandwidth_never_slower(
+        bw_lo in 1.0f64..50.0,
+        factor in 1.0f64..10.0,
+        peak in 200.0f64..5_000.0,
+    ) {
+        let model = zoo::mobilenet_v3_large(10).unwrap();
+        let slow = PerfModel::new(spec(AcceleratorClass::Fpga, peak, 10.0, bw_lo))
+            .run(&model)
+            .unwrap();
+        let fast = PerfModel::new(spec(AcceleratorClass::Fpga, peak, 10.0, bw_lo * factor))
+            .run(&model)
+            .unwrap();
+        prop_assert!(fast.latency_ms <= slow.latency_ms + 1e-9);
+    }
+
+    /// Throughput (inferences/s) never decreases with batch size, and
+    /// power stays within [idle, tdp] at every batch.
+    #[test]
+    fn batch_monotonicity_and_power_envelope(
+        peak in 200.0f64..20_000.0,
+        bw in 5.0f64..200.0,
+        class_idx in 0usize..6,
+    ) {
+        let class = AcceleratorClass::ALL[class_idx];
+        let platform = spec(class, peak, 15.0, bw);
+        let model = zoo::tiny_cnn("p", Shape::nchw(1, 3, 32, 32), &[16, 32], 4).unwrap();
+        let runs = PerfModel::new(platform.clone())
+            .batch_sweep(&model, &[1, 2, 4, 8])
+            .unwrap();
+        for pair in runs.windows(2) {
+            prop_assert!(
+                pair[1].throughput_ips >= pair[0].throughput_ips * 0.999,
+                "throughput dropped with batch on {class}"
+            );
+        }
+        for run in &runs {
+            prop_assert!(run.avg_power_w >= platform.idle_w - 1e-9);
+            prop_assert!(run.avg_power_w <= platform.tdp_w + 1e-9);
+            prop_assert!(run.utilization <= 1.0);
+            prop_assert!(run.achieved_gops <= peak + 1e-6);
+        }
+    }
+
+    /// Energy per inference equals power x latency / batch, always.
+    #[test]
+    fn energy_identity(
+        peak in 200.0f64..5_000.0,
+        bw in 5.0f64..100.0,
+        batch in 1usize..6,
+    ) {
+        let model = zoo::tiny_cnn("p", Shape::nchw(1, 3, 16, 16), &[8], 2)
+            .unwrap()
+            .with_batch(batch)
+            .unwrap();
+        let run = PerfModel::new(spec(AcceleratorClass::Gpu, peak, 20.0, bw))
+            .run(&model)
+            .unwrap();
+        let expected = run.avg_power_w * (run.latency_ms / 1e3) / batch as f64;
+        prop_assert!((run.energy_per_inference_j - expected).abs() <= expected * 1e-9 + 1e-12);
+    }
+}

@@ -1,0 +1,149 @@
+//! Criterion benchmarks of the substrates the experiments run on: the
+//! accelerator performance model (the Fig. 3/4 engine), the reference
+//! executor, the RV32 instruction-set simulator, the WASM-like VM, the
+//! Huffman coder and the safety monitors.
+//!
+//! Run with `cargo bench -p vedliot-bench`.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use vedliot::accel::catalog::catalog;
+use vedliot::accel::perf::PerfModel;
+use vedliot::nnir::exec::Executor;
+use vedliot::nnir::{zoo, Shape, Tensor};
+use vedliot::safety::monitors::{SampleMonitor, ZScoreMonitor};
+use vedliot::socsim::asm::assemble;
+use vedliot::socsim::machine::Machine;
+use vedliot::toolchain::huffman;
+use vedliot::trust::kvdb::kv_module;
+use vedliot::trust::wasmlite::Instance;
+
+/// The Fig. 4 engine: modelling YoloV4 on one platform (graph cost
+/// analysis + per-layer roofline).
+fn bench_perf_model(c: &mut Criterion) {
+    let db = catalog();
+    let gpu = db.find("GTX 1660").expect("entry").clone();
+    let yolo = zoo::yolov4(416, 80).expect("builds");
+    c.bench_function("perf_model/yolov4_on_gtx1660", |b| {
+        let pm = PerfModel::new(gpu.clone());
+        b.iter(|| pm.run(black_box(&yolo)).expect("runs"));
+    });
+    let mobilenet = zoo::mobilenet_v3_large(1000).expect("builds");
+    c.bench_function("perf_model/mobilenetv3_batch_sweep", |b| {
+        let pm = PerfModel::new(gpu.clone());
+        b.iter(|| pm.batch_sweep(black_box(&mobilenet), &[1, 4, 8]).expect("runs"));
+    });
+}
+
+/// Building the zoo graphs (graph-construction throughput).
+fn bench_zoo(c: &mut Criterion) {
+    c.bench_function("zoo/build_resnet50", |b| {
+        b.iter(|| zoo::resnet50(black_box(1000)).expect("builds"));
+    });
+    c.bench_function("zoo/build_yolov4", |b| {
+        b.iter(|| zoo::yolov4(black_box(416), 80).expect("builds"));
+    });
+}
+
+/// The reference executor on LeNet (the compression/safety workhorse).
+fn bench_executor(c: &mut Criterion) {
+    let model = zoo::lenet5(10).expect("builds");
+    let input = Tensor::random(Shape::nchw(1, 1, 28, 28), 3, 1.0);
+    c.bench_function("executor/lenet5_inference", |b| {
+        let exec = Executor::new(&model);
+        b.iter(|| exec.run(black_box(std::slice::from_ref(&input))).expect("runs"));
+    });
+}
+
+/// The RV32IM ISS: instructions per second on the scalar dot kernel.
+fn bench_socsim(c: &mut Criterion) {
+    let fw = assemble(
+        r#"
+        li s0, 0x1000
+        li s2, 256
+        li a0, 0
+        li t0, 0
+    loop:
+        lb t1, 0(s0)
+        lb t2, 1024(s0)
+        mul t3, t1, t2
+        add a0, a0, t3
+        addi s0, s0, 1
+        addi t0, t0, 1
+        blt t0, s2, loop
+        ebreak
+    "#,
+    )
+    .expect("assembles");
+    let data: Vec<u8> = (0..2048).map(|i| (i % 13) as u8).collect();
+    c.bench_function("socsim/dot256_firmware", |b| {
+        b.iter_batched(
+            || {
+                let mut m = Machine::new(64 * 1024);
+                m.bus_mut().write_bytes(0x1000, &data).expect("fits");
+                m.load_firmware(&fw, 0).expect("fits");
+                m
+            },
+            |mut m| m.run(1_000_000).expect("halts"),
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+/// The WASM-like VM: KV inserts per second.
+fn bench_wasmlite(c: &mut Criterion) {
+    c.bench_function("wasmlite/kv_insert_1000", |b| {
+        b.iter_batched(
+            || Instance::new(kv_module(2)).expect("validates"),
+            |mut vm| {
+                for i in 0..1_000 {
+                    vm.call(0, &[i % 97, i]).expect("runs");
+                }
+                vm
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+/// Huffman coding round trip on a Deep-Compression-shaped stream.
+fn bench_huffman(c: &mut Criterion) {
+    let symbols: Vec<u16> = (0..32_768).map(|i| ((i * 7 + i / 13) % 32) as u16).collect();
+    c.bench_function("huffman/encode_32k_symbols", |b| {
+        b.iter(|| huffman::encode(black_box(&symbols), 32));
+    });
+    let encoded = huffman::encode(&symbols, 32);
+    c.bench_function("huffman/decode_32k_symbols", |b| {
+        b.iter(|| huffman::decode(black_box(&encoded)).expect("decodes"));
+    });
+}
+
+/// The z-score monitor per-sample cost (it sits on the sensor path).
+fn bench_monitors(c: &mut Criterion) {
+    let series: Vec<f64> = (0..10_000).map(|i| 20.0 + (i as f64 * 0.1).sin()).collect();
+    c.bench_function("monitors/zscore_10k_samples", |b| {
+        b.iter_batched(
+            || ZScoreMonitor::new(32, 4.0),
+            |mut monitor| {
+                for &x in &series {
+                    black_box(monitor.observe(x));
+                }
+                monitor
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+criterion_group!(
+    name = substrates;
+    config = Criterion::default().sample_size(10);
+    targets = bench_perf_model,
+        bench_zoo,
+        bench_executor,
+        bench_socsim,
+        bench_wasmlite,
+        bench_huffman,
+        bench_monitors
+);
+criterion_main!(substrates);

@@ -1,0 +1,47 @@
+//! The figure/table regeneration harness.
+//!
+//! `cargo run --release -p vedliot-bench --bin harness -- <experiment>`
+//!
+//! Experiments (DESIGN.md §3): `fig2`, `fig3`, `fig4`, `fig4-ext`,
+//! `compression`, `gap`, `twine`, `pmp`, `cfu`, `safety`, `paeb`, `arc`,
+//! `motor`, `mirror`, `reconfig`, `reqeng`, `memory`, `codesign`, or
+//! `all`.
+
+use vedliot_bench::experiments;
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    let experiments: Vec<experiments::Experiment> = match arg.as_str() {
+        "fig2" => vec![experiments::fig2()],
+        "fig3" => vec![experiments::fig3()],
+        "fig4" => vec![experiments::fig4()],
+        "fig4-ext" => experiments::fig4_ext(),
+        "compression" => vec![experiments::compression()],
+        "gap" => vec![experiments::gap()],
+        "twine" => vec![experiments::twine()],
+        "pmp" => vec![experiments::pmp()],
+        "cfu" => vec![experiments::cfu()],
+        "safety" => vec![experiments::safety()],
+        "paeb" => vec![experiments::paeb()],
+        "arc" => vec![experiments::arc()],
+        "motor" => vec![experiments::motor()],
+        "mirror" => vec![experiments::mirror()],
+        "reconfig" => vec![experiments::reconfig()],
+        "reqeng" => vec![experiments::reqeng()],
+        "memory" => vec![experiments::memory_study()],
+        "codesign" => vec![experiments::codesign()],
+        "ablation" => vec![experiments::ablation_naive()],
+        "all" => experiments::all(),
+        other => {
+            eprintln!("unknown experiment '{other}'");
+            eprintln!(
+                "choose one of: fig2 fig3 fig4 fig4-ext compression gap twine pmp cfu \
+                 safety paeb arc motor mirror reconfig reqeng memory codesign ablation all"
+            );
+            std::process::exit(2);
+        }
+    };
+    for experiment in experiments {
+        println!("{experiment}");
+    }
+}

@@ -1,0 +1,185 @@
+//! Synthetic dataset generators.
+//!
+//! Stand-ins for the proprietary datasets of the paper's use cases (see
+//! DESIGN.md §1): separable Gaussian-prototype classification sets for
+//! image-style experiments, plus waveform synthesizers used by the
+//! industrial use cases in `vedliot-usecases`.
+
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A labelled classification dataset.
+#[derive(Debug, Clone)]
+pub struct ClassificationSet {
+    /// Sample feature tensors (all share one shape).
+    pub samples: Vec<Tensor>,
+    /// Class label per sample.
+    pub labels: Vec<usize>,
+    /// Number of distinct classes.
+    pub classes: usize,
+}
+
+impl ClassificationSet {
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the set is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Iterator over `(sample, label)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&Tensor, usize)> {
+        self.samples.iter().zip(self.labels.iter().copied())
+    }
+
+    /// Splits into `(train, test)` at the given train fraction,
+    /// interleaving classes so both halves stay balanced.
+    #[must_use]
+    pub fn split(&self, train_fraction: f64) -> (ClassificationSet, ClassificationSet) {
+        let n_train = ((self.len() as f64) * train_fraction).round() as usize;
+        let mut train = ClassificationSet {
+            samples: Vec::new(),
+            labels: Vec::new(),
+            classes: self.classes,
+        };
+        let mut test = train.clone();
+        let total = self.len().max(1);
+        for (i, (s, l)) in self.iter().enumerate() {
+            // Bresenham-style stride split; samples are generated
+            // class-interleaved so both halves stay balanced.
+            if (i * n_train) / total != ((i + 1) * n_train) / total {
+                train.samples.push(s.clone());
+                train.labels.push(l);
+            } else {
+                test.samples.push(s.clone());
+                test.labels.push(l);
+            }
+        }
+        (train, test)
+    }
+}
+
+/// Generates a Gaussian-prototype classification set: each class has a
+/// random prototype pattern, and samples are `prototype + noise`.
+///
+/// `separation` controls prototype magnitude relative to unit noise —
+/// values ≥ 2.0 give an essentially separable problem, which is what the
+/// compression experiments need ("negligible accuracy loss" is only
+/// observable if the uncompressed model is accurate).
+///
+/// ```
+/// use vedliot_nnir::{dataset, Shape};
+///
+/// let set = dataset::gaussian_prototypes(Shape::nchw(1, 1, 8, 8), 4, 25, 2.0, 7);
+/// assert_eq!(set.len(), 100);
+/// assert_eq!(set.classes, 4);
+/// ```
+#[must_use]
+pub fn gaussian_prototypes(
+    sample_shape: Shape,
+    classes: usize,
+    per_class: usize,
+    separation: f64,
+    seed: u64,
+) -> ClassificationSet {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let elems = sample_shape.elem_count();
+    let prototypes: Vec<Vec<f32>> = (0..classes)
+        .map(|_| {
+            (0..elems)
+                .map(|_| (rng.gen::<f32>() * 2.0 - 1.0) * separation as f32)
+                .collect()
+        })
+        .collect();
+    let mut samples = Vec::with_capacity(classes * per_class);
+    let mut labels = Vec::with_capacity(classes * per_class);
+    // Interleave classes so contiguous splits stay balanced.
+    for _ in 0..per_class {
+        for (label, proto) in prototypes.iter().enumerate() {
+            let data: Vec<f32> = proto
+                .iter()
+                .map(|&p| p + gaussian(&mut rng))
+                .collect();
+            samples.push(
+                Tensor::from_vec(sample_shape.clone(), data).expect("shape/data size invariant"),
+            );
+            labels.push(label);
+        }
+    }
+    ClassificationSet {
+        samples,
+        labels,
+        classes,
+    }
+}
+
+/// One standard-normal draw (Box–Muller).
+fn gaussian(rng: &mut StdRng) -> f32 {
+    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+    let u2: f32 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+/// Adds white Gaussian noise of the given standard deviation to a tensor.
+#[must_use]
+pub fn with_noise(t: &Tensor, sigma: f32, seed: u64) -> Tensor {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = t.clone();
+    for x in out.data_mut() {
+        *x += sigma * gaussian(&mut rng);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generator_is_deterministic() {
+        let a = gaussian_prototypes(Shape::nf(1, 16), 3, 5, 2.0, 1);
+        let b = gaussian_prototypes(Shape::nf(1, 16), 3, 5, 2.0, 1);
+        assert_eq!(a.samples[0], b.samples[0]);
+        assert_eq!(a.labels, b.labels);
+    }
+
+    #[test]
+    fn labels_are_interleaved_and_balanced() {
+        let set = gaussian_prototypes(Shape::nf(1, 4), 3, 4, 1.0, 2);
+        assert_eq!(set.labels[..3], [0, 1, 2]);
+        let count0 = set.labels.iter().filter(|&&l| l == 0).count();
+        assert_eq!(count0, 4);
+    }
+
+    #[test]
+    fn split_preserves_total_and_rough_balance() {
+        let set = gaussian_prototypes(Shape::nf(1, 4), 2, 50, 1.0, 3);
+        let (train, test) = set.split(0.8);
+        assert_eq!(train.len() + test.len(), set.len());
+        assert!((train.len() as f64 - 80.0).abs() <= 2.0);
+        let train0 = train.labels.iter().filter(|&&l| l == 0).count();
+        assert!((train0 as f64 - train.len() as f64 / 2.0).abs() <= 2.0);
+    }
+
+    #[test]
+    fn noise_changes_values_but_not_shape() {
+        let t = Tensor::zeros(Shape::nf(1, 32));
+        let noisy = with_noise(&t, 0.5, 9);
+        assert_eq!(noisy.shape(), t.shape());
+        assert!(noisy.abs_max() > 0.0);
+    }
+
+    #[test]
+    fn higher_separation_increases_magnitude() {
+        let low = gaussian_prototypes(Shape::nf(1, 64), 2, 1, 0.5, 4);
+        let high = gaussian_prototypes(Shape::nf(1, 64), 2, 1, 5.0, 4);
+        assert!(high.samples[0].abs_max() > low.samples[0].abs_max());
+    }
+}

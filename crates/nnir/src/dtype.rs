@@ -1,0 +1,124 @@
+//! Numeric data types supported by the IR and the accelerator models.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Element type of a tensor.
+///
+/// The paper's performance evaluation (§II-C) executes each network in the
+/// widest precision the accelerator supports — INT8, FP16 or FP32 — so the
+/// datatype is a first-class quantity here: it scales weight memory in
+/// [`crate::cost`] and effective throughput in `vedliot-accel`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Default)]
+pub enum DataType {
+    /// 32-bit IEEE-754 float (training precision).
+    #[default]
+    F32,
+    /// 16-bit IEEE-754 float.
+    F16,
+    /// 8-bit signed integer (post-training quantized).
+    I8,
+    /// 8-bit unsigned integer.
+    U8,
+    /// 32-bit signed integer (accumulators, indices).
+    I32,
+    /// 1-bit binary weights (appears in the Fig. 3 survey).
+    Binary,
+}
+
+impl DataType {
+    /// Size of one element in *bits*.
+    ///
+    /// Binary weights occupy a single bit; everything else is byte-aligned.
+    #[must_use]
+    pub fn bits(self) -> usize {
+        match self {
+            DataType::F32 | DataType::I32 => 32,
+            DataType::F16 => 16,
+            DataType::I8 | DataType::U8 => 8,
+            DataType::Binary => 1,
+        }
+    }
+
+    /// Size of one element in bytes, rounded up for sub-byte types.
+    #[must_use]
+    pub fn bytes(self) -> usize {
+        self.bits().div_ceil(8)
+    }
+
+    /// Bytes needed to store `n` elements of this type, packing sub-byte
+    /// types densely.
+    #[must_use]
+    pub fn storage_bytes(self, n: usize) -> usize {
+        (n * self.bits()).div_ceil(8)
+    }
+
+    /// Whether this is a floating-point type.
+    #[must_use]
+    pub fn is_float(self) -> bool {
+        matches!(self, DataType::F32 | DataType::F16)
+    }
+
+    /// Whether this is an integer (quantized) type.
+    #[must_use]
+    pub fn is_integer(self) -> bool {
+        matches!(self, DataType::I8 | DataType::U8 | DataType::I32)
+    }
+}
+
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            DataType::F32 => "FP32",
+            DataType::F16 => "FP16",
+            DataType::I8 => "INT8",
+            DataType::U8 => "UINT8",
+            DataType::I32 => "INT32",
+            DataType::Binary => "BIN",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_widths() {
+        assert_eq!(DataType::F32.bits(), 32);
+        assert_eq!(DataType::F16.bits(), 16);
+        assert_eq!(DataType::I8.bits(), 8);
+        assert_eq!(DataType::Binary.bits(), 1);
+    }
+
+    #[test]
+    fn binary_packs_densely() {
+        // 9 binary weights need 2 bytes; 8 need exactly 1.
+        assert_eq!(DataType::Binary.storage_bytes(8), 1);
+        assert_eq!(DataType::Binary.storage_bytes(9), 2);
+    }
+
+    #[test]
+    fn byte_storage_matches_element_size() {
+        for dt in [DataType::F32, DataType::F16, DataType::I8, DataType::I32] {
+            assert_eq!(dt.storage_bytes(10), 10 * dt.bytes());
+        }
+    }
+
+    #[test]
+    fn display_matches_paper_nomenclature() {
+        assert_eq!(DataType::I8.to_string(), "INT8");
+        assert_eq!(DataType::F16.to_string(), "FP16");
+        assert_eq!(DataType::F32.to_string(), "FP32");
+    }
+
+    #[test]
+    fn float_integer_partition() {
+        assert!(DataType::F32.is_float() && !DataType::F32.is_integer());
+        assert!(DataType::I8.is_integer() && !DataType::I8.is_float());
+        assert!(!DataType::Binary.is_float() && !DataType::Binary.is_integer());
+    }
+}

@@ -1,0 +1,87 @@
+//! Error type for graph construction, inference and execution.
+
+use std::fmt;
+
+/// Error produced by IR construction, shape inference or execution.
+///
+/// The variants follow the verb-object-error convention and carry enough
+/// context to diagnose a malformed graph without a debugger.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NnirError {
+    /// A shape did not satisfy an operator's constraints.
+    ShapeMismatch {
+        /// Operator (or context) that rejected the shape.
+        op: String,
+        /// Human-readable description of the violated constraint.
+        detail: String,
+    },
+    /// A referenced tensor id does not exist in the graph.
+    UnknownTensor(usize),
+    /// A referenced node id does not exist in the graph.
+    UnknownNode(usize),
+    /// The graph contains a cycle and cannot be scheduled.
+    GraphCyclic,
+    /// An operator received the wrong number of inputs.
+    ArityMismatch {
+        /// Operator name.
+        op: String,
+        /// Number of inputs the operator requires.
+        expected: usize,
+        /// Number of inputs actually wired.
+        got: usize,
+    },
+    /// Execution was attempted with a missing or ill-typed weight/input.
+    ExecutionFailure(String),
+    /// An attribute value was invalid (e.g. zero stride).
+    InvalidAttribute {
+        /// Operator name.
+        op: String,
+        /// Description of the invalid attribute.
+        detail: String,
+    },
+}
+
+impl fmt::Display for NnirError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnirError::ShapeMismatch { op, detail } => {
+                write!(f, "shape mismatch in {op}: {detail}")
+            }
+            NnirError::UnknownTensor(id) => write!(f, "unknown tensor id {id}"),
+            NnirError::UnknownNode(id) => write!(f, "unknown node id {id}"),
+            NnirError::GraphCyclic => write!(f, "graph contains a cycle"),
+            NnirError::ArityMismatch { op, expected, got } => {
+                write!(f, "{op} expects {expected} inputs, got {got}")
+            }
+            NnirError::ExecutionFailure(detail) => write!(f, "execution failure: {detail}"),
+            NnirError::InvalidAttribute { op, detail } => {
+                write!(f, "invalid attribute on {op}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NnirError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_specific() {
+        let err = NnirError::ArityMismatch {
+            op: "Conv2d".into(),
+            expected: 1,
+            got: 3,
+        };
+        let text = err.to_string();
+        assert!(text.contains("Conv2d"));
+        assert!(text.contains('1') && text.contains('3'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NnirError>();
+    }
+}

@@ -1,0 +1,716 @@
+//! Reference f32 executor.
+//!
+//! A deliberately simple, loop-nest interpreter for [`Graph`]s. It is the
+//! ground truth the toolchain's optimization passes are verified against
+//! (fused vs unfused, pruned vs dense, fake-quantized vs float) and the
+//! inference engine behind the compression and safety experiments. It is
+//! *not* a performance model — deployment latency comes from
+//! `vedliot-accel`.
+//!
+//! Weights declared as [`WeightInit::Seeded`] are materialized on first
+//! use with a deterministic fan-in-scaled uniform initialization, so two
+//! runs of the same graph always produce identical outputs.
+
+use crate::graph::{Graph, Node, WeightInit};
+use crate::ops::{Conv2dAttrs, Op, Pool2dAttrs};
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+use crate::NnirError;
+
+/// Executes a graph on concrete tensors.
+///
+/// ```
+/// use vedliot_nnir::{exec::Executor, zoo, Tensor, Shape};
+///
+/// # fn main() -> Result<(), vedliot_nnir::NnirError> {
+/// let model = zoo::lenet5(10)?;
+/// let input = Tensor::random(Shape::nchw(1, 1, 28, 28), 7, 1.0);
+/// let outputs = Executor::new(&model).run(&[input])?;
+/// assert_eq!(outputs[0].shape().dims(), &[1, 10]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Executor<'g> {
+    graph: &'g Graph,
+}
+
+impl<'g> Executor<'g> {
+    /// Creates an executor over a graph.
+    #[must_use]
+    pub fn new(graph: &'g Graph) -> Self {
+        Executor { graph }
+    }
+
+    /// Runs one forward pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnirError::ExecutionFailure`] if the number or shapes of
+    /// `inputs` do not match the graph inputs, or propagates any graph
+    /// inconsistency discovered mid-run.
+    pub fn run(&self, inputs: &[Tensor]) -> Result<Vec<Tensor>, NnirError> {
+        let values = self.run_with_intermediates(inputs)?;
+        self.graph
+            .outputs()
+            .iter()
+            .map(|t| {
+                values[t.0]
+                    .clone()
+                    .ok_or_else(|| NnirError::ExecutionFailure(format!("output {t} never produced")))
+            })
+            .collect()
+    }
+
+    /// Runs one forward pass and returns *every* value tensor, indexed by
+    /// [`TensorId`](crate::graph::TensorId) — the hook quantization
+    /// calibration uses to observe activation ranges.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`run`](Self::run).
+    pub fn run_with_intermediates(
+        &self,
+        inputs: &[Tensor],
+    ) -> Result<Vec<Option<Tensor>>, NnirError> {
+        let graph_inputs = self.graph.inputs();
+        if inputs.len() != graph_inputs.len() {
+            return Err(NnirError::ExecutionFailure(format!(
+                "graph has {} inputs but {} were provided",
+                graph_inputs.len(),
+                inputs.len()
+            )));
+        }
+        let mut values: Vec<Option<Tensor>> = vec![None; self.graph.tensor_count()];
+        for (tid, tensor) in graph_inputs.iter().zip(inputs.iter()) {
+            let expected = self.graph.tensor_shape(*tid).expect("input shape");
+            if tensor.shape() != expected {
+                return Err(NnirError::ExecutionFailure(format!(
+                    "input {tid} expects shape {expected} but got {}",
+                    tensor.shape()
+                )));
+            }
+            values[tid.0] = Some(tensor.clone());
+        }
+
+        for node in self.graph.nodes() {
+            let out = self.eval_node(node, &values)?;
+            values[node.output.0] = Some(out);
+        }
+        Ok(values)
+    }
+
+    /// Materializes the weight tensors for a node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnirError::ExecutionFailure`] if explicit weights are
+    /// missing for a node that requires them.
+    pub fn node_weights(&self, node: &Node) -> Result<Vec<Tensor>, NnirError> {
+        let in_shapes = self.graph.node_input_shapes(node);
+        let shapes = node.weight_shapes(&in_shapes);
+        match &node.weights {
+            WeightInit::Explicit(tensors) => Ok(tensors.clone()),
+            WeightInit::Seeded(seed) => Ok(materialize_seeded(&node.op, &shapes, *seed)),
+            WeightInit::None => {
+                if shapes.is_empty() {
+                    Ok(Vec::new())
+                } else {
+                    Err(NnirError::ExecutionFailure(format!(
+                        "node {} requires weights but has none",
+                        node.name
+                    )))
+                }
+            }
+        }
+    }
+
+    fn eval_node(&self, node: &Node, values: &[Option<Tensor>]) -> Result<Tensor, NnirError> {
+        let mut ins = Vec::with_capacity(node.inputs.len());
+        for t in &node.inputs {
+            ins.push(values[t.0].as_ref().ok_or_else(|| {
+                NnirError::ExecutionFailure(format!("tensor {t} consumed before production"))
+            })?);
+        }
+        match &node.op {
+            Op::Input(_) => Err(NnirError::ExecutionFailure(
+                "input op cannot be evaluated".into(),
+            )),
+            Op::Conv2d(attrs) => {
+                let weights = self.node_weights(node)?;
+                conv2d(ins[0], attrs, &weights)
+            }
+            Op::Dense { bias, .. } => {
+                let weights = self.node_weights(node)?;
+                dense(ins[0], &weights, *bias)
+            }
+            Op::BatchNorm => {
+                let weights = self.node_weights(node)?;
+                batchnorm(ins[0], &weights[0], &weights[1])
+            }
+            Op::Activation(kind) => Ok(map_unary(ins[0], |x| kind.apply(x))),
+            Op::MaxPool2d(attrs) => pool2d(ins[0], attrs, PoolMode::Max),
+            Op::AvgPool2d(attrs) => pool2d(ins[0], attrs, PoolMode::Avg),
+            Op::GlobalAvgPool => global_avg_pool(ins[0]),
+            Op::Add => binary(ins[0], ins[1], |a, b| a + b),
+            Op::Mul => mul_broadcast(ins[0], ins[1]),
+            Op::Concat => concat_channels(&ins),
+            Op::Upsample { factor } => upsample_nearest(ins[0], *factor),
+            Op::Flatten => {
+                let n = ins[0].shape().batch();
+                let f: usize = ins[0].shape().dims()[1..].iter().product();
+                ins[0].reshape(Shape::nf(n, f))
+            }
+            Op::Softmax => Ok(softmax_last(ins[0])),
+            Op::FakeQuant { scale } => {
+                let scale = *scale;
+                Ok(map_unary(ins[0], move |x| {
+                    if scale == 0.0 {
+                        0.0
+                    } else {
+                        (x / scale).round().clamp(-127.0, 127.0) * scale
+                    }
+                }))
+            }
+        }
+    }
+}
+
+/// Deterministic fan-in-scaled initialization for seeded weights.
+fn materialize_seeded(op: &Op, shapes: &[Shape], seed: u64) -> Vec<Tensor> {
+    shapes
+        .iter()
+        .enumerate()
+        .map(|(i, shape)| {
+            let sub_seed = seed.wrapping_mul(1_000_003).wrapping_add(i as u64 + 1);
+            match (op, i) {
+                // BatchNorm: scale near 1, shift near 0.
+                (Op::BatchNorm, 0) => {
+                    let mut t = Tensor::random(shape.clone(), sub_seed, 0.05);
+                    for x in t.data_mut() {
+                        *x += 1.0;
+                    }
+                    t
+                }
+                (Op::BatchNorm, _) => Tensor::random(shape.clone(), sub_seed, 0.05),
+                // Bias vectors: small.
+                (_, i2) if i2 > 0 => Tensor::random(shape.clone(), sub_seed, 0.01),
+                // Main weights: uniform in ±sqrt(2 / fan_in).
+                _ => {
+                    let fan_in: usize = shape.dims()[1..].iter().product::<usize>().max(1);
+                    let scale = (2.0 / fan_in as f32).sqrt();
+                    Tensor::random(shape.clone(), sub_seed, scale)
+                }
+            }
+        })
+        .collect()
+}
+
+fn map_unary(input: &Tensor, f: impl Fn(f32) -> f32) -> Tensor {
+    let mut out = input.clone();
+    for x in out.data_mut() {
+        *x = f(*x);
+    }
+    out
+}
+
+fn binary(a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32) -> Result<Tensor, NnirError> {
+    if a.shape() != b.shape() {
+        return Err(NnirError::ExecutionFailure(format!(
+            "element-wise shape mismatch: {} vs {}",
+            a.shape(),
+            b.shape()
+        )));
+    }
+    let mut out = a.clone();
+    for (x, y) in out.data_mut().iter_mut().zip(b.data().iter()) {
+        *x = f(*x, *y);
+    }
+    Ok(out)
+}
+
+fn mul_broadcast(a: &Tensor, b: &Tensor) -> Result<Tensor, NnirError> {
+    if a.shape() == b.shape() {
+        return binary(a, b, |x, y| x * y);
+    }
+    // Squeeze-excite: a is [n,c,h,w], b is [n,c,1,1].
+    let [n, c, h, w] = dims4(a.shape())?;
+    let mut out = a.clone();
+    for bi in 0..n {
+        for ci in 0..c {
+            let gate = b.at(&[bi, ci, 0, 0]);
+            for hi in 0..h {
+                for wi in 0..w {
+                    let v = out.at(&[bi, ci, hi, wi]) * gate;
+                    out.set(&[bi, ci, hi, wi], v);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn dims4(s: &Shape) -> Result<[usize; 4], NnirError> {
+    if s.rank() != 4 {
+        return Err(NnirError::ExecutionFailure(format!(
+            "expected NCHW tensor, got {s}"
+        )));
+    }
+    Ok([
+        s.dim(0).unwrap(),
+        s.dim(1).unwrap(),
+        s.dim(2).unwrap(),
+        s.dim(3).unwrap(),
+    ])
+}
+
+/// Naive direct convolution with groups, stride and symmetric padding.
+fn conv2d(input: &Tensor, attrs: &Conv2dAttrs, weights: &[Tensor]) -> Result<Tensor, NnirError> {
+    let [n, in_c, h, w] = dims4(input.shape())?;
+    let (kh, kw) = attrs.kernel;
+    let (sh, sw) = attrs.stride;
+    let (ph, pw) = attrs.padding;
+    let out_c = attrs.out_channels;
+    let groups = attrs.groups;
+    let icg = in_c / groups;
+    let ocg = out_c / groups;
+    let oh = (h + 2 * ph - kh) / sh + 1;
+    let ow = (w + 2 * pw - kw) / sw + 1;
+    let kernel = &weights[0];
+    let bias = if attrs.bias { Some(&weights[1]) } else { None };
+
+    let mut out = Tensor::zeros(Shape::nchw(n, out_c, oh, ow));
+    let in_data = input.data();
+    let k_data = kernel.data();
+    let out_data = out.data_mut();
+
+    for bi in 0..n {
+        for oc in 0..out_c {
+            let g = oc / ocg;
+            let b0 = bias.map(|b| b.data()[oc]).unwrap_or(0.0);
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = b0;
+                    for ic in 0..icg {
+                        let in_ch = g * icg + ic;
+                        for ky in 0..kh {
+                            let iy = (oy * sh + ky) as isize - ph as isize;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            for kx in 0..kw {
+                                let ix = (ox * sw + kx) as isize - pw as isize;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                let iv = in_data
+                                    [((bi * in_c + in_ch) * h + iy as usize) * w + ix as usize];
+                                let kv = k_data[((oc * icg + ic) * kh + ky) * kw + kx];
+                                acc += iv * kv;
+                            }
+                        }
+                    }
+                    out_data[((bi * out_c + oc) * oh + oy) * ow + ox] = acc;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn dense(input: &Tensor, weights: &[Tensor], bias: bool) -> Result<Tensor, NnirError> {
+    let n = input.shape().batch();
+    let in_f = input.shape().dim(1).ok_or_else(|| {
+        NnirError::ExecutionFailure(format!("dense expects [n, f] input, got {}", input.shape()))
+    })?;
+    let weight = &weights[0];
+    let out_f = weight.shape().dim(0).unwrap_or(0);
+    let b = if bias { Some(&weights[1]) } else { None };
+    let mut out = Tensor::zeros(Shape::nf(n, out_f));
+    let w_data = weight.data();
+    let in_data = input.data();
+    let out_data = out.data_mut();
+    for bi in 0..n {
+        for of in 0..out_f {
+            let mut acc = b.map(|b| b.data()[of]).unwrap_or(0.0);
+            for i in 0..in_f {
+                acc += in_data[bi * in_f + i] * w_data[of * in_f + i];
+            }
+            out_data[bi * out_f + of] = acc;
+        }
+    }
+    Ok(out)
+}
+
+fn batchnorm(input: &Tensor, scale: &Tensor, shift: &Tensor) -> Result<Tensor, NnirError> {
+    let c = input
+        .shape()
+        .dim(1)
+        .ok_or_else(|| NnirError::ExecutionFailure("batchnorm needs a channel dim".into()))?;
+    if scale.shape().elem_count() != c || shift.shape().elem_count() != c {
+        return Err(NnirError::ExecutionFailure(
+            "batchnorm parameter length mismatch".into(),
+        ));
+    }
+    let mut out = input.clone();
+    let per_channel: usize = input.shape().dims()[2..].iter().product::<usize>().max(1);
+    let n = input.shape().batch();
+    let out_data = out.data_mut();
+    for bi in 0..n {
+        for ci in 0..c {
+            let s = scale.data()[ci];
+            let t = shift.data()[ci];
+            let base = (bi * c + ci) * per_channel;
+            for x in &mut out_data[base..base + per_channel] {
+                *x = s * *x + t;
+            }
+        }
+    }
+    Ok(out)
+}
+
+enum PoolMode {
+    Max,
+    Avg,
+}
+
+/// Pooling; average pooling excludes padding from the divisor (ONNX
+/// `count_include_pad = 0`).
+fn pool2d(input: &Tensor, attrs: &Pool2dAttrs, mode: PoolMode) -> Result<Tensor, NnirError> {
+    let [n, c, h, w] = dims4(input.shape())?;
+    let (kh, kw) = attrs.kernel;
+    let (sh, sw) = attrs.stride;
+    let (ph, pw) = attrs.padding;
+    let oh = (h + 2 * ph - kh) / sh + 1;
+    let ow = (w + 2 * pw - kw) / sw + 1;
+    let mut out = Tensor::zeros(Shape::nchw(n, c, oh, ow));
+    for bi in 0..n {
+        for ci in 0..c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = match mode {
+                        PoolMode::Max => f32::NEG_INFINITY,
+                        PoolMode::Avg => 0.0,
+                    };
+                    let mut count = 0usize;
+                    for ky in 0..kh {
+                        let iy = (oy * sh + ky) as isize - ph as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for kx in 0..kw {
+                            let ix = (ox * sw + kx) as isize - pw as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            let v = input.at(&[bi, ci, iy as usize, ix as usize]);
+                            match mode {
+                                PoolMode::Max => acc = acc.max(v),
+                                PoolMode::Avg => acc += v,
+                            }
+                            count += 1;
+                        }
+                    }
+                    let v = match mode {
+                        PoolMode::Max => acc,
+                        PoolMode::Avg => {
+                            if count > 0 {
+                                acc / count as f32
+                            } else {
+                                0.0
+                            }
+                        }
+                    };
+                    out.set(&[bi, ci, oy, ox], v);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn global_avg_pool(input: &Tensor) -> Result<Tensor, NnirError> {
+    let [n, c, h, w] = dims4(input.shape())?;
+    let mut out = Tensor::zeros(Shape::nchw(n, c, 1, 1));
+    let area = (h * w) as f32;
+    for bi in 0..n {
+        for ci in 0..c {
+            let mut acc = 0.0;
+            for hi in 0..h {
+                for wi in 0..w {
+                    acc += input.at(&[bi, ci, hi, wi]);
+                }
+            }
+            out.set(&[bi, ci, 0, 0], acc / area);
+        }
+    }
+    Ok(out)
+}
+
+fn concat_channels(inputs: &[&Tensor]) -> Result<Tensor, NnirError> {
+    let [n, _, h, w] = dims4(inputs[0].shape())?;
+    let total_c: usize = inputs
+        .iter()
+        .map(|t| t.shape().dim(1).unwrap_or(0))
+        .sum();
+    let mut out = Tensor::zeros(Shape::nchw(n, total_c, h, w));
+    let mut c_off = 0usize;
+    for t in inputs {
+        let [tn, tc, th, tw] = dims4(t.shape())?;
+        if tn != n || th != h || tw != w {
+            return Err(NnirError::ExecutionFailure(
+                "concat spatial mismatch".into(),
+            ));
+        }
+        for bi in 0..n {
+            for ci in 0..tc {
+                for hi in 0..h {
+                    for wi in 0..w {
+                        out.set(&[bi, c_off + ci, hi, wi], t.at(&[bi, ci, hi, wi]));
+                    }
+                }
+            }
+        }
+        c_off += tc;
+    }
+    Ok(out)
+}
+
+fn upsample_nearest(input: &Tensor, factor: usize) -> Result<Tensor, NnirError> {
+    let [n, c, h, w] = dims4(input.shape())?;
+    let mut out = Tensor::zeros(Shape::nchw(n, c, h * factor, w * factor));
+    for bi in 0..n {
+        for ci in 0..c {
+            for hi in 0..h * factor {
+                for wi in 0..w * factor {
+                    out.set(&[bi, ci, hi, wi], input.at(&[bi, ci, hi / factor, wi / factor]));
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn softmax_last(input: &Tensor) -> Tensor {
+    let last = *input.shape().dims().last().unwrap_or(&1);
+    let mut out = input.clone();
+    let data = out.data_mut();
+    for chunk in data.chunks_mut(last.max(1)) {
+        let max = chunk.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
+        let mut sum = 0.0;
+        for x in chunk.iter_mut() {
+            *x = (*x - max).exp();
+            sum += *x;
+        }
+        if sum > 0.0 {
+            for x in chunk.iter_mut() {
+                *x /= sum;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+    use crate::ops::Conv2dAttrs;
+
+    fn run_single(op: Op, inputs: Vec<Tensor>, weights: Option<WeightInit>) -> Tensor {
+        let mut b = GraphBuilder::new("t");
+        let ids: Vec<_> = inputs.iter().map(|t| b.input(t.shape().clone())).collect();
+        let out = match weights {
+            Some(w) => b.apply_with_weights("op", op, &ids, w).unwrap(),
+            None => b.apply("op", op, &ids).unwrap(),
+        };
+        let g = b.finish(vec![out]);
+        Executor::new(&g).run(&inputs).unwrap().remove(0)
+    }
+
+    #[test]
+    fn identity_conv_passes_through() {
+        // 1x1 conv with identity kernel on 1 channel.
+        let input = Tensor::from_vec(
+            Shape::nchw(1, 1, 2, 2),
+            vec![1.0, 2.0, 3.0, 4.0],
+        )
+        .unwrap();
+        let kernel = Tensor::from_vec(Shape::new(vec![1, 1, 1, 1]), vec![1.0]).unwrap();
+        let out = run_single(
+            Op::Conv2d(Conv2dAttrs::pointwise(1)),
+            vec![input.clone()],
+            Some(WeightInit::Explicit(vec![kernel])),
+        );
+        assert_eq!(out.data(), input.data());
+    }
+
+    #[test]
+    fn conv_3x3_box_filter_sums_neighbourhood() {
+        // All-ones 3x3 kernel on all-ones input: interior point sees 9.
+        let input = Tensor::full(Shape::nchw(1, 1, 5, 5), 1.0);
+        let kernel = Tensor::full(Shape::new(vec![1, 1, 3, 3]), 1.0);
+        let out = run_single(
+            Op::Conv2d(Conv2dAttrs::same(1, 3, 1)),
+            vec![input],
+            Some(WeightInit::Explicit(vec![kernel])),
+        );
+        assert_eq!(out.at(&[0, 0, 2, 2]), 9.0); // interior
+        assert_eq!(out.at(&[0, 0, 0, 0]), 4.0); // corner: 2x2 valid window
+    }
+
+    #[test]
+    fn depthwise_conv_keeps_channels_independent() {
+        // Two channels with distinct per-channel kernels.
+        let input = Tensor::from_vec(
+            Shape::nchw(1, 2, 1, 1),
+            vec![2.0, 5.0],
+        )
+        .unwrap();
+        let kernel =
+            Tensor::from_vec(Shape::new(vec![2, 1, 1, 1]), vec![10.0, 100.0]).unwrap();
+        let mut attrs = Conv2dAttrs::depthwise(2, 1, 1);
+        attrs.padding = (0, 0);
+        let out = run_single(
+            Op::Conv2d(attrs),
+            vec![input],
+            Some(WeightInit::Explicit(vec![kernel])),
+        );
+        assert_eq!(out.data(), &[20.0, 500.0]);
+    }
+
+    #[test]
+    fn dense_computes_matvec_with_bias() {
+        let input = Tensor::from_vec(Shape::nf(1, 3), vec![1.0, 2.0, 3.0]).unwrap();
+        let weight =
+            Tensor::from_vec(Shape::nf(2, 3), vec![1.0, 0.0, 0.0, 0.0, 1.0, 1.0]).unwrap();
+        let bias = Tensor::from_vec(Shape::new(vec![2]), vec![0.5, -0.5]).unwrap();
+        let out = run_single(
+            Op::Dense {
+                out_features: 2,
+                bias: true,
+            },
+            vec![input],
+            Some(WeightInit::Explicit(vec![weight, bias])),
+        );
+        assert_eq!(out.data(), &[1.5, 4.5]);
+    }
+
+    #[test]
+    fn batchnorm_applies_scale_and_shift() {
+        let input = Tensor::from_vec(Shape::nchw(1, 2, 1, 2), vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let scale = Tensor::from_vec(Shape::new(vec![2]), vec![2.0, 0.5]).unwrap();
+        let shift = Tensor::from_vec(Shape::new(vec![2]), vec![1.0, 0.0]).unwrap();
+        let out = run_single(
+            Op::BatchNorm,
+            vec![input],
+            Some(WeightInit::Explicit(vec![scale, shift])),
+        );
+        assert_eq!(out.data(), &[3.0, 5.0, 1.5, 2.0]);
+    }
+
+    #[test]
+    fn maxpool_and_avgpool() {
+        let input = Tensor::from_vec(
+            Shape::nchw(1, 1, 2, 2),
+            vec![1.0, 2.0, 3.0, 4.0],
+        )
+        .unwrap();
+        let max = run_single(
+            Op::MaxPool2d(Pool2dAttrs::square(2, 2)),
+            vec![input.clone()],
+            None,
+        );
+        assert_eq!(max.data(), &[4.0]);
+        let avg = run_single(Op::AvgPool2d(Pool2dAttrs::square(2, 2)), vec![input], None);
+        assert_eq!(avg.data(), &[2.5]);
+    }
+
+    #[test]
+    fn avgpool_excludes_padding_from_divisor() {
+        let input = Tensor::full(Shape::nchw(1, 1, 2, 2), 4.0);
+        let out = run_single(
+            Op::AvgPool2d(Pool2dAttrs::square(3, 1).with_padding(1)),
+            vec![input],
+            None,
+        );
+        // Corner windows see 4 valid elements of value 4.0 -> average 4.0.
+        assert_eq!(out.at(&[0, 0, 0, 0]), 4.0);
+    }
+
+    #[test]
+    fn global_avg_pool_averages_plane() {
+        let input = Tensor::from_vec(
+            Shape::nchw(1, 1, 2, 2),
+            vec![1.0, 2.0, 3.0, 6.0],
+        )
+        .unwrap();
+        let out = run_single(Op::GlobalAvgPool, vec![input], None);
+        assert_eq!(out.data(), &[3.0]);
+    }
+
+    #[test]
+    fn add_mul_and_broadcast() {
+        let a = Tensor::full(Shape::nchw(1, 2, 2, 2), 3.0);
+        let b = Tensor::full(Shape::nchw(1, 2, 2, 2), 2.0);
+        let sum = run_single(Op::Add, vec![a.clone(), b.clone()], None);
+        assert!(sum.data().iter().all(|&x| x == 5.0));
+        let gate = Tensor::from_vec(Shape::nchw(1, 2, 1, 1), vec![0.5, 2.0]).unwrap();
+        let scaled = run_single(Op::Mul, vec![a, gate], None);
+        assert_eq!(scaled.at(&[0, 0, 1, 1]), 1.5);
+        assert_eq!(scaled.at(&[0, 1, 1, 1]), 6.0);
+    }
+
+    #[test]
+    fn concat_stacks_channels_in_order() {
+        let a = Tensor::full(Shape::nchw(1, 1, 1, 2), 1.0);
+        let b = Tensor::full(Shape::nchw(1, 2, 1, 2), 2.0);
+        let out = run_single(Op::Concat, vec![a, b], None);
+        assert_eq!(out.shape(), &Shape::nchw(1, 3, 1, 2));
+        assert_eq!(out.at(&[0, 0, 0, 0]), 1.0);
+        assert_eq!(out.at(&[0, 2, 0, 1]), 2.0);
+    }
+
+    #[test]
+    fn upsample_replicates_nearest() {
+        let input = Tensor::from_vec(Shape::nchw(1, 1, 1, 2), vec![1.0, 2.0]).unwrap();
+        let out = run_single(Op::Upsample { factor: 2 }, vec![input], None);
+        assert_eq!(out.shape(), &Shape::nchw(1, 1, 2, 4));
+        assert_eq!(out.at(&[0, 0, 1, 0]), 1.0);
+        assert_eq!(out.at(&[0, 0, 0, 3]), 2.0);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let input = Tensor::from_vec(Shape::nf(2, 3), vec![1.0, 2.0, 3.0, 0.0, 0.0, 0.0]).unwrap();
+        let out = run_single(Op::Softmax, vec![input], None);
+        let row0: f32 = out.data()[0..3].iter().sum();
+        let row1: f32 = out.data()[3..6].iter().sum();
+        assert!((row0 - 1.0).abs() < 1e-6 && (row1 - 1.0).abs() < 1e-6);
+        assert!((out.data()[3] - 1.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn seeded_weights_are_reproducible() {
+        let mut b = GraphBuilder::new("seeded");
+        let x = b.input(Shape::nchw(1, 3, 8, 8));
+        let c = b
+            .apply("conv", Op::Conv2d(Conv2dAttrs::same(4, 3, 1)), &[x])
+            .unwrap();
+        let g = b.finish(vec![c]);
+        let input = Tensor::random(Shape::nchw(1, 3, 8, 8), 1, 1.0);
+        let out1 = Executor::new(&g).run(std::slice::from_ref(&input)).unwrap();
+        let out2 = Executor::new(&g).run(&[input]).unwrap();
+        assert_eq!(out1, out2);
+        assert!(out1[0].abs_max() > 0.0);
+    }
+
+    #[test]
+    fn wrong_input_shape_is_reported() {
+        let mut b = GraphBuilder::new("g");
+        let x = b.input(Shape::nf(1, 4));
+        let g = b.finish(vec![x]);
+        let bad = Tensor::zeros(Shape::nf(1, 5));
+        assert!(Executor::new(&g).run(&[bad]).is_err());
+    }
+}

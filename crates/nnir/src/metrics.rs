@@ -1,0 +1,357 @@
+//! Model-quality metrics.
+//!
+//! The Kenning framework (paper §III) "can automatically benchmark the
+//! processing quality of a given neural network model and generate a
+//! confusion matrix for classification models and recall/precision graphs
+//! for detection algorithms" — this module is that measurement surface.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Confusion matrix for a multi-class classifier.
+///
+/// ```
+/// use vedliot_nnir::metrics::ConfusionMatrix;
+///
+/// let mut cm = ConfusionMatrix::new(2);
+/// cm.record(0, 0);
+/// cm.record(0, 1);
+/// cm.record(1, 1);
+/// assert_eq!(cm.total(), 3);
+/// assert!((cm.accuracy() - 2.0 / 3.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    classes: usize,
+    /// `counts[actual][predicted]`.
+    counts: Vec<Vec<usize>>,
+}
+
+impl ConfusionMatrix {
+    /// Creates an empty matrix for `classes` classes.
+    #[must_use]
+    pub fn new(classes: usize) -> Self {
+        ConfusionMatrix {
+            classes,
+            counts: vec![vec![0; classes]; classes],
+        }
+    }
+
+    /// Number of classes.
+    #[must_use]
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Records one `(actual, predicted)` observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either label is out of range.
+    pub fn record(&mut self, actual: usize, predicted: usize) {
+        assert!(actual < self.classes && predicted < self.classes, "label out of range");
+        self.counts[actual][predicted] += 1;
+    }
+
+    /// Count at `(actual, predicted)`.
+    #[must_use]
+    pub fn count(&self, actual: usize, predicted: usize) -> usize {
+        self.counts[actual][predicted]
+    }
+
+    /// Total observations.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.counts.iter().flatten().sum()
+    }
+
+    /// Fraction of correct predictions (0.0 for an empty matrix).
+    #[must_use]
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let correct: usize = (0..self.classes).map(|i| self.counts[i][i]).sum();
+        correct as f64 / total as f64
+    }
+
+    /// Precision of one class: TP / (TP + FP). `None` if never predicted.
+    #[must_use]
+    pub fn precision(&self, class: usize) -> Option<f64> {
+        let tp = self.counts[class][class];
+        let predicted: usize = (0..self.classes).map(|a| self.counts[a][class]).sum();
+        if predicted == 0 {
+            None
+        } else {
+            Some(tp as f64 / predicted as f64)
+        }
+    }
+
+    /// Recall of one class: TP / (TP + FN). `None` if the class never
+    /// occurred.
+    #[must_use]
+    pub fn recall(&self, class: usize) -> Option<f64> {
+        let tp = self.counts[class][class];
+        let actual: usize = self.counts[class].iter().sum();
+        if actual == 0 {
+            None
+        } else {
+            Some(tp as f64 / actual as f64)
+        }
+    }
+
+    /// Macro-averaged F1 over classes that occurred.
+    #[must_use]
+    pub fn macro_f1(&self) -> f64 {
+        let mut sum = 0.0;
+        let mut n = 0;
+        for c in 0..self.classes {
+            if let (Some(p), Some(r)) = (self.precision(c), self.recall(c)) {
+                if p + r > 0.0 {
+                    sum += 2.0 * p * r / (p + r);
+                }
+                n += 1;
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
+    }
+}
+
+impl fmt::Display for ConfusionMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "confusion matrix ({} classes, rows = actual):", self.classes)?;
+        for row in &self.counts {
+            for c in row {
+                write!(f, "{c:>6}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Binary detection statistics (arc detection, PAEB pedestrian presence).
+///
+/// The Arc Detection use case (paper §V-B) demands "an ultra-low
+/// false-negative error rate"; [`BinaryStats::false_negative_rate`] is the
+/// quantity that experiment sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct BinaryStats {
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// True negatives.
+    pub tn: usize,
+    /// False negatives.
+    pub fn_: usize,
+}
+
+impl BinaryStats {
+    /// Creates an empty counter.
+    #[must_use]
+    pub fn new() -> Self {
+        BinaryStats::default()
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, actual: bool, predicted: bool) {
+        match (actual, predicted) {
+            (true, true) => self.tp += 1,
+            (true, false) => self.fn_ += 1,
+            (false, true) => self.fp += 1,
+            (false, false) => self.tn += 1,
+        }
+    }
+
+    /// Total observations.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.tp + self.fp + self.tn + self.fn_
+    }
+
+    /// FN / (TP + FN); 0.0 when no positives occurred.
+    #[must_use]
+    pub fn false_negative_rate(&self) -> f64 {
+        let pos = self.tp + self.fn_;
+        if pos == 0 {
+            0.0
+        } else {
+            self.fn_ as f64 / pos as f64
+        }
+    }
+
+    /// FP / (FP + TN); 0.0 when no negatives occurred.
+    #[must_use]
+    pub fn false_positive_rate(&self) -> f64 {
+        let neg = self.fp + self.tn;
+        if neg == 0 {
+            0.0
+        } else {
+            self.fp as f64 / neg as f64
+        }
+    }
+
+    /// Detection precision TP / (TP + FP); `None` when nothing predicted
+    /// positive.
+    #[must_use]
+    pub fn precision(&self) -> Option<f64> {
+        let pred = self.tp + self.fp;
+        if pred == 0 {
+            None
+        } else {
+            Some(self.tp as f64 / pred as f64)
+        }
+    }
+
+    /// Detection recall TP / (TP + FN); `None` when no positives occurred.
+    #[must_use]
+    pub fn recall(&self) -> Option<f64> {
+        let pos = self.tp + self.fn_;
+        if pos == 0 {
+            None
+        } else {
+            Some(self.tp as f64 / pos as f64)
+        }
+    }
+}
+
+/// A precision/recall curve sampled over a score threshold sweep — the
+/// "recall/precision graphs for detection algorithms" Kenning generates.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct PrecisionRecallCurve {
+    /// `(threshold, precision, recall)` points, descending threshold.
+    pub points: Vec<(f64, f64, f64)>,
+}
+
+impl PrecisionRecallCurve {
+    /// Builds the curve from `(score, is_positive)` observations at the
+    /// given thresholds.
+    #[must_use]
+    pub fn from_scores(scores: &[(f64, bool)], thresholds: &[f64]) -> Self {
+        let mut points = Vec::with_capacity(thresholds.len());
+        for &th in thresholds {
+            let mut stats = BinaryStats::new();
+            for &(score, actual) in scores {
+                stats.record(actual, score >= th);
+            }
+            let p = stats.precision().unwrap_or(1.0);
+            let r = stats.recall().unwrap_or(0.0);
+            points.push((th, p, r));
+        }
+        PrecisionRecallCurve { points }
+    }
+
+    /// Average precision (trapezoidal area under the P-R points).
+    #[must_use]
+    pub fn average_precision(&self) -> f64 {
+        if self.points.len() < 2 {
+            return 0.0;
+        }
+        let mut sorted: Vec<(f64, f64)> = self.points.iter().map(|&(_, p, r)| (r, p)).collect();
+        sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        // Collapse duplicate recall levels to their best precision (the
+        // usual interpolated-AP convention).
+        let mut dedup: Vec<(f64, f64)> = Vec::with_capacity(sorted.len());
+        for (r, p) in sorted {
+            match dedup.last_mut() {
+                Some(last) if (last.0 - r).abs() < 1e-12 => last.1 = last.1.max(p),
+                _ => dedup.push((r, p)),
+            }
+        }
+        let mut area = 0.0;
+        for w in dedup.windows(2) {
+            area += (w[1].0 - w[0].0) * 0.5 * (w[0].1 + w[1].1);
+        }
+        area
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_classifier_has_unit_metrics() {
+        let mut cm = ConfusionMatrix::new(3);
+        for c in 0..3 {
+            for _ in 0..5 {
+                cm.record(c, c);
+            }
+        }
+        assert_eq!(cm.accuracy(), 1.0);
+        assert_eq!(cm.precision(1), Some(1.0));
+        assert_eq!(cm.recall(2), Some(1.0));
+        assert!((cm.macro_f1() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn skewed_matrix_precision_recall() {
+        let mut cm = ConfusionMatrix::new(2);
+        // 8 of class 0 correct, 2 of class 0 predicted as 1,
+        // 5 of class 1 correct, 5 of class 1 predicted as 0.
+        for _ in 0..8 {
+            cm.record(0, 0);
+        }
+        for _ in 0..2 {
+            cm.record(0, 1);
+        }
+        for _ in 0..5 {
+            cm.record(1, 1);
+        }
+        for _ in 0..5 {
+            cm.record(1, 0);
+        }
+        assert!((cm.accuracy() - 0.65).abs() < 1e-12);
+        assert!((cm.precision(0).unwrap() - 8.0 / 13.0).abs() < 1e-12);
+        assert!((cm.recall(0).unwrap() - 0.8).abs() < 1e-12);
+        assert!((cm.precision(1).unwrap() - 5.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn never_predicted_class_has_no_precision() {
+        let mut cm = ConfusionMatrix::new(2);
+        cm.record(1, 0);
+        assert_eq!(cm.precision(1), None);
+        assert_eq!(cm.recall(0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn out_of_range_label_panics() {
+        let mut cm = ConfusionMatrix::new(2);
+        cm.record(2, 0);
+    }
+
+    #[test]
+    fn binary_stats_rates() {
+        let mut s = BinaryStats::new();
+        s.record(true, true);
+        s.record(true, false);
+        s.record(false, false);
+        s.record(false, true);
+        assert_eq!(s.false_negative_rate(), 0.5);
+        assert_eq!(s.false_positive_rate(), 0.5);
+        assert_eq!(s.precision(), Some(0.5));
+        assert_eq!(s.total(), 4);
+    }
+
+    #[test]
+    fn pr_curve_of_perfect_separator() {
+        // Positives score 0.9, negatives 0.1.
+        let scores: Vec<(f64, bool)> = (0..10)
+            .map(|i| if i < 5 { (0.9, true) } else { (0.1, false) })
+            .collect();
+        let curve =
+            PrecisionRecallCurve::from_scores(&scores, &[0.0, 0.25, 0.5, 0.75, 1.0]);
+        // At threshold 0.5: precision 1.0, recall 1.0.
+        let mid = curve.points.iter().find(|p| p.0 == 0.5).unwrap();
+        assert_eq!((mid.1, mid.2), (1.0, 1.0));
+        assert!(curve.average_precision() > 0.9);
+    }
+}

@@ -1,0 +1,265 @@
+//! Dense f32 tensors used by the reference executor.
+//!
+//! The IR keeps all *values* in f32; quantized execution in the toolchain is
+//! modelled by fake-quantization (quantize→dequantize round trips), which is
+//! how post-training quantization error is normally evaluated before
+//! deployment.
+
+use crate::shape::Shape;
+use crate::NnirError;
+use serde::{Deserialize, Serialize};
+
+/// A dense, row-major f32 tensor.
+///
+/// ```
+/// use vedliot_nnir::{Tensor, Shape};
+///
+/// # fn main() -> Result<(), vedliot_nnir::NnirError> {
+/// let t = Tensor::from_vec(Shape::nf(2, 2), vec![1.0, 2.0, 3.0, 4.0])?;
+/// assert_eq!(t.at(&[1, 0]), 3.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Tensor {
+    shape: Shape,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a zero-filled tensor.
+    #[must_use]
+    pub fn zeros(shape: Shape) -> Self {
+        let n = shape.elem_count();
+        Tensor {
+            shape,
+            data: vec![0.0; n],
+        }
+    }
+
+    /// Creates a tensor filled with a constant.
+    #[must_use]
+    pub fn full(shape: Shape, value: f32) -> Self {
+        let n = shape.elem_count();
+        Tensor {
+            shape,
+            data: vec![value; n],
+        }
+    }
+
+    /// Creates a tensor from existing data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnirError::ShapeMismatch`] if `data.len()` does not equal
+    /// the shape's element count.
+    pub fn from_vec(shape: Shape, data: Vec<f32>) -> Result<Self, NnirError> {
+        if shape.elem_count() != data.len() {
+            return Err(NnirError::ShapeMismatch {
+                op: "Tensor::from_vec".into(),
+                detail: format!(
+                    "shape {shape} holds {} elements but {} were provided",
+                    shape.elem_count(),
+                    data.len()
+                ),
+            });
+        }
+        Ok(Tensor { shape, data })
+    }
+
+    /// Creates a tensor by evaluating `f` at each linear index.
+    #[must_use]
+    pub fn from_fn(shape: Shape, mut f: impl FnMut(usize) -> f32) -> Self {
+        let n = shape.elem_count();
+        Tensor {
+            data: (0..n).map(&mut f).collect(),
+            shape,
+        }
+    }
+
+    /// The tensor's shape.
+    #[must_use]
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Immutable view of the raw data (row-major).
+    #[must_use]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the raw data (row-major).
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns the raw data.
+    #[must_use]
+    pub fn into_data(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Value at a multi-index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of range (see [`Shape::offset`]).
+    #[must_use]
+    pub fn at(&self, idx: &[usize]) -> f32 {
+        self.data[self.shape.offset(idx)]
+    }
+
+    /// Sets the value at a multi-index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of range.
+    pub fn set(&mut self, idx: &[usize], value: f32) {
+        let off = self.shape.offset(idx);
+        self.data[off] = value;
+    }
+
+    /// Reshapes without moving data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnirError::ShapeMismatch`] if the new shape has a different
+    /// element count.
+    pub fn reshape(&self, shape: Shape) -> Result<Tensor, NnirError> {
+        if shape.elem_count() != self.data.len() {
+            return Err(NnirError::ShapeMismatch {
+                op: "Tensor::reshape".into(),
+                detail: format!("cannot reshape {} to {shape}", self.shape),
+            });
+        }
+        Ok(Tensor {
+            shape,
+            data: self.data.clone(),
+        })
+    }
+
+    /// Largest absolute element (0.0 for an empty tensor).
+    #[must_use]
+    pub fn abs_max(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, &x| m.max(x.abs()))
+    }
+
+    /// Mean of all elements (0.0 for an empty tensor).
+    #[must_use]
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        self.data.iter().sum::<f32>() / self.data.len() as f32
+    }
+
+    /// Index of the largest element (ties broken towards lower index).
+    ///
+    /// Useful as the classification decision of a logits vector.
+    #[must_use]
+    pub fn argmax(&self) -> usize {
+        let mut best = 0;
+        for (i, &x) in self.data.iter().enumerate() {
+            if x > self.data[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Maximum absolute difference to another tensor of the same shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnirError::ShapeMismatch`] if shapes differ.
+    pub fn max_abs_diff(&self, other: &Tensor) -> Result<f32, NnirError> {
+        if self.shape != other.shape {
+            return Err(NnirError::ShapeMismatch {
+                op: "Tensor::max_abs_diff".into(),
+                detail: format!("{} vs {}", self.shape, other.shape),
+            });
+        }
+        Ok(self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .fold(0.0f32, |m, (a, b)| m.max((a - b).abs())))
+    }
+
+    /// Fills the tensor with pseudo-random values in `[-scale, scale]`
+    /// using the given deterministic seed (xorshift; reproducible across
+    /// platforms, no external RNG state).
+    pub fn fill_random(&mut self, seed: u64, scale: f32) {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1);
+        for x in &mut self.data {
+            // xorshift64*
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            let r = state.wrapping_mul(0x2545_F491_4F6C_DD1D);
+            let unit = (r >> 11) as f32 / (1u64 << 53) as f32; // [0,1)
+            *x = (unit * 2.0 - 1.0) * scale;
+        }
+    }
+
+    /// Convenience constructor: random tensor in `[-scale, scale]`.
+    #[must_use]
+    pub fn random(shape: Shape, seed: u64, scale: f32) -> Self {
+        let mut t = Tensor::zeros(shape);
+        t.fill_random(seed, scale);
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(Tensor::from_vec(Shape::nf(2, 2), vec![0.0; 3]).is_err());
+        assert!(Tensor::from_vec(Shape::nf(2, 2), vec![0.0; 4]).is_ok());
+    }
+
+    #[test]
+    fn indexing_round_trip() {
+        let mut t = Tensor::zeros(Shape::nchw(1, 2, 3, 4));
+        t.set(&[0, 1, 2, 3], 7.5);
+        assert_eq!(t.at(&[0, 1, 2, 3]), 7.5);
+        assert_eq!(t.at(&[0, 0, 0, 0]), 0.0);
+    }
+
+    #[test]
+    fn argmax_first_of_ties() {
+        let t = Tensor::from_vec(Shape::nf(1, 4), vec![1.0, 3.0, 3.0, 2.0]).unwrap();
+        assert_eq!(t.argmax(), 1);
+    }
+
+    #[test]
+    fn random_is_deterministic_and_bounded() {
+        let a = Tensor::random(Shape::nf(10, 10), 42, 0.5);
+        let b = Tensor::random(Shape::nf(10, 10), 42, 0.5);
+        assert_eq!(a, b);
+        assert!(a.abs_max() <= 0.5);
+        let c = Tensor::random(Shape::nf(10, 10), 43, 0.5);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn max_abs_diff_requires_same_shape() {
+        let a = Tensor::zeros(Shape::nf(1, 2));
+        let b = Tensor::zeros(Shape::nf(2, 1));
+        assert!(a.max_abs_diff(&b).is_err());
+        let c = Tensor::full(Shape::nf(1, 2), 0.25);
+        assert_eq!(a.max_abs_diff(&c).unwrap(), 0.25);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec(Shape::nf(2, 3), vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        let r = t.reshape(Shape::new(vec![3, 2])).unwrap();
+        assert_eq!(r.at(&[2, 1]), 5.0);
+        assert!(t.reshape(Shape::nf(4, 2)).is_err());
+    }
+}

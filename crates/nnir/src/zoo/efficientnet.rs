@@ -1,0 +1,190 @@
+//! EfficientNetV2-S (Tan & Le, 2021 — the paper's reference [8] in the
+//! §III discussion of theoretical vs deployed speed-ups).
+//!
+//! Fused-MBConv stages early (hardware-friendly plain convs), MBConv with
+//! squeeze-excite later — the architecture designed specifically so that
+//! "theoretical speed-ups … translate" better than depthwise-heavy
+//! predecessors, which is exactly the contrast the E6 experiment probes.
+
+use super::Stack;
+use crate::graph::{Graph, TensorId};
+use crate::ops::{ActKind, Conv2dAttrs, Op};
+use crate::shape::Shape;
+use crate::NnirError;
+
+const SILU: ActKind = ActKind::Silu;
+
+struct StageSpec {
+    fused: bool,
+    expand: usize,
+    out: usize,
+    stride: usize,
+    blocks: usize,
+    se: bool,
+}
+
+/// EfficientNetV2-S stage table (Table 2 of the paper).
+fn spec() -> Vec<StageSpec> {
+    let rows: [(bool, usize, usize, usize, usize, bool); 6] = [
+        (true, 1, 24, 1, 2, false),
+        (true, 4, 48, 2, 4, false),
+        (true, 4, 64, 2, 4, false),
+        (false, 4, 128, 2, 6, true),
+        (false, 6, 160, 1, 9, true),
+        (false, 6, 256, 2, 15, true),
+    ];
+    rows.into_iter()
+        .map(|(fused, expand, out, stride, blocks, se)| StageSpec {
+            fused,
+            expand,
+            out,
+            stride,
+            blocks,
+            se,
+        })
+        .collect()
+}
+
+/// Builds EfficientNetV2-S for `classes` output classes at 384×384 input
+/// (the paper's evaluation resolution).
+///
+/// # Errors
+///
+/// Propagates builder errors (cannot occur for `classes > 0`).
+pub fn efficientnet_v2_s(classes: usize) -> Result<Graph, NnirError> {
+    let mut s = Stack::new("efficientnetv2-s");
+    let x = s.builder.input(Shape::nchw(1, 3, 384, 384));
+    let mut t = s.conv_bn_act(x, Conv2dAttrs::same(24, 3, 2), Some(SILU))?;
+    let mut in_c = 24usize;
+    for stage in spec() {
+        for block in 0..stage.blocks {
+            let stride = if block == 0 { stage.stride } else { 1 };
+            t = if stage.fused {
+                fused_mbconv(&mut s, t, in_c, stage.expand, stage.out, stride)?
+            } else {
+                mbconv(&mut s, t, in_c, stage.expand, stage.out, stride, stage.se)?
+            };
+            in_c = stage.out;
+        }
+    }
+    // Head: 1x1 conv to 1280, GAP, classifier.
+    t = s.conv_bn_act(t, Conv2dAttrs::pointwise(1280), Some(SILU))?;
+    let pooled = s.builder.apply("gap", Op::GlobalAvgPool, &[t])?;
+    let flat = s.builder.apply("flatten", Op::Flatten, &[pooled])?;
+    let logits = s.builder.apply(
+        "fc",
+        Op::Dense {
+            out_features: classes,
+            bias: true,
+        },
+        &[flat],
+    )?;
+    Ok(s.builder.finish(vec![logits]))
+}
+
+/// Fused-MBConv: one 3×3 conv does the expansion (replacing the
+/// expand-pw + depthwise pair), then a 1×1 projection.
+fn fused_mbconv(
+    s: &mut Stack,
+    x: TensorId,
+    in_c: usize,
+    expand: usize,
+    out: usize,
+    stride: usize,
+) -> Result<TensorId, NnirError> {
+    let expanded = in_c * expand;
+    let t = if expand == 1 {
+        // Degenerate form: a single 3x3 conv to the output width.
+        s.conv_bn_act(x, Conv2dAttrs::same(out, 3, stride), Some(SILU))?
+    } else {
+        let t = s.conv_bn_act(x, Conv2dAttrs::same(expanded, 3, stride), Some(SILU))?;
+        s.conv_bn_act(t, Conv2dAttrs::pointwise(out), None)?
+    };
+    if stride == 1 && in_c == out {
+        s.builder.apply("residual", Op::Add, &[t, x])
+    } else {
+        Ok(t)
+    }
+}
+
+/// Classic MBConv with squeeze-excite (reduction on the *block input*
+/// width, ratio 0.25, as in the EfficientNet family).
+fn mbconv(
+    s: &mut Stack,
+    x: TensorId,
+    in_c: usize,
+    expand: usize,
+    out: usize,
+    stride: usize,
+    se: bool,
+) -> Result<TensorId, NnirError> {
+    let expanded = in_c * expand;
+    let mut t = s.conv_bn_act(x, Conv2dAttrs::pointwise(expanded), Some(SILU))?;
+    t = s.conv_bn_act(t, Conv2dAttrs::depthwise(expanded, 3, stride), Some(SILU))?;
+    if se {
+        t = s.squeeze_excite(t, expanded, (in_c / 4).max(8))?;
+    }
+    t = s.conv_bn_act(t, Conv2dAttrs::pointwise(out), None)?;
+    if stride == 1 && in_c == out {
+        s.builder.apply("residual", Op::Add, &[t, x])
+    } else {
+        Ok(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostReport;
+
+    /// Published: EfficientNetV2-S ≈ 8.4 GFLOPs (MACs convention used by
+    /// the paper: multiply-adds) at 384², ~21.5 M params.
+    #[test]
+    fn matches_published_costs() {
+        let g = efficientnet_v2_s(1000).unwrap();
+        g.validate().unwrap();
+        let c = CostReport::of(&g).unwrap();
+        assert!(
+            (6.5e9..11.0e9).contains(&(c.total_macs as f64)),
+            "MACs = {}",
+            c.total_macs
+        );
+        assert!(
+            (18.0e6..26.0e6).contains(&(c.total_params as f64)),
+            "params = {}",
+            c.total_params
+        );
+    }
+
+    #[test]
+    fn final_feature_map_is_12x12() {
+        // 384 / 2^5 = 12 (stem + four stride-2 stages).
+        let g = efficientnet_v2_s(1000).unwrap();
+        let gap = g.nodes().iter().find(|n| n.name == "gap").unwrap();
+        let shape = g.node_input_shapes(gap)[0];
+        assert_eq!(shape.dims(), &[1, 1280, 12, 12]);
+    }
+
+    #[test]
+    fn early_stages_are_fused_late_stages_depthwise() {
+        // Fused stages contain no grouped convs; later stages do.
+        let g = efficientnet_v2_s(10).unwrap();
+        let depthwise = g
+            .nodes()
+            .iter()
+            .filter(|n| matches!(&n.op, Op::Conv2d(a) if a.groups > 1))
+            .count();
+        // One depthwise per MBConv block: 6 + 9 + 15 = 30.
+        assert_eq!(depthwise, 30);
+    }
+
+    /// The architectural point of reference [8]: higher arithmetic
+    /// intensity than MobileNetV3, so its theoretical FLOPs translate
+    /// better on real hardware.
+    #[test]
+    fn higher_arithmetic_intensity_than_mobilenet() {
+        let eff = CostReport::of(&efficientnet_v2_s(1000).unwrap()).unwrap();
+        let mob = CostReport::of(&crate::zoo::mobilenet_v3_large(1000).unwrap()).unwrap();
+        assert!(eff.macs_per_param() > 2.0 * mob.macs_per_param());
+    }
+}

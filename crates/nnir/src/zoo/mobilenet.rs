@@ -1,0 +1,149 @@
+//! MobileNetV3-Large (Howard et al., 2019).
+
+use super::Stack;
+use crate::graph::{Graph, TensorId};
+use crate::ops::{ActKind, Conv2dAttrs, Op};
+use crate::shape::Shape;
+use crate::NnirError;
+
+/// One row of the MobileNetV3-Large specification table.
+struct BneckSpec {
+    kernel: usize,
+    expand: usize,
+    out: usize,
+    se: bool,
+    act: ActKind,
+    stride: usize,
+}
+
+const HS: ActKind = ActKind::HardSwish;
+const RE: ActKind = ActKind::Relu;
+
+/// The official MobileNetV3-Large body (Table 1 of the paper).
+fn spec() -> Vec<BneckSpec> {
+    let rows: [(usize, usize, usize, bool, ActKind, usize); 15] = [
+        (3, 16, 16, false, RE, 1),
+        (3, 64, 24, false, RE, 2),
+        (3, 72, 24, false, RE, 1),
+        (5, 72, 40, true, RE, 2),
+        (5, 120, 40, true, RE, 1),
+        (5, 120, 40, true, RE, 1),
+        (3, 240, 80, false, HS, 2),
+        (3, 200, 80, false, HS, 1),
+        (3, 184, 80, false, HS, 1),
+        (3, 184, 80, false, HS, 1),
+        (3, 480, 112, true, HS, 1),
+        (3, 672, 112, true, HS, 1),
+        (5, 672, 160, true, HS, 2),
+        (5, 960, 160, true, HS, 1),
+        (5, 960, 160, true, HS, 1),
+    ];
+    rows.into_iter()
+        .map(|(kernel, expand, out, se, act, stride)| BneckSpec {
+            kernel,
+            expand,
+            out,
+            se,
+            act,
+            stride,
+        })
+        .collect()
+}
+
+/// Builds MobileNetV3-Large for `classes` output classes at 224×224 input.
+///
+/// # Errors
+///
+/// Propagates builder errors (cannot occur for valid `classes > 0`).
+pub fn mobilenet_v3_large(classes: usize) -> Result<Graph, NnirError> {
+    let mut s = Stack::new("mobilenetv3-large");
+    let x = s.builder.input(Shape::nchw(1, 3, 224, 224));
+
+    let mut t = s.conv_bn_act(x, Conv2dAttrs::same(16, 3, 2), Some(HS))?;
+    let mut in_c = 16usize;
+    for row in spec() {
+        t = bneck(&mut s, t, in_c, &row)?;
+        in_c = row.out;
+    }
+    // Final 1x1 conv to 960, GAP, 1280-wide classifier head.
+    t = s.conv_bn_act(t, Conv2dAttrs::pointwise(960), Some(HS))?;
+    let pooled = s.builder.apply("gap", Op::GlobalAvgPool, &[t])?;
+    let head = s.conv_act(
+        pooled,
+        Conv2dAttrs::pointwise(1280).with_bias(),
+        Some(HS),
+    )?;
+    let flat = s.builder.apply("flatten", Op::Flatten, &[head])?;
+    let logits = s.builder.apply(
+        "fc",
+        Op::Dense {
+            out_features: classes,
+            bias: true,
+        },
+        &[flat],
+    )?;
+    Ok(s.builder.finish(vec![logits]))
+}
+
+/// Inverted-residual bottleneck with optional squeeze-excite.
+fn bneck(s: &mut Stack, x: TensorId, in_c: usize, row: &BneckSpec) -> Result<TensorId, NnirError> {
+    let mut t = x;
+    // Expansion (skipped when expand == in_c, first block).
+    if row.expand != in_c {
+        t = s.conv_bn_act(t, Conv2dAttrs::pointwise(row.expand), Some(row.act))?;
+    }
+    // Depthwise.
+    t = s.conv_bn_act(
+        t,
+        Conv2dAttrs::depthwise(row.expand, row.kernel, row.stride),
+        Some(row.act),
+    )?;
+    // Squeeze-excite on the expanded representation.
+    if row.se {
+        t = s.squeeze_excite(t, row.expand, (row.expand / 4).max(8))?;
+    }
+    // Linear projection.
+    t = s.conv_bn_act(t, Conv2dAttrs::pointwise(row.out), None)?;
+    // Residual when shape is preserved.
+    if row.stride == 1 && in_c == row.out {
+        t = s.builder.apply("residual", Op::Add, &[t, x])?;
+    }
+    Ok(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostReport;
+
+    #[test]
+    fn spatial_resolution_ends_at_7x7() {
+        let g = mobilenet_v3_large(1000).unwrap();
+        let gap = g.nodes().iter().find(|n| n.name == "gap").unwrap();
+        let in_shape = g.tensor_shape(gap.inputs[0]).unwrap();
+        assert_eq!(in_shape, &Shape::nchw(1, 960, 7, 7));
+    }
+
+    #[test]
+    fn depthwise_layers_are_cheap_in_macs_but_many() {
+        let g = mobilenet_v3_large(1000).unwrap();
+        let c = CostReport::of(&g).unwrap();
+        let depthwise_macs: u64 = c
+            .per_node
+            .iter()
+            .filter(|n| n.op.contains("g16") || n.op.contains("g24") || n.op.contains("g7") || n.op.contains("g1"))
+            .map(|n| n.macs)
+            .sum();
+        // Depthwise + pointwise structure keeps total far below ResNet.
+        assert!(c.total_macs < 300_000_000);
+        let _ = depthwise_macs;
+    }
+
+    #[test]
+    fn residuals_only_where_shape_preserved() {
+        let g = mobilenet_v3_large(1000).unwrap();
+        let residuals = g.nodes().iter().filter(|n| n.name == "residual").count();
+        // Rows with stride 1 and in == out: rows 1,3,5,6,8,9,10,12,14,15.
+        assert_eq!(residuals, 10);
+    }
+}

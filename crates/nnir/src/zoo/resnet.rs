@@ -1,0 +1,128 @@
+//! ResNet-50 (He et al., 2015), bottleneck variant with stage layout
+//! `[3, 4, 6, 3]`.
+
+use super::Stack;
+use crate::graph::{Graph, TensorId};
+use crate::ops::{ActKind, Conv2dAttrs, Op, Pool2dAttrs};
+use crate::shape::Shape;
+use crate::NnirError;
+
+/// Builds ResNet-50 for `classes` output classes at 224×224 input.
+///
+/// # Errors
+///
+/// Propagates builder errors (cannot occur for valid `classes > 0`).
+pub fn resnet50(classes: usize) -> Result<Graph, NnirError> {
+    let mut s = Stack::new("resnet50");
+    let x = s.builder.input(Shape::nchw(1, 3, 224, 224));
+
+    // Stem: 7x7/2 conv, 3x3/2 max-pool.
+    let stem = s.conv_bn_act(
+        x,
+        Conv2dAttrs {
+            out_channels: 64,
+            kernel: (7, 7),
+            stride: (2, 2),
+            padding: (3, 3),
+            groups: 1,
+            bias: false,
+        },
+        Some(ActKind::Relu),
+    )?;
+    let mut t = s.builder.apply(
+        "maxpool",
+        Op::MaxPool2d(Pool2dAttrs::square(3, 2).with_padding(1)),
+        &[stem],
+    )?;
+
+    // Stages: (bottleneck width, block count, first-block stride).
+    let stages = [(64, 3, 1), (128, 4, 2), (256, 6, 2), (512, 3, 2)];
+    let mut in_channels = 64usize;
+    for (width, blocks, first_stride) in stages {
+        for block in 0..blocks {
+            let stride = if block == 0 { first_stride } else { 1 };
+            t = bottleneck(&mut s, t, in_channels, width, stride)?;
+            in_channels = width * 4;
+        }
+    }
+
+    let pooled = s.builder.apply("gap", Op::GlobalAvgPool, &[t])?;
+    let flat = s.builder.apply("flatten", Op::Flatten, &[pooled])?;
+    let logits = s.builder.apply(
+        "fc",
+        Op::Dense {
+            out_features: classes,
+            bias: true,
+        },
+        &[flat],
+    )?;
+    Ok(s.builder.finish(vec![logits]))
+}
+
+/// Standard bottleneck: 1x1 reduce → 3x3 (strided) → 1x1 expand (×4),
+/// with a projection shortcut when shape changes.
+fn bottleneck(
+    s: &mut Stack,
+    x: TensorId,
+    in_channels: usize,
+    width: usize,
+    stride: usize,
+) -> Result<TensorId, NnirError> {
+    let out_channels = width * 4;
+    let a = s.conv_bn_act(x, Conv2dAttrs::pointwise(width), Some(ActKind::Relu))?;
+    let b = s.conv_bn_act(a, Conv2dAttrs::same(width, 3, stride), Some(ActKind::Relu))?;
+    let c = s.conv_bn_act(b, Conv2dAttrs::pointwise(out_channels), None)?;
+    let shortcut = if stride != 1 || in_channels != out_channels {
+        s.conv_bn_act(
+            x,
+            Conv2dAttrs {
+                out_channels,
+                kernel: (1, 1),
+                stride: (stride, stride),
+                padding: (0, 0),
+                groups: 1,
+                bias: false,
+            },
+            None,
+        )?
+    } else {
+        x
+    };
+    let sum = s.builder.apply("add", Op::Add, &[c, shortcut])?;
+    s.builder
+        .apply("block.relu", Op::Activation(ActKind::Relu), &[sum])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostReport;
+
+    #[test]
+    fn final_feature_map_is_7x7x2048() {
+        let g = resnet50(1000).unwrap();
+        // The GAP input is the last 4-D tensor before the classifier.
+        let gap = g
+            .nodes()
+            .iter()
+            .find(|n| n.name == "gap")
+            .expect("gap node");
+        let in_shape = g.tensor_shape(gap.inputs[0]).unwrap();
+        assert_eq!(in_shape, &Shape::nchw(1, 2048, 7, 7));
+    }
+
+    #[test]
+    fn has_16_bottleneck_blocks() {
+        let g = resnet50(1000).unwrap();
+        let adds = g.nodes().iter().filter(|n| n.name == "add").count();
+        assert_eq!(adds, 16);
+    }
+
+    #[test]
+    fn classifier_dominates_nothing() {
+        // The FC layer is ~2 M params of ~25.6 M; conv layers dominate.
+        let c = CostReport::of(&resnet50(1000).unwrap()).unwrap();
+        let fc = c.per_node.iter().find(|n| n.name == "fc").unwrap();
+        assert!(fc.params < c.total_params / 10);
+    }
+}

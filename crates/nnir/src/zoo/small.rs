@@ -1,0 +1,228 @@
+//! Small networks: LeNet-5 for the compression experiment, a generic tiny
+//! CNN used by the Smart Mirror networks, and 1-D convolutional
+//! classifiers for the industrial signal use cases (motor vibration, arc
+//! detection).
+
+use super::Stack;
+use crate::graph::Graph;
+use crate::ops::{ActKind, Conv2dAttrs, Op, Pool2dAttrs};
+use crate::shape::Shape;
+use crate::NnirError;
+
+/// LeNet-5-style classifier for 28×28 single-channel images.
+///
+/// This is the network the Deep Compression experiment (paper §III, the
+/// "49×" claim) prunes, clusters and Huffman-codes.
+///
+/// # Errors
+///
+/// Propagates builder errors (cannot occur for `classes > 0`).
+pub fn lenet5(classes: usize) -> Result<Graph, NnirError> {
+    let mut s = Stack::new("lenet5");
+    let x = s.builder.input(Shape::nchw(1, 1, 28, 28));
+    let t = s.conv_act(
+        x,
+        Conv2dAttrs::same(6, 5, 1).with_bias(),
+        Some(ActKind::Relu),
+    )?;
+    let t = s
+        .builder
+        .apply("pool1", Op::MaxPool2d(Pool2dAttrs::square(2, 2)), &[t])?;
+    let t = s.conv_act(
+        t,
+        Conv2dAttrs {
+            out_channels: 16,
+            kernel: (5, 5),
+            stride: (1, 1),
+            padding: (0, 0),
+            groups: 1,
+            bias: true,
+        },
+        Some(ActKind::Relu),
+    )?;
+    let t = s
+        .builder
+        .apply("pool2", Op::MaxPool2d(Pool2dAttrs::square(2, 2)), &[t])?;
+    let t = s.builder.apply("flatten", Op::Flatten, &[t])?;
+    let t = s.builder.apply(
+        "fc1",
+        Op::Dense {
+            out_features: 120,
+            bias: true,
+        },
+        &[t],
+    )?;
+    let t = s
+        .builder
+        .apply("fc1.relu", Op::Activation(ActKind::Relu), &[t])?;
+    let t = s.builder.apply(
+        "fc2",
+        Op::Dense {
+            out_features: 84,
+            bias: true,
+        },
+        &[t],
+    )?;
+    let t = s
+        .builder
+        .apply("fc2.relu", Op::Activation(ActKind::Relu), &[t])?;
+    let logits = s.builder.apply(
+        "fc3",
+        Op::Dense {
+            out_features: classes,
+            bias: true,
+        },
+        &[t],
+    )?;
+    Ok(s.builder.finish(vec![logits]))
+}
+
+/// Generic small CNN: a stack of stride-2 conv/ReLU stages followed by a
+/// classifier. Used for the Smart Mirror's gesture/face/object networks.
+///
+/// # Errors
+///
+/// Returns [`NnirError::InvalidAttribute`] if `stages` is empty or the
+/// spatial size collapses below the kernel.
+pub fn tiny_cnn(
+    name: &str,
+    input: Shape,
+    stages: &[usize],
+    classes: usize,
+) -> Result<Graph, NnirError> {
+    if stages.is_empty() {
+        return Err(NnirError::InvalidAttribute {
+            op: "tiny_cnn".into(),
+            detail: "at least one conv stage is required".into(),
+        });
+    }
+    let mut s = Stack::new(name);
+    let x = s.builder.input(input);
+    let mut t = x;
+    for &channels in stages {
+        t = s.conv_bn_act(t, Conv2dAttrs::same(channels, 3, 2), Some(ActKind::Relu))?;
+    }
+    let t = s.builder.apply("gap", Op::GlobalAvgPool, &[t])?;
+    let t = s.builder.apply("flatten", Op::Flatten, &[t])?;
+    let logits = s.builder.apply(
+        "fc",
+        Op::Dense {
+            out_features: classes,
+            bias: true,
+        },
+        &[t],
+    )?;
+    Ok(s.builder.finish(vec![logits]))
+}
+
+/// 1-D convolutional classifier over a signal window, expressed as an
+/// NCHW graph with height 1 and kernels `(1, k)`.
+///
+/// Used by the Motor Condition Classification and Arc Detection use cases
+/// (paper §V-B), whose inputs are vibration / current waveforms.
+///
+/// # Errors
+///
+/// Returns [`NnirError::InvalidAttribute`] if `window` is too short for
+/// the stage count (each stage halves the length).
+pub fn conv1d_classifier(
+    name: &str,
+    channels_in: usize,
+    window: usize,
+    stages: &[usize],
+    classes: usize,
+) -> Result<Graph, NnirError> {
+    if window < (1 << stages.len()) * 4 {
+        return Err(NnirError::InvalidAttribute {
+            op: "conv1d_classifier".into(),
+            detail: format!(
+                "window {window} too short for {} halving stages",
+                stages.len()
+            ),
+        });
+    }
+    let mut s = Stack::new(name);
+    let x = s.builder.input(Shape::nchw(1, channels_in, 1, window));
+    let mut t = x;
+    for &ch in stages {
+        t = s.conv_bn_act(
+            t,
+            Conv2dAttrs {
+                out_channels: ch,
+                kernel: (1, 5),
+                stride: (1, 2),
+                padding: (0, 2),
+                groups: 1,
+                bias: false,
+            },
+            Some(ActKind::Relu),
+        )?;
+    }
+    let t = s.builder.apply("gap", Op::GlobalAvgPool, &[t])?;
+    let t = s.builder.apply("flatten", Op::Flatten, &[t])?;
+    let logits = s.builder.apply(
+        "fc",
+        Op::Dense {
+            out_features: classes,
+            bias: true,
+        },
+        &[t],
+    )?;
+    Ok(s.builder.finish(vec![logits]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostReport;
+    use crate::exec::Executor;
+    use crate::tensor::Tensor;
+
+    #[test]
+    fn lenet_runs_end_to_end() {
+        let g = lenet5(10).unwrap();
+        g.validate().unwrap();
+        let out = Executor::new(&g)
+            .run(&[Tensor::random(Shape::nchw(1, 1, 28, 28), 3, 1.0)])
+            .unwrap();
+        assert_eq!(out[0].shape(), &Shape::nf(1, 10));
+    }
+
+    #[test]
+    fn lenet_parameter_count_is_classic() {
+        // ~61k parameters in the classic LeNet-5 (exact value depends on
+        // padding convention; ours keeps 28->14->10->5).
+        let c = CostReport::of(&lenet5(10).unwrap()).unwrap();
+        assert!(c.total_params > 40_000 && c.total_params < 90_000, "{}", c.total_params);
+    }
+
+    #[test]
+    fn tiny_cnn_halves_spatial_per_stage() {
+        let g = tiny_cnn("g", Shape::nchw(1, 3, 64, 64), &[8, 16, 32], 5).unwrap();
+        let gap = g.nodes().iter().find(|n| n.name == "gap").unwrap();
+        assert_eq!(
+            g.tensor_shape(gap.inputs[0]).unwrap(),
+            &Shape::nchw(1, 32, 8, 8)
+        );
+    }
+
+    #[test]
+    fn tiny_cnn_rejects_empty_stages() {
+        assert!(tiny_cnn("g", Shape::nchw(1, 3, 64, 64), &[], 5).is_err());
+    }
+
+    #[test]
+    fn conv1d_runs_on_waveform() {
+        let g = conv1d_classifier("motor", 3, 256, &[8, 16, 32], 4).unwrap();
+        g.validate().unwrap();
+        let out = Executor::new(&g)
+            .run(&[Tensor::random(Shape::nchw(1, 3, 1, 256), 9, 1.0)])
+            .unwrap();
+        assert_eq!(out[0].shape(), &Shape::nf(1, 4));
+    }
+
+    #[test]
+    fn conv1d_rejects_short_windows() {
+        assert!(conv1d_classifier("m", 1, 16, &[8, 16, 32], 2).is_err());
+    }
+}

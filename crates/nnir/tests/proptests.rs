@@ -1,0 +1,146 @@
+//! Property-based tests for the IR core: shape algebra, graph invariants
+//! and executor/shape-inference agreement.
+
+use proptest::prelude::*;
+use vedliot_nnir::exec::Executor;
+use vedliot_nnir::ops::{ActKind, Conv2dAttrs, Op, Pool2dAttrs};
+use vedliot_nnir::{Graph, GraphBuilder, Shape, Tensor};
+
+proptest! {
+    /// Row-major offset is a bijection onto 0..elem_count.
+    #[test]
+    fn shape_offset_is_bijective(dims in proptest::collection::vec(1usize..5, 1..4)) {
+        let shape = Shape::new(dims.clone());
+        let mut seen = vec![false; shape.elem_count()];
+        let mut idx = vec![0usize; dims.len()];
+        loop {
+            let off = shape.offset(&idx);
+            prop_assert!(!seen[off], "offset {off} visited twice");
+            seen[off] = true;
+            // Odometer increment.
+            let mut d = dims.len();
+            loop {
+                if d == 0 { break; }
+                d -= 1;
+                idx[d] += 1;
+                if idx[d] < dims[d] { break; }
+                idx[d] = 0;
+                if d == 0 {
+                    prop_assert!(seen.iter().all(|&s| s));
+                    return Ok(());
+                }
+            }
+            if idx.iter().all(|&x| x == 0) { break; }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    /// Conv2d shape inference always matches what the executor produces.
+    #[test]
+    fn conv_inference_matches_execution(
+        in_c in 1usize..4,
+        out_c in 1usize..5,
+        h in 3usize..10,
+        w in 3usize..10,
+        kernel in 1usize..4,
+        stride in 1usize..3,
+    ) {
+        let attrs = Conv2dAttrs::same(out_c, kernel, stride);
+        let mut b = GraphBuilder::new("p");
+        let x = b.input(Shape::nchw(1, in_c, h, w));
+        let c = b.apply("conv", Op::Conv2d(attrs), &[x]).unwrap();
+        let g = b.finish(vec![c]);
+        let input = Tensor::random(Shape::nchw(1, in_c, h, w), 1, 1.0);
+        let out = Executor::new(&g).run(&[input]).unwrap();
+        prop_assert_eq!(out[0].shape(), g.tensor_shape(c).unwrap());
+    }
+
+    /// Pooling shape inference matches execution for any legal window.
+    #[test]
+    fn pool_inference_matches_execution(
+        c in 1usize..4,
+        h in 4usize..12,
+        kernel in 1usize..4,
+        stride in 1usize..3,
+    ) {
+        let attrs = Pool2dAttrs::square(kernel, stride);
+        let mut b = GraphBuilder::new("p");
+        let x = b.input(Shape::nchw(1, c, h, h));
+        let m = b.apply("pool", Op::MaxPool2d(attrs), &[x]).unwrap();
+        let g = b.finish(vec![m]);
+        let input = Tensor::random(Shape::nchw(1, c, h, h), 2, 1.0);
+        let out = Executor::new(&g).run(&[input]).unwrap();
+        prop_assert_eq!(out[0].shape(), g.tensor_shape(m).unwrap());
+    }
+
+    /// Activations are monotone where they claim to be and bounded where
+    /// they claim to be.
+    #[test]
+    fn activation_envelopes(x in -20.0f32..20.0) {
+        prop_assert!(ActKind::Relu.apply(x) >= 0.0);
+        prop_assert!((0.0..=6.0).contains(&ActKind::Relu6.apply(x)));
+        prop_assert!((0.0..=1.0).contains(&ActKind::Sigmoid.apply(x)));
+        prop_assert!((0.0..=1.0).contains(&ActKind::HardSigmoid.apply(x)));
+        prop_assert!((-1.0..=1.0).contains(&ActKind::Tanh.apply(x)));
+        // Leaky ReLU preserves sign for positive slope.
+        let leaky = ActKind::LeakyRelu(0.1).apply(x);
+        prop_assert_eq!(leaky >= 0.0, x >= 0.0);
+    }
+
+    /// Rebatching never changes parameters, and scales MACs linearly.
+    #[test]
+    fn rebatch_scaling(batch in 1usize..6, stages in proptest::collection::vec(1usize..8, 1..3)) {
+        let g: Graph = vedliot_nnir::zoo::tiny_cnn("p", Shape::nchw(1, 3, 16, 16), &stages, 4).unwrap();
+        let c1 = vedliot_nnir::cost::CostReport::of(&g).unwrap();
+        let gb = g.with_batch(batch).unwrap();
+        gb.validate().unwrap();
+        let cb = vedliot_nnir::cost::CostReport::of(&gb).unwrap();
+        prop_assert_eq!(cb.total_params, c1.total_params);
+        prop_assert_eq!(cb.total_macs, batch as u64 * c1.total_macs);
+    }
+
+    /// Softmax outputs always form a probability distribution.
+    #[test]
+    fn softmax_is_distribution(values in proptest::collection::vec(-10.0f32..10.0, 2..8)) {
+        let n = values.len();
+        let mut b = GraphBuilder::new("s");
+        let x = b.input(Shape::nf(1, n));
+        let s = b.apply("softmax", Op::Softmax, &[x]).unwrap();
+        let g = b.finish(vec![s]);
+        let input = Tensor::from_vec(Shape::nf(1, n), values).unwrap();
+        let out = Executor::new(&g).run(&[input]).unwrap();
+        let sum: f32 = out[0].data().iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4);
+        prop_assert!(out[0].data().iter().all(|&p| (0.0..=1.0).contains(&p)));
+    }
+}
+
+proptest! {
+    /// Random linear CNN chains survive the textual-format round trip
+    /// with identical cost profiles and bit-identical execution.
+    #[test]
+    fn textual_format_round_trips_random_chains(
+        stages in proptest::collection::vec(1usize..12, 1..4),
+        classes in 2usize..6,
+        channels in 1usize..4,
+    ) {
+        let model = vedliot_nnir::zoo::tiny_cnn(
+            "prop-chain",
+            Shape::nchw(1, channels, 16, 16),
+            &stages,
+            classes,
+        )
+        .unwrap();
+        let text = vedliot_nnir::textual::write(&model).unwrap();
+        let parsed = vedliot_nnir::textual::read(&text).unwrap();
+        parsed.validate().unwrap();
+        let a = vedliot_nnir::cost::CostReport::of(&model).unwrap();
+        let b = vedliot_nnir::cost::CostReport::of(&parsed).unwrap();
+        prop_assert_eq!(a.total_macs, b.total_macs);
+        prop_assert_eq!(a.total_params, b.total_params);
+        let input = Tensor::random(Shape::nchw(1, channels, 16, 16), 7, 1.0);
+        let out_a = Executor::new(&model).run(std::slice::from_ref(&input)).unwrap();
+        let out_b = Executor::new(&parsed).run(std::slice::from_ref(&input)).unwrap();
+        prop_assert_eq!(out_a, out_b);
+    }
+}

@@ -1,0 +1,296 @@
+//! RECS chassis: RECS|Box, t.RECS and uRECS.
+//!
+//! "uRECS closes the gap in hardware platforms towards embedded/far edge
+//! computing with a power consumption of less than 15 W as required by
+//! some use cases. Next to SMARC microservers, it also natively supports
+//! Jetson Xavier NX modules. By using adaptor-PCBs, uRECS also
+//! integrates Xilinx Kria, and Raspberry Pi compute modules."
+
+use crate::module::{FormFactor, Microserver};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The RECS chassis families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ChassisKind {
+    /// Rack-scale cloud/near-edge platform (COM Express).
+    RecsBox,
+    /// 1U edge server (COM-HPC Client/Server).
+    TRecs,
+    /// Embedded / far-edge box (< 15 W budget).
+    URecs,
+}
+
+impl fmt::Display for ChassisKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            ChassisKind::RecsBox => "RECS|Box",
+            ChassisKind::TRecs => "t.RECS",
+            ChassisKind::URecs => "uRECS",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Chassis configuration errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChassisError {
+    /// The slot index does not exist.
+    UnknownSlot(usize),
+    /// The slot is already populated.
+    SlotOccupied(usize),
+    /// The module's form factor is not supported by this chassis.
+    IncompatibleFormFactor {
+        /// The chassis.
+        chassis: ChassisKind,
+        /// The offending form factor.
+        form_factor: FormFactor,
+    },
+    /// Inserting the module would exceed the chassis power budget.
+    PowerBudgetExceeded {
+        /// Power after insertion, in watts.
+        requested_w: f64,
+        /// The budget, in watts.
+        budget_w: f64,
+    },
+    /// The slot is empty (for removal).
+    SlotEmpty(usize),
+}
+
+impl fmt::Display for ChassisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChassisError::UnknownSlot(i) => write!(f, "slot {i} does not exist"),
+            ChassisError::SlotOccupied(i) => write!(f, "slot {i} is occupied"),
+            ChassisError::IncompatibleFormFactor {
+                chassis,
+                form_factor,
+            } => write!(f, "{chassis} does not accept {form_factor} modules"),
+            ChassisError::PowerBudgetExceeded {
+                requested_w,
+                budget_w,
+            } => write!(f, "power {requested_w:.1} W exceeds budget {budget_w:.1} W"),
+            ChassisError::SlotEmpty(i) => write!(f, "slot {i} is empty"),
+        }
+    }
+}
+
+impl std::error::Error for ChassisError {}
+
+/// A populated chassis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Chassis {
+    kind: ChassisKind,
+    slots: Vec<Option<Microserver>>,
+    power_budget_w: f64,
+}
+
+impl Chassis {
+    /// Creates a RECS|Box (15 COM Express slots, 1.5 kW).
+    #[must_use]
+    pub fn recs_box() -> Self {
+        Chassis {
+            kind: ChassisKind::RecsBox,
+            slots: vec![None; 15],
+            power_budget_w: 1500.0,
+        }
+    }
+
+    /// Creates a t.RECS (3 COM-HPC slots, 700 W).
+    #[must_use]
+    pub fn t_recs() -> Self {
+        Chassis {
+            kind: ChassisKind::TRecs,
+            slots: vec![None; 3],
+            power_budget_w: 700.0,
+        }
+    }
+
+    /// Creates a uRECS (2 embedded slots, 15 W budget).
+    #[must_use]
+    pub fn urecs() -> Self {
+        Chassis {
+            kind: ChassisKind::URecs,
+            slots: vec![None; 2],
+            power_budget_w: 15.0,
+        }
+    }
+
+    /// Chassis family.
+    #[must_use]
+    pub fn kind(&self) -> ChassisKind {
+        self.kind
+    }
+
+    /// Number of slots.
+    #[must_use]
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Power budget in watts.
+    #[must_use]
+    pub fn power_budget_w(&self) -> f64 {
+        self.power_budget_w
+    }
+
+    /// Form factors this chassis accepts ("Fig. 2": which module
+    /// standards each platform hosts; uRECS adapters included).
+    #[must_use]
+    pub fn supported_form_factors(&self) -> &'static [FormFactor] {
+        match self.kind {
+            ChassisKind::RecsBox => &[FormFactor::ComExpressType6, FormFactor::ComExpressType7],
+            ChassisKind::TRecs => &[FormFactor::ComHpcClient, FormFactor::ComHpcServer],
+            ChassisKind::URecs => &[
+                FormFactor::Smarc,
+                FormFactor::JetsonModule,
+                FormFactor::Kria,
+                FormFactor::RpiCm,
+            ],
+        }
+    }
+
+    /// Sum of the peak power of the installed modules.
+    #[must_use]
+    pub fn used_power_w(&self) -> f64 {
+        self.slots
+            .iter()
+            .flatten()
+            .map(Microserver::peak_power_w)
+            .sum()
+    }
+
+    /// Installed microservers with their slot indices.
+    #[must_use]
+    pub fn populated(&self) -> Vec<(usize, &Microserver)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|m| (i, m)))
+            .collect()
+    }
+
+    /// Inserts a microserver into a slot, validating compatibility and
+    /// power ("easy exchange of computing resources").
+    ///
+    /// # Errors
+    ///
+    /// Returns the violated constraint.
+    pub fn insert(&mut self, slot: usize, module: Microserver) -> Result<(), ChassisError> {
+        if slot >= self.slots.len() {
+            return Err(ChassisError::UnknownSlot(slot));
+        }
+        if self.slots[slot].is_some() {
+            return Err(ChassisError::SlotOccupied(slot));
+        }
+        if !self.supported_form_factors().contains(&module.form_factor) {
+            return Err(ChassisError::IncompatibleFormFactor {
+                chassis: self.kind,
+                form_factor: module.form_factor,
+            });
+        }
+        let requested = self.used_power_w() + module.peak_power_w();
+        if requested > self.power_budget_w {
+            return Err(ChassisError::PowerBudgetExceeded {
+                requested_w: requested,
+                budget_w: self.power_budget_w,
+            });
+        }
+        self.slots[slot] = Some(module);
+        Ok(())
+    }
+
+    /// Removes and returns the module in a slot (hot-swap).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChassisError::SlotEmpty`] / [`ChassisError::UnknownSlot`].
+    pub fn remove(&mut self, slot: usize) -> Result<Microserver, ChassisError> {
+        if slot >= self.slots.len() {
+            return Err(ChassisError::UnknownSlot(slot));
+        }
+        self.slots[slot]
+            .take()
+            .ok_or(ChassisError::SlotEmpty(slot))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::standard_microservers;
+
+    fn by_name(name: &str) -> Microserver {
+        standard_microservers()
+            .into_iter()
+            .find(|m| m.name.contains(name))
+            .expect("module exists")
+    }
+
+    #[test]
+    fn urecs_accepts_embedded_modules_only() {
+        let mut urecs = Chassis::urecs();
+        urecs.insert(0, by_name("SMARC-ZU3")).unwrap();
+        let err = urecs.insert(1, by_name("CXP-EPYC-3451"));
+        assert!(matches!(
+            err,
+            Err(ChassisError::IncompatibleFormFactor { .. })
+        ));
+    }
+
+    #[test]
+    fn urecs_power_budget_is_under_15w() {
+        let mut urecs = Chassis::urecs();
+        urecs.insert(0, by_name("SMARC-ZU3")).unwrap(); // 7.5 W
+        // A Xavier NX (15 W) would blow the remaining budget.
+        let err = urecs.insert(1, by_name("Xavier NX"));
+        assert!(matches!(err, Err(ChassisError::PowerBudgetExceeded { .. })));
+        // A 2.5 W Myriad module fits.
+        urecs.insert(1, by_name("Myriad")).unwrap();
+        assert!(urecs.used_power_w() <= urecs.power_budget_w());
+    }
+
+    #[test]
+    fn recs_box_hosts_many_com_express_modules() {
+        let mut chassis = Chassis::recs_box();
+        for slot in 0..10 {
+            chassis.insert(slot, by_name("CXP-D1577")).unwrap();
+        }
+        assert_eq!(chassis.populated().len(), 10);
+        assert!(chassis.used_power_w() <= chassis.power_budget_w());
+    }
+
+    #[test]
+    fn slot_errors_are_specific() {
+        let mut chassis = Chassis::t_recs();
+        assert!(matches!(
+            chassis.insert(99, by_name("COMHPC-GTX1660")),
+            Err(ChassisError::UnknownSlot(99))
+        ));
+        chassis.insert(0, by_name("COMHPC-GTX1660")).unwrap();
+        assert!(matches!(
+            chassis.insert(0, by_name("COMHPC-GTX1660")),
+            Err(ChassisError::SlotOccupied(0))
+        ));
+        assert!(matches!(chassis.remove(1), Err(ChassisError::SlotEmpty(1))));
+    }
+
+    #[test]
+    fn hot_swap_frees_power() {
+        let mut urecs = Chassis::urecs();
+        urecs.insert(0, by_name("Xavier NX")).unwrap(); // 15 W: full budget
+        assert!(urecs.insert(1, by_name("Myriad")).is_err());
+        let removed = urecs.remove(0).unwrap();
+        assert!(removed.name.contains("Xavier"));
+        urecs.insert(1, by_name("Myriad")).unwrap();
+    }
+
+    #[test]
+    fn platform_coverage_spans_embedded_to_cloud() {
+        // "Using the RECS hardware platform, VEDLIoT covers the complete
+        // range from embedded via edge to cloud computing."
+        assert!(Chassis::urecs().power_budget_w() <= 15.0);
+        assert!(Chassis::t_recs().power_budget_w() > 100.0);
+        assert!(Chassis::recs_box().power_budget_w() >= 1000.0);
+    }
+}

@@ -1,0 +1,248 @@
+//! Communication fabric.
+//!
+//! Paper §II-A: "the scalable communication-driven infrastructure,
+//! realizing efficient communication between heterogeneous microservers
+//! via 1 G/ 10 G Ethernet and high-speed low-latency connections,
+//! reconfigurable during run-time. … On the communication level, e.g.,
+//! the networking topology or protocol parameters can be adapted to cope
+//! with changing real-time or bandwidth requirements."
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Kinds of inter-microserver links the RECS baseboards provide.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LinkKind {
+    /// 1 Gbit/s Ethernet.
+    Eth1G,
+    /// 10 Gbit/s Ethernet.
+    Eth10G,
+    /// High-speed low-latency point-to-point link (PCIe/SerDes class).
+    HighSpeed,
+}
+
+impl LinkKind {
+    /// Usable bandwidth in Gbit/s.
+    #[must_use]
+    pub fn bandwidth_gbps(self) -> f64 {
+        match self {
+            LinkKind::Eth1G => 0.95,
+            LinkKind::Eth10G => 9.4,
+            LinkKind::HighSpeed => 31.5,
+        }
+    }
+
+    /// One-way latency in microseconds.
+    #[must_use]
+    pub fn latency_us(self) -> f64 {
+        match self {
+            LinkKind::Eth1G => 60.0,
+            LinkKind::Eth10G => 12.0,
+            LinkKind::HighSpeed => 1.5,
+        }
+    }
+}
+
+impl fmt::Display for LinkKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            LinkKind::Eth1G => "1G Ethernet",
+            LinkKind::Eth10G => "10G Ethernet",
+            LinkKind::HighSpeed => "high-speed low-latency",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A reconfiguration event on the fabric.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReconfigEvent {
+    /// The endpoints affected.
+    pub between: (usize, usize),
+    /// Link kind before.
+    pub from: Option<LinkKind>,
+    /// Link kind after (`None` = link removed).
+    pub to: Option<LinkKind>,
+    /// Time the fabric needed to apply the change, in microseconds.
+    pub apply_us: f64,
+}
+
+/// The fabric: a set of links between slot indices, reconfigurable at
+/// run time.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Fabric {
+    links: Vec<((usize, usize), LinkKind)>,
+    history: Vec<ReconfigEvent>,
+}
+
+fn key(a: usize, b: usize) -> (usize, usize) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+impl Fabric {
+    /// Creates an empty fabric.
+    #[must_use]
+    pub fn new() -> Self {
+        Fabric::default()
+    }
+
+    /// Creates a full mesh over `nodes` slots with one link kind.
+    #[must_use]
+    pub fn full_mesh(nodes: usize, kind: LinkKind) -> Self {
+        let mut fabric = Fabric::new();
+        for a in 0..nodes {
+            for b in a + 1..nodes {
+                fabric.links.push(((a, b), kind));
+            }
+        }
+        fabric
+    }
+
+    /// Creates a star topology with `hub` at the centre.
+    #[must_use]
+    pub fn star(nodes: usize, hub: usize, kind: LinkKind) -> Self {
+        let mut fabric = Fabric::new();
+        for n in 0..nodes {
+            if n != hub {
+                fabric.links.push((key(hub, n), kind));
+            }
+        }
+        fabric
+    }
+
+    /// The link between two slots, if any.
+    #[must_use]
+    pub fn link(&self, a: usize, b: usize) -> Option<LinkKind> {
+        let k = key(a, b);
+        self.links.iter().find(|(l, _)| *l == k).map(|&(_, kind)| kind)
+    }
+
+    /// Number of links.
+    #[must_use]
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Reconfigures (adds, upgrades or removes) the link between two
+    /// slots at run time, recording the event. Returns the event.
+    pub fn reconfigure(&mut self, a: usize, b: usize, to: Option<LinkKind>) -> ReconfigEvent {
+        let k = key(a, b);
+        let from = self.link(a, b);
+        self.links.retain(|(l, _)| *l != k);
+        if let Some(kind) = to {
+            self.links.push((k, kind));
+        }
+        // Reconfiguration cost: switch-table update (~50 µs) plus link
+        // retraining for the high-speed lanes (~2 ms).
+        let apply_us = match to {
+            Some(LinkKind::HighSpeed) => 2_000.0,
+            Some(_) => 50.0,
+            None => 10.0,
+        };
+        let event = ReconfigEvent {
+            between: k,
+            from,
+            to,
+            apply_us,
+        };
+        self.history.push(event.clone());
+        event
+    }
+
+    /// Reconfiguration history.
+    #[must_use]
+    pub fn history(&self) -> &[ReconfigEvent] {
+        &self.history
+    }
+
+    /// Transfer time for `bytes` between two directly connected slots,
+    /// in microseconds. `None` when no link exists.
+    #[must_use]
+    pub fn transfer_us(&self, a: usize, b: usize, bytes: u64) -> Option<f64> {
+        let kind = self.link(a, b)?;
+        let serialize_us = bytes as f64 * 8.0 / (kind.bandwidth_gbps() * 1e3);
+        Some(kind.latency_us() + serialize_us)
+    }
+
+    /// Shortest transfer time over at most one intermediate hop (RECS
+    /// baseboards switch locally, so one hop covers the chassis).
+    #[must_use]
+    pub fn route_us(&self, a: usize, b: usize, bytes: u64, nodes: usize) -> Option<f64> {
+        let direct = self.transfer_us(a, b, bytes);
+        let via_hop = (0..nodes)
+            .filter(|&h| h != a && h != b)
+            .filter_map(|h| {
+                Some(self.transfer_us(a, h, bytes)? + self.transfer_us(h, b, bytes)?)
+            })
+            .fold(None, |best: Option<f64>, t| {
+                Some(best.map_or(t, |b| b.min(t)))
+            });
+        match (direct, via_hop) {
+            (Some(d), Some(v)) => Some(d.min(v)),
+            (d, v) => d.or(v),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn link_properties_ordered_sensibly() {
+        assert!(LinkKind::Eth10G.bandwidth_gbps() > LinkKind::Eth1G.bandwidth_gbps());
+        assert!(LinkKind::HighSpeed.latency_us() < LinkKind::Eth10G.latency_us());
+    }
+
+    #[test]
+    fn full_mesh_connects_everything() {
+        let fabric = Fabric::full_mesh(4, LinkKind::Eth1G);
+        assert_eq!(fabric.link_count(), 6);
+        assert!(fabric.link(0, 3).is_some());
+        assert!(fabric.link(3, 0).is_some(), "links are undirected");
+    }
+
+    #[test]
+    fn star_routes_through_hub() {
+        let fabric = Fabric::star(4, 0, LinkKind::Eth10G);
+        assert!(fabric.link(1, 2).is_none());
+        // But one-hop routing through the hub works.
+        let t = fabric.route_us(1, 2, 1500, 4).expect("route via hub");
+        let direct_equiv = fabric.transfer_us(1, 0, 1500).unwrap() * 2.0;
+        assert!((t - direct_equiv).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transfer_time_scales_with_size_and_kind() {
+        let fabric = Fabric::full_mesh(2, LinkKind::Eth1G);
+        let small = fabric.transfer_us(0, 1, 1_000).unwrap();
+        let large = fabric.transfer_us(0, 1, 1_000_000).unwrap();
+        assert!(large > small * 100.0);
+        let mut fast = fabric.clone();
+        fast.reconfigure(0, 1, Some(LinkKind::Eth10G));
+        assert!(fast.transfer_us(0, 1, 1_000_000).unwrap() < large / 5.0);
+    }
+
+    #[test]
+    fn runtime_reconfiguration_is_recorded() {
+        let mut fabric = Fabric::full_mesh(3, LinkKind::Eth1G);
+        let e = fabric.reconfigure(0, 1, Some(LinkKind::HighSpeed));
+        assert_eq!(e.from, Some(LinkKind::Eth1G));
+        assert_eq!(e.to, Some(LinkKind::HighSpeed));
+        assert!(e.apply_us > 0.0);
+        let e = fabric.reconfigure(0, 2, None);
+        assert_eq!(e.to, None);
+        assert!(fabric.link(0, 2).is_none());
+        assert_eq!(fabric.history().len(), 2);
+    }
+
+    #[test]
+    fn no_route_between_disconnected_nodes() {
+        let fabric = Fabric::new();
+        assert!(fabric.route_us(0, 1, 100, 4).is_none());
+    }
+}

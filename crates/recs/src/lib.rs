@@ -1,0 +1,48 @@
+//! The RECS modular AIoT hardware platform (paper §II).
+//!
+//! "All RECS hardware platforms share a modular approach, which leads to
+//! a heterogeneous, adaptable hardware architecture … Another common
+//! feature is the scalable communication-driven infrastructure,
+//! realizing efficient communication between heterogeneous microservers
+//! via 1 G/10 G Ethernet and high-speed low-latency connections,
+//! reconfigurable during run-time."
+//!
+//! * [`module`] — the Computer-on-Module form factors of **Fig. 2**
+//!   (COM Express, COM-HPC, SMARC, Jetson NX, Kria, RPi CM4) and the
+//!   microservers built on them,
+//! * [`chassis`] — RECS|Box, t.RECS and uRECS chassis with slot
+//!   compatibility and power-budget validation,
+//! * [`fabric`] — the communication infrastructure with run-time
+//!   reconfigurable links and topology,
+//! * [`scheduler`] — energy/latency-aware placement of DL workloads onto
+//!   the heterogeneous microservers (+ failure-driven re-placement),
+//! * [`net`] — the stochastic mobile-network model used by the PAEB
+//!   offloading use case (§V-A),
+//! * [`telemetry`] — per-node power/thermal telemetry with trend-based
+//!   health checks (the input for dynamic reconfiguration).
+//!
+//! # Example
+//!
+//! ```
+//! use vedliot_recs::chassis::Chassis;
+//! use vedliot_recs::module::standard_microservers;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut urecs = Chassis::urecs();
+//! let servers = standard_microservers();
+//! let jetson = servers.iter().find(|m| m.name.contains("Xavier NX")).expect("catalog");
+//! urecs.insert(0, jetson.clone())?;
+//! assert!(urecs.used_power_w() > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod chassis;
+pub mod fabric;
+pub mod module;
+pub mod net;
+pub mod scheduler;
+pub mod telemetry;
+
+pub use chassis::{Chassis, ChassisError, ChassisKind};
+pub use module::{Architecture, FormFactor, Microserver};

@@ -1,0 +1,181 @@
+//! Mobile network model for car-to-edge offloading.
+//!
+//! Paper §V-A (PAEB): "Dynamic distributing of sensor data to edge
+//! stations is a quite new research topic. It requires quick monitoring
+//! of available mobile networks, their speed and latency" — the offload
+//! controller in `vedliot-usecases` consumes condition samples produced
+//! here. The generator is a bounded random walk between condition
+//! classes, reproducing the bursty quality of a drive through cellular
+//! coverage.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Instantaneous network condition as seen by the on-car modem.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetworkCondition {
+    /// Uplink bandwidth in Mbit/s.
+    pub uplink_mbps: f64,
+    /// Round-trip latency in milliseconds.
+    pub rtt_ms: f64,
+    /// Packet loss fraction in `[0, 1)`.
+    pub loss: f64,
+}
+
+impl NetworkCondition {
+    /// A good 5G cell.
+    #[must_use]
+    pub fn good() -> Self {
+        NetworkCondition {
+            uplink_mbps: 80.0,
+            rtt_ms: 12.0,
+            loss: 0.001,
+        }
+    }
+
+    /// A loaded LTE cell.
+    #[must_use]
+    pub fn fair() -> Self {
+        NetworkCondition {
+            uplink_mbps: 12.0,
+            rtt_ms: 45.0,
+            loss: 0.01,
+        }
+    }
+
+    /// Edge-of-coverage conditions.
+    #[must_use]
+    pub fn poor() -> Self {
+        NetworkCondition {
+            uplink_mbps: 1.5,
+            rtt_ms: 150.0,
+            loss: 0.06,
+        }
+    }
+
+    /// Expected time to deliver `bytes` upstream, including loss-driven
+    /// retransmissions, in milliseconds. `None` when the link is
+    /// unusable (loss ≥ 50%).
+    #[must_use]
+    pub fn upload_ms(&self, bytes: u64) -> Option<f64> {
+        if self.loss >= 0.5 || self.uplink_mbps <= 0.0 {
+            return None;
+        }
+        let goodput = self.uplink_mbps * (1.0 - self.loss);
+        let serialize_ms = bytes as f64 * 8.0 / (goodput * 1e3);
+        Some(self.rtt_ms / 2.0 + serialize_ms)
+    }
+}
+
+/// A trace of network conditions along a drive.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkTrace {
+    /// Condition samples (one per control period).
+    pub samples: Vec<NetworkCondition>,
+}
+
+impl NetworkTrace {
+    /// Generates a bounded-random-walk trace of `len` samples.
+    ///
+    /// The walk moves through bandwidth/latency space with occasional
+    /// coverage drops, seeded deterministically.
+    #[must_use]
+    pub fn generate(len: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut bw: f64 = 40.0;
+        let mut rtt: f64 = 25.0;
+        let mut samples = Vec::with_capacity(len);
+        for _ in 0..len {
+            // Random walk with reflection at bounds.
+            bw = (bw + rng.gen_range(-8.0..8.0)).clamp(0.2, 120.0);
+            rtt = (rtt + rng.gen_range(-6.0..6.0)).clamp(8.0, 250.0);
+            // 3% chance of a coverage hole for this sample.
+            let hole = rng.gen::<f64>() < 0.03;
+            samples.push(NetworkCondition {
+                uplink_mbps: if hole { 0.05 } else { bw },
+                rtt_ms: if hole { 400.0 } else { rtt },
+                loss: if hole {
+                    0.3
+                } else {
+                    (rng.gen::<f64>() * 0.02).min(0.02)
+                },
+            });
+        }
+        NetworkTrace { samples }
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the trace is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn upload_time_ordering_matches_quality() {
+        let bytes = 500_000; // a compressed camera frame
+        let good = NetworkCondition::good().upload_ms(bytes).unwrap();
+        let fair = NetworkCondition::fair().upload_ms(bytes).unwrap();
+        let poor = NetworkCondition::poor().upload_ms(bytes).unwrap();
+        assert!(good < fair && fair < poor, "{good} {fair} {poor}");
+    }
+
+    #[test]
+    fn dead_link_returns_none() {
+        let dead = NetworkCondition {
+            uplink_mbps: 1.0,
+            rtt_ms: 100.0,
+            loss: 0.6,
+        };
+        assert_eq!(dead.upload_ms(1000), None);
+    }
+
+    #[test]
+    fn loss_increases_upload_time() {
+        let clean = NetworkCondition {
+            loss: 0.0,
+            ..NetworkCondition::fair()
+        };
+        let lossy = NetworkCondition {
+            loss: 0.2,
+            ..NetworkCondition::fair()
+        };
+        assert!(lossy.upload_ms(1_000_000).unwrap() > clean.upload_ms(1_000_000).unwrap());
+    }
+
+    #[test]
+    fn trace_is_deterministic_and_bounded() {
+        let a = NetworkTrace::generate(500, 42);
+        let b = NetworkTrace::generate(500, 42);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 500);
+        for s in &a.samples {
+            assert!(s.uplink_mbps >= 0.05 && s.uplink_mbps <= 120.0);
+            assert!(s.rtt_ms >= 8.0 && s.rtt_ms <= 400.0);
+            assert!((0.0..0.5).contains(&s.loss));
+        }
+    }
+
+    #[test]
+    fn trace_contains_coverage_holes() {
+        let trace = NetworkTrace::generate(2_000, 7);
+        let holes = trace
+            .samples
+            .iter()
+            .filter(|s| s.uplink_mbps < 0.1)
+            .count();
+        assert!(holes > 10, "expected coverage holes, got {holes}");
+        assert!(holes < 300, "holes should be rare, got {holes}");
+    }
+}

@@ -1,0 +1,305 @@
+//! Energy/latency-aware workload placement on a RECS chassis.
+//!
+//! Paper §II-A: "The RECS ecosystem enables easy exchange of computing
+//! resources and seamless switching between the different heterogeneous
+//! components on the system level" and §I: VEDLIoT optimizes
+//! applications "towards energy efficiency". The scheduler places DL
+//! workloads on the populated microservers, minimizing energy per
+//! inference subject to each workload's latency bound, and re-places on
+//! node failure.
+
+use crate::chassis::Chassis;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use vedliot_accel::perf::PerfModel;
+use vedliot_nnir::Graph;
+
+/// A workload to place: a model plus its service requirements.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Workload name.
+    pub name: String,
+    /// The model graph (at its deployment batch size).
+    pub model: Graph,
+    /// Latency bound per inference in milliseconds.
+    pub latency_bound_ms: f64,
+    /// Required inference rate (inferences per second).
+    pub rate_ips: f64,
+}
+
+/// One placement decision.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Assignment {
+    /// Workload name.
+    pub workload: String,
+    /// Chassis slot hosting it.
+    pub slot: usize,
+    /// Microserver name.
+    pub server: String,
+    /// Modelled latency per inference (ms).
+    pub latency_ms: f64,
+    /// Modelled energy per inference (J).
+    pub energy_per_inference_j: f64,
+    /// Fraction of the server's throughput this workload consumes.
+    pub load: f64,
+    /// Placement-time inference rate (internal bookkeeping for power
+    /// accounting).
+    #[serde(skip)]
+    load_rate: Option<f64>,
+}
+
+/// A complete placement.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Placement {
+    /// Successful assignments.
+    pub assignments: Vec<Assignment>,
+    /// Workloads that could not be placed within their bounds.
+    pub unplaced: Vec<String>,
+}
+
+impl Placement {
+    /// Total energy rate in watts attributable to the placed workloads
+    /// (energy per inference × rate).
+    #[must_use]
+    pub fn total_power_w(&self) -> f64 {
+        self.assignments
+            .iter()
+            .map(|a| a.energy_per_inference_j * rate_of(a))
+            .sum()
+    }
+
+    /// Whether every workload found a home.
+    #[must_use]
+    pub fn complete(&self) -> bool {
+        self.unplaced.is_empty()
+    }
+}
+
+fn rate_of(a: &Assignment) -> f64 {
+    a.load_rate.unwrap_or(0.0)
+}
+
+/// Scheduler failure conditions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// The chassis has no populated slots.
+    EmptyChassis,
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::EmptyChassis => write!(f, "chassis has no populated slots"),
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+/// Greedy energy-first scheduler.
+///
+/// For each workload (largest rate first) every candidate server is
+/// evaluated with the accelerator performance model; the feasible
+/// candidate (latency bound met, residual capacity available) with the
+/// lowest energy per inference wins.
+pub fn place(chassis: &Chassis, workloads: &[Workload]) -> Result<Placement, ScheduleError> {
+    let servers = chassis.populated();
+    if servers.is_empty() {
+        return Err(ScheduleError::EmptyChassis);
+    }
+    // Residual throughput capacity per slot (inferences/s available).
+    let mut residual: Vec<(usize, f64)> = Vec::new();
+
+    let mut order: Vec<&Workload> = workloads.iter().collect();
+    order.sort_by(|a, b| {
+        b.rate_ips
+            .partial_cmp(&a.rate_ips)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+
+    let mut placement = Placement::default();
+    for workload in order {
+        let mut best: Option<Assignment> = None;
+        for &(slot, server) in &servers {
+            let model = PerfModel::new(server.accelerator.clone());
+            let Ok(run) = model.run(&workload.model) else {
+                continue;
+            };
+            if run.latency_ms > workload.latency_bound_ms {
+                continue;
+            }
+            // Capacity: server throughput minus already-placed load.
+            let used: f64 = residual
+                .iter()
+                .filter(|&&(s, _)| s == slot)
+                .map(|&(_, r)| r)
+                .sum();
+            let capacity = run.throughput_ips - used;
+            if capacity < workload.rate_ips {
+                continue;
+            }
+            let candidate = Assignment {
+                workload: workload.name.clone(),
+                slot,
+                server: server.name.clone(),
+                latency_ms: run.latency_ms,
+                energy_per_inference_j: run.energy_per_inference_j,
+                load: (used + workload.rate_ips) / run.throughput_ips,
+                load_rate: Some(workload.rate_ips),
+            };
+            let better = match &best {
+                None => true,
+                Some(b) => candidate.energy_per_inference_j < b.energy_per_inference_j,
+            };
+            if better {
+                best = Some(candidate);
+            }
+        }
+        match best {
+            Some(assignment) => {
+                residual.push((assignment.slot, workload.rate_ips));
+                placement.assignments.push(assignment);
+            }
+            None => placement.unplaced.push(workload.name.clone()),
+        }
+    }
+    Ok(placement)
+}
+
+/// Re-places the workloads after a slot failure ("increased … robustness"
+/// through dynamic reconfiguration): the failed slot is excluded and the
+/// whole placement recomputed.
+pub fn replace_after_failure(
+    chassis: &mut Chassis,
+    failed_slot: usize,
+    workloads: &[Workload],
+) -> Result<Placement, ScheduleError> {
+    let _ = chassis.remove(failed_slot);
+    place(chassis, workloads)
+}
+
+// The Assignment struct needs the placement-time rate for power math but
+// callers should not see the raw option; serde skips it.
+#[doc(hidden)]
+impl Assignment {
+    /// Placement-time rate (inferences/s); internal bookkeeping.
+    #[must_use]
+    pub fn placed_rate_ips(&self) -> f64 {
+        self.load_rate.unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::standard_microservers;
+    use vedliot_nnir::zoo;
+
+    fn by_name(name: &str) -> crate::module::Microserver {
+        standard_microservers()
+            .into_iter()
+            .find(|m| m.name.contains(name))
+            .expect("module exists")
+    }
+
+    fn workload(name: &str, latency_ms: f64, rate: f64) -> Workload {
+        Workload {
+            name: name.into(),
+            model: zoo::mobilenet_v3_large(10).unwrap(),
+            latency_bound_ms: latency_ms,
+            rate_ips: rate,
+        }
+    }
+
+    fn edge_chassis() -> Chassis {
+        let mut c = Chassis::t_recs();
+        c.insert(0, by_name("COMHPC-GTX1660")).unwrap();
+        c
+    }
+
+    fn urecs_pair() -> Chassis {
+        let mut c = Chassis::urecs();
+        c.insert(0, by_name("SMARC-ZU3")).unwrap();
+        c.insert(1, by_name("Myriad")).unwrap();
+        c
+    }
+
+    #[test]
+    fn places_on_the_energy_optimal_feasible_server() {
+        let c = urecs_pair();
+        let placement = place(&c, &[workload("gesture", 200.0, 5.0)]).unwrap();
+        assert!(placement.complete());
+        let a = &placement.assignments[0];
+        // Both servers meet a 200 ms bound for MobileNetV3; the Myriad is
+        // the lower-energy part, so it must win.
+        assert!(a.server.contains("Myriad"), "placed on {}", a.server);
+    }
+
+    #[test]
+    fn tight_latency_bound_forces_faster_server() {
+        let mut c = Chassis::t_recs();
+        c.insert(0, by_name("COMHPC-GTX1660")).unwrap();
+        let mut c2 = urecs_pair();
+        // A compute-heavy model separates the platforms: the uRECS
+        // servers cannot meet an aggressive bound that the GTX can.
+        let tight = Workload {
+            name: "paeb".into(),
+            model: zoo::resnet50(10).unwrap(),
+            latency_bound_ms: 15.0,
+            rate_ips: 1.0,
+        };
+        let urecs_placement = place(&c2, std::slice::from_ref(&tight)).unwrap();
+        assert!(!urecs_placement.complete());
+        let edge_placement = place(&c, &[tight]).unwrap();
+        assert!(edge_placement.complete());
+        let _ = &mut c2;
+    }
+
+    #[test]
+    fn capacity_limits_are_respected() {
+        let c = urecs_pair();
+        // Demand far beyond what two embedded parts can serve.
+        let heavy: Vec<Workload> = (0..6)
+            .map(|i| workload(&format!("stream{i}"), 500.0, 200.0))
+            .collect();
+        let placement = place(&c, &heavy).unwrap();
+        assert!(
+            !placement.unplaced.is_empty(),
+            "6 × 200 ips cannot all fit on ZU3 + Myriad"
+        );
+        // Loads of placed workloads stay within 100%.
+        for a in &placement.assignments {
+            assert!(a.load <= 1.0 + 1e-9, "{} overloaded: {}", a.server, a.load);
+        }
+    }
+
+    #[test]
+    fn empty_chassis_is_an_error() {
+        let c = Chassis::urecs();
+        assert_eq!(
+            place(&c, &[workload("x", 100.0, 1.0)]).unwrap_err(),
+            ScheduleError::EmptyChassis
+        );
+    }
+
+    #[test]
+    fn failure_triggers_replacement_on_survivors() {
+        let mut c = urecs_pair();
+        let wl = [workload("monitor", 300.0, 2.0)];
+        let before = place(&c, &wl).unwrap();
+        let first_slot = before.assignments[0].slot;
+        let after = replace_after_failure(&mut c, first_slot, &wl).unwrap();
+        assert!(after.complete(), "survivor must absorb the workload");
+        assert_ne!(after.assignments[0].slot, first_slot);
+    }
+
+    #[test]
+    fn placement_power_is_positive_and_bounded() {
+        let c = edge_chassis();
+        let placement = place(&c, &[workload("cam", 100.0, 10.0)]).unwrap();
+        assert!(placement.complete());
+        let p = placement.total_power_w();
+        assert!(p > 0.0);
+        assert!(p < 1000.0);
+    }
+}

@@ -1,0 +1,223 @@
+//! Node telemetry and health tracking.
+//!
+//! Paper §II-A extends "the classically static hardware architecture
+//! towards a dynamically configurable infrastructure for increased
+//! resource-efficiency and robustness" — the decision inputs for that
+//! reconfiguration are the per-node power/thermal/utilization samples
+//! collected here. The RECS baseboards expose exactly this telemetry
+//! over their management controller.
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// One telemetry sample from a microserver slot.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Sample {
+    /// Monotonic sample index (management-controller tick).
+    pub tick: u64,
+    /// Power draw in watts.
+    pub power_w: f64,
+    /// Module temperature in °C.
+    pub temperature_c: f64,
+    /// Compute utilization in `[0, 1]`.
+    pub utilization: f64,
+}
+
+/// Health state derived from recent telemetry.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Health {
+    /// Operating normally.
+    Ok,
+    /// A threshold or trend is violated; the reason is attached.
+    Degraded(String),
+}
+
+impl Health {
+    /// Whether the node is healthy.
+    #[must_use]
+    pub fn is_ok(&self) -> bool {
+        matches!(self, Health::Ok)
+    }
+}
+
+/// Rolling telemetry store for one slot, with threshold + trend checks.
+///
+/// ```
+/// use vedliot_recs::telemetry::{NodeTelemetry, Sample};
+///
+/// let mut t = NodeTelemetry::new(15.0, 85.0, 64);
+/// t.record(Sample { tick: 0, power_w: 8.0, temperature_c: 55.0, utilization: 0.7 });
+/// assert!(t.health().is_ok());
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NodeTelemetry {
+    power_limit_w: f64,
+    temp_limit_c: f64,
+    window: usize,
+    samples: VecDeque<Sample>,
+}
+
+impl NodeTelemetry {
+    /// Creates a tracker with hard power/thermal limits and a rolling
+    /// window length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window < 4`.
+    #[must_use]
+    pub fn new(power_limit_w: f64, temp_limit_c: f64, window: usize) -> Self {
+        assert!(window >= 4, "window too small for trend analysis");
+        NodeTelemetry {
+            power_limit_w,
+            temp_limit_c,
+            window,
+            samples: VecDeque::new(),
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, sample: Sample) {
+        self.samples.push_back(sample);
+        if self.samples.len() > self.window {
+            self.samples.pop_front();
+        }
+    }
+
+    /// Number of retained samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples were recorded yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Mean power over the window (0 when empty).
+    #[must_use]
+    pub fn mean_power_w(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().map(|s| s.power_w).sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Current health: hard-limit checks on the latest sample plus a
+    /// thermal-trend check over the window (a steady climb toward the
+    /// limit flags *before* the limit trips — the input for proactive
+    /// workload migration).
+    #[must_use]
+    pub fn health(&self) -> Health {
+        let Some(latest) = self.samples.back() else {
+            return Health::Ok;
+        };
+        if latest.power_w > self.power_limit_w {
+            return Health::Degraded(format!(
+                "power {:.1} W exceeds limit {:.1} W",
+                latest.power_w, self.power_limit_w
+            ));
+        }
+        if latest.temperature_c > self.temp_limit_c {
+            return Health::Degraded(format!(
+                "temperature {:.1} °C exceeds limit {:.1} °C",
+                latest.temperature_c, self.temp_limit_c
+            ));
+        }
+        // Trend: compare the halves of the window; if the newer half is
+        // much hotter and extrapolates past the limit within another
+        // window, flag it.
+        if self.samples.len() == self.window {
+            let half = self.window / 2;
+            let older: f64 = self
+                .samples
+                .iter()
+                .take(half)
+                .map(|s| s.temperature_c)
+                .sum::<f64>()
+                / half as f64;
+            let newer: f64 = self
+                .samples
+                .iter()
+                .skip(half)
+                .map(|s| s.temperature_c)
+                .sum::<f64>()
+                / (self.window - half) as f64;
+            let slope_per_window = newer - older;
+            if slope_per_window > 0.0 && newer + 2.0 * slope_per_window > self.temp_limit_c {
+                return Health::Degraded(format!(
+                    "thermal trend +{slope_per_window:.1} °C/window projects past {:.0} °C",
+                    self.temp_limit_c
+                ));
+            }
+        }
+        Health::Ok
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(tick: u64, power: f64, temp: f64) -> Sample {
+        Sample {
+            tick,
+            power_w: power,
+            temperature_c: temp,
+            utilization: 0.5,
+        }
+    }
+
+    #[test]
+    fn steady_operation_is_healthy() {
+        let mut t = NodeTelemetry::new(15.0, 85.0, 16);
+        for i in 0..32 {
+            t.record(sample(i, 8.0, 60.0));
+        }
+        assert!(t.health().is_ok());
+        assert_eq!(t.len(), 16);
+        assert!((t.mean_power_w() - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hard_limits_flag_immediately() {
+        let mut t = NodeTelemetry::new(15.0, 85.0, 16);
+        t.record(sample(0, 16.5, 60.0));
+        assert!(matches!(t.health(), Health::Degraded(msg) if msg.contains("power")));
+        let mut t = NodeTelemetry::new(15.0, 85.0, 16);
+        t.record(sample(0, 8.0, 90.0));
+        assert!(matches!(t.health(), Health::Degraded(msg) if msg.contains("temperature")));
+    }
+
+    #[test]
+    fn thermal_trend_flags_before_the_limit() {
+        let mut t = NodeTelemetry::new(15.0, 85.0, 16);
+        // Climb 1 °C per sample from 60: still below 85 at sample 16,
+        // but the trend projects past the limit.
+        for i in 0..16 {
+            t.record(sample(i, 8.0, 60.0 + i as f64));
+        }
+        let health = t.health();
+        assert!(
+            matches!(&health, Health::Degraded(msg) if msg.contains("trend")),
+            "{health:?}"
+        );
+    }
+
+    #[test]
+    fn cooling_trend_is_not_flagged() {
+        let mut t = NodeTelemetry::new(15.0, 85.0, 16);
+        for i in 0..16 {
+            t.record(sample(i, 8.0, 80.0 - i as f64));
+        }
+        assert!(t.health().is_ok());
+    }
+
+    #[test]
+    fn empty_tracker_is_healthy() {
+        let t = NodeTelemetry::new(15.0, 85.0, 8);
+        assert!(t.is_empty());
+        assert!(t.health().is_ok());
+    }
+}

@@ -1,0 +1,86 @@
+//! Property-based tests of the platform model: chassis invariants under
+//! arbitrary insert/remove sequences, fabric transfer arithmetic, and
+//! network-model sanity.
+
+use proptest::prelude::*;
+use vedliot_recs::chassis::Chassis;
+use vedliot_recs::fabric::{Fabric, LinkKind};
+use vedliot_recs::module::standard_microservers;
+use vedliot_recs::net::NetworkCondition;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Under any sequence of inserts and removes, the chassis never
+    /// exceeds its power budget, never double-occupies a slot, and
+    /// used power equals the sum of installed modules.
+    #[test]
+    fn chassis_invariants_under_random_operations(
+        ops in proptest::collection::vec((any::<bool>(), 0usize..4, 0usize..9), 1..40),
+    ) {
+        let modules = standard_microservers();
+        let mut chassis = Chassis::urecs();
+        for (insert, slot, module_idx) in ops {
+            if insert {
+                let _ = chassis.insert(slot, modules[module_idx % modules.len()].clone());
+            } else {
+                let _ = chassis.remove(slot);
+            }
+            // Invariants hold after every operation.
+            prop_assert!(chassis.used_power_w() <= chassis.power_budget_w() + 1e-9);
+            let expected: f64 = chassis
+                .populated()
+                .iter()
+                .map(|(_, m)| m.peak_power_w())
+                .sum();
+            prop_assert!((chassis.used_power_w() - expected).abs() < 1e-9);
+            prop_assert!(chassis.populated().len() <= chassis.slot_count());
+        }
+    }
+
+    /// Fabric transfer time is monotone in payload size and strictly
+    /// ordered by link speed.
+    #[test]
+    fn fabric_transfer_monotonicity(bytes_a in 1u64..1_000_000, bytes_b in 1u64..1_000_000) {
+        let (small, large) = if bytes_a <= bytes_b { (bytes_a, bytes_b) } else { (bytes_b, bytes_a) };
+        for kind in [LinkKind::Eth1G, LinkKind::Eth10G, LinkKind::HighSpeed] {
+            let fabric = Fabric::full_mesh(2, kind);
+            let t_small = fabric.transfer_us(0, 1, small).unwrap();
+            let t_large = fabric.transfer_us(0, 1, large).unwrap();
+            prop_assert!(t_large >= t_small);
+        }
+        let slow = Fabric::full_mesh(2, LinkKind::Eth1G).transfer_us(0, 1, large).unwrap();
+        let fast = Fabric::full_mesh(2, LinkKind::Eth10G).transfer_us(0, 1, large).unwrap();
+        prop_assert!(fast < slow);
+    }
+
+    /// Routing never beats the best physical link and never reports a
+    /// route on a disconnected pair.
+    #[test]
+    fn routing_is_sound(bytes in 1u64..100_000) {
+        let fabric = Fabric::star(5, 0, LinkKind::Eth10G);
+        // Direct spoke transfer is one hop; spoke-to-spoke is exactly two.
+        let one_hop = fabric.transfer_us(0, 1, bytes).unwrap();
+        let two_hop = fabric.route_us(1, 2, bytes, 5).unwrap();
+        prop_assert!(two_hop >= one_hop * 2.0 - 1e-9);
+        prop_assert!(fabric.route_us(1, 2, bytes, 3).is_some());
+    }
+
+    /// Upload time decreases with bandwidth and increases with loss and
+    /// payload, for any condition in the generator's range.
+    #[test]
+    fn network_upload_monotonicity(
+        bw in 0.2f64..120.0,
+        rtt in 8.0f64..250.0,
+        loss in 0.0f64..0.4,
+        bytes in 1_000u64..1_000_000,
+    ) {
+        let base = NetworkCondition { uplink_mbps: bw, rtt_ms: rtt, loss };
+        let t = base.upload_ms(bytes).expect("usable link");
+        let faster = NetworkCondition { uplink_mbps: bw * 2.0, ..base };
+        prop_assert!(faster.upload_ms(bytes).unwrap() <= t);
+        let lossier = NetworkCondition { loss: (loss + 0.05).min(0.45), ..base };
+        prop_assert!(lossier.upload_ms(bytes).unwrap() >= t);
+        prop_assert!(base.upload_ms(bytes * 2).unwrap() >= t);
+    }
+}

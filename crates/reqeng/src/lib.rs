@@ -1,0 +1,425 @@
+//! Requirements-engineering architectural framework for AIoT
+//! (paper §IV-A).
+//!
+//! "The VEDLIoT architectural framework is organized by two aspects:
+//! Clusters of concerns, and level of abstraction. These aspects form a
+//! 2-dimensional grid of architectural views … In VEDLIoT, it is shown
+//! that dependencies between the architectural views only exist
+//! vertically between the views of the same cluster of concern or
+//! horizontally between architectural views on the same level of
+//! abstraction. This reduces the complexity of the system design
+//! challenge and allows for better traceability."
+//!
+//! [`Framework`] holds the grid of [`View`]s and *enforces* the
+//! vertical-or-horizontal dependency rule; [`Framework::trace`] provides
+//! the traceability queries, and [`complexity_reduction`] quantifies the
+//! rule's effect (experiment E16). Middle-out workflows (§IV-A
+//! "middle-out systems engineering") are supported by growing the grid
+//! from any level.
+
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::fmt;
+
+/// The clusters of concern the paper lists for DL systems.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Concern {
+    /// Logical behavior.
+    LogicalBehavior,
+    /// Process behavior.
+    ProcessBehavior,
+    /// Context and constraints.
+    ContextConstraints,
+    /// Learning setting.
+    LearningSetting,
+    /// Deep learning model.
+    DeepLearningModel,
+    /// Hardware.
+    Hardware,
+    /// Information.
+    Information,
+    /// Communication.
+    Communication,
+    /// Ethical concerns.
+    Ethical,
+    /// Safety.
+    Safety,
+    /// Security.
+    Security,
+    /// Privacy.
+    Privacy,
+    /// Energy.
+    Energy,
+}
+
+impl Concern {
+    /// All 13 clusters named in the paper.
+    pub const ALL: [Concern; 13] = [
+        Concern::LogicalBehavior,
+        Concern::ProcessBehavior,
+        Concern::ContextConstraints,
+        Concern::LearningSetting,
+        Concern::DeepLearningModel,
+        Concern::Hardware,
+        Concern::Information,
+        Concern::Communication,
+        Concern::Ethical,
+        Concern::Safety,
+        Concern::Security,
+        Concern::Privacy,
+        Concern::Energy,
+    ];
+}
+
+impl fmt::Display for Concern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// The levels of abstraction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Level {
+    /// Knowledge level.
+    Knowledge,
+    /// Conceptual level.
+    Conceptual,
+    /// Design level.
+    Design,
+    /// Run-time level.
+    RunTime,
+}
+
+impl Level {
+    /// All four levels.
+    pub const ALL: [Level; 4] = [
+        Level::Knowledge,
+        Level::Conceptual,
+        Level::Design,
+        Level::RunTime,
+    ];
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// Identifier of a view within one framework.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ViewId(pub usize);
+
+/// One architectural view: a cell occupant of the concern × level grid.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct View {
+    /// Identifier.
+    pub id: ViewId,
+    /// View name (e.g. "PAEB braking logic").
+    pub name: String,
+    /// Which cluster of concern it addresses.
+    pub concern: Concern,
+    /// At which level of abstraction.
+    pub level: Level,
+}
+
+/// Error raised for a dependency violating the framework rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameworkError {
+    /// The referenced view does not exist.
+    UnknownView(ViewId),
+    /// The dependency is diagonal (different cluster *and* different
+    /// level) — forbidden by the framework.
+    DiagonalDependency {
+        /// Source view.
+        from: ViewId,
+        /// Target view.
+        to: ViewId,
+    },
+}
+
+impl fmt::Display for FrameworkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameworkError::UnknownView(v) => write!(f, "unknown view {v:?}"),
+            FrameworkError::DiagonalDependency { from, to } => write!(
+                f,
+                "dependency {from:?} -> {to:?} crosses both cluster and level (forbidden)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FrameworkError {}
+
+/// The architectural framework instance for one system.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Framework {
+    views: Vec<View>,
+    dependencies: Vec<(ViewId, ViewId)>,
+}
+
+impl Framework {
+    /// Creates an empty framework.
+    #[must_use]
+    pub fn new() -> Self {
+        Framework::default()
+    }
+
+    /// Adds a view to the grid, returning its id.
+    pub fn add_view(&mut self, name: impl Into<String>, concern: Concern, level: Level) -> ViewId {
+        let id = ViewId(self.views.len());
+        self.views.push(View {
+            id,
+            name: name.into(),
+            concern,
+            level,
+        });
+        id
+    }
+
+    /// All views.
+    #[must_use]
+    pub fn views(&self) -> &[View] {
+        &self.views
+    }
+
+    /// View lookup.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrameworkError::UnknownView`] if the id is out of range.
+    pub fn view(&self, id: ViewId) -> Result<&View, FrameworkError> {
+        self.views.get(id.0).ok_or(FrameworkError::UnknownView(id))
+    }
+
+    /// Whether a dependency between two views would be legal: same
+    /// cluster (vertical) or same level (horizontal).
+    #[must_use]
+    pub fn dependency_allowed(&self, a: &View, b: &View) -> bool {
+        a.concern == b.concern || a.level == b.level
+    }
+
+    /// Records a dependency, enforcing the framework rule.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrameworkError::DiagonalDependency`] for diagonal pairs
+    /// or [`FrameworkError::UnknownView`] for dangling ids.
+    pub fn add_dependency(&mut self, from: ViewId, to: ViewId) -> Result<(), FrameworkError> {
+        let a = self.view(from)?.clone();
+        let b = self.view(to)?.clone();
+        if !self.dependency_allowed(&a, &b) {
+            return Err(FrameworkError::DiagonalDependency { from, to });
+        }
+        self.dependencies.push((from, to));
+        Ok(())
+    }
+
+    /// All recorded dependencies.
+    #[must_use]
+    pub fn dependencies(&self) -> &[(ViewId, ViewId)] {
+        &self.dependencies
+    }
+
+    /// Traceability query: a shortest dependency path between two views
+    /// (treating dependencies as undirected), or `None`.
+    #[must_use]
+    pub fn trace(&self, from: ViewId, to: ViewId) -> Option<Vec<ViewId>> {
+        if from == to {
+            return Some(vec![from]);
+        }
+        let mut adjacency: HashMap<ViewId, Vec<ViewId>> = HashMap::new();
+        for &(a, b) in &self.dependencies {
+            adjacency.entry(a).or_default().push(b);
+            adjacency.entry(b).or_default().push(a);
+        }
+        let mut prev: HashMap<ViewId, ViewId> = HashMap::new();
+        let mut seen: HashSet<ViewId> = HashSet::from([from]);
+        let mut queue = VecDeque::from([from]);
+        while let Some(v) = queue.pop_front() {
+            for &n in adjacency.get(&v).map(Vec::as_slice).unwrap_or(&[]) {
+                if seen.insert(n) {
+                    prev.insert(n, v);
+                    if n == to {
+                        let mut path = vec![to];
+                        let mut cur = to;
+                        while let Some(&p) = prev.get(&cur) {
+                            path.push(p);
+                            cur = p;
+                        }
+                        path.reverse();
+                        return Some(path);
+                    }
+                    queue.push_back(n);
+                }
+            }
+        }
+        None
+    }
+
+    /// Grid coverage: which (concern, level) cells are populated.
+    #[must_use]
+    pub fn coverage(&self) -> HashSet<(Concern, Level)> {
+        self.views.iter().map(|v| (v.concern, v.level)).collect()
+    }
+
+    /// Cells of the grid with no view yet — the gaps a middle-out
+    /// workflow fills next.
+    #[must_use]
+    pub fn gaps(&self) -> Vec<(Concern, Level)> {
+        let covered = self.coverage();
+        let mut gaps = Vec::new();
+        for concern in Concern::ALL {
+            for level in Level::ALL {
+                if !covered.contains(&(concern, level)) {
+                    gaps.push((concern, level));
+                }
+            }
+        }
+        gaps
+    }
+
+    /// Fraction of view pairs whose dependencies the rule forbids —
+    /// the "reduces the complexity of the system design challenge"
+    /// quantity (E16). Returns `(allowed, total)` pair counts.
+    #[must_use]
+    pub fn pair_counts(&self) -> (usize, usize) {
+        let n = self.views.len();
+        let mut allowed = 0usize;
+        let mut total = 0usize;
+        for i in 0..n {
+            for j in i + 1..n {
+                total += 1;
+                if self.dependency_allowed(&self.views[i], &self.views[j]) {
+                    allowed += 1;
+                }
+            }
+        }
+        (allowed, total)
+    }
+}
+
+/// Complexity reduction of a *fully populated* concern × level grid:
+/// fraction of pairwise dependencies the rule eliminates.
+///
+/// With `c` clusters and `l` levels, a view may depend on `(l-1)` views
+/// in its cluster plus `(c-1)` views at its level, out of `c·l - 1`
+/// total — for the paper's 13×4 grid the rule rules out ~71% of pairs.
+#[must_use]
+pub fn complexity_reduction(clusters: usize, levels: usize) -> f64 {
+    let total = clusters * levels;
+    if total < 2 {
+        return 0.0;
+    }
+    let allowed_per_view = (levels - 1) + (clusters - 1);
+    1.0 - allowed_per_view as f64 / (total - 1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smart_mirror_framework() -> (Framework, ViewId, ViewId, ViewId) {
+        let mut fw = Framework::new();
+        let logic = fw.add_view("interaction logic", Concern::LogicalBehavior, Level::Conceptual);
+        let model = fw.add_view("gesture DNN", Concern::DeepLearningModel, Level::Design);
+        let hw = fw.add_view("uRECS node", Concern::Hardware, Level::Design);
+        (fw, logic, model, hw)
+    }
+
+    #[test]
+    fn vertical_and_horizontal_dependencies_allowed() {
+        let (mut fw, _, model, hw) = smart_mirror_framework();
+        // Horizontal: both at Design level, different clusters.
+        fw.add_dependency(model, hw).unwrap();
+        // Vertical: same cluster, different level.
+        let model_rt = fw.add_view("deployed gesture DNN", Concern::DeepLearningModel, Level::RunTime);
+        fw.add_dependency(model, model_rt).unwrap();
+        assert_eq!(fw.dependencies().len(), 2);
+    }
+
+    #[test]
+    fn diagonal_dependency_is_rejected() {
+        let (mut fw, logic, _, hw) = smart_mirror_framework();
+        // logic: LogicalBehavior/Conceptual, hw: Hardware/Design — diagonal.
+        let err = fw.add_dependency(logic, hw);
+        assert!(matches!(err, Err(FrameworkError::DiagonalDependency { .. })));
+    }
+
+    #[test]
+    fn unknown_view_is_rejected() {
+        let (mut fw, logic, _, _) = smart_mirror_framework();
+        assert!(matches!(
+            fw.add_dependency(logic, ViewId(99)),
+            Err(FrameworkError::UnknownView(ViewId(99)))
+        ));
+    }
+
+    #[test]
+    fn traceability_follows_dependency_chains() {
+        let (mut fw, logic, model, hw) = smart_mirror_framework();
+        // Bridge the diagonal through a same-level intermediary:
+        // logic(Conceptual) -> model(Conceptual) -> model(Design) -> hw(Design).
+        let model_c = fw.add_view("gesture concept", Concern::DeepLearningModel, Level::Conceptual);
+        fw.add_dependency(logic, model_c).unwrap();
+        fw.add_dependency(model_c, model).unwrap();
+        fw.add_dependency(model, hw).unwrap();
+        let path = fw.trace(logic, hw).expect("trace exists");
+        assert_eq!(path.len(), 4);
+        assert_eq!(path[0], logic);
+        assert_eq!(path[3], hw);
+        // No path to an isolated view.
+        let lonely = fw.add_view("ethics board report", Concern::Ethical, Level::Knowledge);
+        assert_eq!(fw.trace(logic, lonely), None);
+    }
+
+    #[test]
+    fn gaps_shrink_as_views_are_added() {
+        let mut fw = Framework::new();
+        let full = Concern::ALL.len() * Level::ALL.len();
+        assert_eq!(fw.gaps().len(), full);
+        fw.add_view("something", Concern::Safety, Level::Design);
+        assert_eq!(fw.gaps().len(), full - 1);
+        assert!(fw.coverage().contains(&(Concern::Safety, Level::Design)));
+    }
+
+    #[test]
+    fn complexity_reduction_for_paper_grid() {
+        // 13 clusters × 4 levels: each view may relate to 3 + 12 = 15 of
+        // the 51 others -> ~70.6% of pairs eliminated.
+        let r = complexity_reduction(13, 4);
+        assert!((0.70..0.72).contains(&r), "reduction {r}");
+        // Degenerate grids reduce nothing.
+        assert_eq!(complexity_reduction(1, 1), 0.0);
+        // A single row cannot be reduced at all.
+        assert_eq!(complexity_reduction(1, 4), 0.0);
+    }
+
+    #[test]
+    fn pair_counts_match_rule() {
+        let mut fw = Framework::new();
+        for concern in [Concern::Safety, Concern::Hardware] {
+            for level in [Level::Design, Level::RunTime] {
+                fw.add_view(format!("{concern}-{level}"), concern, level);
+            }
+        }
+        // 4 views, 6 pairs; diagonals (2) are forbidden.
+        let (allowed, total) = fw.pair_counts();
+        assert_eq!(total, 6);
+        assert_eq!(allowed, 4);
+    }
+
+    #[test]
+    fn middle_out_workflow_grows_from_design_level() {
+        // Start middle-out: a design-level component first ...
+        let mut fw = Framework::new();
+        let design = fw.add_view("FPGA accelerator", Concern::Hardware, Level::Design);
+        // ... then knowledge above and run-time below, all same cluster.
+        let knowledge = fw.add_view("accelerator datasheets", Concern::Hardware, Level::Knowledge);
+        let runtime = fw.add_view("deployed bitstream", Concern::Hardware, Level::RunTime);
+        fw.add_dependency(knowledge, design).unwrap();
+        fw.add_dependency(design, runtime).unwrap();
+        assert!(fw.trace(knowledge, runtime).is_some());
+    }
+}

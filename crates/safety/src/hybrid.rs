@@ -1,0 +1,275 @@
+//! Architectural hybridization.
+//!
+//! Paper §IV-B: "To support all these monitors and monitoring mechanisms,
+//! an architectural pattern comprising two separate parts is considered,
+//! based on the concept of architectural hybridization" (Casimiro et
+//! al.): a small, verified, *synchronous* safety kernel supervises a
+//! complex, *untrusted* payload. The kernel owns the actuator: the
+//! payload only proposes actions, and a missed deadline or violated
+//! invariant makes the kernel substitute a safe fallback.
+
+use serde::{Deserialize, Serialize};
+
+/// Why the safety kernel overrode the payload.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OverrideReason {
+    /// The payload exceeded its deadline budget.
+    DeadlineMissed,
+    /// The payload's proposal violated a kernel invariant.
+    InvariantViolation(String),
+    /// The payload panicked / failed to produce a proposal.
+    PayloadFailure,
+}
+
+/// Decision record for one control cycle.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Decision<A> {
+    /// The payload's proposal was accepted.
+    Accepted(A),
+    /// The kernel substituted the safe action.
+    Overridden {
+        /// The safe action applied instead.
+        safe_action: A,
+        /// Why.
+        reason: OverrideReason,
+    },
+}
+
+impl<A> Decision<A> {
+    /// The action that was actually applied to the plant.
+    #[must_use]
+    pub fn action(&self) -> &A {
+        match self {
+            Decision::Accepted(a) => a,
+            Decision::Overridden { safe_action, .. } => safe_action,
+        }
+    }
+
+    /// Whether the kernel had to intervene.
+    #[must_use]
+    pub fn overridden(&self) -> bool {
+        matches!(self, Decision::Overridden { .. })
+    }
+}
+
+/// Statistics of a kernel's lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct KernelStats {
+    /// Control cycles executed.
+    pub cycles: u64,
+    /// Proposals accepted.
+    pub accepted: u64,
+    /// Overrides due to deadline misses.
+    pub deadline_overrides: u64,
+    /// Overrides due to invariant violations.
+    pub invariant_overrides: u64,
+    /// Overrides due to payload failure.
+    pub failure_overrides: u64,
+}
+
+/// The hybrid pattern: a safety kernel around an untrusted payload.
+///
+/// `A` is the action type; the invariant receives the proposal plus the
+/// observation the cycle was computed from.
+/// Invariant predicate signature: observation + proposed action in,
+/// `Err(reason)` on violation.
+pub type Invariant<Obs, A> = Box<dyn Fn(&Obs, &A) -> Result<(), String>>;
+
+pub struct SafetyKernel<Obs, A> {
+    safe_action: A,
+    deadline_budget_us: u64,
+    invariant: Invariant<Obs, A>,
+    stats: KernelStats,
+}
+
+impl<Obs, A: Clone> SafetyKernel<Obs, A> {
+    /// Creates a kernel with a safe fallback action, a per-cycle deadline
+    /// budget (µs of payload compute time) and an invariant predicate.
+    #[must_use]
+    pub fn new(
+        safe_action: A,
+        deadline_budget_us: u64,
+        invariant: impl Fn(&Obs, &A) -> Result<(), String> + 'static,
+    ) -> Self {
+        SafetyKernel {
+            safe_action,
+            deadline_budget_us,
+            invariant: Box::new(invariant),
+            stats: KernelStats::default(),
+        }
+    }
+
+    /// Accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> KernelStats {
+        self.stats
+    }
+
+    /// Runs one control cycle: the payload proposes an action for `obs`
+    /// (reporting its own compute time, as measured by its runtime); the
+    /// kernel accepts or overrides.
+    ///
+    /// The payload returns `Ok((action, elapsed_us))` or `Err(())` when
+    /// it failed to produce anything.
+    pub fn cycle(
+        &mut self,
+        obs: &Obs,
+        payload: impl FnOnce(&Obs) -> Result<(A, u64), ()>,
+    ) -> Decision<A> {
+        self.stats.cycles += 1;
+        match payload(obs) {
+            Err(()) => {
+                self.stats.failure_overrides += 1;
+                Decision::Overridden {
+                    safe_action: self.safe_action.clone(),
+                    reason: OverrideReason::PayloadFailure,
+                }
+            }
+            Ok((_, elapsed_us)) if elapsed_us > self.deadline_budget_us => {
+                self.stats.deadline_overrides += 1;
+                Decision::Overridden {
+                    safe_action: self.safe_action.clone(),
+                    reason: OverrideReason::DeadlineMissed,
+                }
+            }
+            Ok((action, _)) => match (self.invariant)(obs, &action) {
+                Ok(()) => {
+                    self.stats.accepted += 1;
+                    Decision::Accepted(action)
+                }
+                Err(reason) => {
+                    self.stats.invariant_overrides += 1;
+                    Decision::Overridden {
+                        safe_action: self.safe_action.clone(),
+                        reason: OverrideReason::InvariantViolation(reason),
+                    }
+                }
+            },
+        }
+    }
+}
+
+impl<Obs, A: std::fmt::Debug> std::fmt::Debug for SafetyKernel<Obs, A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SafetyKernel")
+            .field("safe_action", &self.safe_action)
+            .field("deadline_budget_us", &self.deadline_budget_us)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+/// Majority voter over redundant channel outputs (classified labels).
+///
+/// Returns the majority label when one exists (> half the votes), `None`
+/// on a tie or empty input — the caller must then fail safe.
+#[must_use]
+pub fn majority_vote(votes: &[usize]) -> Option<usize> {
+    if votes.is_empty() {
+        return None;
+    }
+    // Boyer–Moore majority candidate, then verification.
+    let mut candidate = votes[0];
+    let mut count = 0usize;
+    for &v in votes {
+        if count == 0 {
+            candidate = v;
+            count = 1;
+        } else if v == candidate {
+            count += 1;
+        } else {
+            count -= 1;
+        }
+    }
+    let occurrences = votes.iter().filter(|&&v| v == candidate).count();
+    if occurrences * 2 > votes.len() {
+        Some(candidate)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A braking controller: action = deceleration m/s²; invariant caps
+    /// commanded deceleration.
+    fn brake_kernel() -> SafetyKernel<f64, f64> {
+        SafetyKernel::new(3.0, 10_000, |_speed, &decel| {
+            if (0.0..=9.0).contains(&decel) {
+                Ok(())
+            } else {
+                Err(format!("deceleration {decel} outside [0, 9] m/s²"))
+            }
+        })
+    }
+
+    #[test]
+    fn healthy_payload_is_accepted() {
+        let mut kernel = brake_kernel();
+        let decision = kernel.cycle(&20.0, |_| Ok((4.5, 2_000)));
+        assert_eq!(decision, Decision::Accepted(4.5));
+        assert_eq!(*decision.action(), 4.5);
+        assert_eq!(kernel.stats().accepted, 1);
+    }
+
+    #[test]
+    fn deadline_miss_triggers_safe_action() {
+        let mut kernel = brake_kernel();
+        let decision = kernel.cycle(&20.0, |_| Ok((4.5, 50_000)));
+        assert!(decision.overridden());
+        assert_eq!(*decision.action(), 3.0);
+        assert_eq!(kernel.stats().deadline_overrides, 1);
+    }
+
+    #[test]
+    fn invariant_violation_triggers_safe_action() {
+        let mut kernel = brake_kernel();
+        let decision = kernel.cycle(&20.0, |_| Ok((42.0, 1_000)));
+        match decision {
+            Decision::Overridden {
+                reason: OverrideReason::InvariantViolation(msg),
+                safe_action,
+            } => {
+                assert!(msg.contains("42"));
+                assert_eq!(safe_action, 3.0);
+            }
+            other => panic!("expected invariant override, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn payload_failure_triggers_safe_action() {
+        let mut kernel = brake_kernel();
+        let decision = kernel.cycle(&20.0, |_| Err(()));
+        assert!(decision.overridden());
+        assert_eq!(kernel.stats().failure_overrides, 1);
+    }
+
+    #[test]
+    fn stats_accumulate_across_cycles() {
+        let mut kernel = brake_kernel();
+        let _ = kernel.cycle(&10.0, |_| Ok((1.0, 100)));
+        let _ = kernel.cycle(&10.0, |_| Ok((99.0, 100)));
+        let _ = kernel.cycle(&10.0, |_| Err(()));
+        let stats = kernel.stats();
+        assert_eq!(stats.cycles, 3);
+        assert_eq!(stats.accepted, 1);
+        assert_eq!(stats.invariant_overrides, 1);
+        assert_eq!(stats.failure_overrides, 1);
+    }
+
+    #[test]
+    fn majority_vote_basics() {
+        assert_eq!(majority_vote(&[1, 1, 2]), Some(1));
+        assert_eq!(majority_vote(&[3, 3, 3]), Some(3));
+        assert_eq!(majority_vote(&[1, 2]), None); // tie -> fail safe
+        assert_eq!(majority_vote(&[]), None);
+        assert_eq!(majority_vote(&[5]), Some(5));
+        // 2-of-3 with one faulty channel.
+        assert_eq!(majority_vote(&[7, 9, 7]), Some(7));
+        // No strict majority among 4.
+        assert_eq!(majority_vote(&[1, 1, 2, 2]), None);
+    }
+}

@@ -1,0 +1,271 @@
+//! Fault injection.
+//!
+//! Paper §IV-B considers "errors … deriv[ing] from systematic faults
+//! affecting the execution of DL models on devices or edge nodes …
+//! triggered or injected during run-time (e.g., hardware faults,
+//! attacks)". This module injects exactly those faults — weight bit
+//! flips (SEUs), activation corruption, sensor faults — so monitors and
+//! the robustness service can be evaluated quantitatively.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vedliot_nnir::exec::Executor;
+use vedliot_nnir::graph::WeightInit;
+use vedliot_nnir::{Graph, NnirError, Op};
+
+/// A sensor fault applied to a time series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SensorFault {
+    /// Value frozen from `start` onwards.
+    StuckAt {
+        /// First affected index.
+        start: usize,
+    },
+    /// An additive spike of the given magnitude at one index.
+    Spike {
+        /// Affected index.
+        at: usize,
+        /// Spike magnitude.
+        magnitude: f64,
+    },
+    /// Linear drift added from `start` onwards.
+    Drift {
+        /// First affected index.
+        start: usize,
+        /// Drift slope per sample.
+        slope: f64,
+    },
+    /// Gaussian noise added everywhere.
+    Noise {
+        /// Noise standard deviation.
+        sigma: f64,
+    },
+}
+
+/// Applies a sensor fault to a copy of `series`.
+#[must_use]
+pub fn inject_sensor_fault(series: &[f64], fault: SensorFault, seed: u64) -> Vec<f64> {
+    let mut out = series.to_vec();
+    match fault {
+        SensorFault::StuckAt { start } => {
+            if start < out.len() {
+                let frozen = out[start];
+                for x in &mut out[start..] {
+                    *x = frozen;
+                }
+            }
+        }
+        SensorFault::Spike { at, magnitude } => {
+            if at < out.len() {
+                out[at] += magnitude;
+            }
+        }
+        SensorFault::Drift { start, slope } => {
+            for (i, x) in out.iter_mut().enumerate().skip(start) {
+                *x += slope * (i - start) as f64;
+            }
+        }
+        SensorFault::Noise { sigma } => {
+            let mut rng = StdRng::seed_from_u64(seed);
+            for x in &mut out {
+                let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let u2: f64 = rng.gen();
+                *x += sigma * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            }
+        }
+    }
+    out
+}
+
+/// Report of a weight-corruption campaign.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitFlipReport {
+    /// Number of bits flipped.
+    pub flips: usize,
+    /// Layers affected.
+    pub layers_hit: Vec<String>,
+}
+
+/// Flips `flips` random bits across the model's weight tensors (a
+/// radiation/rowhammer-style fault model), materializing weights first.
+///
+/// Bit position is drawn uniformly over the 32 bits of each chosen f32 —
+/// high-exponent flips produce the catastrophic output divergences the
+/// robustness service must catch.
+///
+/// # Errors
+///
+/// Propagates graph errors (cannot occur on a valid graph).
+pub fn flip_weight_bits(
+    graph: &mut Graph,
+    flips: usize,
+    seed: u64,
+) -> Result<BitFlipReport, NnirError> {
+    let materialized: Vec<Option<Vec<vedliot_nnir::Tensor>>> = {
+        let exec = Executor::new(graph);
+        graph
+            .nodes()
+            .iter()
+            .map(|node| {
+                if matches!(node.op, Op::Conv2d(_) | Op::Dense { .. }) {
+                    exec.node_weights(node).ok()
+                } else {
+                    None
+                }
+            })
+            .collect()
+    };
+    // Collect candidate (node index, elem count) pairs.
+    let candidates: Vec<(usize, usize)> = materialized
+        .iter()
+        .enumerate()
+        .filter_map(|(i, w)| w.as_ref().map(|w| (i, w[0].data().len())))
+        .filter(|&(_, n)| n > 0)
+        .collect();
+    if candidates.is_empty() {
+        return Ok(BitFlipReport {
+            flips: 0,
+            layers_hit: Vec::new(),
+        });
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut tensors: Vec<Option<Vec<vedliot_nnir::Tensor>>> = materialized;
+    let mut layers_hit = Vec::new();
+    for _ in 0..flips {
+        let &(node_idx, len) = &candidates[rng.gen_range(0..candidates.len())];
+        let weights = tensors[node_idx].as_mut().expect("candidate has weights");
+        let elem = rng.gen_range(0..len);
+        let bit = rng.gen_range(0..32);
+        let w = &mut weights[0];
+        let raw = w.data()[elem].to_bits() ^ (1u32 << bit);
+        w.data_mut()[elem] = f32::from_bits(raw);
+        let name = graph.nodes()[node_idx].name.clone();
+        if !layers_hit.contains(&name) {
+            layers_hit.push(name);
+        }
+    }
+    for (node, weights) in graph.nodes_mut().iter_mut().zip(tensors) {
+        if let Some(weights) = weights {
+            node.weights = WeightInit::Explicit(weights);
+        }
+    }
+    graph.validate()?;
+    Ok(BitFlipReport {
+        flips,
+        layers_hit,
+    })
+}
+
+/// Flips `flips` random bits in a tensor's values — activation
+/// corruption, the runtime counterpart of [`flip_weight_bits`] (a bit
+/// error striking a feature map buffer between layers).
+#[must_use]
+pub fn corrupt_tensor(tensor: &vedliot_nnir::Tensor, flips: usize, seed: u64) -> vedliot_nnir::Tensor {
+    let mut out = tensor.clone();
+    if out.data().is_empty() {
+        return out;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let len = out.data().len();
+    for _ in 0..flips {
+        let elem = rng.gen_range(0..len);
+        let bit = rng.gen_range(0..32);
+        let raw = out.data()[elem].to_bits() ^ (1u32 << bit);
+        out.data_mut()[elem] = f32::from_bits(raw);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vedliot_nnir::{zoo, Shape, Tensor};
+
+    #[test]
+    fn stuck_at_freezes_tail() {
+        let series: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let faulty = inject_sensor_fault(&series, SensorFault::StuckAt { start: 5 }, 0);
+        assert_eq!(&faulty[..5], &series[..5]);
+        assert!(faulty[5..].iter().all(|&x| x == 5.0));
+    }
+
+    #[test]
+    fn spike_affects_one_sample() {
+        let series = vec![1.0; 8];
+        let faulty = inject_sensor_fault(
+            &series,
+            SensorFault::Spike {
+                at: 3,
+                magnitude: 10.0,
+            },
+            0,
+        );
+        assert_eq!(faulty[3], 11.0);
+        assert_eq!(faulty.iter().filter(|&&x| x != 1.0).count(), 1);
+    }
+
+    #[test]
+    fn drift_grows_linearly() {
+        let series = vec![0.0; 10];
+        let faulty = inject_sensor_fault(
+            &series,
+            SensorFault::Drift {
+                start: 4,
+                slope: 0.5,
+            },
+            0,
+        );
+        assert_eq!(faulty[4], 0.0);
+        assert_eq!(faulty[6], 1.0);
+        assert_eq!(faulty[9], 2.5);
+    }
+
+    #[test]
+    fn noise_is_deterministic_per_seed() {
+        let series = vec![0.0; 32];
+        let a = inject_sensor_fault(&series, SensorFault::Noise { sigma: 1.0 }, 5);
+        let b = inject_sensor_fault(&series, SensorFault::Noise { sigma: 1.0 }, 5);
+        let c = inject_sensor_fault(&series, SensorFault::Noise { sigma: 1.0 }, 6);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn bit_flips_change_model_outputs() {
+        let mut model = zoo::lenet5(10).unwrap();
+        let input = Tensor::random(Shape::nchw(1, 1, 28, 28), 3, 1.0);
+        let clean = Executor::new(&model).run(std::slice::from_ref(&input)).unwrap();
+        let report = flip_weight_bits(&mut model, 20, 11).unwrap();
+        assert_eq!(report.flips, 20);
+        assert!(!report.layers_hit.is_empty());
+        let corrupted = Executor::new(&model).run(&[input]).unwrap();
+        let diff = clean[0].max_abs_diff(&corrupted[0]).unwrap();
+        assert!(diff > 0.0, "20 bit flips must perturb the output");
+    }
+
+    #[test]
+    fn activation_corruption_perturbs_downstream_output() {
+        // Corrupt the *input* activations and watch the output diverge —
+        // the §IV-B runtime-fault scenario the robustness service must
+        // catch end to end.
+        let model = zoo::lenet5(10).unwrap();
+        let input = Tensor::random(Shape::nchw(1, 1, 28, 28), 5, 1.0);
+        let clean = Executor::new(&model).run(std::slice::from_ref(&input)).unwrap();
+        let corrupted_input = corrupt_tensor(&input, 16, 3);
+        assert_ne!(corrupted_input, input);
+        let dirty = Executor::new(&model)
+            .run(std::slice::from_ref(&corrupted_input))
+            .unwrap();
+        assert!(clean[0].max_abs_diff(&dirty[0]).unwrap() > 0.0);
+        // Deterministic per seed.
+        assert_eq!(corrupt_tensor(&input, 16, 3), corrupted_input);
+    }
+
+    #[test]
+    fn zero_flips_is_a_no_op_report() {
+        let mut model = zoo::lenet5(10).unwrap();
+        let report = flip_weight_bits(&mut model, 0, 1).unwrap();
+        assert_eq!(report.flips, 0);
+        model.validate().unwrap();
+    }
+}

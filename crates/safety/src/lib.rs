@@ -1,0 +1,39 @@
+//! Safety mechanisms for deep-learning IoT systems (paper §IV-B).
+//!
+//! "VEDLIoT focuses on monitoring approaches to detect faulty situations
+//! and trigger appropriate reactive measures. The work is being developed
+//! in two directions. Firstly, the problem of characterizing the quality
+//! of the input data … Secondly, the problem of detecting errors on the
+//! output data … the approach consists in periodically submitting both
+//! the input and the output data to a robustness service, which holds a
+//! copy of the DL model and can verify the correctness of the output
+//! data. … an architectural pattern comprising two separate parts is
+//! considered, based on the concept of architectural hybridization."
+//!
+//! * [`monitors`] — input-quality monitors for time series (range,
+//!   z-score outlier, stuck-at, drift) and images (noise variance,
+//!   saturation, blackout),
+//! * [`robustness`] — the output robustness service holding a model copy,
+//! * [`inject`] — fault injection (weight bit flips, sensor faults) used
+//!   to evaluate the monitors,
+//! * [`hybrid`] — the architectural-hybridization pattern: a small
+//!   verified safety kernel supervising a complex untrusted payload,
+//!   with voting combinators.
+//!
+//! # Example
+//!
+//! ```
+//! use vedliot_safety::monitors::{RangeMonitor, SampleMonitor, Verdict};
+//!
+//! let mut monitor = RangeMonitor::new(-40.0, 125.0); // a temp sensor
+//! assert_eq!(monitor.observe(21.5), Verdict::Ok);
+//! assert!(matches!(monitor.observe(300.0), Verdict::Suspect(_)));
+//! ```
+
+pub mod hybrid;
+pub mod inject;
+pub mod monitors;
+pub mod robustness;
+
+pub use monitors::{SampleMonitor, Verdict};
+pub use robustness::RobustnessService;

@@ -1,0 +1,509 @@
+//! Input data-quality monitors.
+//!
+//! Paper §IV-B: "Different monitoring and error detection mechanisms are
+//! developed, depending on the kinds of input data (e.g., time series,
+//! image) and on the error types (e.g., outliers, image noise)."
+//!
+//! Time-series monitors implement [`SampleMonitor`] (one verdict per
+//! sample); image monitors implement [`ImageMonitor`] (one verdict per
+//! frame). Monitors are deliberately simple and auditable — they sit on
+//! the safety path.
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use vedliot_nnir::Tensor;
+
+/// Monitor verdict for one observation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Verdict {
+    /// The observation looks healthy.
+    Ok,
+    /// The observation is suspect, with a reason for the log.
+    Suspect(String),
+}
+
+impl Verdict {
+    /// Whether this verdict is [`Verdict::Ok`].
+    #[must_use]
+    pub fn is_ok(&self) -> bool {
+        matches!(self, Verdict::Ok)
+    }
+}
+
+/// A per-sample (time-series) monitor.
+pub trait SampleMonitor {
+    /// Monitor name for reports.
+    fn name(&self) -> &str;
+
+    /// Observes one sample and returns a verdict.
+    fn observe(&mut self, sample: f64) -> Verdict;
+
+    /// Resets internal state (e.g. after a sensor swap).
+    fn reset(&mut self);
+}
+
+/// A per-frame image monitor.
+pub trait ImageMonitor {
+    /// Monitor name for reports.
+    fn name(&self) -> &str;
+
+    /// Observes one image tensor and returns a verdict.
+    fn observe(&mut self, frame: &Tensor) -> Verdict;
+}
+
+// ---------------------------------------------------------------------
+// Time-series monitors
+// ---------------------------------------------------------------------
+
+/// Flags samples outside a fixed physical range.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RangeMonitor {
+    min: f64,
+    max: f64,
+}
+
+impl RangeMonitor {
+    /// Creates a range monitor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min > max`.
+    #[must_use]
+    pub fn new(min: f64, max: f64) -> Self {
+        assert!(min <= max, "range bounds inverted");
+        RangeMonitor { min, max }
+    }
+}
+
+impl SampleMonitor for RangeMonitor {
+    fn name(&self) -> &str {
+        "range"
+    }
+
+    fn observe(&mut self, sample: f64) -> Verdict {
+        if sample.is_nan() {
+            return Verdict::Suspect("sample is NaN".into());
+        }
+        if sample < self.min || sample > self.max {
+            Verdict::Suspect(format!(
+                "sample {sample} outside physical range [{}, {}]",
+                self.min, self.max
+            ))
+        } else {
+            Verdict::Ok
+        }
+    }
+
+    fn reset(&mut self) {}
+}
+
+/// Flags samples more than `threshold` standard deviations from the
+/// rolling-window mean.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ZScoreMonitor {
+    window: usize,
+    threshold: f64,
+    history: VecDeque<f64>,
+}
+
+impl ZScoreMonitor {
+    /// Creates a z-score monitor over a rolling window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window < 4` or `threshold <= 0`.
+    #[must_use]
+    pub fn new(window: usize, threshold: f64) -> Self {
+        assert!(window >= 4, "window too small to estimate variance");
+        assert!(threshold > 0.0, "threshold must be positive");
+        ZScoreMonitor {
+            window,
+            threshold,
+            history: VecDeque::new(),
+        }
+    }
+}
+
+impl SampleMonitor for ZScoreMonitor {
+    fn name(&self) -> &str {
+        "zscore"
+    }
+
+    fn observe(&mut self, sample: f64) -> Verdict {
+        let verdict = if self.history.len() >= self.window {
+            let n = self.history.len() as f64;
+            let mean: f64 = self.history.iter().sum::<f64>() / n;
+            let var: f64 =
+                self.history.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+            let sigma = var.sqrt().max(1e-9);
+            let z = (sample - mean).abs() / sigma;
+            if z > self.threshold {
+                Verdict::Suspect(format!("z-score {z:.1} exceeds {}", self.threshold))
+            } else {
+                Verdict::Ok
+            }
+        } else {
+            Verdict::Ok // warming up
+        };
+        // Outliers are excluded from the baseline so a burst cannot
+        // poison the window.
+        if verdict.is_ok() {
+            self.history.push_back(sample);
+            if self.history.len() > self.window {
+                self.history.pop_front();
+            }
+        }
+        verdict
+    }
+
+    fn reset(&mut self) {
+        self.history.clear();
+    }
+}
+
+/// Flags a sensor stuck at a constant value for `limit` samples.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StuckAtMonitor {
+    limit: usize,
+    last: Option<f64>,
+    repeats: usize,
+}
+
+impl StuckAtMonitor {
+    /// Creates the monitor; `limit` identical samples raise a verdict.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `limit < 2`.
+    #[must_use]
+    pub fn new(limit: usize) -> Self {
+        assert!(limit >= 2, "limit must be at least 2");
+        StuckAtMonitor {
+            limit,
+            last: None,
+            repeats: 0,
+        }
+    }
+}
+
+impl SampleMonitor for StuckAtMonitor {
+    fn name(&self) -> &str {
+        "stuck-at"
+    }
+
+    fn observe(&mut self, sample: f64) -> Verdict {
+        if Some(sample) == self.last {
+            self.repeats += 1;
+        } else {
+            self.last = Some(sample);
+            self.repeats = 1;
+        }
+        if self.repeats >= self.limit {
+            Verdict::Suspect(format!(
+                "value {sample} repeated {} times (sensor stuck?)",
+                self.repeats
+            ))
+        } else {
+            Verdict::Ok
+        }
+    }
+
+    fn reset(&mut self) {
+        self.last = None;
+        self.repeats = 0;
+    }
+}
+
+/// Flags slow sensor drift: the mean of the recent half of a window
+/// diverging from the older half by more than `max_shift`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DriftMonitor {
+    window: usize,
+    max_shift: f64,
+    history: VecDeque<f64>,
+}
+
+impl DriftMonitor {
+    /// Creates a drift monitor over `window` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window < 8` or `max_shift <= 0`.
+    #[must_use]
+    pub fn new(window: usize, max_shift: f64) -> Self {
+        assert!(window >= 8, "window too small for drift estimation");
+        assert!(max_shift > 0.0, "max_shift must be positive");
+        DriftMonitor {
+            window,
+            max_shift,
+            history: VecDeque::new(),
+        }
+    }
+}
+
+impl SampleMonitor for DriftMonitor {
+    fn name(&self) -> &str {
+        "drift"
+    }
+
+    fn observe(&mut self, sample: f64) -> Verdict {
+        self.history.push_back(sample);
+        if self.history.len() > self.window {
+            self.history.pop_front();
+        }
+        if self.history.len() == self.window {
+            let half = self.window / 2;
+            let older: f64 = self.history.iter().take(half).sum::<f64>() / half as f64;
+            let newer: f64 =
+                self.history.iter().skip(half).sum::<f64>() / (self.window - half) as f64;
+            let shift = (newer - older).abs();
+            if shift > self.max_shift {
+                return Verdict::Suspect(format!(
+                    "baseline shifted by {shift:.3} (> {})",
+                    self.max_shift
+                ));
+            }
+        }
+        Verdict::Ok
+    }
+
+    fn reset(&mut self) {
+        self.history.clear();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Image monitors
+// ---------------------------------------------------------------------
+
+/// Estimates per-frame noise from horizontal first differences and flags
+/// frames whose noise estimate exceeds a bound (camera degradation or an
+/// injected-noise attack).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NoiseMonitor {
+    max_sigma: f32,
+}
+
+impl NoiseMonitor {
+    /// Creates the monitor with a noise bound (in pixel units).
+    #[must_use]
+    pub fn new(max_sigma: f32) -> Self {
+        NoiseMonitor { max_sigma }
+    }
+
+    /// Median-absolute-difference noise estimate of a frame.
+    #[must_use]
+    pub fn estimate_sigma(frame: &Tensor) -> f32 {
+        let dims = frame.shape().dims();
+        if dims.len() < 2 {
+            return 0.0;
+        }
+        let w = *dims.last().expect("rank >= 2");
+        let data = frame.data();
+        let mut diffs: Vec<f32> = data
+            .chunks(w)
+            .flat_map(|row| row.windows(2).map(|p| (p[1] - p[0]).abs()))
+            .collect();
+        if diffs.is_empty() {
+            return 0.0;
+        }
+        let mid = diffs.len() / 2;
+        diffs.select_nth_unstable_by(mid, |a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        // sigma ≈ median(|d|) / (0.6745 * sqrt(2)) for Gaussian noise.
+        diffs[mid] / 0.9539
+    }
+}
+
+impl ImageMonitor for NoiseMonitor {
+    fn name(&self) -> &str {
+        "image-noise"
+    }
+
+    fn observe(&mut self, frame: &Tensor) -> Verdict {
+        let sigma = Self::estimate_sigma(frame);
+        if sigma > self.max_sigma {
+            Verdict::Suspect(format!(
+                "noise sigma {sigma:.3} exceeds bound {}",
+                self.max_sigma
+            ))
+        } else {
+            Verdict::Ok
+        }
+    }
+}
+
+/// Flags frames with too many saturated pixels (over-exposure, laser
+/// blinding) or an almost-black frame (covered lens, failure).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExposureMonitor {
+    /// Pixel value treated as saturation.
+    pub saturation_level: f32,
+    /// Maximum tolerated fraction of saturated pixels.
+    pub max_saturated_fraction: f32,
+    /// Mean below which the frame counts as blacked out.
+    pub blackout_mean: f32,
+}
+
+impl ExposureMonitor {
+    /// Creates the monitor with conventional 8-bit camera defaults
+    /// (pixels normalized to `[0, 1]`).
+    #[must_use]
+    pub fn new() -> Self {
+        ExposureMonitor {
+            saturation_level: 0.98,
+            max_saturated_fraction: 0.25,
+            blackout_mean: 0.02,
+        }
+    }
+}
+
+impl Default for ExposureMonitor {
+    fn default() -> Self {
+        ExposureMonitor::new()
+    }
+}
+
+impl ImageMonitor for ExposureMonitor {
+    fn name(&self) -> &str {
+        "exposure"
+    }
+
+    fn observe(&mut self, frame: &Tensor) -> Verdict {
+        let data = frame.data();
+        if data.is_empty() {
+            return Verdict::Suspect("empty frame".into());
+        }
+        let saturated = data
+            .iter()
+            .filter(|&&p| p >= self.saturation_level)
+            .count() as f32
+            / data.len() as f32;
+        if saturated > self.max_saturated_fraction {
+            return Verdict::Suspect(format!(
+                "{:.0}% of pixels saturated",
+                saturated * 100.0
+            ));
+        }
+        if frame.mean() < self.blackout_mean {
+            return Verdict::Suspect("frame is blacked out".into());
+        }
+        Verdict::Ok
+    }
+}
+
+/// Runs a bank of sample monitors over one series and reports, per
+/// monitor, how many samples were flagged.
+pub fn screen_series(
+    monitors: &mut [Box<dyn SampleMonitor>],
+    series: &[f64],
+) -> Vec<(String, usize)> {
+    let mut counts: Vec<(String, usize)> = monitors
+        .iter()
+        .map(|m| (m.name().to_string(), 0))
+        .collect();
+    for &sample in series {
+        for (monitor, count) in monitors.iter_mut().zip(counts.iter_mut()) {
+            if !monitor.observe(sample).is_ok() {
+                count.1 += 1;
+            }
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vedliot_nnir::Shape;
+
+    #[test]
+    fn range_monitor_flags_out_of_range_and_nan() {
+        let mut m = RangeMonitor::new(0.0, 10.0);
+        assert!(m.observe(5.0).is_ok());
+        assert!(!m.observe(-1.0).is_ok());
+        assert!(!m.observe(f64::NAN).is_ok());
+    }
+
+    #[test]
+    fn zscore_flags_spikes_but_not_noise() {
+        let mut m = ZScoreMonitor::new(16, 4.0);
+        // Stable signal with small noise.
+        for i in 0..50 {
+            let x = 10.0 + 0.1 * ((i * 37 % 11) as f64 / 11.0 - 0.5);
+            assert!(m.observe(x).is_ok(), "sample {i} wrongly flagged");
+        }
+        // A large spike is flagged.
+        assert!(!m.observe(25.0).is_ok());
+        // And it does not poison the window: normal samples still pass.
+        assert!(m.observe(10.05).is_ok());
+    }
+
+    #[test]
+    fn stuck_at_fires_only_after_limit() {
+        let mut m = StuckAtMonitor::new(3);
+        assert!(m.observe(1.0).is_ok());
+        assert!(m.observe(1.0).is_ok());
+        assert!(!m.observe(1.0).is_ok());
+        // Changing value recovers.
+        assert!(m.observe(2.0).is_ok());
+    }
+
+    #[test]
+    fn drift_monitor_detects_slow_baseline_shift() {
+        let mut m = DriftMonitor::new(32, 0.5);
+        let mut flagged = false;
+        for i in 0..200 {
+            let x = i as f64 * 0.05; // slow ramp
+            if !m.observe(x).is_ok() {
+                flagged = true;
+                break;
+            }
+        }
+        assert!(flagged, "ramp of 0.05/sample must trip a 0.5 shift bound");
+        // A flat signal never trips it.
+        let mut m = DriftMonitor::new(32, 0.5);
+        for _ in 0..200 {
+            assert!(m.observe(3.0).is_ok());
+        }
+    }
+
+    #[test]
+    fn noise_monitor_separates_clean_from_noisy_frames() {
+        let clean = Tensor::from_fn(Shape::nchw(1, 1, 16, 16), |i| ((i % 16) as f32) / 16.0);
+        let noisy = vedliot_nnir::dataset::with_noise(&clean, 0.3, 7);
+        let mut m = NoiseMonitor::new(0.1);
+        assert!(m.observe(&clean).is_ok());
+        assert!(!m.observe(&noisy).is_ok());
+    }
+
+    #[test]
+    fn exposure_monitor_flags_saturation_and_blackout() {
+        let mut m = ExposureMonitor::new();
+        let normal = Tensor::full(Shape::nchw(1, 1, 8, 8), 0.5);
+        assert!(m.observe(&normal).is_ok());
+        let blinded = Tensor::full(Shape::nchw(1, 1, 8, 8), 1.0);
+        assert!(!m.observe(&blinded).is_ok());
+        let dark = Tensor::full(Shape::nchw(1, 1, 8, 8), 0.0);
+        assert!(!m.observe(&dark).is_ok());
+    }
+
+    #[test]
+    fn screen_series_counts_per_monitor() {
+        let mut monitors: Vec<Box<dyn SampleMonitor>> = vec![
+            Box::new(RangeMonitor::new(0.0, 100.0)),
+            Box::new(StuckAtMonitor::new(3)),
+        ];
+        let series = vec![1.0, 2.0, 500.0, 7.0, 7.0, 7.0, 7.0];
+        let counts = screen_series(&mut monitors, &series);
+        assert_eq!(counts[0], ("range".to_string(), 1));
+        assert_eq!(counts[1], ("stuck-at".to_string(), 2));
+    }
+
+    #[test]
+    fn reset_clears_monitor_state() {
+        let mut m = StuckAtMonitor::new(2);
+        let _ = m.observe(4.0);
+        m.reset();
+        assert!(m.observe(4.0).is_ok(), "reset must forget the last value");
+    }
+}

@@ -1,0 +1,176 @@
+//! The output robustness service.
+//!
+//! Paper §IV-B: "the approach consists in periodically submitting both
+//! the input and the output data to a robustness service, which holds a
+//! copy of the DL model and can verify the correctness of the output
+//! data" — detecting systematic faults (bit flips, attacks) in the
+//! deployed model by re-executing a golden copy.
+
+use serde::{Deserialize, Serialize};
+use vedliot_nnir::exec::Executor;
+use vedliot_nnir::{Graph, NnirError, Tensor};
+
+/// Verdict on one submitted (input, output) pair.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum OutputVerdict {
+    /// Not checked this period (sampling).
+    Skipped,
+    /// Re-execution matched within tolerance.
+    Verified,
+    /// Re-execution diverged: the deployed model is faulty/compromised.
+    Diverged {
+        /// Maximum absolute difference observed.
+        max_diff: f32,
+    },
+}
+
+/// Statistics kept by the service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct RobustnessStats {
+    /// Pairs submitted.
+    pub submitted: u64,
+    /// Pairs actually re-executed.
+    pub checked: u64,
+    /// Divergences detected.
+    pub divergences: u64,
+}
+
+/// The robustness service: a golden model copy plus a sampling policy.
+///
+/// In the deployed architecture this service runs on a *different* node
+/// (or inside an enclave — see `vedliot-trust`) than the primary model,
+/// so a fault cannot affect both copies.
+#[derive(Debug)]
+pub struct RobustnessService {
+    golden: Graph,
+    /// Check every `period`-th submission (1 = check everything).
+    period: u64,
+    tolerance: f32,
+    stats: RobustnessStats,
+}
+
+impl RobustnessService {
+    /// Creates the service around a golden model copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period == 0` or `tolerance < 0`.
+    #[must_use]
+    pub fn new(golden: Graph, period: u64, tolerance: f32) -> Self {
+        assert!(period > 0, "period must be at least 1");
+        assert!(tolerance >= 0.0, "tolerance must be non-negative");
+        RobustnessService {
+            golden,
+            period,
+            tolerance,
+            stats: RobustnessStats::default(),
+        }
+    }
+
+    /// Accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> RobustnessStats {
+        self.stats
+    }
+
+    /// Submits an (input, claimed output) pair. Every `period`-th pair is
+    /// re-executed on the golden copy and compared.
+    ///
+    /// # Errors
+    ///
+    /// Propagates execution failures (shape mismatch etc.).
+    pub fn submit(
+        &mut self,
+        input: &Tensor,
+        claimed_output: &Tensor,
+    ) -> Result<OutputVerdict, NnirError> {
+        self.stats.submitted += 1;
+        if !self.stats.submitted.is_multiple_of(self.period) {
+            return Ok(OutputVerdict::Skipped);
+        }
+        self.stats.checked += 1;
+        let golden_out = Executor::new(&self.golden).run(std::slice::from_ref(input))?;
+        let max_diff = golden_out[0].max_abs_diff(claimed_output)?;
+        if max_diff > self.tolerance {
+            self.stats.divergences += 1;
+            Ok(OutputVerdict::Diverged { max_diff })
+        } else {
+            Ok(OutputVerdict::Verified)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inject::flip_weight_bits;
+    use vedliot_nnir::{zoo, Shape};
+
+    fn model_and_input() -> (Graph, Tensor) {
+        (
+            zoo::lenet5(10).unwrap(),
+            Tensor::random(Shape::nchw(1, 1, 28, 28), 5, 1.0),
+        )
+    }
+
+    #[test]
+    fn healthy_outputs_verify() {
+        let (model, input) = model_and_input();
+        let output = Executor::new(&model).run(std::slice::from_ref(&input)).unwrap().remove(0);
+        let mut service = RobustnessService::new(model, 1, 1e-5);
+        let verdict = service.submit(&input, &output).unwrap();
+        assert_eq!(verdict, OutputVerdict::Verified);
+        assert_eq!(service.stats().divergences, 0);
+    }
+
+    #[test]
+    fn corrupted_deployment_is_detected() {
+        let (golden, input) = model_and_input();
+        // The deployed copy suffers weight bit flips.
+        let mut deployed = golden.clone();
+        flip_weight_bits(&mut deployed, 30, 3).unwrap();
+        let bad_output = Executor::new(&deployed)
+            .run(std::slice::from_ref(&input))
+            .unwrap()
+            .remove(0);
+        let mut service = RobustnessService::new(golden, 1, 1e-4);
+        match service.submit(&input, &bad_output).unwrap() {
+            OutputVerdict::Diverged { max_diff } => assert!(max_diff > 1e-4),
+            other => panic!("expected divergence, got {other:?}"),
+        }
+        assert_eq!(service.stats().divergences, 1);
+    }
+
+    #[test]
+    fn sampling_period_skips_most_submissions() {
+        let (model, input) = model_and_input();
+        let output = Executor::new(&model).run(std::slice::from_ref(&input)).unwrap().remove(0);
+        let mut service = RobustnessService::new(model, 5, 1e-5);
+        let mut skipped = 0;
+        for _ in 0..10 {
+            if service.submit(&input, &output).unwrap() == OutputVerdict::Skipped {
+                skipped += 1;
+            }
+        }
+        assert_eq!(skipped, 8);
+        assert_eq!(service.stats().checked, 2);
+    }
+
+    #[test]
+    fn tolerance_absorbs_quantization_differences() {
+        // A deployed model that is merely quantized (small deviation)
+        // should NOT be flagged when tolerance covers the quant step.
+        let (golden, input) = model_and_input();
+        let output = Executor::new(&golden)
+            .run(std::slice::from_ref(&input))
+            .unwrap()
+            .remove(0);
+        let mut slightly_off = output.clone();
+        slightly_off.data_mut()[0] += 0.01;
+        let mut service = RobustnessService::new(golden, 1, 0.05);
+        assert_eq!(
+            service.submit(&input, &slightly_off).unwrap(),
+            OutputVerdict::Verified
+        );
+    }
+}

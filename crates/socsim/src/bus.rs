@@ -1,0 +1,249 @@
+//! System bus, RAM and peripherals.
+//!
+//! Memory map (matches the small LiteX/VexRISC-V SoCs Renode typically
+//! simulates):
+//!
+//! | Region      | Base          | Size        |
+//! |-------------|---------------|-------------|
+//! | RAM         | `0x0000_0000` | configurable|
+//! | UART        | `0x1000_0000` | 16 bytes    |
+//! | Machine timer | `0x1100_0000` | 16 bytes  |
+
+use serde::{Deserialize, Serialize};
+
+/// Base address of the UART transmit register.
+pub const UART_BASE: u32 = 0x1000_0000;
+/// Base address of the machine timer (`mtime` low word).
+pub const TIMER_BASE: u32 = 0x1100_0000;
+
+/// A bus access fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BusFault {
+    /// Faulting address.
+    pub addr: u32,
+    /// Whether the access was a store.
+    pub store: bool,
+}
+
+impl std::fmt::Display for BusFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "bus {} fault at {:#010x}",
+            if self.store { "store" } else { "load" },
+            self.addr
+        )
+    }
+}
+
+impl std::error::Error for BusFault {}
+
+/// The system bus: RAM plus memory-mapped peripherals.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SystemBus {
+    ram: Vec<u8>,
+    uart_tx: Vec<u8>,
+    /// Machine timer, incremented once per executed cycle.
+    pub mtime: u64,
+    /// Timer compare register.
+    pub mtimecmp: u64,
+}
+
+impl SystemBus {
+    /// Creates a bus with `ram_bytes` of zeroed RAM at address 0.
+    #[must_use]
+    pub fn new(ram_bytes: usize) -> Self {
+        SystemBus {
+            ram: vec![0; ram_bytes],
+            uart_tx: Vec::new(),
+            mtime: 0,
+            mtimecmp: u64::MAX,
+        }
+    }
+
+    /// RAM size in bytes.
+    #[must_use]
+    pub fn ram_size(&self) -> usize {
+        self.ram.len()
+    }
+
+    /// Everything written to the UART so far.
+    #[must_use]
+    pub fn uart_output(&self) -> &[u8] {
+        &self.uart_tx
+    }
+
+    /// UART output interpreted as UTF-8 (lossy).
+    #[must_use]
+    pub fn uart_text(&self) -> String {
+        String::from_utf8_lossy(&self.uart_tx).into_owned()
+    }
+
+    /// Copies bytes into RAM (firmware loading, test data).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BusFault`] if the range exceeds RAM.
+    pub fn write_bytes(&mut self, addr: u32, data: &[u8]) -> Result<(), BusFault> {
+        let start = addr as usize;
+        let end = start.checked_add(data.len()).ok_or(BusFault { addr, store: true })?;
+        if end > self.ram.len() {
+            return Err(BusFault { addr, store: true });
+        }
+        self.ram[start..end].copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Reads a byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BusFault`] on an unmapped address.
+    pub fn load8(&mut self, addr: u32) -> Result<u8, BusFault> {
+        if (addr as usize) < self.ram.len() {
+            return Ok(self.ram[addr as usize]);
+        }
+        match addr {
+            a if a == UART_BASE => Ok(0), // no RX modelled
+            a if (TIMER_BASE..TIMER_BASE + 16).contains(&a) => {
+                let bytes = self.timer_bytes();
+                Ok(bytes[(addr - TIMER_BASE) as usize])
+            }
+            _ => Err(BusFault { addr, store: false }),
+        }
+    }
+
+    /// Writes a byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BusFault`] on an unmapped address.
+    pub fn store8(&mut self, addr: u32, value: u8) -> Result<(), BusFault> {
+        if (addr as usize) < self.ram.len() {
+            self.ram[addr as usize] = value;
+            return Ok(());
+        }
+        match addr {
+            a if a == UART_BASE => {
+                self.uart_tx.push(value);
+                Ok(())
+            }
+            a if (TIMER_BASE + 8..TIMER_BASE + 16).contains(&a) => {
+                let off = (addr - TIMER_BASE - 8) as usize;
+                let mut bytes = self.mtimecmp.to_le_bytes();
+                bytes[off] = value;
+                self.mtimecmp = u64::from_le_bytes(bytes);
+                Ok(())
+            }
+            _ => Err(BusFault { addr, store: true }),
+        }
+    }
+
+    fn timer_bytes(&self) -> [u8; 16] {
+        let mut out = [0u8; 16];
+        out[..8].copy_from_slice(&self.mtime.to_le_bytes());
+        out[8..].copy_from_slice(&self.mtimecmp.to_le_bytes());
+        out
+    }
+
+    /// Reads a 16-bit little-endian halfword.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BusFault`] on an unmapped address.
+    pub fn load16(&mut self, addr: u32) -> Result<u16, BusFault> {
+        Ok(u16::from_le_bytes([self.load8(addr)?, self.load8(addr + 1)?]))
+    }
+
+    /// Reads a 32-bit little-endian word.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BusFault`] on an unmapped address.
+    pub fn load32(&mut self, addr: u32) -> Result<u32, BusFault> {
+        Ok(u32::from_le_bytes([
+            self.load8(addr)?,
+            self.load8(addr + 1)?,
+            self.load8(addr + 2)?,
+            self.load8(addr + 3)?,
+        ]))
+    }
+
+    /// Writes a 16-bit little-endian halfword.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BusFault`] on an unmapped address.
+    pub fn store16(&mut self, addr: u32, value: u16) -> Result<(), BusFault> {
+        let b = value.to_le_bytes();
+        self.store8(addr, b[0])?;
+        self.store8(addr + 1, b[1])
+    }
+
+    /// Writes a 32-bit little-endian word.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BusFault`] on an unmapped address.
+    pub fn store32(&mut self, addr: u32, value: u32) -> Result<(), BusFault> {
+        let b = value.to_le_bytes();
+        self.store8(addr, b[0])?;
+        self.store8(addr + 1, b[1])?;
+        self.store8(addr + 2, b[2])?;
+        self.store8(addr + 3, b[3])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ram_read_write_round_trip() {
+        let mut bus = SystemBus::new(1024);
+        bus.store32(0x100, 0xDEAD_BEEF).unwrap();
+        assert_eq!(bus.load32(0x100).unwrap(), 0xDEAD_BEEF);
+        assert_eq!(bus.load8(0x100).unwrap(), 0xEF); // little-endian
+        assert_eq!(bus.load16(0x102).unwrap(), 0xDEAD);
+    }
+
+    #[test]
+    fn uart_collects_output() {
+        let mut bus = SystemBus::new(64);
+        for b in b"hi" {
+            bus.store8(UART_BASE, *b).unwrap();
+        }
+        assert_eq!(bus.uart_text(), "hi");
+    }
+
+    #[test]
+    fn unmapped_access_faults() {
+        let mut bus = SystemBus::new(64);
+        assert_eq!(
+            bus.load8(0x8000_0000),
+            Err(BusFault {
+                addr: 0x8000_0000,
+                store: false
+            })
+        );
+        assert!(bus.store8(0x4000_0000, 1).is_err());
+    }
+
+    #[test]
+    fn out_of_range_ram_write_is_fault() {
+        let mut bus = SystemBus::new(16);
+        assert!(bus.write_bytes(12, &[0; 8]).is_err());
+        assert!(bus.write_bytes(8, &[0; 8]).is_ok());
+    }
+
+    #[test]
+    fn timer_is_readable_and_cmp_writable() {
+        let mut bus = SystemBus::new(64);
+        bus.mtime = 0x1122_3344_5566_7788;
+        assert_eq!(bus.load32(TIMER_BASE).unwrap(), 0x5566_7788);
+        assert_eq!(bus.load32(TIMER_BASE + 4).unwrap(), 0x1122_3344);
+        bus.store32(TIMER_BASE + 8, 0x1000).unwrap();
+        bus.store32(TIMER_BASE + 12, 0).unwrap();
+        assert_eq!(bus.mtimecmp, 0x1000);
+    }
+}

@@ -1,0 +1,872 @@
+//! RV32IM core with machine/user privilege modes, traps, CSRs and the
+//! PMP unit wired into every bus access.
+//!
+//! The modelled core corresponds to the VexRISC-V configurations the
+//! paper extends: RV32IM, M+U modes, PMP — "in small devices that only
+//! support machine mode (M-mode) and user mode (U-mode), the PMP
+//! configurations can efficiently ensure the secure execution of software
+//! in M-mode and U-mode".
+
+use crate::bus::SystemBus;
+use crate::cfu::Cfu;
+use crate::pmp::{AccessKind, PmpUnit};
+use serde::{Deserialize, Serialize};
+
+/// Privilege mode of the hart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PrivilegeMode {
+    /// U-mode (payload software).
+    User,
+    /// M-mode (firmware / security monitor).
+    Machine,
+}
+
+/// A synchronous trap cause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Trap {
+    /// Instruction address misaligned.
+    InstrMisaligned(u32),
+    /// Instruction access fault (PMP or unmapped).
+    InstrAccessFault(u32),
+    /// Illegal instruction (raw encoding).
+    IllegalInstruction(u32),
+    /// Breakpoint (EBREAK).
+    Breakpoint,
+    /// Load access fault.
+    LoadAccessFault(u32),
+    /// Store access fault.
+    StoreAccessFault(u32),
+    /// Environment call from U-mode.
+    EcallFromU,
+    /// Environment call from M-mode.
+    EcallFromM,
+}
+
+impl Trap {
+    /// The `mcause` encoding of this trap.
+    #[must_use]
+    pub fn mcause(&self) -> u32 {
+        match self {
+            Trap::InstrMisaligned(_) => 0,
+            Trap::InstrAccessFault(_) => 1,
+            Trap::IllegalInstruction(_) => 2,
+            Trap::Breakpoint => 3,
+            Trap::LoadAccessFault(_) => 5,
+            Trap::StoreAccessFault(_) => 7,
+            Trap::EcallFromU => 8,
+            Trap::EcallFromM => 11,
+        }
+    }
+
+    /// The `mtval` value for this trap.
+    #[must_use]
+    pub fn mtval(&self) -> u32 {
+        match self {
+            Trap::InstrMisaligned(a)
+            | Trap::InstrAccessFault(a)
+            | Trap::LoadAccessFault(a)
+            | Trap::StoreAccessFault(a)
+            | Trap::IllegalInstruction(a) => *a,
+            _ => 0,
+        }
+    }
+}
+
+/// Fatal simulation error (distinct from an architectural trap: these end
+/// the simulation rather than redirecting to `mtvec`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimError {
+    /// A trap occurred but `mtvec` is zero — firmware installed no
+    /// handler, so continuing would loop forever.
+    UnhandledTrap(Trap),
+    /// The step budget was exhausted before the firmware halted.
+    CycleLimit,
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::UnhandledTrap(t) => write!(f, "unhandled trap {t:?} with mtvec unset"),
+            SimError::CycleLimit => write!(f, "cycle limit reached before halt"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Result of one instruction step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepOutcome {
+    /// Cycles the instruction consumed.
+    pub cycles: u64,
+    /// Whether the core halted (EBREAK in M-mode).
+    pub halted: bool,
+}
+
+/// CSR addresses used by the core.
+mod csr {
+    pub const MSTATUS: u32 = 0x300;
+    pub const MISA: u32 = 0x301;
+    pub const MIE: u32 = 0x304;
+    pub const MTVEC: u32 = 0x305;
+    pub const MSCRATCH: u32 = 0x340;
+    pub const MEPC: u32 = 0x341;
+    pub const MCAUSE: u32 = 0x342;
+    pub const MTVAL: u32 = 0x343;
+    pub const MIP: u32 = 0x344;
+    pub const PMPCFG0: u32 = 0x3A0;
+    pub const PMPADDR0: u32 = 0x3B0;
+    pub const MCYCLE: u32 = 0xB00;
+    pub const MCYCLEH: u32 = 0xB80;
+}
+
+/// The RV32IM hart.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Cpu {
+    regs: [u32; 32],
+    pc: u32,
+    mode: PrivilegeMode,
+    /// The PMP unit, checked on every fetch/load/store.
+    pub pmp: PmpUnit,
+    mstatus: u32,
+    mtvec: u32,
+    mepc: u32,
+    mcause: u32,
+    mtval: u32,
+    mscratch: u32,
+    mie: u32,
+    /// Retired-cycle counter (mirrors the machine's cycle accounting).
+    pub cycles: u64,
+    /// Count of PMP checks performed (for the PMP-overhead experiment).
+    pub pmp_checks: u64,
+    /// Count of traps taken.
+    pub traps_taken: u64,
+}
+
+impl Default for Cpu {
+    fn default() -> Self {
+        Cpu::new()
+    }
+}
+
+const MSTATUS_MPP_SHIFT: u32 = 11;
+const MSTATUS_MPP_MASK: u32 = 0b11 << MSTATUS_MPP_SHIFT;
+const MSTATUS_MIE: u32 = 1 << 3;
+const MSTATUS_MPIE: u32 = 1 << 7;
+/// `mie` bit enabling the machine timer interrupt.
+pub const MIE_MTIE: u32 = 1 << 7;
+/// `mcause` value of a machine timer interrupt (interrupt bit set).
+pub const MCAUSE_MTIMER: u32 = 0x8000_0007;
+
+impl Cpu {
+    /// Creates a hart in M-mode at PC 0.
+    #[must_use]
+    pub fn new() -> Self {
+        Cpu {
+            regs: [0; 32],
+            pc: 0,
+            mode: PrivilegeMode::Machine,
+            pmp: PmpUnit::new(),
+            mstatus: MSTATUS_MPP_MASK, // MPP = 11 (machine)
+            mtvec: 0,
+            mepc: 0,
+            mcause: 0,
+            mtval: 0,
+            mscratch: 0,
+            mie: 0,
+            cycles: 0,
+            pmp_checks: 0,
+            traps_taken: 0,
+        }
+    }
+
+    /// Register `x{i}` (x0 reads as 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 32`.
+    #[must_use]
+    pub fn reg(&self, i: usize) -> u32 {
+        if i == 0 {
+            0
+        } else {
+            self.regs[i]
+        }
+    }
+
+    /// Sets register `x{i}` (writes to x0 are discarded).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 32`.
+    pub fn set_reg(&mut self, i: usize, value: u32) {
+        if i != 0 {
+            self.regs[i] = value;
+        }
+    }
+
+    /// Current program counter.
+    #[must_use]
+    pub fn pc(&self) -> u32 {
+        self.pc
+    }
+
+    /// Sets the program counter (reset vector).
+    pub fn set_pc(&mut self, pc: u32) {
+        self.pc = pc;
+    }
+
+    /// Current privilege mode.
+    #[must_use]
+    pub fn mode(&self) -> PrivilegeMode {
+        self.mode
+    }
+
+    /// `mcause` of the last trap.
+    #[must_use]
+    pub fn mcause(&self) -> u32 {
+        self.mcause
+    }
+
+    /// `mepc` of the last trap.
+    #[must_use]
+    pub fn mepc(&self) -> u32 {
+        self.mepc
+    }
+
+    fn pmp_ok(&mut self, addr: u32, size: u32, kind: AccessKind) -> bool {
+        if !self.pmp.any_active() && self.mode == PrivilegeMode::Machine {
+            return true;
+        }
+        self.pmp_checks += 1;
+        self.pmp.check(addr, size, kind, self.mode)
+    }
+
+    /// Takes a trap: saves state, enters M-mode, jumps to `mtvec`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnhandledTrap`] when `mtvec` is zero.
+    fn take_trap(&mut self, trap: Trap) -> Result<(), SimError> {
+        if self.mtvec == 0 {
+            return Err(SimError::UnhandledTrap(trap));
+        }
+        self.traps_taken += 1;
+        self.mepc = self.pc;
+        self.mcause = trap.mcause();
+        self.mtval = trap.mtval();
+        let mpp = match self.mode {
+            PrivilegeMode::User => 0b00,
+            PrivilegeMode::Machine => 0b11,
+        };
+        self.mstatus = (self.mstatus & !MSTATUS_MPP_MASK) | (mpp << MSTATUS_MPP_SHIFT);
+        self.mode = PrivilegeMode::Machine;
+        self.pc = self.mtvec & !0b11;
+        Ok(())
+    }
+
+    fn mret(&mut self) {
+        let mpp = (self.mstatus & MSTATUS_MPP_MASK) >> MSTATUS_MPP_SHIFT;
+        self.mode = if mpp == 0b11 {
+            PrivilegeMode::Machine
+        } else {
+            PrivilegeMode::User
+        };
+        // Restore MIE from MPIE; clear MPP to U; set MPIE (spec).
+        let mpie = (self.mstatus & MSTATUS_MPIE) >> 7;
+        self.mstatus =
+            (self.mstatus & !(MSTATUS_MPP_MASK | MSTATUS_MIE)) | (mpie << 3) | MSTATUS_MPIE;
+        self.pc = self.mepc;
+    }
+
+    fn csr_read(&self, addr: u32) -> Option<u32> {
+        Some(match addr {
+            csr::MSTATUS => self.mstatus,
+            csr::MISA => (1 << 30) | (1 << 8) | (1 << 12) | (1 << 20), // RV32IMU
+            csr::MIE => self.mie,
+            csr::MTVEC => self.mtvec,
+            csr::MSCRATCH => self.mscratch,
+            csr::MEPC => self.mepc,
+            csr::MCAUSE => self.mcause,
+            csr::MTVAL => self.mtval,
+            csr::MIP => 0,
+            csr::MCYCLE => self.cycles as u32,
+            csr::MCYCLEH => (self.cycles >> 32) as u32,
+            a if (csr::PMPCFG0..csr::PMPCFG0 + 4).contains(&a) => {
+                let base = (a - csr::PMPCFG0) as usize * 4;
+                let mut v = 0u32;
+                for i in 0..4 {
+                    v |= (self.pmp.read_cfg(base + i) as u32) << (8 * i);
+                }
+                v
+            }
+            a if (csr::PMPADDR0..csr::PMPADDR0 + 16).contains(&a) => {
+                self.pmp.read_addr((a - csr::PMPADDR0) as usize)
+            }
+            _ => return None,
+        })
+    }
+
+    fn csr_write(&mut self, addr: u32, value: u32) -> bool {
+        match addr {
+            csr::MSTATUS => self.mstatus = value,
+            csr::MIE => self.mie = value,
+            csr::MTVEC => self.mtvec = value,
+            csr::MSCRATCH => self.mscratch = value,
+            csr::MEPC => self.mepc = value & !0b1,
+            csr::MCAUSE => self.mcause = value,
+            csr::MTVAL => self.mtval = value,
+            csr::MISA | csr::MIP | csr::MCYCLE | csr::MCYCLEH => {}
+            a if (csr::PMPCFG0..csr::PMPCFG0 + 4).contains(&a) => {
+                let base = (a - csr::PMPCFG0) as usize * 4;
+                for i in 0..4 {
+                    self.pmp.write_cfg(base + i, (value >> (8 * i)) as u8);
+                }
+            }
+            a if (csr::PMPADDR0..csr::PMPADDR0 + 16).contains(&a) => {
+                self.pmp.write_addr((a - csr::PMPADDR0) as usize, value);
+            }
+            _ => return false,
+        }
+        true
+    }
+
+    /// Executes one instruction.
+    ///
+    /// Architectural traps are taken internally (redirect to `mtvec`) and
+    /// consume cycles; only unhandleable situations surface as errors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnhandledTrap`] for a trap with no handler
+    /// installed.
+    pub fn step(
+        &mut self,
+        bus: &mut SystemBus,
+        cfu: Option<&mut (dyn Cfu + '_)>,
+    ) -> Result<StepOutcome, SimError> {
+        macro_rules! trap {
+            ($t:expr) => {{
+                self.take_trap($t)?;
+                self.cycles += 4;
+                return Ok(StepOutcome {
+                    cycles: 4,
+                    halted: false,
+                });
+            }};
+        }
+
+        // Machine-timer interrupt: pending when mtime >= mtimecmp and
+        // enabled via mie.MTIE, taken when interrupts are globally
+        // enabled (mstatus.MIE in M-mode; always in U-mode, per spec).
+        if bus.mtime >= bus.mtimecmp
+            && self.mie & MIE_MTIE != 0
+            && (self.mode == PrivilegeMode::User || self.mstatus & MSTATUS_MIE != 0)
+        {
+            if self.mtvec == 0 {
+                return Err(SimError::UnhandledTrap(Trap::EcallFromM));
+            }
+            self.traps_taken += 1;
+            self.mepc = self.pc;
+            self.mcause = MCAUSE_MTIMER;
+            self.mtval = 0;
+            let mpp = match self.mode {
+                PrivilegeMode::User => 0b00,
+                PrivilegeMode::Machine => 0b11,
+            };
+            // Save MIE into MPIE and clear MIE (nested-interrupt guard).
+            let mie_bit = (self.mstatus & MSTATUS_MIE) >> 3;
+            self.mstatus = (self.mstatus & !(MSTATUS_MPP_MASK | MSTATUS_MIE | MSTATUS_MPIE))
+                | (mpp << MSTATUS_MPP_SHIFT)
+                | (mie_bit << 7);
+            self.mode = PrivilegeMode::Machine;
+            self.pc = self.mtvec & !0b11;
+            self.cycles += 4;
+            bus.mtime += 4;
+            return Ok(StepOutcome {
+                cycles: 4,
+                halted: false,
+            });
+        }
+
+        let pc = self.pc;
+        if !pc.is_multiple_of(4) {
+            trap!(Trap::InstrMisaligned(pc));
+        }
+        if !self.pmp_ok(pc, 4, AccessKind::Execute) {
+            trap!(Trap::InstrAccessFault(pc));
+        }
+        let instr = match bus.load32(pc) {
+            Ok(i) => i,
+            Err(_) => trap!(Trap::InstrAccessFault(pc)),
+        };
+
+        let opcode = instr & 0x7F;
+        let rd = ((instr >> 7) & 0x1F) as usize;
+        let rs1 = ((instr >> 15) & 0x1F) as usize;
+        let rs2 = ((instr >> 20) & 0x1F) as usize;
+        let funct3 = (instr >> 12) & 0x7;
+        let funct7 = (instr >> 25) & 0x7F;
+        let imm_i = (instr as i32) >> 20;
+        let imm_s = (((instr & 0xFE00_0000) as i32) >> 20) | (((instr >> 7) & 0x1F) as i32);
+        let imm_b = ((((instr >> 31) & 1) << 12)
+            | (((instr >> 7) & 1) << 11)
+            | (((instr >> 25) & 0x3F) << 5)
+            | (((instr >> 8) & 0xF) << 1)) as i32;
+        let imm_b = (imm_b << 19) >> 19; // sign-extend 13 bits
+        let imm_u = (instr & 0xFFFF_F000) as i32;
+        let imm_j = ((((instr >> 31) & 1) << 20)
+            | (((instr >> 12) & 0xFF) << 12)
+            | (((instr >> 20) & 1) << 11)
+            | (((instr >> 21) & 0x3FF) << 1)) as i32;
+        let imm_j = (imm_j << 11) >> 11; // sign-extend 21 bits
+
+        let mut next_pc = pc.wrapping_add(4);
+        let mut cycles = 1u64;
+        let mut halted = false;
+
+        match opcode {
+            0b0110111 => self.set_reg(rd, imm_u as u32), // LUI
+            0b0010111 => self.set_reg(rd, pc.wrapping_add(imm_u as u32)), // AUIPC
+            0b1101111 => {
+                // JAL
+                self.set_reg(rd, next_pc);
+                next_pc = pc.wrapping_add(imm_j as u32);
+                cycles = 3;
+            }
+            0b1100111 => {
+                // JALR
+                let target = self.reg(rs1).wrapping_add(imm_i as u32) & !1;
+                self.set_reg(rd, next_pc);
+                next_pc = target;
+                cycles = 3;
+            }
+            0b1100011 => {
+                // BRANCH
+                let a = self.reg(rs1);
+                let b = self.reg(rs2);
+                let taken = match funct3 {
+                    0b000 => a == b,
+                    0b001 => a != b,
+                    0b100 => (a as i32) < (b as i32),
+                    0b101 => (a as i32) >= (b as i32),
+                    0b110 => a < b,
+                    0b111 => a >= b,
+                    _ => trap!(Trap::IllegalInstruction(instr)),
+                };
+                if taken {
+                    next_pc = pc.wrapping_add(imm_b as u32);
+                    cycles = 3;
+                }
+            }
+            0b0000011 => {
+                // LOAD
+                let addr = self.reg(rs1).wrapping_add(imm_i as u32);
+                let size = match funct3 {
+                    0b000 | 0b100 => 1,
+                    0b001 | 0b101 => 2,
+                    0b010 => 4,
+                    _ => trap!(Trap::IllegalInstruction(instr)),
+                };
+                if !self.pmp_ok(addr, size, AccessKind::Read) {
+                    trap!(Trap::LoadAccessFault(addr));
+                }
+                let value = match funct3 {
+                    0b000 => match bus.load8(addr) {
+                        Ok(v) => v as i8 as i32 as u32,
+                        Err(_) => trap!(Trap::LoadAccessFault(addr)),
+                    },
+                    0b001 => match bus.load16(addr) {
+                        Ok(v) => v as i16 as i32 as u32,
+                        Err(_) => trap!(Trap::LoadAccessFault(addr)),
+                    },
+                    0b010 => match bus.load32(addr) {
+                        Ok(v) => v,
+                        Err(_) => trap!(Trap::LoadAccessFault(addr)),
+                    },
+                    0b100 => match bus.load8(addr) {
+                        Ok(v) => v as u32,
+                        Err(_) => trap!(Trap::LoadAccessFault(addr)),
+                    },
+                    0b101 => match bus.load16(addr) {
+                        Ok(v) => v as u32,
+                        Err(_) => trap!(Trap::LoadAccessFault(addr)),
+                    },
+                    _ => unreachable!(),
+                };
+                self.set_reg(rd, value);
+                cycles = 2;
+            }
+            0b0100011 => {
+                // STORE
+                let addr = self.reg(rs1).wrapping_add(imm_s as u32);
+                let size = match funct3 {
+                    0b000 => 1,
+                    0b001 => 2,
+                    0b010 => 4,
+                    _ => trap!(Trap::IllegalInstruction(instr)),
+                };
+                if !self.pmp_ok(addr, size, AccessKind::Write) {
+                    trap!(Trap::StoreAccessFault(addr));
+                }
+                let value = self.reg(rs2);
+                let result = match funct3 {
+                    0b000 => bus.store8(addr, value as u8),
+                    0b001 => bus.store16(addr, value as u16),
+                    0b010 => bus.store32(addr, value),
+                    _ => unreachable!(),
+                };
+                if result.is_err() {
+                    trap!(Trap::StoreAccessFault(addr));
+                }
+                cycles = 2;
+            }
+            0b0010011 => {
+                // OP-IMM
+                let a = self.reg(rs1);
+                let imm = imm_i as u32;
+                let shamt = (instr >> 20) & 0x1F;
+                let value = match funct3 {
+                    0b000 => a.wrapping_add(imm),
+                    0b010 => ((a as i32) < (imm as i32)) as u32,
+                    0b011 => (a < imm) as u32,
+                    0b100 => a ^ imm,
+                    0b110 => a | imm,
+                    0b111 => a & imm,
+                    0b001 => a << shamt,
+                    0b101 => {
+                        if funct7 == 0b0100000 {
+                            ((a as i32) >> shamt) as u32
+                        } else {
+                            a >> shamt
+                        }
+                    }
+                    _ => trap!(Trap::IllegalInstruction(instr)),
+                };
+                self.set_reg(rd, value);
+            }
+            0b0110011 => {
+                // OP (incl. M extension)
+                let a = self.reg(rs1);
+                let b = self.reg(rs2);
+                let value = if funct7 == 0b0000001 {
+                    cycles = match funct3 {
+                        0b000..=0b011 => 3,
+                        _ => 34,
+                    };
+                    match funct3 {
+                        0b000 => a.wrapping_mul(b),
+                        0b001 => (((a as i32 as i64) * (b as i32 as i64)) >> 32) as u32,
+                        0b010 => (((a as i32 as i64) * (b as u64 as i64)) >> 32) as u32,
+                        0b011 => (((a as u64) * (b as u64)) >> 32) as u32,
+                        0b100 => {
+                            if b == 0 {
+                                u32::MAX
+                            } else if a == 0x8000_0000 && b == u32::MAX {
+                                a
+                            } else {
+                                ((a as i32) / (b as i32)) as u32
+                            }
+                        }
+                        0b101 => a.checked_div(b).unwrap_or(u32::MAX),
+                        0b110 => {
+                            if b == 0 {
+                                a
+                            } else if a == 0x8000_0000 && b == u32::MAX {
+                                0
+                            } else {
+                                ((a as i32) % (b as i32)) as u32
+                            }
+                        }
+                        0b111 => {
+                            if b == 0 {
+                                a
+                            } else {
+                                a % b
+                            }
+                        }
+                        _ => unreachable!(),
+                    }
+                } else {
+                    match (funct3, funct7) {
+                        (0b000, 0b0000000) => a.wrapping_add(b),
+                        (0b000, 0b0100000) => a.wrapping_sub(b),
+                        (0b001, 0b0000000) => a << (b & 0x1F),
+                        (0b010, 0b0000000) => ((a as i32) < (b as i32)) as u32,
+                        (0b011, 0b0000000) => (a < b) as u32,
+                        (0b100, 0b0000000) => a ^ b,
+                        (0b101, 0b0000000) => a >> (b & 0x1F),
+                        (0b101, 0b0100000) => ((a as i32) >> (b & 0x1F)) as u32,
+                        (0b110, 0b0000000) => a | b,
+                        (0b111, 0b0000000) => a & b,
+                        _ => trap!(Trap::IllegalInstruction(instr)),
+                    }
+                };
+                self.set_reg(rd, value);
+            }
+            0b0001111 => {} // FENCE: no-op in a single-hart functional model
+            0b0001011 => {
+                // CUSTOM-0: CFU dispatch ("a CFU is an accelerator tightly
+                // coupled with the CPU").
+                match cfu {
+                    Some(unit) => {
+                        let (value, cfu_cycles) =
+                            unit.execute(funct3, funct7, self.reg(rs1), self.reg(rs2));
+                        self.set_reg(rd, value);
+                        cycles = u64::from(cfu_cycles.max(1));
+                    }
+                    None => trap!(Trap::IllegalInstruction(instr)),
+                }
+            }
+            0b1110011 => {
+                // SYSTEM
+                match funct3 {
+                    0b000 => match instr {
+                        0x0000_0073 => {
+                            // ECALL
+                            match self.mode {
+                                PrivilegeMode::User => trap!(Trap::EcallFromU),
+                                PrivilegeMode::Machine => trap!(Trap::EcallFromM),
+                            }
+                        }
+                        0x0010_0073 => {
+                            // EBREAK: halt in M-mode (test convention),
+                            // breakpoint trap in U-mode.
+                            match self.mode {
+                                PrivilegeMode::Machine => halted = true,
+                                PrivilegeMode::User => trap!(Trap::Breakpoint),
+                            }
+                        }
+                        0x3020_0073 => {
+                            // MRET
+                            if self.mode != PrivilegeMode::Machine {
+                                trap!(Trap::IllegalInstruction(instr));
+                            }
+                            self.mret();
+                            next_pc = self.pc;
+                            cycles = 3;
+                        }
+                        0x1050_0073 => {} // WFI: no-op
+                        _ => trap!(Trap::IllegalInstruction(instr)),
+                    },
+                    _ => {
+                        // Zicsr. CSRs are M-mode only here.
+                        if self.mode != PrivilegeMode::Machine {
+                            trap!(Trap::IllegalInstruction(instr));
+                        }
+                        let csr_addr = (instr >> 20) & 0xFFF;
+                        let old = match self.csr_read(csr_addr) {
+                            Some(v) => v,
+                            None => trap!(Trap::IllegalInstruction(instr)),
+                        };
+                        let src = if funct3 & 0b100 != 0 {
+                            rs1 as u32 // zimm
+                        } else {
+                            self.reg(rs1)
+                        };
+                        let new = match funct3 & 0b11 {
+                            0b01 => Some(src),
+                            0b10 => {
+                                if rs1 == 0 {
+                                    None
+                                } else {
+                                    Some(old | src)
+                                }
+                            }
+                            0b11 => {
+                                if rs1 == 0 {
+                                    None
+                                } else {
+                                    Some(old & !src)
+                                }
+                            }
+                            _ => trap!(Trap::IllegalInstruction(instr)),
+                        };
+                        if let Some(new) = new {
+                            if !self.csr_write(csr_addr, new) {
+                                trap!(Trap::IllegalInstruction(instr));
+                            }
+                        }
+                        self.set_reg(rd, old);
+                    }
+                }
+            }
+            _ => trap!(Trap::IllegalInstruction(instr)),
+        }
+
+        self.pc = next_pc;
+        self.cycles += cycles;
+        bus.mtime += cycles;
+        Ok(StepOutcome { cycles, halted })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_words(words: &[u32], steps: usize) -> (Cpu, SystemBus) {
+        let mut bus = SystemBus::new(64 * 1024);
+        for (i, w) in words.iter().enumerate() {
+            bus.store32((i * 4) as u32, *w).unwrap();
+        }
+        let mut cpu = Cpu::new();
+        for _ in 0..steps {
+            let out = cpu.step(&mut bus, None).unwrap();
+            if out.halted {
+                break;
+            }
+        }
+        (cpu, bus)
+    }
+
+    #[test]
+    fn addi_and_add() {
+        // addi x1, x0, 5 ; addi x2, x0, 7 ; add x3, x1, x2 ; ebreak
+        let prog = [0x0050_0093, 0x0070_0113, 0x0020_81B3, 0x0010_0073];
+        let (cpu, _) = run_words(&prog, 10);
+        assert_eq!(cpu.reg(3), 12);
+    }
+
+    #[test]
+    fn sub_and_negative_numbers() {
+        // addi x1, x0, 3 ; addi x2, x0, 10 ; sub x3, x1, x2 ; ebreak
+        let prog = [0x0030_0093, 0x00A0_0113, 0x4020_81B3, 0x0010_0073];
+        let (cpu, _) = run_words(&prog, 10);
+        assert_eq!(cpu.reg(3) as i32, -7);
+    }
+
+    #[test]
+    fn mul_div_rem_semantics() {
+        // addi x1,x0,-7 ; addi x2,x0,2 ; mul x3,x1,x2 ; div x4,x1,x2 ; rem x5,x1,x2 ; ebreak
+        let prog = [
+            0xFF90_0093, // addi x1, x0, -7
+            0x0020_0113, // addi x2, x0, 2
+            0x0220_81B3, // mul x3, x1, x2
+            0x0220_C233, // div x4, x1, x2
+            0x0220_E2B3, // rem x5, x1, x2
+            0x0010_0073,
+        ];
+        let (cpu, _) = run_words(&prog, 10);
+        assert_eq!(cpu.reg(3) as i32, -14);
+        assert_eq!(cpu.reg(4) as i32, -3); // trunc toward zero
+        assert_eq!(cpu.reg(5) as i32, -1);
+    }
+
+    #[test]
+    fn div_by_zero_follows_spec() {
+        // addi x1,x0,5 ; div x2,x1,x0 ; rem x3,x1,x0 ; ebreak
+        let prog = [0x0050_0093, 0x0200_C133, 0x0200_E1B3, 0x0010_0073];
+        let (cpu, _) = run_words(&prog, 10);
+        assert_eq!(cpu.reg(2), u32::MAX);
+        assert_eq!(cpu.reg(3), 5);
+    }
+
+    #[test]
+    fn load_store_round_trip() {
+        // addi x1,x0,0x123 ; sw x1,64(x0) ; lw x2,64(x0) ; ebreak
+        let prog = [0x1230_0093, 0x0410_2023, 0x0400_2103, 0x0010_0073];
+        let (cpu, bus) = run_words(&prog, 10);
+        assert_eq!(cpu.reg(2), 0x123);
+        let mut bus = bus;
+        assert_eq!(bus.load32(64).unwrap(), 0x123);
+    }
+
+    #[test]
+    fn branch_taken_and_not_taken() {
+        // addi x1,x0,1 ; beq x1,x0,+8 (skip) ; addi x2,x0,9 ; ebreak
+        let prog = [0x0010_0093, 0x0000_8463, 0x0090_0113, 0x0010_0073];
+        let (cpu, _) = run_words(&prog, 10);
+        assert_eq!(cpu.reg(2), 9);
+        // beq x0,x0 skips the addi.
+        let prog = [0x0010_0093, 0x0000_0463, 0x0090_0113, 0x0010_0073];
+        let (cpu, _) = run_words(&prog, 10);
+        assert_eq!(cpu.reg(2), 0);
+    }
+
+    #[test]
+    fn jal_links_and_jumps() {
+        // jal x1, +8 ; ebreak(skipped) ; ebreak
+        let prog = [0x0080_00EF, 0x0010_0073, 0x0010_0073];
+        let (cpu, _) = run_words(&prog, 10);
+        assert_eq!(cpu.reg(1), 4);
+        // Halted at the ebreak at address 8 (pc has advanced past it).
+        assert_eq!(cpu.pc(), 12);
+    }
+
+    #[test]
+    fn x0_is_hardwired_zero() {
+        // addi x0, x0, 100 ; ebreak
+        let prog = [0x0640_0013, 0x0010_0073];
+        let (cpu, _) = run_words(&prog, 10);
+        assert_eq!(cpu.reg(0), 0);
+    }
+
+    #[test]
+    fn unhandled_illegal_instruction_is_fatal() {
+        let mut bus = SystemBus::new(1024);
+        bus.store32(0, 0xFFFF_FFFF).unwrap();
+        let mut cpu = Cpu::new();
+        assert!(matches!(
+            cpu.step(&mut bus, None),
+            Err(SimError::UnhandledTrap(Trap::IllegalInstruction(_)))
+        ));
+    }
+
+    #[test]
+    fn trap_redirects_to_mtvec() {
+        // csrrwi x0, mtvec(0x305), 16... mtvec needs value 16; zimm max 31, ok.
+        // csrrwi x0,0x305,16 ; ecall ; (handler at 16:) ebreak
+        let mut prog = vec![0x3058_5073u32, 0x0000_0073, 0, 0];
+        prog.push(0x0010_0073); // at word 4 = addr 16: ebreak
+        let mut bus = SystemBus::new(1024);
+        for (i, w) in prog.iter().enumerate() {
+            bus.store32((i * 4) as u32, *w).unwrap();
+        }
+        let mut cpu = Cpu::new();
+        let mut halted = false;
+        for _ in 0..10 {
+            let out = cpu.step(&mut bus, None).unwrap();
+            if out.halted {
+                halted = true;
+                break;
+            }
+        }
+        assert!(halted);
+        assert_eq!(cpu.mcause(), 11); // ecall from M
+        assert_eq!(cpu.mepc(), 4);
+        assert_eq!(cpu.traps_taken, 1);
+    }
+
+    #[test]
+    fn csr_read_write_round_trip() {
+        // addi x1,x0,0x55 ; csrrw x0, mscratch(0x340), x1 ; csrrs x2, mscratch, x0 ; ebreak
+        let prog = [0x0550_0093, 0x3400_9073, 0x3400_2173, 0x0010_0073];
+        let (cpu, _) = run_words(&prog, 10);
+        assert_eq!(cpu.reg(2), 0x55);
+    }
+
+    #[test]
+    fn cycle_costs_accumulate() {
+        // Two addis = 2 cycles + ebreak (1).
+        let prog = [0x0050_0093, 0x0070_0113, 0x0010_0073];
+        let (cpu, _) = run_words(&prog, 10);
+        assert_eq!(cpu.cycles, 3);
+    }
+
+    #[test]
+    fn shift_instructions() {
+        // addi x1,x0,-16 ; srai x2,x1,2 ; srli x3,x1,2 ; slli x4,x1,1 ; ebreak
+        let prog = [
+            0xFF00_0093, // addi x1, x0, -16
+            0x4020_D113, // srai x2, x1, 2
+            0x0020_D193, // srli x3, x1, 2
+            0x0010_9213, // slli x4, x1, 1
+            0x0010_0073,
+        ];
+        let (cpu, _) = run_words(&prog, 10);
+        assert_eq!(cpu.reg(2) as i32, -4);
+        assert_eq!(cpu.reg(3), 0xFFFF_FFF0u32 >> 2);
+        assert_eq!(cpu.reg(4), 0xFFFF_FFE0);
+    }
+}

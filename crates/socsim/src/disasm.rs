@@ -1,0 +1,213 @@
+//! RV32IM disassembler.
+//!
+//! The inverse of [`crate::asm`]: turns instruction words back into
+//! mnemonics for trace output and debugging (Renode's introspection
+//! role). The round trip `assemble(disassemble(w)) == w` is checked by
+//! property tests for every instruction class the core executes.
+
+/// Disassembles one instruction word into assembler syntax, or
+/// `".word 0x…"` when the encoding is not a recognized RV32IM
+/// instruction.
+#[must_use]
+pub fn disassemble(instr: u32) -> String {
+    let opcode = instr & 0x7F;
+    let rd = ((instr >> 7) & 0x1F) as usize;
+    let rs1 = ((instr >> 15) & 0x1F) as usize;
+    let rs2 = ((instr >> 20) & 0x1F) as usize;
+    let funct3 = (instr >> 12) & 0x7;
+    let funct7 = (instr >> 25) & 0x7F;
+    let imm_i = (instr as i32) >> 20;
+    let imm_s = (((instr & 0xFE00_0000) as i32) >> 20) | (((instr >> 7) & 0x1F) as i32);
+    let imm_b = {
+        let v = ((((instr >> 31) & 1) << 12)
+            | (((instr >> 7) & 1) << 11)
+            | (((instr >> 25) & 0x3F) << 5)
+            | (((instr >> 8) & 0xF) << 1)) as i32;
+        (v << 19) >> 19
+    };
+    let imm_u = (instr >> 12) & 0xF_FFFF;
+    let imm_j = {
+        let v = ((((instr >> 31) & 1) << 20)
+            | (((instr >> 12) & 0xFF) << 12)
+            | (((instr >> 20) & 1) << 11)
+            | (((instr >> 21) & 0x3FF) << 1)) as i32;
+        (v << 11) >> 11
+    };
+
+    let r = |i: usize| format!("x{i}");
+    match opcode {
+        0b0110111 => format!("lui {}, {:#x}", r(rd), imm_u),
+        0b0010111 => format!("auipc {}, {:#x}", r(rd), imm_u),
+        0b1101111 => format!("jal {}, {}", r(rd), imm_j),
+        0b1100111 if funct3 == 0 => format!("jalr {}, {}, {}", r(rd), r(rs1), imm_i),
+        0b1100011 => {
+            let m = match funct3 {
+                0b000 => "beq",
+                0b001 => "bne",
+                0b100 => "blt",
+                0b101 => "bge",
+                0b110 => "bltu",
+                0b111 => "bgeu",
+                _ => return format!(".word {instr:#010x}"),
+            };
+            format!("{m} {}, {}, {}", r(rs1), r(rs2), imm_b)
+        }
+        0b0000011 => {
+            let m = match funct3 {
+                0b000 => "lb",
+                0b001 => "lh",
+                0b010 => "lw",
+                0b100 => "lbu",
+                0b101 => "lhu",
+                _ => return format!(".word {instr:#010x}"),
+            };
+            format!("{m} {}, {}({})", r(rd), imm_i, r(rs1))
+        }
+        0b0100011 => {
+            let m = match funct3 {
+                0b000 => "sb",
+                0b001 => "sh",
+                0b010 => "sw",
+                _ => return format!(".word {instr:#010x}"),
+            };
+            format!("{m} {}, {}({})", r(rs2), imm_s, r(rs1))
+        }
+        0b0010011 => match funct3 {
+            0b000 => format!("addi {}, {}, {}", r(rd), r(rs1), imm_i),
+            0b010 => format!("slti {}, {}, {}", r(rd), r(rs1), imm_i),
+            0b011 => format!("sltiu {}, {}, {}", r(rd), r(rs1), imm_i),
+            0b100 => format!("xori {}, {}, {}", r(rd), r(rs1), imm_i),
+            0b110 => format!("ori {}, {}, {}", r(rd), r(rs1), imm_i),
+            0b111 => format!("andi {}, {}, {}", r(rd), r(rs1), imm_i),
+            0b001 if funct7 == 0 => format!("slli {}, {}, {}", r(rd), r(rs1), rs2),
+            0b101 if funct7 == 0 => format!("srli {}, {}, {}", r(rd), r(rs1), rs2),
+            0b101 if funct7 == 0b0100000 => format!("srai {}, {}, {}", r(rd), r(rs1), rs2),
+            _ => format!(".word {instr:#010x}"),
+        },
+        0b0110011 => {
+            let m = match (funct7, funct3) {
+                (0b0000000, 0b000) => "add",
+                (0b0100000, 0b000) => "sub",
+                (0b0000000, 0b001) => "sll",
+                (0b0000000, 0b010) => "slt",
+                (0b0000000, 0b011) => "sltu",
+                (0b0000000, 0b100) => "xor",
+                (0b0000000, 0b101) => "srl",
+                (0b0100000, 0b101) => "sra",
+                (0b0000000, 0b110) => "or",
+                (0b0000000, 0b111) => "and",
+                (0b0000001, 0b000) => "mul",
+                (0b0000001, 0b001) => "mulh",
+                (0b0000001, 0b010) => "mulhsu",
+                (0b0000001, 0b011) => "mulhu",
+                (0b0000001, 0b100) => "div",
+                (0b0000001, 0b101) => "divu",
+                (0b0000001, 0b110) => "rem",
+                (0b0000001, 0b111) => "remu",
+                _ => return format!(".word {instr:#010x}"),
+            };
+            format!("{m} {}, {}, {}", r(rd), r(rs1), r(rs2))
+        }
+        0b0001111 => "fence".to_string(),
+        0b0001011 => format!("cfu{funct3} {}, {}, {}", r(rd), r(rs1), r(rs2)),
+        0b1110011 => match instr {
+            0x0000_0073 => "ecall".to_string(),
+            0x0010_0073 => "ebreak".to_string(),
+            0x3020_0073 => "mret".to_string(),
+            0x1050_0073 => "wfi".to_string(),
+            _ => {
+                let csr = (instr >> 20) & 0xFFF;
+                match funct3 {
+                    0b001 => format!("csrrw {}, {:#x}, {}", r(rd), csr, r(rs1)),
+                    0b010 => format!("csrrs {}, {:#x}, {}", r(rd), csr, r(rs1)),
+                    0b011 => format!("csrrc {}, {:#x}, {}", r(rd), csr, r(rs1)),
+                    0b101 => format!("csrrwi {}, {:#x}, {}", r(rd), csr, rs1),
+                    0b110 => format!("csrrsi {}, {:#x}, {}", r(rd), csr, rs1),
+                    0b111 => format!("csrrci {}, {:#x}, {}", r(rd), csr, rs1),
+                    _ => format!(".word {instr:#010x}"),
+                }
+            }
+        },
+        _ => format!(".word {instr:#010x}"),
+    }
+}
+
+/// Disassembles a firmware image into one line per word.
+#[must_use]
+pub fn disassemble_image(code: &[u8], base: u32) -> Vec<String> {
+    code.chunks_exact(4)
+        .enumerate()
+        .map(|(i, w)| {
+            let word = u32::from_le_bytes([w[0], w[1], w[2], w[3]]);
+            format!("{:#010x}: {}", base + (i as u32) * 4, disassemble(word))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    fn first_word(src: &str) -> u32 {
+        let bytes = assemble(src).expect("assembles");
+        u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]])
+    }
+
+    /// assemble(disassemble(assemble(x))) == assemble(x) for one
+    /// instruction of each class.
+    #[test]
+    fn round_trip_instruction_classes() {
+        let sources = [
+            "add x3, x1, x2",
+            "sub x5, x6, x7",
+            "mul x8, x9, x10",
+            "div x8, x9, x10",
+            "addi x1, x2, -42",
+            "andi x1, x2, 255",
+            "slli x1, x2, 5",
+            "srai x1, x2, 31",
+            "lw x4, 16(x2)",
+            "lbu x4, -1(x2)",
+            "sw x4, 32(x2)",
+            "sb x4, -8(x2)",
+            "beq x1, x2, 64",
+            "bgeu x1, x2, -64",
+            "jal x1, 2048",
+            "jalr x1, x2, 12",
+            "lui x5, 0xABCDE",
+            "auipc x5, 0x1",
+            "ecall",
+            "ebreak",
+            "mret",
+            "fence",
+            "cfu0 x10, x11, x12",
+            "csrrw x0, 0x305, x5",
+            "csrrwi x0, 0x300, 9",
+        ];
+        for src in sources {
+            let word = first_word(src);
+            let listing = disassemble(word);
+            let reassembled = first_word(&listing);
+            assert_eq!(
+                reassembled, word,
+                "{src} -> {listing} re-encodes to {reassembled:#010x}, expected {word:#010x}"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_words_render_as_data() {
+        assert!(disassemble(0xFFFF_FFFF).starts_with(".word"));
+        assert!(disassemble(0x0000_0000).starts_with(".word"));
+    }
+
+    #[test]
+    fn image_listing_has_addresses() {
+        let code = assemble("addi x1, x0, 1\nebreak").unwrap();
+        let listing = disassemble_image(&code, 0x100);
+        assert_eq!(listing.len(), 2);
+        assert!(listing[0].starts_with("0x00000100: addi"));
+        assert!(listing[1].contains("ebreak"));
+    }
+}

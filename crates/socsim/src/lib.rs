@@ -1,0 +1,61 @@
+//! Renode-style functional SoC simulation (paper §II-B).
+//!
+//! "VEDLIoT uses Renode, an open-source simulation framework, to test the
+//! FPGA accelerator prototypes … provides an ability to simulate complete
+//! SoCs and run the same software that would be used on hardware. …
+//! During the course of the project, Renode is enhanced with capabilities
+//! of simulating Custom Function Units, or CFUs. A CFU is an accelerator
+//! tightly coupled with the CPU."
+//!
+//! This crate is a from-scratch functional simulator with the same
+//! workflow:
+//!
+//! * [`cpu`] — an RV32IM core (the VexRISC-V class of soft cores the
+//!   paper extends) with machine/user privilege modes, traps and CSRs,
+//! * [`pmp`] — the RISC-V Physical Memory Protection unit the paper
+//!   contributes to VexRISC-V (§IV-C): OFF/TOR/NA4/NAPOT regions with
+//!   R/W/X permissions and M-mode locking,
+//! * [`cfu`] — the Custom Function Unit port: custom-0 instructions
+//!   dispatched to pluggable accelerator models (e.g. a SIMD int8 MAC),
+//! * [`bus`] — system bus with RAM, UART and machine-timer peripherals,
+//! * [`machine`] — the assembled SoC with cycle accounting,
+//! * [`asm`] / [`disasm`] — a small RV32IM assembler and disassembler so
+//!   firmware in tests and benchmarks is readable source, not hex dumps,
+//! * [`testing`] — a Robot-Framework-style test harness (run firmware,
+//!   assert on UART output / registers / cycles), the "Continuous
+//!   Integration environment" usage the paper describes.
+//!
+//! # Example
+//!
+//! ```
+//! use vedliot_socsim::asm::assemble;
+//! use vedliot_socsim::machine::Machine;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let fw = assemble(r#"
+//!     li   a0, 6
+//!     li   a1, 7
+//!     mul  a0, a0, a1
+//!     ebreak
+//! "#)?;
+//! let mut m = Machine::new(64 * 1024);
+//! m.load_firmware(&fw, 0)?;
+//! m.run(1000)?;
+//! assert_eq!(m.cpu().reg(10), 42); // a0
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod asm;
+pub mod bus;
+pub mod cfu;
+pub mod cpu;
+pub mod disasm;
+pub mod machine;
+pub mod pmp;
+pub mod testing;
+
+pub use cfu::{Cfu, MacCfu};
+pub use cpu::{Cpu, PrivilegeMode, Trap};
+pub use machine::Machine;
+pub use pmp::{AccessKind, PmpUnit};

@@ -1,0 +1,183 @@
+//! The assembled SoC: CPU + bus + optional CFU, with cycle accounting.
+
+use crate::bus::{BusFault, SystemBus};
+use crate::cfu::Cfu;
+use crate::cpu::{Cpu, SimError, StepOutcome};
+
+/// A complete simulated machine (the Renode "platform" equivalent).
+///
+/// ```
+/// use vedliot_socsim::asm::assemble;
+/// use vedliot_socsim::machine::Machine;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let fw = assemble("li a0, 41\naddi a0, a0, 1\nebreak")?;
+/// let mut m = Machine::new(4096);
+/// m.load_firmware(&fw, 0)?;
+/// let cycles = m.run(100)?;
+/// assert!(cycles > 0);
+/// assert_eq!(m.cpu().reg(10), 42);
+/// # Ok(())
+/// # }
+/// ```
+pub struct Machine {
+    cpu: Cpu,
+    bus: SystemBus,
+    cfu: Option<Box<dyn Cfu>>,
+}
+
+impl std::fmt::Debug for Machine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Machine")
+            .field("pc", &self.cpu.pc())
+            .field("cycles", &self.cpu.cycles)
+            .field("cfu", &self.cfu.as_ref().map(|c| c.name().to_string()))
+            .finish()
+    }
+}
+
+impl Machine {
+    /// Creates a machine with the given RAM size and no CFU.
+    #[must_use]
+    pub fn new(ram_bytes: usize) -> Self {
+        Machine {
+            cpu: Cpu::new(),
+            bus: SystemBus::new(ram_bytes),
+            cfu: None,
+        }
+    }
+
+    /// Attaches a CFU to the custom-0 opcode (the Renode CFU extension).
+    #[must_use]
+    pub fn with_cfu(mut self, cfu: impl Cfu + 'static) -> Self {
+        self.cfu = Some(Box::new(cfu));
+        self
+    }
+
+    /// The CPU state.
+    #[must_use]
+    pub fn cpu(&self) -> &Cpu {
+        &self.cpu
+    }
+
+    /// Mutable CPU state (test setup: registers, PMP, reset vector).
+    pub fn cpu_mut(&mut self) -> &mut Cpu {
+        &mut self.cpu
+    }
+
+    /// The system bus.
+    #[must_use]
+    pub fn bus(&self) -> &SystemBus {
+        &self.bus
+    }
+
+    /// Mutable bus access (loading test data).
+    pub fn bus_mut(&mut self) -> &mut SystemBus {
+        &mut self.bus
+    }
+
+    /// The attached CFU, if any.
+    #[must_use]
+    pub fn cfu(&self) -> Option<&dyn Cfu> {
+        self.cfu.as_deref()
+    }
+
+    /// Loads firmware bytes at an address and points the PC there.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BusFault`] if the firmware does not fit in RAM.
+    pub fn load_firmware(&mut self, code: &[u8], base: u32) -> Result<(), BusFault> {
+        self.bus.write_bytes(base, code)?;
+        self.cpu.set_pc(base);
+        Ok(())
+    }
+
+    /// Executes one instruction.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fatal simulation errors (see [`Cpu::step`]).
+    pub fn step(&mut self) -> Result<StepOutcome, SimError> {
+        self.cpu.step(&mut self.bus, self.cfu.as_deref_mut())
+    }
+
+    /// Runs until the firmware halts (EBREAK in M-mode) or the cycle
+    /// budget is exhausted, returning the cycles consumed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::CycleLimit`] if the budget runs out, or
+    /// propagates fatal errors.
+    pub fn run(&mut self, max_cycles: u64) -> Result<u64, SimError> {
+        let start = self.cpu.cycles;
+        while self.cpu.cycles - start < max_cycles {
+            let out = self.step()?;
+            if out.halted {
+                return Ok(self.cpu.cycles - start);
+            }
+        }
+        Err(SimError::CycleLimit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+    use crate::cfu::MacCfu;
+
+    #[test]
+    fn firmware_writes_to_uart() {
+        let fw = assemble(
+            r#"
+            li   t0, 0x10000000
+            li   t1, 72        # 'H'
+            sb   t1, 0(t0)
+            li   t1, 105       # 'i'
+            sb   t1, 0(t0)
+            ebreak
+        "#,
+        )
+        .unwrap();
+        let mut m = Machine::new(4096);
+        m.load_firmware(&fw, 0).unwrap();
+        m.run(1000).unwrap();
+        assert_eq!(m.bus().uart_text(), "Hi");
+    }
+
+    #[test]
+    fn cycle_limit_is_enforced() {
+        // Infinite loop: j .
+        let fw = assemble("loop: j loop").unwrap();
+        let mut m = Machine::new(4096);
+        m.load_firmware(&fw, 0).unwrap();
+        assert!(matches!(m.run(100), Err(SimError::CycleLimit)));
+    }
+
+    #[test]
+    fn cfu_instruction_executes_when_attached() {
+        // cfu_mac rd=a0, rs1=a1, rs2=a2 with funct3=0
+        let fw = assemble(
+            r#"
+            li   a1, 0x02020202   # four lanes of 2
+            li   a2, 0x03030303   # four lanes of 3
+            cfu0 a0, a1, a2
+            ebreak
+        "#,
+        )
+        .unwrap();
+        let mut m = Machine::new(4096).with_cfu(MacCfu::new());
+        m.load_firmware(&fw, 0).unwrap();
+        m.run(1000).unwrap();
+        assert_eq!(m.cpu().reg(10), 24); // 4 lanes × 2×3
+    }
+
+    #[test]
+    fn cfu_without_unit_traps_fatally() {
+        let fw = assemble("cfu0 a0, a1, a2").unwrap();
+        let mut m = Machine::new(4096);
+        m.load_firmware(&fw, 0).unwrap();
+        assert!(m.run(100).is_err());
+    }
+}

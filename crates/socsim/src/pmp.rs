@@ -1,0 +1,372 @@
+//! RISC-V Physical Memory Protection (PMP) unit.
+//!
+//! Paper §IV-C: "a novel Trusted Execution Environment (TEE) support for
+//! VexRISC-V … The implementation takes the form of a highly optimized
+//! RISC-V Physical Memory Protection (PMP) unit that enables secure
+//! processing by limiting the physical addresses accessible by software
+//! running on a processor. The PMP unit is configurable in the highest
+//! privilege level (the machine mode) and can be used to specify read,
+//! write and execute access privileges for a specific memory region."
+//!
+//! This is a faithful functional model of the privileged-spec PMP:
+//! 16 entries, OFF/TOR/NA4/NAPOT address matching, R/W/X permission bits,
+//! the lock bit (which also makes the entry apply to M-mode), and the
+//! standard priority rule (lowest-numbered matching entry wins).
+
+use crate::cpu::PrivilegeMode;
+use serde::{Deserialize, Serialize};
+
+/// Kind of memory access being checked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// Instruction fetch.
+    Execute,
+    /// Data load.
+    Read,
+    /// Data store.
+    Write,
+}
+
+/// Address-matching mode of a PMP entry (bits 3–4 of `pmpcfg`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AddressMatch {
+    /// Entry disabled.
+    Off,
+    /// Top-of-range: matches `pmpaddr[i-1] <= a < pmpaddr[i]`.
+    Tor,
+    /// Naturally aligned 4-byte region.
+    Na4,
+    /// Naturally aligned power-of-two region ≥ 8 bytes.
+    Napot,
+}
+
+/// One decoded PMP entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PmpEntry {
+    /// Read permission.
+    pub r: bool,
+    /// Write permission.
+    pub w: bool,
+    /// Execute permission.
+    pub x: bool,
+    /// Address-matching mode.
+    pub mode: AddressMatch,
+    /// Lock bit: entry is write-protected and applies to M-mode too.
+    pub locked: bool,
+    /// Raw `pmpaddr` register value (word-address encoded, i.e. `addr >> 2`).
+    pub addr: u32,
+}
+
+impl Default for PmpEntry {
+    fn default() -> Self {
+        PmpEntry {
+            r: false,
+            w: false,
+            x: false,
+            mode: AddressMatch::Off,
+            locked: false,
+            addr: 0,
+        }
+    }
+}
+
+/// Number of PMP entries implemented (the spec allows up to 64; VexRISC-V
+/// configurations typically ship 16).
+pub const PMP_ENTRIES: usize = 16;
+
+/// The PMP unit: entries plus the configuration interface.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct PmpUnit {
+    entries: [PmpEntry; PMP_ENTRIES],
+}
+
+impl PmpUnit {
+    /// Creates a unit with all entries OFF (everything permitted in
+    /// M-mode, nothing in U-mode).
+    #[must_use]
+    pub fn new() -> Self {
+        PmpUnit::default()
+    }
+
+    /// Reads entry `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= PMP_ENTRIES`.
+    #[must_use]
+    pub fn entry(&self, i: usize) -> &PmpEntry {
+        &self.entries[i]
+    }
+
+    /// Writes a `pmpcfg` byte for entry `i` (R/W/X in bits 0–2, mode in
+    /// bits 3–4, lock in bit 7). Writes to locked entries are ignored, as
+    /// required by the spec.
+    ///
+    /// Returns whether the write took effect.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= PMP_ENTRIES`.
+    pub fn write_cfg(&mut self, i: usize, cfg: u8) -> bool {
+        if self.entries[i].locked {
+            return false;
+        }
+        let e = &mut self.entries[i];
+        e.r = cfg & 0b1 != 0;
+        e.w = cfg & 0b10 != 0;
+        e.x = cfg & 0b100 != 0;
+        e.mode = match (cfg >> 3) & 0b11 {
+            0 => AddressMatch::Off,
+            1 => AddressMatch::Tor,
+            2 => AddressMatch::Na4,
+            _ => AddressMatch::Napot,
+        };
+        e.locked = cfg & 0x80 != 0;
+        true
+    }
+
+    /// Reads back the `pmpcfg` byte of entry `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= PMP_ENTRIES`.
+    #[must_use]
+    pub fn read_cfg(&self, i: usize) -> u8 {
+        let e = &self.entries[i];
+        let mode = match e.mode {
+            AddressMatch::Off => 0u8,
+            AddressMatch::Tor => 1,
+            AddressMatch::Na4 => 2,
+            AddressMatch::Napot => 3,
+        };
+        (e.r as u8) | (e.w as u8) << 1 | (e.x as u8) << 2 | mode << 3 | (e.locked as u8) << 7
+    }
+
+    /// Writes `pmpaddr[i]` (word-address encoded). Ignored when the entry
+    /// is locked, or when entry `i+1` is a locked TOR entry (spec rule).
+    ///
+    /// Returns whether the write took effect.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= PMP_ENTRIES`.
+    pub fn write_addr(&mut self, i: usize, value: u32) -> bool {
+        if self.entries[i].locked {
+            return false;
+        }
+        if i + 1 < PMP_ENTRIES
+            && self.entries[i + 1].locked
+            && self.entries[i + 1].mode == AddressMatch::Tor
+        {
+            return false;
+        }
+        self.entries[i].addr = value;
+        true
+    }
+
+    /// Reads `pmpaddr[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= PMP_ENTRIES`.
+    #[must_use]
+    pub fn read_addr(&self, i: usize) -> u32 {
+        self.entries[i].addr
+    }
+
+    /// Convenience: configures entry `i` as a NAPOT region covering
+    /// `[base, base + size)` with the given permissions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is not a power of two ≥ 8, if `base` is not
+    /// `size`-aligned, or if `i >= PMP_ENTRIES`.
+    pub fn set_napot(&mut self, i: usize, base: u32, size: u32, r: bool, w: bool, x: bool) {
+        assert!(size.is_power_of_two() && size >= 8, "NAPOT size must be a power of two >= 8");
+        assert_eq!(base % size, 0, "base must be size-aligned");
+        // pmpaddr = (base >> 2) | ((size/2 - 1) >> 2)  — low ones encode size.
+        let addr = (base >> 2) | ((size / 2 - 1) >> 2);
+        let cfg = (r as u8) | (w as u8) << 1 | (x as u8) << 2 | 3 << 3;
+        assert!(self.write_cfg(i, cfg), "entry {i} is locked");
+        assert!(self.write_addr(i, addr), "entry {i} address is locked");
+    }
+
+    /// Region bounds of entry `i` as a byte-address range, or `None` when
+    /// OFF (or a TOR entry with an empty range).
+    #[must_use]
+    pub fn region(&self, i: usize) -> Option<(u32, u64)> {
+        let e = &self.entries[i];
+        match e.mode {
+            AddressMatch::Off => None,
+            AddressMatch::Na4 => Some(((e.addr) << 2, 4)),
+            AddressMatch::Napot => {
+                // Trailing ones of pmpaddr encode the region size.
+                let trailing = e.addr.trailing_ones();
+                if trailing >= 30 {
+                    // Region covers the whole 32-bit space.
+                    return Some((0, 1u64 << 32));
+                }
+                let size = 8u64 << trailing;
+                let base = (e.addr & !((1u32 << trailing) - 1)) << 2;
+                Some((base, size))
+            }
+            AddressMatch::Tor => {
+                let lo = if i == 0 { 0 } else { self.entries[i - 1].addr << 2 };
+                let hi = e.addr << 2;
+                if hi <= lo {
+                    return None;
+                }
+                Some((lo, (hi - lo) as u64))
+            }
+        }
+    }
+
+    /// Checks whether an access of `size` bytes at `addr` is permitted in
+    /// `mode` — the operation performed on every bus access of the
+    /// simulated core.
+    ///
+    /// Spec semantics: the lowest-numbered matching entry decides; every
+    /// byte of the access must match the same entry; M-mode accesses
+    /// succeed unless the matching entry is locked; U-mode accesses with
+    /// no matching entry fail.
+    #[must_use]
+    pub fn check(&self, addr: u32, size: u32, kind: AccessKind, mode: PrivilegeMode) -> bool {
+        for i in 0..PMP_ENTRIES {
+            let Some((base, len)) = self.region(i) else {
+                continue;
+            };
+            let end = base as u64 + len;
+            let a = addr as u64;
+            let a_end = a + size as u64;
+            let overlaps = a < end && a_end > base as u64;
+            if !overlaps {
+                continue;
+            }
+            // Partial overlap: access straddles the region boundary; the
+            // spec says such an access fails (it does not fall through).
+            if !(a >= base as u64 && a_end <= end) {
+                return false;
+            }
+            let e = &self.entries[i];
+            if mode == PrivilegeMode::Machine && !e.locked {
+                return true;
+            }
+            return match kind {
+                AccessKind::Read => e.r,
+                AccessKind::Write => e.w,
+                AccessKind::Execute => e.x,
+            };
+        }
+        // No entry matched.
+        mode == PrivilegeMode::Machine
+    }
+
+    /// Whether any entry is active (used to short-circuit checking).
+    #[must_use]
+    pub fn any_active(&self) -> bool {
+        self.entries.iter().any(|e| e.mode != AddressMatch::Off)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use PrivilegeMode::{Machine, User};
+
+    #[test]
+    fn default_denies_user_allows_machine() {
+        let pmp = PmpUnit::new();
+        assert!(pmp.check(0x1000, 4, AccessKind::Read, Machine));
+        assert!(!pmp.check(0x1000, 4, AccessKind::Read, User));
+    }
+
+    #[test]
+    fn napot_region_grants_user_access() {
+        let mut pmp = PmpUnit::new();
+        pmp.set_napot(0, 0x2000, 0x1000, true, false, true);
+        assert!(pmp.check(0x2000, 4, AccessKind::Read, User));
+        assert!(pmp.check(0x2FFC, 4, AccessKind::Execute, User));
+        assert!(!pmp.check(0x2000, 4, AccessKind::Write, User));
+        // Outside the region: denied.
+        assert!(!pmp.check(0x3000, 4, AccessKind::Read, User));
+        assert!(!pmp.check(0x1FFC, 4, AccessKind::Read, User));
+    }
+
+    #[test]
+    fn napot_region_bounds_decode() {
+        let mut pmp = PmpUnit::new();
+        pmp.set_napot(2, 0x8000, 0x4000, true, true, false);
+        assert_eq!(pmp.region(2), Some((0x8000, 0x4000)));
+    }
+
+    #[test]
+    fn straddling_access_fails() {
+        let mut pmp = PmpUnit::new();
+        pmp.set_napot(0, 0x2000, 8, true, true, false);
+        // 4-byte access crossing the top of an 8-byte region.
+        assert!(!pmp.check(0x2006, 4, AccessKind::Read, User));
+    }
+
+    #[test]
+    fn lowest_numbered_entry_wins() {
+        let mut pmp = PmpUnit::new();
+        // Entry 0: read-only; entry 1: read-write over the same region.
+        pmp.set_napot(0, 0x1000, 0x1000, true, false, false);
+        pmp.set_napot(1, 0x1000, 0x1000, true, true, false);
+        assert!(!pmp.check(0x1000, 4, AccessKind::Write, User));
+        assert!(pmp.check(0x1000, 4, AccessKind::Read, User));
+    }
+
+    #[test]
+    fn tor_mode_matches_range() {
+        let mut pmp = PmpUnit::new();
+        // TOR entry 0: [0, 0x4000).
+        pmp.write_addr(0, 0x4000 >> 2);
+        pmp.write_cfg(0, 0b01_001 | 0b1); // TOR (mode 1), R
+        assert!(pmp.check(0x0, 4, AccessKind::Read, User));
+        assert!(pmp.check(0x3FFC, 4, AccessKind::Read, User));
+        assert!(!pmp.check(0x4000, 4, AccessKind::Read, User));
+    }
+
+    #[test]
+    fn locked_entry_applies_to_machine_mode() {
+        let mut pmp = PmpUnit::new();
+        pmp.set_napot(0, 0x2000, 0x1000, true, false, false);
+        // Lock it (re-write cfg with L bit).
+        let cfg = pmp.read_cfg(0) | 0x80;
+        pmp.write_cfg(0, cfg);
+        // M-mode write to the locked read-only region is denied.
+        assert!(!pmp.check(0x2000, 4, AccessKind::Write, Machine));
+        assert!(pmp.check(0x2000, 4, AccessKind::Read, Machine));
+    }
+
+    #[test]
+    fn locked_entry_ignores_reconfiguration() {
+        let mut pmp = PmpUnit::new();
+        pmp.set_napot(0, 0x2000, 0x1000, true, false, false);
+        pmp.write_cfg(0, pmp.read_cfg(0) | 0x80);
+        assert!(!pmp.write_cfg(0, 0));
+        assert!(!pmp.write_addr(0, 0));
+        assert_eq!(pmp.region(0), Some((0x2000, 0x1000)));
+    }
+
+    #[test]
+    fn cfg_round_trips() {
+        let mut pmp = PmpUnit::new();
+        for cfg in [0b0000_1011u8, 0b0001_1111, 0b1001_1001] {
+            let mut unit = PmpUnit::new();
+            unit.write_cfg(3, cfg);
+            assert_eq!(unit.read_cfg(3), cfg);
+            let _ = &mut pmp;
+        }
+    }
+
+    #[test]
+    fn na4_covers_exactly_four_bytes() {
+        let mut pmp = PmpUnit::new();
+        pmp.write_addr(0, 0x1000 >> 2);
+        pmp.write_cfg(0, 0b10_000 | 0b11); // NA4, RW
+        assert!(pmp.check(0x1000, 4, AccessKind::Read, User));
+        assert!(!pmp.check(0x1004, 4, AccessKind::Read, User));
+    }
+}

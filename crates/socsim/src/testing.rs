@@ -1,0 +1,276 @@
+//! Robot-Framework-style test harness.
+//!
+//! Paper §II-B: "VEDLIoT benefits from Renode's testing and introspection
+//! capabilities, using it both for interactive development of accelerator
+//! prototypes and within a Continuous Integration environment."
+//!
+//! A [`FirmwareTest`] declares firmware source plus expectations (UART
+//! output, register values, cycle budgets, halt behaviour) and produces a
+//! structured [`TestReport`] — the shape of a Renode robot test.
+
+use crate::asm::{assemble, AsmError};
+use crate::cfu::Cfu;
+use crate::machine::Machine;
+
+/// One expectation to verify after a firmware run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expectation {
+    /// UART output equals this exact string.
+    UartEquals(String),
+    /// UART output contains this substring.
+    UartContains(String),
+    /// Register `x{0}` holds value `{1}`.
+    Register(usize, u32),
+    /// Total cycles are at most this budget.
+    CyclesAtMost(u64),
+    /// The firmware halts (reaches EBREAK) within the step budget.
+    Halts,
+    /// The firmware takes exactly `{0}` traps.
+    TrapsTaken(u64),
+}
+
+/// Outcome of one expectation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Check {
+    /// Description of the expectation.
+    pub description: String,
+    /// Whether it held.
+    pub passed: bool,
+}
+
+/// Result of running a [`FirmwareTest`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TestReport {
+    /// Test name.
+    pub name: String,
+    /// Whether the firmware halted cleanly.
+    pub halted: bool,
+    /// Cycles consumed.
+    pub cycles: u64,
+    /// UART output captured.
+    pub uart: String,
+    /// Individual expectation outcomes.
+    pub checks: Vec<Check>,
+}
+
+impl TestReport {
+    /// Whether every expectation held.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.checks.iter().all(|c| c.passed)
+    }
+}
+
+/// A declarative firmware test.
+#[derive(Default)]
+pub struct FirmwareTest {
+    name: String,
+    source: String,
+    ram_bytes: usize,
+    max_cycles: u64,
+    expectations: Vec<Expectation>,
+    cfu: Option<Box<dyn Cfu>>,
+}
+
+impl std::fmt::Debug for FirmwareTest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FirmwareTest")
+            .field("name", &self.name)
+            .field("expectations", &self.expectations)
+            .finish()
+    }
+}
+
+impl FirmwareTest {
+    /// Creates a test with a name and firmware assembly source.
+    #[must_use]
+    pub fn new(name: impl Into<String>, source: impl Into<String>) -> Self {
+        FirmwareTest {
+            name: name.into(),
+            source: source.into(),
+            ram_bytes: 64 * 1024,
+            max_cycles: 1_000_000,
+            expectations: Vec::new(),
+            cfu: None,
+        }
+    }
+
+    /// Overrides the RAM size.
+    #[must_use]
+    pub fn with_ram(mut self, bytes: usize) -> Self {
+        self.ram_bytes = bytes;
+        self
+    }
+
+    /// Overrides the cycle budget.
+    #[must_use]
+    pub fn with_cycle_budget(mut self, cycles: u64) -> Self {
+        self.max_cycles = cycles;
+        self
+    }
+
+    /// Attaches a CFU.
+    #[must_use]
+    pub fn with_cfu(mut self, cfu: impl Cfu + 'static) -> Self {
+        self.cfu = Some(Box::new(cfu));
+        self
+    }
+
+    /// Adds an expectation.
+    #[must_use]
+    pub fn expect(mut self, expectation: Expectation) -> Self {
+        self.expectations.push(expectation);
+        self
+    }
+
+    /// Assembles, runs and checks.
+    ///
+    /// # Errors
+    ///
+    /// Returns the assembler error if the firmware does not assemble;
+    /// runtime failures (fatal traps, cycle limit) are reported as failed
+    /// checks, not errors — CI wants a report either way.
+    pub fn run(self) -> Result<TestReport, AsmError> {
+        let fw = assemble(&self.source)?;
+        let mut machine = match self.cfu {
+            Some(cfu) => Machine::new(self.ram_bytes).with_cfu_boxed(cfu),
+            None => Machine::new(self.ram_bytes),
+        };
+        machine
+            .load_firmware(&fw, 0)
+            .expect("firmware exceeds RAM size");
+        let run_result = machine.run(self.max_cycles);
+        let halted = run_result.is_ok();
+        let cycles = machine.cpu().cycles;
+        let uart = machine.bus().uart_text();
+
+        let checks = self
+            .expectations
+            .iter()
+            .map(|e| {
+                let (description, passed) = match e {
+                    Expectation::UartEquals(s) => {
+                        (format!("uart == {s:?}"), &uart == s)
+                    }
+                    Expectation::UartContains(s) => {
+                        (format!("uart contains {s:?}"), uart.contains(s))
+                    }
+                    Expectation::Register(i, v) => (
+                        format!("x{i} == {v:#x} (got {:#x})", machine.cpu().reg(*i)),
+                        machine.cpu().reg(*i) == *v,
+                    ),
+                    Expectation::CyclesAtMost(budget) => (
+                        format!("cycles {cycles} <= {budget}"),
+                        cycles <= *budget,
+                    ),
+                    Expectation::Halts => ("halts".to_string(), halted),
+                    Expectation::TrapsTaken(n) => (
+                        format!("traps == {n} (got {})", machine.cpu().traps_taken),
+                        machine.cpu().traps_taken == *n,
+                    ),
+                };
+                Check {
+                    description,
+                    passed,
+                }
+            })
+            .collect();
+
+        Ok(TestReport {
+            name: self.name,
+            halted,
+            cycles,
+            uart,
+            checks,
+        })
+    }
+}
+
+impl Machine {
+    /// Attaches an already-boxed CFU (used by the test harness).
+    #[must_use]
+    pub fn with_cfu_boxed(self, cfu: Box<dyn Cfu>) -> Self {
+        // Delegate through the generic path by wrapping in a shim.
+        struct Shim(Box<dyn Cfu>);
+        impl Cfu for Shim {
+            fn name(&self) -> &str {
+                self.0.name()
+            }
+            fn execute(&mut self, funct3: u32, funct7: u32, rs1: u32, rs2: u32) -> (u32, u32) {
+                self.0.execute(funct3, funct7, rs1, rs2)
+            }
+        }
+        self.with_cfu(Shim(cfu))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfu::MacCfu;
+
+    #[test]
+    fn passing_test_reports_all_green() {
+        let report = FirmwareTest::new(
+            "hello-uart",
+            r#"
+                li t0, 0x10000000
+                li t1, 79      # 'O'
+                sb t1, 0(t0)
+                li t1, 75      # 'K'
+                sb t1, 0(t0)
+                ebreak
+            "#,
+        )
+        .expect(Expectation::UartEquals("OK".into()))
+        .expect(Expectation::Halts)
+        .expect(Expectation::CyclesAtMost(100))
+        .run()
+        .unwrap();
+        assert!(report.passed(), "{:?}", report.checks);
+    }
+
+    #[test]
+    fn failing_expectation_is_reported_not_panicked() {
+        let report = FirmwareTest::new("wrong-value", "li a0, 1\nebreak")
+            .expect(Expectation::Register(10, 2))
+            .run()
+            .unwrap();
+        assert!(!report.passed());
+        assert!(report.checks[0].description.contains("got 0x1"));
+    }
+
+    #[test]
+    fn cycle_budget_failure_shows_up_as_failed_halt() {
+        let report = FirmwareTest::new("spin", "loop: j loop")
+            .with_cycle_budget(50)
+            .expect(Expectation::Halts)
+            .run()
+            .unwrap();
+        assert!(!report.passed());
+        assert!(!report.halted);
+    }
+
+    #[test]
+    fn cfu_tests_compose() {
+        let report = FirmwareTest::new(
+            "cfu-mac",
+            r#"
+                li a1, 0x01010101
+                li a2, 0x02020202
+                cfu0 a0, a1, a2
+                ebreak
+            "#,
+        )
+        .with_cfu(MacCfu::new())
+        .expect(Expectation::Register(10, 8))
+        .run()
+        .unwrap();
+        assert!(report.passed(), "{:?}", report.checks);
+    }
+
+    #[test]
+    fn assembler_errors_propagate() {
+        assert!(FirmwareTest::new("bad", "not_an_instruction").run().is_err());
+    }
+}

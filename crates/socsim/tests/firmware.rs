@@ -1,0 +1,200 @@
+//! End-to-end firmware tests: the PMP secure-execution flow of paper
+//! §IV-C and the CFU-accelerated ML kernel of §II-B, both running as real
+//! software on the simulated SoC (the Renode workflow).
+
+use vedliot_socsim::asm::assemble;
+use vedliot_socsim::machine::Machine;
+use vedliot_socsim::{MacCfu, PrivilegeMode};
+
+/// M-mode configures PMP, drops to U-mode; U-mode works inside its
+/// granted regions, then violates them; the trap returns to M-mode with
+/// the right cause.
+#[test]
+fn pmp_confines_user_mode_firmware() {
+    let fw = assemble(
+        r#"
+        # --- M-mode boot: install handler and PMP regions ---
+        la   t0, handler
+        csrrw x0, mtvec, t0
+        # Entry 0: NAPOT 0x0000..0x7FFF, R+X (user code & rodata).
+        li   t0, 0x0FFF
+        csrrw x0, pmpaddr0, t0
+        # Entry 1: NAPOT 0x8000..0x8FFF, R+W (user data).
+        li   t0, 0x21FF
+        csrrw x0, pmpaddr1, t0
+        # cfg: entry0 = NAPOT|X|R = 0x1D, entry1 = NAPOT|W|R = 0x1B.
+        li   t0, 0x1B1D
+        csrrw x0, pmpcfg0, t0
+        # Drop to U-mode at `user` (MPP=00).
+        csrrw x0, mstatus, x0
+        la   t0, user
+        csrrw x0, mepc, t0
+        mret
+
+        # --- U-mode payload ---
+    user:
+        li   t1, 0x8000
+        li   t2, 42
+        sw   t2, 0(t1)        # allowed: inside RW region
+        lw   a2, 0(t1)        # read back
+        li   t1, 0x9000
+        sw   t2, 0(t1)        # DENIED: outside every region -> trap
+        li   a2, 999          # must never execute
+        ebreak
+
+        # --- M-mode trap handler ---
+    handler:
+        csrrs a0, mcause, x0
+        csrrs a1, mtval, x0
+        ebreak
+    "#,
+    )
+    .expect("firmware assembles");
+
+    let mut m = Machine::new(64 * 1024);
+    m.load_firmware(&fw, 0).unwrap();
+    m.run(10_000).expect("halts in the trap handler");
+    assert_eq!(m.cpu().mode(), PrivilegeMode::Machine);
+    assert_eq!(m.cpu().reg(10), 7, "mcause = store access fault");
+    assert_eq!(m.cpu().reg(11), 0x9000, "mtval = faulting address");
+    assert_eq!(m.cpu().reg(12), 42, "the permitted store/load executed");
+    assert_eq!(m.cpu().traps_taken, 1);
+}
+
+/// U-mode cannot touch CSRs (including reconfiguring the PMP itself).
+#[test]
+fn user_mode_cannot_reconfigure_pmp() {
+    let fw = assemble(
+        r#"
+        la   t0, handler
+        csrrw x0, mtvec, t0
+        # Grant everything R/W/X via one whole-address-space NAPOT entry
+        # so U-mode runs freely; the CSR write must still trap.
+        li   t0, -1
+        csrrw x0, pmpaddr0, t0
+        li   t0, 0x1F
+        csrrw x0, pmpcfg0, t0
+        csrrw x0, mstatus, x0
+        la   t0, user
+        csrrw x0, mepc, t0
+        mret
+    user:
+        li   t0, 0
+        csrrw x0, pmpcfg0, t0    # illegal in U-mode -> trap
+        ebreak
+    handler:
+        csrrs a0, mcause, x0
+        ebreak
+    "#,
+    )
+    .expect("firmware assembles");
+
+    let mut m = Machine::new(64 * 1024);
+    m.load_firmware(&fw, 0).unwrap();
+    m.run(10_000).expect("halts");
+    assert_eq!(m.cpu().reg(10), 2, "mcause = illegal instruction");
+}
+
+const SCALAR_DOT: &str = r#"
+    li   s0, 0x1000
+    li   s1, 0x1100
+    li   s2, 64
+    li   a0, 0
+    li   t0, 0
+loop:
+    lb   t1, 0(s0)
+    lb   t2, 0(s1)
+    mul  t3, t1, t2
+    add  a0, a0, t3
+    addi s0, s0, 1
+    addi s1, s1, 1
+    addi t0, t0, 1
+    blt  t0, s2, loop
+    ebreak
+"#;
+
+const CFU_DOT: &str = r#"
+    li   s0, 0x1000
+    li   s1, 0x1100
+    li   s2, 16
+    cfu1 x0, x0, x0      # reset accumulator
+    li   t0, 0
+loop:
+    lw   t1, 0(s0)
+    lw   t2, 0(s1)
+    cfu0 a0, t1, t2      # 4 int8 MACs per instruction
+    addi s0, s0, 4
+    addi s1, s1, 4
+    addi t0, t0, 1
+    blt  t0, s2, loop
+    ebreak
+"#;
+
+fn load_vectors(m: &mut Machine) -> i32 {
+    // Two deterministic int8 vectors and their reference dot product.
+    let a: Vec<i8> = (0..64).map(|i| ((i * 7 % 23) as i8) - 11).collect();
+    let b: Vec<i8> = (0..64).map(|i| ((i * 13 % 19) as i8) - 9).collect();
+    let expected: i32 = a.iter().zip(&b).map(|(&x, &y)| x as i32 * y as i32).sum();
+    let a_bytes: Vec<u8> = a.iter().map(|&x| x as u8).collect();
+    let b_bytes: Vec<u8> = b.iter().map(|&x| x as u8).collect();
+    m.bus_mut().write_bytes(0x1000, &a_bytes).unwrap();
+    m.bus_mut().write_bytes(0x1100, &b_bytes).unwrap();
+    expected
+}
+
+/// The E9 experiment: the MAC CFU computes the same int8 dot product as
+/// the scalar RV32IM loop, several times faster in cycles.
+#[test]
+fn cfu_accelerates_int8_dot_product() {
+    // Scalar baseline.
+    let fw = assemble(SCALAR_DOT).unwrap();
+    let mut scalar = Machine::new(64 * 1024);
+    let expected = load_vectors(&mut scalar);
+    scalar.load_firmware(&fw, 0).unwrap();
+    let scalar_cycles = scalar.run(1_000_000).unwrap();
+    assert_eq!(scalar.cpu().reg(10) as i32, expected);
+
+    // CFU-accelerated version.
+    let fw = assemble(CFU_DOT).unwrap();
+    let mut accel = Machine::new(64 * 1024).with_cfu(MacCfu::new());
+    let expected2 = load_vectors(&mut accel);
+    accel.load_firmware(&fw, 0).unwrap();
+    let cfu_cycles = accel.run(1_000_000).unwrap();
+    assert_eq!(accel.cpu().reg(10) as i32, expected2);
+    assert_eq!(expected, expected2);
+
+    let speedup = scalar_cycles as f64 / cfu_cycles as f64;
+    assert!(
+        speedup > 3.0,
+        "CFU speedup {speedup:.1}x (scalar {scalar_cycles}, cfu {cfu_cycles})"
+    );
+}
+
+/// The machine timer advances with executed cycles and is readable from
+/// firmware.
+#[test]
+fn mtime_tracks_cycles() {
+    let fw = assemble(
+        r#"
+        li   t0, 0x11000000
+        lw   a0, 0(t0)       # mtime low, early
+        nop
+        nop
+        nop
+        nop
+        lw   a1, 0(t0)       # mtime low, later
+        ebreak
+    "#,
+    )
+    .unwrap();
+    let mut m = Machine::new(64 * 1024);
+    m.load_firmware(&fw, 0).unwrap();
+    m.run(1_000).unwrap();
+    let early = m.cpu().reg(10);
+    let later = m.cpu().reg(11);
+    assert!(later > early, "timer must advance: {early} -> {later}");
+    // Between the two samples: the first load retires (2 cycles) and the
+    // four nops retire (1 cycle each); the second load samples before its
+    // own retirement.
+    assert_eq!(later - early, 6);
+}

@@ -1,0 +1,134 @@
+//! Machine-timer interrupt tests: the preemption mechanism the periodic
+//! robustness-service submissions (§IV-B) ride on in deployed firmware.
+
+use vedliot_socsim::asm::assemble;
+use vedliot_socsim::cpu::MCAUSE_MTIMER;
+use vedliot_socsim::machine::Machine;
+
+/// Firmware arms the timer, enables interrupts and spins; the handler
+/// increments a counter in memory, re-arms the timer and returns.
+#[test]
+fn timer_interrupt_fires_and_returns() {
+    let fw = assemble(
+        r#"
+        la   t0, handler
+        csrrw x0, mtvec, t0
+        # mtimecmp = mtime + 100
+        li   t0, 0x11000000
+        lw   t1, 0(t0)
+        addi t1, t1, 100
+        sw   t1, 8(t0)
+        li   t2, 0
+        sw   t2, 12(t0)        # mtimecmp high = 0
+        # enable MTIE and global MIE
+        li   t1, 0x80
+        csrrw x0, mie, t1
+        li   t1, 0x8
+        csrrs x0, mstatus, t1
+        # spin until the handler has run 3 times
+        li   s1, 0x2000        # tick counter cell
+        sw   x0, 0(s1)
+    spin:
+        lw   t1, 0(s1)
+        li   t2, 3
+        blt  t1, t2, spin
+        ebreak
+
+    handler:
+        # bump the tick counter
+        li   s2, 0x2000
+        lw   t3, 0(s2)
+        addi t3, t3, 1
+        sw   t3, 0(s2)
+        # re-arm: mtimecmp = mtime + 100
+        li   s3, 0x11000000
+        lw   t4, 0(s3)
+        addi t4, t4, 100
+        sw   t4, 8(s3)
+        sw   x0, 12(s3)
+        mret
+    "#,
+    )
+    .expect("assembles");
+
+    let mut m = Machine::new(64 * 1024);
+    m.load_firmware(&fw, 0).expect("fits");
+    m.run(100_000).expect("halts after 3 ticks");
+    assert!(m.cpu().traps_taken >= 3, "took {} traps", m.cpu().traps_taken);
+    let ticks = m.bus_mut().load32(0x2000).expect("counter readable");
+    assert_eq!(ticks, 3);
+}
+
+/// With interrupts globally disabled in M-mode, the pending timer never
+/// preempts.
+#[test]
+fn disabled_interrupts_do_not_preempt() {
+    let fw = assemble(
+        r#"
+        la   t0, handler
+        csrrw x0, mtvec, t0
+        # arm the timer immediately but leave mstatus.MIE clear
+        li   t0, 0x11000000
+        sw   x0, 8(t0)
+        sw   x0, 12(t0)        # mtimecmp = 0 (always pending)
+        li   t1, 0x80
+        csrrw x0, mie, t1
+        # run some work: nothing should fire
+        li   a0, 0
+        li   t2, 50
+    loop:
+        addi a0, a0, 1
+        blt  a0, t2, loop
+        ebreak
+    handler:
+        li   a1, 99
+        mret
+    "#,
+    )
+    .expect("assembles");
+    let mut m = Machine::new(64 * 1024);
+    m.load_firmware(&fw, 0).expect("fits");
+    m.run(100_000).expect("halts");
+    assert_eq!(m.cpu().reg(10), 50);
+    assert_eq!(m.cpu().reg(11), 0, "handler must never run");
+    assert_eq!(m.cpu().traps_taken, 0);
+}
+
+/// The interrupt reports the architectural mcause (interrupt bit +
+/// cause 7) and preempts even U-mode payloads.
+#[test]
+fn interrupt_mcause_and_umode_preemption() {
+    let fw = assemble(
+        r#"
+        la   t0, handler
+        csrrw x0, mtvec, t0
+        # grant U-mode everything via one NAPOT entry
+        li   t0, -1
+        csrrw x0, pmpaddr0, t0
+        li   t0, 0x1F
+        csrrw x0, pmpcfg0, t0
+        # timer pending immediately; MTIE on. U-mode takes interrupts
+        # regardless of mstatus.MIE.
+        li   t0, 0x11000000
+        sw   x0, 8(t0)
+        sw   x0, 12(t0)
+        li   t1, 0x80
+        csrrw x0, mie, t1
+        # drop to U-mode
+        csrrw x0, mstatus, x0
+        la   t0, user
+        csrrw x0, mepc, t0
+        mret
+    user:
+        j    user              # spin forever; the timer must break us out
+    handler:
+        csrrs a0, mcause, x0
+        ebreak
+    "#,
+    )
+    .expect("assembles");
+    let mut m = Machine::new(64 * 1024);
+    m.load_firmware(&fw, 0).expect("fits");
+    m.run(100_000).expect("halts in handler");
+    assert_eq!(m.cpu().reg(10), MCAUSE_MTIMER);
+}

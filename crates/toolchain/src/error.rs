@@ -1,0 +1,64 @@
+//! Toolchain error type.
+
+use std::fmt;
+use vedliot_nnir::NnirError;
+
+/// Error produced by optimization passes, compression or deployment.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ToolchainError {
+    /// The underlying graph operation failed.
+    Graph(NnirError),
+    /// A pass received a graph it cannot handle.
+    UnsupportedGraph {
+        /// Pass name.
+        pass: String,
+        /// Why the graph is unsupported.
+        detail: String,
+    },
+    /// A configuration parameter was out of range.
+    InvalidConfig(String),
+    /// Deployment/performance modelling failed.
+    Deployment(String),
+}
+
+impl fmt::Display for ToolchainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ToolchainError::Graph(e) => write!(f, "graph error: {e}"),
+            ToolchainError::UnsupportedGraph { pass, detail } => {
+                write!(f, "{pass} cannot process this graph: {detail}")
+            }
+            ToolchainError::InvalidConfig(detail) => write!(f, "invalid configuration: {detail}"),
+            ToolchainError::Deployment(detail) => write!(f, "deployment failure: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ToolchainError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ToolchainError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NnirError> for ToolchainError {
+    fn from(e: NnirError) -> Self {
+        ToolchainError::Graph(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync_and_sourced() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ToolchainError>();
+        let e = ToolchainError::from(NnirError::GraphCyclic);
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(e.to_string().contains("cycle"));
+    }
+}

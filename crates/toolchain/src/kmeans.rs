@@ -1,0 +1,217 @@
+//! 1-D k-means clustering for weight sharing.
+//!
+//! Deep Compression quantizes the surviving weights of a pruned layer by
+//! clustering them into 2^b centroids (the "trained quantization" stage).
+//! Lloyd's algorithm over scalars with deterministic linear
+//! initialization is exactly what the original paper uses.
+
+use serde::{Deserialize, Serialize};
+
+/// Result of clustering a weight set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Clustering {
+    /// Cluster centroids (codebook), ascending.
+    pub centroids: Vec<f32>,
+    /// Cluster index per input value.
+    pub assignments: Vec<u16>,
+}
+
+impl Clustering {
+    /// Reconstructs the clustered values (each value replaced by its
+    /// centroid).
+    #[must_use]
+    pub fn reconstruct(&self) -> Vec<f32> {
+        self.assignments
+            .iter()
+            .map(|&a| self.centroids[a as usize])
+            .collect()
+    }
+
+    /// Mean squared reconstruction error against the original values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `original` has a different length than the assignments.
+    #[must_use]
+    pub fn mse(&self, original: &[f32]) -> f64 {
+        assert_eq!(original.len(), self.assignments.len());
+        if original.is_empty() {
+            return 0.0;
+        }
+        let sum: f64 = original
+            .iter()
+            .zip(self.assignments.iter())
+            .map(|(&x, &a)| {
+                let d = (x - self.centroids[a as usize]) as f64;
+                d * d
+            })
+            .sum();
+        sum / original.len() as f64
+    }
+}
+
+/// Clusters scalar values into at most `k` centroids using Lloyd's
+/// algorithm with linear (min..max) initialization.
+///
+/// Returns an empty clustering for empty input. If the data has fewer
+/// distinct values than `k`, unused centroids collapse and are pruned
+/// from the codebook.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `k > u16::MAX as usize + 1`.
+#[must_use]
+pub fn kmeans_1d(values: &[f32], k: usize, iterations: usize) -> Clustering {
+    assert!(k > 0, "k must be positive");
+    assert!(k <= u16::MAX as usize + 1, "k exceeds index range");
+    if values.is_empty() {
+        return Clustering {
+            centroids: Vec::new(),
+            assignments: Vec::new(),
+        };
+    }
+    let min = values.iter().copied().fold(f32::INFINITY, f32::min);
+    let max = values.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut centroids: Vec<f32> = if k == 1 || (max - min) == 0.0 {
+        vec![(min + max) / 2.0]
+    } else {
+        (0..k)
+            .map(|i| min + (max - min) * i as f32 / (k - 1) as f32)
+            .collect()
+    };
+
+    let mut assignments = vec![0u16; values.len()];
+    for _ in 0..iterations.max(1) {
+        // Assignment step: centroids are sorted, use binary search on
+        // midpoints for O(n log k).
+        for (i, &v) in values.iter().enumerate() {
+            assignments[i] = nearest(&centroids, v);
+        }
+        // Update step.
+        let mut sums = vec![0.0f64; centroids.len()];
+        let mut counts = vec![0usize; centroids.len()];
+        for (&v, &a) in values.iter().zip(assignments.iter()) {
+            sums[a as usize] += v as f64;
+            counts[a as usize] += 1;
+        }
+        let mut moved = false;
+        for (c, (&sum, &count)) in centroids.iter_mut().zip(sums.iter().zip(counts.iter())) {
+            if count > 0 {
+                let new = (sum / count as f64) as f32;
+                if new != *c {
+                    *c = new;
+                    moved = true;
+                }
+            }
+        }
+        if !moved {
+            break;
+        }
+        centroids.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    }
+
+    // Final assignment and pruning of empty clusters.
+    for (i, &v) in values.iter().enumerate() {
+        assignments[i] = nearest(&centroids, v);
+    }
+    let mut used: Vec<bool> = vec![false; centroids.len()];
+    for &a in &assignments {
+        used[a as usize] = true;
+    }
+    let remap: Vec<Option<u16>> = {
+        let mut next = 0u16;
+        used.iter()
+            .map(|&u| {
+                if u {
+                    let id = next;
+                    next += 1;
+                    Some(id)
+                } else {
+                    None
+                }
+            })
+            .collect()
+    };
+    let pruned: Vec<f32> = centroids
+        .iter()
+        .zip(used.iter())
+        .filter(|&(_, &u)| u)
+        .map(|(&c, _)| c)
+        .collect();
+    for a in &mut assignments {
+        *a = remap[*a as usize].expect("assigned cluster is used");
+    }
+    Clustering {
+        centroids: pruned,
+        assignments,
+    }
+}
+
+fn nearest(centroids: &[f32], v: f32) -> u16 {
+    let mut best = 0usize;
+    let mut best_d = f32::INFINITY;
+    for (i, &c) in centroids.iter().enumerate() {
+        let d = (v - c).abs();
+        if d < best_d {
+            best_d = d;
+            best = i;
+        }
+    }
+    best as u16
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_obvious_clusters() {
+        let values = vec![-1.0, -1.1, -0.9, 1.0, 1.1, 0.9];
+        let c = kmeans_1d(&values, 2, 20);
+        assert_eq!(c.centroids.len(), 2);
+        assert!((c.centroids[0] + 1.0).abs() < 0.2);
+        assert!((c.centroids[1] - 1.0).abs() < 0.2);
+        // First three values share a cluster, last three the other.
+        assert_eq!(c.assignments[0], c.assignments[1]);
+        assert_eq!(c.assignments[3], c.assignments[4]);
+        assert_ne!(c.assignments[0], c.assignments[3]);
+    }
+
+    #[test]
+    fn reconstruction_error_decreases_with_k() {
+        let values: Vec<f32> = (0..100).map(|i| (i as f32 / 10.0).sin()).collect();
+        let mse4 = kmeans_1d(&values, 4, 30).mse(&values);
+        let mse16 = kmeans_1d(&values, 16, 30).mse(&values);
+        assert!(mse16 < mse4);
+    }
+
+    #[test]
+    fn constant_input_collapses_to_one_centroid() {
+        let values = vec![0.5f32; 50];
+        let c = kmeans_1d(&values, 8, 10);
+        assert_eq!(c.centroids.len(), 1);
+        assert!(c.mse(&values) < 1e-12);
+    }
+
+    #[test]
+    fn empty_input() {
+        let c = kmeans_1d(&[], 4, 10);
+        assert!(c.centroids.is_empty() && c.assignments.is_empty());
+    }
+
+    #[test]
+    fn reconstruct_uses_centroids_exactly() {
+        let values = vec![0.0f32, 0.1, 0.9, 1.0];
+        let c = kmeans_1d(&values, 2, 10);
+        let rec = c.reconstruct();
+        for r in rec {
+            assert!(c.centroids.contains(&r));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics() {
+        let _ = kmeans_1d(&[1.0], 0, 5);
+    }
+}

@@ -1,0 +1,51 @@
+//! Kenning-style model-optimization toolchain (paper §III).
+//!
+//! The VEDLIoT toolchain takes an ONNX model, performs "significant
+//! surgery" on its computational graph — operator fusion, quantization,
+//! neuron-wise or connection-wise pruning — compiles it for a target, and
+//! measures "inference duration, resource usage, and processing quality"
+//! after deployment. This crate is that pipeline over the
+//! [`vedliot_nnir`] IR:
+//!
+//! * [`passes`] — graph-surgery passes behind a uniform [`passes::Pass`]
+//!   trait with a [`passes::PassManager`]: Conv+BN fusion, connection
+//!   pruning, neuron (channel) pruning for MLPs, INT8 post-training
+//!   quantization with activation calibration, FP16 conversion.
+//! * [`compress`] — the Deep Compression pipeline (Han et al., the
+//!   paper's "49×" citation): prune → weight clustering → Huffman coding,
+//!   with exact compressed-size accounting and a lossless decoder for the
+//!   pruned/clustered model.
+//! * [`huffman`] / [`kmeans`] — the coding substrates, built from scratch.
+//! * [`deploy`] — Kenning's measurement surface: compile a model for a
+//!   catalog target and report latency, memory, energy and quality
+//!   (confusion matrix) in one [`deploy::DeploymentReport`].
+//!
+//! # Example
+//!
+//! ```
+//! use vedliot_toolchain::passes::{FuseConvBn, PassManager, QuantizeInt8};
+//! use vedliot_nnir::{zoo, Tensor, Shape};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let model = zoo::tiny_cnn("cam", Shape::nchw(1, 3, 32, 32), &[8, 16], 4)?;
+//! let calib = vec![Tensor::random(Shape::nchw(1, 3, 32, 32), 1, 1.0)];
+//! let mut pm = PassManager::new();
+//! pm.push(FuseConvBn::new());
+//! pm.push(QuantizeInt8::with_calibration(calib));
+//! let (optimized, log) = pm.run(model)?;
+//! assert_eq!(log.len(), 2);
+//! assert!(!optimized.nodes().is_empty());
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod compress;
+pub mod deploy;
+pub mod error;
+pub mod huffman;
+pub mod kmeans;
+pub mod passes;
+
+pub use compress::{deep_compress, CompressionConfig, CompressionReport};
+pub use deploy::{benchmark_deployment, DeploymentReport};
+pub use error::ToolchainError;

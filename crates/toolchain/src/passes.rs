@@ -1,0 +1,1224 @@
+//! Graph-surgery optimization passes.
+//!
+//! Paper §III: "The model's computational graph undergoes significant
+//! surgery in the optimization phase … (e.g., operator fusion,
+//! quantization, neuron-wise or connection-wise pruning)." Each surgery
+//! is a [`Pass`]; a [`PassManager`] runs an ordered pipeline and records
+//! what every pass did.
+
+use crate::error::ToolchainError;
+use serde::{Deserialize, Serialize};
+use vedliot_nnir::exec::Executor;
+use vedliot_nnir::graph::WeightInit;
+use vedliot_nnir::{Graph, GraphBuilder, Op, Shape, Tensor, TensorId};
+
+/// One optimization pass over a graph.
+///
+/// Passes consume and return whole graphs (graphs are cheap to rebuild
+/// and this keeps every intermediate state valid), plus a human-readable
+/// summary of what changed.
+pub trait Pass {
+    /// Pass name for logs.
+    fn name(&self) -> &str;
+
+    /// Applies the pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ToolchainError::UnsupportedGraph`] when the graph shape
+    /// is outside the pass's domain, or propagates graph errors.
+    fn run(&self, graph: Graph) -> Result<(Graph, String), ToolchainError>;
+}
+
+/// Log entry produced by one pass in a pipeline.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PassLog {
+    /// Pass name.
+    pub pass: String,
+    /// What the pass reported.
+    pub detail: String,
+}
+
+/// An ordered pipeline of passes.
+#[derive(Default)]
+pub struct PassManager {
+    passes: Vec<Box<dyn Pass>>,
+}
+
+impl PassManager {
+    /// Creates an empty pipeline.
+    #[must_use]
+    pub fn new() -> Self {
+        PassManager::default()
+    }
+
+    /// Appends a pass.
+    pub fn push(&mut self, pass: impl Pass + 'static) {
+        self.passes.push(Box::new(pass));
+    }
+
+    /// Number of passes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.passes.len()
+    }
+
+    /// Whether the pipeline is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.passes.is_empty()
+    }
+
+    /// Runs the pipeline, validating the graph after every pass.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first pass failure.
+    pub fn run(&self, graph: Graph) -> Result<(Graph, Vec<PassLog>), ToolchainError> {
+        let mut g = graph;
+        let mut logs = Vec::with_capacity(self.passes.len());
+        for pass in &self.passes {
+            let (next, detail) = pass.run(g)?;
+            next.validate()?;
+            logs.push(PassLog {
+                pass: pass.name().to_string(),
+                detail,
+            });
+            g = next;
+        }
+        Ok((g, logs))
+    }
+}
+
+impl std::fmt::Debug for PassManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let names: Vec<&str> = self.passes.iter().map(|p| p.name()).collect();
+        f.debug_struct("PassManager").field("passes", &names).finish()
+    }
+}
+
+// --------------------------------------------------------------------
+// Conv + BatchNorm fusion
+// --------------------------------------------------------------------
+
+/// Folds `BatchNorm` layers into their preceding `Conv2d` (the standard
+/// inference-time operator fusion; removes 2 memory-bound ops per conv).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FuseConvBn;
+
+impl FuseConvBn {
+    /// Creates the pass.
+    #[must_use]
+    pub fn new() -> Self {
+        FuseConvBn
+    }
+}
+
+impl Pass for FuseConvBn {
+    fn name(&self) -> &str {
+        "fuse-conv-bn"
+    }
+
+    fn run(&self, graph: Graph) -> Result<(Graph, String), ToolchainError> {
+        let fanout = graph.fanout();
+        // BN nodes to fold: their input comes from a Conv2d whose output
+        // feeds only this BN.
+        let mut fold_bn: Vec<bool> = vec![false; graph.nodes().len()];
+        for node in graph.nodes() {
+            if node.op == Op::BatchNorm {
+                if let Some(producer) = graph.producer(node.inputs[0]) {
+                    let prod = graph.node(producer)?;
+                    if matches!(prod.op, Op::Conv2d(_)) && fanout[node.inputs[0].0].len() == 1 {
+                        fold_bn[node.id.0] = true;
+                    }
+                }
+            }
+        }
+
+        let exec = Executor::new(&graph);
+        let mut b = GraphBuilder::new(graph.name().to_string());
+        // Tensor remapping old -> new.
+        let mut remap: Vec<Option<TensorId>> = vec![None; graph.tensor_count()];
+        for &t in graph.inputs() {
+            let shape = graph.tensor_shape(t).expect("input shape").clone();
+            remap[t.0] = Some(b.input(shape));
+        }
+        let mut fused = 0usize;
+        for node in graph.nodes() {
+            // Folded BN nodes are absorbed at their conv's emission site.
+            if fold_bn[node.id.0] {
+                continue;
+            }
+            // Look ahead: is this conv followed by a foldable BN?
+            let following_bn = if matches!(node.op, Op::Conv2d(_)) {
+                fanout[node.output.0]
+                    .iter()
+                    .map(|&nid| graph.node(nid).expect("fanout node"))
+                    .find(|n| fold_bn[n.id.0])
+            } else {
+                None
+            };
+
+            let new_inputs: Vec<TensorId> = node
+                .inputs
+                .iter()
+                .map(|t| remap[t.0].expect("inputs emitted before use"))
+                .collect();
+
+            if let (Op::Conv2d(attrs), Some(bn)) = (&node.op, following_bn) {
+                // Materialize and fold.
+                let conv_w = exec.node_weights(node)?;
+                let bn_w = exec.node_weights(bn)?;
+                let scale = bn_w[0].data();
+                let shift = bn_w[1].data();
+                let mut attrs = *attrs;
+                let kernel = &conv_w[0];
+                let old_bias = if attrs.bias { Some(&conv_w[1]) } else { None };
+                let oc = attrs.out_channels;
+                let per_oc = kernel.shape().elem_count() / oc;
+                let mut folded_kernel = kernel.clone();
+                for (o, &s) in scale.iter().enumerate().take(oc) {
+                    for w in &mut folded_kernel.data_mut()[o * per_oc..(o + 1) * per_oc] {
+                        *w *= s;
+                    }
+                }
+                let folded_bias: Vec<f32> = (0..oc)
+                    .map(|o| shift[o] + scale[o] * old_bias.map(|b| b.data()[o]).unwrap_or(0.0))
+                    .collect();
+                attrs.bias = true;
+                let weights = WeightInit::Explicit(vec![
+                    folded_kernel,
+                    Tensor::from_vec(Shape::new(vec![oc]), folded_bias)?,
+                ]);
+                let out = b.apply_with_weights(
+                    node.name.clone(),
+                    Op::Conv2d(attrs),
+                    &new_inputs,
+                    weights,
+                )?;
+                // The BN's output now aliases the fused conv output.
+                remap[node.output.0] = Some(out);
+                remap[bn.output.0] = Some(out);
+                fused += 1;
+                continue;
+            }
+
+            let out = b.apply_with_weights(
+                node.name.clone(),
+                node.op.clone(),
+                &new_inputs,
+                node.weights.clone(),
+            )?;
+            remap[node.output.0] = Some(out);
+        }
+        let outputs: Vec<TensorId> = graph
+            .outputs()
+            .iter()
+            .map(|t| remap[t.0].expect("output produced"))
+            .collect();
+        let g = b.finish(outputs);
+        Ok((g, format!("folded {fused} batch-norm layers into convolutions")))
+    }
+}
+
+// --------------------------------------------------------------------
+// Connection-wise (magnitude) pruning
+// --------------------------------------------------------------------
+
+/// Magnitude pruning: zeroes the smallest-magnitude fraction of every
+/// Conv2d/Dense weight tensor ("connection-wise pruning").
+#[derive(Debug, Clone, Copy)]
+pub struct PruneConnections {
+    sparsity: f64,
+}
+
+impl PruneConnections {
+    /// Creates the pass with a target sparsity in `[0, 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sparsity` is outside `[0, 1)`.
+    #[must_use]
+    pub fn new(sparsity: f64) -> Self {
+        assert!((0.0..1.0).contains(&sparsity), "sparsity must be in [0, 1)");
+        PruneConnections { sparsity }
+    }
+}
+
+impl Pass for PruneConnections {
+    fn name(&self) -> &str {
+        "prune-connections"
+    }
+
+    fn run(&self, mut graph: Graph) -> Result<(Graph, String), ToolchainError> {
+        let mut total = 0usize;
+        let mut zeroed = 0usize;
+        // Materialize first (immutable borrow), then write back.
+        let materialized: Vec<Option<Vec<Tensor>>> = {
+            let exec = Executor::new(&graph);
+            graph
+                .nodes()
+                .iter()
+                .map(|node| {
+                    if matches!(node.op, Op::Conv2d(_) | Op::Dense { .. }) {
+                        exec.node_weights(node).ok()
+                    } else {
+                        None
+                    }
+                })
+                .collect()
+        };
+        for (node, weights) in graph.nodes_mut().iter_mut().zip(materialized) {
+            let Some(mut weights) = weights else { continue };
+            // Prune the main weight tensor only (index 0), never biases.
+            let w = &mut weights[0];
+            let n = w.data().len();
+            let keep = n - ((n as f64) * self.sparsity).round() as usize;
+            let mut magnitudes: Vec<f32> = w.data().iter().map(|x| x.abs()).collect();
+            magnitudes.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+            let threshold = if keep == 0 {
+                f32::INFINITY
+            } else if keep >= n {
+                0.0
+            } else {
+                magnitudes[keep - 1]
+            };
+            for x in w.data_mut() {
+                total += 1;
+                if x.abs() < threshold || threshold == f32::INFINITY {
+                    *x = 0.0;
+                    zeroed += 1;
+                }
+            }
+            node.weights = WeightInit::Explicit(weights);
+        }
+        let achieved = if total > 0 {
+            zeroed as f64 / total as f64
+        } else {
+            0.0
+        };
+        Ok((
+            graph,
+            format!("zeroed {zeroed}/{total} connections ({achieved:.1}% sparsity)", achieved = achieved * 100.0),
+        ))
+    }
+}
+
+// --------------------------------------------------------------------
+// Neuron-wise pruning (MLP chains)
+// --------------------------------------------------------------------
+
+/// Neuron-wise (structured) pruning for MLP chains: removes the
+/// lowest-L2-norm output neurons of every hidden `Dense` layer, shrinking
+/// the following layer's input accordingly.
+#[derive(Debug, Clone, Copy)]
+pub struct PruneNeurons {
+    keep_fraction: f64,
+}
+
+impl PruneNeurons {
+    /// Creates the pass keeping the given fraction of hidden neurons.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keep_fraction` is outside `(0, 1]`.
+    #[must_use]
+    pub fn new(keep_fraction: f64) -> Self {
+        assert!(
+            keep_fraction > 0.0 && keep_fraction <= 1.0,
+            "keep_fraction must be in (0, 1]"
+        );
+        PruneNeurons { keep_fraction }
+    }
+}
+
+impl Pass for PruneNeurons {
+    fn name(&self) -> &str {
+        "prune-neurons"
+    }
+
+    fn run(&self, graph: Graph) -> Result<(Graph, String), ToolchainError> {
+        // Validate the chain shape: Input / Flatten / Dense / Activation.
+        for node in graph.nodes() {
+            match node.op {
+                Op::Input(_) | Op::Flatten | Op::Dense { .. } | Op::Activation(_) | Op::Softmax => {}
+                _ => {
+                    return Err(ToolchainError::UnsupportedGraph {
+                        pass: self.name().into(),
+                        detail: format!("{} is not an MLP-chain operator", node.op.name()),
+                    })
+                }
+            }
+        }
+        let dense_ids: Vec<usize> = graph
+            .nodes()
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| matches!(n.op, Op::Dense { .. }))
+            .map(|(i, _)| i)
+            .collect();
+        if dense_ids.len() < 2 {
+            return Err(ToolchainError::UnsupportedGraph {
+                pass: self.name().into(),
+                detail: "need at least one hidden layer to prune".into(),
+            });
+        }
+
+        let exec = Executor::new(&graph);
+        // Materialized weights per dense node.
+        let mut weights: Vec<Vec<Tensor>> = Vec::new();
+        for &i in &dense_ids {
+            weights.push(exec.node_weights(&graph.nodes()[i])?);
+        }
+
+        // For every hidden layer (all but the last), select kept neurons.
+        let mut kept_per_layer: Vec<Vec<usize>> = Vec::new();
+        let mut removed = 0usize;
+        for (li, &node_idx) in dense_ids.iter().enumerate() {
+            let node = &graph.nodes()[node_idx];
+            let Op::Dense { out_features, .. } = node.op else {
+                unreachable!()
+            };
+            if li == dense_ids.len() - 1 {
+                kept_per_layer.push((0..out_features).collect());
+                continue;
+            }
+            let w = &weights[li][0];
+            let in_f = w.shape().dim(1).unwrap_or(1);
+            let mut norms: Vec<(usize, f64)> = (0..out_features)
+                .map(|o| {
+                    let row = &w.data()[o * in_f..(o + 1) * in_f];
+                    (o, row.iter().map(|&x| (x as f64).powi(2)).sum::<f64>())
+                })
+                .collect();
+            norms.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+            let keep = ((out_features as f64) * self.keep_fraction).ceil().max(1.0) as usize;
+            let mut kept: Vec<usize> = norms[..keep.min(out_features)].iter().map(|&(o, _)| o).collect();
+            kept.sort_unstable();
+            removed += out_features - kept.len();
+            kept_per_layer.push(kept);
+        }
+
+        // Rebuild the graph with sliced weights.
+        let mut b = GraphBuilder::new(graph.name().to_string());
+        let mut remap: Vec<Option<TensorId>> = vec![None; graph.tensor_count()];
+        for &t in graph.inputs() {
+            remap[t.0] = Some(b.input(graph.tensor_shape(t).expect("input").clone()));
+        }
+        let mut dense_seen = 0usize;
+        for node in graph.nodes() {
+            let new_inputs: Vec<TensorId> = node
+                .inputs
+                .iter()
+                .map(|t| remap[t.0].expect("emitted"))
+                .collect();
+            let out = match &node.op {
+                Op::Dense { bias, .. } => {
+                    let li = dense_seen;
+                    dense_seen += 1;
+                    let kept = &kept_per_layer[li];
+                    let prev_kept: Option<&Vec<usize>> = if li > 0 {
+                        Some(&kept_per_layer[li - 1])
+                    } else {
+                        None
+                    };
+                    let w = &weights[li][0];
+                    let in_f = w.shape().dim(1).unwrap_or(1);
+                    let cols: Vec<usize> = match prev_kept {
+                        Some(prev) => prev.clone(),
+                        None => (0..in_f).collect(),
+                    };
+                    let mut new_w = Vec::with_capacity(kept.len() * cols.len());
+                    for &o in kept {
+                        for &c in &cols {
+                            new_w.push(w.data()[o * in_f + c]);
+                        }
+                    }
+                    let mut tensors = vec![Tensor::from_vec(
+                        Shape::nf(kept.len(), cols.len()),
+                        new_w,
+                    )?];
+                    if *bias {
+                        let old_b = &weights[li][1];
+                        let new_b: Vec<f32> = kept.iter().map(|&o| old_b.data()[o]).collect();
+                        tensors.push(Tensor::from_vec(Shape::new(vec![kept.len()]), new_b)?);
+                    }
+                    b.apply_with_weights(
+                        node.name.clone(),
+                        Op::Dense {
+                            out_features: kept.len(),
+                            bias: *bias,
+                        },
+                        &new_inputs,
+                        WeightInit::Explicit(tensors),
+                    )?
+                }
+                op => b.apply_with_weights(
+                    node.name.clone(),
+                    op.clone(),
+                    &new_inputs,
+                    node.weights.clone(),
+                )?,
+            };
+            remap[node.output.0] = Some(out);
+        }
+        let outputs: Vec<TensorId> = graph
+            .outputs()
+            .iter()
+            .map(|t| remap[t.0].expect("output produced"))
+            .collect();
+        Ok((
+            b.finish(outputs),
+            format!("removed {removed} hidden neurons (keep fraction {:.2})", self.keep_fraction),
+        ))
+    }
+}
+
+// --------------------------------------------------------------------
+// Channel pruning (linear conv chains)
+// --------------------------------------------------------------------
+
+/// Structured channel pruning for *linear* convolutional chains
+/// (conv / bn / activation / pool / gap / flatten / dense sequences with
+/// no branching): removes the lowest-L2-norm output channels of every
+/// conv except the last one before a spatial-collapse boundary, slicing
+/// the consumer's input channels and any following BatchNorm to match.
+///
+/// This is the conv-side of the paper's "neuron-wise pruning"; residual
+/// topologies (where channel sets must stay aligned across adds) are out
+/// of scope and rejected.
+#[derive(Debug, Clone, Copy)]
+pub struct PruneChannels {
+    keep_fraction: f64,
+}
+
+impl PruneChannels {
+    /// Creates the pass keeping the given fraction of channels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keep_fraction` is outside `(0, 1]`.
+    #[must_use]
+    pub fn new(keep_fraction: f64) -> Self {
+        assert!(
+            keep_fraction > 0.0 && keep_fraction <= 1.0,
+            "keep_fraction must be in (0, 1]"
+        );
+        PruneChannels { keep_fraction }
+    }
+}
+
+impl Pass for PruneChannels {
+    fn name(&self) -> &str {
+        "prune-channels"
+    }
+
+    fn run(&self, graph: Graph) -> Result<(Graph, String), ToolchainError> {
+        // Reject anything non-linear or with grouped convs.
+        let fanout = graph.fanout();
+        for node in graph.nodes() {
+            match &node.op {
+                Op::Input(_)
+                | Op::BatchNorm
+                | Op::Activation(_)
+                | Op::MaxPool2d(_)
+                | Op::AvgPool2d(_)
+                | Op::GlobalAvgPool
+                | Op::Flatten
+                | Op::Dense { .. }
+                | Op::Softmax
+                | Op::FakeQuant { .. } => {}
+                Op::Conv2d(attrs) if attrs.groups == 1 => {}
+                other => {
+                    return Err(ToolchainError::UnsupportedGraph {
+                        pass: self.name().into(),
+                        detail: format!("{} breaks the linear-chain requirement", other.name()),
+                    })
+                }
+            }
+            if fanout[node.output.0].len() > 1 {
+                return Err(ToolchainError::UnsupportedGraph {
+                    pass: self.name().into(),
+                    detail: format!("node {} has fan-out > 1 (branching)", node.name),
+                });
+            }
+        }
+
+        // Which convs may be pruned: every conv whose *next* conv/dense
+        // consumer can be sliced. The last conv before flatten/dense
+        // keeps its channels (the classifier input width must not move).
+        let exec = Executor::new(&graph);
+        let conv_indices: Vec<usize> = graph
+            .nodes()
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| matches!(n.op, Op::Conv2d(_)))
+            .map(|(i, _)| i)
+            .collect();
+        if conv_indices.len() < 2 {
+            return Err(ToolchainError::UnsupportedGraph {
+                pass: self.name().into(),
+                detail: "need at least two convolutions to prune channels".into(),
+            });
+        }
+
+        // kept[i] = kept output-channel indices of conv node i.
+        let mut kept: std::collections::HashMap<usize, Vec<usize>> =
+            std::collections::HashMap::new();
+        let mut removed = 0usize;
+        for (pos, &idx) in conv_indices.iter().enumerate() {
+            let node = &graph.nodes()[idx];
+            let Op::Conv2d(attrs) = &node.op else { unreachable!() };
+            if pos == conv_indices.len() - 1 {
+                kept.insert(idx, (0..attrs.out_channels).collect());
+                continue;
+            }
+            let w = &exec.node_weights(node)?[0];
+            let per_oc = w.shape().elem_count() / attrs.out_channels;
+            let mut norms: Vec<(usize, f64)> = (0..attrs.out_channels)
+                .map(|o| {
+                    let slice = &w.data()[o * per_oc..(o + 1) * per_oc];
+                    (o, slice.iter().map(|&x| (x as f64).powi(2)).sum())
+                })
+                .collect();
+            norms.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+            let keep_n = ((attrs.out_channels as f64) * self.keep_fraction)
+                .ceil()
+                .max(1.0) as usize;
+            let mut keep: Vec<usize> = norms[..keep_n.min(attrs.out_channels)]
+                .iter()
+                .map(|&(o, _)| o)
+                .collect();
+            keep.sort_unstable();
+            removed += attrs.out_channels - keep.len();
+            kept.insert(idx, keep);
+        }
+
+        // Rebuild, slicing weights. Track which channel set each tensor
+        // carries (None = untouched/full).
+        let mut b = GraphBuilder::new(graph.name().to_string());
+        let mut remap: Vec<Option<TensorId>> = vec![None; graph.tensor_count()];
+        let mut channels_of: Vec<Option<Vec<usize>>> = vec![None; graph.tensor_count()];
+        for &t in graph.inputs() {
+            remap[t.0] = Some(b.input(graph.tensor_shape(t).expect("input").clone()));
+        }
+        for (idx, node) in graph.nodes().iter().enumerate() {
+            let new_inputs: Vec<TensorId> = node
+                .inputs
+                .iter()
+                .map(|t| remap[t.0].expect("emitted"))
+                .collect();
+            let in_channels = node
+                .inputs
+                .first()
+                .and_then(|t| channels_of[t.0].clone());
+            let out = match &node.op {
+                Op::Conv2d(attrs) => {
+                    let weights = exec.node_weights(node)?;
+                    let w = &weights[0];
+                    let old_in = w.shape().dim(1).expect("conv kernel rank 4");
+                    let kh = attrs.kernel.0;
+                    let kw = attrs.kernel.1;
+                    let in_keep: Vec<usize> =
+                        in_channels.clone().unwrap_or_else(|| (0..old_in).collect());
+                    let out_keep = kept[&idx].clone();
+                    let mut new_w =
+                        Vec::with_capacity(out_keep.len() * in_keep.len() * kh * kw);
+                    for &o in &out_keep {
+                        for &c in &in_keep {
+                            let base = ((o * old_in) + c) * kh * kw;
+                            new_w.extend_from_slice(&w.data()[base..base + kh * kw]);
+                        }
+                    }
+                    let mut tensors = vec![Tensor::from_vec(
+                        Shape::new(vec![out_keep.len(), in_keep.len(), kh, kw]),
+                        new_w,
+                    )?];
+                    if attrs.bias {
+                        let bias = &weights[1];
+                        tensors.push(Tensor::from_vec(
+                            Shape::new(vec![out_keep.len()]),
+                            out_keep.iter().map(|&o| bias.data()[o]).collect(),
+                        )?);
+                    }
+                    let mut new_attrs = *attrs;
+                    new_attrs.out_channels = out_keep.len();
+                    let out = b.apply_with_weights(
+                        node.name.clone(),
+                        Op::Conv2d(new_attrs),
+                        &new_inputs,
+                        WeightInit::Explicit(tensors),
+                    )?;
+                    channels_of[node.output.0] =
+                        if out_keep.len() < attrs.out_channels {
+                            Some(out_keep)
+                        } else {
+                            None
+                        };
+                    out
+                }
+                Op::BatchNorm => {
+                    let weights = exec.node_weights(node)?;
+                    let tensors = match &in_channels {
+                        Some(keep) => vec![
+                            Tensor::from_vec(
+                                Shape::new(vec![keep.len()]),
+                                keep.iter().map(|&c| weights[0].data()[c]).collect(),
+                            )?,
+                            Tensor::from_vec(
+                                Shape::new(vec![keep.len()]),
+                                keep.iter().map(|&c| weights[1].data()[c]).collect(),
+                            )?,
+                        ],
+                        None => weights,
+                    };
+                    let out = b.apply_with_weights(
+                        node.name.clone(),
+                        Op::BatchNorm,
+                        &new_inputs,
+                        WeightInit::Explicit(tensors),
+                    )?;
+                    channels_of[node.output.0] = in_channels.clone();
+                    out
+                }
+                Op::Dense { .. } if in_channels.is_some() => {
+                    return Err(ToolchainError::UnsupportedGraph {
+                        pass: self.name().into(),
+                        detail:
+                            "dense layer directly consumes pruned channels; prune through GAP only"
+                                .into(),
+                    });
+                }
+                op => {
+                    // Channel-preserving ops propagate the channel set;
+                    // GAP + flatten collapse spatial dims, so the dense
+                    // consumer after GAP sees one feature per channel —
+                    // handled by treating flatten output as channel-less
+                    // only when the channel count was untouched.
+                    let out = b.apply_with_weights(
+                        node.name.clone(),
+                        op.clone(),
+                        &new_inputs,
+                        node.weights.clone(),
+                    )?;
+                    channels_of[node.output.0] = in_channels.clone();
+                    out
+                }
+            };
+            remap[node.output.0] = Some(out);
+        }
+        let outputs: Vec<TensorId> = graph
+            .outputs()
+            .iter()
+            .map(|t| remap[t.0].expect("output produced"))
+            .collect();
+        Ok((
+            b.finish(outputs),
+            format!(
+                "removed {removed} conv channels (keep fraction {:.2})",
+                self.keep_fraction
+            ),
+        ))
+    }
+}
+
+// --------------------------------------------------------------------
+// Quantization
+// --------------------------------------------------------------------
+
+/// Per-tensor symmetric INT8 post-training quantization with activation
+/// range calibration.
+///
+/// Weights are *fake-quantized* in place (snapped to the INT8 grid and
+/// dequantized), which is how PTQ accuracy is evaluated before real
+/// deployment; activation scales are recorded from calibration data and
+/// reported for the deployment target.
+#[derive(Debug, Clone, Default)]
+pub struct QuantizeInt8 {
+    calibration: Vec<Tensor>,
+}
+
+impl QuantizeInt8 {
+    /// Weight-only quantization (no calibration data).
+    #[must_use]
+    pub fn new() -> Self {
+        QuantizeInt8 {
+            calibration: Vec::new(),
+        }
+    }
+
+    /// Quantization with activation-range calibration inputs.
+    #[must_use]
+    pub fn with_calibration(calibration: Vec<Tensor>) -> Self {
+        QuantizeInt8 { calibration }
+    }
+}
+
+/// Snaps a value to the symmetric INT8 grid defined by `scale`.
+fn fake_quant_i8(x: f32, scale: f32) -> f32 {
+    if scale == 0.0 {
+        return 0.0;
+    }
+    (x / scale).round().clamp(-127.0, 127.0) * scale
+}
+
+impl Pass for QuantizeInt8 {
+    fn name(&self) -> &str {
+        "quantize-int8"
+    }
+
+    fn run(&self, mut graph: Graph) -> Result<(Graph, String), ToolchainError> {
+        // Activation calibration: max |activation| over calibration
+        // runs, then FakeQuant nodes inserted after every producer so
+        // the evaluated accuracy reflects *full* INT8 execution
+        // (weights and activations).
+        let mut act_scales = 0usize;
+        if !self.calibration.is_empty() {
+            let mut absmax = vec![0.0f32; graph.tensor_count()];
+            {
+                let exec = Executor::new(&graph);
+                for sample in &self.calibration {
+                    let values = exec.run_with_intermediates(std::slice::from_ref(sample))?;
+                    for (i, v) in values.iter().enumerate() {
+                        if let Some(t) = v {
+                            absmax[i] = absmax[i].max(t.abs_max());
+                        }
+                    }
+                }
+            }
+            act_scales = absmax.iter().filter(|&&m| m > 0.0).count();
+
+            // Rebuild with FakeQuant after each producing node.
+            let mut b = GraphBuilder::new(graph.name().to_string());
+            let mut remap: Vec<Option<TensorId>> = vec![None; graph.tensor_count()];
+            for &t in graph.inputs() {
+                let new_input = b.input(graph.tensor_shape(t).expect("input").clone());
+                let scale = absmax[t.0] / 127.0;
+                let quantized = if scale > 0.0 {
+                    b.apply(
+                        format!("{t}.quant"),
+                        Op::FakeQuant { scale },
+                        &[new_input],
+                    )?
+                } else {
+                    new_input
+                };
+                remap[t.0] = Some(quantized);
+            }
+            for node in graph.nodes() {
+                let new_inputs: Vec<TensorId> = node
+                    .inputs
+                    .iter()
+                    .map(|t| remap[t.0].expect("emitted before use"))
+                    .collect();
+                let out = b.apply_with_weights(
+                    node.name.clone(),
+                    node.op.clone(),
+                    &new_inputs,
+                    node.weights.clone(),
+                )?;
+                let scale = absmax[node.output.0] / 127.0;
+                let quantized = if scale > 0.0 && !matches!(node.op, Op::FakeQuant { .. }) {
+                    b.apply(
+                        format!("{}.quant", node.name),
+                        Op::FakeQuant { scale },
+                        &[out],
+                    )?
+                } else {
+                    out
+                };
+                remap[node.output.0] = Some(quantized);
+            }
+            let outputs: Vec<TensorId> = graph
+                .outputs()
+                .iter()
+                .map(|t| remap[t.0].expect("output produced"))
+                .collect();
+            graph = b.finish(outputs);
+        }
+
+        let materialized: Vec<Option<Vec<Tensor>>> = {
+            let exec = Executor::new(&graph);
+            graph
+                .nodes()
+                .iter()
+                .map(|node| {
+                    if matches!(node.op, Op::Conv2d(_) | Op::Dense { .. }) {
+                        exec.node_weights(node).ok()
+                    } else {
+                        None
+                    }
+                })
+                .collect()
+        };
+        let mut quantized_layers = 0usize;
+        for (node, weights) in graph.nodes_mut().iter_mut().zip(materialized) {
+            let Some(mut weights) = weights else { continue };
+            let w = &mut weights[0];
+            let scale = w.abs_max() / 127.0;
+            for x in w.data_mut() {
+                *x = fake_quant_i8(*x, scale);
+            }
+            node.weights = WeightInit::Explicit(weights);
+            quantized_layers += 1;
+        }
+        Ok((
+            graph,
+            format!(
+                "fake-quantized {quantized_layers} layers to INT8 ({act_scales} activation scales calibrated)"
+            ),
+        ))
+    }
+}
+
+/// Converts weights to FP16 (round-to-nearest-even via bit manipulation)
+/// and back — the accuracy effect of FP16 deployment.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ConvertFp16;
+
+impl ConvertFp16 {
+    /// Creates the pass.
+    #[must_use]
+    pub fn new() -> Self {
+        ConvertFp16
+    }
+}
+
+/// Rounds an f32 to the nearest representable f16 value (returned as f32).
+#[must_use]
+pub fn round_to_f16(x: f32) -> f32 {
+    let bits = x.to_bits();
+    let sign = bits & 0x8000_0000;
+    let exp = ((bits >> 23) & 0xFF) as i32;
+    let frac = bits & 0x007F_FFFF;
+    // Handle zero / subnormal-f32 as zero (far below f16 range anyway).
+    if exp == 0 {
+        return f32::from_bits(sign);
+    }
+    if exp == 0xFF {
+        return x; // inf / NaN pass through
+    }
+    let unbiased = exp - 127;
+    if unbiased > 15 {
+        // Overflows f16 -> ±inf.
+        return f32::from_bits(sign | 0x7F80_0000);
+    }
+    if unbiased < -24 {
+        return f32::from_bits(sign);
+    }
+    if unbiased < -14 {
+        // f16 subnormal: quantize mantissa steps of 2^-24.
+        let scale = (2.0f32).powi(24);
+        let q = (x * scale).round() / scale;
+        return q;
+    }
+    // Normal range: keep 10 mantissa bits, round to nearest even.
+    let shift = 13;
+    let round_bit = 1u32 << (shift - 1);
+    let sticky_mask = round_bit - 1;
+    let mut mant = frac >> shift;
+    let round = frac & round_bit != 0;
+    let sticky = frac & sticky_mask != 0;
+    if round && (sticky || mant & 1 == 1) {
+        mant += 1;
+    }
+    let mut new_exp = exp as u32;
+    if mant == 0x400 {
+        mant = 0;
+        new_exp += 1;
+    }
+    f32::from_bits(sign | (new_exp << 23) | (mant << shift))
+}
+
+impl Pass for ConvertFp16 {
+    fn name(&self) -> &str {
+        "convert-fp16"
+    }
+
+    fn run(&self, mut graph: Graph) -> Result<(Graph, String), ToolchainError> {
+        let materialized: Vec<Option<Vec<Tensor>>> = {
+            let exec = Executor::new(&graph);
+            graph
+                .nodes()
+                .iter()
+                .map(|node| {
+                    if matches!(node.op, Op::Conv2d(_) | Op::Dense { .. } | Op::BatchNorm) {
+                        exec.node_weights(node).ok()
+                    } else {
+                        None
+                    }
+                })
+                .collect()
+        };
+        let mut converted = 0usize;
+        for (node, weights) in graph.nodes_mut().iter_mut().zip(materialized) {
+            let Some(mut weights) = weights else { continue };
+            for t in &mut weights {
+                for x in t.data_mut() {
+                    *x = round_to_f16(*x);
+                }
+            }
+            node.weights = WeightInit::Explicit(weights);
+            converted += 1;
+        }
+        Ok((graph, format!("converted {converted} layers to FP16")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vedliot_nnir::dataset::gaussian_prototypes;
+    use vedliot_nnir::train::{evaluate, mlp, train_mlp, TrainConfig};
+    use vedliot_nnir::zoo;
+
+    fn cnn() -> Graph {
+        zoo::tiny_cnn("t", Shape::nchw(1, 3, 16, 16), &[8, 16], 4).unwrap()
+    }
+
+    #[test]
+    fn fusion_removes_batchnorms_and_preserves_output() {
+        let g = cnn();
+        let bn_before = g.nodes().iter().filter(|n| n.op == Op::BatchNorm).count();
+        assert!(bn_before > 0);
+        let input = Tensor::random(Shape::nchw(1, 3, 16, 16), 3, 1.0);
+        let before = Executor::new(&g).run(std::slice::from_ref(&input)).unwrap();
+        let (fused, detail) = FuseConvBn::new().run(g).unwrap();
+        fused.validate().unwrap();
+        assert_eq!(
+            fused.nodes().iter().filter(|n| n.op == Op::BatchNorm).count(),
+            0
+        );
+        assert!(detail.contains(&bn_before.to_string()));
+        let after = Executor::new(&fused).run(&[input]).unwrap();
+        let diff = before[0].max_abs_diff(&after[0]).unwrap();
+        assert!(diff < 1e-4, "fusion changed outputs by {diff}");
+    }
+
+    #[test]
+    fn fusion_reduces_node_and_op_count() {
+        let g = cnn();
+        let n_before = g.nodes().len();
+        let (fused, _) = FuseConvBn::new().run(g).unwrap();
+        assert!(fused.nodes().len() < n_before);
+    }
+
+    #[test]
+    fn pruning_reaches_target_sparsity() {
+        let g = cnn();
+        let (pruned, detail) = PruneConnections::new(0.7).run(g).unwrap();
+        pruned.validate().unwrap();
+        assert!(detail.contains("70.0%"), "{detail}");
+        // Count zeros directly.
+        let exec = Executor::new(&pruned);
+        for node in pruned.nodes() {
+            if matches!(node.op, Op::Conv2d(_)) {
+                let w = &exec.node_weights(node).unwrap()[0];
+                let zeros = w.data().iter().filter(|&&x| x == 0.0).count();
+                let frac = zeros as f64 / w.data().len() as f64;
+                assert!(frac >= 0.6, "layer {} sparsity {frac}", node.name);
+            }
+        }
+    }
+
+    #[test]
+    fn pruning_keeps_large_weights() {
+        let mut model = mlp("m", 4, &[], 2).unwrap();
+        let data = gaussian_prototypes(Shape::nf(1, 4), 2, 10, 3.0, 3);
+        train_mlp(&mut model, &data, &TrainConfig::default()).unwrap();
+        let exec = Executor::new(&model);
+        let before = exec.node_weights(&model.nodes()[0]).unwrap()[0].clone();
+        let max_before = before.abs_max();
+        let (pruned, _) = PruneConnections::new(0.5).run(model).unwrap();
+        let exec = Executor::new(&pruned);
+        let after = exec.node_weights(&pruned.nodes()[0]).unwrap()[0].clone();
+        // The single largest weight always survives.
+        assert_eq!(after.abs_max(), max_before);
+    }
+
+    #[test]
+    fn neuron_pruning_shrinks_hidden_layer() {
+        let data = gaussian_prototypes(Shape::nf(1, 12), 3, 30, 3.0, 7);
+        let mut model = mlp("m", 12, &[32], 3).unwrap();
+        let base_acc = train_mlp(&mut model, &data, &TrainConfig::default()).unwrap();
+        let (pruned, _) = PruneNeurons::new(0.5).run(model).unwrap();
+        pruned.validate().unwrap();
+        let hidden = pruned
+            .nodes()
+            .iter()
+            .find(|n| n.name == "fc1")
+            .expect("hidden layer");
+        assert!(matches!(hidden.op, Op::Dense { out_features: 16, .. }));
+        // Accuracy survives structured pruning of a separable problem.
+        let acc = evaluate(&pruned, &data).unwrap().accuracy();
+        assert!(acc > base_acc - 0.15, "accuracy dropped {base_acc} -> {acc}");
+    }
+
+    #[test]
+    fn neuron_pruning_rejects_cnns() {
+        let err = PruneNeurons::new(0.5).run(cnn());
+        assert!(matches!(err, Err(ToolchainError::UnsupportedGraph { .. })));
+    }
+
+    #[test]
+    fn quantization_snaps_weights_to_grid() {
+        let g = cnn();
+        let (quant, _) = QuantizeInt8::new().run(g).unwrap();
+        let exec = Executor::new(&quant);
+        for node in quant.nodes() {
+            if matches!(node.op, Op::Conv2d(_)) {
+                let w = &exec.node_weights(node).unwrap()[0];
+                let scale = w.abs_max() / 127.0;
+                if scale == 0.0 {
+                    continue;
+                }
+                for &x in w.data() {
+                    let steps = x / scale;
+                    assert!(
+                        (steps - steps.round()).abs() < 1e-3,
+                        "weight {x} not on grid with scale {scale}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quantization_error_is_bounded_by_half_step() {
+        let g = cnn();
+        let exec = Executor::new(&g);
+        let originals: Vec<Option<Tensor>> = g
+            .nodes()
+            .iter()
+            .map(|n| {
+                if matches!(n.op, Op::Conv2d(_)) {
+                    Some(exec.node_weights(n).unwrap()[0].clone())
+                } else {
+                    None
+                }
+            })
+            .collect();
+        let (quant, _) = QuantizeInt8::new().run(g).unwrap();
+        let exec = Executor::new(&quant);
+        for (node, orig) in quant.nodes().iter().zip(originals) {
+            let Some(orig) = orig else { continue };
+            let w = &exec.node_weights(node).unwrap()[0];
+            let scale = orig.abs_max() / 127.0;
+            let diff = w.max_abs_diff(&orig).unwrap();
+            assert!(diff <= scale / 2.0 * 1.0001 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn quantized_model_accuracy_loss_is_negligible() {
+        // The §III claim: "quantize parameters … with negligible accuracy
+        // loss" on a well-separated problem.
+        let data = gaussian_prototypes(Shape::nf(1, 16), 4, 40, 3.0, 13);
+        let mut model = mlp("m", 16, &[24], 4).unwrap();
+        let base = train_mlp(&mut model, &data, &TrainConfig::default()).unwrap();
+        let (quant, _) = QuantizeInt8::new().run(model).unwrap();
+        let acc = evaluate(&quant, &data).unwrap().accuracy();
+        assert!(acc >= base - 0.05, "INT8 accuracy {acc} vs float {base}");
+    }
+
+    #[test]
+    fn calibration_counts_activation_scales() {
+        let g = cnn();
+        let calib = vec![
+            Tensor::random(Shape::nchw(1, 3, 16, 16), 1, 1.0),
+            Tensor::random(Shape::nchw(1, 3, 16, 16), 2, 1.0),
+        ];
+        let (_, detail) = QuantizeInt8::with_calibration(calib).run(g).unwrap();
+        assert!(!detail.contains("(0 activation scales"), "{detail}");
+    }
+
+    #[test]
+    fn calibration_inserts_fake_quant_nodes() {
+        let g = cnn();
+        let nodes_before = g.nodes().len();
+        let calib = vec![Tensor::random(Shape::nchw(1, 3, 16, 16), 1, 1.0)];
+        let (quantized, _) = QuantizeInt8::with_calibration(calib).run(g).unwrap();
+        quantized.validate().unwrap();
+        let fq = quantized
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.op, Op::FakeQuant { .. }))
+            .count();
+        assert!(fq > nodes_before / 2, "only {fq} FakeQuant nodes inserted");
+        // The quantized graph still executes.
+        let out = Executor::new(&quantized)
+            .run(&[Tensor::random(Shape::nchw(1, 3, 16, 16), 9, 1.0)])
+            .unwrap();
+        assert_eq!(out[0].shape().dims(), &[1, 4]);
+    }
+
+    #[test]
+    fn full_int8_quantization_keeps_mlp_accuracy() {
+        // Weights AND activations on the INT8 grid — the deployable PTQ
+        // accuracy measurement.
+        let data = gaussian_prototypes(Shape::nf(1, 16), 3, 30, 3.0, 19);
+        let mut model = mlp("full-ptq", 16, &[24], 3).unwrap();
+        let base = train_mlp(&mut model, &data, &TrainConfig::default()).unwrap();
+        let calib: Vec<Tensor> = data.samples.iter().take(8).cloned().collect();
+        let (quantized, _) = QuantizeInt8::with_calibration(calib).run(model).unwrap();
+        let acc = evaluate(&quantized, &data).unwrap().accuracy();
+        assert!(
+            acc >= base - 0.05,
+            "full INT8 accuracy {acc} vs float {base}"
+        );
+    }
+
+    #[test]
+    fn fp16_round_trip_properties() {
+        // Exactly representable values pass through.
+        for x in [0.0f32, 1.0, -2.0, 0.5, 1024.0] {
+            assert_eq!(round_to_f16(x), x);
+        }
+        // Relative error bounded by 2^-11 in the normal range.
+        for i in 1..100 {
+            let x = 0.123 * i as f32;
+            let r = round_to_f16(x);
+            assert!(((r - x) / x).abs() < 1.0 / 2048.0, "{x} -> {r}");
+        }
+        // Overflow saturates to infinity.
+        assert!(round_to_f16(1e6).is_infinite());
+        assert!(round_to_f16(-1e6).is_infinite());
+        // Underflow flushes to zero.
+        assert_eq!(round_to_f16(1e-9), 0.0);
+    }
+
+    #[test]
+    fn fp16_pass_touches_all_weight_layers() {
+        let g = cnn();
+        let (converted, detail) = ConvertFp16::new().run(g).unwrap();
+        converted.validate().unwrap();
+        assert!(detail.starts_with("converted"));
+        assert!(converted
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.op, Op::Conv2d(_) | Op::BatchNorm))
+            .all(|n| n.weights.is_explicit()));
+    }
+
+    #[test]
+    fn pass_manager_runs_in_order_and_logs() {
+        let g = cnn();
+        let mut pm = PassManager::new();
+        pm.push(FuseConvBn::new());
+        pm.push(PruneConnections::new(0.5));
+        pm.push(QuantizeInt8::new());
+        assert_eq!(pm.len(), 3);
+        let (out, logs) = pm.run(g).unwrap();
+        out.validate().unwrap();
+        assert_eq!(
+            logs.iter().map(|l| l.pass.as_str()).collect::<Vec<_>>(),
+            vec!["fuse-conv-bn", "prune-connections", "quantize-int8"]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "sparsity must be in [0, 1)")]
+    fn full_sparsity_is_rejected() {
+        let _ = PruneConnections::new(1.0);
+    }
+}

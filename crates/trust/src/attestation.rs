@@ -1,0 +1,337 @@
+//! Secure boot and distributed remote attestation.
+//!
+//! Paper §IV-C: "The implementation is based on a root-of-trust provided
+//! by the hardware and a secure boot mechanism, preventing an attacker
+//! from substituting the trusted software" and the project develops
+//! "end-to-end trust through a distributed attestation mechanism".
+//!
+//! Pieces: a [`RootOfTrust`] with a fused device secret, a
+//! [`SecureBootChain`] that refuses to hand over control to unmeasured
+//! stages, and the challenge/response [`Verifier`] protocol that edge
+//! devices use before exchanging sensor data (the PAEB use case requires
+//! exactly this before streaming raw data to an edge server).
+
+use crate::hash::{hmac_sha256, sha256};
+use serde::{Deserialize, Serialize};
+
+/// The hardware root of trust: an immutable device secret plus the
+/// first-stage verification key.
+#[derive(Debug, Clone)]
+pub struct RootOfTrust {
+    device_secret: [u8; 32],
+    /// Public device identity (derivable by the manufacturer's backend).
+    pub device_id: [u8; 32],
+}
+
+impl RootOfTrust {
+    /// "Fuses" a root of trust from a manufacturing seed.
+    #[must_use]
+    pub fn provision(seed: &[u8]) -> Self {
+        let device_secret = hmac_sha256(b"vedliot-fuse-bank", seed);
+        let device_id = sha256(&device_secret);
+        RootOfTrust {
+            device_secret,
+            device_id,
+        }
+    }
+
+    /// Derives the attestation key (shared with the verifier backend at
+    /// manufacturing time in this symmetric scheme).
+    #[must_use]
+    pub fn attestation_key(&self) -> [u8; 32] {
+        hmac_sha256(&self.device_secret, b"attestation-key-v1")
+    }
+}
+
+/// One boot stage: a name, its binary image and its expected measurement.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BootStage {
+    /// Stage name (`"bl2"`, `"trusted-os"`, `"runtime"`, ...).
+    pub name: String,
+    /// Expected SHA-256 of the image, signed off at release time.
+    pub expected: [u8; 32],
+}
+
+/// Outcome of a boot attempt.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BootOutcome {
+    /// All stages verified; the composite boot measurement is returned.
+    Trusted {
+        /// Hash chain over all stage measurements.
+        boot_measurement: [u8; 32],
+    },
+    /// A stage failed verification; boot halted there.
+    Halted {
+        /// Name of the failing stage.
+        stage: String,
+    },
+}
+
+/// The secure boot chain: verify-then-execute for each stage.
+#[derive(Debug, Clone, Default)]
+pub struct SecureBootChain {
+    stages: Vec<BootStage>,
+}
+
+impl SecureBootChain {
+    /// Creates an empty chain.
+    #[must_use]
+    pub fn new() -> Self {
+        SecureBootChain::default()
+    }
+
+    /// Appends a stage with its release measurement.
+    pub fn add_stage(&mut self, name: impl Into<String>, released_image: &[u8]) {
+        self.stages.push(BootStage {
+            name: name.into(),
+            expected: sha256(released_image),
+        });
+    }
+
+    /// Boots with the images actually present on flash. Each image is
+    /// measured before execution; the first mismatch halts the boot —
+    /// "preventing an attacker from substituting the trusted software".
+    #[must_use]
+    pub fn boot(&self, flash_images: &[&[u8]]) -> BootOutcome {
+        let mut chain = [0u8; 32];
+        for (stage, image) in self.stages.iter().zip(flash_images.iter()) {
+            let measured = sha256(image);
+            if measured != stage.expected {
+                return BootOutcome::Halted {
+                    stage: stage.name.clone(),
+                };
+            }
+            // Extend the measurement chain (TPM PCR-extend shape).
+            let mut buf = Vec::with_capacity(64);
+            buf.extend_from_slice(&chain);
+            buf.extend_from_slice(&measured);
+            chain = sha256(&buf);
+        }
+        if flash_images.len() < self.stages.len() {
+            return BootOutcome::Halted {
+                stage: self.stages[flash_images.len()].name.clone(),
+            };
+        }
+        BootOutcome::Trusted {
+            boot_measurement: chain,
+        }
+    }
+}
+
+/// An attestation report produced by a device in response to a challenge.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AttestationReport {
+    /// Device identity.
+    pub device_id: [u8; 32],
+    /// Composite boot measurement.
+    pub boot_measurement: [u8; 32],
+    /// The verifier's nonce, echoed back (freshness).
+    pub nonce: [u8; 32],
+    /// HMAC over the above with the device attestation key.
+    pub signature: [u8; 32],
+}
+
+/// Produces a report binding boot measurement + nonce to the device key.
+#[must_use]
+pub fn attest(rot: &RootOfTrust, boot_measurement: [u8; 32], nonce: [u8; 32]) -> AttestationReport {
+    let mut message = Vec::with_capacity(96);
+    message.extend_from_slice(&rot.device_id);
+    message.extend_from_slice(&boot_measurement);
+    message.extend_from_slice(&nonce);
+    AttestationReport {
+        device_id: rot.device_id,
+        boot_measurement,
+        nonce,
+        signature: hmac_sha256(&rot.attestation_key(), &message),
+    }
+}
+
+/// The backend verifier: knows each enrolled device's attestation key and
+/// the expected boot measurement of the released firmware.
+#[derive(Debug, Clone, Default)]
+pub struct Verifier {
+    enrolled: Vec<([u8; 32], [u8; 32])>, // (device_id, attestation_key)
+    expected_measurement: Option<[u8; 32]>,
+    nonce_counter: u64,
+    outstanding: Vec<[u8; 32]>,
+}
+
+impl Verifier {
+    /// Creates an empty verifier.
+    #[must_use]
+    pub fn new() -> Self {
+        Verifier::default()
+    }
+
+    /// Enrolls a device (manufacturing-time key exchange).
+    pub fn enroll(&mut self, rot: &RootOfTrust) {
+        self.enrolled.push((rot.device_id, rot.attestation_key()));
+    }
+
+    /// Pins the released firmware's expected boot measurement.
+    pub fn expect_measurement(&mut self, measurement: [u8; 32]) {
+        self.expected_measurement = Some(measurement);
+    }
+
+    /// Issues a fresh challenge nonce.
+    pub fn challenge(&mut self) -> [u8; 32] {
+        self.nonce_counter += 1;
+        let nonce = hmac_sha256(b"verifier-nonce", &self.nonce_counter.to_le_bytes());
+        self.outstanding.push(nonce);
+        nonce
+    }
+
+    /// Verifies a report: device enrolled, nonce outstanding (consumed on
+    /// use — no replays), measurement as released, signature valid.
+    pub fn verify(&mut self, report: &AttestationReport) -> bool {
+        let Some(pos) = self.outstanding.iter().position(|n| n == &report.nonce) else {
+            return false; // unknown or replayed nonce
+        };
+        let Some(&(_, key)) = self
+            .enrolled
+            .iter()
+            .find(|(id, _)| id == &report.device_id)
+        else {
+            return false;
+        };
+        if let Some(expected) = self.expected_measurement {
+            if expected != report.boot_measurement {
+                return false;
+            }
+        }
+        let mut message = Vec::with_capacity(96);
+        message.extend_from_slice(&report.device_id);
+        message.extend_from_slice(&report.boot_measurement);
+        message.extend_from_slice(&report.nonce);
+        if hmac_sha256(&key, &message) != report.signature {
+            return false;
+        }
+        self.outstanding.remove(pos);
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn released_chain() -> (SecureBootChain, Vec<Vec<u8>>) {
+        let images = vec![
+            b"bl2-v1.2".to_vec(),
+            b"trusted-os-v3".to_vec(),
+            b"wasm-runtime-v7".to_vec(),
+        ];
+        let mut chain = SecureBootChain::new();
+        for (name, image) in ["bl2", "trusted-os", "runtime"].iter().zip(&images) {
+            chain.add_stage(*name, image);
+        }
+        (chain, images)
+    }
+
+    #[test]
+    fn clean_boot_produces_measurement() {
+        let (chain, images) = released_chain();
+        let refs: Vec<&[u8]> = images.iter().map(Vec::as_slice).collect();
+        match chain.boot(&refs) {
+            BootOutcome::Trusted { boot_measurement } => {
+                assert_ne!(boot_measurement, [0u8; 32]);
+            }
+            BootOutcome::Halted { stage } => panic!("boot halted at {stage}"),
+        }
+    }
+
+    #[test]
+    fn substituted_stage_halts_boot() {
+        let (chain, mut images) = released_chain();
+        images[1] = b"evil-os".to_vec();
+        let refs: Vec<&[u8]> = images.iter().map(Vec::as_slice).collect();
+        assert_eq!(
+            chain.boot(&refs),
+            BootOutcome::Halted {
+                stage: "trusted-os".into()
+            }
+        );
+    }
+
+    #[test]
+    fn missing_stage_halts_boot() {
+        let (chain, images) = released_chain();
+        let refs: Vec<&[u8]> = images.iter().take(2).map(Vec::as_slice).collect();
+        assert_eq!(
+            chain.boot(&refs),
+            BootOutcome::Halted {
+                stage: "runtime".into()
+            }
+        );
+    }
+
+    fn trusted_measurement() -> [u8; 32] {
+        let (chain, images) = released_chain();
+        let refs: Vec<&[u8]> = images.iter().map(Vec::as_slice).collect();
+        match chain.boot(&refs) {
+            BootOutcome::Trusted { boot_measurement } => boot_measurement,
+            BootOutcome::Halted { .. } => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn end_to_end_attestation_succeeds() {
+        let rot = RootOfTrust::provision(b"device-0001");
+        let measurement = trusted_measurement();
+        let mut verifier = Verifier::new();
+        verifier.enroll(&rot);
+        verifier.expect_measurement(measurement);
+
+        let nonce = verifier.challenge();
+        let report = attest(&rot, measurement, nonce);
+        assert!(verifier.verify(&report));
+    }
+
+    #[test]
+    fn replayed_report_is_rejected() {
+        let rot = RootOfTrust::provision(b"device-0001");
+        let measurement = trusted_measurement();
+        let mut verifier = Verifier::new();
+        verifier.enroll(&rot);
+        let nonce = verifier.challenge();
+        let report = attest(&rot, measurement, nonce);
+        assert!(verifier.verify(&report));
+        assert!(!verifier.verify(&report), "nonce must be single-use");
+    }
+
+    #[test]
+    fn tampered_firmware_fails_attestation() {
+        let rot = RootOfTrust::provision(b"device-0001");
+        let mut verifier = Verifier::new();
+        verifier.enroll(&rot);
+        verifier.expect_measurement(trusted_measurement());
+        let nonce = verifier.challenge();
+        // Device booted something else.
+        let report = attest(&rot, sha256(b"evil-chain"), nonce);
+        assert!(!verifier.verify(&report));
+    }
+
+    #[test]
+    fn unenrolled_device_fails() {
+        let rogue = RootOfTrust::provision(b"rogue");
+        let measurement = trusted_measurement();
+        let mut verifier = Verifier::new();
+        verifier.expect_measurement(measurement);
+        let nonce = verifier.challenge();
+        let report = attest(&rogue, measurement, nonce);
+        assert!(!verifier.verify(&report));
+    }
+
+    #[test]
+    fn forged_signature_fails() {
+        let rot = RootOfTrust::provision(b"device-0001");
+        let measurement = trusted_measurement();
+        let mut verifier = Verifier::new();
+        verifier.enroll(&rot);
+        verifier.expect_measurement(measurement);
+        let nonce = verifier.challenge();
+        let mut report = attest(&rot, measurement, nonce);
+        report.signature[5] ^= 0xFF;
+        assert!(!verifier.verify(&report));
+    }
+}

@@ -1,0 +1,299 @@
+//! SGX-like enclave model.
+//!
+//! Captures the three cost mechanisms that dominate real SGX behaviour
+//! (and therefore the shape of the Twine experiment): world transitions
+//! (ecall/ocall ≈ 8–14 k cycles each), EPC paging when the working set
+//! exceeds the protected-memory capacity, and the memory-encryption-
+//! engine throughput tax. State mechanisms — measurement (MRENCLAVE),
+//! sealing, local quotes — are functional, built on [`crate::hash`].
+
+use crate::hash::{hmac_sha256, sha256};
+use serde::{Deserialize, Serialize};
+
+/// Cost/capacity parameters of the simulated enclave hardware.
+///
+/// Defaults correspond to published SGX1 measurements (EPC ≈ 93 MiB
+/// usable, transitions ≈ 10 k cycles, EWB paging ≈ 40 k cycles/page).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnclaveConfig {
+    /// Usable EPC capacity in KiB.
+    pub epc_kib: usize,
+    /// Cycles per ecall (entry transition).
+    pub ecall_cycles: u64,
+    /// Cycles per ocall (exit transition).
+    pub ocall_cycles: u64,
+    /// Cycles per EPC page evict+load (4 KiB granule).
+    pub page_fault_cycles: u64,
+    /// Core clock in GHz (to convert cycles into time for reports).
+    pub clock_ghz: f64,
+}
+
+impl Default for EnclaveConfig {
+    fn default() -> Self {
+        EnclaveConfig {
+            epc_kib: 93 * 1024,
+            ecall_cycles: 10_000,
+            ocall_cycles: 10_000,
+            page_fault_cycles: 40_000,
+            clock_ghz: 3.0,
+        }
+    }
+}
+
+/// Counters accumulated by an enclave over its lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct EnclaveStats {
+    /// Number of ecalls performed.
+    pub ecalls: u64,
+    /// Number of ocalls performed.
+    pub ocalls: u64,
+    /// Page faults triggered by over-EPC working sets.
+    pub page_faults: u64,
+    /// Total overhead cycles charged (transitions + paging).
+    pub overhead_cycles: u64,
+}
+
+/// A local attestation quote.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Quote {
+    /// Enclave measurement (hash of the loaded code).
+    pub measurement: [u8; 32],
+    /// Caller-supplied report data (e.g. a key-exchange nonce).
+    pub report_data: [u8; 32],
+    /// HMAC over measurement‖report_data with the platform key.
+    pub signature: [u8; 32],
+}
+
+/// A simulated SGX enclave instance.
+///
+/// ```
+/// use vedliot_trust::enclave::{Enclave, EnclaveConfig};
+///
+/// let mut e = Enclave::create(b"robustness-monitor", EnclaveConfig::default());
+/// let sum = e.ecall(16, || (1..=10).sum::<i32>());
+/// assert_eq!(sum, 55);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Enclave {
+    measurement: [u8; 32],
+    platform_key: [u8; 32],
+    config: EnclaveConfig,
+    stats: EnclaveStats,
+}
+
+impl Enclave {
+    /// Creates (loads and measures) an enclave from its code image.
+    #[must_use]
+    pub fn create(code: &[u8], config: EnclaveConfig) -> Self {
+        let measurement = sha256(code);
+        // Platform key derived from a (simulated) fused device secret.
+        let platform_key = hmac_sha256(b"vedliot-platform-fuse", &measurement);
+        Enclave {
+            measurement,
+            platform_key,
+            config,
+            stats: EnclaveStats::default(),
+        }
+    }
+
+    /// The enclave measurement (MRENCLAVE equivalent).
+    #[must_use]
+    pub fn measurement(&self) -> [u8; 32] {
+        self.measurement
+    }
+
+    /// Accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> EnclaveStats {
+        self.stats
+    }
+
+    /// The configured cost model.
+    #[must_use]
+    pub fn config(&self) -> EnclaveConfig {
+        self.config
+    }
+
+    /// Total simulated overhead in seconds.
+    #[must_use]
+    pub fn overhead_seconds(&self) -> f64 {
+        self.stats.overhead_cycles as f64 / (self.config.clock_ghz * 1e9)
+    }
+
+    /// Enters the enclave, runs `f` with a working set of
+    /// `working_set_kib`, and exits. Transition and paging costs are
+    /// charged to the stats.
+    pub fn ecall<R>(&mut self, working_set_kib: usize, f: impl FnOnce() -> R) -> R {
+        self.stats.ecalls += 1;
+        self.stats.overhead_cycles += self.config.ecall_cycles;
+        if working_set_kib > self.config.epc_kib {
+            // Every 4 KiB page beyond EPC capacity faults once per entry.
+            let excess_pages = ((working_set_kib - self.config.epc_kib) as u64).div_ceil(4);
+            self.stats.page_faults += excess_pages;
+            self.stats.overhead_cycles += excess_pages * self.config.page_fault_cycles;
+        }
+        f()
+    }
+
+    /// Performs an ocall (exit to untrusted code, e.g. for a syscall the
+    /// WASI layer cannot satisfy inside).
+    pub fn ocall<R>(&mut self, f: impl FnOnce() -> R) -> R {
+        self.stats.ocalls += 1;
+        self.stats.overhead_cycles += self.config.ocall_cycles;
+        f()
+    }
+
+    /// Produces a local quote over `report_data`.
+    #[must_use]
+    pub fn quote(&self, report_data: [u8; 32]) -> Quote {
+        let mut message = Vec::with_capacity(64);
+        message.extend_from_slice(&self.measurement);
+        message.extend_from_slice(&report_data);
+        Quote {
+            measurement: self.measurement,
+            report_data,
+            signature: hmac_sha256(&self.platform_key, &message),
+        }
+    }
+
+    /// Seals data to this enclave identity (key derived from the
+    /// measurement; a different enclave cannot unseal).
+    #[must_use]
+    pub fn seal(&self, plaintext: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(plaintext.len() + 32);
+        let mac = hmac_sha256(&self.platform_key, plaintext);
+        out.extend_from_slice(&mac);
+        out.extend_from_slice(&keystream_xor(&self.platform_key, plaintext));
+        out
+    }
+
+    /// Unseals data previously sealed by an enclave with the same
+    /// measurement on the same platform.
+    ///
+    /// Returns `None` when the blob is malformed or the integrity check
+    /// fails (wrong enclave or tampered data).
+    #[must_use]
+    pub fn unseal(&self, sealed: &[u8]) -> Option<Vec<u8>> {
+        if sealed.len() < 32 {
+            return None;
+        }
+        let (mac, body) = sealed.split_at(32);
+        let plaintext = keystream_xor(&self.platform_key, body);
+        if hmac_sha256(&self.platform_key, &plaintext)[..] == mac[..] {
+            Some(plaintext)
+        } else {
+            None
+        }
+    }
+}
+
+/// Verifies a quote against an expected measurement, recomputing the
+/// signature with the platform key derived from that measurement.
+#[must_use]
+pub fn verify_quote(quote: &Quote, expected_measurement: &[u8; 32]) -> bool {
+    if &quote.measurement != expected_measurement {
+        return false;
+    }
+    let platform_key = hmac_sha256(b"vedliot-platform-fuse", expected_measurement);
+    let mut message = Vec::with_capacity(64);
+    message.extend_from_slice(&quote.measurement);
+    message.extend_from_slice(&quote.report_data);
+    hmac_sha256(&platform_key, &message) == quote.signature
+}
+
+/// XOR keystream derived by counter-mode HMAC (simulation-grade
+/// confidentiality; symmetric so it both seals and unseals).
+fn keystream_xor(key: &[u8; 32], data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len());
+    for (block_idx, chunk) in data.chunks(32).enumerate() {
+        let block = hmac_sha256(key, &(block_idx as u64).to_le_bytes());
+        for (i, &b) in chunk.iter().enumerate() {
+            out.push(b ^ block[i]);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measurement_depends_on_code() {
+        let a = Enclave::create(b"version-1", EnclaveConfig::default());
+        let b = Enclave::create(b"version-2", EnclaveConfig::default());
+        assert_ne!(a.measurement(), b.measurement());
+    }
+
+    #[test]
+    fn ecall_charges_transition_costs() {
+        let mut e = Enclave::create(b"code", EnclaveConfig::default());
+        let v = e.ecall(1, || 41) + 1;
+        assert_eq!(v, 42);
+        assert_eq!(e.stats().ecalls, 1);
+        assert_eq!(e.stats().overhead_cycles, EnclaveConfig::default().ecall_cycles);
+        e.ocall(|| ());
+        assert_eq!(e.stats().ocalls, 1);
+    }
+
+    #[test]
+    fn working_set_within_epc_never_faults() {
+        let mut e = Enclave::create(b"code", EnclaveConfig::default());
+        e.ecall(90 * 1024, || ());
+        assert_eq!(e.stats().page_faults, 0);
+    }
+
+    #[test]
+    fn oversized_working_set_pages() {
+        let config = EnclaveConfig {
+            epc_kib: 1024,
+            ..EnclaveConfig::default()
+        };
+        let mut e = Enclave::create(b"code", config);
+        e.ecall(1024 + 40, || ()); // 40 KiB over -> 10 pages
+        assert_eq!(e.stats().page_faults, 10);
+        assert!(e.stats().overhead_cycles > config.ecall_cycles);
+        assert!(e.overhead_seconds() > 0.0);
+    }
+
+    #[test]
+    fn quote_verifies_and_rejects_tampering() {
+        let e = Enclave::create(b"monitor", EnclaveConfig::default());
+        let nonce = [7u8; 32];
+        let quote = e.quote(nonce);
+        assert!(verify_quote(&quote, &e.measurement()));
+
+        let mut forged = quote.clone();
+        forged.report_data[0] ^= 1;
+        assert!(!verify_quote(&forged, &e.measurement()));
+
+        let other = Enclave::create(b"malware", EnclaveConfig::default());
+        let wrong_code = other.quote(nonce);
+        assert!(!verify_quote(&wrong_code, &e.measurement()));
+    }
+
+    #[test]
+    fn seal_round_trips_and_binds_identity() {
+        let e = Enclave::create(b"monitor", EnclaveConfig::default());
+        let secret = b"model-weights-key".to_vec();
+        let sealed = e.seal(&secret);
+        assert_ne!(&sealed[32..], &secret[..], "ciphertext differs from plaintext");
+        assert_eq!(e.unseal(&sealed), Some(secret.clone()));
+
+        // A different enclave cannot unseal.
+        let other = Enclave::create(b"other", EnclaveConfig::default());
+        assert_eq!(other.unseal(&sealed), None);
+
+        // Tampered blob is rejected.
+        let mut tampered = sealed.clone();
+        let last = tampered.len() - 1;
+        tampered[last] ^= 1;
+        assert_eq!(e.unseal(&tampered), None);
+    }
+
+    #[test]
+    fn unseal_rejects_short_blobs() {
+        let e = Enclave::create(b"x", EnclaveConfig::default());
+        assert_eq!(e.unseal(&[0u8; 8]), None);
+    }
+}

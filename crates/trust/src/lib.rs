@@ -1,0 +1,49 @@
+//! Trusted execution environments for distributed AIoT (paper §IV-C).
+//!
+//! "VEDLIoT implements several hardware- and system-level tools to
+//! improve the dependability and security of edge applications. … the
+//! project has focused on developing end-to-end trust through a
+//! distributed attestation mechanism, secure execution and communication
+//! of critical code … The hardware protection offered by Intel SGX
+//! enclaves is leveraged, and an open-source WebAssembly runtime
+//! implementation to build a trusted runtime environment."
+//!
+//! * [`hash`] — SHA-256 and HMAC-SHA256 implemented from scratch (the
+//!   measurement/signing substrate for everything below).
+//! * [`enclave`] — an SGX-like enclave model: code measurement, EPC
+//!   capacity with paging costs, ecall/ocall transition costs, sealing
+//!   and local quotes (the cost parameters reproduce the Twine-style
+//!   overhead experiment, E7).
+//! * [`wasmlite`] — a validated, interpreted WebAssembly-like stack VM —
+//!   the "trusted runtime … without dealing with language-specific APIs".
+//! * [`kvdb`] — an embedded key-value store standing in for SQLite, with
+//!   a native Rust implementation and a `wasmlite` bytecode program
+//!   computing the same workload.
+//! * [`trustzone`] — ARM TrustZone normal/secure world model with
+//!   OP-TEE-style trusted-application sessions.
+//! * [`attestation`] — secure boot chain over a hardware root of trust
+//!   and the remote attestation protocol (challenge → quote → verify).
+//! * [`ta_attest`] — remote attestation of TrustZone trusted
+//!   applications (the ARM path of the paper's attestation story).
+//!
+//! # Example
+//!
+//! ```
+//! use vedliot_trust::enclave::{Enclave, EnclaveConfig};
+//!
+//! let mut enclave = Enclave::create(b"monitor-v1", EnclaveConfig::default());
+//! let result = enclave.ecall(64, || 2 + 2);
+//! assert_eq!(result, 4);
+//! assert_eq!(enclave.stats().ecalls, 1);
+//! ```
+
+pub mod attestation;
+pub mod enclave;
+pub mod hash;
+pub mod kvdb;
+pub mod ta_attest;
+pub mod trustzone;
+pub mod wasmlite;
+
+pub use enclave::{Enclave, EnclaveConfig};
+pub use hash::{hmac_sha256, sha256};

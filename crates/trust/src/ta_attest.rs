@@ -1,0 +1,155 @@
+//! Remote attestation of TrustZone trusted applications.
+//!
+//! Paper §IV-C: "To implement remote attestation for WebAssembly code
+//! running in ARM processors, a TEE specification defining how the
+//! trusted environment behaves and how the normal world can interact
+//! with the secure world is realized."
+//!
+//! This module is that bridge: the normal-world kernel requests a quote
+//! for an installed TA; the measurement is read *inside* the secure
+//! world (an SMC round trip) and bound to the device root of trust and
+//! the verifier's nonce. The normal world never sees the raw TA binary
+//! or its measurement source.
+
+use crate::attestation::{AttestationReport, RootOfTrust};
+use crate::hash::hmac_sha256;
+use crate::trustzone::{CallerLevel, TrustZone, TzError};
+
+/// Produces an attestation report for one trusted application.
+///
+/// The TA measurement is read within the secure world and mixed into a
+/// composite measurement `H(device-boot ‖ ta)`, so the verifier can pin
+/// both the platform firmware and the specific TA version.
+///
+/// # Errors
+///
+/// Propagates TrustZone failures: user-level callers cannot trigger the
+/// world switch, unknown TAs are rejected.
+pub fn attest_ta(
+    tz: &mut TrustZone,
+    caller: CallerLevel,
+    rot: &RootOfTrust,
+    boot_measurement: [u8; 32],
+    ta_name: &str,
+    nonce: [u8; 32],
+) -> Result<AttestationReport, TzError> {
+    let ta = ta_name.to_string();
+    let ta_measurement = tz.smc(caller, |ctx| ctx.ta_measurement(&ta))?;
+    // Composite measurement: platform boot chain extended with the TA.
+    let mut buf = Vec::with_capacity(64);
+    buf.extend_from_slice(&boot_measurement);
+    buf.extend_from_slice(&ta_measurement);
+    let composite = crate::hash::sha256(&buf);
+    Ok(crate::attestation::attest(rot, composite, nonce))
+}
+
+/// Computes the composite measurement a verifier should expect for a
+/// released TA binary on a platform with a known boot measurement.
+#[must_use]
+pub fn expected_ta_measurement(boot_measurement: [u8; 32], ta_binary: &[u8]) -> [u8; 32] {
+    let ta_measurement = crate::hash::sha256(ta_binary);
+    let mut buf = Vec::with_capacity(64);
+    buf.extend_from_slice(&boot_measurement);
+    buf.extend_from_slice(&ta_measurement);
+    crate::hash::sha256(&buf)
+}
+
+/// Derives a session key between the verifier and an attested TA
+/// (HKDF-style single-step expansion over the shared attestation key and
+/// the fresh nonce). Both sides compute the same key after a successful
+/// attestation; the secure channel for "secure execution and
+/// communication of critical code" hangs off it.
+#[must_use]
+pub fn session_key(rot: &RootOfTrust, nonce: [u8; 32]) -> [u8; 32] {
+    let mut info = Vec::with_capacity(48);
+    info.extend_from_slice(b"ta-session-key-v1");
+    info.extend_from_slice(&nonce);
+    hmac_sha256(&rot.attestation_key(), &info)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attestation::Verifier;
+    use crate::trustzone::World;
+
+    fn booted_tz() -> TrustZone {
+        let mut tz = TrustZone::new();
+        tz.install_ta("monitor", b"robustness-monitor-v2", |input| input.to_vec())
+            .unwrap();
+        tz.enter_normal_world();
+        tz
+    }
+
+    #[test]
+    fn end_to_end_ta_attestation() {
+        let mut tz = booted_tz();
+        let rot = RootOfTrust::provision(b"arm-node-3");
+        let boot = crate::hash::sha256(b"optee-boot-chain");
+        let mut verifier = Verifier::new();
+        verifier.enroll(&rot);
+        verifier.expect_measurement(expected_ta_measurement(boot, b"robustness-monitor-v2"));
+
+        let nonce = verifier.challenge();
+        let report =
+            attest_ta(&mut tz, CallerLevel::Kernel, &rot, boot, "monitor", nonce).unwrap();
+        assert!(verifier.verify(&report));
+        // The world returned to normal after the SMC.
+        assert_eq!(tz.world(), World::Normal);
+    }
+
+    #[test]
+    fn wrong_ta_version_fails_verification() {
+        let mut tz = booted_tz();
+        let rot = RootOfTrust::provision(b"arm-node-3");
+        let boot = crate::hash::sha256(b"optee-boot-chain");
+        let mut verifier = Verifier::new();
+        verifier.enroll(&rot);
+        // Verifier expects v3, device runs v2.
+        verifier.expect_measurement(expected_ta_measurement(boot, b"robustness-monitor-v3"));
+        let nonce = verifier.challenge();
+        let report =
+            attest_ta(&mut tz, CallerLevel::Kernel, &rot, boot, "monitor", nonce).unwrap();
+        assert!(!verifier.verify(&report));
+    }
+
+    #[test]
+    fn user_level_cannot_request_quotes() {
+        let mut tz = booted_tz();
+        let rot = RootOfTrust::provision(b"arm-node-3");
+        let err = attest_ta(
+            &mut tz,
+            CallerLevel::User,
+            &rot,
+            [0u8; 32],
+            "monitor",
+            [1u8; 32],
+        );
+        assert_eq!(err, Err(TzError::SmcFromUserLevel));
+    }
+
+    #[test]
+    fn unknown_ta_is_rejected() {
+        let mut tz = booted_tz();
+        let rot = RootOfTrust::provision(b"arm-node-3");
+        let err = attest_ta(
+            &mut tz,
+            CallerLevel::Kernel,
+            &rot,
+            [0u8; 32],
+            "ghost",
+            [1u8; 32],
+        );
+        assert!(matches!(err, Err(TzError::UnknownTa(_))));
+    }
+
+    #[test]
+    fn session_keys_agree_and_rotate_with_nonce() {
+        let rot = RootOfTrust::provision(b"arm-node-3");
+        let k1 = session_key(&rot, [1u8; 32]);
+        let k1_again = session_key(&rot, [1u8; 32]);
+        let k2 = session_key(&rot, [2u8; 32]);
+        assert_eq!(k1, k1_again);
+        assert_ne!(k1, k2);
+    }
+}

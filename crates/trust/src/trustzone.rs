@@ -1,0 +1,359 @@
+//! ARM TrustZone / OP-TEE world model.
+//!
+//! Paper §IV-C: "TrustZone splits the operating system into two parts:
+//! the normal and secure worlds. Trusted applications can only run in the
+//! secure world, and the operation necessary to change context between
+//! worlds is rather complex and cannot be done at user-level. To
+//! implement remote attestation for WebAssembly code running in ARM
+//! processors, a TEE specification defining how the trusted environment
+//! behaves and how the normal world can interact with the secure world is
+//! realized."
+//!
+//! The model enforces exactly those rules: trusted applications (TAs)
+//! register only in the secure world, the normal world reaches them only
+//! through SMC world switches performed by the kernel interface (never
+//! "at user-level"), and every switch has a cost.
+
+use crate::hash::sha256;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Which world the core currently executes in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum World {
+    /// The rich OS (normal world).
+    Normal,
+    /// The trusted OS (secure world).
+    Secure,
+}
+
+/// Privilege level of the caller issuing a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CallerLevel {
+    /// User-space application.
+    User,
+    /// Kernel (EL1) — the only level allowed to issue SMC calls.
+    Kernel,
+}
+
+/// TrustZone error conditions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TzError {
+    /// A user-level caller attempted a world switch.
+    SmcFromUserLevel,
+    /// The requested trusted application does not exist.
+    UnknownTa(String),
+    /// A TA operation was attempted from the normal world.
+    WrongWorld,
+    /// The session id is not open.
+    UnknownSession(u32),
+}
+
+impl fmt::Display for TzError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TzError::SmcFromUserLevel => {
+                write!(f, "world switch cannot be performed at user level")
+            }
+            TzError::UnknownTa(name) => write!(f, "unknown trusted application '{name}'"),
+            TzError::WrongWorld => write!(f, "operation requires the secure world"),
+            TzError::UnknownSession(id) => write!(f, "unknown session {id}"),
+        }
+    }
+}
+
+impl std::error::Error for TzError {}
+
+/// Handler signature of a trusted application: request bytes in,
+/// response bytes out.
+pub type TaHandler = Box<dyn FnMut(&[u8]) -> Vec<u8>>;
+
+/// A trusted application installed in the secure world.
+pub struct TrustedApp {
+    /// TA name (UUID equivalent).
+    pub name: String,
+    /// Measurement of the TA binary.
+    pub measurement: [u8; 32],
+    handler: TaHandler,
+}
+
+impl fmt::Debug for TrustedApp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TrustedApp")
+            .field("name", &self.name)
+            .finish()
+    }
+}
+
+/// The TrustZone SoC model: world state, installed TAs, open sessions
+/// and switch accounting.
+pub struct TrustZone {
+    world: World,
+    tas: HashMap<String, TrustedApp>,
+    sessions: HashMap<u32, String>,
+    next_session: u32,
+    /// Number of SMC world switches performed.
+    pub world_switches: u64,
+    /// Cost per switch in nanoseconds (≈ 3–10 µs on real parts).
+    pub switch_cost_ns: u64,
+}
+
+impl fmt::Debug for TrustZone {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TrustZone")
+            .field("world", &self.world)
+            .field("tas", &self.tas.keys().collect::<Vec<_>>())
+            .field("world_switches", &self.world_switches)
+            .finish()
+    }
+}
+
+impl Default for TrustZone {
+    fn default() -> Self {
+        TrustZone::new()
+    }
+}
+
+impl TrustZone {
+    /// Boots in the secure world (TrustZone boots secure-first).
+    #[must_use]
+    pub fn new() -> Self {
+        TrustZone {
+            world: World::Secure,
+            tas: HashMap::new(),
+            sessions: HashMap::new(),
+            next_session: 1,
+            world_switches: 0,
+            switch_cost_ns: 5_000,
+        }
+    }
+
+    /// Current world.
+    #[must_use]
+    pub fn world(&self) -> World {
+        self.world
+    }
+
+    /// Total simulated switch overhead in nanoseconds.
+    #[must_use]
+    pub fn switch_overhead_ns(&self) -> u64 {
+        self.world_switches * self.switch_cost_ns
+    }
+
+    /// Installs a trusted application. Only possible while in the secure
+    /// world (i.e. during secure boot / trusted OS runtime).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TzError::WrongWorld`] from the normal world.
+    pub fn install_ta(
+        &mut self,
+        name: impl Into<String>,
+        binary: &[u8],
+        handler: impl FnMut(&[u8]) -> Vec<u8> + 'static,
+    ) -> Result<(), TzError> {
+        if self.world != World::Secure {
+            return Err(TzError::WrongWorld);
+        }
+        let name = name.into();
+        self.tas.insert(
+            name.clone(),
+            TrustedApp {
+                name,
+                measurement: sha256(binary),
+                handler: Box::new(handler),
+            },
+        );
+        Ok(())
+    }
+
+    /// Hands control to the normal world (end of secure boot).
+    pub fn enter_normal_world(&mut self) {
+        if self.world == World::Secure {
+            self.world = World::Normal;
+            self.world_switches += 1;
+        }
+    }
+
+    /// SMC call: the normal-world *kernel* switches to the secure world,
+    /// runs `f`, and switches back. User-level callers are rejected —
+    /// the context change "cannot be done at user-level".
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TzError::SmcFromUserLevel`] for user-level callers.
+    pub fn smc<R>(
+        &mut self,
+        caller: CallerLevel,
+        f: impl FnOnce(&mut SecureContext<'_>) -> Result<R, TzError>,
+    ) -> Result<R, TzError> {
+        if caller != CallerLevel::Kernel {
+            return Err(TzError::SmcFromUserLevel);
+        }
+        let entered_from = self.world;
+        self.world = World::Secure;
+        self.world_switches += 1;
+        let result = f(&mut SecureContext { tz: self });
+        self.world = entered_from;
+        self.world_switches += 1;
+        result
+    }
+
+    /// Opens a session to a TA through an SMC round trip (the GlobalP-
+    /// latform `TEEC_OpenSession` shape).
+    ///
+    /// # Errors
+    ///
+    /// Propagates SMC and TA-lookup failures.
+    pub fn open_session(&mut self, caller: CallerLevel, ta: &str) -> Result<u32, TzError> {
+        let ta = ta.to_string();
+        self.smc(caller, |ctx| {
+            if !ctx.tz.tas.contains_key(&ta) {
+                return Err(TzError::UnknownTa(ta.clone()));
+            }
+            let id = ctx.tz.next_session;
+            ctx.tz.next_session += 1;
+            ctx.tz.sessions.insert(id, ta.clone());
+            Ok(id)
+        })
+    }
+
+    /// Invokes a command on an open session (`TEEC_InvokeCommand`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates SMC and session failures.
+    pub fn invoke(
+        &mut self,
+        caller: CallerLevel,
+        session: u32,
+        payload: &[u8],
+    ) -> Result<Vec<u8>, TzError> {
+        let payload = payload.to_vec();
+        self.smc(caller, |ctx| {
+            let ta_name = ctx
+                .tz
+                .sessions
+                .get(&session)
+                .cloned()
+                .ok_or(TzError::UnknownSession(session))?;
+            let ta = ctx
+                .tz
+                .tas
+                .get_mut(&ta_name)
+                .ok_or_else(|| TzError::UnknownTa(ta_name.clone()))?;
+            Ok((ta.handler)(&payload))
+        })
+    }
+
+    /// Measurement of an installed TA (for attestation), readable from
+    /// the secure world only.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TzError::WrongWorld`] from the normal world or
+    /// [`TzError::UnknownTa`] for a missing TA.
+    pub fn ta_measurement(&self, name: &str) -> Result<[u8; 32], TzError> {
+        if self.world != World::Secure {
+            return Err(TzError::WrongWorld);
+        }
+        self.tas
+            .get(name)
+            .map(|ta| ta.measurement)
+            .ok_or_else(|| TzError::UnknownTa(name.into()))
+    }
+}
+
+/// Execution context handed to code running inside an SMC call.
+pub struct SecureContext<'a> {
+    tz: &'a mut TrustZone,
+}
+
+impl SecureContext<'_> {
+    /// Measurement of an installed TA (secure world is implied here).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TzError::UnknownTa`] for a missing TA.
+    pub fn ta_measurement(&self, name: &str) -> Result<[u8; 32], TzError> {
+        self.tz
+            .tas
+            .get(name)
+            .map(|ta| ta.measurement)
+            .ok_or_else(|| TzError::UnknownTa(name.into()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn booted() -> TrustZone {
+        let mut tz = TrustZone::new();
+        tz.install_ta("echo", b"echo-v1", |input| {
+            let mut out = input.to_vec();
+            out.reverse();
+            out
+        })
+        .unwrap();
+        tz.enter_normal_world();
+        tz
+    }
+
+    #[test]
+    fn boots_secure_installs_then_enters_normal() {
+        let tz = booted();
+        assert_eq!(tz.world(), World::Normal);
+    }
+
+    #[test]
+    fn ta_install_fails_from_normal_world() {
+        let mut tz = booted();
+        let result = tz.install_ta("late", b"x", |_| Vec::new());
+        assert_eq!(result, Err(TzError::WrongWorld));
+    }
+
+    #[test]
+    fn user_level_cannot_switch_worlds() {
+        let mut tz = booted();
+        let result = tz.open_session(CallerLevel::User, "echo");
+        assert_eq!(result, Err(TzError::SmcFromUserLevel));
+    }
+
+    #[test]
+    fn kernel_session_and_invoke_round_trip() {
+        let mut tz = booted();
+        let session = tz.open_session(CallerLevel::Kernel, "echo").unwrap();
+        let out = tz.invoke(CallerLevel::Kernel, session, b"abc").unwrap();
+        assert_eq!(out, b"cba");
+        // Each operation cost a pair of world switches.
+        assert!(tz.world_switches >= 4);
+        assert!(tz.switch_overhead_ns() > 0);
+        // The world is back to normal after the call.
+        assert_eq!(tz.world(), World::Normal);
+    }
+
+    #[test]
+    fn unknown_ta_and_session_are_rejected() {
+        let mut tz = booted();
+        assert!(matches!(
+            tz.open_session(CallerLevel::Kernel, "ghost"),
+            Err(TzError::UnknownTa(_))
+        ));
+        assert!(matches!(
+            tz.invoke(CallerLevel::Kernel, 777, b""),
+            Err(TzError::UnknownSession(777))
+        ));
+    }
+
+    #[test]
+    fn measurement_only_readable_in_secure_world() {
+        let mut tz = booted();
+        assert_eq!(tz.ta_measurement("echo"), Err(TzError::WrongWorld));
+        let m = tz
+            .smc(CallerLevel::Kernel, |ctx| ctx.ta_measurement("echo"))
+            .unwrap();
+        assert_eq!(m, sha256(b"echo-v1"));
+    }
+}

@@ -1,0 +1,72 @@
+//! Host-import (WASI-like boundary) tests for the trusted runtime, and
+//! the enclave-ocall composition: a host call from inside an enclaved VM
+//! is an ocall.
+
+use vedliot_trust::enclave::{Enclave, EnclaveConfig};
+use vedliot_trust::wasmlite::{Func, Instance, Instr, Module, VmError};
+
+fn module_with_hostcall() -> Module {
+    // f(x) = host0(x * 2) + 1
+    Module {
+        funcs: vec![Func {
+            params: 1,
+            locals: 0,
+            returns_value: true,
+            body: vec![
+                Instr::LocalGet(0),
+                Instr::I32Const(2),
+                Instr::I32Mul,
+                Instr::HostCall(0),
+                Instr::I32Const(1),
+                Instr::I32Add,
+            ],
+        }],
+        memory_pages: 1,
+    }
+}
+
+#[test]
+fn host_import_round_trip() {
+    let mut vm = Instance::new(module_with_hostcall()).unwrap();
+    let idx = vm.register_host(|x| x + 100);
+    assert_eq!(idx, 0);
+    // f(5) = host(10) + 1 = 111.
+    assert_eq!(vm.call(0, &[5]).unwrap(), Some(111));
+}
+
+#[test]
+fn missing_host_import_traps() {
+    let mut vm = Instance::new(module_with_hostcall()).unwrap();
+    assert_eq!(vm.call(0, &[5]), Err(VmError::UnknownHostCall(0)));
+}
+
+#[test]
+fn host_state_accumulates_across_calls() {
+    let mut vm = Instance::new(module_with_hostcall()).unwrap();
+    let log = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+    let log2 = log.clone();
+    vm.register_host(move |x| {
+        log2.borrow_mut().push(x);
+        x
+    });
+    vm.call(0, &[1]).unwrap();
+    vm.call(0, &[2]).unwrap();
+    assert_eq!(*log.borrow(), vec![2, 4]);
+}
+
+#[test]
+fn hostcall_inside_enclave_is_an_ocall() {
+    // The Twine shape: the VM runs inside the enclave; every host call
+    // crosses the boundary and is charged as an ocall.
+    let mut vm = Instance::new(module_with_hostcall()).unwrap();
+    let enclave = std::rc::Rc::new(std::cell::RefCell::new(Enclave::create(
+        b"twine-runtime",
+        EnclaveConfig::default(),
+    )));
+    let handle = enclave.clone();
+    vm.register_host(move |x| handle.borrow_mut().ocall(|| x * 10));
+    let result = vm.call(0, &[3]).unwrap();
+    assert_eq!(result, Some(61)); // host(6) = 60, +1
+    assert_eq!(enclave.borrow().stats().ocalls, 1);
+    assert!(enclave.borrow().stats().overhead_cycles > 0);
+}

@@ -1,0 +1,149 @@
+//! Property-based tests for the trust substrates: hashing, sealing,
+//! attestation and the WASM-like VM.
+
+use proptest::prelude::*;
+use vedliot_trust::attestation::{attest, RootOfTrust, Verifier};
+use vedliot_trust::enclave::{verify_quote, Enclave, EnclaveConfig};
+use vedliot_trust::hash::{hmac_sha256, sha256};
+use vedliot_trust::wasmlite::{Func, Instance, Instr, Module};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// SHA-256 is deterministic and avalanche-sensitive to single-byte
+    /// changes.
+    #[test]
+    fn sha256_deterministic_and_sensitive(
+        mut data in proptest::collection::vec(any::<u8>(), 1..512),
+        flip in any::<usize>(),
+    ) {
+        let a = sha256(&data);
+        prop_assert_eq!(sha256(&data), a);
+        let idx = flip % data.len();
+        data[idx] ^= 0x01;
+        let b = sha256(&data);
+        prop_assert_ne!(a, b);
+        // Avalanche: a one-bit flip changes many output bits.
+        let differing: u32 = a.iter().zip(b.iter()).map(|(x, y)| (x ^ y).count_ones()).sum();
+        prop_assert!(differing > 64, "only {differing} bits changed");
+    }
+
+    /// HMAC keys separate cleanly.
+    #[test]
+    fn hmac_key_separation(
+        key_a in proptest::collection::vec(any::<u8>(), 1..64),
+        key_b in proptest::collection::vec(any::<u8>(), 1..64),
+        msg in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        prop_assume!(key_a != key_b);
+        prop_assert_ne!(hmac_sha256(&key_a, &msg), hmac_sha256(&key_b, &msg));
+    }
+
+    /// Sealing round-trips arbitrary data for the same enclave and fails
+    /// closed for a different one.
+    #[test]
+    fn seal_unseal_round_trip(
+        code in proptest::collection::vec(any::<u8>(), 1..64),
+        secret in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let enclave = Enclave::create(&code, EnclaveConfig::default());
+        let sealed = enclave.seal(&secret);
+        prop_assert_eq!(enclave.unseal(&sealed), Some(secret.clone()));
+        let mut other_code = code.clone();
+        other_code.push(0xFF);
+        let other = Enclave::create(&other_code, EnclaveConfig::default());
+        prop_assert_eq!(other.unseal(&sealed), None);
+    }
+
+    /// Quotes verify for the right measurement and fail for any
+    /// tampered byte.
+    #[test]
+    fn quote_integrity(
+        code in proptest::collection::vec(any::<u8>(), 1..64),
+        nonce in any::<[u8; 32]>(),
+        tamper_byte in 0usize..96,
+    ) {
+        let enclave = Enclave::create(&code, EnclaveConfig::default());
+        let quote = enclave.quote(nonce);
+        prop_assert!(verify_quote(&quote, &enclave.measurement()));
+        let mut forged = quote.clone();
+        match tamper_byte / 32 {
+            0 => forged.measurement[tamper_byte % 32] ^= 1,
+            1 => forged.report_data[tamper_byte % 32] ^= 1,
+            _ => forged.signature[tamper_byte % 32] ^= 1,
+        }
+        prop_assert!(!verify_quote(&forged, &enclave.measurement()));
+    }
+
+    /// Attestation succeeds exactly once per nonce, for any device seed
+    /// and measurement.
+    #[test]
+    fn attestation_nonce_single_use(
+        seed in proptest::collection::vec(any::<u8>(), 1..32),
+        measurement in any::<[u8; 32]>(),
+    ) {
+        let rot = RootOfTrust::provision(&seed);
+        let mut verifier = Verifier::new();
+        verifier.enroll(&rot);
+        verifier.expect_measurement(measurement);
+        let nonce = verifier.challenge();
+        let report = attest(&rot, measurement, nonce);
+        prop_assert!(verifier.verify(&report));
+        prop_assert!(!verifier.verify(&report));
+    }
+
+    /// Arbitrary arithmetic programs agree between the VM and a direct
+    /// Rust evaluation of the same expression tree.
+    #[test]
+    fn vm_arithmetic_matches_rust(
+        a in -1_000i32..1_000,
+        b in -1_000i32..1_000,
+        c in -1_000i32..1_000,
+    ) {
+        // f(a, b, c) = (a + b) * c - a
+        let module = Module {
+            funcs: vec![Func {
+                params: 3,
+                locals: 0,
+                returns_value: true,
+                body: vec![
+                    Instr::LocalGet(0),
+                    Instr::LocalGet(1),
+                    Instr::I32Add,
+                    Instr::LocalGet(2),
+                    Instr::I32Mul,
+                    Instr::LocalGet(0),
+                    Instr::I32Sub,
+                ],
+            }],
+            memory_pages: 1,
+        };
+        let mut vm = Instance::new(module).expect("validates");
+        let result = vm.call(0, &[a, b, c]).expect("runs").expect("returns");
+        prop_assert_eq!(result, a.wrapping_add(b).wrapping_mul(c).wrapping_sub(a));
+    }
+
+    /// Memory stores read back for any in-bounds address/value pair.
+    #[test]
+    fn vm_memory_round_trip(addr in 0u16..16_000, value in any::<i32>()) {
+        let aligned = (addr as i32 / 4) * 4;
+        let module = Module {
+            funcs: vec![Func {
+                params: 2,
+                locals: 0,
+                returns_value: true,
+                body: vec![
+                    Instr::LocalGet(0),
+                    Instr::LocalGet(1),
+                    Instr::I32Store(0),
+                    Instr::LocalGet(0),
+                    Instr::I32Load(0),
+                ],
+            }],
+            memory_pages: 1,
+        };
+        let mut vm = Instance::new(module).expect("validates");
+        let result = vm.call(0, &[aligned, value]).expect("runs");
+        prop_assert_eq!(result, Some(value));
+    }
+}

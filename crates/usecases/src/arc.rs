@@ -1,0 +1,280 @@
+//! Arc Detection in DC power distribution (paper §V-B).
+//!
+//! "…detect unwanted arcs in DC power distribution cabinets using deep
+//! learning technology. A challenge is to guarantee a very low latency
+//! from the first spark till inference, including sensing and
+//! pre-processing, and an ultra-low false-negative error rate for a
+//! smooth operation. In general, arc localization helps for faster fault
+//! detection and repair of broken units."
+//!
+//! [`synthesize_current`] produces DC current waveforms with and without
+//! arc events (including localization across feeders); [`ArcDetector`]
+//! is a sliding-window high-frequency-energy detector with an explicit
+//! latency measurement from first-arc-sample to trip; [`sweep_threshold`]
+//! produces the FN/FP trade-off curve the experiment reports.
+
+use serde::{Deserialize, Serialize};
+use vedliot_nnir::metrics::BinaryStats;
+
+/// Sampling rate of the current sensor, Hz.
+pub const SAMPLE_HZ: f64 = 100_000.0;
+
+/// A synthesized waveform with ground truth.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArcWaveform {
+    /// Current samples (A).
+    pub samples: Vec<f64>,
+    /// Index of the first arcing sample, if an arc occurs.
+    pub arc_start: Option<usize>,
+    /// Which feeder the arc is on (localization ground truth).
+    pub feeder: usize,
+}
+
+/// Synthesizes a DC feeder current trace of `len` samples.
+///
+/// Healthy traces carry load steps and sensor noise; arcing traces add a
+/// broadband chaotic component from `arc_start` onwards (the classic
+/// series-arc signature: sudden high-frequency content plus a small DC
+/// drop).
+#[must_use]
+pub fn synthesize_current(len: usize, arc_start: Option<usize>, feeder: usize, seed: u64) -> ArcWaveform {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1);
+    let mut noise = move || {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        (state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+    };
+    let mut samples = Vec::with_capacity(len);
+    let mut load = 12.0; // amps
+    let mut arc_phase = 0.0f64;
+    for n in 0..len {
+        // Occasional load steps (healthy switching, must not trip).
+        if n % 2_048 == 2_047 {
+            load = (load + noise() * 4.0).clamp(4.0, 20.0);
+        }
+        let mut i = load + 0.03 * noise();
+        if let Some(start) = arc_start {
+            if n >= start {
+                // Arc: chaotic high-frequency current (shoulder of the
+                // arc V-I characteristic) + small sustained drop.
+                arc_phase += 0.9 + noise() * 0.6;
+                i += -0.8 + 1.4 * arc_phase.sin() * (0.6 + noise());
+            }
+        }
+        samples.push(i);
+    }
+    ArcWaveform {
+        samples,
+        arc_start,
+        feeder,
+    }
+}
+
+/// Detection result for one waveform.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Detection {
+    /// Whether the detector tripped.
+    pub tripped: bool,
+    /// Sample index of the trip, if any.
+    pub trip_index: Option<usize>,
+    /// Latency from first arc sample to trip, in microseconds
+    /// (`None` if no arc or no trip).
+    pub latency_us: Option<f64>,
+}
+
+/// Sliding-window high-frequency-energy arc detector.
+///
+/// The decision statistic is the RMS of the first difference over a
+/// short window — cheap enough for the "sensing and pre-processing"
+/// budget and a faithful proxy for the spectral detectors deployed in
+/// practice.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ArcDetector {
+    /// Sliding window length in samples.
+    pub window: usize,
+    /// Trip threshold on the HF-energy statistic.
+    pub threshold: f64,
+}
+
+impl ArcDetector {
+    /// Creates a detector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window < 4`.
+    #[must_use]
+    pub fn new(window: usize, threshold: f64) -> Self {
+        assert!(window >= 4, "window too short");
+        ArcDetector { window, threshold }
+    }
+
+    /// Runs over a waveform and reports the trip (if any) with latency.
+    #[must_use]
+    pub fn detect(&self, waveform: &ArcWaveform) -> Detection {
+        let mut sum_sq = 0.0f64;
+        let mut diffs: Vec<f64> = Vec::with_capacity(waveform.samples.len());
+        for w in waveform.samples.windows(2) {
+            diffs.push((w[1] - w[0]).powi(2));
+        }
+        for (n, &d) in diffs.iter().enumerate() {
+            sum_sq += d;
+            if n >= self.window {
+                sum_sq -= diffs[n - self.window];
+            }
+            let effective = self.window.min(n + 1) as f64;
+            let stat = (sum_sq / effective).sqrt();
+            if n + 1 >= self.window && stat > self.threshold {
+                let trip_index = n + 1;
+                let latency_us = waveform.arc_start.map(|start| {
+                    (trip_index.saturating_sub(start)) as f64 / SAMPLE_HZ * 1e6
+                });
+                return Detection {
+                    tripped: true,
+                    trip_index: Some(trip_index),
+                    latency_us,
+                };
+            }
+        }
+        Detection {
+            tripped: false,
+            trip_index: None,
+            latency_us: None,
+        }
+    }
+}
+
+/// Result of one threshold point in the sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Threshold evaluated.
+    pub threshold: f64,
+    /// Confusion counts over the ensemble.
+    pub stats: BinaryStats,
+    /// Mean detection latency over true positives, µs.
+    pub mean_latency_us: f64,
+}
+
+/// Evaluates the detector over an ensemble of arcing and healthy
+/// waveforms at each threshold — the FN-rate/latency trade-off table.
+#[must_use]
+pub fn sweep_threshold(
+    thresholds: &[f64],
+    ensemble: usize,
+    window: usize,
+    seed: u64,
+) -> Vec<SweepPoint> {
+    // Pre-generate the ensemble once.
+    let mut waveforms = Vec::with_capacity(ensemble * 2);
+    for i in 0..ensemble {
+        waveforms.push(synthesize_current(
+            8_192,
+            Some(3_000 + (i * 37) % 2_000),
+            i % 8,
+            seed + i as u64,
+        ));
+        waveforms.push(synthesize_current(8_192, None, i % 8, seed + 10_000 + i as u64));
+    }
+    thresholds
+        .iter()
+        .map(|&threshold| {
+            let detector = ArcDetector::new(window, threshold);
+            let mut stats = BinaryStats::new();
+            let mut latency_sum = 0.0;
+            let mut latency_n = 0usize;
+            for w in &waveforms {
+                let d = detector.detect(w);
+                let actual = w.arc_start.is_some();
+                // A trip before the arc started is a false alarm on the
+                // healthy phase; the breaker is latched open, so the arc
+                // itself is not counted as missed.
+                if let (true, Some(start), Some(at)) = (d.tripped, w.arc_start, d.trip_index) {
+                    if at < start {
+                        stats.record(false, true);
+                        continue;
+                    }
+                }
+                stats.record(actual, d.tripped);
+                if actual && d.tripped {
+                    if let Some(l) = d.latency_us {
+                        latency_sum += l;
+                        latency_n += 1;
+                    }
+                }
+            }
+            SweepPoint {
+                threshold,
+                stats,
+                mean_latency_us: if latency_n > 0 {
+                    latency_sum / latency_n as f64
+                } else {
+                    f64::NAN
+                },
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arcs_are_detected_quickly() {
+        let waveform = synthesize_current(8_192, Some(4_000), 0, 3);
+        let detector = ArcDetector::new(32, 0.4);
+        let d = detector.detect(&waveform);
+        assert!(d.tripped);
+        let latency = d.latency_us.expect("latency measured");
+        // "very low latency from the first spark till inference":
+        // sub-millisecond at 100 kS/s.
+        assert!(latency < 1_000.0, "latency {latency} µs");
+    }
+
+    #[test]
+    fn healthy_load_steps_do_not_trip() {
+        let detector = ArcDetector::new(32, 0.4);
+        for seed in 0..10 {
+            let waveform = synthesize_current(8_192, None, 0, 100 + seed);
+            assert!(!detector.detect(&waveform).tripped, "seed {seed} tripped");
+        }
+    }
+
+    #[test]
+    fn threshold_trades_fn_for_fp() {
+        let sweep = sweep_threshold(&[0.1, 0.4, 5.0], 20, 32, 1);
+        // Very low threshold: no false negatives (but false alarms ok).
+        assert_eq!(sweep[0].stats.false_negative_rate(), 0.0);
+        // Very high threshold: misses everything.
+        assert!(sweep[2].stats.false_negative_rate() > 0.9);
+        // FN rate is monotone in threshold.
+        assert!(
+            sweep[0].stats.false_negative_rate() <= sweep[1].stats.false_negative_rate()
+                && sweep[1].stats.false_negative_rate() <= sweep[2].stats.false_negative_rate()
+        );
+    }
+
+    #[test]
+    fn operating_point_achieves_ultra_low_fn_and_low_fp() {
+        // The deployable operating point: zero FN over the ensemble with
+        // a low false-positive rate.
+        let sweep = sweep_threshold(&[0.4], 40, 32, 5);
+        let point = &sweep[0];
+        assert_eq!(point.stats.false_negative_rate(), 0.0, "{:?}", point.stats);
+        assert!(point.stats.false_positive_rate() < 0.1, "{:?}", point.stats);
+        assert!(point.mean_latency_us < 1_000.0);
+    }
+
+    #[test]
+    fn localization_ground_truth_round_trips() {
+        let w = synthesize_current(1_024, Some(100), 5, 9);
+        assert_eq!(w.feeder, 5);
+        assert_eq!(w.arc_start, Some(100));
+    }
+
+    #[test]
+    fn detector_rejects_tiny_windows() {
+        let result = std::panic::catch_unwind(|| ArcDetector::new(2, 1.0));
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,23 @@
+//! The VEDLIoT application use cases (paper §V).
+//!
+//! "VEDLIoT applications focus on both very high energy efficiency and
+//! high-security and safety requirements." Each sub-module is one of the
+//! paper's use cases, built on the full substrate stack:
+//!
+//! * [`paeb`] — **Automotive** (§V-A): Pedestrian Automatic Emergency
+//!   Braking with dynamic car/edge inference offloading over a mobile
+//!   network, remote attestation of the edge station, and on-car energy
+//!   accounting.
+//! * [`motor`] — **Industrial IoT** (§V-B): battery-powered Motor
+//!   Condition Classification from synthesized vibration/temperature
+//!   signals.
+//! * [`arc`] — **Industrial IoT** (§V-B): Arc Detection in DC power
+//!   distribution with a hard latency budget and an ultra-low
+//!   false-negative requirement.
+//! * [`mirror`] — **Smart Home** (§V-C): the Smart Mirror running four
+//!   neural networks entirely on-site on a uRECS power budget.
+
+pub mod arc;
+pub mod mirror;
+pub mod motor;
+pub mod paeb;

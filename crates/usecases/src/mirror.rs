@@ -1,0 +1,222 @@
+//! The Smart Mirror demonstrator (paper §V-C).
+//!
+//! "…a camera and a microphone are providing input data, and four
+//! different neural networks are used to detect gestures, faces, objects
+//! and speech to interact with people. The distribution of data to the
+//! cloud is not desirable because of privacy concerns of the residents.
+//! Therefore, all sensing and interaction is performed on-site in
+//! real-time, making low power and energy efficiency computations a
+//! prime concern."
+//!
+//! [`mirror_networks`] builds the four networks (Fig. 5's gesture /
+//! face / object / speech blocks); [`deploy_mirror`] places them on a
+//! populated uRECS with the cluster scheduler and verifies the whole
+//! interaction loop fits the embedded power budget — entirely on-site.
+
+use serde::{Deserialize, Serialize};
+use vedliot_nnir::{zoo, Graph, NnirError, Shape};
+use vedliot_recs::chassis::Chassis;
+use vedliot_recs::module::standard_microservers;
+use vedliot_recs::scheduler::{place, Placement, ScheduleError, Workload};
+
+/// The four interaction networks with their service requirements.
+///
+/// # Errors
+///
+/// Propagates graph-construction failures (cannot occur for the fixed
+/// architectures used here).
+pub fn mirror_networks() -> Result<Vec<Workload>, NnirError> {
+    // Gesture recognition: small CNN over 96×96 grayscale, 10 Hz.
+    let gesture = Workload {
+        name: "gesture".into(),
+        model: zoo::tiny_cnn("gesture-net", Shape::nchw(1, 1, 96, 96), &[8, 16, 32], 8)?,
+        latency_bound_ms: 80.0,
+        rate_ips: 10.0,
+    };
+    // Face detection/recognition: CNN over 112×112 RGB, 5 Hz.
+    let face = Workload {
+        name: "face".into(),
+        model: zoo::tiny_cnn("face-net", Shape::nchw(1, 3, 112, 112), &[16, 32, 64], 32)?,
+        latency_bound_ms: 120.0,
+        rate_ips: 5.0,
+    };
+    // Object detection: MobileNetV3 backbone at 2 Hz.
+    let object = Workload {
+        name: "object".into(),
+        model: zoo::mobilenet_v3_large(100)?,
+        latency_bound_ms: 250.0,
+        rate_ips: 2.0,
+    };
+    // Keyword-spotting speech model: 1-D CNN over 1 s of audio features,
+    // 4 Hz.
+    let speech = Workload {
+        name: "speech".into(),
+        model: zoo::conv1d_classifier("speech-net", 13, 128, &[16, 32], 12)?,
+        latency_bound_ms: 60.0,
+        rate_ips: 4.0,
+    };
+    Ok(vec![gesture, face, object, speech])
+}
+
+/// Deployment report for the mirror.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MirrorReport {
+    /// The placement produced by the scheduler.
+    pub placement: Placement,
+    /// Chassis power budget (W).
+    pub budget_w: f64,
+    /// Attributable workload power (W).
+    pub workload_power_w: f64,
+}
+
+impl MirrorReport {
+    /// Whether every network runs on-site within budget and bounds.
+    #[must_use]
+    pub fn viable(&self) -> bool {
+        self.placement.complete() && self.workload_power_w <= self.budget_w
+    }
+}
+
+/// Builds the standard mirror uRECS: a Xavier NX (native slot) — the
+/// paper names uRECS's native Jetson Xavier NX support for exactly this
+/// class of multi-network interactive loads.
+///
+/// # Panics
+///
+/// Panics if the standard module catalog is missing the Xavier NX entry
+/// (cannot happen with the shipped catalog).
+#[must_use]
+pub fn mirror_chassis() -> Chassis {
+    let mut chassis = Chassis::urecs();
+    let nx = standard_microservers()
+        .into_iter()
+        .find(|m| m.name.contains("Xavier NX"))
+        .expect("standard catalog includes Xavier NX");
+    chassis.insert(0, nx).expect("NX fits the uRECS envelope");
+    chassis
+}
+
+/// Places the four networks on a chassis and reports viability.
+///
+/// # Errors
+///
+/// Returns [`ScheduleError`] for an empty chassis or [`NnirError`] from
+/// network construction.
+pub fn deploy_mirror(chassis: &Chassis) -> Result<MirrorReport, MirrorError> {
+    let workloads = mirror_networks()?;
+    let placement = place(chassis, &workloads)?;
+    let workload_power_w = placement.total_power_w();
+    Ok(MirrorReport {
+        placement,
+        budget_w: chassis.power_budget_w(),
+        workload_power_w,
+    })
+}
+
+/// Error type of the mirror deployment flow.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MirrorError {
+    /// Network construction failed.
+    Network(NnirError),
+    /// Scheduling failed.
+    Schedule(ScheduleError),
+}
+
+impl std::fmt::Display for MirrorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MirrorError::Network(e) => write!(f, "network construction: {e}"),
+            MirrorError::Schedule(e) => write!(f, "scheduling: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MirrorError {}
+
+impl From<NnirError> for MirrorError {
+    fn from(e: NnirError) -> Self {
+        MirrorError::Network(e)
+    }
+}
+
+impl From<ScheduleError> for MirrorError {
+    fn from(e: ScheduleError) -> Self {
+        MirrorError::Schedule(e)
+    }
+}
+
+/// Whether a graph references any off-site resource. The IR has no such
+/// notion — every tensor lives on the device — so this is trivially
+/// true; it exists to state the privacy property as an executable check
+/// over all four networks.
+#[must_use]
+pub fn is_fully_on_site(model: &Graph) -> bool {
+    // All inputs are local sensors; all nodes are local operators.
+    !model.nodes().is_empty() && model.inputs().iter().all(|t| model.producer(*t).is_none())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_networks_cover_the_demonstrator() {
+        let nets = mirror_networks().unwrap();
+        let names: Vec<&str> = nets.iter().map(|w| w.name.as_str()).collect();
+        assert_eq!(names, vec!["gesture", "face", "object", "speech"]);
+    }
+
+    #[test]
+    fn all_four_fit_on_one_urecs_nx() {
+        let chassis = mirror_chassis();
+        let report = deploy_mirror(&chassis).unwrap();
+        assert!(
+            report.placement.complete(),
+            "unplaced: {:?}",
+            report.placement.unplaced
+        );
+        assert!(
+            report.viable(),
+            "power {} W vs budget {} W",
+            report.workload_power_w,
+            report.budget_w
+        );
+    }
+
+    #[test]
+    fn every_network_meets_its_latency_bound() {
+        let chassis = mirror_chassis();
+        let report = deploy_mirror(&chassis).unwrap();
+        let nets = mirror_networks().unwrap();
+        for a in &report.placement.assignments {
+            let bound = nets
+                .iter()
+                .find(|w| w.name == a.workload)
+                .unwrap()
+                .latency_bound_ms;
+            assert!(
+                a.latency_ms <= bound,
+                "{}: {} ms > {} ms",
+                a.workload,
+                a.latency_ms,
+                bound
+            );
+        }
+    }
+
+    #[test]
+    fn empty_chassis_fails_cleanly() {
+        let chassis = Chassis::urecs();
+        assert!(matches!(
+            deploy_mirror(&chassis),
+            Err(MirrorError::Schedule(ScheduleError::EmptyChassis))
+        ));
+    }
+
+    #[test]
+    fn privacy_all_networks_are_on_site() {
+        for w in mirror_networks().unwrap() {
+            assert!(is_fully_on_site(&w.model), "{} leaves the site", w.name);
+        }
+    }
+}

@@ -1,0 +1,341 @@
+//! Pedestrian Automatic Emergency Braking with dynamic edge offloading
+//! (paper §V-A).
+//!
+//! "The major development goals are the distribution of the deep
+//! learning models and the decision making between different on-car
+//! systems and edge devices at varying speeds and reliability of mobile
+//! networks. … The overall goal is to optimize the energy efficiency in
+//! total and minimize the on-car energy consumption. Sending raw sensor
+//! data via a mobile network to an edge station always implies a
+//! high-security risk. Therefore, an integration of VEDLIoT's remote
+//! attestation approach is of importance."
+//!
+//! The [`OffloadController`] decides per frame between the on-car
+//! accelerator and an (attested) edge station, subject to the braking
+//! deadline derived from vehicle speed; [`run_drive`] evaluates a whole
+//! drive over a [`NetworkTrace`].
+
+use serde::{Deserialize, Serialize};
+use vedliot_accel::catalog::catalog;
+use vedliot_accel::perf::PerfModel;
+use vedliot_nnir::zoo;
+use vedliot_recs::net::{NetworkCondition, NetworkTrace};
+use vedliot_trust::attestation::{attest, RootOfTrust, Verifier};
+use vedliot_trust::hash::sha256;
+
+/// Static description of the two inference options.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PaebConfig {
+    /// On-car inference latency per frame, ms.
+    pub car_latency_ms: f64,
+    /// On-car energy per inference, J.
+    pub car_energy_j: f64,
+    /// Edge inference latency per frame (compute only), ms.
+    pub edge_latency_ms: f64,
+    /// Edge energy per inference, J (grid-powered; counts toward total
+    /// but not on-car energy).
+    pub edge_energy_j: f64,
+    /// Bytes per (compressed) camera frame uploaded for edge inference.
+    pub frame_bytes: u64,
+    /// On-car radio transmit energy per byte, J.
+    pub tx_energy_j_per_byte: f64,
+    /// Result download time, ms (tiny payload; latency dominated).
+    pub result_ms: f64,
+}
+
+impl PaebConfig {
+    /// Derives the configuration from the accelerator models: on-car
+    /// Xavier NX vs edge-station GTX 1660 running YOLOv4-416.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the accelerator catalog is missing the standard entries
+    /// (cannot happen with the shipped catalog).
+    #[must_use]
+    pub fn from_models() -> Self {
+        let db = catalog();
+        let yolo = zoo::yolov4(416, 80).expect("yolov4 builds");
+        let car = PerfModel::new(db.find("Xavier NX").expect("catalog").clone())
+            .run(&yolo)
+            .expect("runs");
+        let edge = PerfModel::new(db.find("GTX 1660").expect("catalog").clone())
+            .run(&yolo)
+            .expect("runs");
+        PaebConfig {
+            car_latency_ms: car.latency_ms,
+            car_energy_j: car.energy_per_inference_j,
+            edge_latency_ms: edge.latency_ms,
+            edge_energy_j: edge.energy_per_inference_j,
+            frame_bytes: 300_000,
+            tx_energy_j_per_byte: 60e-9, // ~60 nJ/byte cellular uplink
+            result_ms: 5.0,
+        }
+    }
+
+    /// End-to-end latency of the offloaded path under `net`, or `None`
+    /// when the network cannot carry the frame.
+    #[must_use]
+    pub fn offload_latency_ms(&self, net: &NetworkCondition) -> Option<f64> {
+        let upload = net.upload_ms(self.frame_bytes)?;
+        Some(upload + self.edge_latency_ms + self.result_ms + net.rtt_ms / 2.0)
+    }
+
+    /// On-car energy of one offloaded frame (radio only).
+    #[must_use]
+    pub fn offload_car_energy_j(&self) -> f64 {
+        self.frame_bytes as f64 * self.tx_energy_j_per_byte
+    }
+}
+
+/// Deadline for one frame from vehicle speed: the detection pipeline may
+/// consume the time the car takes to cover its *reaction-distance
+/// margin* (distance budget beyond braking distance).
+///
+/// `v` km/h, returns ms. Uses a 0.35 g comfort-braking envelope with a
+/// 15 m sensing horizon margin.
+#[must_use]
+pub fn frame_deadline_ms(speed_kmh: f64) -> f64 {
+    let v = speed_kmh / 3.6; // m/s
+    if v <= 0.0 {
+        return 1_000.0;
+    }
+    let braking_distance = v * v / (2.0 * 0.35 * 9.81);
+    let margin_m = (15.0 - (braking_distance - v * 0.1).max(0.0) * 0.2).max(2.0);
+    (margin_m / v * 1000.0).min(1_000.0)
+}
+
+/// Per-frame decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Decision {
+    /// Inference ran on the car.
+    Local,
+    /// Frame was offloaded to the attested edge station.
+    Offloaded,
+}
+
+/// The offload controller state.
+#[derive(Debug)]
+pub struct OffloadController {
+    config: PaebConfig,
+    edge_attested: bool,
+}
+
+impl OffloadController {
+    /// Creates a controller; the edge station starts unattested and all
+    /// frames stay local until attestation succeeds.
+    #[must_use]
+    pub fn new(config: PaebConfig) -> Self {
+        OffloadController {
+            config,
+            edge_attested: false,
+        }
+    }
+
+    /// Runs the remote-attestation handshake against the edge station.
+    /// Offloading is enabled only on success.
+    pub fn attest_edge(
+        &mut self,
+        verifier: &mut Verifier,
+        edge_rot: &RootOfTrust,
+        edge_boot_measurement: [u8; 32],
+    ) -> bool {
+        let nonce = verifier.challenge();
+        let report = attest(edge_rot, edge_boot_measurement, nonce);
+        self.edge_attested = verifier.verify(&report);
+        self.edge_attested
+    }
+
+    /// Whether the edge is currently trusted.
+    #[must_use]
+    pub fn edge_attested(&self) -> bool {
+        self.edge_attested
+    }
+
+    /// Decides one frame: offload when it is permitted (attested), meets
+    /// the deadline, and saves on-car energy; otherwise local (or local
+    /// with a deadline miss flagged when even local is too slow).
+    #[must_use]
+    pub fn decide(&self, net: &NetworkCondition, speed_kmh: f64) -> (Decision, bool) {
+        let deadline = frame_deadline_ms(speed_kmh);
+        let local_ok = self.config.car_latency_ms <= deadline;
+        if self.edge_attested {
+            if let Some(latency) = self.config.offload_latency_ms(net) {
+                let saves_energy =
+                    self.config.offload_car_energy_j() < self.config.car_energy_j;
+                if latency <= deadline && saves_energy {
+                    return (Decision::Offloaded, false);
+                }
+            }
+        }
+        (Decision::Local, !local_ok)
+    }
+}
+
+/// Aggregate result of a simulated drive.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct DriveReport {
+    /// Frames processed locally.
+    pub local_frames: usize,
+    /// Frames offloaded.
+    pub offloaded_frames: usize,
+    /// Frames whose deadline could not be met at all.
+    pub deadline_misses: usize,
+    /// Total on-car energy (J) — the quantity the use case minimizes.
+    pub car_energy_j: f64,
+    /// Total system energy (J), edge included.
+    pub total_energy_j: f64,
+}
+
+impl DriveReport {
+    /// Fraction of frames offloaded.
+    #[must_use]
+    pub fn offload_fraction(&self) -> f64 {
+        let total = self.local_frames + self.offloaded_frames;
+        if total == 0 {
+            return 0.0;
+        }
+        self.offloaded_frames as f64 / total as f64
+    }
+}
+
+/// Simulates a drive: one frame per network-trace sample at a constant
+/// speed.
+#[must_use]
+pub fn run_drive(
+    controller: &OffloadController,
+    trace: &NetworkTrace,
+    speed_kmh: f64,
+) -> DriveReport {
+    let mut report = DriveReport::default();
+    for net in &trace.samples {
+        let (decision, missed) = controller.decide(net, speed_kmh);
+        if missed {
+            report.deadline_misses += 1;
+        }
+        match decision {
+            Decision::Local => {
+                report.local_frames += 1;
+                report.car_energy_j += controller.config.car_energy_j;
+                report.total_energy_j += controller.config.car_energy_j;
+            }
+            Decision::Offloaded => {
+                report.offloaded_frames += 1;
+                let radio = controller.config.offload_car_energy_j();
+                report.car_energy_j += radio;
+                report.total_energy_j += radio + controller.config.edge_energy_j;
+            }
+        }
+    }
+    report
+}
+
+/// Convenience: a fully attested controller against a freshly enrolled
+/// edge station (the happy-path setup used by examples and benches).
+#[must_use]
+pub fn attested_controller(config: PaebConfig) -> OffloadController {
+    let mut controller = OffloadController::new(config);
+    let edge_rot = RootOfTrust::provision(b"edge-station-17");
+    let measurement = sha256(b"edge-inference-stack-v4");
+    let mut verifier = Verifier::new();
+    verifier.enroll(&edge_rot);
+    verifier.expect_measurement(measurement);
+    let ok = controller.attest_edge(&mut verifier, &edge_rot, measurement);
+    assert!(ok, "happy-path attestation must succeed");
+    controller
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_config() -> PaebConfig {
+        // Hand-tuned, model-independent values for fast unit tests.
+        PaebConfig {
+            car_latency_ms: 80.0,
+            car_energy_j: 1.2,
+            edge_latency_ms: 15.0,
+            edge_energy_j: 2.5,
+            frame_bytes: 300_000,
+            tx_energy_j_per_byte: 60e-9,
+            result_ms: 5.0,
+        }
+    }
+
+    #[test]
+    fn deadline_shrinks_with_speed() {
+        assert!(frame_deadline_ms(30.0) > frame_deadline_ms(60.0));
+        assert!(frame_deadline_ms(60.0) > frame_deadline_ms(120.0));
+        assert!(frame_deadline_ms(0.0) >= 1_000.0);
+    }
+
+    #[test]
+    fn unattested_edge_is_never_used() {
+        let controller = OffloadController::new(test_config());
+        let (d, _) = controller.decide(&NetworkCondition::good(), 50.0);
+        assert_eq!(d, Decision::Local);
+    }
+
+    #[test]
+    fn attestation_gates_offloading() {
+        let mut controller = OffloadController::new(test_config());
+        let edge_rot = RootOfTrust::provision(b"edge-1");
+        let good_measurement = sha256(b"edge-stack");
+        let mut verifier = Verifier::new();
+        verifier.enroll(&edge_rot);
+        verifier.expect_measurement(good_measurement);
+        // A compromised edge (wrong measurement) fails attestation.
+        assert!(!controller.attest_edge(&mut verifier, &edge_rot, sha256(b"rootkit")));
+        assert!(!controller.edge_attested());
+        // The clean edge passes.
+        assert!(controller.attest_edge(&mut verifier, &edge_rot, good_measurement));
+        let (d, _) = controller.decide(&NetworkCondition::good(), 50.0);
+        assert_eq!(d, Decision::Offloaded);
+    }
+
+    #[test]
+    fn poor_network_forces_local_inference() {
+        let controller = attested_controller(test_config());
+        let (d, _) = controller.decide(&NetworkCondition::poor(), 50.0);
+        assert_eq!(d, Decision::Local);
+    }
+
+    #[test]
+    fn high_speed_tightens_deadline_until_local_only() {
+        let controller = attested_controller(test_config());
+        // At moderate speed, good network -> offload.
+        let (d, _) = controller.decide(&NetworkCondition::good(), 40.0);
+        assert_eq!(d, Decision::Offloaded);
+        // At autobahn speed the round trip cannot fit.
+        let (d, _) = controller.decide(&NetworkCondition::good(), 220.0);
+        assert_eq!(d, Decision::Local);
+    }
+
+    #[test]
+    fn offloading_reduces_on_car_energy() {
+        let config = test_config();
+        let trace = NetworkTrace::generate(500, 11);
+        let attested = attested_controller(config);
+        let local_only = OffloadController::new(config);
+        let with_offload = run_drive(&attested, &trace, 50.0);
+        let without = run_drive(&local_only, &trace, 50.0);
+        assert!(with_offload.offload_fraction() > 0.3, "offload should engage");
+        assert!(
+            with_offload.car_energy_j < without.car_energy_j,
+            "offloading must cut on-car energy: {} !< {}",
+            with_offload.car_energy_j,
+            without.car_energy_j
+        );
+        assert_eq!(without.offloaded_frames, 0);
+    }
+
+    #[test]
+    fn model_derived_config_is_consistent() {
+        let config = PaebConfig::from_models();
+        // Edge GPU is faster than the on-car Jetson on YOLOv4.
+        assert!(config.edge_latency_ms < config.car_latency_ms);
+        assert!(config.car_energy_j > 0.0);
+        // Radio energy per frame is far below on-car inference energy —
+        // the premise that makes offloading worthwhile.
+        assert!(config.offload_car_energy_j() < config.car_energy_j);
+    }
+}

@@ -1,0 +1,53 @@
+//! # VEDLIoT — Very Efficient Deep Learning in IoT (reproduction)
+//!
+//! A from-scratch Rust reconstruction of the system described in
+//! *"VEDLIoT: Very Efficient Deep Learning in IoT"* (DATE 2022): a
+//! holistic platform for energy-efficient deep learning on distributed
+//! AIoT devices, spanning modular hardware, accelerator modelling, a
+//! model-optimization toolchain, functional SoC simulation, safety
+//! monitoring, trusted execution and four industrial use cases.
+//!
+//! This crate is the facade: it re-exports every subsystem crate under
+//! one roof. See each module's documentation for the paper section it
+//! reproduces, and the repository's `DESIGN.md` for the experiment
+//! index.
+//!
+//! | Module | Subsystem | Paper section |
+//! |---|---|---|
+//! | [`nnir`] | NN graph IR, cost analysis, executor, model zoo | §III |
+//! | [`toolchain`] | Kenning-style optimization passes, Deep Compression, deployment benchmarking | §III |
+//! | [`accel`] | Accelerator catalog (Fig. 3), roofline perf/power model (Fig. 4), four design approaches, memory study | §II-B/C |
+//! | [`recs`] | RECS|Box / t.RECS / uRECS chassis, microservers (Fig. 2), fabric, scheduler, mobile network | §II-A |
+//! | [`socsim`] | Renode-style RV32IM SoC simulator with PMP + CFU | §II-B, §IV-C |
+//! | [`trust`] | SGX-like enclaves, WASM-like runtime, TrustZone, attestation | §IV-C |
+//! | [`safety`] | Input monitors, robustness service, fault injection, hybridization | §IV-B |
+//! | [`reqeng`] | Architectural framework (concerns × levels) | §IV-A |
+//! | [`usecases`] | PAEB, motor condition, arc detection, smart mirror | §V |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use vedliot::accel::{catalog, perf::PerfModel};
+//! use vedliot::nnir::zoo;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Evaluate MobileNetV3 on every platform of the paper's Fig. 4.
+//! let model = zoo::mobilenet_v3_large(1000)?;
+//! let db = catalog::catalog();
+//! for platform in db.fig4_platforms() {
+//!     let run = PerfModel::new(platform.clone()).run(&model)?;
+//!     assert!(run.achieved_gops > 0.0);
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+pub use vedliot_accel as accel;
+pub use vedliot_nnir as nnir;
+pub use vedliot_recs as recs;
+pub use vedliot_reqeng as reqeng;
+pub use vedliot_safety as safety;
+pub use vedliot_socsim as socsim;
+pub use vedliot_toolchain as toolchain;
+pub use vedliot_trust as trust;
+pub use vedliot_usecases as usecases;

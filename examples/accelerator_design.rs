@@ -1,0 +1,87 @@
+//! The four DL-accelerator design approaches of paper §II-B, end to end:
+//! (1) off-the-shelf selection, (2) a statically configured FPGA overlay,
+//! (3) a dynamically (partially) reconfigurable region with
+//! power/performance modes, and (4) the fully simultaneous co-design loop
+//! that feeds back into the model.
+//!
+//! Run with `cargo run --release --example accelerator_design`.
+
+use vedliot::accel::approaches::{
+    co_design, select_off_the_shelf, FpgaFabric, ReconfigurableAccelerator, StaticAccelerator,
+};
+use vedliot::accel::catalog::catalog;
+use vedliot::accel::perf::PerfModel;
+use vedliot::nnir::cost::CostReport;
+use vedliot::nnir::{zoo, DataType};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let model = zoo::mobilenet_v3_large(1000)?;
+    let cost = CostReport::of(&model)?;
+    println!("workload: {} ({} MMACs)\n", cost.model, cost.total_macs / 1_000_000);
+
+    // (1) Off-the-shelf under a 10 W far-edge budget.
+    let db = catalog();
+    let (part, run) = select_off_the_shelf(&db, &model, 10.0)?.expect("sub-10W parts exist");
+    println!("(1) off-the-shelf under 10 W: {}", part.name);
+    println!(
+        "    {:.1} ms / inference, {:.0} GOPS, {:.2} W\n",
+        run.latency_ms, run.achieved_gops, run.avg_power_w
+    );
+
+    // (2) Statically configured overlay on the ZU15 fabric.
+    let fabric = FpgaFabric::zu15();
+    let static_acc = StaticAccelerator::synthesize(fabric, &cost, DataType::I8);
+    let static_run = PerfModel::new(static_acc.to_spec("static-overlay")).run(&model)?;
+    println!(
+        "(2) static ZU15 overlay: {}x{} PE array, {:.0} peak GOPS, {:.1} W",
+        static_acc.pe_rows,
+        static_acc.pe_cols,
+        static_acc.peak_gops(),
+        static_acc.power_w()
+    );
+    println!("    {:.1} ms / inference\n", static_run.latency_ms);
+
+    // (3) Reconfigurable region: full / half / low-power modes, adapted
+    //     to a latency bound at run time.
+    let modes = vec![
+        static_acc.clone(),
+        static_acc.derated(0.5),
+        static_acc.derated(0.2),
+    ];
+    let mut region = ReconfigurableAccelerator::new(modes);
+    println!("(3) dynamically reconfigurable region ({} modes):", region.mode_count());
+    let relaxed = region.adapt_to_latency(&model, 1_000.0)?.expect("a mode fits");
+    println!(
+        "    relaxed 1000 ms bound -> mode {} ({:.1} W) after a {:.0} ms partial reconfig",
+        relaxed.to,
+        region.active_mode().power_w(),
+        relaxed.latency_ms
+    );
+    let tight_bound = static_run.latency_ms * 1.2;
+    let tight = region.adapt_to_latency(&model, tight_bound)?.expect("full mode fits");
+    println!(
+        "    tight {:.1} ms bound  -> mode {} ({:.1} W)\n",
+        tight_bound,
+        tight.to,
+        region.active_mode().power_w()
+    );
+
+    // (4) Fully simultaneous co-design.
+    let result = co_design(FpgaFabric::zu15(), &model, DataType::I8, 4)?;
+    println!("(4) co-design loop (model feedback: channels rounded to PE geometry):");
+    for step in &result.steps {
+        println!(
+            "    iter {}: {} PE rows, channel quantum {:>3}, array efficiency {:.3}",
+            step.iteration, step.pe_rows, step.channel_quantum, step.efficiency
+        );
+    }
+    println!(
+        "    -> {:.2}x efficiency over the hardware-only baseline",
+        result.improvement()
+    );
+    println!(
+        "\nthe paper's conclusion holds: \"no single accelerator can provide a better \
+         match to different models\" — rerun with ResNet-50 and the baseline efficiency changes"
+    );
+    Ok(())
+}

@@ -1,0 +1,41 @@
+//! The Industrial IoT arc-detection use case (paper §V-B): sweep the
+//! detector threshold over an ensemble of synthesized DC waveforms and
+//! print the false-negative / false-positive / latency trade-off.
+//!
+//! Run with `cargo run --example arc_detection`.
+
+use vedliot::usecases::arc::{sweep_threshold, ArcDetector, synthesize_current};
+
+fn main() {
+    // One concrete detection, start to finish.
+    let waveform = synthesize_current(8_192, Some(4_000), 3, 42);
+    let detector = ArcDetector::new(32, 0.4);
+    let detection = detector.detect(&waveform);
+    println!(
+        "single event on feeder {}: tripped = {}, latency = {:.0} µs",
+        waveform.feeder,
+        detection.tripped,
+        detection.latency_us.unwrap_or(f64::NAN)
+    );
+
+    // The operating-point sweep.
+    let thresholds = [0.15, 0.25, 0.4, 0.7, 1.2, 2.0];
+    let sweep = sweep_threshold(&thresholds, 40, 32, 7);
+    println!(
+        "\n{:>10} {:>8} {:>8} {:>12}",
+        "threshold", "FN rate", "FP rate", "latency"
+    );
+    for point in &sweep {
+        println!(
+            "{:>10.2} {:>7.1}% {:>7.1}% {:>9.0} µs",
+            point.threshold,
+            point.stats.false_negative_rate() * 100.0,
+            point.stats.false_positive_rate() * 100.0,
+            point.mean_latency_us
+        );
+    }
+    println!(
+        "\nthe deployable point keeps the FN rate at zero with sub-millisecond \
+         latency — the use case's 'ultra-low false-negative error rate' goal"
+    );
+}

@@ -1,0 +1,59 @@
+//! Quickstart: the core VEDLIoT flow in one page.
+//!
+//! Builds one of the paper's evaluation networks, analyzes its cost,
+//! selects an off-the-shelf accelerator under an embedded power budget,
+//! optimizes the model for it, and prints the deployment report.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use vedliot::accel::approaches::select_off_the_shelf;
+use vedliot::accel::catalog::catalog;
+use vedliot::nnir::cost::CostReport;
+use vedliot::nnir::{zoo, DataType};
+use vedliot::toolchain::passes::{FuseConvBn, PassManager, QuantizeInt8};
+use vedliot::toolchain::benchmark_deployment;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A model from the paper's evaluation set.
+    let model = zoo::mobilenet_v3_large(1000)?;
+    let cost = CostReport::of(&model)?;
+    println!("model: {}", cost.model);
+    println!("  parameters : {:>12}", cost.total_params);
+    println!("  MACs       : {:>12}", cost.total_macs);
+    println!(
+        "  weights    : {:>9.2} MiB (FP32) / {:.2} MiB (INT8)",
+        cost.weight_bytes(DataType::F32) as f64 / (1 << 20) as f64,
+        cost.weight_bytes(DataType::I8) as f64 / (1 << 20) as f64,
+    );
+
+    // 2. Off-the-shelf accelerator selection under a 15 W far-edge budget
+    //    (the uRECS envelope).
+    let db = catalog();
+    let (platform, baseline) = select_off_the_shelf(&db, &model, 15.0)?
+        .expect("the catalog has sub-15W parts");
+    println!("\nselected platform: {platform}");
+    println!(
+        "  baseline: {:.1} ms / inference, {:.1} GOPS, {:.2} W",
+        baseline.latency_ms, baseline.achieved_gops, baseline.avg_power_w
+    );
+
+    // 3. Optimize for the target: fuse batch norms, quantize to INT8.
+    let mut pipeline = PassManager::new();
+    pipeline.push(FuseConvBn::new());
+    pipeline.push(QuantizeInt8::new());
+    let report = benchmark_deployment(model, &pipeline, &platform, None)?;
+    println!("\nafter optimization ({} passes):", report.pass_log.len());
+    for log in &report.pass_log {
+        println!("  [{}] {}", log.pass, log.detail);
+    }
+    println!(
+        "  deployed: {:.1} ms / inference at {}, {:.3} J / inference",
+        report.latency_ms, report.precision, report.energy_per_inference_j
+    );
+    println!(
+        "  memory: {:.2} MiB weights, {:.2} MiB peak activations",
+        report.weight_bytes as f64 / (1 << 20) as f64,
+        report.activation_bytes as f64 / (1 << 20) as f64,
+    );
+    Ok(())
+}

@@ -1,0 +1,46 @@
+//! The Smart Home use case (paper §V-C): deploy the Smart Mirror's four
+//! neural networks — gesture, face, object and speech — on a uRECS node,
+//! entirely on-site, within the embedded power budget.
+//!
+//! Run with `cargo run --example smart_mirror`.
+
+use vedliot::usecases::mirror::{deploy_mirror, is_fully_on_site, mirror_chassis, mirror_networks};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let chassis = mirror_chassis();
+    println!(
+        "chassis: {} ({} slots, {:.0} W budget)",
+        chassis.kind(),
+        chassis.slot_count(),
+        chassis.power_budget_w()
+    );
+    for (slot, server) in chassis.populated() {
+        println!("  slot {slot}: {} ({:.1} W)", server.name, server.peak_power_w());
+    }
+
+    // Privacy check: every network's data stays on the device.
+    for workload in mirror_networks()? {
+        assert!(is_fully_on_site(&workload.model));
+    }
+    println!("\nprivacy: all four networks process sensor data on-site");
+
+    let report = deploy_mirror(&chassis)?;
+    println!("\n{:<10} {:>6} {:>12} {:>12} {:>8}", "network", "slot", "latency", "energy/inf", "load");
+    for a in &report.placement.assignments {
+        println!(
+            "{:<10} {:>6} {:>9.1} ms {:>10.4} J {:>7.1}%",
+            a.workload,
+            a.slot,
+            a.latency_ms,
+            a.energy_per_inference_j,
+            a.load * 100.0
+        );
+    }
+    println!(
+        "\nworkload power {:.2} W of {:.0} W budget -> viable: {}",
+        report.workload_power_w,
+        report.budget_w,
+        report.viable()
+    );
+    Ok(())
+}

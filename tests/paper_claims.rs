@@ -1,0 +1,213 @@
+//! The paper's headline quantitative claims, each asserted end to end.
+//! EXPERIMENTS.md records the measured values next to the paper's.
+
+use vedliot::accel::catalog::catalog;
+use vedliot::accel::perf::PerfModel;
+use vedliot::nnir::dataset::gaussian_prototypes;
+use vedliot::nnir::train::{mlp, train_mlp, TrainConfig};
+use vedliot::nnir::{zoo, Shape};
+use vedliot::toolchain::{deep_compress, CompressionConfig};
+
+/// Fig. 3: "most architectures cluster around an energy efficiency of
+/// about 1 TOPS/W, independent of their individual performance".
+#[test]
+fn fig3_one_tops_per_watt_cluster() {
+    let db = catalog();
+    let gm = db.geometric_mean_tops_per_watt();
+    assert!(
+        (0.3..3.0).contains(&gm),
+        "geometric mean {gm:.2} TOPS/W should cluster around 1"
+    );
+    // And the power range spans milliwatts to > 400 W as the text says.
+    let min = db.entries().iter().map(|e| e.tdp_w).fold(f64::INFINITY, f64::min);
+    let max = db.entries().iter().map(|e| e.tdp_w).fold(0.0, f64::max);
+    assert!(min < 0.01 && max >= 400.0);
+}
+
+/// Fig. 4 shape: YoloV4 across the ten platforms at B1/B4/B8 — the GPU
+/// leads, batch helps GPUs far more than CPUs, low-power parts sit at
+/// the bottom in GOPS but not in efficiency.
+#[test]
+fn fig4_yolov4_shape() {
+    let db = catalog();
+    let yolo = zoo::yolov4(416, 80).unwrap();
+    let batches = [1usize, 4, 8];
+
+    let run = |name: &str, b: usize| {
+        PerfModel::new(db.find(name).unwrap().clone())
+            .run(&yolo.with_batch(b).unwrap())
+            .unwrap()
+    };
+
+    // GPU beats both CPUs at every batch size.
+    for &b in &batches {
+        let gpu = run("GTX 1660", b);
+        for cpu in ["EPYC 3451", "Pentium D1577"] {
+            let c = run(cpu, b);
+            assert!(
+                gpu.achieved_gops > c.achieved_gops,
+                "B{b}: GTX {} vs {cpu} {}",
+                gpu.achieved_gops,
+                c.achieved_gops
+            );
+        }
+    }
+
+    // Batch scaling: strong on GPU, weak on CPU, weak on FPGA.
+    let gain = |name: &str| run(name, 8).achieved_gops / run(name, 1).achieved_gops;
+    assert!(gain("GTX 1660") > 1.8);
+    assert!(gain("EPYC 3451") < 1.3);
+    assert!(gain("Zynq ZU15") < 1.3);
+
+    // Power modes: AGX 30W outperforms AGX 10W but draws more.
+    let hi = run("Xavier AGX (30W)", 4);
+    let lo = run("Xavier AGX (10W)", 4);
+    assert!(hi.achieved_gops > lo.achieved_gops);
+    assert!(hi.avg_power_w > lo.avg_power_w);
+
+    // The Myriad achieves the best efficiency of the Fig. 4 set at B1.
+    let myriad = run("Myriad X", 1);
+    for name in ["EPYC 3451", "Pentium D1577", "GTX 1660"] {
+        assert!(myriad.gops_per_watt() > run(name, 1).gops_per_watt());
+    }
+}
+
+/// §III: "models have been compressed down to 49x of their original
+/// size, with negligible accuracy loss" (Deep Compression). Our
+/// FC-dominated model reaches an order-of-magnitude+ ratio with < 8 pp
+/// accuracy loss; the exact factor is recorded in EXPERIMENTS.md.
+#[test]
+fn deep_compression_ratio_and_accuracy() {
+    use vedliot::nnir::train::evaluate;
+    use vedliot::toolchain::passes::{Pass, PruneConnections};
+
+    let data = gaussian_prototypes(Shape::nf(1, 96), 5, 60, 3.0, 41);
+    let mut model = mlp("compress-target", 96, &[64, 32], 5).unwrap();
+    let base_acc = train_mlp(&mut model, &data, &TrainConfig::default()).unwrap();
+
+    // Deep Compression's actual pipeline: prune, then *retrain the
+    // surviving connections* (masked), then cluster + Huffman.
+    let (mut pruned, _) = PruneConnections::new(0.92).run(model).unwrap();
+    train_mlp(
+        &mut pruned,
+        &data,
+        &TrainConfig {
+            epochs: 15,
+            freeze_zeros: true,
+            ..TrainConfig::default()
+        },
+    )
+    .unwrap();
+
+    let (compressed, report) = deep_compress(
+        &pruned,
+        &CompressionConfig {
+            sparsity: 0.92,
+            cluster_bits: 5,
+            ..CompressionConfig::default()
+        },
+    )
+    .unwrap();
+    let ratio = report.ratio();
+    let acc = evaluate(&compressed, &data).unwrap().accuracy();
+    assert!(ratio > 10.0, "compression ratio {ratio:.1}x");
+    assert!(
+        acc > base_acc - 0.08,
+        "accuracy {acc:.3} vs base {base_acc:.3} after {ratio:.1}x compression"
+    );
+}
+
+/// §IV-C (Twine): "SQLite can be fully executed inside an SGX enclave
+/// via WebAssembly … with small performance overheads".
+#[test]
+fn twine_small_enclave_overhead() {
+    use vedliot::trust::enclave::EnclaveConfig;
+    use vedliot::trust::kvdb::{run_workload, WorkloadConfig};
+
+    let cmp = run_workload(
+        &WorkloadConfig {
+            inserts: 1_000,
+            gets: 100,
+            scans: 3,
+        },
+        EnclaveConfig::default(),
+    )
+    .unwrap();
+    // All three configurations compute the same result.
+    assert_eq!(cmp.native.checksum, cmp.wasm.checksum);
+    assert_eq!(cmp.native.checksum, cmp.wasm_enclave.checksum);
+    // The enclave adds little on top of the runtime itself.
+    assert!(
+        cmp.enclave_overhead() < 3.0,
+        "enclave overhead {:.2}x should be small",
+        cmp.enclave_overhead()
+    );
+}
+
+/// §II-B: the CFU accelerates the quantized ML kernel on the simulated
+/// core (the Renode + CFU workflow).
+#[test]
+fn cfu_speeds_up_int8_kernel() {
+    use vedliot::socsim::asm::assemble;
+    use vedliot::socsim::machine::Machine;
+    use vedliot::socsim::MacCfu;
+
+    let scalar = assemble(
+        r#"
+        li s0, 0x1000
+        li s2, 64
+        li a0, 0
+        li t0, 0
+    loop:
+        lb t1, 0(s0)
+        lb t2, 256(s0)
+        mul t3, t1, t2
+        add a0, a0, t3
+        addi s0, s0, 1
+        addi t0, t0, 1
+        blt t0, s2, loop
+        ebreak
+    "#,
+    )
+    .unwrap();
+    let cfu = assemble(
+        r#"
+        li s0, 0x1000
+        li s2, 16
+        cfu1 x0, x0, x0
+        li t0, 0
+    loop:
+        lw t1, 0(s0)
+        lw t2, 256(s0)
+        cfu0 a0, t1, t2
+        addi s0, s0, 4
+        addi t0, t0, 1
+        blt t0, s2, loop
+        ebreak
+    "#,
+    )
+    .unwrap();
+
+    let data: Vec<u8> = (0..512).map(|i| (i % 7) as u8).collect();
+    let mut m1 = Machine::new(64 * 1024);
+    m1.bus_mut().write_bytes(0x1000, &data).unwrap();
+    m1.load_firmware(&scalar, 0).unwrap();
+    let scalar_cycles = m1.run(1_000_000).unwrap();
+
+    let mut m2 = Machine::new(64 * 1024).with_cfu(MacCfu::new());
+    m2.bus_mut().write_bytes(0x1000, &data).unwrap();
+    m2.load_firmware(&cfu, 0).unwrap();
+    let cfu_cycles = m2.run(1_000_000).unwrap();
+
+    assert_eq!(m1.cpu().reg(10), m2.cpu().reg(10), "same dot product");
+    let speedup = scalar_cycles as f64 / cfu_cycles as f64;
+    assert!(speedup > 3.0, "CFU speedup {speedup:.1}x");
+}
+
+/// §IV-A: the framework's dependency rule eliminates ~70% of potential
+/// view-pair couplings on the full 13×4 grid.
+#[test]
+fn framework_complexity_reduction() {
+    let r = vedliot::reqeng::complexity_reduction(13, 4);
+    assert!((0.65..0.75).contains(&r), "reduction {r:.2}");
+}

@@ -1,0 +1,123 @@
+//! Cross-crate integration: the §IV-B safety mechanisms guarding the §V
+//! industrial use cases — input monitors screening the motor-box sensor
+//! stream, the hybridization kernel supervising the arc detector, and
+//! redundant-channel voting.
+
+use vedliot::safety::hybrid::{majority_vote, Decision, SafetyKernel};
+use vedliot::safety::inject::{inject_sensor_fault, SensorFault};
+use vedliot::safety::monitors::{
+    DriftMonitor, RangeMonitor, SampleMonitor, StuckAtMonitor, ZScoreMonitor,
+};
+use vedliot::usecases::arc::{synthesize_current, ArcDetector};
+use vedliot::usecases::motor::{synthesize_window, MotorCondition};
+
+/// The motor box's input monitors catch a stuck vibration sensor before
+/// the classifier ever sees the window (the §IV-B "characterizing the
+/// quality of the input data" direction).
+#[test]
+fn stuck_vibration_sensor_is_screened_out() {
+    let (vibration, _) = synthesize_window(MotorCondition::Healthy, 5);
+    let mut monitor = StuckAtMonitor::new(8);
+    // Healthy window passes.
+    assert!(vibration.iter().all(|&x| monitor.observe(x).is_ok()));
+    monitor.reset();
+    // The same window with a stuck-at fault from sample 100 is flagged.
+    let faulty = inject_sensor_fault(&vibration, SensorFault::StuckAt { start: 100 }, 0);
+    let flagged = faulty.iter().filter(|&&x| !monitor.observe(x).is_ok()).count();
+    assert!(flagged > 50, "stuck tail must be flagged ({flagged} samples)");
+}
+
+/// Slow temperature-sensor drift — invisible to range checks — is caught
+/// by the drift monitor.
+#[test]
+fn temperature_drift_evades_range_but_not_drift_monitor() {
+    let (_, temperature) = synthesize_window(MotorCondition::Healthy, 7);
+    let drifted = inject_sensor_fault(
+        &temperature,
+        SensorFault::Drift {
+            start: 0,
+            slope: 0.05,
+        },
+        0,
+    );
+    let mut range = RangeMonitor::new(-40.0, 125.0);
+    let mut drift = DriftMonitor::new(32, 0.5);
+    let range_flags = drifted.iter().filter(|&&x| !range.observe(x).is_ok()).count();
+    let drift_flags = drifted.iter().filter(|&&x| !drift.observe(x).is_ok()).count();
+    assert_eq!(range_flags, 0, "drift stays inside the physical range");
+    assert!(drift_flags > 0, "the drift monitor must flag the ramp");
+}
+
+/// The arc detector runs under a safety kernel: a mis-sized trip command
+/// (payload bug) is overridden by the safe action (open the breaker).
+#[test]
+fn arc_detector_under_hybridization_kernel() {
+    // Action: Some(feeder index to open) — the kernel's invariant caps
+    // the feeder index at the cabinet's 8 feeders; safe action opens the
+    // main breaker (feeder 0).
+    let mut kernel = SafetyKernel::new(Some(0usize), 2_000, |_obs: &usize, action| {
+        match action {
+            Some(feeder) if *feeder >= 8 => Err(format!("feeder {feeder} does not exist")),
+            _ => Ok(()),
+        }
+    });
+
+    // Healthy decision: arc on feeder 3, detector proposes opening it.
+    let waveform = synthesize_current(8_192, Some(4_000), 3, 3);
+    let detector = ArcDetector::new(32, 0.4);
+    let decision = kernel.cycle(&waveform.feeder, |&feeder| {
+        let d = detector.detect(&waveform);
+        if d.tripped {
+            Ok((Some(feeder), 200))
+        } else {
+            Ok((None, 200))
+        }
+    });
+    assert_eq!(decision, Decision::Accepted(Some(3)));
+
+    // Buggy payload proposes a nonexistent feeder: the kernel opens the
+    // main breaker instead of doing nothing.
+    let decision = kernel.cycle(&3, |_| Ok((Some(42), 200)));
+    assert!(decision.overridden());
+    assert_eq!(*decision.action(), Some(0));
+    assert_eq!(kernel.stats().invariant_overrides, 1);
+}
+
+/// Redundant arc detectors vote: one corrupted channel (noise-injected
+/// waveform) cannot override the two healthy ones.
+#[test]
+fn redundant_arc_channels_vote_out_a_faulty_sensor() {
+    let clean = synthesize_current(8_192, None, 0, 21);
+    let detector = ArcDetector::new(32, 0.4);
+    // Channels 1 & 2 see the clean current; channel 3's sensor is noisy
+    // enough to false-trip.
+    let noisy_samples = inject_sensor_fault(&clean.samples, SensorFault::Noise { sigma: 0.8 }, 9);
+    let noisy = vedliot::usecases::arc::ArcWaveform {
+        samples: noisy_samples,
+        arc_start: None,
+        feeder: 0,
+    };
+    let votes: Vec<usize> = [&clean, &clean, &noisy]
+        .iter()
+        .map(|w| usize::from(detector.detect(w).tripped))
+        .collect();
+    assert_eq!(votes[2], 1, "the noisy channel false-trips on its own");
+    assert_eq!(majority_vote(&votes), Some(0), "2-of-3 voting suppresses it");
+}
+
+/// The z-score monitor is calibrated so the bearing-fault signature —
+/// which IS legitimate signal — does not get screened away as an input
+/// fault (no false positive on the fault we want to classify).
+#[test]
+fn bearing_fault_signal_is_not_mistaken_for_sensor_fault() {
+    let (vibration, _) = synthesize_window(MotorCondition::BearingFault, 11);
+    let mut monitor = ZScoreMonitor::new(32, 8.0);
+    let flagged = vibration
+        .iter()
+        .filter(|&&x| !monitor.observe(x).is_ok())
+        .count();
+    assert!(
+        flagged < vibration.len() / 20,
+        "bearing impulses must pass the input screen ({flagged} flagged)"
+    );
+}

@@ -1,0 +1,158 @@
+//! Cross-crate integration: the end-to-end trust chain — secure boot,
+//! attestation gating the PAEB offload, the robustness monitor running
+//! inside an enclave, and PMP-confined payloads on the simulated SoC.
+
+use vedliot::nnir::exec::Executor;
+use vedliot::nnir::{zoo, Shape, Tensor};
+use vedliot::recs::net::NetworkCondition;
+use vedliot::safety::inject::flip_weight_bits;
+use vedliot::safety::robustness::{OutputVerdict, RobustnessService};
+use vedliot::socsim::asm::assemble;
+use vedliot::socsim::machine::Machine;
+use vedliot::trust::attestation::{BootOutcome, RootOfTrust, SecureBootChain, Verifier};
+use vedliot::trust::enclave::{Enclave, EnclaveConfig};
+use vedliot::trust::hash::sha256;
+use vedliot::usecases::paeb::{Decision, OffloadController, PaebConfig};
+
+fn fast_paeb_config() -> PaebConfig {
+    PaebConfig {
+        car_latency_ms: 80.0,
+        car_energy_j: 1.2,
+        edge_latency_ms: 15.0,
+        edge_energy_j: 2.5,
+        frame_bytes: 300_000,
+        tx_energy_j_per_byte: 60e-9,
+        result_ms: 5.0,
+    }
+}
+
+/// A compromised edge station never receives raw sensor data: the boot
+/// measurement mismatch fails attestation and every frame stays local.
+#[test]
+fn compromised_edge_station_never_receives_frames() {
+    // Released firmware vs what the attacker flashed.
+    let mut chain = SecureBootChain::new();
+    chain.add_stage("runtime", b"edge-stack-v4");
+    let compromised = chain.boot(&[b"edge-stack-v4-with-rootkit".as_slice()]);
+    assert!(matches!(compromised, BootOutcome::Halted { .. }));
+
+    // Even if the attacker bypasses the halt and attests with the wrong
+    // measurement, the verifier rejects it.
+    let rot = RootOfTrust::provision(b"edge-9");
+    let mut verifier = Verifier::new();
+    verifier.enroll(&rot);
+    verifier.expect_measurement(sha256(b"edge-stack-v4"));
+    let mut controller = OffloadController::new(fast_paeb_config());
+    let attested = controller.attest_edge(&mut verifier, &rot, sha256(b"rootkit-stack"));
+    assert!(!attested);
+    let (decision, _) = controller.decide(&NetworkCondition::good(), 50.0);
+    assert_eq!(decision, Decision::Local);
+}
+
+/// The §IV-B robustness service hosted inside an SGX-style enclave: the
+/// golden model copy is isolated from the fault that corrupted the
+/// deployed model, and the check still detects the divergence.
+#[test]
+fn enclave_hosted_robustness_service_detects_corruption() {
+    let golden = zoo::lenet5(10).unwrap();
+    let input = Tensor::random(Shape::nchw(1, 1, 28, 28), 31, 1.0);
+
+    // The deployed model suffers bit flips in the field.
+    let mut deployed = golden.clone();
+    flip_weight_bits(&mut deployed, 40, 13).unwrap();
+    let claimed = Executor::new(&deployed)
+        .run(std::slice::from_ref(&input))
+        .unwrap()
+        .remove(0);
+
+    // The monitor lives inside an enclave; the whole verification runs
+    // under an ecall, charged with transition costs.
+    let mut enclave = Enclave::create(b"robustness-monitor-v1", EnclaveConfig::default());
+    let mut service = RobustnessService::new(golden, 1, 1e-4);
+    let verdict = enclave.ecall(4 * 1024, || service.submit(&input, &claimed))
+        .unwrap();
+    assert!(matches!(verdict, OutputVerdict::Diverged { .. }));
+    assert_eq!(enclave.stats().ecalls, 1);
+
+    // Sealed model identity survives a restart: seal + unseal round trip.
+    let sealed = enclave.seal(b"golden-model-digest");
+    assert_eq!(enclave.unseal(&sealed).as_deref(), Some(b"golden-model-digest".as_slice()));
+}
+
+/// PMP isolation on the simulated SoC composes with a CFU-accelerated
+/// payload: the user-mode ML kernel runs, but cannot escape its region.
+#[test]
+fn pmp_confined_cfu_payload() {
+    use vedliot::socsim::MacCfu;
+
+    let firmware = assemble(
+        r#"
+        la   t0, handler
+        csrrw x0, mtvec, t0
+        li   t0, 0x0FFF          # 0..0x7FFF R+X (code)
+        csrrw x0, pmpaddr0, t0
+        li   t0, 0x21FF          # 0x8000..0x8FFF R+W (data)
+        csrrw x0, pmpaddr1, t0
+        li   t0, 0x1B1D
+        csrrw x0, pmpcfg0, t0
+        csrrw x0, mstatus, x0
+        la   t0, user
+        csrrw x0, mepc, t0
+        mret
+    user:
+        # CFU MAC on packed int8 lanes, data in the granted region.
+        li   t1, 0x8000
+        li   t2, 0x02020202
+        sw   t2, 0(t1)
+        lw   a1, 0(t1)
+        li   a2, 0x03030303
+        cfu1 x0, x0, x0
+        cfu0 a0, a1, a2          # acc = 4 * 2*3 = 24
+        # Now violate the PMP: write outside the data region.
+        li   t1, 0xA000
+        sw   a0, 0(t1)
+        ebreak                   # never reached
+    handler:
+        csrrs a3, mcause, x0
+        ebreak
+    "#,
+    )
+    .unwrap();
+
+    let mut machine = Machine::new(64 * 1024).with_cfu(MacCfu::new());
+    machine.load_firmware(&firmware, 0).unwrap();
+    machine.run(10_000).unwrap();
+    assert_eq!(machine.cpu().reg(10), 24, "CFU result computed in U-mode");
+    assert_eq!(machine.cpu().reg(13), 7, "store access fault trapped");
+    assert!(machine.cpu().pmp_checks > 0);
+}
+
+/// Quote freshness: a replayed attestation is rejected even when
+/// everything else matches (distributed attestation hygiene).
+#[test]
+fn attestation_replay_is_rejected_at_scale() {
+    use vedliot::trust::attestation::attest;
+
+    let measurement = sha256(b"fleet-firmware-v9");
+    let mut verifier = Verifier::new();
+    let mut devices = Vec::new();
+    for i in 0..5 {
+        let rot = RootOfTrust::provision(format!("device-{i}").as_bytes());
+        verifier.enroll(&rot);
+        devices.push(rot);
+    }
+    verifier.expect_measurement(measurement);
+
+    // Every device attests once.
+    let mut reports = Vec::new();
+    for rot in &devices {
+        let nonce = verifier.challenge();
+        let report = attest(rot, measurement, nonce);
+        assert!(verifier.verify(&report));
+        reports.push(report);
+    }
+    // Replays all fail.
+    for report in &reports {
+        assert!(!verifier.verify(report));
+    }
+}

@@ -1,0 +1,130 @@
+//! Cross-crate integration: the optimization toolchain feeding the
+//! accelerator models (the §III pipeline end to end).
+
+use vedliot::accel::catalog::catalog;
+use vedliot::nnir::dataset::gaussian_prototypes;
+use vedliot::nnir::train::{mlp, train_mlp, TrainConfig};
+use vedliot::nnir::{zoo, Shape};
+use vedliot::toolchain::passes::{ConvertFp16, FuseConvBn, PassManager, PruneNeurons, QuantizeInt8};
+use vedliot::toolchain::{benchmark_deployment, deep_compress, CompressionConfig};
+
+/// Train → compress → deploy on an MCU-class target, quality measured
+/// throughout (the full Kenning flow).
+#[test]
+fn train_compress_deploy_keeps_quality() {
+    let data = gaussian_prototypes(Shape::nf(1, 48), 4, 50, 3.0, 17);
+    let mut model = mlp("sensor-classifier", 48, &[32, 16], 4).unwrap();
+    let float_acc = train_mlp(&mut model, &data, &TrainConfig::default()).unwrap();
+    assert!(float_acc > 0.9);
+
+    // Deep Compression; this model is small, so codebooks and raw bias
+    // storage amortize poorly — the headline ratios live in
+    // `paper_claims.rs` on a larger model with masked retraining.
+    let (compressed, report) = deep_compress(&model, &CompressionConfig::default()).unwrap();
+    assert!(report.ratio() > 5.0, "ratio {:.1}", report.ratio());
+
+    // Deploy the compressed model on the Ethos-class MCU target with
+    // INT8 quantization; verify quality end to end.
+    let db = catalog();
+    let target = db.find("Ethos-U55").unwrap();
+    let mut pipeline = PassManager::new();
+    pipeline.push(QuantizeInt8::new());
+    let deployment = benchmark_deployment(compressed, &pipeline, target, Some(&data)).unwrap();
+    let q = deployment.quality.expect("quality measured");
+    assert!(
+        q.accuracy > float_acc - 0.1,
+        "deployed accuracy {} vs float {float_acc}",
+        q.accuracy
+    );
+    assert!(deployment.latency_ms > 0.0);
+    assert!(deployment.avg_power_w <= target.tdp_w);
+}
+
+/// Structured pruning halves the hidden layer and the deployed weight
+/// memory actually shrinks (structure, unlike sparsity, is visible to
+/// dense hardware).
+#[test]
+fn neuron_pruning_shrinks_deployment_memory() {
+    let data = gaussian_prototypes(Shape::nf(1, 32), 3, 40, 3.0, 23);
+    let mut model = mlp("m", 32, &[64], 3).unwrap();
+    train_mlp(&mut model, &data, &TrainConfig::default()).unwrap();
+
+    let db = catalog();
+    let target = db.find("Myriad").unwrap();
+    let empty = PassManager::new();
+    let baseline = benchmark_deployment(model.clone(), &empty, target, None).unwrap();
+
+    let mut pipeline = PassManager::new();
+    pipeline.push(PruneNeurons::new(0.5));
+    let pruned = benchmark_deployment(model, &pipeline, target, Some(&data)).unwrap();
+    assert!(
+        pruned.weight_bytes < baseline.weight_bytes * 3 / 4,
+        "structured pruning must shrink memory: {} vs {}",
+        pruned.weight_bytes,
+        baseline.weight_bytes
+    );
+    assert!(pruned.quality.unwrap().accuracy > 0.8);
+}
+
+/// The §III warning quantified: MobileNetV3 has ~18x fewer MACs than
+/// ResNet-50, but on a bandwidth-limited target the modelled speedup is
+/// far smaller — "theoretical speed-ups do not always translate".
+#[test]
+fn theoretical_speedup_does_not_translate() {
+    use vedliot::accel::perf::PerfModel;
+    use vedliot::nnir::cost::CostReport;
+
+    let resnet = zoo::resnet50(1000).unwrap();
+    let mobilenet = zoo::mobilenet_v3_large(1000).unwrap();
+    let flop_ratio = CostReport::of(&resnet).unwrap().total_macs as f64
+        / CostReport::of(&mobilenet).unwrap().total_macs as f64;
+    assert!(flop_ratio > 10.0, "MAC ratio {flop_ratio}");
+
+    let db = catalog();
+    let gpu = PerfModel::new(db.find("GTX 1660").unwrap().clone());
+    let resnet_ms = gpu.run(&resnet).unwrap().latency_ms;
+    let mobilenet_ms = gpu.run(&mobilenet).unwrap().latency_ms;
+    let actual_ratio = resnet_ms / mobilenet_ms;
+    assert!(
+        actual_ratio < flop_ratio / 2.0,
+        "modelled speedup {actual_ratio:.1}x should fall far short of the {flop_ratio:.1}x MAC ratio"
+    );
+}
+
+/// Pass ordering ablation: fusing before quantization preserves outputs
+/// and both orders produce valid graphs of identical topology.
+#[test]
+fn pass_ordering_ablation() {
+    let model = zoo::tiny_cnn("cam", Shape::nchw(1, 3, 32, 32), &[8, 16], 4).unwrap();
+
+    let mut fuse_first = PassManager::new();
+    fuse_first.push(FuseConvBn::new());
+    fuse_first.push(QuantizeInt8::new());
+    let (a, _) = fuse_first.run(model.clone()).unwrap();
+
+    let mut quant_first = PassManager::new();
+    quant_first.push(QuantizeInt8::new());
+    quant_first.push(FuseConvBn::new());
+    let (b, _) = quant_first.run(model).unwrap();
+
+    a.validate().unwrap();
+    b.validate().unwrap();
+    // Same structure either way (BN gone), weights differ slightly:
+    // quantize-then-fuse denormalizes the INT8 grid — the reason real
+    // toolchains fuse first.
+    assert_eq!(a.nodes().len(), b.nodes().len());
+}
+
+/// FP16 conversion composes with the rest of the pipeline.
+#[test]
+fn fp16_pipeline_on_fp16_target() {
+    let model = zoo::tiny_cnn("cam", Shape::nchw(1, 3, 32, 32), &[8, 16], 4).unwrap();
+    let db = catalog();
+    let target = db.find("Jetson TX2").unwrap(); // FP16-best platform
+    let mut pipeline = PassManager::new();
+    pipeline.push(FuseConvBn::new());
+    pipeline.push(ConvertFp16::new());
+    let report = benchmark_deployment(model, &pipeline, target, None).unwrap();
+    assert_eq!(report.precision.to_string(), "FP16");
+    assert_eq!(report.pass_log.len(), 2);
+}
