@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Repo CI gate: tier-1 verification plus lint/format checks.
+#
+#   ./ci.sh            # everything (what the driver runs)
+#   ./ci.sh --fast     # skip the release build (lints + tests only)
+#
+# Tier-1 (ROADMAP.md): cargo build --release && cargo test -q
+set -euo pipefail
+cd "$(dirname "$0")"
+
+fast=0
+[[ "${1:-}" == "--fast" ]] && fast=1
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+if [[ $fast -eq 0 ]]; then
+  echo "==> cargo build --release"
+  cargo build --release
+fi
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "CI green."

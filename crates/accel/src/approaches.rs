@@ -224,8 +224,7 @@ impl StaticAccelerator {
     /// Power draw at full activity, in watts.
     #[must_use]
     pub fn power_w(&self) -> f64 {
-        let dsps_used =
-            (self.pe_rows * self.pe_cols) as f64 / macs_per_dsp(self.precision);
+        let dsps_used = (self.pe_rows * self.pe_cols) as f64 / macs_per_dsp(self.precision);
         self.fabric.static_power_w
             + dsps_used * self.fabric.dsp_mw / 1000.0 * (self.clock_mhz / self.fabric.max_clock_mhz)
     }
@@ -549,10 +548,17 @@ mod tests {
         let c = catalog();
         let model = zoo::mobilenet_v3_large(100).unwrap();
         let frontier = pareto_frontier(&c, &model).unwrap();
-        assert!(frontier.len() >= 2, "frontier has {} points", frontier.len());
+        assert!(
+            frontier.len() >= 2,
+            "frontier has {} points",
+            frontier.len()
+        );
         for pair in frontier.windows(2) {
             assert!(pair[0].latency_ms <= pair[1].latency_ms);
-            assert!(pair[0].energy_j > pair[1].energy_j, "energy must strictly improve");
+            assert!(
+                pair[0].energy_j > pair[1].energy_j,
+                "energy must strictly improve"
+            );
         }
         // Every catalog entry is dominated by (or on) the frontier.
         for spec in c.entries() {
@@ -662,7 +668,10 @@ mod tests {
         assert!(result.steps.len() >= 2);
         let first = result.steps.first().unwrap().efficiency;
         let last = result.steps.last().unwrap().efficiency;
-        assert!(last >= first, "co-design must not regress: {first} -> {last}");
+        assert!(
+            last >= first,
+            "co-design must not regress: {first} -> {last}"
+        );
         assert!(last > 0.95, "final efficiency {last} should approach 1.0");
         assert!(result.improvement() >= 1.0);
     }

@@ -257,17 +257,19 @@ impl PerfModel {
             Some(d) => d,
             None => self.spec.best_precision(),
         };
-        let peak_gops = self.spec.peak_gops_at(precision).ok_or_else(|| {
-            AccelError::PrecisionUnsupported {
-                platform: self.spec.name.clone(),
-                dtype: precision,
-            }
-        })?;
+        let peak_gops =
+            self.spec
+                .peak_gops_at(precision)
+                .ok_or_else(|| AccelError::PrecisionUnsupported {
+                    platform: self.spec.name.clone(),
+                    dtype: precision,
+                })?;
         let cost = CostReport::of(graph)?;
         let batch = cost.batch.max(1);
 
         let p = util_params(self.spec.class);
-        let batch_util = p.base + (p.max - p.base) * ((batch as f64 - 1.0) / (batch as f64 - 1.0 + p.half_sat));
+        let batch_util =
+            p.base + (p.max - p.base) * ((batch as f64 - 1.0) / (batch as f64 - 1.0 + p.half_sat));
         let peak_ops_per_s = peak_gops * 1e9;
         let bytes_per_elem = precision.bytes() as f64;
         let bw_bytes_per_s = self.spec.mem_bw_gbps * 1e9;
@@ -313,7 +315,11 @@ impl PerfModel {
         }
 
         let total_ops = cost.total_ops() as f64;
-        let achieved_ops_per_s = if total_s > 0.0 { total_ops / total_s } else { 0.0 };
+        let achieved_ops_per_s = if total_s > 0.0 {
+            total_ops / total_s
+        } else {
+            0.0
+        };
         let utilization = (achieved_ops_per_s / peak_ops_per_s).min(1.0);
 
         // Power: idle + dynamic. Memory-bound phases still draw a floor of
@@ -365,12 +371,13 @@ impl PerfModel {
             Some(d) => d,
             None => self.spec.best_precision(),
         };
-        let peak_gops = self.spec.peak_gops_at(precision).ok_or_else(|| {
-            AccelError::PrecisionUnsupported {
-                platform: self.spec.name.clone(),
-                dtype: precision,
-            }
-        })?;
+        let peak_gops =
+            self.spec
+                .peak_gops_at(precision)
+                .ok_or_else(|| AccelError::PrecisionUnsupported {
+                    platform: self.spec.name.clone(),
+                    dtype: precision,
+                })?;
         let cost = CostReport::of(graph)?;
         let total_ops = cost.total_ops() as f64;
         let total_s = total_ops / (peak_gops * 1e9);
@@ -396,7 +403,11 @@ impl PerfModel {
     /// # Errors
     ///
     /// Propagates the first error from [`run`](Self::run) or rebatching.
-    pub fn batch_sweep(&self, graph: &Graph, batches: &[usize]) -> Result<Vec<RunResult>, AccelError> {
+    pub fn batch_sweep(
+        &self,
+        graph: &Graph,
+        batches: &[usize],
+    ) -> Result<Vec<RunResult>, AccelError> {
         batches
             .iter()
             .map(|&b| {
@@ -553,7 +564,9 @@ mod tests {
     fn energy_per_inference_is_consistent() {
         let c = catalog();
         let m = zoo::mobilenet_v3_large(1000).unwrap();
-        let r = PerfModel::new(c.find("Myriad").unwrap().clone()).run(&m).unwrap();
+        let r = PerfModel::new(c.find("Myriad").unwrap().clone())
+            .run(&m)
+            .unwrap();
         let expected = r.avg_power_w * (r.latency_ms / 1e3) / r.batch as f64;
         assert!((r.energy_per_inference_j - expected).abs() / expected < 1e-6);
     }

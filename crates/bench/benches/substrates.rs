@@ -9,7 +9,7 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 use vedliot::accel::catalog::catalog;
 use vedliot::accel::perf::PerfModel;
-use vedliot::nnir::exec::Executor;
+use vedliot::nnir::exec::{Executor, Parallelism, Runner};
 use vedliot::nnir::{zoo, Shape, Tensor};
 use vedliot::safety::monitors::{SampleMonitor, ZScoreMonitor};
 use vedliot::socsim::asm::assemble;
@@ -31,11 +31,15 @@ fn bench_perf_model(c: &mut Criterion) {
     let mobilenet = zoo::mobilenet_v3_large(1000).expect("builds");
     c.bench_function("perf_model/mobilenetv3_batch_sweep", |b| {
         let pm = PerfModel::new(gpu.clone());
-        b.iter(|| pm.batch_sweep(black_box(&mobilenet), &[1, 4, 8]).expect("runs"));
+        b.iter(|| {
+            pm.batch_sweep(black_box(&mobilenet), &[1, 4, 8])
+                .expect("runs")
+        });
     });
 }
 
-/// Building the zoo graphs (graph-construction throughput).
+/// Building the zoo graphs (graph-construction throughput) plus one
+/// end-to-end zoo execution (tiny CNN, serial vs parallel engine).
 fn bench_zoo(c: &mut Criterion) {
     c.bench_function("zoo/build_resnet50", |b| {
         b.iter(|| zoo::resnet50(black_box(1000)).expect("builds"));
@@ -43,16 +47,54 @@ fn bench_zoo(c: &mut Criterion) {
     c.bench_function("zoo/build_yolov4", |b| {
         b.iter(|| zoo::yolov4(black_box(416), 80).expect("builds"));
     });
+    let cnn = zoo::tiny_cnn("bench", Shape::nchw(4, 3, 32, 32), &[16, 32], 10).expect("builds");
+    let input = Tensor::random(Shape::nchw(4, 3, 32, 32), 5, 1.0);
+    for (label, par) in [
+        ("zoo/tiny_cnn_exec_serial", Parallelism::Serial),
+        ("zoo/tiny_cnn_exec_parallel", Parallelism::Auto),
+    ] {
+        c.bench_function(label, |b| {
+            let mut runner = Runner::with_parallelism(&cnn, par);
+            b.iter(|| {
+                runner
+                    .run(black_box(std::slice::from_ref(&input)))
+                    .expect("runs")
+            });
+        });
+    }
 }
 
-/// The reference executor on LeNet (the compression/safety workhorse).
+/// The execution engine on LeNet (the compression/safety workhorse):
+/// stateless executor baseline, then the arena-backed runner serial vs
+/// parallel across batch sizes — the numbers behind EXPERIMENTS.md's
+/// engine table.
 fn bench_executor(c: &mut Criterion) {
     let model = zoo::lenet5(10).expect("builds");
     let input = Tensor::random(Shape::nchw(1, 1, 28, 28), 3, 1.0);
     c.bench_function("executor/lenet5_inference", |b| {
         let exec = Executor::new(&model);
-        b.iter(|| exec.run(black_box(std::slice::from_ref(&input))).expect("runs"));
+        b.iter(|| {
+            exec.run(black_box(std::slice::from_ref(&input)))
+                .expect("runs")
+        });
     });
+    for batch in [1usize, 4, 8] {
+        let g = model.with_batch(batch).expect("rebatch");
+        let input = Tensor::random(Shape::nchw(batch, 1, 28, 28), 3, 1.0);
+        for (mode, par) in [
+            ("serial", Parallelism::Serial),
+            ("parallel", Parallelism::Auto),
+        ] {
+            c.bench_function(&format!("executor/lenet5_b{batch}_{mode}"), |b| {
+                let mut runner = Runner::with_parallelism(&g, par);
+                b.iter(|| {
+                    runner
+                        .run(black_box(std::slice::from_ref(&input)))
+                        .expect("runs")
+                });
+            });
+        }
+    }
 }
 
 /// The RV32IM ISS: instructions per second on the scalar dot kernel.
@@ -108,7 +150,9 @@ fn bench_wasmlite(c: &mut Criterion) {
 
 /// Huffman coding round trip on a Deep-Compression-shaped stream.
 fn bench_huffman(c: &mut Criterion) {
-    let symbols: Vec<u16> = (0..32_768).map(|i| ((i * 7 + i / 13) % 32) as u16).collect();
+    let symbols: Vec<u16> = (0..32_768)
+        .map(|i| ((i * 7 + i / 13) % 32) as u16)
+        .collect();
     c.bench_function("huffman/encode_32k_symbols", |b| {
         b.iter(|| huffman::encode(black_box(&symbols), 32));
     });

@@ -4,8 +4,8 @@
 //!
 //! Experiments (DESIGN.md §3): `fig2`, `fig3`, `fig4`, `fig4-ext`,
 //! `compression`, `gap`, `twine`, `pmp`, `cfu`, `safety`, `paeb`, `arc`,
-//! `motor`, `mirror`, `reconfig`, `reqeng`, `memory`, `codesign`, or
-//! `all`.
+//! `motor`, `mirror`, `reconfig`, `reqeng`, `memory`, `codesign`,
+//! `executor`, or `all`.
 
 use vedliot_bench::experiments;
 
@@ -31,12 +31,14 @@ fn main() {
         "memory" => vec![experiments::memory_study()],
         "codesign" => vec![experiments::codesign()],
         "ablation" => vec![experiments::ablation_naive()],
+        "executor" => vec![experiments::executor_parallel()],
         "all" => experiments::all(),
         other => {
             eprintln!("unknown experiment '{other}'");
             eprintln!(
                 "choose one of: fig2 fig3 fig4 fig4-ext compression gap twine pmp cfu \
-                 safety paeb arc motor mirror reconfig reqeng memory codesign ablation all"
+                 safety paeb arc motor mirror reconfig reqeng memory codesign ablation \
+                 executor all"
             );
             std::process::exit(2);
         }

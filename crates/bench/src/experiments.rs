@@ -5,7 +5,9 @@
 //! records the paper-vs-measured comparison.
 
 use crate::table::Table;
-use vedliot::accel::approaches::{co_design, FpgaFabric, ReconfigurableAccelerator, StaticAccelerator};
+use vedliot::accel::approaches::{
+    co_design, FpgaFabric, ReconfigurableAccelerator, StaticAccelerator,
+};
 use vedliot::accel::catalog::catalog;
 use vedliot::accel::memory::buffer_sweep;
 use vedliot::accel::perf::PerfModel;
@@ -46,7 +48,13 @@ impl std::fmt::Display for Experiment {
 #[must_use]
 pub fn fig2() -> Experiment {
     let chassis = [Chassis::recs_box(), Chassis::t_recs(), Chassis::urecs()];
-    let mut table = Table::new(&["form factor", "size (mm)", "max power", "architectures", "platform"]);
+    let mut table = Table::new(&[
+        "form factor",
+        "size (mm)",
+        "max power",
+        "architectures",
+        "platform",
+    ]);
     for ff in FormFactor::ALL {
         let (w, d) = ff.dimensions_mm();
         let archs: Vec<String> = ff.architectures().iter().map(ToString::to_string).collect();
@@ -67,9 +75,7 @@ pub fn fig2() -> Experiment {
         id: "E1",
         title: "Fig. 2 — COM form factors supported by VEDLIoT hardware platforms".into(),
         table,
-        notes: vec![
-            "every form factor is hosted by exactly one RECS platform family".into(),
-        ],
+        notes: vec!["every form factor is hosted by exactly one RECS platform family".into()],
     }
 }
 
@@ -77,9 +83,20 @@ pub fn fig2() -> Experiment {
 #[must_use]
 pub fn fig3() -> Experiment {
     let db = catalog();
-    let mut table = Table::new(&["accelerator", "class", "peak GOPS", "power (W)", "TOPS/W", "precision"]);
+    let mut table = Table::new(&[
+        "accelerator",
+        "class",
+        "peak GOPS",
+        "power (W)",
+        "TOPS/W",
+        "precision",
+    ]);
     let mut entries: Vec<_> = db.entries().to_vec();
-    entries.sort_by(|a, b| a.tdp_w.partial_cmp(&b.tdp_w).unwrap_or(std::cmp::Ordering::Equal));
+    entries.sort_by(|a, b| {
+        a.tdp_w
+            .partial_cmp(&b.tdp_w)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     for e in &entries {
         table.push(vec![
             e.name.clone(),
@@ -108,7 +125,16 @@ pub fn fig3() -> Experiment {
 
 fn fig4_for(model: &Graph, id: &'static str, title: String) -> Experiment {
     let db = catalog();
-    let mut table = Table::new(&["platform", "precision", "B1 GOPS", "B4 GOPS", "B8 GOPS", "B1 W", "B4 W", "B8 W"]);
+    let mut table = Table::new(&[
+        "platform",
+        "precision",
+        "B1 GOPS",
+        "B4 GOPS",
+        "B8 GOPS",
+        "B1 W",
+        "B4 W",
+        "B8 W",
+    ]);
     for spec in db.fig4_platforms() {
         let pm = PerfModel::new((*spec).clone());
         let runs = pm
@@ -155,7 +181,11 @@ pub fn fig4_ext() -> Vec<Experiment> {
     let resnet = zoo::resnet50(1000).expect("resnet builds");
     let mobilenet = zoo::mobilenet_v3_large(1000).expect("mobilenet builds");
     vec![
-        fig4_for(&resnet, "E4a", "§II-C — ResNet50 across the Fig. 4 platforms".into()),
+        fig4_for(
+            &resnet,
+            "E4a",
+            "§II-C — ResNet50 across the Fig. 4 platforms".into(),
+        ),
         fig4_for(
             &mobilenet,
             "E4b",
@@ -199,7 +229,9 @@ pub fn compression() -> Experiment {
             },
         )
         .expect("compression runs");
-        let acc = evaluate(&compressed, &data).expect("evaluation runs").accuracy();
+        let acc = evaluate(&compressed, &data)
+            .expect("evaluation runs")
+            .accuracy();
         best_ratio = best_ratio.max(report.ratio());
         table.push(vec![
             format!("{:.0}%", sparsity * 100.0),
@@ -232,7 +264,14 @@ pub fn gap() -> Experiment {
     let efficientnet = zoo::efficientnet_v2_s(1000).expect("builds");
     let eff_macs = CostReport::of(&efficientnet).expect("cost").total_macs;
 
-    let mut table = Table::new(&["platform", "ResNet50 ms", "MobileNetV3 ms", "actual speedup", "MAC ratio", "EffNetV2-S util"]);
+    let mut table = Table::new(&[
+        "platform",
+        "ResNet50 ms",
+        "MobileNetV3 ms",
+        "actual speedup",
+        "MAC ratio",
+        "EffNetV2-S util",
+    ]);
     let mut notes = Vec::new();
     for name in ["GTX 1660", "Xavier NX", "Zynq ZU15", "EPYC 3451"] {
         let pm = PerfModel::new(db.find(name).expect("entry").clone());
@@ -245,7 +284,11 @@ pub fn gap() -> Experiment {
             format!("{:.1}", m.latency_ms),
             format!("{:.1}x", r.latency_ms / m.latency_ms),
             format!("{macs_ratio:.1}x"),
-            format!("{:.0}% vs {:.0}%", e.utilization * 100.0, m.utilization * 100.0),
+            format!(
+                "{:.0}% vs {:.0}%",
+                e.utilization * 100.0,
+                m.utilization * 100.0
+            ),
         ]);
     }
     notes.push(format!(
@@ -271,9 +314,14 @@ pub fn twine() -> Experiment {
     use vedliot::trust::enclave::EnclaveConfig;
     use vedliot::trust::kvdb::{run_workload, WorkloadConfig};
 
-    let cmp = run_workload(&WorkloadConfig::default(), EnclaveConfig::default())
-        .expect("workload runs");
-    let mut table = Table::new(&["configuration", "time (ms)", "VM instructions", "enclave overhead (ms)"]);
+    let cmp =
+        run_workload(&WorkloadConfig::default(), EnclaveConfig::default()).expect("workload runs");
+    let mut table = Table::new(&[
+        "configuration",
+        "time (ms)",
+        "VM instructions",
+        "enclave overhead (ms)",
+    ]);
     table.push(vec![
         "native".into(),
         format!("{:.2}", cmp.native.seconds * 1e3),
@@ -410,7 +458,8 @@ pub fn pmp() -> Experiment {
         title: "§IV-C — RISC-V PMP secure execution on the simulated VexRISC-V-class core".into(),
         table,
         notes: vec![
-            "every U-mode access is PMP-checked; M-mode short-circuits when no entry is active".into(),
+            "every U-mode access is PMP-checked; M-mode short-circuits when no entry is active"
+                .into(),
         ],
     }
 }
@@ -485,7 +534,9 @@ pub fn cfu() -> Experiment {
         id: "E9",
         title: "§II-B — CFU-accelerated int8 MAC kernel in the Renode-style simulation".into(),
         table,
-        notes: vec!["one custom instruction performs 4 MACs; identical results, fewer cycles".into()],
+        notes: vec![
+            "one custom instruction performs 4 MACs; identical results, fewer cycles".into(),
+        ],
     }
 }
 
@@ -542,7 +593,14 @@ pub fn paeb() -> Experiment {
 
     let config = PaebConfig::from_models();
     let trace = NetworkTrace::generate(2_000, 2026);
-    let mut table = Table::new(&["km/h", "offloaded", "deadline misses", "car energy (J)", "local-only (J)", "saved"]);
+    let mut table = Table::new(&[
+        "km/h",
+        "offloaded",
+        "deadline misses",
+        "car energy (J)",
+        "local-only (J)",
+        "saved",
+    ]);
     for speed in [30.0, 50.0, 80.0, 120.0, 180.0] {
         let with = run_drive(&attested_controller(config), &trace, speed);
         let without = run_drive(&OffloadController::new(config), &trace, speed);
@@ -552,7 +610,10 @@ pub fn paeb() -> Experiment {
             with.deadline_misses.to_string(),
             format!("{:.0}", with.car_energy_j),
             format!("{:.0}", without.car_energy_j),
-            format!("{:.0}%", (1.0 - with.car_energy_j / without.car_energy_j) * 100.0),
+            format!(
+                "{:.0}%",
+                (1.0 - with.car_energy_j / without.car_energy_j) * 100.0
+            ),
         ]);
     }
     Experiment {
@@ -586,7 +647,8 @@ pub fn arc() -> Experiment {
         title: "§V-B — arc detection: FN/FP/latency vs trip threshold".into(),
         table,
         notes: vec![
-            "an operating point with zero false negatives and sub-millisecond latency exists".into(),
+            "an operating point with zero false negatives and sub-millisecond latency exists"
+                .into(),
         ],
     }
 }
@@ -660,18 +722,26 @@ pub fn mirror() -> Experiment {
 pub fn reconfig() -> Experiment {
     use vedliot::recs::fabric::{Fabric, LinkKind};
 
-    let model = zoo::tiny_cnn("payload", Shape::nchw(1, 3, 64, 64), &[64, 128, 256], 4)
-        .expect("builds");
+    let model =
+        zoo::tiny_cnn("payload", Shape::nchw(1, 3, 64, 64), &[64, 128, 256], 4).expect("builds");
     let cost = CostReport::of(&model).expect("cost");
     let full = StaticAccelerator::synthesize(FpgaFabric::zu15(), &cost, DataType::I8);
     let modes = vec![full.clone(), full.derated(0.5), full.derated(0.2)];
     let mut region = ReconfigurableAccelerator::new(modes);
 
-    let mut table = Table::new(&["mode", "peak GOPS", "power (W)", "latency (ms)", "switch cost (ms)"]);
+    let mut table = Table::new(&[
+        "mode",
+        "peak GOPS",
+        "power (W)",
+        "latency (ms)",
+        "switch cost (ms)",
+    ]);
     for i in 0..region.mode_count() {
         let event = region.switch_to(i);
         let mode = region.active_mode().clone();
-        let run = PerfModel::new(mode.to_spec("mode")).run(&model).expect("runs");
+        let run = PerfModel::new(mode.to_spec("mode"))
+            .run(&model)
+            .expect("runs");
         table.push(vec![
             format!("mode {i}"),
             format!("{:.0}", mode.peak_gops()),
@@ -813,6 +883,68 @@ pub fn ablation_naive() -> Experiment {
     }
 }
 
+/// E20 — serial vs parallel execution-engine throughput on LeNet-5.
+///
+/// Measures the arena-backed [`Runner`](vedliot::nnir::exec::Runner) in
+/// [`Parallelism::Serial`](vedliot::nnir::exec::Parallelism) against the
+/// threaded policy across batch sizes; the speedup column is the number
+/// EXPERIMENTS.md records for the engine rework.
+#[must_use]
+pub fn executor_parallel() -> Experiment {
+    use std::time::Instant;
+    use vedliot::nnir::exec::{Parallelism, Runner};
+    use vedliot::nnir::Tensor;
+
+    let model = zoo::lenet5(10).expect("builds");
+    let mut table = Table::new(&[
+        "batch",
+        "serial ms/batch",
+        "parallel ms/batch",
+        "speedup",
+        "parallel inf/s",
+    ]);
+    let mut best_speedup = 0.0f64;
+    for &batch in &[1usize, 4, 8] {
+        let g = model.with_batch(batch).expect("rebatch");
+        let input = Tensor::random(Shape::nchw(batch, 1, 28, 28), 3, 1.0);
+        let time_ms = |par: Parallelism| -> f64 {
+            let mut runner = Runner::with_parallelism(&g, par);
+            // Warm the arena and weight cache outside the timed region.
+            runner.run(std::slice::from_ref(&input)).expect("runs");
+            let reps = 10usize;
+            let start = Instant::now();
+            for _ in 0..reps {
+                runner.run(std::slice::from_ref(&input)).expect("runs");
+            }
+            start.elapsed().as_secs_f64() * 1e3 / reps as f64
+        };
+        let serial = time_ms(Parallelism::Serial);
+        let parallel = time_ms(Parallelism::Auto);
+        let speedup = serial / parallel;
+        best_speedup = best_speedup.max(speedup);
+        table.push(vec![
+            batch.to_string(),
+            format!("{serial:.3}"),
+            format!("{parallel:.3}"),
+            format!("{speedup:.2}x"),
+            format!("{:.0}", batch as f64 / (parallel / 1e3)),
+        ]);
+    }
+    Experiment {
+        id: "E20",
+        title: "execution engine — serial vs parallel LeNet-5 throughput".into(),
+        table,
+        notes: vec![
+            format!(
+                "batch x output-channel tiling over {} hardware threads, best speedup {best_speedup:.2}x",
+                Parallelism::Auto.max_threads()
+            ),
+            "serial and parallel paths are bit-identical (asserted by the equivalence proptests)"
+                .into(),
+        ],
+    }
+}
+
 /// Runs every experiment in index order.
 #[must_use]
 pub fn all() -> Vec<Experiment> {
@@ -834,6 +966,7 @@ pub fn all() -> Vec<Experiment> {
         memory_study(),
         codesign(),
         ablation_naive(),
+        executor_parallel(),
     ]);
     out
 }

@@ -89,7 +89,12 @@ impl CostReport {
         let mut live: u64 = graph
             .inputs()
             .iter()
-            .map(|t| graph.tensor_shape(*t).map(|s| s.elem_count() as u64).unwrap_or(0))
+            .map(|t| {
+                graph
+                    .tensor_shape(*t)
+                    .map(|s| s.elem_count() as u64)
+                    .unwrap_or(0)
+            })
             .sum();
         let mut peak = live;
 
@@ -183,7 +188,9 @@ mod tests {
         let c = b
             .apply("conv", Op::Conv2d(Conv2dAttrs::same(4, 3, 1)), &[x])
             .unwrap();
-        let r = b.apply("relu", Op::Activation(ActKind::Relu), &[c]).unwrap();
+        let r = b
+            .apply("relu", Op::Activation(ActKind::Relu), &[c])
+            .unwrap();
         let f = b.apply("flat", Op::Flatten, &[r]).unwrap();
         let y = b
             .apply(

@@ -103,10 +103,7 @@ pub fn gaussian_prototypes(
     // Interleave classes so contiguous splits stay balanced.
     for _ in 0..per_class {
         for (label, proto) in prototypes.iter().enumerate() {
-            let data: Vec<f32> = proto
-                .iter()
-                .map(|&p| p + gaussian(&mut rng))
-                .collect();
+            let data: Vec<f32> = proto.iter().map(|&p| p + gaussian(&mut rng)).collect();
             samples.push(
                 Tensor::from_vec(sample_shape.clone(), data).expect("shape/data size invariant"),
             );

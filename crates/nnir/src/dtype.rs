@@ -9,8 +9,9 @@ use std::fmt;
 /// widest precision the accelerator supports — INT8, FP16 or FP32 — so the
 /// datatype is a first-class quantity here: it scales weight memory in
 /// [`crate::cost`] and effective throughput in `vedliot-accel`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
 pub enum DataType {
     /// 32-bit IEEE-754 float (training precision).
     #[default]
@@ -66,7 +67,6 @@ impl DataType {
         matches!(self, DataType::I8 | DataType::U8 | DataType::I32)
     }
 }
-
 
 impl fmt::Display for DataType {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {

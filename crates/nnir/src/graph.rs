@@ -522,7 +522,9 @@ mod tests {
         let c = b
             .apply("conv", Op::Conv2d(Conv2dAttrs::same(4, 3, 1)), &[x])
             .unwrap();
-        let r = b.apply("relu", Op::Activation(ActKind::Relu), &[c]).unwrap();
+        let r = b
+            .apply("relu", Op::Activation(ActKind::Relu), &[c])
+            .unwrap();
         b.finish(vec![r])
     }
 
@@ -556,12 +558,8 @@ mod tests {
     fn fanout_counts_consumers() {
         let mut b = GraphBuilder::new("diamond");
         let x = b.input(Shape::nchw(1, 4, 4, 4));
-        let a = b
-            .apply("a", Op::Activation(ActKind::Relu), &[x])
-            .unwrap();
-        let l = b
-            .apply("l", Op::Activation(ActKind::Relu), &[a])
-            .unwrap();
+        let a = b.apply("a", Op::Activation(ActKind::Relu), &[x]).unwrap();
+        let l = b.apply("l", Op::Activation(ActKind::Relu), &[a]).unwrap();
         let r = b
             .apply("r", Op::Activation(ActKind::Sigmoid), &[a])
             .unwrap();
@@ -613,7 +611,11 @@ mod tests {
         let mut b = GraphBuilder::new("ws");
         let x = b.input(Shape::nchw(1, 3, 8, 8));
         let c = b
-            .apply("conv", Op::Conv2d(Conv2dAttrs::same(4, 3, 1).with_bias()), &[x])
+            .apply(
+                "conv",
+                Op::Conv2d(Conv2dAttrs::same(4, 3, 1).with_bias()),
+                &[x],
+            )
             .unwrap();
         let n = b.apply("bn", Op::BatchNorm, &[c]).unwrap();
         let f = b.apply("flat", Op::Flatten, &[n]).unwrap();

@@ -49,7 +49,10 @@ impl ConfusionMatrix {
     ///
     /// Panics if either label is out of range.
     pub fn record(&mut self, actual: usize, predicted: usize) {
-        assert!(actual < self.classes && predicted < self.classes, "label out of range");
+        assert!(
+            actual < self.classes && predicted < self.classes,
+            "label out of range"
+        );
         self.counts[actual][predicted] += 1;
     }
 
@@ -124,7 +127,11 @@ impl ConfusionMatrix {
 
 impl fmt::Display for ConfusionMatrix {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "confusion matrix ({} classes, rows = actual):", self.classes)?;
+        writeln!(
+            f,
+            "confusion matrix ({} classes, rows = actual):",
+            self.classes
+        )?;
         for row in &self.counts {
             for c in row {
                 write!(f, "{c:>6}")?;
@@ -347,8 +354,7 @@ mod tests {
         let scores: Vec<(f64, bool)> = (0..10)
             .map(|i| if i < 5 { (0.9, true) } else { (0.1, false) })
             .collect();
-        let curve =
-            PrecisionRecallCurve::from_scores(&scores, &[0.0, 0.25, 0.5, 0.75, 1.0]);
+        let curve = PrecisionRecallCurve::from_scores(&scores, &[0.0, 0.25, 0.5, 0.75, 1.0]);
         // At threshold 0.5: precision 1.0, recall 1.0.
         let mid = curve.points.iter().find(|p| p.0 == 0.5).unwrap();
         assert_eq!((mid.1, mid.2), (1.0, 1.0));

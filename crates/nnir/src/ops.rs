@@ -289,8 +289,12 @@ impl Op {
             Op::Input(shape) => Ok(shape.clone()),
             Op::Conv2d(attrs) => {
                 let s = inputs[0];
-                let [n, c, h, w] = nchw(s).ok_or_else(|| mismatch(format!("expected NCHW input, got {s}")))?;
-                if attrs.groups == 0 || c % attrs.groups != 0 || attrs.out_channels % attrs.groups != 0 {
+                let [n, c, h, w] =
+                    nchw(s).ok_or_else(|| mismatch(format!("expected NCHW input, got {s}")))?;
+                if attrs.groups == 0
+                    || c % attrs.groups != 0
+                    || attrs.out_channels % attrs.groups != 0
+                {
                     return Err(NnirError::InvalidAttribute {
                         op: "Conv2d".into(),
                         detail: format!(
@@ -300,9 +304,19 @@ impl Op {
                     });
                 }
                 let oh = window_out(h, attrs.kernel.0, attrs.stride.0, attrs.padding.0)
-                    .ok_or_else(|| mismatch(format!("kernel {}x{} too large for input {s}", attrs.kernel.0, attrs.kernel.1)))?;
+                    .ok_or_else(|| {
+                        mismatch(format!(
+                            "kernel {}x{} too large for input {s}",
+                            attrs.kernel.0, attrs.kernel.1
+                        ))
+                    })?;
                 let ow = window_out(w, attrs.kernel.1, attrs.stride.1, attrs.padding.1)
-                    .ok_or_else(|| mismatch(format!("kernel {}x{} too large for input {s}", attrs.kernel.0, attrs.kernel.1)))?;
+                    .ok_or_else(|| {
+                        mismatch(format!(
+                            "kernel {}x{} too large for input {s}",
+                            attrs.kernel.0, attrs.kernel.1
+                        ))
+                    })?;
                 Ok(Shape::nchw(n, attrs.out_channels, oh, ow))
             }
             Op::Dense { out_features, .. } => {
@@ -315,16 +329,28 @@ impl Op {
             Op::BatchNorm | Op::Activation(_) | Op::FakeQuant { .. } => Ok(inputs[0].clone()),
             Op::MaxPool2d(attrs) | Op::AvgPool2d(attrs) => {
                 let s = inputs[0];
-                let [n, c, h, w] = nchw(s).ok_or_else(|| mismatch(format!("expected NCHW input, got {s}")))?;
+                let [n, c, h, w] =
+                    nchw(s).ok_or_else(|| mismatch(format!("expected NCHW input, got {s}")))?;
                 let oh = window_out(h, attrs.kernel.0, attrs.stride.0, attrs.padding.0)
-                    .ok_or_else(|| mismatch(format!("window {}x{} too large for input {s}", attrs.kernel.0, attrs.kernel.1)))?;
+                    .ok_or_else(|| {
+                        mismatch(format!(
+                            "window {}x{} too large for input {s}",
+                            attrs.kernel.0, attrs.kernel.1
+                        ))
+                    })?;
                 let ow = window_out(w, attrs.kernel.1, attrs.stride.1, attrs.padding.1)
-                    .ok_or_else(|| mismatch(format!("window {}x{} too large for input {s}", attrs.kernel.0, attrs.kernel.1)))?;
+                    .ok_or_else(|| {
+                        mismatch(format!(
+                            "window {}x{} too large for input {s}",
+                            attrs.kernel.0, attrs.kernel.1
+                        ))
+                    })?;
                 Ok(Shape::nchw(n, c, oh, ow))
             }
             Op::GlobalAvgPool => {
                 let s = inputs[0];
-                let [n, c, _, _] = nchw(s).ok_or_else(|| mismatch(format!("expected NCHW input, got {s}")))?;
+                let [n, c, _, _] =
+                    nchw(s).ok_or_else(|| mismatch(format!("expected NCHW input, got {s}")))?;
                 Ok(Shape::nchw(n, c, 1, 1))
             }
             Op::Add => {
@@ -358,8 +384,8 @@ impl Op {
                 let [n, mut c, h, w] = nchw(inputs[0])
                     .ok_or_else(|| mismatch(format!("expected NCHW input, got {}", inputs[0])))?;
                 for s in &inputs[1..] {
-                    let [sn, sc, sh, sw] = nchw(s)
-                        .ok_or_else(|| mismatch(format!("expected NCHW input, got {s}")))?;
+                    let [sn, sc, sh, sw] =
+                        nchw(s).ok_or_else(|| mismatch(format!("expected NCHW input, got {s}")))?;
                     if sn != n || sh != h || sw != w {
                         return Err(mismatch(format!("{} vs {s}", inputs[0])));
                     }
@@ -375,7 +401,8 @@ impl Op {
                     });
                 }
                 let s = inputs[0];
-                let [n, c, h, w] = nchw(s).ok_or_else(|| mismatch(format!("expected NCHW input, got {s}")))?;
+                let [n, c, h, w] =
+                    nchw(s).ok_or_else(|| mismatch(format!("expected NCHW input, got {s}")))?;
                 Ok(Shape::nchw(n, c, h * factor, w * factor))
             }
             Op::Flatten => {
@@ -442,7 +469,8 @@ impl Op {
         match self {
             Op::Conv2d(attrs) => {
                 let in_c = inputs[0].dim(1).unwrap_or(0);
-                let weights = attrs.out_channels * (in_c / attrs.groups) * attrs.kernel.0 * attrs.kernel.1;
+                let weights =
+                    attrs.out_channels * (in_c / attrs.groups) * attrs.kernel.0 * attrs.kernel.1;
                 weights + if attrs.bias { attrs.out_channels } else { 0 }
             }
             Op::Dense { out_features, bias } => {
@@ -536,7 +564,10 @@ mod tests {
         let op = Op::Conv2d(Conv2dAttrs::same(64, 3, 1));
         let input = Shape::nchw(1, 32, 16, 16);
         let out = infer(&op, std::slice::from_ref(&input)).unwrap();
-        assert_eq!(op.macs(&[&input], &out), (64 * 16 * 16) as u64 * (32 * 9) as u64);
+        assert_eq!(
+            op.macs(&[&input], &out),
+            (64 * 16 * 16) as u64 * (32 * 9) as u64
+        );
 
         // Depthwise: out_elems * k*k only.
         let dw = Op::Conv2d(Conv2dAttrs::depthwise(32, 3, 1));
@@ -582,7 +613,10 @@ mod tests {
     fn mul_broadcasts_squeeze_excite() {
         let feat = Shape::nchw(2, 16, 8, 8);
         let gate = Shape::nchw(2, 16, 1, 1);
-        assert_eq!(infer(&Op::Mul, &[feat.clone(), gate]).unwrap(), feat.clone());
+        assert_eq!(
+            infer(&Op::Mul, &[feat.clone(), gate]).unwrap(),
+            feat.clone()
+        );
         assert!(infer(&Op::Mul, &[feat, Shape::nchw(2, 8, 1, 1)]).is_err());
     }
 
@@ -590,7 +624,10 @@ mod tests {
     fn concat_sums_channels() {
         let a = Shape::nchw(1, 8, 4, 4);
         let b = Shape::nchw(1, 24, 4, 4);
-        assert_eq!(infer(&Op::Concat, &[a, b]).unwrap(), Shape::nchw(1, 32, 4, 4));
+        assert_eq!(
+            infer(&Op::Concat, &[a, b]).unwrap(),
+            Shape::nchw(1, 32, 4, 4)
+        );
     }
 
     #[test]

@@ -84,9 +84,9 @@ pub fn write(graph: &Graph) -> Result<String, TextFormatError> {
                 return Err(err(
                     0,
                     format!(
-                        "node {} has explicit weights; the textual format carries architectures only",
-                        node.name
-                    ),
+                    "node {} has explicit weights; the textual format carries architectures only",
+                    node.name
+                ),
                 ))
             }
         };
@@ -331,10 +331,9 @@ pub fn read(text: &str) -> Result<Graph, TextFormatError> {
                     })
                     .collect::<Result<_, _>>()?;
                 let weights = match attrs.get("seed") {
-                    Some(s) => WeightInit::Seeded(
-                        s.parse()
-                            .map_err(|_| err(line_no, "invalid seed"))?,
-                    ),
+                    Some(s) => {
+                        WeightInit::Seeded(s.parse().map_err(|_| err(line_no, "invalid seed"))?)
+                    }
                     None => WeightInit::None,
                 };
                 let out = b
@@ -397,8 +396,12 @@ mod tests {
         let model = zoo::lenet5(10).unwrap();
         let parsed = read(&write(&model).unwrap()).unwrap();
         let input = crate::Tensor::random(Shape::nchw(1, 1, 28, 28), 3, 1.0);
-        let a = Executor::new(&model).run(std::slice::from_ref(&input)).unwrap();
-        let b = Executor::new(&parsed).run(std::slice::from_ref(&input)).unwrap();
+        let a = Executor::new(&model)
+            .run(std::slice::from_ref(&input))
+            .unwrap();
+        let b = Executor::new(&parsed)
+            .run(std::slice::from_ref(&input))
+            .unwrap();
         assert_eq!(a, b);
     }
 
@@ -439,7 +442,7 @@ mod tests {
     }
 
     #[test]
-    fn comments_and_blank_lines_are_ignored()  {
+    fn comments_and_blank_lines_are_ignored() {
         let text = "# a comment\nmodel \"m\"\n\ninput t0 [1x4]  # trailing\nnode n0 \"f\" flatten in=t0\noutput t1\n";
         let g = read(text).unwrap();
         assert_eq!(g.nodes().len(), 1);

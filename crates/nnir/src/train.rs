@@ -26,7 +26,12 @@ use crate::NnirError;
 /// # Errors
 ///
 /// Propagates builder errors (cannot occur for non-zero sizes).
-pub fn mlp(name: &str, inputs: usize, hidden: &[usize], classes: usize) -> Result<Graph, NnirError> {
+pub fn mlp(
+    name: &str,
+    inputs: usize,
+    hidden: &[usize],
+    classes: usize,
+) -> Result<Graph, NnirError> {
     let mut b = GraphBuilder::new(name);
     let x = b.input(Shape::nf(1, inputs));
     let mut t = x;
@@ -147,8 +152,7 @@ pub fn train_mlp(
     // Write trained weights back into the graph.
     for layer in &layers {
         let node = &mut graph.nodes_mut()[layer.node_index];
-        let weight =
-            Tensor::from_vec(Shape::nf(layer.out_f, layer.in_f), layer.weight.clone())?;
+        let weight = Tensor::from_vec(Shape::nf(layer.out_f, layer.in_f), layer.weight.clone())?;
         let bias = Tensor::from_vec(Shape::new(vec![layer.out_f]), layer.bias.clone())?;
         node.weights = WeightInit::Explicit(vec![weight, bias]);
     }
@@ -157,22 +161,89 @@ pub fn train_mlp(
     Ok(evaluate(graph, data)?.accuracy())
 }
 
-/// Runs the graph over a dataset and fills a confusion matrix.
+/// Runs the graph over a dataset and fills a confusion matrix, using the
+/// default parallelism policy.
 ///
 /// # Errors
 ///
 /// Propagates execution failures.
 pub fn evaluate(graph: &Graph, data: &ClassificationSet) -> Result<ConfusionMatrix, NnirError> {
-    let exec = crate::exec::Executor::new(graph);
-    let mut cm = ConfusionMatrix::new(data.classes);
+    evaluate_with(graph, data, crate::exec::Parallelism::default())
+}
+
+/// Runs the graph over a dataset with an explicit parallelism policy.
+///
+/// Samples are distributed over worker threads (each with its own
+/// arena-backed [`Runner`](crate::exec::Runner) so buffers and
+/// materialized weights are reused across its samples); per-sample
+/// results are independent, so the confusion matrix is identical for
+/// every worker count. Small workloads stay on one thread.
+///
+/// # Errors
+///
+/// Propagates execution failures.
+pub fn evaluate_with(
+    graph: &Graph,
+    data: &ClassificationSet,
+    parallelism: crate::exec::Parallelism,
+) -> Result<ConfusionMatrix, NnirError> {
     let input_shape = graph
         .tensor_shape(graph.inputs()[0])
         .ok_or_else(|| NnirError::ExecutionFailure("graph has no input".into()))?
         .clone();
-    for (sample, label) in data.iter() {
-        let x = sample.reshape(input_shape.clone())?;
-        let out = exec.run(&[x])?;
-        cm.record(label, out[0].argmax());
+
+    // Spawn threads only when the total work amortizes them: model cost
+    // per sample times sample count, mirroring the kernel-level policy.
+    let macs = crate::cost::CostReport::of(graph)
+        .map(|c| c.total_macs as usize)
+        .unwrap_or(0);
+    let workers = parallelism
+        .max_threads()
+        .min(data.len())
+        .min(1 + macs.saturating_mul(data.len()) / 2_000_000);
+
+    let run_range = |range: std::ops::Range<usize>| -> Result<Vec<(usize, usize)>, NnirError> {
+        // Workers run their samples serially; parallelism lives at the
+        // sample level here, not inside the kernels.
+        let mut runner =
+            crate::exec::Runner::with_parallelism(graph, crate::exec::Parallelism::Serial);
+        let mut preds = Vec::with_capacity(range.len());
+        for i in range {
+            let x = data.samples[i].reshape(input_shape.clone())?;
+            let out = runner.run(&[x])?;
+            preds.push((data.labels[i], out[0].argmax()));
+        }
+        Ok(preds)
+    };
+
+    let mut cm = ConfusionMatrix::new(data.classes);
+    if workers <= 1 {
+        for (label, pred) in run_range(0..data.len())? {
+            cm.record(label, pred);
+        }
+        return Ok(cm);
+    }
+
+    let n = data.len();
+    let per_worker = n.div_ceil(workers);
+    let results = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        let mut start = 0usize;
+        while start < n {
+            let end = (start + per_worker).min(n);
+            let run_range = &run_range;
+            handles.push(scope.spawn(move || run_range(start..end)));
+            start = end;
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("evaluate worker panicked"))
+            .collect::<Vec<_>>()
+    });
+    for chunk in results {
+        for (label, pred) in chunk? {
+            cm.record(label, pred);
+        }
     }
     Ok(cm)
 }
@@ -197,9 +268,7 @@ fn extract_layers(graph: &Graph, seed: u64, freeze_zeros: bool) -> Result<Vec<La
                     fan_scale,
                 );
                 let (weight, bias_vec) = match &node.weights {
-                    WeightInit::Explicit(w) => {
-                        (w[0].data().to_vec(), w[1].data().to_vec())
-                    }
+                    WeightInit::Explicit(w) => (w[0].data().to_vec(), w[1].data().to_vec()),
                     _ => (init.into_data(), vec![0.0; *out_features]),
                 };
                 let mask = if freeze_zeros {
@@ -251,9 +320,7 @@ fn sgd_step(layers: &mut [Layer], x: &[f32], label: usize, config: &TrainConfig)
             *slot = acc;
         }
         let mask: Vec<bool> = if layer.relu_after {
-            out.iter()
-                .map(|&v| v > 0.0)
-                .collect()
+            out.iter().map(|&v| v > 0.0).collect()
         } else {
             vec![true; layer.out_f]
         };

@@ -68,11 +68,7 @@ pub fn mobilenet_v3_large(classes: usize) -> Result<Graph, NnirError> {
     // Final 1x1 conv to 960, GAP, 1280-wide classifier head.
     t = s.conv_bn_act(t, Conv2dAttrs::pointwise(960), Some(HS))?;
     let pooled = s.builder.apply("gap", Op::GlobalAvgPool, &[t])?;
-    let head = s.conv_act(
-        pooled,
-        Conv2dAttrs::pointwise(1280).with_bias(),
-        Some(HS),
-    )?;
+    let head = s.conv_act(pooled, Conv2dAttrs::pointwise(1280).with_bias(), Some(HS))?;
     let flat = s.builder.apply("flatten", Op::Flatten, &[head])?;
     let logits = s.builder.apply(
         "fc",
@@ -131,7 +127,12 @@ mod tests {
         let depthwise_macs: u64 = c
             .per_node
             .iter()
-            .filter(|n| n.op.contains("g16") || n.op.contains("g24") || n.op.contains("g7") || n.op.contains("g1"))
+            .filter(|n| {
+                n.op.contains("g16")
+                    || n.op.contains("g24")
+                    || n.op.contains("g7")
+                    || n.op.contains("g1")
+            })
             .map(|n| n.macs)
             .sum();
         // Depthwise + pointwise structure keeps total far below ResNet.

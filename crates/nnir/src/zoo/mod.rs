@@ -100,11 +100,9 @@ impl Stack {
             Op::Conv2d(Conv2dAttrs::pointwise(reduced).with_bias()),
             &[pooled],
         )?;
-        let r = self.builder.apply(
-            format!("{name}.relu"),
-            Op::Activation(ActKind::Relu),
-            &[r],
-        )?;
+        let r = self
+            .builder
+            .apply(format!("{name}.relu"), Op::Activation(ActKind::Relu), &[r])?;
         let e = self.builder.apply(
             format!("{name}.expand"),
             Op::Conv2d(Conv2dAttrs::pointwise(channels).with_bias()),

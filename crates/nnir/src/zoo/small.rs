@@ -193,7 +193,11 @@ mod tests {
         // ~61k parameters in the classic LeNet-5 (exact value depends on
         // padding convention; ours keeps 28->14->10->5).
         let c = CostReport::of(&lenet5(10).unwrap()).unwrap();
-        assert!(c.total_params > 40_000 && c.total_params < 90_000, "{}", c.total_params);
+        assert!(
+            c.total_params > 40_000 && c.total_params < 90_000,
+            "{}",
+            c.total_params
+        );
     }
 
     #[test]

@@ -59,7 +59,9 @@ pub fn yolov4(size: usize, classes: usize) -> Result<Graph, NnirError> {
         Op::MaxPool2d(Pool2dAttrs::square(13, 1).with_padding(6)),
         &[t],
     )?;
-    let spp = s.builder.apply("spp.concat", Op::Concat, &[m13, m9, m5, t])?;
+    let spp = s
+        .builder
+        .apply("spp.concat", Op::Concat, &[m13, m9, m5, t])?;
     let t = s.conv_bn_act(spp, Conv2dAttrs::pointwise(512), Some(LEAKY))?;
     let t = s.conv_bn_act(t, Conv2dAttrs::same(1024, 3, 1), Some(LEAKY))?;
     let n5 = s.conv_bn_act(t, Conv2dAttrs::pointwise(512), Some(LEAKY))?;
@@ -148,9 +150,18 @@ mod tests {
         let g = yolov4(416, 80).unwrap();
         let outs = g.outputs();
         assert_eq!(outs.len(), 3);
-        assert_eq!(g.tensor_shape(outs[0]).unwrap(), &Shape::nchw(1, 255, 52, 52));
-        assert_eq!(g.tensor_shape(outs[1]).unwrap(), &Shape::nchw(1, 255, 26, 26));
-        assert_eq!(g.tensor_shape(outs[2]).unwrap(), &Shape::nchw(1, 255, 13, 13));
+        assert_eq!(
+            g.tensor_shape(outs[0]).unwrap(),
+            &Shape::nchw(1, 255, 52, 52)
+        );
+        assert_eq!(
+            g.tensor_shape(outs[1]).unwrap(),
+            &Shape::nchw(1, 255, 26, 26)
+        );
+        assert_eq!(
+            g.tensor_shape(outs[2]).unwrap(),
+            &Shape::nchw(1, 255, 13, 13)
+        );
     }
 
     #[test]

@@ -2,7 +2,8 @@
 //! and executor/shape-inference agreement.
 
 use proptest::prelude::*;
-use vedliot_nnir::exec::Executor;
+use vedliot_nnir::exec::{Executor, Parallelism, Runner};
+use vedliot_nnir::graph::WeightInit;
 use vedliot_nnir::ops::{ActKind, Conv2dAttrs, Op, Pool2dAttrs};
 use vedliot_nnir::{Graph, GraphBuilder, Shape, Tensor};
 
@@ -143,4 +144,196 @@ proptest! {
         let out_b = Executor::new(&parsed).run(std::slice::from_ref(&input)).unwrap();
         prop_assert_eq!(out_a, out_b);
     }
+}
+
+/// Largest elementwise |a - b| across two output sets.
+fn max_abs_diff(a: &[Tensor], b: &[Tensor]) -> f32 {
+    assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b.iter())
+        .flat_map(|(ta, tb)| {
+            assert_eq!(ta.shape(), tb.shape());
+            ta.data()
+                .iter()
+                .zip(tb.data().iter())
+                .map(|(x, y)| (x - y).abs())
+        })
+        .fold(0.0f32, f32::max)
+}
+
+proptest! {
+    /// The threaded engine (im2col + blocked GEMM, worker fan-out)
+    /// matches the serial reference within 1e-5 on random conv/dense/
+    /// pool shapes, including grouped convolutions and batch > 1. The
+    /// two paths are designed to be bit-identical; the tolerance
+    /// leaves headroom for future reassociating kernels.
+    #[test]
+    fn parallel_matches_serial_on_random_shapes(
+        batch in 1usize..5,
+        groups in 1usize..4,
+        icg in 1usize..4,
+        ocg in 1usize..4,
+        h in 6usize..14,
+        kernel in 1usize..4,
+        stride in 1usize..3,
+        hidden in 1usize..24,
+        seed in 0u64..1_000,
+    ) {
+        let in_c = groups * icg;
+        let mut attrs = Conv2dAttrs::same(groups * ocg, kernel, stride);
+        attrs.groups = groups;
+        let mut b = GraphBuilder::new("eq");
+        let x = b.input(Shape::nchw(batch, in_c, h, h));
+        let c = b.apply("conv", Op::Conv2d(attrs), &[x]).unwrap();
+        let bn = b.apply("bn", Op::BatchNorm, &[c]).unwrap();
+        let p = b.apply("pool", Op::MaxPool2d(Pool2dAttrs::square(2, 2)), &[bn]).unwrap();
+        let f = b.apply("flatten", Op::Flatten, &[p]).unwrap();
+        let d = b.apply("fc", Op::Dense { out_features: hidden, bias: true }, &[f]).unwrap();
+        let g = b.finish(vec![d]);
+        let input = Tensor::random(Shape::nchw(batch, in_c, h, h), seed, 1.0);
+
+        let mut serial = Runner::with_parallelism(&g, Parallelism::Serial);
+        let mut threaded = Runner::with_parallelism(&g, Parallelism::Threads(4));
+        let reference = serial.run(std::slice::from_ref(&input)).unwrap();
+        let parallel = threaded.run(std::slice::from_ref(&input)).unwrap();
+        prop_assert!(
+            max_abs_diff(&reference, &parallel) <= 1e-5,
+            "parallel diverged from serial by {}",
+            max_abs_diff(&reference, &parallel)
+        );
+        // The stateless executor (default Auto parallelism) agrees too.
+        let auto = Executor::new(&g).run(std::slice::from_ref(&input)).unwrap();
+        prop_assert!(max_abs_diff(&reference, &auto) <= 1e-5);
+    }
+}
+
+/// MobileNetV3-style stem at 32x32: strided conv + BN + hard-swish,
+/// a depthwise conv, a squeeze-excite gate (GAP, 1x1 reduce/expand,
+/// channel-wise Mul) and a pointwise projection — the op mix the
+/// grouped/direct fallback and broadcast kernels must handle.
+fn mobilenet_stem(batch: usize) -> Graph {
+    let mut b = GraphBuilder::new("mnv3-stem");
+    let x = b.input(Shape::nchw(batch, 3, 32, 32));
+    let c = b
+        .apply("stem", Op::Conv2d(Conv2dAttrs::same(16, 3, 2)), &[x])
+        .unwrap();
+    let c = b.apply("stem.bn", Op::BatchNorm, &[c]).unwrap();
+    let c = b
+        .apply("stem.hs", Op::Activation(ActKind::HardSwish), &[c])
+        .unwrap();
+    let dw = b
+        .apply("dw", Op::Conv2d(Conv2dAttrs::depthwise(16, 3, 1)), &[c])
+        .unwrap();
+    let dw = b.apply("dw.bn", Op::BatchNorm, &[dw]).unwrap();
+    let dw = b
+        .apply("dw.relu", Op::Activation(ActKind::Relu), &[dw])
+        .unwrap();
+    let se = b.apply("se.pool", Op::GlobalAvgPool, &[dw]).unwrap();
+    let se = b
+        .apply(
+            "se.reduce",
+            Op::Conv2d(Conv2dAttrs::pointwise(8).with_bias()),
+            &[se],
+        )
+        .unwrap();
+    let se = b
+        .apply("se.relu", Op::Activation(ActKind::Relu), &[se])
+        .unwrap();
+    let se = b
+        .apply(
+            "se.expand",
+            Op::Conv2d(Conv2dAttrs::pointwise(16).with_bias()),
+            &[se],
+        )
+        .unwrap();
+    let gate = b
+        .apply("se.gate", Op::Activation(ActKind::HardSigmoid), &[se])
+        .unwrap();
+    let scaled = b.apply("se.scale", Op::Mul, &[dw, gate]).unwrap();
+    let proj = b
+        .apply("proj", Op::Conv2d(Conv2dAttrs::pointwise(24)), &[scaled])
+        .unwrap();
+    b.finish(vec![proj])
+}
+
+/// On LeNet-5 (batch 4) the serial and threaded engines agree
+/// *exactly* — the blocked-GEMM path accumulates in the same order as
+/// the direct kernel, so no tolerance is needed.
+#[test]
+fn zoo_lenet5_parallel_is_bit_identical() {
+    let g = vedliot_nnir::zoo::lenet5(10)
+        .unwrap()
+        .with_batch(4)
+        .unwrap();
+    let input = Tensor::random(Shape::nchw(4, 1, 28, 28), 3, 1.0);
+    let mut serial = Runner::with_parallelism(&g, Parallelism::Serial);
+    let mut threaded = Runner::with_parallelism(&g, Parallelism::Threads(4));
+    let a = serial.run(std::slice::from_ref(&input)).unwrap();
+    let b = threaded.run(std::slice::from_ref(&input)).unwrap();
+    assert_eq!(a, b);
+}
+
+/// Same bit-exactness on the MobileNetV3-style stem, which exercises
+/// the depthwise/grouped direct fallback and the SE broadcast Mul.
+#[test]
+fn zoo_mobilenet_stem_parallel_is_bit_identical() {
+    let g = mobilenet_stem(2);
+    let input = Tensor::random(Shape::nchw(2, 3, 32, 32), 9, 1.0);
+    let mut serial = Runner::with_parallelism(&g, Parallelism::Serial);
+    let mut threaded = Runner::with_parallelism(&g, Parallelism::Threads(4));
+    let a = serial.run(std::slice::from_ref(&input)).unwrap();
+    let b = threaded.run(std::slice::from_ref(&input)).unwrap();
+    assert_eq!(a, b);
+}
+
+/// Regression: groups that do not divide the channel counts are
+/// rejected at graph-construction time (they used to truncate
+/// `in_c / groups` and mis-index the kernel at execution time).
+#[test]
+fn builder_rejects_non_dividing_groups() {
+    let mut attrs = Conv2dAttrs::same(4, 3, 1);
+    attrs.groups = 2;
+    let mut b = GraphBuilder::new("bad");
+    let x = b.input(Shape::nchw(1, 3, 8, 8));
+    assert!(b.apply("conv", Op::Conv2d(attrs), &[x]).is_err());
+}
+
+/// Regression: a kernel larger than the padded input is rejected at
+/// graph-construction time (it used to underflow the output extent).
+#[test]
+fn builder_rejects_oversized_kernel() {
+    let mut b = GraphBuilder::new("bad");
+    let x = b.input(Shape::nchw(1, 1, 4, 4));
+    let mut attrs = Conv2dAttrs::same(2, 7, 1);
+    attrs.padding = (0, 0); // `same` pads kernel/2; drop it so 7x7 > 4x4
+    assert!(b.apply("conv", Op::Conv2d(attrs), &[x]).is_err());
+    let y = b.input(Shape::nchw(1, 1, 4, 4));
+    assert!(b
+        .apply("pool", Op::MaxPool2d(Pool2dAttrs::square(7, 1)), &[y])
+        .is_err());
+}
+
+/// Regression: a malformed dense weight written back into the graph
+/// (e.g. by a buggy transformation pass) surfaces as an execution
+/// error instead of a silently empty output.
+#[test]
+fn malformed_dense_weight_is_an_execution_error() {
+    let mut b = GraphBuilder::new("bad-dense");
+    let x = b.input(Shape::nf(1, 8));
+    let d = b
+        .apply(
+            "fc",
+            Op::Dense {
+                out_features: 4,
+                bias: false,
+            },
+            &[x],
+        )
+        .unwrap();
+    let mut g = b.finish(vec![d]);
+    let bad = Tensor::zeros(Shape::new(vec![4, 5])); // in_f should be 8
+    g.nodes_mut()[0].weights = WeightInit::Explicit(vec![bad]);
+    let input = Tensor::random(Shape::nf(1, 8), 1, 1.0);
+    let err = Executor::new(&g).run(std::slice::from_ref(&input));
+    assert!(err.is_err(), "malformed weight must not produce output");
 }

@@ -209,9 +209,7 @@ impl Chassis {
         if slot >= self.slots.len() {
             return Err(ChassisError::UnknownSlot(slot));
         }
-        self.slots[slot]
-            .take()
-            .ok_or(ChassisError::SlotEmpty(slot))
+        self.slots[slot].take().ok_or(ChassisError::SlotEmpty(slot))
     }
 }
 
@@ -242,7 +240,7 @@ mod tests {
     fn urecs_power_budget_is_under_15w() {
         let mut urecs = Chassis::urecs();
         urecs.insert(0, by_name("SMARC-ZU3")).unwrap(); // 7.5 W
-        // A Xavier NX (15 W) would blow the remaining budget.
+                                                        // A Xavier NX (15 W) would blow the remaining budget.
         let err = urecs.insert(1, by_name("Xavier NX"));
         assert!(matches!(err, Err(ChassisError::PowerBudgetExceeded { .. })));
         // A 2.5 W Myriad module fits.

@@ -118,7 +118,10 @@ impl Fabric {
     #[must_use]
     pub fn link(&self, a: usize, b: usize) -> Option<LinkKind> {
         let k = key(a, b);
-        self.links.iter().find(|(l, _)| *l == k).map(|&(_, kind)| kind)
+        self.links
+            .iter()
+            .find(|(l, _)| *l == k)
+            .map(|&(_, kind)| kind)
     }
 
     /// Number of links.
@@ -175,9 +178,7 @@ impl Fabric {
         let direct = self.transfer_us(a, b, bytes);
         let via_hop = (0..nodes)
             .filter(|&h| h != a && h != b)
-            .filter_map(|h| {
-                Some(self.transfer_us(a, h, bytes)? + self.transfer_us(h, b, bytes)?)
-            })
+            .filter_map(|h| Some(self.transfer_us(a, h, bytes)? + self.transfer_us(h, b, bytes)?))
             .fold(None, |best: Option<f64>, t| {
                 Some(best.map_or(t, |b| b.min(t)))
             });

@@ -299,7 +299,12 @@ mod tests {
                 m.form_factor,
                 FormFactor::Smarc | FormFactor::Kria | FormFactor::RpiCm
             ) {
-                assert!(m.peak_power_w() <= 15.0, "{} draws {}", m.name, m.peak_power_w());
+                assert!(
+                    m.peak_power_w() <= 15.0,
+                    "{} draws {}",
+                    m.name,
+                    m.peak_power_w()
+                );
             }
         }
     }

@@ -170,11 +170,7 @@ mod tests {
     #[test]
     fn trace_contains_coverage_holes() {
         let trace = NetworkTrace::generate(2_000, 7);
-        let holes = trace
-            .samples
-            .iter()
-            .filter(|s| s.uplink_mbps < 0.1)
-            .count();
+        let holes = trace.samples.iter().filter(|s| s.uplink_mbps < 0.1).count();
         assert!(holes > 10, "expected coverage holes, got {holes}");
         assert!(holes < 300, "holes should be rare, got {holes}");
     }

@@ -322,7 +322,11 @@ mod tests {
 
     fn smart_mirror_framework() -> (Framework, ViewId, ViewId, ViewId) {
         let mut fw = Framework::new();
-        let logic = fw.add_view("interaction logic", Concern::LogicalBehavior, Level::Conceptual);
+        let logic = fw.add_view(
+            "interaction logic",
+            Concern::LogicalBehavior,
+            Level::Conceptual,
+        );
         let model = fw.add_view("gesture DNN", Concern::DeepLearningModel, Level::Design);
         let hw = fw.add_view("uRECS node", Concern::Hardware, Level::Design);
         (fw, logic, model, hw)
@@ -334,7 +338,11 @@ mod tests {
         // Horizontal: both at Design level, different clusters.
         fw.add_dependency(model, hw).unwrap();
         // Vertical: same cluster, different level.
-        let model_rt = fw.add_view("deployed gesture DNN", Concern::DeepLearningModel, Level::RunTime);
+        let model_rt = fw.add_view(
+            "deployed gesture DNN",
+            Concern::DeepLearningModel,
+            Level::RunTime,
+        );
         fw.add_dependency(model, model_rt).unwrap();
         assert_eq!(fw.dependencies().len(), 2);
     }
@@ -344,7 +352,10 @@ mod tests {
         let (mut fw, logic, _, hw) = smart_mirror_framework();
         // logic: LogicalBehavior/Conceptual, hw: Hardware/Design — diagonal.
         let err = fw.add_dependency(logic, hw);
-        assert!(matches!(err, Err(FrameworkError::DiagonalDependency { .. })));
+        assert!(matches!(
+            err,
+            Err(FrameworkError::DiagonalDependency { .. })
+        ));
     }
 
     #[test]
@@ -361,7 +372,11 @@ mod tests {
         let (mut fw, logic, model, hw) = smart_mirror_framework();
         // Bridge the diagonal through a same-level intermediary:
         // logic(Conceptual) -> model(Conceptual) -> model(Design) -> hw(Design).
-        let model_c = fw.add_view("gesture concept", Concern::DeepLearningModel, Level::Conceptual);
+        let model_c = fw.add_view(
+            "gesture concept",
+            Concern::DeepLearningModel,
+            Level::Conceptual,
+        );
         fw.add_dependency(logic, model_c).unwrap();
         fw.add_dependency(model_c, model).unwrap();
         fw.add_dependency(model, hw).unwrap();
@@ -416,7 +431,11 @@ mod tests {
         let mut fw = Framework::new();
         let design = fw.add_view("FPGA accelerator", Concern::Hardware, Level::Design);
         // ... then knowledge above and run-time below, all same cluster.
-        let knowledge = fw.add_view("accelerator datasheets", Concern::Hardware, Level::Knowledge);
+        let knowledge = fw.add_view(
+            "accelerator datasheets",
+            Concern::Hardware,
+            Level::Knowledge,
+        );
         let runtime = fw.add_view("deployed bitstream", Concern::Hardware, Level::RunTime);
         fw.add_dependency(knowledge, design).unwrap();
         fw.add_dependency(design, runtime).unwrap();

@@ -150,17 +150,18 @@ pub fn flip_weight_bits(
         }
     }
     graph.validate()?;
-    Ok(BitFlipReport {
-        flips,
-        layers_hit,
-    })
+    Ok(BitFlipReport { flips, layers_hit })
 }
 
 /// Flips `flips` random bits in a tensor's values — activation
 /// corruption, the runtime counterpart of [`flip_weight_bits`] (a bit
 /// error striking a feature map buffer between layers).
 #[must_use]
-pub fn corrupt_tensor(tensor: &vedliot_nnir::Tensor, flips: usize, seed: u64) -> vedliot_nnir::Tensor {
+pub fn corrupt_tensor(
+    tensor: &vedliot_nnir::Tensor,
+    flips: usize,
+    seed: u64,
+) -> vedliot_nnir::Tensor {
     let mut out = tensor.clone();
     if out.data().is_empty() {
         return out;
@@ -234,7 +235,9 @@ mod tests {
     fn bit_flips_change_model_outputs() {
         let mut model = zoo::lenet5(10).unwrap();
         let input = Tensor::random(Shape::nchw(1, 1, 28, 28), 3, 1.0);
-        let clean = Executor::new(&model).run(std::slice::from_ref(&input)).unwrap();
+        let clean = Executor::new(&model)
+            .run(std::slice::from_ref(&input))
+            .unwrap();
         let report = flip_weight_bits(&mut model, 20, 11).unwrap();
         assert_eq!(report.flips, 20);
         assert!(!report.layers_hit.is_empty());
@@ -250,7 +253,9 @@ mod tests {
         // catch end to end.
         let model = zoo::lenet5(10).unwrap();
         let input = Tensor::random(Shape::nchw(1, 1, 28, 28), 5, 1.0);
-        let clean = Executor::new(&model).run(std::slice::from_ref(&input)).unwrap();
+        let clean = Executor::new(&model)
+            .run(std::slice::from_ref(&input))
+            .unwrap();
         let corrupted_input = corrupt_tensor(&input, 16, 3);
         assert_ne!(corrupted_input, input);
         let dirty = Executor::new(&model)

@@ -133,8 +133,7 @@ impl SampleMonitor for ZScoreMonitor {
         let verdict = if self.history.len() >= self.window {
             let n = self.history.len() as f64;
             let mean: f64 = self.history.iter().sum::<f64>() / n;
-            let var: f64 =
-                self.history.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+            let var: f64 = self.history.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
             let sigma = var.sqrt().max(1e-9);
             let z = (sample - mean).abs() / sigma;
             if z > self.threshold {
@@ -308,7 +307,9 @@ impl NoiseMonitor {
             return 0.0;
         }
         let mid = diffs.len() / 2;
-        diffs.select_nth_unstable_by(mid, |a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        diffs.select_nth_unstable_by(mid, |a, b| {
+            a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal)
+        });
         // sigma ≈ median(|d|) / (0.6745 * sqrt(2)) for Gaussian noise.
         diffs[mid] / 0.9539
     }
@@ -373,16 +374,10 @@ impl ImageMonitor for ExposureMonitor {
         if data.is_empty() {
             return Verdict::Suspect("empty frame".into());
         }
-        let saturated = data
-            .iter()
-            .filter(|&&p| p >= self.saturation_level)
-            .count() as f32
-            / data.len() as f32;
+        let saturated =
+            data.iter().filter(|&&p| p >= self.saturation_level).count() as f32 / data.len() as f32;
         if saturated > self.max_saturated_fraction {
-            return Verdict::Suspect(format!(
-                "{:.0}% of pixels saturated",
-                saturated * 100.0
-            ));
+            return Verdict::Suspect(format!("{:.0}% of pixels saturated", saturated * 100.0));
         }
         if frame.mean() < self.blackout_mean {
             return Verdict::Suspect("frame is blacked out".into());
@@ -397,10 +392,8 @@ pub fn screen_series(
     monitors: &mut [Box<dyn SampleMonitor>],
     series: &[f64],
 ) -> Vec<(String, usize)> {
-    let mut counts: Vec<(String, usize)> = monitors
-        .iter()
-        .map(|m| (m.name().to_string(), 0))
-        .collect();
+    let mut counts: Vec<(String, usize)> =
+        monitors.iter().map(|m| (m.name().to_string(), 0)).collect();
     for &sample in series {
         for (monitor, count) in monitors.iter_mut().zip(counts.iter_mut()) {
             if !monitor.observe(sample).is_ok() {

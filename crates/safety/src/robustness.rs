@@ -116,7 +116,10 @@ mod tests {
     #[test]
     fn healthy_outputs_verify() {
         let (model, input) = model_and_input();
-        let output = Executor::new(&model).run(std::slice::from_ref(&input)).unwrap().remove(0);
+        let output = Executor::new(&model)
+            .run(std::slice::from_ref(&input))
+            .unwrap()
+            .remove(0);
         let mut service = RobustnessService::new(model, 1, 1e-5);
         let verdict = service.submit(&input, &output).unwrap();
         assert_eq!(verdict, OutputVerdict::Verified);
@@ -144,7 +147,10 @@ mod tests {
     #[test]
     fn sampling_period_skips_most_submissions() {
         let (model, input) = model_and_input();
-        let output = Executor::new(&model).run(std::slice::from_ref(&input)).unwrap().remove(0);
+        let output = Executor::new(&model)
+            .run(std::slice::from_ref(&input))
+            .unwrap()
+            .remove(0);
         let mut service = RobustnessService::new(model, 5, 1e-5);
         let mut skipped = 0;
         for _ in 0..10 {

@@ -148,7 +148,12 @@ fn enc_i(imm: i32, rs1: u32, funct3: u32, rd: u32, opcode: u32) -> u32 {
 
 fn enc_s(imm: i32, rs2: u32, rs1: u32, funct3: u32, opcode: u32) -> u32 {
     let imm = imm as u32;
-    ((imm >> 5 & 0x7F) << 25) | (rs2 << 20) | (rs1 << 15) | (funct3 << 12) | ((imm & 0x1F) << 7) | opcode
+    ((imm >> 5 & 0x7F) << 25)
+        | (rs2 << 20)
+        | (rs1 << 15)
+        | (funct3 << 12)
+        | ((imm & 0x1F) << 7)
+        | opcode
 }
 
 fn enc_b(imm: i32, rs2: u32, rs1: u32, funct3: u32, opcode: u32) -> u32 {
@@ -311,7 +316,11 @@ pub fn assemble(source: &str) -> Result<Vec<u8>, AsmError> {
                 let rd = reg(arg(1)?, line_no)?;
                 let rs1 = reg(arg(2)?, line_no)?;
                 let shamt = parse_imm(arg(3)?, line_no)? as i32 & 0x1F;
-                let imm = if m == "srai" { shamt | (0b0100000 << 5) } else { shamt };
+                let imm = if m == "srai" {
+                    shamt | (0b0100000 << 5)
+                } else {
+                    shamt
+                };
                 let funct3 = if m == "slli" { 0b001 } else { 0b101 };
                 vec![enc_i(imm, rs1, funct3, rd, 0b0010011)]
             }

@@ -86,7 +86,9 @@ impl SystemBus {
     /// Returns a [`BusFault`] if the range exceeds RAM.
     pub fn write_bytes(&mut self, addr: u32, data: &[u8]) -> Result<(), BusFault> {
         let start = addr as usize;
-        let end = start.checked_add(data.len()).ok_or(BusFault { addr, store: true })?;
+        let end = start
+            .checked_add(data.len())
+            .ok_or(BusFault { addr, store: true })?;
         if end > self.ram.len() {
             return Err(BusFault { addr, store: true });
         }
@@ -152,7 +154,10 @@ impl SystemBus {
     ///
     /// Returns a [`BusFault`] on an unmapped address.
     pub fn load16(&mut self, addr: u32) -> Result<u16, BusFault> {
-        Ok(u16::from_le_bytes([self.load8(addr)?, self.load8(addr + 1)?]))
+        Ok(u16::from_le_bytes([
+            self.load8(addr)?,
+            self.load8(addr + 1)?,
+        ]))
     }
 
     /// Reads a 32-bit little-endian word.

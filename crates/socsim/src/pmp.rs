@@ -182,7 +182,10 @@ impl PmpUnit {
     /// Panics if `size` is not a power of two ≥ 8, if `base` is not
     /// `size`-aligned, or if `i >= PMP_ENTRIES`.
     pub fn set_napot(&mut self, i: usize, base: u32, size: u32, r: bool, w: bool, x: bool) {
-        assert!(size.is_power_of_two() && size >= 8, "NAPOT size must be a power of two >= 8");
+        assert!(
+            size.is_power_of_two() && size >= 8,
+            "NAPOT size must be a power of two >= 8"
+        );
         assert_eq!(base % size, 0, "base must be size-aligned");
         // pmpaddr = (base >> 2) | ((size/2 - 1) >> 2)  — low ones encode size.
         let addr = (base >> 2) | ((size / 2 - 1) >> 2);
@@ -211,7 +214,11 @@ impl PmpUnit {
                 Some((base, size))
             }
             AddressMatch::Tor => {
-                let lo = if i == 0 { 0 } else { self.entries[i - 1].addr << 2 };
+                let lo = if i == 0 {
+                    0
+                } else {
+                    self.entries[i - 1].addr << 2
+                };
                 let hi = e.addr << 2;
                 if hi <= lo {
                     return None;

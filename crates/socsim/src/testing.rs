@@ -149,9 +149,7 @@ impl FirmwareTest {
             .iter()
             .map(|e| {
                 let (description, passed) = match e {
-                    Expectation::UartEquals(s) => {
-                        (format!("uart == {s:?}"), &uart == s)
-                    }
+                    Expectation::UartEquals(s) => (format!("uart == {s:?}"), &uart == s),
                     Expectation::UartContains(s) => {
                         (format!("uart contains {s:?}"), uart.contains(s))
                     }
@@ -159,10 +157,9 @@ impl FirmwareTest {
                         format!("x{i} == {v:#x} (got {:#x})", machine.cpu().reg(*i)),
                         machine.cpu().reg(*i) == *v,
                     ),
-                    Expectation::CyclesAtMost(budget) => (
-                        format!("cycles {cycles} <= {budget}"),
-                        cycles <= *budget,
-                    ),
+                    Expectation::CyclesAtMost(budget) => {
+                        (format!("cycles {cycles} <= {budget}"), cycles <= *budget)
+                    }
                     Expectation::Halts => ("halts".to_string(), halted),
                     Expectation::TrapsTaken(n) => (
                         format!("traps == {n} (got {})", machine.cpu().traps_taken),
@@ -271,6 +268,8 @@ mod tests {
 
     #[test]
     fn assembler_errors_propagate() {
-        assert!(FirmwareTest::new("bad", "not_an_instruction").run().is_err());
+        assert!(FirmwareTest::new("bad", "not_an_instruction")
+            .run()
+            .is_err());
     }
 }

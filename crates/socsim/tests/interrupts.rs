@@ -54,7 +54,11 @@ fn timer_interrupt_fires_and_returns() {
     let mut m = Machine::new(64 * 1024);
     m.load_firmware(&fw, 0).expect("fits");
     m.run(100_000).expect("halts after 3 ticks");
-    assert!(m.cpu().traps_taken >= 3, "took {} traps", m.cpu().traps_taken);
+    assert!(
+        m.cpu().traps_taken >= 3,
+        "took {} traps",
+        m.cpu().traps_taken
+    );
     let ticks = m.bus_mut().load32(0x2000).expect("counter readable");
     assert_eq!(ticks, 3);
 }

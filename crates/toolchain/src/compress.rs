@@ -135,11 +135,7 @@ impl CompressionReport {
 /// we store the zero-run distance from the previous non-zero (split when
 /// it exceeds `max_run`, inserting a phantom zero-valued entry exactly as
 /// Han et al. do) and the cluster index; both streams are Huffman-coded.
-fn encode_sparse(
-    assignments: &[Option<u16>],
-    clusters: usize,
-    max_run: u16,
-) -> (usize, usize) {
+fn encode_sparse(assignments: &[Option<u16>], clusters: usize, max_run: u16) -> (usize, usize) {
     let mut runs: Vec<u16> = Vec::new();
     let mut indices: Vec<u16> = Vec::new();
     let mut run = 0u16;
@@ -235,23 +231,35 @@ pub fn deep_compress(
         }
     }
 
+    // Stage 1 threshold: a single *global* magnitude cut across every
+    // prunable tensor. A uniform per-layer quota starves small decisive
+    // layers (a 4-class head pruned to 10% keeps ~6 weights and the
+    // model collapses); ranking all weights together moves the pruning
+    // budget to the wide hidden layers where most near-zero weights
+    // actually live, at identical overall sparsity.
+    let threshold = {
+        let mut magnitudes: Vec<f32> = materialized
+            .iter()
+            .flatten()
+            .flat_map(|w| w[0].data().iter().map(|x| x.abs()))
+            .collect();
+        let total = magnitudes.len();
+        let keep = total - ((total as f64) * config.sparsity).round() as usize;
+        magnitudes.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+        if keep == 0 {
+            f32::INFINITY
+        } else if keep >= total {
+            0.0
+        } else {
+            magnitudes[keep - 1]
+        }
+    };
+
     for (node, weights) in out.nodes_mut().iter_mut().zip(materialized) {
         let Some(mut weights) = weights else { continue };
         let w = &mut weights[0];
         let n = w.data().len();
-
-        // Stage 1: magnitude pruning.
-        let keep = n - ((n as f64) * config.sparsity).round() as usize;
-        let mut magnitudes: Vec<f32> = w.data().iter().map(|x| x.abs()).collect();
-        magnitudes.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
-        let threshold = if keep == 0 {
-            f32::INFINITY
-        } else if keep >= n {
-            0.0
-        } else {
-            magnitudes[keep - 1]
-        };
-        let mut surviving: Vec<f32> = Vec::with_capacity(keep);
+        let mut surviving: Vec<f32> = Vec::new();
         let mut survivor_mask: Vec<bool> = Vec::with_capacity(n);
         for &x in w.data().iter() {
             let alive = x.abs() >= threshold && threshold != f32::INFINITY && x != 0.0;
@@ -423,7 +431,8 @@ mod tests {
         for node in compressed.nodes() {
             if matches!(node.op, Op::Dense { .. }) {
                 let w = &exec.node_weights(node).unwrap()[0];
-                let mut distinct: Vec<f32> = w.data().iter().copied().filter(|&x| x != 0.0).collect();
+                let mut distinct: Vec<f32> =
+                    w.data().iter().copied().filter(|&x| x != 0.0).collect();
                 distinct.sort_by(|a, b| a.partial_cmp(b).unwrap());
                 distinct.dedup();
                 assert!(

@@ -62,11 +62,20 @@ impl DeploymentReport {
     #[must_use]
     pub fn to_markdown(&self) -> String {
         let mut out = String::new();
-        out.push_str(&format!("# Deployment report: {} on {}\n\n", self.model, self.target));
+        out.push_str(&format!(
+            "# Deployment report: {} on {}\n\n",
+            self.model, self.target
+        ));
         out.push_str("| metric | value |\n|---|---|\n");
         out.push_str(&format!("| precision | {} |\n", self.precision));
-        out.push_str(&format!("| inference duration | {:.2} ms |\n", self.latency_ms));
-        out.push_str(&format!("| throughput | {:.1} inf/s |\n", self.throughput_ips));
+        out.push_str(&format!(
+            "| inference duration | {:.2} ms |\n",
+            self.latency_ms
+        ));
+        out.push_str(&format!(
+            "| throughput | {:.1} inf/s |\n",
+            self.throughput_ips
+        ));
         out.push_str(&format!("| average power | {:.2} W |\n", self.avg_power_w));
         out.push_str(&format!(
             "| energy / inference | {:.4} J |\n",

@@ -68,10 +68,7 @@ enum Tree {
 impl Ord for HeapNode {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         // BinaryHeap is a max-heap; invert for min-heap behaviour.
-        other
-            .weight
-            .cmp(&self.weight)
-            .then(other.id.cmp(&self.id))
+        other.weight.cmp(&self.weight).then(other.id.cmp(&self.id))
     }
 }
 
@@ -274,7 +271,11 @@ mod tests {
         let mut symbols = vec![0u16; 1000];
         symbols.extend(vec![1u16; 10]);
         let enc = encode(&symbols, 2);
-        assert!(enc.payload_bytes() < 1010 / 4, "{} bytes", enc.payload_bytes());
+        assert!(
+            enc.payload_bytes() < 1010 / 4,
+            "{} bytes",
+            enc.payload_bytes()
+        );
         assert_eq!(decode(&enc).unwrap(), symbols);
     }
 

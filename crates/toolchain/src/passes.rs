@@ -93,7 +93,9 @@ impl PassManager {
 impl std::fmt::Debug for PassManager {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let names: Vec<&str> = self.passes.iter().map(|p| p.name()).collect();
-        f.debug_struct("PassManager").field("passes", &names).finish()
+        f.debug_struct("PassManager")
+            .field("passes", &names)
+            .finish()
     }
 }
 
@@ -217,7 +219,10 @@ impl Pass for FuseConvBn {
             .map(|t| remap[t.0].expect("output produced"))
             .collect();
         let g = b.finish(outputs);
-        Ok((g, format!("folded {fused} batch-norm layers into convolutions")))
+        Ok((
+            g,
+            format!("folded {fused} batch-norm layers into convolutions"),
+        ))
     }
 }
 
@@ -299,7 +304,10 @@ impl Pass for PruneConnections {
         };
         Ok((
             graph,
-            format!("zeroed {zeroed}/{total} connections ({achieved:.1}% sparsity)", achieved = achieved * 100.0),
+            format!(
+                "zeroed {zeroed}/{total} connections ({achieved:.1}% sparsity)",
+                achieved = achieved * 100.0
+            ),
         ))
     }
 }
@@ -341,7 +349,8 @@ impl Pass for PruneNeurons {
         // Validate the chain shape: Input / Flatten / Dense / Activation.
         for node in graph.nodes() {
             match node.op {
-                Op::Input(_) | Op::Flatten | Op::Dense { .. } | Op::Activation(_) | Op::Softmax => {}
+                Op::Input(_) | Op::Flatten | Op::Dense { .. } | Op::Activation(_) | Op::Softmax => {
+                }
                 _ => {
                     return Err(ToolchainError::UnsupportedGraph {
                         pass: self.name().into(),
@@ -393,7 +402,10 @@ impl Pass for PruneNeurons {
                 .collect();
             norms.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
             let keep = ((out_features as f64) * self.keep_fraction).ceil().max(1.0) as usize;
-            let mut kept: Vec<usize> = norms[..keep.min(out_features)].iter().map(|&(o, _)| o).collect();
+            let mut kept: Vec<usize> = norms[..keep.min(out_features)]
+                .iter()
+                .map(|&(o, _)| o)
+                .collect();
             kept.sort_unstable();
             removed += out_features - kept.len();
             kept_per_layer.push(kept);
@@ -434,10 +446,8 @@ impl Pass for PruneNeurons {
                             new_w.push(w.data()[o * in_f + c]);
                         }
                     }
-                    let mut tensors = vec![Tensor::from_vec(
-                        Shape::nf(kept.len(), cols.len()),
-                        new_w,
-                    )?];
+                    let mut tensors =
+                        vec![Tensor::from_vec(Shape::nf(kept.len(), cols.len()), new_w)?];
                     if *bias {
                         let old_b = &weights[li][1];
                         let new_b: Vec<f32> = kept.iter().map(|&o| old_b.data()[o]).collect();
@@ -469,7 +479,10 @@ impl Pass for PruneNeurons {
             .collect();
         Ok((
             b.finish(outputs),
-            format!("removed {removed} hidden neurons (keep fraction {:.2})", self.keep_fraction),
+            format!(
+                "removed {removed} hidden neurons (keep fraction {:.2})",
+                self.keep_fraction
+            ),
         ))
     }
 }
@@ -568,7 +581,9 @@ impl Pass for PruneChannels {
         let mut removed = 0usize;
         for (pos, &idx) in conv_indices.iter().enumerate() {
             let node = &graph.nodes()[idx];
-            let Op::Conv2d(attrs) = &node.op else { unreachable!() };
+            let Op::Conv2d(attrs) = &node.op else {
+                unreachable!()
+            };
             if pos == conv_indices.len() - 1 {
                 kept.insert(idx, (0..attrs.out_channels).collect());
                 continue;
@@ -608,10 +623,7 @@ impl Pass for PruneChannels {
                 .iter()
                 .map(|t| remap[t.0].expect("emitted"))
                 .collect();
-            let in_channels = node
-                .inputs
-                .first()
-                .and_then(|t| channels_of[t.0].clone());
+            let in_channels = node.inputs.first().and_then(|t| channels_of[t.0].clone());
             let out = match &node.op {
                 Op::Conv2d(attrs) => {
                     let weights = exec.node_weights(node)?;
@@ -622,8 +634,7 @@ impl Pass for PruneChannels {
                     let in_keep: Vec<usize> =
                         in_channels.clone().unwrap_or_else(|| (0..old_in).collect());
                     let out_keep = kept[&idx].clone();
-                    let mut new_w =
-                        Vec::with_capacity(out_keep.len() * in_keep.len() * kh * kw);
+                    let mut new_w = Vec::with_capacity(out_keep.len() * in_keep.len() * kh * kw);
                     for &o in &out_keep {
                         for &c in &in_keep {
                             let base = ((o * old_in) + c) * kh * kw;
@@ -649,12 +660,11 @@ impl Pass for PruneChannels {
                         &new_inputs,
                         WeightInit::Explicit(tensors),
                     )?;
-                    channels_of[node.output.0] =
-                        if out_keep.len() < attrs.out_channels {
-                            Some(out_keep)
-                        } else {
-                            None
-                        };
+                    channels_of[node.output.0] = if out_keep.len() < attrs.out_channels {
+                        Some(out_keep)
+                    } else {
+                        None
+                    };
                     out
                 }
                 Op::BatchNorm => {
@@ -795,11 +805,7 @@ impl Pass for QuantizeInt8 {
                 let new_input = b.input(graph.tensor_shape(t).expect("input").clone());
                 let scale = absmax[t.0] / 127.0;
                 let quantized = if scale > 0.0 {
-                    b.apply(
-                        format!("{t}.quant"),
-                        Op::FakeQuant { scale },
-                        &[new_input],
-                    )?
+                    b.apply(format!("{t}.quant"), Op::FakeQuant { scale }, &[new_input])?
                 } else {
                     new_input
                 };
@@ -986,7 +992,11 @@ mod tests {
         let (fused, detail) = FuseConvBn::new().run(g).unwrap();
         fused.validate().unwrap();
         assert_eq!(
-            fused.nodes().iter().filter(|n| n.op == Op::BatchNorm).count(),
+            fused
+                .nodes()
+                .iter()
+                .filter(|n| n.op == Op::BatchNorm)
+                .count(),
             0
         );
         assert!(detail.contains(&bn_before.to_string()));
@@ -1048,10 +1058,19 @@ mod tests {
             .iter()
             .find(|n| n.name == "fc1")
             .expect("hidden layer");
-        assert!(matches!(hidden.op, Op::Dense { out_features: 16, .. }));
+        assert!(matches!(
+            hidden.op,
+            Op::Dense {
+                out_features: 16,
+                ..
+            }
+        ));
         // Accuracy survives structured pruning of a separable problem.
         let acc = evaluate(&pruned, &data).unwrap().accuracy();
-        assert!(acc > base_acc - 0.15, "accuracy dropped {base_acc} -> {acc}");
+        assert!(
+            acc > base_acc - 0.15,
+            "accuracy dropped {base_acc} -> {acc}"
+        );
     }
 
     #[test]

@@ -1,9 +1,9 @@
 //! Structured channel-pruning tests on linear conv chains.
 
-use vedliot_toolchain::passes::{Pass, PruneChannels};
 use vedliot_nnir::cost::CostReport;
 use vedliot_nnir::exec::Executor;
 use vedliot_nnir::{zoo, Op, Shape, Tensor};
+use vedliot_toolchain::passes::{Pass, PruneChannels};
 
 fn chain() -> vedliot_nnir::Graph {
     zoo::tiny_cnn("cam", Shape::nchw(1, 3, 32, 32), &[16, 32, 64], 4).unwrap()
@@ -46,7 +46,10 @@ fn classifier_width_is_preserved() {
     };
     let (pruned, _) = PruneChannels::new(0.5).run(g).unwrap();
     let fc = pruned.nodes().iter().find(|n| n.name == "fc").unwrap();
-    assert_eq!(pruned.node_input_shapes(fc)[0].dim(1).unwrap(), fc_in_before);
+    assert_eq!(
+        pruned.node_input_shapes(fc)[0].dim(1).unwrap(),
+        fc_in_before
+    );
 }
 
 #[test]
@@ -81,7 +84,12 @@ fn batchnorm_params_track_pruned_channels() {
         if node.op == Op::BatchNorm {
             let c = pruned.node_input_shapes(node)[0].dim(1).unwrap();
             let w = exec.node_weights(node).unwrap();
-            assert_eq!(w[0].shape().elem_count(), c, "bn scale width at {}", node.name);
+            assert_eq!(
+                w[0].shape().elem_count(),
+                c,
+                "bn scale width at {}",
+                node.name
+            );
         }
     }
 }

@@ -187,11 +187,7 @@ impl Verifier {
         let Some(pos) = self.outstanding.iter().position(|n| n == &report.nonce) else {
             return false; // unknown or replayed nonce
         };
-        let Some(&(_, key)) = self
-            .enrolled
-            .iter()
-            .find(|(id, _)| id == &report.device_id)
-        else {
+        let Some(&(_, key)) = self.enrolled.iter().find(|(id, _)| id == &report.device_id) else {
             return false;
         };
         if let Some(expected) = self.expected_measurement {

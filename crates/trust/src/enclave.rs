@@ -231,7 +231,10 @@ mod tests {
         let v = e.ecall(1, || 41) + 1;
         assert_eq!(v, 42);
         assert_eq!(e.stats().ecalls, 1);
-        assert_eq!(e.stats().overhead_cycles, EnclaveConfig::default().ecall_cycles);
+        assert_eq!(
+            e.stats().overhead_cycles,
+            EnclaveConfig::default().ecall_cycles
+        );
         e.ocall(|| ());
         assert_eq!(e.stats().ocalls, 1);
     }
@@ -277,7 +280,11 @@ mod tests {
         let e = Enclave::create(b"monitor", EnclaveConfig::default());
         let secret = b"model-weights-key".to_vec();
         let sealed = e.seal(&secret);
-        assert_ne!(&sealed[32..], &secret[..], "ciphertext differs from plaintext");
+        assert_ne!(
+            &sealed[32..],
+            &secret[..],
+            "ciphertext differs from plaintext"
+        );
         assert_eq!(e.unseal(&sealed), Some(secret.clone()));
 
         // A different enclave cannot unseal.

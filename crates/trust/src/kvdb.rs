@@ -419,10 +419,7 @@ mod tests {
             let native_result = native.get(k).unwrap_or(-1);
             assert_eq!(vm_result, native_result, "key {k}");
         }
-        assert_eq!(
-            vm.call(2, &[]).unwrap().unwrap() as i64,
-            native.scan_sum()
-        );
+        assert_eq!(vm.call(2, &[]).unwrap().unwrap() as i64, native.scan_sum());
     }
 
     #[test]

@@ -91,8 +91,7 @@ mod tests {
         verifier.expect_measurement(expected_ta_measurement(boot, b"robustness-monitor-v2"));
 
         let nonce = verifier.challenge();
-        let report =
-            attest_ta(&mut tz, CallerLevel::Kernel, &rot, boot, "monitor", nonce).unwrap();
+        let report = attest_ta(&mut tz, CallerLevel::Kernel, &rot, boot, "monitor", nonce).unwrap();
         assert!(verifier.verify(&report));
         // The world returned to normal after the SMC.
         assert_eq!(tz.world(), World::Normal);
@@ -108,8 +107,7 @@ mod tests {
         // Verifier expects v3, device runs v2.
         verifier.expect_measurement(expected_ta_measurement(boot, b"robustness-monitor-v3"));
         let nonce = verifier.challenge();
-        let report =
-            attest_ta(&mut tz, CallerLevel::Kernel, &rot, boot, "monitor", nonce).unwrap();
+        let report = attest_ta(&mut tz, CallerLevel::Kernel, &rot, boot, "monitor", nonce).unwrap();
         assert!(!verifier.verify(&report));
     }
 

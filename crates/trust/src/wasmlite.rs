@@ -160,10 +160,8 @@ impl Module {
     pub fn validate(&self) -> Result<(), VmError> {
         for (fi, func) in self.funcs.iter().enumerate() {
             let locals = func.params + func.locals;
-            let final_depth =
-                validate_seq(&func.body, locals, self, 0).map_err(|m| {
-                    VmError::Validation(format!("function {fi}: {m}"))
-                })?;
+            let final_depth = validate_seq(&func.body, locals, self, 0)
+                .map_err(|m| VmError::Validation(format!("function {fi}: {m}")))?;
             if func.returns_value && final_depth != Some(1) && final_depth.is_some() {
                 return Err(VmError::Validation(format!(
                     "function {fi}: must leave exactly 1 value, leaves {final_depth:?}"
@@ -371,7 +369,12 @@ impl Instance {
         self.call_depth(index, args, 0)
     }
 
-    fn call_depth(&mut self, index: u32, args: &[i32], depth: usize) -> Result<Option<i32>, VmError> {
+    fn call_depth(
+        &mut self,
+        index: u32,
+        args: &[i32],
+        depth: usize,
+    ) -> Result<Option<i32>, VmError> {
         if depth > 128 {
             return Err(VmError::StackOverflow);
         }
@@ -387,7 +390,11 @@ impl Instance {
         }
         let mut stack: Vec<i32> = Vec::with_capacity(16);
         self.exec_seq(&func.body, &mut locals, &mut stack, depth)?;
-        Ok(if func.returns_value { stack.pop() } else { None })
+        Ok(if func.returns_value {
+            stack.pop()
+        } else {
+            None
+        })
     }
 
     fn exec_seq(
@@ -660,10 +667,7 @@ mod tests {
             returns_value: false,
             body: vec![I32Add],
         });
-        assert!(matches!(
-            Instance::new(m),
-            Err(VmError::Validation(_))
-        ));
+        assert!(matches!(Instance::new(m), Err(VmError::Validation(_))));
     }
 
     #[test]

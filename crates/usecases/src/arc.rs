@@ -37,7 +37,12 @@ pub struct ArcWaveform {
 /// series-arc signature: sudden high-frequency content plus a small DC
 /// drop).
 #[must_use]
-pub fn synthesize_current(len: usize, arc_start: Option<usize>, feeder: usize, seed: u64) -> ArcWaveform {
+pub fn synthesize_current(
+    len: usize,
+    arc_start: Option<usize>,
+    feeder: usize,
+    seed: u64,
+) -> ArcWaveform {
     let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1);
     let mut noise = move || {
         state ^= state >> 12;
@@ -126,9 +131,9 @@ impl ArcDetector {
             let stat = (sum_sq / effective).sqrt();
             if n + 1 >= self.window && stat > self.threshold {
                 let trip_index = n + 1;
-                let latency_us = waveform.arc_start.map(|start| {
-                    (trip_index.saturating_sub(start)) as f64 / SAMPLE_HZ * 1e6
-                });
+                let latency_us = waveform
+                    .arc_start
+                    .map(|start| (trip_index.saturating_sub(start)) as f64 / SAMPLE_HZ * 1e6);
                 return Detection {
                     tripped: true,
                     trip_index: Some(trip_index),
@@ -173,7 +178,12 @@ pub fn sweep_threshold(
             i % 8,
             seed + i as u64,
         ));
-        waveforms.push(synthesize_current(8_192, None, i % 8, seed + 10_000 + i as u64));
+        waveforms.push(synthesize_current(
+            8_192,
+            None,
+            i % 8,
+            seed + 10_000 + i as u64,
+        ));
     }
     thresholds
         .iter()

@@ -160,8 +160,7 @@ impl OffloadController {
         let local_ok = self.config.car_latency_ms <= deadline;
         if self.edge_attested {
             if let Some(latency) = self.config.offload_latency_ms(net) {
-                let saves_energy =
-                    self.config.offload_car_energy_j() < self.config.car_energy_j;
+                let saves_energy = self.config.offload_car_energy_j() < self.config.car_energy_j;
                 if latency <= deadline && saves_energy {
                     return (Decision::Offloaded, false);
                 }
@@ -318,7 +317,10 @@ mod tests {
         let local_only = OffloadController::new(config);
         let with_offload = run_drive(&attested, &trace, 50.0);
         let without = run_drive(&local_only, &trace, 50.0);
-        assert!(with_offload.offload_fraction() > 0.3, "offload should engage");
+        assert!(
+            with_offload.offload_fraction() > 0.3,
+            "offload should engage"
+        );
         assert!(
             with_offload.car_energy_j < without.car_energy_j,
             "offloading must cut on-car energy: {} !< {}",

@@ -17,7 +17,11 @@ use vedliot::nnir::{zoo, DataType};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let model = zoo::mobilenet_v3_large(1000)?;
     let cost = CostReport::of(&model)?;
-    println!("workload: {} ({} MMACs)\n", cost.model, cost.total_macs / 1_000_000);
+    println!(
+        "workload: {} ({} MMACs)\n",
+        cost.model,
+        cost.total_macs / 1_000_000
+    );
 
     // (1) Off-the-shelf under a 10 W far-edge budget.
     let db = catalog();
@@ -49,8 +53,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         static_acc.derated(0.2),
     ];
     let mut region = ReconfigurableAccelerator::new(modes);
-    println!("(3) dynamically reconfigurable region ({} modes):", region.mode_count());
-    let relaxed = region.adapt_to_latency(&model, 1_000.0)?.expect("a mode fits");
+    println!(
+        "(3) dynamically reconfigurable region ({} modes):",
+        region.mode_count()
+    );
+    let relaxed = region
+        .adapt_to_latency(&model, 1_000.0)?
+        .expect("a mode fits");
     println!(
         "    relaxed 1000 ms bound -> mode {} ({:.1} W) after a {:.0} ms partial reconfig",
         relaxed.to,
@@ -58,7 +67,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         relaxed.latency_ms
     );
     let tight_bound = static_run.latency_ms * 1.2;
-    let tight = region.adapt_to_latency(&model, tight_bound)?.expect("full mode fits");
+    let tight = region
+        .adapt_to_latency(&model, tight_bound)?
+        .expect("full mode fits");
     println!(
         "    tight {:.1} ms bound  -> mode {} ({:.1} W)\n",
         tight_bound,

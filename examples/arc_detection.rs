@@ -4,7 +4,7 @@
 //!
 //! Run with `cargo run --example arc_detection`.
 
-use vedliot::usecases::arc::{sweep_threshold, ArcDetector, synthesize_current};
+use vedliot::usecases::arc::{sweep_threshold, synthesize_current, ArcDetector};
 
 fn main() {
     // One concrete detection, start to finish.

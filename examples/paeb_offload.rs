@@ -28,7 +28,10 @@ fn main() {
     );
 
     let trace = NetworkTrace::generate(3_000, 2026);
-    println!("\nsimulated drive: {} frames over a bursty cellular trace", trace.len());
+    println!(
+        "\nsimulated drive: {} frames over a bursty cellular trace",
+        trace.len()
+    );
     println!(
         "\n{:>6} {:>9} {:>9} {:>8} {:>12} {:>12}",
         "km/h", "local", "offload", "miss", "car energy", "total"

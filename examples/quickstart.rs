@@ -10,8 +10,8 @@ use vedliot::accel::approaches::select_off_the_shelf;
 use vedliot::accel::catalog::catalog;
 use vedliot::nnir::cost::CostReport;
 use vedliot::nnir::{zoo, DataType};
-use vedliot::toolchain::passes::{FuseConvBn, PassManager, QuantizeInt8};
 use vedliot::toolchain::benchmark_deployment;
+use vedliot::toolchain::passes::{FuseConvBn, PassManager, QuantizeInt8};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. A model from the paper's evaluation set.
@@ -29,8 +29,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 2. Off-the-shelf accelerator selection under a 15 W far-edge budget
     //    (the uRECS envelope).
     let db = catalog();
-    let (platform, baseline) = select_off_the_shelf(&db, &model, 15.0)?
-        .expect("the catalog has sub-15W parts");
+    let (platform, baseline) =
+        select_off_the_shelf(&db, &model, 15.0)?.expect("the catalog has sub-15W parts");
     println!("\nselected platform: {platform}");
     println!(
         "  baseline: {:.1} ms / inference, {:.1} GOPS, {:.2} W",

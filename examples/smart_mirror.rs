@@ -15,7 +15,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         chassis.power_budget_w()
     );
     for (slot, server) in chassis.populated() {
-        println!("  slot {slot}: {} ({:.1} W)", server.name, server.peak_power_w());
+        println!(
+            "  slot {slot}: {} ({:.1} W)",
+            server.name,
+            server.peak_power_w()
+        );
     }
 
     // Privacy check: every network's data stays on the device.
@@ -25,7 +29,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nprivacy: all four networks process sensor data on-site");
 
     let report = deploy_mirror(&chassis)?;
-    println!("\n{:<10} {:>6} {:>12} {:>12} {:>8}", "network", "slot", "latency", "energy/inf", "load");
+    println!(
+        "\n{:<10} {:>6} {:>12} {:>12} {:>8}",
+        "network", "slot", "latency", "energy/inf", "load"
+    );
     for a in &report.placement.assignments {
         println!(
             "{:<10} {:>6} {:>9.1} ms {:>10.4} J {:>7.1}%",

@@ -28,7 +28,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         BootOutcome::Trusted { boot_measurement } => boot_measurement,
         BootOutcome::Halted { stage } => panic!("secure boot halted at {stage}"),
     };
-    println!("secure boot OK, measurement {}", &to_hex(&boot_measurement)[..16]);
+    println!(
+        "secure boot OK, measurement {}",
+        &to_hex(&boot_measurement)[..16]
+    );
 
     // --- 2. Remote attestation ---
     let rot = RootOfTrust::provision(b"edge-node-7");

@@ -19,7 +19,11 @@ fn fig3_one_tops_per_watt_cluster() {
         "geometric mean {gm:.2} TOPS/W should cluster around 1"
     );
     // And the power range spans milliwatts to > 400 W as the text says.
-    let min = db.entries().iter().map(|e| e.tdp_w).fold(f64::INFINITY, f64::min);
+    let min = db
+        .entries()
+        .iter()
+        .map(|e| e.tdp_w)
+        .fold(f64::INFINITY, f64::min);
     let max = db.entries().iter().map(|e| e.tdp_w).fold(0.0, f64::max);
     assert!(min < 0.01 && max >= 400.0);
 }

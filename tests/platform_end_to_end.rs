@@ -39,7 +39,10 @@ fn heterogeneous_edge_node_with_fabric_reconfiguration() {
     let event = fabric.reconfigure(0, 1, Some(LinkKind::Eth10G));
     assert!(event.apply_us < 10_000.0, "reconfiguration is fast");
     let fast = fabric.transfer_us(0, 1, 1 << 20).unwrap();
-    assert!(fast < slow / 5.0, "10G must be >5x faster: {fast} vs {slow}");
+    assert!(
+        fast < slow / 5.0,
+        "10G must be >5x faster: {fast} vs {slow}"
+    );
 }
 
 /// Slot failure: the scheduler re-places every workload on survivors and

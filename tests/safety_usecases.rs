@@ -23,8 +23,14 @@ fn stuck_vibration_sensor_is_screened_out() {
     monitor.reset();
     // The same window with a stuck-at fault from sample 100 is flagged.
     let faulty = inject_sensor_fault(&vibration, SensorFault::StuckAt { start: 100 }, 0);
-    let flagged = faulty.iter().filter(|&&x| !monitor.observe(x).is_ok()).count();
-    assert!(flagged > 50, "stuck tail must be flagged ({flagged} samples)");
+    let flagged = faulty
+        .iter()
+        .filter(|&&x| !monitor.observe(x).is_ok())
+        .count();
+    assert!(
+        flagged > 50,
+        "stuck tail must be flagged ({flagged} samples)"
+    );
 }
 
 /// Slow temperature-sensor drift — invisible to range checks — is caught
@@ -42,8 +48,14 @@ fn temperature_drift_evades_range_but_not_drift_monitor() {
     );
     let mut range = RangeMonitor::new(-40.0, 125.0);
     let mut drift = DriftMonitor::new(32, 0.5);
-    let range_flags = drifted.iter().filter(|&&x| !range.observe(x).is_ok()).count();
-    let drift_flags = drifted.iter().filter(|&&x| !drift.observe(x).is_ok()).count();
+    let range_flags = drifted
+        .iter()
+        .filter(|&&x| !range.observe(x).is_ok())
+        .count();
+    let drift_flags = drifted
+        .iter()
+        .filter(|&&x| !drift.observe(x).is_ok())
+        .count();
     assert_eq!(range_flags, 0, "drift stays inside the physical range");
     assert!(drift_flags > 0, "the drift monitor must flag the ramp");
 }
@@ -55,11 +67,9 @@ fn arc_detector_under_hybridization_kernel() {
     // Action: Some(feeder index to open) — the kernel's invariant caps
     // the feeder index at the cabinet's 8 feeders; safe action opens the
     // main breaker (feeder 0).
-    let mut kernel = SafetyKernel::new(Some(0usize), 2_000, |_obs: &usize, action| {
-        match action {
-            Some(feeder) if *feeder >= 8 => Err(format!("feeder {feeder} does not exist")),
-            _ => Ok(()),
-        }
+    let mut kernel = SafetyKernel::new(Some(0usize), 2_000, |_obs: &usize, action| match action {
+        Some(feeder) if *feeder >= 8 => Err(format!("feeder {feeder} does not exist")),
+        _ => Ok(()),
     });
 
     // Healthy decision: arc on feeder 3, detector proposes opening it.
@@ -102,7 +112,11 @@ fn redundant_arc_channels_vote_out_a_faulty_sensor() {
         .map(|w| usize::from(detector.detect(w).tripped))
         .collect();
     assert_eq!(votes[2], 1, "the noisy channel false-trips on its own");
-    assert_eq!(majority_vote(&votes), Some(0), "2-of-3 voting suppresses it");
+    assert_eq!(
+        majority_vote(&votes),
+        Some(0),
+        "2-of-3 voting suppresses it"
+    );
 }
 
 /// The z-score monitor is calibrated so the bearing-fault signature —

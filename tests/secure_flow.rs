@@ -69,14 +69,18 @@ fn enclave_hosted_robustness_service_detects_corruption() {
     // under an ecall, charged with transition costs.
     let mut enclave = Enclave::create(b"robustness-monitor-v1", EnclaveConfig::default());
     let mut service = RobustnessService::new(golden, 1, 1e-4);
-    let verdict = enclave.ecall(4 * 1024, || service.submit(&input, &claimed))
+    let verdict = enclave
+        .ecall(4 * 1024, || service.submit(&input, &claimed))
         .unwrap();
     assert!(matches!(verdict, OutputVerdict::Diverged { .. }));
     assert_eq!(enclave.stats().ecalls, 1);
 
     // Sealed model identity survives a restart: seal + unseal round trip.
     let sealed = enclave.seal(b"golden-model-digest");
-    assert_eq!(enclave.unseal(&sealed).as_deref(), Some(b"golden-model-digest".as_slice()));
+    assert_eq!(
+        enclave.unseal(&sealed).as_deref(),
+        Some(b"golden-model-digest".as_slice())
+    );
 }
 
 /// PMP isolation on the simulated SoC composes with a CFU-accelerated

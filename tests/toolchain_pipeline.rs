@@ -5,7 +5,9 @@ use vedliot::accel::catalog::catalog;
 use vedliot::nnir::dataset::gaussian_prototypes;
 use vedliot::nnir::train::{mlp, train_mlp, TrainConfig};
 use vedliot::nnir::{zoo, Shape};
-use vedliot::toolchain::passes::{ConvertFp16, FuseConvBn, PassManager, PruneNeurons, QuantizeInt8};
+use vedliot::toolchain::passes::{
+    ConvertFp16, FuseConvBn, PassManager, PruneNeurons, QuantizeInt8,
+};
 use vedliot::toolchain::{benchmark_deployment, deep_compress, CompressionConfig};
 
 /// Train → compress → deploy on an MCU-class target, quality measured

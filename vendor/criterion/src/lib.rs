@@ -1,0 +1,226 @@
+//! Offline stand-in for `criterion`.
+//!
+//! crates.io is unreachable from the build environment, so this crate
+//! implements the benchmark-facing subset the workspace uses —
+//! [`Criterion::bench_function`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`criterion_group!`], [`criterion_main!`]
+//! and [`black_box`] — over a simple wall-clock harness: per benchmark
+//! it warms up, then takes `sample_size` timed samples and reports the
+//! median, minimum and mean time per iteration.
+//!
+//! Running under `cargo test` (Cargo passes `--test` to bench targets)
+//! executes every benchmark body exactly once as a smoke test, like
+//! upstream criterion's test mode. A positional CLI argument filters
+//! benchmarks by substring, so `cargo bench -p vedliot-bench --
+//! executor` behaves as expected.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup cost; only a tuning hint here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration state: batches of iterations share one timer.
+    SmallInput,
+    /// Large per-iteration state: fewer iterations per batch.
+    LargeInput,
+    /// One setup per timed iteration.
+    PerIteration,
+}
+
+/// Per-benchmark measurement driver handed to the closure of
+/// [`Criterion::bench_function`].
+pub struct Bencher<'c> {
+    config: &'c Criterion,
+    /// Measured nanoseconds per iteration, one entry per sample.
+    samples_ns: Vec<f64>,
+    test_mode: bool,
+}
+
+impl Bencher<'_> {
+    /// Times `routine` repeatedly and records per-iteration cost.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        let iters = calibrate(|| {
+            black_box(routine());
+        });
+        for _ in 0..self.config.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let dt = start.elapsed();
+            self.samples_ns.push(dt.as_secs_f64() * 1e9 / iters as f64);
+        }
+    }
+
+    /// Times `routine` on fresh state from `setup`, excluding setup time
+    /// per sample (setup runs outside the timed region).
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        if self.test_mode {
+            black_box(routine(setup()));
+            return;
+        }
+        for _ in 0..self.config.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            let dt = start.elapsed();
+            self.samples_ns.push(dt.as_secs_f64() * 1e9);
+        }
+    }
+}
+
+/// Picks an iteration count so one sample takes roughly 5 ms.
+fn calibrate(mut probe: impl FnMut()) -> u64 {
+    let start = Instant::now();
+    probe();
+    let once = start.elapsed().max(Duration::from_nanos(50));
+    let target = Duration::from_millis(5);
+    ((target.as_secs_f64() / once.as_secs_f64()).ceil() as u64).clamp(1, 1_000_000)
+}
+
+/// Benchmark registry and configuration (mirrors upstream `Criterion`).
+pub struct Criterion {
+    sample_size: usize,
+    filter: Option<String>,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut filter = None;
+        let mut test_mode = false;
+        for arg in std::env::args().skip(1) {
+            if arg == "--test" {
+                test_mode = true;
+            } else if !arg.starts_with('-') {
+                filter = Some(arg);
+            }
+        }
+        Criterion {
+            sample_size: 20,
+            filter,
+            test_mode,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one named benchmark if it passes the CLI filter.
+    pub fn bench_function(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut b = Bencher {
+            config: self,
+            samples_ns: Vec::new(),
+            test_mode: self.test_mode,
+        };
+        f(&mut b);
+        if self.test_mode {
+            println!("{id}: ok (test mode)");
+            return self;
+        }
+        let mut ns = b.samples_ns;
+        if ns.is_empty() {
+            println!("{id}: no samples recorded");
+            return self;
+        }
+        ns.sort_by(|a, b| a.partial_cmp(b).expect("finite sample"));
+        let median = ns[ns.len() / 2];
+        let min = ns[0];
+        let mean = ns.iter().sum::<f64>() / ns.len() as f64;
+        println!(
+            "{id}: median {} (min {}, mean {}, {} samples)",
+            fmt_ns(median),
+            fmt_ns(min),
+            fmt_ns(mean),
+            ns.len()
+        );
+        self
+    }
+}
+
+/// Formats nanoseconds with a human-scale unit.
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Declares a benchmark group function, in either upstream form:
+/// `criterion_group!(name, target, ...)` or
+/// `criterion_group!(name = n; config = c; targets = t, ...)`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibrate_returns_positive() {
+        assert!(
+            calibrate(|| {
+                std::hint::black_box(1 + 1);
+            }) >= 1
+        );
+    }
+
+    #[test]
+    fn fmt_ns_scales_units() {
+        assert!(fmt_ns(12.0).ends_with("ns"));
+        assert!(fmt_ns(12_000.0).ends_with("us"));
+        assert!(fmt_ns(12_000_000.0).ends_with("ms"));
+        assert!(fmt_ns(2e9).ends_with('s'));
+    }
+}

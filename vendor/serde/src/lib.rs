@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde`.
+//!
+//! crates.io is unreachable from the build environment, and the
+//! workspace uses serde purely as `#[derive(Serialize, Deserialize)]`
+//! markers on IR/config types (nothing serializes yet). This crate
+//! provides the two trait names and re-exports the vendored no-op
+//! derive macros so those annotations keep compiling unchanged. Swap
+//! back to upstream serde when real wire formats are introduced.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace only uses `#[derive(Serialize, Deserialize)]` as a
+//! forward-compatibility marker — no code path serializes anything yet,
+//! and crates.io is unreachable from the build environment. These
+//! derives therefore expand to nothing, which is a valid (if inert)
+//! derive expansion. When real serialization lands, swap the vendored
+//! `serde`/`serde_derive` back to the upstream crates.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
