@@ -11,6 +11,14 @@ cd "$(dirname "$0")"
 fast=0
 [[ "${1:-}" == "--fast" ]] && fast=1
 
+echo "==> repo hygiene"
+# The harness prints to stdout; its output is recorded in EXPERIMENTS.md,
+# never checked in raw. This file was deleted once already — keep it gone.
+if [[ -e harness_output.txt ]]; then
+  echo "ERROR: stale harness_output.txt reappeared; record results in EXPERIMENTS.md instead" >&2
+  exit 1
+fi
+
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 
@@ -24,5 +32,8 @@ fi
 
 echo "==> cargo test -q"
 cargo test -q
+
+echo "==> serving smoke test (100 requests, zero lost)"
+cargo test -q -p vedliot-serve --test serving smoke_100_requests_zero_lost
 
 echo "CI green."

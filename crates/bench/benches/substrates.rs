@@ -9,7 +9,7 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 use vedliot::accel::catalog::catalog;
 use vedliot::accel::perf::PerfModel;
-use vedliot::nnir::exec::{Executor, Parallelism, Runner};
+use vedliot::nnir::exec::{Parallelism, RunOptions, Runner};
 use vedliot::nnir::{zoo, Shape, Tensor};
 use vedliot::safety::monitors::{SampleMonitor, ZScoreMonitor};
 use vedliot::socsim::asm::assemble;
@@ -54,10 +54,13 @@ fn bench_zoo(c: &mut Criterion) {
         ("zoo/tiny_cnn_exec_parallel", Parallelism::Auto),
     ] {
         c.bench_function(label, |b| {
-            let mut runner = Runner::with_parallelism(&cnn, par);
+            let mut runner = Runner::builder().parallelism(par).build(&cnn);
             b.iter(|| {
                 runner
-                    .run(black_box(std::slice::from_ref(&input)))
+                    .execute(
+                        black_box(std::slice::from_ref(&input)),
+                        RunOptions::default(),
+                    )
                     .expect("runs")
             });
         });
@@ -72,9 +75,13 @@ fn bench_executor(c: &mut Criterion) {
     let model = zoo::lenet5(10).expect("builds");
     let input = Tensor::random(Shape::nchw(1, 1, 28, 28), 3, 1.0);
     c.bench_function("executor/lenet5_inference", |b| {
-        let exec = Executor::new(&model);
+        let mut runner = Runner::builder().build(&model);
         b.iter(|| {
-            exec.run(black_box(std::slice::from_ref(&input)))
+            runner
+                .execute(
+                    black_box(std::slice::from_ref(&input)),
+                    RunOptions::default(),
+                )
                 .expect("runs")
         });
     });
@@ -86,10 +93,13 @@ fn bench_executor(c: &mut Criterion) {
             ("parallel", Parallelism::Auto),
         ] {
             c.bench_function(&format!("executor/lenet5_b{batch}_{mode}"), |b| {
-                let mut runner = Runner::with_parallelism(&g, par);
+                let mut runner = Runner::builder().parallelism(par).build(&g);
                 b.iter(|| {
                     runner
-                        .run(black_box(std::slice::from_ref(&input)))
+                        .execute(
+                            black_box(std::slice::from_ref(&input)),
+                            RunOptions::default(),
+                        )
                         .expect("runs")
                 });
             });

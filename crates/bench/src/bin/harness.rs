@@ -5,7 +5,7 @@
 //! Experiments (DESIGN.md §3): `fig2`, `fig3`, `fig4`, `fig4-ext`,
 //! `compression`, `gap`, `twine`, `pmp`, `cfu`, `safety`, `paeb`, `arc`,
 //! `motor`, `mirror`, `reconfig`, `reqeng`, `memory`, `codesign`,
-//! `executor`, or `all`.
+//! `executor`, `serving`, or `all`.
 
 use vedliot_bench::experiments;
 
@@ -32,13 +32,14 @@ fn main() {
         "codesign" => vec![experiments::codesign()],
         "ablation" => vec![experiments::ablation_naive()],
         "executor" => vec![experiments::executor_parallel()],
+        "serving" => vec![experiments::serving()],
         "all" => experiments::all(),
         other => {
             eprintln!("unknown experiment '{other}'");
             eprintln!(
                 "choose one of: fig2 fig3 fig4 fig4-ext compression gap twine pmp cfu \
                  safety paeb arc motor mirror reconfig reqeng memory codesign ablation \
-                 executor all"
+                 executor serving all"
             );
             std::process::exit(2);
         }

@@ -892,7 +892,7 @@ pub fn ablation_naive() -> Experiment {
 #[must_use]
 pub fn executor_parallel() -> Experiment {
     use std::time::Instant;
-    use vedliot::nnir::exec::{Parallelism, Runner};
+    use vedliot::nnir::exec::{Parallelism, RunOptions, Runner};
     use vedliot::nnir::Tensor;
 
     let model = zoo::lenet5(10).expect("builds");
@@ -908,13 +908,17 @@ pub fn executor_parallel() -> Experiment {
         let g = model.with_batch(batch).expect("rebatch");
         let input = Tensor::random(Shape::nchw(batch, 1, 28, 28), 3, 1.0);
         let time_ms = |par: Parallelism| -> f64 {
-            let mut runner = Runner::with_parallelism(&g, par);
+            let mut runner = Runner::builder().parallelism(par).build(&g);
             // Warm the arena and weight cache outside the timed region.
-            runner.run(std::slice::from_ref(&input)).expect("runs");
+            runner
+                .execute(std::slice::from_ref(&input), RunOptions::default())
+                .expect("runs");
             let reps = 10usize;
             let start = Instant::now();
             for _ in 0..reps {
-                runner.run(std::slice::from_ref(&input)).expect("runs");
+                runner
+                    .execute(std::slice::from_ref(&input), RunOptions::default())
+                    .expect("runs");
             }
             start.elapsed().as_secs_f64() * 1e3 / reps as f64
         };
@@ -945,6 +949,121 @@ pub fn executor_parallel() -> Experiment {
     }
 }
 
+/// E21 — serving throughput/latency: the dynamic batcher in
+/// `vedliot-serve` against a sequential single-request baseline.
+///
+/// All requests are submitted up front through the same bounded queue;
+/// only the batch policy differs, so the comparison isolates what
+/// coalescing along axis 0 buys over running each request alone.
+#[must_use]
+pub fn serving() -> Experiment {
+    use std::time::{Duration, Instant};
+    use vedliot::nnir::Tensor;
+    use vedliot::serve::{BatchPolicy, ServeConfig, Server};
+
+    // A Smart-Mirror-class gesture network (§V-C): microsecond-scale
+    // per-sample compute, which is exactly the regime edge serving lives
+    // in — per-request queue/wakeup overhead rivals the model itself, so
+    // coalescing is what keeps the worker busy doing useful work.
+    let model = zoo::tiny_cnn("serve-gesture", Shape::nchw(1, 1, 8, 8), &[4], 3).expect("builds");
+    let requests = 2000usize;
+    // Pre-generate inputs so the timed region measures the server, not
+    // the client's tensor construction.
+    let inputs: Vec<Tensor> = (0..requests)
+        .map(|i| Tensor::random(Shape::nchw(1, 1, 8, 8), i as u64, 1.0))
+        .collect();
+    let mut table = Table::new(&[
+        "policy",
+        "req/s",
+        "p50 ms",
+        "p99 ms",
+        "mean batch",
+        "served",
+    ]);
+    let mut sequential_rps = 0.0f64;
+    let mut best_batched_rps = 0.0f64;
+    for (label, max_batch) in [
+        ("sequential b=1", 1usize),
+        ("batched b≤4", 4),
+        ("batched b≤8", 8),
+    ] {
+        let server = Server::start(
+            &model,
+            ServeConfig {
+                queue_capacity: requests + 8,
+                workers: 1,
+                batch: BatchPolicy {
+                    max_batch,
+                    max_linger: Duration::from_micros(200),
+                },
+                ..ServeConfig::default()
+            },
+        )
+        .expect("server starts");
+        // Warm the runners (arena + weight cache) outside the timed
+        // region, mirroring E20's methodology: async rounds so the
+        // batcher actually forms full batches during warm-up.
+        for _ in 0..3 {
+            let warm: Vec<_> = inputs
+                .iter()
+                .take(max_batch)
+                .map(|input| {
+                    server
+                        .submit(vec![input.clone()], None)
+                        .expect("warmup accepted")
+                })
+                .collect();
+            for t in warm {
+                t.wait().expect("warmup served");
+            }
+        }
+        let start = Instant::now();
+        let tickets: Vec<_> = inputs
+            .iter()
+            .map(|input| {
+                server
+                    .submit(vec![input.clone()], None)
+                    .expect("queue sized for the run")
+            })
+            .collect();
+        for t in tickets {
+            t.wait().expect("request served");
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        let m = server.shutdown();
+        assert!(m.accounted_for(), "no request lost");
+        let rps = requests as f64 / elapsed;
+        if max_batch == 1 {
+            sequential_rps = rps;
+        } else {
+            best_batched_rps = best_batched_rps.max(rps);
+        }
+        table.push(vec![
+            label.into(),
+            format!("{rps:.0}"),
+            format!("{:.3}", m.p50_latency_us as f64 / 1e3),
+            format!("{:.3}", m.p99_latency_us as f64 / 1e3),
+            format!("{:.2}", m.mean_batch),
+            m.served.to_string(),
+        ]);
+    }
+    Experiment {
+        id: "E21",
+        title: "serving — dynamic batching vs sequential single-request execution".into(),
+        table,
+        notes: vec![
+            format!(
+                "best batched throughput {:.2}x the sequential baseline ({:.0} vs {:.0} req/s)",
+                best_batched_rps / sequential_rps,
+                best_batched_rps,
+                sequential_rps
+            ),
+            "every policy serves all requests (served + rejected + timed_out + failed == submitted)"
+                .into(),
+        ],
+    }
+}
+
 /// Runs every experiment in index order.
 #[must_use]
 pub fn all() -> Vec<Experiment> {
@@ -967,6 +1086,7 @@ pub fn all() -> Vec<Experiment> {
         codesign(),
         ablation_naive(),
         executor_parallel(),
+        serving(),
     ]);
     out
 }

@@ -32,6 +32,8 @@ pub enum NnirError {
     },
     /// Execution was attempted with a missing or ill-typed weight/input.
     ExecutionFailure(String),
+    /// The deadline in `RunOptions` expired before execution finished.
+    DeadlineExceeded,
     /// An attribute value was invalid (e.g. zero stride).
     InvalidAttribute {
         /// Operator name.
@@ -54,6 +56,7 @@ impl fmt::Display for NnirError {
                 write!(f, "{op} expects {expected} inputs, got {got}")
             }
             NnirError::ExecutionFailure(detail) => write!(f, "execution failure: {detail}"),
+            NnirError::DeadlineExceeded => write!(f, "execution deadline exceeded"),
             NnirError::InvalidAttribute { op, detail } => {
                 write!(f, "invalid attribute on {op}: {detail}")
             }

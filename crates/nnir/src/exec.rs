@@ -1,17 +1,19 @@
 //! f32 execution engine.
 //!
-//! Two entry points share one kernel library:
+//! One door: every forward pass goes through [`Runner`], built with
+//! [`Runner::builder`] and driven by [`Runner::execute`] under a
+//! [`RunOptions`] (capture-intermediates flag, optional deadline).
+//! The runner owns a reusable buffer arena (intermediate tensors, the
+//! im2col scratch and materialized weights survive across calls), so
+//! repeated inference over a dataset, a benchmark loop or a serving
+//! worker amortizes every allocation after the first run. Weight
+//! materialization has the same single owner:
+//! [`Runner::node_weights`].
 //!
-//! * [`Executor`] — the stateless reference interface the toolchain's
-//!   optimization passes are verified against (fused vs unfused, pruned
-//!   vs dense, fake-quantized vs float). Each call builds a fresh
-//!   [`Runner`] internally, so it stays cheap to hold by shared
-//!   reference.
-//! * [`Runner`] — the hot path. It owns a reusable buffer arena
-//!   (intermediate tensors, the im2col scratch and materialized
-//!   weights survive across calls), so repeated inference over a
-//!   dataset or a benchmark loop amortizes every allocation after the
-//!   first run.
+//! The pre-redesign surface — the stateless [`Executor`] facade and the
+//! split `run` / `run_with_intermediates` / `materialize_node_weights`
+//! entry points — survives only as `#[deprecated]` thin aliases over
+//! the above.
 //!
 //! Heavy kernels (`conv2d`, `dense`, `pool2d`, `batchnorm`) are data
 //! parallel: the output buffer is split into disjoint batch ×
@@ -125,77 +127,135 @@ where
 }
 
 // --------------------------------------------------------------------
-// Executor (stateless reference interface)
+// Run options and output
 // --------------------------------------------------------------------
 
-/// Executes a graph on concrete tensors.
+/// Per-call knobs for [`Runner::execute`] — the one execution
+/// entrypoint.
+///
+/// The default runs plain inference: no intermediate capture, no
+/// deadline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunOptions {
+    /// Keep a clone of *every* value tensor, indexed by
+    /// [`TensorId`](crate::graph::TensorId) — the hook quantization
+    /// calibration uses to observe activation ranges.
+    pub capture_intermediates: bool,
+    /// Abort with [`NnirError::DeadlineExceeded`] if execution has not
+    /// finished by this instant. Checked before every node, so a run
+    /// over budget stops within one kernel of the deadline instead of
+    /// completing a doomed pass — the primitive the serving layer's
+    /// per-request deadlines build on.
+    pub deadline: Option<std::time::Instant>,
+}
+
+impl RunOptions {
+    /// Default options: plain inference.
+    #[must_use]
+    pub fn new() -> Self {
+        RunOptions::default()
+    }
+
+    /// Requests capture of every intermediate value tensor.
+    #[must_use]
+    pub fn capture_intermediates(mut self, capture: bool) -> Self {
+        self.capture_intermediates = capture;
+        self
+    }
+
+    /// Sets an absolute execution deadline.
+    #[must_use]
+    pub fn deadline(mut self, at: std::time::Instant) -> Self {
+        self.deadline = Some(at);
+        self
+    }
+
+    /// Sets a deadline relative to now.
+    #[must_use]
+    pub fn deadline_in(self, budget: std::time::Duration) -> Self {
+        self.deadline(std::time::Instant::now() + budget)
+    }
+}
+
+/// Result of one [`Runner::execute`] call.
+#[derive(Debug, Clone)]
+pub struct RunOutput {
+    outputs: Vec<Tensor>,
+    intermediates: Option<Vec<Option<Tensor>>>,
+}
+
+impl RunOutput {
+    /// The graph output tensors, in graph-output order.
+    #[must_use]
+    pub fn outputs(&self) -> &[Tensor] {
+        &self.outputs
+    }
+
+    /// Consumes the result, returning the output tensors.
+    #[must_use]
+    pub fn into_outputs(self) -> Vec<Tensor> {
+        self.outputs
+    }
+
+    /// Every value tensor indexed by tensor id; `Some` only when
+    /// [`RunOptions::capture_intermediates`] was set.
+    #[must_use]
+    pub fn intermediates(&self) -> Option<&[Option<Tensor>]> {
+        self.intermediates.as_deref()
+    }
+
+    /// Consumes the result, returning the captured intermediates.
+    #[must_use]
+    pub fn into_intermediates(self) -> Option<Vec<Option<Tensor>>> {
+        self.intermediates
+    }
+}
+
+// --------------------------------------------------------------------
+// Builder
+// --------------------------------------------------------------------
+
+/// The one construction path for [`Runner`].
 ///
 /// ```
-/// use vedliot_nnir::{exec::Executor, zoo, Tensor, Shape};
+/// use vedliot_nnir::exec::{Parallelism, Runner, RunOptions};
+/// use vedliot_nnir::{zoo, Tensor, Shape};
 ///
 /// # fn main() -> Result<(), vedliot_nnir::NnirError> {
 /// let model = zoo::lenet5(10)?;
 /// let input = Tensor::random(Shape::nchw(1, 1, 28, 28), 7, 1.0);
-/// let outputs = Executor::new(&model).run(&[input])?;
+/// let mut runner = Runner::builder()
+///     .parallelism(Parallelism::Serial)
+///     .build(&model);
+/// let outputs = runner.execute(&[input], RunOptions::default())?.into_outputs();
 /// assert_eq!(outputs[0].shape().dims(), &[1, 10]);
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug)]
-pub struct Executor<'g> {
-    graph: &'g Graph,
+#[derive(Debug, Clone, Default)]
+pub struct RunnerBuilder {
     parallelism: Parallelism,
 }
 
-impl<'g> Executor<'g> {
-    /// Creates an executor over a graph with the default parallelism.
+impl RunnerBuilder {
+    /// Sets the kernel parallelism policy (default: [`Parallelism::Auto`]).
     #[must_use]
-    pub fn new(graph: &'g Graph) -> Self {
-        Executor {
+    pub fn parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// Builds a runner over `graph`, allocating its (initially empty)
+    /// arenas.
+    #[must_use]
+    pub fn build(self, graph: &Graph) -> Runner<'_> {
+        Runner {
             graph,
-            parallelism: Parallelism::default(),
+            parallelism: self.parallelism,
+            weights: vec![None; graph.nodes().len()],
+            values: vec![None; graph.tensor_count()],
+            col: Vec::new(),
         }
-    }
-
-    /// Creates an executor with an explicit parallelism policy.
-    #[must_use]
-    pub fn with_parallelism(graph: &'g Graph, parallelism: Parallelism) -> Self {
-        Executor { graph, parallelism }
-    }
-
-    /// Runs one forward pass.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`NnirError::ExecutionFailure`] if the number or shapes of
-    /// `inputs` do not match the graph inputs, or propagates any graph
-    /// inconsistency discovered mid-run.
-    pub fn run(&self, inputs: &[Tensor]) -> Result<Vec<Tensor>, NnirError> {
-        Runner::with_parallelism(self.graph, self.parallelism).run(inputs)
-    }
-
-    /// Runs one forward pass and returns *every* value tensor, indexed by
-    /// [`TensorId`](crate::graph::TensorId) — the hook quantization
-    /// calibration uses to observe activation ranges.
-    ///
-    /// # Errors
-    ///
-    /// Same conditions as [`run`](Self::run).
-    pub fn run_with_intermediates(
-        &self,
-        inputs: &[Tensor],
-    ) -> Result<Vec<Option<Tensor>>, NnirError> {
-        Runner::with_parallelism(self.graph, self.parallelism).run_with_intermediates(inputs)
-    }
-
-    /// Materializes the weight tensors for a node.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`NnirError::ExecutionFailure`] if explicit weights are
-    /// missing for a node that requires them.
-    pub fn node_weights(&self, node: &Node) -> Result<Vec<Tensor>, NnirError> {
-        materialize_node_weights(self.graph, node)
     }
 }
 
@@ -205,7 +265,7 @@ impl<'g> Executor<'g> {
 
 /// Reusable execution engine over one graph.
 ///
-/// Holds three arenas that survive across [`run`](Runner::run) calls:
+/// Holds three arenas that survive across [`execute`](Runner::execute) calls:
 /// per-tensor intermediate buffers (reused in place when shapes match),
 /// materialized weights (seeded initializations computed once), and the
 /// im2col scratch buffer. The first run allocates; subsequent runs with
@@ -223,22 +283,10 @@ pub struct Runner<'g> {
 }
 
 impl<'g> Runner<'g> {
-    /// Creates a runner with the default parallelism.
+    /// Starts building a runner — the one construction path.
     #[must_use]
-    pub fn new(graph: &'g Graph) -> Self {
-        Runner::with_parallelism(graph, Parallelism::default())
-    }
-
-    /// Creates a runner with an explicit parallelism policy.
-    #[must_use]
-    pub fn with_parallelism(graph: &'g Graph, parallelism: Parallelism) -> Self {
-        Runner {
-            graph,
-            parallelism,
-            weights: vec![None; graph.nodes().len()],
-            values: vec![None; graph.tensor_count()],
-            col: Vec::new(),
-        }
+    pub fn builder() -> RunnerBuilder {
+        RunnerBuilder::default()
     }
 
     /// The active parallelism policy.
@@ -247,16 +295,23 @@ impl<'g> Runner<'g> {
         self.parallelism
     }
 
-    /// Runs one forward pass, returning the graph outputs.
+    /// Runs one forward pass — the one execution entrypoint.
     ///
     /// # Errors
     ///
     /// Returns [`NnirError::ExecutionFailure`] if the number or shapes of
     /// `inputs` do not match the graph inputs, or propagates any graph
-    /// inconsistency discovered mid-run.
-    pub fn run(&mut self, inputs: &[Tensor]) -> Result<Vec<Tensor>, NnirError> {
-        self.forward(inputs)?;
-        self.graph
+    /// inconsistency discovered mid-run. Returns
+    /// [`NnirError::DeadlineExceeded`] if [`RunOptions::deadline`] expires
+    /// before the pass completes.
+    pub fn execute(
+        &mut self,
+        inputs: &[Tensor],
+        options: RunOptions,
+    ) -> Result<RunOutput, NnirError> {
+        self.forward(inputs, options.deadline)?;
+        let outputs = self
+            .graph
             .outputs()
             .iter()
             .map(|t| {
@@ -264,25 +319,49 @@ impl<'g> Runner<'g> {
                     NnirError::ExecutionFailure(format!("output {t} never produced"))
                 })
             })
-            .collect()
+            .collect::<Result<Vec<_>, _>>()?;
+        let intermediates = options.capture_intermediates.then(|| self.values.clone());
+        Ok(RunOutput {
+            outputs,
+            intermediates,
+        })
     }
 
-    /// Runs one forward pass and returns *every* value tensor, indexed
-    /// by [`TensorId`](crate::graph::TensorId).
+    /// Materializes the weight tensors for a node: explicit weights are
+    /// cloned, seeded initializations are computed deterministically.
+    /// This is the single owner of weight materialization — the
+    /// toolchain passes, the safety fault injector and the engine's own
+    /// weight arena all come through here.
     ///
     /// # Errors
     ///
-    /// Same conditions as [`run`](Self::run).
-    pub fn run_with_intermediates(
-        &mut self,
-        inputs: &[Tensor],
-    ) -> Result<Vec<Option<Tensor>>, NnirError> {
-        self.forward(inputs)?;
-        Ok(self.values.clone())
+    /// Returns [`NnirError::ExecutionFailure`] if explicit weights are
+    /// missing for a node that requires them.
+    pub fn node_weights(&self, node: &Node) -> Result<Vec<Tensor>, NnirError> {
+        let in_shapes = self.graph.node_input_shapes(node);
+        let shapes = node.weight_shapes(&in_shapes);
+        match &node.weights {
+            WeightInit::Explicit(tensors) => Ok(tensors.clone()),
+            WeightInit::Seeded(seed) => Ok(materialize_seeded(&node.op, &shapes, *seed)),
+            WeightInit::None => {
+                if shapes.is_empty() {
+                    Ok(Vec::new())
+                } else {
+                    Err(NnirError::ExecutionFailure(format!(
+                        "node {} requires weights but has none",
+                        node.name
+                    )))
+                }
+            }
+        }
     }
 
     /// Evaluates every node in topological order into the value arena.
-    fn forward(&mut self, inputs: &[Tensor]) -> Result<(), NnirError> {
+    fn forward(
+        &mut self,
+        inputs: &[Tensor],
+        deadline: Option<std::time::Instant>,
+    ) -> Result<(), NnirError> {
         let graph_inputs = self.graph.inputs();
         if inputs.len() != graph_inputs.len() {
             return Err(NnirError::ExecutionFailure(format!(
@@ -310,9 +389,17 @@ impl<'g> Runner<'g> {
             }
         }
 
-        for (idx, node) in self.graph.nodes().iter().enumerate() {
+        let nodes: &'g [Node] = self.graph.nodes();
+        for (idx, node) in nodes.iter().enumerate() {
+            // Deadline gate: a run over budget stops before the next
+            // kernel rather than finishing a pass nobody will read.
+            if let Some(deadline) = deadline {
+                if std::time::Instant::now() >= deadline {
+                    return Err(NnirError::DeadlineExceeded);
+                }
+            }
             if self.weights[idx].is_none() {
-                self.weights[idx] = Some(materialize_node_weights(self.graph, node)?);
+                self.weights[idx] = Some(self.node_weights(node)?);
             }
             let out_shape = self
                 .graph
@@ -346,30 +433,72 @@ impl<'g> Runner<'g> {
     }
 }
 
-/// Materializes the weight tensors for a node (shared by [`Executor`],
-/// [`Runner`] and the toolchain passes).
+// --------------------------------------------------------------------
+// Deprecated pre-redesign surface (thin aliases, no logic)
+// --------------------------------------------------------------------
+
+impl<'g> Runner<'g> {
+    /// Creates a runner with the default parallelism.
+    #[deprecated(since = "0.2.0", note = "use `Runner::builder().build(graph)`")]
+    #[must_use]
+    pub fn new(graph: &'g Graph) -> Self {
+        Runner::builder().build(graph)
+    }
+
+    /// Creates a runner with an explicit parallelism policy.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Runner::builder().parallelism(..).build(graph)`"
+    )]
+    #[must_use]
+    pub fn with_parallelism(graph: &'g Graph, parallelism: Parallelism) -> Self {
+        Runner::builder().parallelism(parallelism).build(graph)
+    }
+
+    /// Runs one forward pass, returning the graph outputs.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`execute`](Self::execute).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Runner::execute(inputs, RunOptions::default())`"
+    )]
+    pub fn run(&mut self, inputs: &[Tensor]) -> Result<Vec<Tensor>, NnirError> {
+        Ok(self.execute(inputs, RunOptions::default())?.into_outputs())
+    }
+
+    /// Runs one forward pass and returns *every* value tensor.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`execute`](Self::execute).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Runner::execute` with `RunOptions::new().capture_intermediates(true)`"
+    )]
+    pub fn run_with_intermediates(
+        &mut self,
+        inputs: &[Tensor],
+    ) -> Result<Vec<Option<Tensor>>, NnirError> {
+        let out = self.execute(inputs, RunOptions::new().capture_intermediates(true))?;
+        Ok(out.into_intermediates().unwrap_or_default())
+    }
+}
+
+/// The stateless execution facade of the pre-redesign API. [`Runner`]
+/// is the one door now; this alias keeps old spellings compiling.
+#[deprecated(since = "0.2.0", note = "use `Runner` (built via `Runner::builder()`)")]
+pub type Executor<'g> = Runner<'g>;
+
+/// Materializes the weight tensors for a node.
 ///
 /// # Errors
 ///
-/// Returns [`NnirError::ExecutionFailure`] if explicit weights are
-/// missing for a node that requires them.
+/// Same conditions as [`Runner::node_weights`].
+#[deprecated(since = "0.2.0", note = "use `Runner::node_weights`")]
 pub fn materialize_node_weights(graph: &Graph, node: &Node) -> Result<Vec<Tensor>, NnirError> {
-    let in_shapes = graph.node_input_shapes(node);
-    let shapes = node.weight_shapes(&in_shapes);
-    match &node.weights {
-        WeightInit::Explicit(tensors) => Ok(tensors.clone()),
-        WeightInit::Seeded(seed) => Ok(materialize_seeded(&node.op, &shapes, *seed)),
-        WeightInit::None => {
-            if shapes.is_empty() {
-                Ok(Vec::new())
-            } else {
-                Err(NnirError::ExecutionFailure(format!(
-                    "node {} requires weights but has none",
-                    node.name
-                )))
-            }
-        }
-    }
+    Runner::builder().build(graph).node_weights(node)
 }
 
 /// Dispatches one node evaluation into a preallocated output tensor.
@@ -1005,6 +1134,13 @@ mod tests {
     use crate::graph::GraphBuilder;
     use crate::ops::Conv2dAttrs;
 
+    fn run_graph(g: &Graph, inputs: &[Tensor]) -> Result<Vec<Tensor>, NnirError> {
+        Ok(Runner::builder()
+            .build(g)
+            .execute(inputs, RunOptions::default())?
+            .into_outputs())
+    }
+
     fn run_single(op: Op, inputs: Vec<Tensor>, weights: Option<WeightInit>) -> Tensor {
         let mut b = GraphBuilder::new("t");
         let ids: Vec<_> = inputs.iter().map(|t| b.input(t.shape().clone())).collect();
@@ -1013,7 +1149,7 @@ mod tests {
             None => b.apply("op", op, &ids).unwrap(),
         };
         let g = b.finish(vec![out]);
-        Executor::new(&g).run(&inputs).unwrap().remove(0)
+        run_graph(&g, &inputs).unwrap().remove(0)
     }
 
     #[test]
@@ -1169,8 +1305,8 @@ mod tests {
             .unwrap();
         let g = b.finish(vec![c]);
         let input = Tensor::random(Shape::nchw(1, 3, 8, 8), 1, 1.0);
-        let out1 = Executor::new(&g).run(std::slice::from_ref(&input)).unwrap();
-        let out2 = Executor::new(&g).run(&[input]).unwrap();
+        let out1 = run_graph(&g, std::slice::from_ref(&input)).unwrap();
+        let out2 = run_graph(&g, &[input]).unwrap();
         assert_eq!(out1, out2);
         assert!(out1[0].abs_max() > 0.0);
     }
@@ -1181,7 +1317,7 @@ mod tests {
         let x = b.input(Shape::nf(1, 4));
         let g = b.finish(vec![x]);
         let bad = Tensor::zeros(Shape::nf(1, 5));
-        assert!(Executor::new(&g).run(&[bad]).is_err());
+        assert!(run_graph(&g, &[bad]).is_err());
     }
 
     // ---- regression tests for the validation bugfixes ----
@@ -1282,7 +1418,7 @@ mod tests {
         let bad = Tensor::full(Shape::nf(2, 4), 1.0); // in_f 4 != 3
         g.nodes_mut()[0].weights = WeightInit::Explicit(vec![bad]);
         let input = Tensor::full(Shape::nf(1, 3), 1.0);
-        assert!(Executor::new(&g).run(&[input]).is_err());
+        assert!(run_graph(&g, &[input]).is_err());
     }
 
     // ---- runner arena + parallel equivalence smoke tests ----
@@ -1290,29 +1426,100 @@ mod tests {
     #[test]
     fn runner_reuses_arena_across_runs() {
         let g = crate::zoo::lenet5(10).unwrap();
-        let mut runner = Runner::new(&g);
+        let mut runner = Runner::builder().build(&g);
         let a = Tensor::random(Shape::nchw(1, 1, 28, 28), 3, 1.0);
         let b = Tensor::random(Shape::nchw(1, 1, 28, 28), 4, 1.0);
-        let out_a1 = runner.run(std::slice::from_ref(&a)).unwrap();
-        let out_b = runner.run(std::slice::from_ref(&b)).unwrap();
-        let out_a2 = runner.run(&[a]).unwrap();
+        let opts = RunOptions::default();
+        let out_a1 = runner.execute(std::slice::from_ref(&a), opts).unwrap();
+        let out_b = runner.execute(std::slice::from_ref(&b), opts).unwrap();
+        let out_a2 = runner.execute(&[a], opts).unwrap();
         // Re-running the first input through the warm arena reproduces
         // the cold result exactly; the second input differs.
-        assert_eq!(out_a1, out_a2);
-        assert_ne!(out_a1, out_b);
+        assert_eq!(out_a1.outputs(), out_a2.outputs());
+        assert_ne!(out_a1.outputs(), out_b.outputs());
     }
 
     #[test]
     fn serial_and_parallel_runners_agree_bitwise() {
         let g = crate::zoo::lenet5(10).unwrap().with_batch(4).unwrap();
         let input = Tensor::random(Shape::nchw(4, 1, 28, 28), 11, 1.0);
-        let serial = Runner::with_parallelism(&g, Parallelism::Serial)
-            .run(std::slice::from_ref(&input))
-            .unwrap();
-        let parallel = Runner::with_parallelism(&g, Parallelism::Threads(4))
-            .run(&[input])
-            .unwrap();
+        let serial = Runner::builder()
+            .parallelism(Parallelism::Serial)
+            .build(&g)
+            .execute(std::slice::from_ref(&input), RunOptions::default())
+            .unwrap()
+            .into_outputs();
+        let parallel = Runner::builder()
+            .parallelism(Parallelism::Threads(4))
+            .build(&g)
+            .execute(&[input], RunOptions::default())
+            .unwrap()
+            .into_outputs();
         assert_eq!(serial, parallel);
+    }
+
+    // ---- one-door API: options, deadline, deprecated aliases ----
+
+    #[test]
+    fn capture_intermediates_returns_every_value() {
+        let g = crate::zoo::lenet5(10).unwrap();
+        let input = Tensor::random(Shape::nchw(1, 1, 28, 28), 9, 1.0);
+        let mut runner = Runner::builder().build(&g);
+        let out = runner
+            .execute(&[input], RunOptions::new().capture_intermediates(true))
+            .unwrap();
+        let values = out.intermediates().expect("captured");
+        assert_eq!(values.len(), g.tensor_count());
+        assert!(values.iter().all(Option::is_some));
+        // Plain runs do not pay the clone.
+        assert!(out.outputs()[0].shape().dims() == [1, 10]);
+    }
+
+    #[test]
+    fn expired_deadline_rejects_before_execution() {
+        let g = crate::zoo::lenet5(10).unwrap();
+        let input = Tensor::random(Shape::nchw(1, 1, 28, 28), 9, 1.0);
+        let mut runner = Runner::builder().build(&g);
+        let past = std::time::Instant::now() - std::time::Duration::from_millis(1);
+        let err = runner.execute(&[input], RunOptions::new().deadline(past));
+        assert_eq!(err.unwrap_err(), NnirError::DeadlineExceeded);
+    }
+
+    #[test]
+    fn generous_deadline_does_not_interfere() {
+        let g = crate::zoo::lenet5(10).unwrap();
+        let input = Tensor::random(Shape::nchw(1, 1, 28, 28), 9, 1.0);
+        let mut runner = Runner::builder().build(&g);
+        let free = runner.execute(std::slice::from_ref(&input), RunOptions::default());
+        let bounded = runner.execute(
+            std::slice::from_ref(&input),
+            RunOptions::new().deadline_in(std::time::Duration::from_secs(60)),
+        );
+        assert_eq!(
+            free.unwrap().into_outputs(),
+            bounded.unwrap().into_outputs()
+        );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_aliases_still_reach_the_one_door() {
+        // Compat pin: the old spellings must keep compiling and agree
+        // with the new entrypoint until the aliases are removed.
+        let g = crate::zoo::lenet5(10).unwrap();
+        let input = Tensor::random(Shape::nchw(1, 1, 28, 28), 3, 1.0);
+        let via_alias = Executor::new(&g).run(std::slice::from_ref(&input)).unwrap();
+        let via_door = run_graph(&g, std::slice::from_ref(&input)).unwrap();
+        assert_eq!(via_alias, via_door);
+        let node = &g.nodes()[0];
+        assert_eq!(
+            materialize_node_weights(&g, node).unwrap(),
+            Runner::builder().build(&g).node_weights(node).unwrap()
+        );
+        let values = Runner::with_parallelism(&g, Parallelism::Serial)
+            .run_with_intermediates(&[input])
+            .unwrap();
+        assert_eq!(values.len(), g.tensor_count());
     }
 
     #[test]

@@ -187,6 +187,73 @@ impl Tensor {
             .fold(0.0f32, |m, (a, b)| m.max((a - b).abs())))
     }
 
+    /// Splits along axis 0 into `dims()[0]` tensors of batch size 1.
+    ///
+    /// Rows come back in batch order, each with shape
+    /// `self.shape().with_batch(1)`. Because every kernel in the
+    /// execution engine reduces each batch row independently and in the
+    /// same element order regardless of batch size, a batched run's
+    /// output rows are **bit-identical** to per-sample runs — the
+    /// contract the serving layer's dynamic batcher relies on, asserted
+    /// by the `batched_execution_matches_single_sample_runs` proptest.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnirError::ShapeMismatch`] for a rank-0 tensor.
+    pub fn split_batch(&self) -> Result<Vec<Tensor>, NnirError> {
+        let Some(n) = self.shape.dim(0) else {
+            return Err(NnirError::ShapeMismatch {
+                op: "Tensor::split_batch".into(),
+                detail: "rank-0 tensor has no batch axis".into(),
+            });
+        };
+        let row_shape = self.shape.with_batch(1);
+        let per_row = row_shape.elem_count();
+        (0..n)
+            .map(|i| {
+                Tensor::from_vec(
+                    row_shape.clone(),
+                    self.data[i * per_row..(i + 1) * per_row].to_vec(),
+                )
+            })
+            .collect()
+    }
+
+    /// Concatenates tensors along axis 0 (the batch axis).
+    ///
+    /// The inverse of [`split_batch`](Self::split_batch): parts must
+    /// share every non-batch dimension; their batch sizes add up.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnirError::ShapeMismatch`] if `parts` is empty, a part
+    /// is rank-0, or the non-batch dimensions disagree.
+    pub fn concat_batch(parts: &[Tensor]) -> Result<Tensor, NnirError> {
+        let first = parts.first().ok_or_else(|| NnirError::ShapeMismatch {
+            op: "Tensor::concat_batch".into(),
+            detail: "cannot concatenate zero tensors".into(),
+        })?;
+        if first.shape.rank() == 0 {
+            return Err(NnirError::ShapeMismatch {
+                op: "Tensor::concat_batch".into(),
+                detail: "rank-0 tensor has no batch axis".into(),
+            });
+        }
+        let mut batch = 0usize;
+        let mut data = Vec::new();
+        for part in parts {
+            if !part.shape.same_features(&first.shape) {
+                return Err(NnirError::ShapeMismatch {
+                    op: "Tensor::concat_batch".into(),
+                    detail: format!("non-batch dims differ: {} vs {}", part.shape, first.shape),
+                });
+            }
+            batch += part.shape.dim(0).unwrap_or(0);
+            data.extend_from_slice(&part.data);
+        }
+        Tensor::from_vec(first.shape.with_batch(batch), data)
+    }
+
     /// Fills the tensor with pseudo-random values in `[-scale, scale]`
     /// using the given deterministic seed (xorshift; reproducible across
     /// platforms, no external RNG state).
@@ -253,6 +320,36 @@ mod tests {
         assert!(a.max_abs_diff(&b).is_err());
         let c = Tensor::full(Shape::nf(1, 2), 0.25);
         assert_eq!(a.max_abs_diff(&c).unwrap(), 0.25);
+    }
+
+    #[test]
+    fn split_and_concat_batch_round_trip() {
+        let t =
+            Tensor::from_vec(Shape::nchw(3, 1, 1, 2), (0..6).map(|x| x as f32).collect()).unwrap();
+        let rows = t.split_batch().unwrap();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[1].shape(), &Shape::nchw(1, 1, 1, 2));
+        assert_eq!(rows[1].data(), &[2.0, 3.0]);
+        let merged = Tensor::concat_batch(&rows).unwrap();
+        assert_eq!(merged, t);
+        // Uneven batch sizes also concatenate.
+        let pair = Tensor::concat_batch(&[t.clone(), rows[0].clone()]).unwrap();
+        assert_eq!(pair.shape(), &Shape::nchw(4, 1, 1, 2));
+        assert_eq!(&pair.data()[6..], rows[0].data());
+    }
+
+    #[test]
+    fn concat_batch_rejects_feature_mismatch_and_empty() {
+        let a = Tensor::zeros(Shape::nf(1, 3));
+        let b = Tensor::zeros(Shape::nf(1, 4));
+        assert!(Tensor::concat_batch(&[a.clone(), b]).is_err());
+        assert!(Tensor::concat_batch(&[]).is_err());
+        assert!(Tensor::concat_batch(&[a, Tensor::zeros(Shape::scalar())]).is_err());
+    }
+
+    #[test]
+    fn split_batch_rejects_scalars() {
+        assert!(Tensor::zeros(Shape::scalar()).split_batch().is_err());
     }
 
     #[test]

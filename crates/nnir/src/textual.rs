@@ -366,7 +366,7 @@ pub fn read(text: &str) -> Result<Graph, TextFormatError> {
 mod tests {
     use super::*;
     use crate::cost::CostReport;
-    use crate::exec::Executor;
+    use crate::exec::{RunOptions, Runner};
     use crate::zoo;
 
     #[test]
@@ -396,12 +396,16 @@ mod tests {
         let model = zoo::lenet5(10).unwrap();
         let parsed = read(&write(&model).unwrap()).unwrap();
         let input = crate::Tensor::random(Shape::nchw(1, 1, 28, 28), 3, 1.0);
-        let a = Executor::new(&model)
-            .run(std::slice::from_ref(&input))
-            .unwrap();
-        let b = Executor::new(&parsed)
-            .run(std::slice::from_ref(&input))
-            .unwrap();
+        let a = Runner::builder()
+            .build(&model)
+            .execute(std::slice::from_ref(&input), RunOptions::default())
+            .unwrap()
+            .into_outputs();
+        let b = Runner::builder()
+            .build(&parsed)
+            .execute(std::slice::from_ref(&input), RunOptions::default())
+            .unwrap()
+            .into_outputs();
         assert_eq!(a, b);
     }
 

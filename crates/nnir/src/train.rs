@@ -205,13 +205,14 @@ pub fn evaluate_with(
     let run_range = |range: std::ops::Range<usize>| -> Result<Vec<(usize, usize)>, NnirError> {
         // Workers run their samples serially; parallelism lives at the
         // sample level here, not inside the kernels.
-        let mut runner =
-            crate::exec::Runner::with_parallelism(graph, crate::exec::Parallelism::Serial);
+        let mut runner = crate::exec::Runner::builder()
+            .parallelism(crate::exec::Parallelism::Serial)
+            .build(graph);
         let mut preds = Vec::with_capacity(range.len());
         for i in range {
             let x = data.samples[i].reshape(input_shape.clone())?;
-            let out = runner.run(&[x])?;
-            preds.push((data.labels[i], out[0].argmax()));
+            let out = runner.execute(&[x], crate::exec::RunOptions::default())?;
+            preds.push((data.labels[i], out.outputs()[0].argmax()));
         }
         Ok(preds)
     };

@@ -175,16 +175,21 @@ pub fn conv1d_classifier(
 mod tests {
     use super::*;
     use crate::cost::CostReport;
-    use crate::exec::Executor;
+    use crate::exec::{RunOptions, Runner};
     use crate::tensor::Tensor;
 
     #[test]
     fn lenet_runs_end_to_end() {
         let g = lenet5(10).unwrap();
         g.validate().unwrap();
-        let out = Executor::new(&g)
-            .run(&[Tensor::random(Shape::nchw(1, 1, 28, 28), 3, 1.0)])
-            .unwrap();
+        let out = Runner::builder()
+            .build(&g)
+            .execute(
+                &[Tensor::random(Shape::nchw(1, 1, 28, 28), 3, 1.0)],
+                RunOptions::default(),
+            )
+            .unwrap()
+            .into_outputs();
         assert_eq!(out[0].shape(), &Shape::nf(1, 10));
     }
 
@@ -219,9 +224,14 @@ mod tests {
     fn conv1d_runs_on_waveform() {
         let g = conv1d_classifier("motor", 3, 256, &[8, 16, 32], 4).unwrap();
         g.validate().unwrap();
-        let out = Executor::new(&g)
-            .run(&[Tensor::random(Shape::nchw(1, 3, 1, 256), 9, 1.0)])
-            .unwrap();
+        let out = Runner::builder()
+            .build(&g)
+            .execute(
+                &[Tensor::random(Shape::nchw(1, 3, 1, 256), 9, 1.0)],
+                RunOptions::default(),
+            )
+            .unwrap()
+            .into_outputs();
         assert_eq!(out[0].shape(), &Shape::nf(1, 4));
     }
 

@@ -2,10 +2,24 @@
 //! and executor/shape-inference agreement.
 
 use proptest::prelude::*;
-use vedliot_nnir::exec::{Executor, Parallelism, Runner};
+use vedliot_nnir::exec::{Parallelism, RunOptions, Runner};
 use vedliot_nnir::graph::WeightInit;
 use vedliot_nnir::ops::{ActKind, Conv2dAttrs, Op, Pool2dAttrs};
-use vedliot_nnir::{Graph, GraphBuilder, Shape, Tensor};
+use vedliot_nnir::{Graph, GraphBuilder, NnirError, Shape, Tensor};
+
+/// One forward pass through a fresh runner with the given parallelism.
+fn run_with(g: &Graph, par: Parallelism, inputs: &[Tensor]) -> Result<Vec<Tensor>, NnirError> {
+    Ok(Runner::builder()
+        .parallelism(par)
+        .build(g)
+        .execute(inputs, RunOptions::default())?
+        .into_outputs())
+}
+
+/// One forward pass with the default (Auto) parallelism.
+fn run_once(g: &Graph, inputs: &[Tensor]) -> Result<Vec<Tensor>, NnirError> {
+    run_with(g, Parallelism::default(), inputs)
+}
 
 proptest! {
     /// Row-major offset is a bijection onto 0..elem_count.
@@ -52,7 +66,7 @@ proptest! {
         let c = b.apply("conv", Op::Conv2d(attrs), &[x]).unwrap();
         let g = b.finish(vec![c]);
         let input = Tensor::random(Shape::nchw(1, in_c, h, w), 1, 1.0);
-        let out = Executor::new(&g).run(&[input]).unwrap();
+        let out = run_once(&g, &[input]).unwrap();
         prop_assert_eq!(out[0].shape(), g.tensor_shape(c).unwrap());
     }
 
@@ -70,7 +84,7 @@ proptest! {
         let m = b.apply("pool", Op::MaxPool2d(attrs), &[x]).unwrap();
         let g = b.finish(vec![m]);
         let input = Tensor::random(Shape::nchw(1, c, h, h), 2, 1.0);
-        let out = Executor::new(&g).run(&[input]).unwrap();
+        let out = run_once(&g, &[input]).unwrap();
         prop_assert_eq!(out[0].shape(), g.tensor_shape(m).unwrap());
     }
 
@@ -109,7 +123,7 @@ proptest! {
         let s = b.apply("softmax", Op::Softmax, &[x]).unwrap();
         let g = b.finish(vec![s]);
         let input = Tensor::from_vec(Shape::nf(1, n), values).unwrap();
-        let out = Executor::new(&g).run(&[input]).unwrap();
+        let out = run_once(&g, &[input]).unwrap();
         let sum: f32 = out[0].data().iter().sum();
         prop_assert!((sum - 1.0).abs() < 1e-4);
         prop_assert!(out[0].data().iter().all(|&p| (0.0..=1.0).contains(&p)));
@@ -117,6 +131,56 @@ proptest! {
 }
 
 proptest! {
+    /// Coalescing single-sample requests into one batched run along
+    /// axis 0 is **bit-identical** to running each sample on its own —
+    /// the contract `Tensor::{split_batch, concat_batch}` and the
+    /// serving layer's dynamic batcher are built on. Every kernel
+    /// reduces batch rows independently in the same element order, so
+    /// equality here is exact, not approximate.
+    #[test]
+    fn batched_execution_matches_single_sample_runs(
+        batch in 1usize..6,
+        stages in proptest::collection::vec(1usize..8, 1..3),
+        classes in 2usize..6,
+        seed in 0u64..1_000,
+    ) {
+        let single = vedliot_nnir::zoo::tiny_cnn("b", Shape::nchw(1, 3, 16, 16), &stages, classes).unwrap();
+        let batched_graph = single.with_batch(batch).unwrap();
+        let input = Tensor::random(Shape::nchw(batch, 3, 16, 16), seed, 1.0);
+
+        let batched_out = run_once(&batched_graph, std::slice::from_ref(&input)).unwrap().remove(0);
+
+        let mut runner = Runner::builder().build(&single);
+        let per_sample: Vec<Tensor> = input
+            .split_batch()
+            .unwrap()
+            .into_iter()
+            .map(|row| {
+                runner
+                    .execute(&[row], RunOptions::default())
+                    .unwrap()
+                    .into_outputs()
+                    .remove(0)
+            })
+            .collect();
+        let merged = Tensor::concat_batch(&per_sample).unwrap();
+        prop_assert_eq!(batched_out, merged);
+    }
+
+    /// `split_batch` / `concat_batch` are exact inverses.
+    #[test]
+    fn split_concat_batch_round_trips(
+        batch in 1usize..6,
+        features in 1usize..10,
+        seed in 0u64..1_000,
+    ) {
+        let t = Tensor::random(Shape::nf(batch, features), seed, 1.0);
+        let rows = t.split_batch().unwrap();
+        prop_assert_eq!(rows.len(), batch);
+        prop_assert!(rows.iter().all(|r| r.shape().batch() == 1));
+        prop_assert_eq!(Tensor::concat_batch(&rows).unwrap(), t);
+    }
+
     /// Random linear CNN chains survive the textual-format round trip
     /// with identical cost profiles and bit-identical execution.
     #[test]
@@ -140,8 +204,8 @@ proptest! {
         prop_assert_eq!(a.total_macs, b.total_macs);
         prop_assert_eq!(a.total_params, b.total_params);
         let input = Tensor::random(Shape::nchw(1, channels, 16, 16), 7, 1.0);
-        let out_a = Executor::new(&model).run(std::slice::from_ref(&input)).unwrap();
-        let out_b = Executor::new(&parsed).run(std::slice::from_ref(&input)).unwrap();
+        let out_a = run_once(&model, std::slice::from_ref(&input)).unwrap();
+        let out_b = run_once(&parsed, std::slice::from_ref(&input)).unwrap();
         prop_assert_eq!(out_a, out_b);
     }
 }
@@ -192,17 +256,15 @@ proptest! {
         let g = b.finish(vec![d]);
         let input = Tensor::random(Shape::nchw(batch, in_c, h, h), seed, 1.0);
 
-        let mut serial = Runner::with_parallelism(&g, Parallelism::Serial);
-        let mut threaded = Runner::with_parallelism(&g, Parallelism::Threads(4));
-        let reference = serial.run(std::slice::from_ref(&input)).unwrap();
-        let parallel = threaded.run(std::slice::from_ref(&input)).unwrap();
+        let reference = run_with(&g, Parallelism::Serial, std::slice::from_ref(&input)).unwrap();
+        let parallel = run_with(&g, Parallelism::Threads(4), std::slice::from_ref(&input)).unwrap();
         prop_assert!(
             max_abs_diff(&reference, &parallel) <= 1e-5,
             "parallel diverged from serial by {}",
             max_abs_diff(&reference, &parallel)
         );
-        // The stateless executor (default Auto parallelism) agrees too.
-        let auto = Executor::new(&g).run(std::slice::from_ref(&input)).unwrap();
+        // The default (Auto) parallelism agrees too.
+        let auto = run_once(&g, std::slice::from_ref(&input)).unwrap();
         prop_assert!(max_abs_diff(&reference, &auto) <= 1e-5);
     }
 }
@@ -266,10 +328,8 @@ fn zoo_lenet5_parallel_is_bit_identical() {
         .with_batch(4)
         .unwrap();
     let input = Tensor::random(Shape::nchw(4, 1, 28, 28), 3, 1.0);
-    let mut serial = Runner::with_parallelism(&g, Parallelism::Serial);
-    let mut threaded = Runner::with_parallelism(&g, Parallelism::Threads(4));
-    let a = serial.run(std::slice::from_ref(&input)).unwrap();
-    let b = threaded.run(std::slice::from_ref(&input)).unwrap();
+    let a = run_with(&g, Parallelism::Serial, std::slice::from_ref(&input)).unwrap();
+    let b = run_with(&g, Parallelism::Threads(4), std::slice::from_ref(&input)).unwrap();
     assert_eq!(a, b);
 }
 
@@ -279,10 +339,8 @@ fn zoo_lenet5_parallel_is_bit_identical() {
 fn zoo_mobilenet_stem_parallel_is_bit_identical() {
     let g = mobilenet_stem(2);
     let input = Tensor::random(Shape::nchw(2, 3, 32, 32), 9, 1.0);
-    let mut serial = Runner::with_parallelism(&g, Parallelism::Serial);
-    let mut threaded = Runner::with_parallelism(&g, Parallelism::Threads(4));
-    let a = serial.run(std::slice::from_ref(&input)).unwrap();
-    let b = threaded.run(std::slice::from_ref(&input)).unwrap();
+    let a = run_with(&g, Parallelism::Serial, std::slice::from_ref(&input)).unwrap();
+    let b = run_with(&g, Parallelism::Threads(4), std::slice::from_ref(&input)).unwrap();
     assert_eq!(a, b);
 }
 
@@ -334,6 +392,6 @@ fn malformed_dense_weight_is_an_execution_error() {
     let bad = Tensor::zeros(Shape::new(vec![4, 5])); // in_f should be 8
     g.nodes_mut()[0].weights = WeightInit::Explicit(vec![bad]);
     let input = Tensor::random(Shape::nf(1, 8), 1, 1.0);
-    let err = Executor::new(&g).run(std::slice::from_ref(&input));
+    let err = run_once(&g, std::slice::from_ref(&input));
     assert!(err.is_err(), "malformed weight must not produce output");
 }

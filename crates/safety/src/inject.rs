@@ -9,7 +9,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use vedliot_nnir::exec::Executor;
+use vedliot_nnir::exec::Runner;
 use vedliot_nnir::graph::WeightInit;
 use vedliot_nnir::{Graph, NnirError, Op};
 
@@ -102,7 +102,7 @@ pub fn flip_weight_bits(
     seed: u64,
 ) -> Result<BitFlipReport, NnirError> {
     let materialized: Vec<Option<Vec<vedliot_nnir::Tensor>>> = {
-        let exec = Executor::new(graph);
+        let exec = Runner::builder().build(graph);
         graph
             .nodes()
             .iter()
@@ -180,7 +180,17 @@ pub fn corrupt_tensor(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use vedliot_nnir::exec::RunOptions;
     use vedliot_nnir::{zoo, Shape, Tensor};
+
+    /// One forward pass through a fresh default runner.
+    fn run_once(g: &vedliot_nnir::Graph, inputs: &[Tensor]) -> Vec<Tensor> {
+        Runner::builder()
+            .build(g)
+            .execute(inputs, RunOptions::default())
+            .unwrap()
+            .into_outputs()
+    }
 
     #[test]
     fn stuck_at_freezes_tail() {
@@ -235,13 +245,11 @@ mod tests {
     fn bit_flips_change_model_outputs() {
         let mut model = zoo::lenet5(10).unwrap();
         let input = Tensor::random(Shape::nchw(1, 1, 28, 28), 3, 1.0);
-        let clean = Executor::new(&model)
-            .run(std::slice::from_ref(&input))
-            .unwrap();
+        let clean = run_once(&model, std::slice::from_ref(&input));
         let report = flip_weight_bits(&mut model, 20, 11).unwrap();
         assert_eq!(report.flips, 20);
         assert!(!report.layers_hit.is_empty());
-        let corrupted = Executor::new(&model).run(&[input]).unwrap();
+        let corrupted = run_once(&model, &[input]);
         let diff = clean[0].max_abs_diff(&corrupted[0]).unwrap();
         assert!(diff > 0.0, "20 bit flips must perturb the output");
     }
@@ -253,14 +261,10 @@ mod tests {
         // catch end to end.
         let model = zoo::lenet5(10).unwrap();
         let input = Tensor::random(Shape::nchw(1, 1, 28, 28), 5, 1.0);
-        let clean = Executor::new(&model)
-            .run(std::slice::from_ref(&input))
-            .unwrap();
+        let clean = run_once(&model, std::slice::from_ref(&input));
         let corrupted_input = corrupt_tensor(&input, 16, 3);
         assert_ne!(corrupted_input, input);
-        let dirty = Executor::new(&model)
-            .run(std::slice::from_ref(&corrupted_input))
-            .unwrap();
+        let dirty = run_once(&model, std::slice::from_ref(&corrupted_input));
         assert!(clean[0].max_abs_diff(&dirty[0]).unwrap() > 0.0);
         // Deterministic per seed.
         assert_eq!(corrupt_tensor(&input, 16, 3), corrupted_input);

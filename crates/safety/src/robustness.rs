@@ -7,7 +7,7 @@
 //! deployed model by re-executing a golden copy.
 
 use serde::{Deserialize, Serialize};
-use vedliot_nnir::exec::Executor;
+use vedliot_nnir::exec::{RunOptions, Runner};
 use vedliot_nnir::{Graph, NnirError, Tensor};
 
 /// Verdict on one submitted (input, output) pair.
@@ -89,7 +89,10 @@ impl RobustnessService {
             return Ok(OutputVerdict::Skipped);
         }
         self.stats.checked += 1;
-        let golden_out = Executor::new(&self.golden).run(std::slice::from_ref(input))?;
+        let golden_out = Runner::builder()
+            .build(&self.golden)
+            .execute(std::slice::from_ref(input), RunOptions::default())?
+            .into_outputs();
         let max_diff = golden_out[0].max_abs_diff(claimed_output)?;
         if max_diff > self.tolerance {
             self.stats.divergences += 1;
@@ -106,6 +109,15 @@ mod tests {
     use crate::inject::flip_weight_bits;
     use vedliot_nnir::{zoo, Shape};
 
+    /// One forward pass through a fresh default runner.
+    fn run_once(g: &vedliot_nnir::Graph, inputs: &[Tensor]) -> Vec<Tensor> {
+        Runner::builder()
+            .build(g)
+            .execute(inputs, RunOptions::default())
+            .unwrap()
+            .into_outputs()
+    }
+
     fn model_and_input() -> (Graph, Tensor) {
         (
             zoo::lenet5(10).unwrap(),
@@ -116,10 +128,7 @@ mod tests {
     #[test]
     fn healthy_outputs_verify() {
         let (model, input) = model_and_input();
-        let output = Executor::new(&model)
-            .run(std::slice::from_ref(&input))
-            .unwrap()
-            .remove(0);
+        let output = run_once(&model, std::slice::from_ref(&input)).remove(0);
         let mut service = RobustnessService::new(model, 1, 1e-5);
         let verdict = service.submit(&input, &output).unwrap();
         assert_eq!(verdict, OutputVerdict::Verified);
@@ -132,10 +141,7 @@ mod tests {
         // The deployed copy suffers weight bit flips.
         let mut deployed = golden.clone();
         flip_weight_bits(&mut deployed, 30, 3).unwrap();
-        let bad_output = Executor::new(&deployed)
-            .run(std::slice::from_ref(&input))
-            .unwrap()
-            .remove(0);
+        let bad_output = run_once(&deployed, std::slice::from_ref(&input)).remove(0);
         let mut service = RobustnessService::new(golden, 1, 1e-4);
         match service.submit(&input, &bad_output).unwrap() {
             OutputVerdict::Diverged { max_diff } => assert!(max_diff > 1e-4),
@@ -147,10 +153,7 @@ mod tests {
     #[test]
     fn sampling_period_skips_most_submissions() {
         let (model, input) = model_and_input();
-        let output = Executor::new(&model)
-            .run(std::slice::from_ref(&input))
-            .unwrap()
-            .remove(0);
+        let output = run_once(&model, std::slice::from_ref(&input)).remove(0);
         let mut service = RobustnessService::new(model, 5, 1e-5);
         let mut skipped = 0;
         for _ in 0..10 {
@@ -167,10 +170,7 @@ mod tests {
         // A deployed model that is merely quantized (small deviation)
         // should NOT be flagged when tolerance covers the quant step.
         let (golden, input) = model_and_input();
-        let output = Executor::new(&golden)
-            .run(std::slice::from_ref(&input))
-            .unwrap()
-            .remove(0);
+        let output = run_once(&golden, std::slice::from_ref(&input)).remove(0);
         let mut slightly_off = output.clone();
         slightly_off.data_mut()[0] += 0.01;
         let mut service = RobustnessService::new(golden, 1, 0.05);

@@ -1,0 +1,86 @@
+//! Typed serving errors.
+//!
+//! Every way a request can fail to produce an output is a distinct
+//! variant — the serving contract is that no request is ever silently
+//! dropped, so callers can always distinguish "the queue was full" from
+//! "you were too late" from "the model itself failed".
+
+use std::fmt;
+use vedliot_nnir::NnirError;
+
+/// Error returned by the serving front-end.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The bounded submission queue was full; the request was rejected
+    /// at the door (backpressure, not loss).
+    Rejected {
+        /// The configured queue capacity that was exhausted.
+        capacity: usize,
+    },
+    /// The request's deadline expired before a worker started executing
+    /// it. The request was purged from the queue, never run.
+    DeadlineExceeded,
+    /// The server is shutting down and no longer accepts submissions.
+    ShuttingDown,
+    /// The [`ServeConfig`](crate::ServeConfig) is unusable.
+    InvalidConfig(String),
+    /// The submitted inputs do not match the model's single-sample
+    /// input signature.
+    InvalidInput(String),
+    /// The underlying batched forward pass failed.
+    Execution(NnirError),
+    /// The server dropped the reply channel without answering — only
+    /// possible if a worker thread panicked.
+    Disconnected,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Rejected { capacity } => {
+                write!(f, "submission queue full (capacity {capacity})")
+            }
+            ServeError::DeadlineExceeded => {
+                write!(f, "request deadline expired before execution")
+            }
+            ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::InvalidConfig(detail) => write!(f, "invalid serve config: {detail}"),
+            ServeError::InvalidInput(detail) => write!(f, "invalid request input: {detail}"),
+            ServeError::Execution(e) => write!(f, "batched execution failed: {e}"),
+            ServeError::Disconnected => write!(f, "server dropped the reply channel"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<NnirError> for ServeError {
+    fn from(e: NnirError) -> Self {
+        ServeError::Execution(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let msgs = [
+            ServeError::Rejected { capacity: 8 }.to_string(),
+            ServeError::DeadlineExceeded.to_string(),
+            ServeError::ShuttingDown.to_string(),
+            ServeError::InvalidConfig("zero workers".into()).to_string(),
+        ];
+        assert!(msgs[0].contains("capacity 8"));
+        assert!(msgs[1].contains("deadline"));
+        assert!(msgs[2].contains("shutting down"));
+        assert!(msgs[3].contains("zero workers"));
+    }
+
+    #[test]
+    fn nnir_errors_convert() {
+        let e: ServeError = NnirError::DeadlineExceeded.into();
+        assert_eq!(e, ServeError::Execution(NnirError::DeadlineExceeded));
+    }
+}

@@ -1,0 +1,32 @@
+//! `vedliot-serve` — batched serving front-end for VEDLIoT models.
+//!
+//! The paper's pipeline ends at an optimised model; this crate is the
+//! piece that puts one in front of traffic on an edge node. Requests
+//! enter through a bounded submission queue, a dynamic batcher
+//! coalesces them along axis 0 (close on `max_batch` reached or
+//! `max_linger` elapsed), and a worker pool executes each batch through
+//! the one-door [`Runner`](vedliot_nnir::exec::Runner) API — one warm
+//! arena-backed runner per batch size per worker.
+//!
+//! The serving contract:
+//!
+//! - **No request is silently dropped.** Every submission is answered
+//!   with outputs or a typed [`ServeError`]; after
+//!   [`Server::shutdown`], `served + rejected + timed_out + failed`
+//!   equals `submitted` ([`MetricsSnapshot::accounted_for`]).
+//! - **Backpressure over buffering.** A full queue rejects at the door
+//!   with [`ServeError::Rejected`] instead of growing without bound.
+//! - **Deadlines are enforced before execution.** An expired request is
+//!   purged with [`ServeError::DeadlineExceeded`], never run late.
+//! - **Batching is invisible.** Kernels reduce batch rows independently
+//!   in identical element order, so a coalesced request receives
+//!   bit-identical bytes to a solo run (property-tested in
+//!   `tests/serving.rs`).
+
+pub mod error;
+pub mod metrics;
+pub mod server;
+
+pub use error::ServeError;
+pub use metrics::MetricsSnapshot;
+pub use server::{BatchPolicy, ServeConfig, Server, Ticket};

@@ -1,0 +1,183 @@
+//! Serving counters and latency tracking.
+//!
+//! Mirrors the style of `vedliot_recs::telemetry`: cheap always-on
+//! counters plus a bounded rolling window for distribution statistics,
+//! snapshotted into a serialisable report. The counters are atomic so
+//! workers update them without taking the queue lock.
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Number of per-request latency samples retained for percentiles.
+const LATENCY_WINDOW: usize = 1024;
+
+/// Live metric store shared by the server front door and its workers.
+#[derive(Debug, Default)]
+pub(crate) struct Metrics {
+    submitted: AtomicU64,
+    served: AtomicU64,
+    rejected: AtomicU64,
+    timed_out: AtomicU64,
+    failed: AtomicU64,
+    batches: AtomicU64,
+    batched_samples: AtomicU64,
+    latencies_us: Mutex<VecDeque<u64>>,
+}
+
+impl Metrics {
+    pub(crate) fn inc_submitted(&self) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn inc_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn inc_timed_out(&self) {
+        self.timed_out.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_failed(&self, n: u64) {
+        self.failed.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records one completed batch of `n` requests.
+    pub(crate) fn record_batch(&self, n: u64) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batched_samples.fetch_add(n, Ordering::Relaxed);
+        self.served.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records one request's queue-to-reply latency.
+    pub(crate) fn record_latency(&self, micros: u64) {
+        let mut window = self.latencies_us.lock().expect("metrics lock");
+        window.push_back(micros);
+        if window.len() > LATENCY_WINDOW {
+            window.pop_front();
+        }
+    }
+
+    /// Takes a consistent point-in-time snapshot.
+    pub(crate) fn snapshot(&self) -> MetricsSnapshot {
+        let mut window: Vec<u64> = {
+            let w = self.latencies_us.lock().expect("metrics lock");
+            w.iter().copied().collect()
+        };
+        window.sort_unstable();
+        let percentile = |p: f64| -> u64 {
+            if window.is_empty() {
+                return 0;
+            }
+            let rank = (p * (window.len() - 1) as f64).round() as usize;
+            window[rank.min(window.len() - 1)]
+        };
+        let batches = self.batches.load(Ordering::Relaxed);
+        let batched_samples = self.batched_samples.load(Ordering::Relaxed);
+        MetricsSnapshot {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            served: self.served.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            timed_out: self.timed_out.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            batches,
+            mean_batch: if batches == 0 {
+                0.0
+            } else {
+                batched_samples as f64 / batches as f64
+            },
+            p50_latency_us: percentile(0.50),
+            p99_latency_us: percentile(0.99),
+        }
+    }
+}
+
+/// Point-in-time serving statistics.
+///
+/// The counters partition every submission: a request ends up in
+/// exactly one of `served`, `rejected`, `timed_out` or `failed`, so
+/// `served + rejected + timed_out + failed == submitted` once the
+/// server has drained.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Requests accepted into the queue plus those rejected at the door.
+    pub submitted: u64,
+    /// Requests answered with a model output.
+    pub served: u64,
+    /// Requests rejected because the queue was full.
+    pub rejected: u64,
+    /// Requests purged because their deadline expired before execution.
+    pub timed_out: u64,
+    /// Requests answered with an execution error.
+    pub failed: u64,
+    /// Batched forward passes executed.
+    pub batches: u64,
+    /// Mean requests per executed batch (0 when no batches ran).
+    pub mean_batch: f64,
+    /// Median queue-to-reply latency in microseconds (rolling window).
+    pub p50_latency_us: u64,
+    /// 99th-percentile queue-to-reply latency in microseconds.
+    pub p99_latency_us: u64,
+}
+
+impl MetricsSnapshot {
+    /// Whether every submitted request received exactly one reply.
+    #[must_use]
+    pub fn accounted_for(&self) -> bool {
+        self.served + self.rejected + self.timed_out + self.failed == self.submitted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_partition_submissions() {
+        let m = Metrics::default();
+        for _ in 0..10 {
+            m.inc_submitted();
+        }
+        m.inc_rejected();
+        m.inc_timed_out();
+        m.record_batch(7);
+        m.add_failed(1);
+        let s = m.snapshot();
+        assert_eq!(s.submitted, 10);
+        assert_eq!(s.served, 7);
+        assert!(s.accounted_for());
+        assert_eq!(s.batches, 1);
+        assert!((s.mean_batch - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentiles_come_from_the_window() {
+        let m = Metrics::default();
+        for us in 1..=100 {
+            m.record_latency(us);
+        }
+        let s = m.snapshot();
+        assert_eq!(s.p50_latency_us, 51);
+        assert_eq!(s.p99_latency_us, 99);
+    }
+
+    #[test]
+    fn window_is_bounded() {
+        let m = Metrics::default();
+        for us in 0..5000u64 {
+            m.record_latency(us);
+        }
+        let s = m.snapshot();
+        // Only the most recent LATENCY_WINDOW samples survive.
+        assert!(s.p50_latency_us >= (5000 - super::LATENCY_WINDOW as u64));
+    }
+
+    #[test]
+    fn empty_window_reports_zero() {
+        let s = Metrics::default().snapshot();
+        assert_eq!(s.p50_latency_us, 0);
+        assert_eq!(s.p99_latency_us, 0);
+        assert!(s.accounted_for());
+    }
+}

@@ -1,0 +1,547 @@
+//! The serving front-end: bounded queue → dynamic batcher → workers.
+//!
+//! [`Server::start`] compiles one graph per admissible batch size
+//! (`1..=max_batch`, via [`Graph::with_batch`]) and spawns a worker
+//! pool. Each worker owns one arena-backed [`Runner`] per batch size,
+//! so steady-state serving performs no allocation beyond the request
+//! queue itself.
+//!
+//! The dynamic batcher coalesces single-sample submissions along axis 0
+//! under two closure rules: a batch executes as soon as `max_batch`
+//! requests are queued, or once the oldest queued request has lingered
+//! for `max_linger`. Because every kernel reduces batch rows
+//! independently in identical element order (the bit-identical batching
+//! contract, see `Tensor::split_batch`), a coalesced batch returns
+//! exactly the bytes each request would have received alone.
+
+use crate::error::ServeError;
+use crate::metrics::{Metrics, MetricsSnapshot};
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use vedliot_nnir::exec::{Parallelism, RunOptions, Runner};
+use vedliot_nnir::{Graph, Shape, Tensor};
+
+/// Batch-closure policy for the dynamic batcher.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchPolicy {
+    /// Largest number of requests coalesced into one forward pass.
+    pub max_batch: usize,
+    /// Longest the oldest queued request may wait for companions before
+    /// its (possibly partial) batch executes.
+    pub max_linger: Duration,
+}
+
+impl BatchPolicy {
+    /// Degenerate policy: every request executes alone, immediately.
+    #[must_use]
+    pub fn sequential() -> Self {
+        BatchPolicy {
+            max_batch: 1,
+            max_linger: Duration::ZERO,
+        }
+    }
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        BatchPolicy {
+            max_batch: 8,
+            max_linger: Duration::from_micros(500),
+        }
+    }
+}
+
+/// Server configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Bounded submission-queue capacity; submissions beyond it are
+    /// rejected with [`ServeError::Rejected`].
+    pub queue_capacity: usize,
+    /// Worker threads, each owning its own set of runners.
+    pub workers: usize,
+    /// Dynamic batching policy.
+    pub batch: BatchPolicy,
+    /// Intra-batch parallelism of each worker's runners. On single-core
+    /// targets leave this [`Parallelism::Serial`]; batching, not
+    /// threading, is the throughput lever there.
+    pub parallelism: Parallelism,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            queue_capacity: 64,
+            workers: 1,
+            batch: BatchPolicy::default(),
+            parallelism: Parallelism::Serial,
+        }
+    }
+}
+
+impl ServeConfig {
+    fn validate(&self) -> Result<(), ServeError> {
+        if self.queue_capacity == 0 {
+            return Err(ServeError::InvalidConfig(
+                "queue_capacity must be at least 1".into(),
+            ));
+        }
+        if self.workers == 0 {
+            return Err(ServeError::InvalidConfig(
+                "workers must be at least 1".into(),
+            ));
+        }
+        if self.batch.max_batch == 0 {
+            return Err(ServeError::InvalidConfig(
+                "max_batch must be at least 1".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// One queued request.
+struct Request {
+    inputs: Vec<Tensor>,
+    deadline: Option<Instant>,
+    enqueued_at: Instant,
+    reply: mpsc::Sender<Result<Vec<Tensor>, ServeError>>,
+}
+
+/// Queue state guarded by the server mutex.
+struct QueueState {
+    queue: VecDeque<Request>,
+    shutting_down: bool,
+}
+
+/// State shared between the front door and the workers.
+struct Shared {
+    state: Mutex<QueueState>,
+    /// Signals workers: new request, or shutdown.
+    work_ready: Condvar,
+    metrics: Metrics,
+    /// Per-sample graph input shapes (batch dimension forced to 1).
+    input_shapes: Vec<Shape>,
+    policy: BatchPolicy,
+}
+
+/// Handle for one submitted request. Redeem it with [`Ticket::wait`].
+#[must_use = "an unredeemed ticket discards the request's result"]
+#[derive(Debug)]
+pub struct Ticket {
+    rx: mpsc::Receiver<Result<Vec<Tensor>, ServeError>>,
+}
+
+impl Ticket {
+    /// Blocks until the server answers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the server's typed verdict for this request, or
+    /// [`ServeError::Disconnected`] if a worker died without replying.
+    pub fn wait(self) -> Result<Vec<Tensor>, ServeError> {
+        self.rx.recv().unwrap_or(Err(ServeError::Disconnected))
+    }
+
+    /// Like [`Ticket::wait`] but gives up after `timeout`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Disconnected`] on timeout or a dead worker;
+    /// otherwise the server's verdict.
+    pub fn wait_timeout(self, timeout: Duration) -> Result<Vec<Tensor>, ServeError> {
+        self.rx
+            .recv_timeout(timeout)
+            .unwrap_or(Err(ServeError::Disconnected))
+    }
+}
+
+/// Batched model server.
+///
+/// ```
+/// use std::time::Duration;
+/// use vedliot_nnir::{zoo, Shape, Tensor};
+/// use vedliot_serve::{ServeConfig, Server};
+///
+/// let graph = zoo::tiny_cnn("demo", Shape::nchw(1, 1, 8, 8), &[4], 3).unwrap();
+/// let server = Server::start(&graph, ServeConfig::default()).unwrap();
+/// let input = Tensor::random(Shape::nchw(1, 1, 8, 8), 7, 1.0);
+/// let ticket = server.submit(vec![input], None).unwrap();
+/// let outputs = ticket.wait().unwrap();
+/// assert_eq!(outputs[0].shape(), &Shape::nf(1, 3));
+/// server.shutdown();
+/// ```
+pub struct Server {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    queue_capacity: usize,
+}
+
+impl Server {
+    /// Compiles `graph` for batch sizes `1..=max_batch` and spawns the
+    /// worker pool.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidConfig`] for a zero capacity, worker count
+    /// or batch bound; [`ServeError::Execution`] if the graph fails
+    /// validation or batch rewriting.
+    pub fn start(graph: &Graph, config: ServeConfig) -> Result<Self, ServeError> {
+        config.validate()?;
+        graph.validate()?;
+        // One graph per admissible batch size. Workers build their
+        // runners against these; index k-1 serves batches of k.
+        let mut graphs = Vec::with_capacity(config.batch.max_batch);
+        for k in 1..=config.batch.max_batch {
+            graphs.push(graph.with_batch(k)?);
+        }
+        let input_shapes: Vec<Shape> = graphs[0]
+            .inputs()
+            .iter()
+            .map(|&id| {
+                graphs[0]
+                    .tensor_shape(id)
+                    .expect("validated graph has input shapes")
+                    .clone()
+            })
+            .collect();
+        let graphs = Arc::new(graphs);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(QueueState {
+                queue: VecDeque::new(),
+                shutting_down: false,
+            }),
+            work_ready: Condvar::new(),
+            metrics: Metrics::default(),
+            input_shapes,
+            policy: config.batch,
+        });
+        let workers = (0..config.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let graphs = Arc::clone(&graphs);
+                let parallelism = config.parallelism;
+                std::thread::Builder::new()
+                    .name(format!("vedliot-serve-{i}"))
+                    .spawn(move || worker_loop(&shared, &graphs, parallelism))
+                    .expect("spawn serve worker")
+            })
+            .collect();
+        Ok(Server {
+            shared,
+            workers,
+            queue_capacity: config.queue_capacity,
+        })
+    }
+
+    /// Submits one single-sample request (one tensor per graph input,
+    /// batch dimension 1) with an optional execution deadline.
+    ///
+    /// Returns immediately with a [`Ticket`]; the request is answered
+    /// by a worker, batched with whatever else is queued.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidInput`] on an input-signature mismatch,
+    /// [`ServeError::Rejected`] when the queue is full,
+    /// [`ServeError::ShuttingDown`] after [`Server::shutdown`] began.
+    pub fn submit(
+        &self,
+        inputs: Vec<Tensor>,
+        deadline: Option<Instant>,
+    ) -> Result<Ticket, ServeError> {
+        self.shared.metrics.inc_submitted();
+        if inputs.len() != self.shared.input_shapes.len() {
+            self.shared.metrics.inc_rejected();
+            return Err(ServeError::InvalidInput(format!(
+                "expected {} input tensors, got {}",
+                self.shared.input_shapes.len(),
+                inputs.len()
+            )));
+        }
+        for (tensor, expected) in inputs.iter().zip(&self.shared.input_shapes) {
+            if tensor.shape() != expected {
+                self.shared.metrics.inc_rejected();
+                return Err(ServeError::InvalidInput(format!(
+                    "input shape {:?} does not match single-sample signature {:?}",
+                    tensor.shape(),
+                    expected
+                )));
+            }
+        }
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut state = self.shared.state.lock().expect("serve queue lock");
+            if state.shutting_down {
+                self.shared.metrics.inc_rejected();
+                return Err(ServeError::ShuttingDown);
+            }
+            if state.queue.len() >= self.queue_capacity {
+                self.shared.metrics.inc_rejected();
+                return Err(ServeError::Rejected {
+                    capacity: self.queue_capacity,
+                });
+            }
+            state.queue.push_back(Request {
+                inputs,
+                deadline,
+                enqueued_at: Instant::now(),
+                reply: tx,
+            });
+        }
+        self.shared.work_ready.notify_one();
+        Ok(Ticket { rx })
+    }
+
+    /// Current serving statistics.
+    #[must_use]
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared.metrics.snapshot()
+    }
+
+    /// Graceful shutdown: refuses new submissions, drains every queued
+    /// request (each still gets a typed reply), joins the workers and
+    /// returns the final statistics.
+    pub fn shutdown(mut self) -> MetricsSnapshot {
+        self.begin_shutdown();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+        self.shared.metrics.snapshot()
+    }
+
+    fn begin_shutdown(&self) {
+        let mut state = self.shared.state.lock().expect("serve queue lock");
+        state.shutting_down = true;
+        drop(state);
+        self.shared.work_ready.notify_all();
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        // `shutdown` already drained `workers`; a plain drop still
+        // stops and joins the pool so no thread outlives the server.
+        self.begin_shutdown();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Replies to every queued request whose deadline has already expired
+/// and drops it from the queue. Returns how many were purged.
+fn purge_expired(state: &mut QueueState, metrics: &Metrics, now: Instant) -> usize {
+    let before = state.queue.len();
+    // VecDeque has no retain-with-side-effect order guarantee problem
+    // here: replies are independent, order is irrelevant.
+    state.queue.retain(|req| {
+        let expired = req.deadline.is_some_and(|d| now >= d);
+        if expired {
+            metrics.inc_timed_out();
+            let _ = req.reply.send(Err(ServeError::DeadlineExceeded));
+        }
+        !expired
+    });
+    before - state.queue.len()
+}
+
+/// Worker body: form a batch under the lock, execute it outside.
+fn worker_loop(shared: &Shared, graphs: &[Graph], parallelism: Parallelism) {
+    // Runners are built once and reused for the worker's lifetime, so
+    // every batch after the first hits warm arenas and cached weights.
+    let mut runners: Vec<Runner<'_>> = graphs
+        .iter()
+        .map(|g| Runner::builder().parallelism(parallelism).build(g))
+        .collect();
+    loop {
+        let batch = {
+            let mut state = shared.state.lock().expect("serve queue lock");
+            loop {
+                let now = Instant::now();
+                purge_expired(&mut state, &shared.metrics, now);
+                if let Some(oldest) = state.queue.front() {
+                    let full = state.queue.len() >= shared.policy.max_batch;
+                    let linger_until = oldest.enqueued_at + shared.policy.max_linger;
+                    if full || state.shutting_down || now >= linger_until {
+                        let take = state.queue.len().min(shared.policy.max_batch);
+                        break state.queue.drain(..take).collect::<Vec<_>>();
+                    }
+                    // Wait for companions, a shutdown, or the linger
+                    // window to elapse — whichever comes first.
+                    let (s, _) = shared
+                        .work_ready
+                        .wait_timeout(state, linger_until - now)
+                        .expect("serve queue lock");
+                    state = s;
+                } else if state.shutting_down {
+                    return;
+                } else {
+                    state = shared.work_ready.wait(state).expect("serve queue lock");
+                }
+            }
+        };
+        execute_batch(&mut runners, batch, &shared.metrics);
+    }
+}
+
+/// Runs one formed batch and distributes per-request replies.
+fn execute_batch(runners: &mut [Runner<'_>], batch: Vec<Request>, metrics: &Metrics) {
+    let n = batch.len();
+    debug_assert!(n >= 1 && n <= runners.len());
+    let result = if n == 1 {
+        runners[0].execute(&batch[0].inputs, RunOptions::default())
+    } else {
+        // Coalesce along axis 0: input position i of the batched run is
+        // the concatenation of every request's tensor i, in queue order.
+        let coalesce = |i: usize| {
+            let rows: Vec<Tensor> = batch.iter().map(|req| req.inputs[i].clone()).collect();
+            Tensor::concat_batch(&rows)
+        };
+        (0..batch[0].inputs.len())
+            .map(coalesce)
+            .collect::<Result<Vec<_>, _>>()
+            .and_then(|coalesced| runners[n - 1].execute(&coalesced, RunOptions::default()))
+    };
+    let completed = Instant::now();
+    match result {
+        Ok(out) => {
+            // Split every output back into per-request rows; row j
+            // belongs to request j because concat preserved queue order.
+            let split: Result<Vec<Vec<Tensor>>, _> = out
+                .outputs()
+                .iter()
+                .map(Tensor::split_batch)
+                .collect::<Result<Vec<_>, _>>();
+            match split {
+                Ok(per_output_rows) => {
+                    metrics.record_batch(n as u64);
+                    for (j, req) in batch.into_iter().enumerate() {
+                        let outputs: Vec<Tensor> =
+                            per_output_rows.iter().map(|rows| rows[j].clone()).collect();
+                        let micros = completed.duration_since(req.enqueued_at).as_micros() as u64;
+                        metrics.record_latency(micros);
+                        let _ = req.reply.send(Ok(outputs));
+                    }
+                }
+                Err(e) => fail_batch(batch, metrics, &e.into()),
+            }
+        }
+        Err(e) => fail_batch(batch, metrics, &e.into()),
+    }
+}
+
+/// Answers every request in a failed batch with the same typed error.
+fn fail_batch(batch: Vec<Request>, metrics: &Metrics, error: &ServeError) {
+    metrics.add_failed(batch.len() as u64);
+    for req in batch {
+        let _ = req.reply.send(Err(error.clone()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vedliot_nnir::zoo;
+
+    fn demo_graph() -> Graph {
+        zoo::tiny_cnn("serve-test", Shape::nchw(1, 1, 8, 8), &[4], 3).unwrap()
+    }
+
+    fn demo_input(seed: u64) -> Tensor {
+        Tensor::random(Shape::nchw(1, 1, 8, 8), seed, 1.0)
+    }
+
+    #[test]
+    fn zero_capacity_config_is_rejected() {
+        let cfg = ServeConfig {
+            queue_capacity: 0,
+            ..ServeConfig::default()
+        };
+        assert!(matches!(
+            Server::start(&demo_graph(), cfg),
+            Err(ServeError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn zero_workers_config_is_rejected() {
+        let cfg = ServeConfig {
+            workers: 0,
+            ..ServeConfig::default()
+        };
+        assert!(matches!(
+            Server::start(&demo_graph(), cfg),
+            Err(ServeError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn wrong_input_arity_is_typed_invalid_input() {
+        let server = Server::start(&demo_graph(), ServeConfig::default()).unwrap();
+        let err = server.submit(vec![], None).unwrap_err();
+        assert!(matches!(err, ServeError::InvalidInput(_)));
+        let err = server
+            .submit(vec![demo_input(1), demo_input(2)], None)
+            .unwrap_err();
+        assert!(matches!(err, ServeError::InvalidInput(_)));
+    }
+
+    #[test]
+    fn wrong_input_shape_is_typed_invalid_input() {
+        let server = Server::start(&demo_graph(), ServeConfig::default()).unwrap();
+        let bad = Tensor::random(Shape::nchw(1, 1, 4, 4), 3, 1.0);
+        assert!(matches!(
+            server.submit(vec![bad], None).unwrap_err(),
+            ServeError::InvalidInput(_)
+        ));
+    }
+
+    #[test]
+    fn single_request_round_trips() {
+        let server = Server::start(&demo_graph(), ServeConfig::default()).unwrap();
+        let out = server
+            .submit(vec![demo_input(11)], None)
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].shape(), &Shape::nf(1, 3));
+        let m = server.shutdown();
+        assert_eq!(m.served, 1);
+        assert!(m.accounted_for());
+    }
+
+    #[test]
+    fn submit_after_shutdown_is_refused() {
+        let server = Server::start(&demo_graph(), ServeConfig::default()).unwrap();
+        server.begin_shutdown();
+        assert_eq!(
+            server.submit(vec![demo_input(1)], None).unwrap_err(),
+            ServeError::ShuttingDown
+        );
+    }
+
+    #[test]
+    fn purge_expired_replies_and_counts() {
+        let metrics = Metrics::default();
+        let (tx, rx) = mpsc::channel();
+        let now = Instant::now();
+        let mut state = QueueState {
+            queue: VecDeque::new(),
+            shutting_down: false,
+        };
+        state.queue.push_back(Request {
+            inputs: vec![],
+            deadline: Some(now - Duration::from_millis(1)),
+            enqueued_at: now,
+            reply: tx,
+        });
+        assert_eq!(purge_expired(&mut state, &metrics, now), 1);
+        assert!(state.queue.is_empty());
+        assert_eq!(rx.recv().unwrap(), Err(ServeError::DeadlineExceeded));
+        assert_eq!(metrics.snapshot().timed_out, 1);
+    }
+}

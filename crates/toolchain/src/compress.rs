@@ -12,7 +12,7 @@ use crate::error::ToolchainError;
 use crate::huffman;
 use crate::kmeans::kmeans_1d;
 use serde::{Deserialize, Serialize};
-use vedliot_nnir::exec::Executor;
+use vedliot_nnir::exec::Runner;
 use vedliot_nnir::graph::WeightInit;
 use vedliot_nnir::{Graph, Op, Tensor};
 
@@ -192,7 +192,7 @@ pub fn deep_compress(
 
     let mut out = graph.clone();
     let materialized: Vec<Option<Vec<Tensor>>> = {
-        let exec = Executor::new(&out);
+        let exec = Runner::builder().build(&out);
         out.nodes()
             .iter()
             .map(|node| {
@@ -209,7 +209,7 @@ pub fn deep_compress(
     let mut raw_bytes = 0usize;
     // Count non-compressible parameters (biases, batch norms).
     {
-        let exec = Executor::new(graph);
+        let exec = Runner::builder().build(graph);
         for node in graph.nodes() {
             match node.op {
                 Op::Conv2d(_) | Op::Dense { .. } => {
@@ -427,7 +427,7 @@ mod tests {
             ..CompressionConfig::default()
         };
         let (compressed, _) = deep_compress(&model, &config).unwrap();
-        let exec = Executor::new(&compressed);
+        let exec = Runner::builder().build(&compressed);
         for node in compressed.nodes() {
             if matches!(node.op, Op::Dense { .. }) {
                 let w = &exec.node_weights(node).unwrap()[0];

@@ -8,7 +8,7 @@
 
 use crate::error::ToolchainError;
 use serde::{Deserialize, Serialize};
-use vedliot_nnir::exec::Executor;
+use vedliot_nnir::exec::{RunOptions, Runner};
 use vedliot_nnir::graph::WeightInit;
 use vedliot_nnir::{Graph, GraphBuilder, Op, Shape, Tensor, TensorId};
 
@@ -137,7 +137,7 @@ impl Pass for FuseConvBn {
             }
         }
 
-        let exec = Executor::new(&graph);
+        let exec = Runner::builder().build(&graph);
         let mut b = GraphBuilder::new(graph.name().to_string());
         // Tensor remapping old -> new.
         let mut remap: Vec<Option<TensorId>> = vec![None; graph.tensor_count()];
@@ -260,7 +260,7 @@ impl Pass for PruneConnections {
         let mut zeroed = 0usize;
         // Materialize first (immutable borrow), then write back.
         let materialized: Vec<Option<Vec<Tensor>>> = {
-            let exec = Executor::new(&graph);
+            let exec = Runner::builder().build(&graph);
             graph
                 .nodes()
                 .iter()
@@ -373,7 +373,7 @@ impl Pass for PruneNeurons {
             });
         }
 
-        let exec = Executor::new(&graph);
+        let exec = Runner::builder().build(&graph);
         // Materialized weights per dense node.
         let mut weights: Vec<Vec<Tensor>> = Vec::new();
         for &i in &dense_ids {
@@ -560,7 +560,7 @@ impl Pass for PruneChannels {
         // Which convs may be pruned: every conv whose *next* conv/dense
         // consumer can be sliced. The last conv before flatten/dense
         // keeps its channels (the classifier input width must not move).
-        let exec = Executor::new(&graph);
+        let exec = Runner::builder().build(&graph);
         let conv_indices: Vec<usize> = graph
             .nodes()
             .iter()
@@ -786,9 +786,13 @@ impl Pass for QuantizeInt8 {
         if !self.calibration.is_empty() {
             let mut absmax = vec![0.0f32; graph.tensor_count()];
             {
-                let exec = Executor::new(&graph);
+                let mut exec = Runner::builder().build(&graph);
+                let opts = RunOptions::new().capture_intermediates(true);
                 for sample in &self.calibration {
-                    let values = exec.run_with_intermediates(std::slice::from_ref(sample))?;
+                    let values = exec
+                        .execute(std::slice::from_ref(sample), opts)?
+                        .into_intermediates()
+                        .unwrap_or_default();
                     for (i, v) in values.iter().enumerate() {
                         if let Some(t) = v {
                             absmax[i] = absmax[i].max(t.abs_max());
@@ -844,7 +848,7 @@ impl Pass for QuantizeInt8 {
         }
 
         let materialized: Vec<Option<Vec<Tensor>>> = {
-            let exec = Executor::new(&graph);
+            let exec = Runner::builder().build(&graph);
             graph
                 .nodes()
                 .iter()
@@ -943,7 +947,7 @@ impl Pass for ConvertFp16 {
 
     fn run(&self, mut graph: Graph) -> Result<(Graph, String), ToolchainError> {
         let materialized: Vec<Option<Vec<Tensor>>> = {
-            let exec = Executor::new(&graph);
+            let exec = Runner::builder().build(&graph);
             graph
                 .nodes()
                 .iter()
@@ -988,7 +992,11 @@ mod tests {
         let bn_before = g.nodes().iter().filter(|n| n.op == Op::BatchNorm).count();
         assert!(bn_before > 0);
         let input = Tensor::random(Shape::nchw(1, 3, 16, 16), 3, 1.0);
-        let before = Executor::new(&g).run(std::slice::from_ref(&input)).unwrap();
+        let before = Runner::builder()
+            .build(&g)
+            .execute(std::slice::from_ref(&input), RunOptions::default())
+            .unwrap()
+            .into_outputs();
         let (fused, detail) = FuseConvBn::new().run(g).unwrap();
         fused.validate().unwrap();
         assert_eq!(
@@ -1000,7 +1008,11 @@ mod tests {
             0
         );
         assert!(detail.contains(&bn_before.to_string()));
-        let after = Executor::new(&fused).run(&[input]).unwrap();
+        let after = Runner::builder()
+            .build(&fused)
+            .execute(&[input], RunOptions::default())
+            .unwrap()
+            .into_outputs();
         let diff = before[0].max_abs_diff(&after[0]).unwrap();
         assert!(diff < 1e-4, "fusion changed outputs by {diff}");
     }
@@ -1020,7 +1032,7 @@ mod tests {
         pruned.validate().unwrap();
         assert!(detail.contains("70.0%"), "{detail}");
         // Count zeros directly.
-        let exec = Executor::new(&pruned);
+        let exec = Runner::builder().build(&pruned);
         for node in pruned.nodes() {
             if matches!(node.op, Op::Conv2d(_)) {
                 let w = &exec.node_weights(node).unwrap()[0];
@@ -1036,11 +1048,11 @@ mod tests {
         let mut model = mlp("m", 4, &[], 2).unwrap();
         let data = gaussian_prototypes(Shape::nf(1, 4), 2, 10, 3.0, 3);
         train_mlp(&mut model, &data, &TrainConfig::default()).unwrap();
-        let exec = Executor::new(&model);
+        let exec = Runner::builder().build(&model);
         let before = exec.node_weights(&model.nodes()[0]).unwrap()[0].clone();
         let max_before = before.abs_max();
         let (pruned, _) = PruneConnections::new(0.5).run(model).unwrap();
-        let exec = Executor::new(&pruned);
+        let exec = Runner::builder().build(&pruned);
         let after = exec.node_weights(&pruned.nodes()[0]).unwrap()[0].clone();
         // The single largest weight always survives.
         assert_eq!(after.abs_max(), max_before);
@@ -1083,7 +1095,7 @@ mod tests {
     fn quantization_snaps_weights_to_grid() {
         let g = cnn();
         let (quant, _) = QuantizeInt8::new().run(g).unwrap();
-        let exec = Executor::new(&quant);
+        let exec = Runner::builder().build(&quant);
         for node in quant.nodes() {
             if matches!(node.op, Op::Conv2d(_)) {
                 let w = &exec.node_weights(node).unwrap()[0];
@@ -1105,7 +1117,7 @@ mod tests {
     #[test]
     fn quantization_error_is_bounded_by_half_step() {
         let g = cnn();
-        let exec = Executor::new(&g);
+        let exec = Runner::builder().build(&g);
         let originals: Vec<Option<Tensor>> = g
             .nodes()
             .iter()
@@ -1118,7 +1130,7 @@ mod tests {
             })
             .collect();
         let (quant, _) = QuantizeInt8::new().run(g).unwrap();
-        let exec = Executor::new(&quant);
+        let exec = Runner::builder().build(&quant);
         for (node, orig) in quant.nodes().iter().zip(originals) {
             let Some(orig) = orig else { continue };
             let w = &exec.node_weights(node).unwrap()[0];
@@ -1165,9 +1177,14 @@ mod tests {
             .count();
         assert!(fq > nodes_before / 2, "only {fq} FakeQuant nodes inserted");
         // The quantized graph still executes.
-        let out = Executor::new(&quantized)
-            .run(&[Tensor::random(Shape::nchw(1, 3, 16, 16), 9, 1.0)])
-            .unwrap();
+        let out = Runner::builder()
+            .build(&quantized)
+            .execute(
+                &[Tensor::random(Shape::nchw(1, 3, 16, 16), 9, 1.0)],
+                RunOptions::default(),
+            )
+            .unwrap()
+            .into_outputs();
         assert_eq!(out[0].shape().dims(), &[1, 4]);
     }
 

@@ -1,7 +1,7 @@
 //! Structured channel-pruning tests on linear conv chains.
 
 use vedliot_nnir::cost::CostReport;
-use vedliot_nnir::exec::Executor;
+use vedliot_nnir::exec::{RunOptions, Runner};
 use vedliot_nnir::{zoo, Op, Shape, Tensor};
 use vedliot_toolchain::passes::{Pass, PruneChannels};
 
@@ -29,9 +29,14 @@ fn channel_pruning_shrinks_macs_and_params() {
 fn pruned_chain_still_executes_with_right_shapes() {
     let g = chain();
     let (pruned, _) = PruneChannels::new(0.5).run(g).unwrap();
-    let out = Executor::new(&pruned)
-        .run(&[Tensor::random(Shape::nchw(1, 3, 32, 32), 5, 1.0)])
-        .unwrap();
+    let out = Runner::builder()
+        .build(&pruned)
+        .execute(
+            &[Tensor::random(Shape::nchw(1, 3, 32, 32), 5, 1.0)],
+            RunOptions::default(),
+        )
+        .unwrap()
+        .into_outputs();
     assert_eq!(out[0].shape().dims(), &[1, 4]);
 }
 
@@ -79,7 +84,7 @@ fn keep_fraction_one_is_identity_in_cost() {
 fn batchnorm_params_track_pruned_channels() {
     let g = chain();
     let (pruned, _) = PruneChannels::new(0.5).run(g).unwrap();
-    let exec = Executor::new(&pruned);
+    let exec = Runner::builder().build(&pruned);
     for node in pruned.nodes() {
         if node.op == Op::BatchNorm {
             let c = pruned.node_input_shapes(node)[0].dim(1).unwrap();

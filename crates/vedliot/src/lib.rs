@@ -47,6 +47,7 @@ pub use vedliot_nnir as nnir;
 pub use vedliot_recs as recs;
 pub use vedliot_reqeng as reqeng;
 pub use vedliot_safety as safety;
+pub use vedliot_serve as serve;
 pub use vedliot_socsim as socsim;
 pub use vedliot_toolchain as toolchain;
 pub use vedliot_trust as trust;

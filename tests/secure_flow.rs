@@ -2,7 +2,7 @@
 //! attestation gating the PAEB offload, the robustness monitor running
 //! inside an enclave, and PMP-confined payloads on the simulated SoC.
 
-use vedliot::nnir::exec::Executor;
+use vedliot::nnir::exec::{RunOptions, Runner};
 use vedliot::nnir::{zoo, Shape, Tensor};
 use vedliot::recs::net::NetworkCondition;
 use vedliot::safety::inject::flip_weight_bits;
@@ -60,9 +60,11 @@ fn enclave_hosted_robustness_service_detects_corruption() {
     // The deployed model suffers bit flips in the field.
     let mut deployed = golden.clone();
     flip_weight_bits(&mut deployed, 40, 13).unwrap();
-    let claimed = Executor::new(&deployed)
-        .run(std::slice::from_ref(&input))
+    let claimed = Runner::builder()
+        .build(&deployed)
+        .execute(std::slice::from_ref(&input), RunOptions::default())
         .unwrap()
+        .into_outputs()
         .remove(0);
 
     // The monitor lives inside an enclave; the whole verification runs
