@@ -36,4 +36,7 @@ cargo test -q
 echo "==> serving smoke test (100 requests, zero lost)"
 cargo test -q -p vedliot-serve --test serving smoke_100_requests_zero_lost
 
+echo "==> chaos smoke test (200 requests, seeded fault plan, availability >= 0.95)"
+cargo test -q -p vedliot-serve --test chaos smoke_200_requests_under_seeded_chaos
+
 echo "CI green."

@@ -5,7 +5,7 @@
 //! Experiments (DESIGN.md §3): `fig2`, `fig3`, `fig4`, `fig4-ext`,
 //! `compression`, `gap`, `twine`, `pmp`, `cfu`, `safety`, `paeb`, `arc`,
 //! `motor`, `mirror`, `reconfig`, `reqeng`, `memory`, `codesign`,
-//! `executor`, `serving`, or `all`.
+//! `executor`, `serving`, `resilience`, or `all`.
 
 use vedliot_bench::experiments;
 
@@ -33,13 +33,14 @@ fn main() {
         "ablation" => vec![experiments::ablation_naive()],
         "executor" => vec![experiments::executor_parallel()],
         "serving" => vec![experiments::serving()],
+        "resilience" => vec![experiments::resilience()],
         "all" => experiments::all(),
         other => {
             eprintln!("unknown experiment '{other}'");
             eprintln!(
                 "choose one of: fig2 fig3 fig4 fig4-ext compression gap twine pmp cfu \
                  safety paeb arc motor mirror reconfig reqeng memory codesign ablation \
-                 executor serving all"
+                 executor serving resilience all"
             );
             std::process::exit(2);
         }

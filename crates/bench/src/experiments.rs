@@ -1064,6 +1064,186 @@ pub fn serving() -> Experiment {
     }
 }
 
+/// E22 — serving availability under a seeded chaos plan: the
+/// fault-tolerant configuration (panic isolation + retry + quarantine +
+/// supervision + golden-copy repair) against the pre-resilience
+/// baseline, both driven by the *identical* injected fault schedule.
+///
+/// A request counts as available only if it is answered `Ok` **and**
+/// the bytes match a clean solo run within tolerance — an answer
+/// corrupted by the injected weight bit flips is an outage with extra
+/// steps. The baseline demonstrates the compounding failure modes this
+/// PR removes: one panic kills a worker and its whole batch, dead
+/// workers stay dead, one poisoned request fails its co-batched
+/// neighbours, and bit-flipped weights serve wrong answers silently.
+#[must_use]
+pub fn resilience() -> Experiment {
+    use std::time::Duration;
+    use vedliot::nnir::exec::{RunOptions, Runner};
+    use vedliot::nnir::Tensor;
+    use vedliot::serve::{
+        BatchPolicy, FaultPlan, GoldenPolicy, ResilienceConfig, ServeConfig, Server,
+    };
+
+    // Injected chaos panics are expected by the dozen; keep them out of
+    // the harness output while leaving real panics loud.
+    static HOOK: std::sync::Once = std::sync::Once::new();
+    HOOK.call_once(|| {
+        let default_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let quiet = info
+                .payload()
+                .downcast_ref::<&str>()
+                .is_some_and(|s| s.starts_with("chaos:"));
+            if !quiet {
+                default_hook(info);
+            }
+        }));
+    });
+
+    let model = zoo::tiny_cnn("serve-gesture", Shape::nchw(1, 1, 8, 8), &[4], 3).expect("builds");
+    let requests = 400usize;
+    let inputs: Vec<Tensor> = (0..requests)
+        .map(|i| Tensor::random(Shape::nchw(1, 1, 8, 8), i as u64, 1.0))
+        .collect();
+    // Ground truth: the clean model's answer for every input.
+    let mut clean_runner = Runner::builder().build(&model);
+    let clean: Vec<Tensor> = inputs
+        .iter()
+        .map(|input| {
+            clean_runner
+                .execute(std::slice::from_ref(input), RunOptions::default())
+                .expect("clean run")
+                .into_outputs()
+                .remove(0)
+        })
+        .collect();
+    // The identical seeded fault schedule for both arms: soft panics,
+    // hard worker kills, one poisoned request per 50, and startup
+    // weight bit flips in the deployed graphs.
+    let plan = FaultPlan {
+        seed: 0xE22_C4A0,
+        panic_per_batch: 0.15,
+        kill_per_wakeup: 0.06,
+        poison_every: 50,
+        weight_bit_flips: 40,
+    };
+    let tolerance = 1e-4f32;
+    let mut table = Table::new(&[
+        "arm",
+        "availability",
+        "served ok",
+        "correct",
+        "quarantined",
+        "panics absorbed",
+        "respawned/crashes",
+        "accounted",
+    ]);
+    let mut availability = [0.0f64; 2];
+    for (arm, label, resilient) in [(0, "baseline (disabled)", false), (1, "resilient", true)] {
+        let server = Server::start(
+            &model,
+            ServeConfig {
+                queue_capacity: requests + 8,
+                workers: 2,
+                batch: BatchPolicy {
+                    max_batch: 4,
+                    max_linger: Duration::from_micros(200),
+                },
+                resilience: if resilient {
+                    ResilienceConfig {
+                        respawn_budget: 32,
+                        ..ResilienceConfig::default()
+                    }
+                } else {
+                    ResilienceConfig::disabled()
+                },
+                golden: resilient.then_some(GoldenPolicy {
+                    period: 1,
+                    tolerance,
+                    repair: true,
+                }),
+                chaos: Some(plan),
+                ..ServeConfig::default()
+            },
+        )
+        .expect("server starts");
+        let tickets: Vec<_> = inputs
+            .iter()
+            .map(|input| {
+                server
+                    .submit(vec![input.clone()], None)
+                    .expect("queue sized for the run")
+            })
+            .collect();
+        // Shutdown first: it drains the queue through whatever workers
+        // survive, and — in the baseline arm, where the whole pool can
+        // be dead — drops the un-drained queue so every orphaned ticket
+        // resolves to Disconnected instead of blocking forever.
+        let m = server.shutdown();
+        let mut ok = 0u64;
+        let mut correct = 0u64;
+        for (ticket, expected) in tickets.into_iter().zip(&clean) {
+            if let Ok(out) = ticket.wait() {
+                ok += 1;
+                if out[0]
+                    .max_abs_diff(expected)
+                    .is_ok_and(|diff| diff <= tolerance)
+                {
+                    correct += 1;
+                }
+            }
+        }
+        availability[arm] = correct as f64 / requests as f64;
+        table.push(vec![
+            label.into(),
+            format!("{:.3}", availability[arm]),
+            ok.to_string(),
+            correct.to_string(),
+            m.quarantined.to_string(),
+            m.panics_absorbed.to_string(),
+            format!("{}/{}", m.respawned, m.worker_crashes),
+            if m.accounted_for() { "yes" } else { "NO" }.into(),
+        ]);
+        if resilient {
+            assert!(
+                m.accounted_for(),
+                "resilient arm must account for every request: {m:?}"
+            );
+            assert!(
+                availability[arm] >= 0.95,
+                "resilient availability {} under the seeded plan",
+                availability[arm]
+            );
+            assert!(
+                m.worker_crashes > 0 && m.respawned == m.worker_crashes,
+                "supervision must absorb every injected worker kill: {m:?}"
+            );
+        }
+    }
+    assert!(
+        availability[1] > availability[0],
+        "resilience must beat the baseline under the identical fault schedule"
+    );
+    Experiment {
+        id: "E22",
+        title: "serving availability under seeded chaos — resilient vs baseline".into(),
+        table,
+        notes: vec![
+            format!(
+                "identical seeded fault plan (seed {:#x}): availability {:.3} resilient vs {:.3} baseline",
+                plan.seed, availability[1], availability[0]
+            ),
+            "availability counts only correct answers: a reply corrupted by weight bit flips \
+             is an outage with extra steps"
+                .into(),
+            "the baseline loses whole batches to panics, keeps dead workers dead, and fails \
+             innocent co-batched requests alongside each poisoned one"
+                .into(),
+        ],
+    }
+}
+
 /// Runs every experiment in index order.
 #[must_use]
 pub fn all() -> Vec<Experiment> {
@@ -1087,6 +1267,7 @@ pub fn all() -> Vec<Experiment> {
         ablation_naive(),
         executor_parallel(),
         serving(),
+        resilience(),
     ]);
     out
 }

@@ -2,11 +2,37 @@
 
 use std::fmt;
 
+/// Coarse failure classification used by retry logic.
+///
+/// A fault-tolerant caller (the serving layer, an offload controller)
+/// needs exactly one bit about an error: is trying again ever going to
+/// help? [`NnirError::class`] and `ServeError::class` in
+/// `vedliot-serve` answer that question uniformly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorClass {
+    /// The failure was caused by transient conditions (a crashed
+    /// worker, momentary overload, an injected soft error); an
+    /// identical retry may succeed.
+    Transient,
+    /// The failure is deterministic for this input/graph/configuration;
+    /// retrying the identical operation will fail the identical way.
+    Permanent,
+}
+
+impl ErrorClass {
+    /// Whether a retry of the identical operation may succeed.
+    #[must_use]
+    pub fn is_transient(self) -> bool {
+        self == ErrorClass::Transient
+    }
+}
+
 /// Error produced by IR construction, shape inference or execution.
 ///
 /// The variants follow the verb-object-error convention and carry enough
 /// context to diagnose a malformed graph without a debugger.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum NnirError {
     /// A shape did not satisfy an operator's constraints.
     ShapeMismatch {
@@ -41,6 +67,23 @@ pub enum NnirError {
         /// Description of the invalid attribute.
         detail: String,
     },
+}
+
+impl NnirError {
+    /// Classifies the error for retry decisions.
+    ///
+    /// The in-process engine is deterministic: a graph that fails
+    /// validation, shape inference or execution fails the same way on
+    /// every attempt, and a deadline that expired is gone for good — so
+    /// every current variant is [`ErrorClass::Permanent`]. The method
+    /// exists so layered callers (serving, offload) classify engine
+    /// errors through the same interface as their own transient faults
+    /// (crashed workers, full queues), and so future genuinely
+    /// transient variants slot in without touching call sites.
+    #[must_use]
+    pub fn class(&self) -> ErrorClass {
+        ErrorClass::Permanent
+    }
 }
 
 impl fmt::Display for NnirError {
@@ -86,5 +129,42 @@ mod tests {
     fn error_is_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<NnirError>();
+    }
+
+    #[test]
+    fn engine_errors_are_permanent() {
+        // The deterministic engine never produces a transiently
+        // retryable failure; the serving layer relies on this to send
+        // deterministic batch failures to quarantine instead of
+        // burning retry attempts on them.
+        let samples = [
+            NnirError::GraphCyclic,
+            NnirError::DeadlineExceeded,
+            NnirError::UnknownTensor(3),
+            NnirError::ExecutionFailure("missing weight".into()),
+        ];
+        for e in samples {
+            assert_eq!(e.class(), ErrorClass::Permanent);
+            assert!(!e.class().is_transient());
+        }
+    }
+
+    /// `Display` stability: downstream logs and dashboards key on these
+    /// exact strings; adding fault variants must not change them.
+    #[test]
+    fn display_strings_are_stable() {
+        assert_eq!(
+            NnirError::UnknownTensor(7).to_string(),
+            "unknown tensor id 7"
+        );
+        assert_eq!(NnirError::GraphCyclic.to_string(), "graph contains a cycle");
+        assert_eq!(
+            NnirError::DeadlineExceeded.to_string(),
+            "execution deadline exceeded"
+        );
+        assert_eq!(
+            NnirError::ExecutionFailure("bad weight".into()).to_string(),
+            "execution failure: bad weight"
+        );
     }
 }

@@ -55,7 +55,7 @@ pub mod train;
 pub mod zoo;
 
 pub use dtype::DataType;
-pub use error::NnirError;
+pub use error::{ErrorClass, NnirError};
 pub use graph::{Graph, GraphBuilder, Node, NodeId, TensorId};
 pub use ops::Op;
 pub use shape::Shape;

@@ -36,4 +36,4 @@ pub mod monitors;
 pub mod robustness;
 
 pub use monitors::{SampleMonitor, Verdict};
-pub use robustness::RobustnessService;
+pub use robustness::{GoldenCheck, OutputVerdict, RobustnessService};

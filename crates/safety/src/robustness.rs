@@ -24,6 +24,23 @@ pub enum OutputVerdict {
     },
 }
 
+/// Result of one golden-copy check: the verdict plus, when the pair was
+/// actually re-executed, the golden output itself.
+///
+/// Carrying the golden output lets a fault-tolerant caller *repair* a
+/// diverged reply instead of merely flagging it — the serving layer
+/// re-answers the request from the golden copy (paper §IV-B: the
+/// robustness service "holds a copy of the DL model and can verify the
+/// correctness of the output data").
+#[derive(Debug, Clone, PartialEq)]
+pub struct GoldenCheck {
+    /// The verdict on the submitted pair.
+    pub verdict: OutputVerdict,
+    /// The golden model's own output for the input; `None` when the
+    /// submission was skipped by the sampling period.
+    pub golden: Option<Tensor>,
+}
+
 /// Statistics kept by the service.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct RobustnessStats {
@@ -84,22 +101,44 @@ impl RobustnessService {
         input: &Tensor,
         claimed_output: &Tensor,
     ) -> Result<OutputVerdict, NnirError> {
+        self.check(input, claimed_output).map(|c| c.verdict)
+    }
+
+    /// Like [`submit`](Self::submit) but also returns the golden output
+    /// when the pair was re-executed, so the caller can serve the
+    /// verified-correct answer in place of a diverged one.
+    ///
+    /// # Errors
+    ///
+    /// Propagates execution failures (shape mismatch etc.).
+    pub fn check(
+        &mut self,
+        input: &Tensor,
+        claimed_output: &Tensor,
+    ) -> Result<GoldenCheck, NnirError> {
         self.stats.submitted += 1;
         if !self.stats.submitted.is_multiple_of(self.period) {
-            return Ok(OutputVerdict::Skipped);
+            return Ok(GoldenCheck {
+                verdict: OutputVerdict::Skipped,
+                golden: None,
+            });
         }
         self.stats.checked += 1;
-        let golden_out = Runner::builder()
+        let mut golden_out = Runner::builder()
             .build(&self.golden)
             .execute(std::slice::from_ref(input), RunOptions::default())?
             .into_outputs();
         let max_diff = golden_out[0].max_abs_diff(claimed_output)?;
-        if max_diff > self.tolerance {
+        let verdict = if max_diff > self.tolerance {
             self.stats.divergences += 1;
-            Ok(OutputVerdict::Diverged { max_diff })
+            OutputVerdict::Diverged { max_diff }
         } else {
-            Ok(OutputVerdict::Verified)
-        }
+            OutputVerdict::Verified
+        };
+        Ok(GoldenCheck {
+            verdict,
+            golden: Some(golden_out.remove(0)),
+        })
     }
 }
 
@@ -163,6 +202,27 @@ mod tests {
         }
         assert_eq!(skipped, 8);
         assert_eq!(service.stats().checked, 2);
+    }
+
+    #[test]
+    fn check_returns_golden_output_for_repair() {
+        let (golden, input) = model_and_input();
+        let expected = run_once(&golden, std::slice::from_ref(&input)).remove(0);
+        // A deployed copy with flipped weights produces a wrong answer;
+        // the check must both flag it and hand back the correct output.
+        let mut deployed = golden.clone();
+        flip_weight_bits(&mut deployed, 30, 3).unwrap();
+        let bad_output = run_once(&deployed, std::slice::from_ref(&input)).remove(0);
+        let mut service = RobustnessService::new(golden, 1, 1e-4);
+        let check = service.check(&input, &bad_output).unwrap();
+        assert!(matches!(check.verdict, OutputVerdict::Diverged { .. }));
+        // The golden output is bit-identical to a direct clean run.
+        assert_eq!(check.golden.as_ref(), Some(&expected));
+        // Skipped submissions carry no golden output.
+        let mut sampled = RobustnessService::new(service.golden.clone(), 2, 1e-4);
+        let skipped = sampled.check(&input, &expected).unwrap();
+        assert_eq!(skipped.verdict, OutputVerdict::Skipped);
+        assert!(skipped.golden.is_none());
     }
 
     #[test]

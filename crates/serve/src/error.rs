@@ -4,12 +4,25 @@
 //! variant — the serving contract is that no request is ever silently
 //! dropped, so callers can always distinguish "the queue was full" from
 //! "you were too late" from "the model itself failed".
+//!
+//! Each error also carries a retry classification
+//! ([`ServeError::class`]): transient failures (a crashed worker, a
+//! full queue) may succeed when retried, permanent ones (a poisoned
+//! input, an expired deadline) never will. The resilience layer in
+//! [`crate::resilience`] keys every retry/quarantine decision off this
+//! single bit.
 
 use std::fmt;
-use vedliot_nnir::NnirError;
+use vedliot_nnir::{ErrorClass, NnirError};
 
 /// Error returned by the serving front-end.
+///
+/// Marked `#[non_exhaustive]`: fault-tolerance work adds failure
+/// variants over time, and downstream matches must keep a wildcard arm
+/// (the Display strings of existing variants are covenanted stable —
+/// see the `display_strings_are_stable` test).
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum ServeError {
     /// The bounded submission queue was full; the request was rejected
     /// at the door (backpressure, not loss).
@@ -30,8 +43,43 @@ pub enum ServeError {
     /// The underlying batched forward pass failed.
     Execution(NnirError),
     /// The server dropped the reply channel without answering — only
-    /// possible if a worker thread panicked.
+    /// possible if a worker thread died outside panic isolation.
     Disconnected,
+    /// A worker panicked while executing the batch. The panic was
+    /// absorbed by the isolation boundary; the batch is retryable.
+    WorkerCrashed {
+        /// The panic payload, best-effort stringified.
+        detail: String,
+    },
+    /// This request was isolated by batch bisection as the
+    /// deterministic cause of repeated batch failures, and only it was
+    /// failed — its co-batched neighbours were served.
+    Quarantined {
+        /// Display form of the underlying deterministic failure.
+        detail: String,
+    },
+}
+
+impl ServeError {
+    /// Classifies the error for retry decisions (see
+    /// [`ErrorClass`]).
+    ///
+    /// Transient: [`Rejected`](Self::Rejected) (queue pressure drains),
+    /// [`WorkerCrashed`](Self::WorkerCrashed) (the crash may have been
+    /// a soft error — an SEU, a storm — that a retry escapes) and
+    /// [`Disconnected`](Self::Disconnected) (a respawned worker can
+    /// answer a resubmission). Everything else is deterministic for the
+    /// request and permanent; engine failures defer to
+    /// [`NnirError::class`].
+    #[must_use]
+    pub fn class(&self) -> ErrorClass {
+        match self {
+            ServeError::Rejected { .. } | ServeError::WorkerCrashed { .. } => ErrorClass::Transient,
+            ServeError::Disconnected => ErrorClass::Transient,
+            ServeError::Execution(e) => e.class(),
+            _ => ErrorClass::Permanent,
+        }
+    }
 }
 
 impl fmt::Display for ServeError {
@@ -48,6 +96,12 @@ impl fmt::Display for ServeError {
             ServeError::InvalidInput(detail) => write!(f, "invalid request input: {detail}"),
             ServeError::Execution(e) => write!(f, "batched execution failed: {e}"),
             ServeError::Disconnected => write!(f, "server dropped the reply channel"),
+            ServeError::WorkerCrashed { detail } => {
+                write!(f, "worker crashed executing the batch: {detail}")
+            }
+            ServeError::Quarantined { detail } => {
+                write!(f, "request quarantined as poisoned: {detail}")
+            }
         }
     }
 }
@@ -64,23 +118,78 @@ impl From<NnirError> for ServeError {
 mod tests {
     use super::*;
 
+    /// Display stability covenant: these exact strings are what logs,
+    /// dashboards and downstream `to_string()` matches see. Adding new
+    /// fault variants (the enum is `#[non_exhaustive]` for exactly that
+    /// reason) must never reword an existing variant.
     #[test]
-    fn display_is_informative() {
-        let msgs = [
+    fn display_strings_are_stable() {
+        assert_eq!(
             ServeError::Rejected { capacity: 8 }.to_string(),
+            "submission queue full (capacity 8)"
+        );
+        assert_eq!(
             ServeError::DeadlineExceeded.to_string(),
+            "request deadline expired before execution"
+        );
+        assert_eq!(
             ServeError::ShuttingDown.to_string(),
+            "server is shutting down"
+        );
+        assert_eq!(
             ServeError::InvalidConfig("zero workers".into()).to_string(),
-        ];
-        assert!(msgs[0].contains("capacity 8"));
-        assert!(msgs[1].contains("deadline"));
-        assert!(msgs[2].contains("shutting down"));
-        assert!(msgs[3].contains("zero workers"));
+            "invalid serve config: zero workers"
+        );
+        assert_eq!(
+            ServeError::InvalidInput("bad shape".into()).to_string(),
+            "invalid request input: bad shape"
+        );
+        assert_eq!(
+            ServeError::Execution(NnirError::DeadlineExceeded).to_string(),
+            "batched execution failed: execution deadline exceeded"
+        );
+        assert_eq!(
+            ServeError::Disconnected.to_string(),
+            "server dropped the reply channel"
+        );
+        assert_eq!(
+            ServeError::WorkerCrashed {
+                detail: "chaos".into()
+            }
+            .to_string(),
+            "worker crashed executing the batch: chaos"
+        );
+        assert_eq!(
+            ServeError::Quarantined {
+                detail: "poisoned input".into()
+            }
+            .to_string(),
+            "request quarantined as poisoned: poisoned input"
+        );
     }
 
     #[test]
     fn nnir_errors_convert() {
         let e: ServeError = NnirError::DeadlineExceeded.into();
         assert_eq!(e, ServeError::Execution(NnirError::DeadlineExceeded));
+    }
+
+    #[test]
+    fn classification_partitions_transient_from_permanent() {
+        assert!(ServeError::Rejected { capacity: 4 }.class().is_transient());
+        assert!(ServeError::WorkerCrashed { detail: "x".into() }
+            .class()
+            .is_transient());
+        assert!(ServeError::Disconnected.class().is_transient());
+        for permanent in [
+            ServeError::DeadlineExceeded,
+            ServeError::ShuttingDown,
+            ServeError::InvalidConfig("c".into()),
+            ServeError::InvalidInput("i".into()),
+            ServeError::Execution(NnirError::GraphCyclic),
+            ServeError::Quarantined { detail: "p".into() },
+        ] {
+            assert_eq!(permanent.class(), ErrorClass::Permanent);
+        }
     }
 }

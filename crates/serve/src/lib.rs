@@ -22,11 +22,21 @@
 //!   in identical element order, so a coalesced request receives
 //!   bit-identical bytes to a solo run (property-tested in
 //!   `tests/serving.rs`).
+//! - **Faults stay contained.** A panicking batch is absorbed at the
+//!   worker's isolation boundary ([`ServeError::WorkerCrashed`]),
+//!   transient failures retry under a bounded-backoff [`RetryPolicy`],
+//!   deterministically failing batches are bisected so only the
+//!   poisoned request fails ([`ServeError::Quarantined`]), and a
+//!   supervisor respawns dead worker threads within a budget. All of it
+//!   is validated by the seeded chaos harness ([`FaultPlan`],
+//!   `tests/chaos.rs`, experiment E22).
 
 pub mod error;
 pub mod metrics;
+pub mod resilience;
 pub mod server;
 
 pub use error::ServeError;
 pub use metrics::MetricsSnapshot;
-pub use server::{BatchPolicy, ServeConfig, Server, Ticket};
+pub use resilience::{FaultPlan, Health, ResilienceConfig, RetryPolicy};
+pub use server::{BatchPolicy, GoldenPolicy, ServeConfig, Server, Ticket};

@@ -23,6 +23,13 @@ pub(crate) struct Metrics {
     failed: AtomicU64,
     batches: AtomicU64,
     batched_samples: AtomicU64,
+    // Resilience counters (see DESIGN.md §7).
+    panics_absorbed: AtomicU64,
+    worker_crashes: AtomicU64,
+    respawned: AtomicU64,
+    retries: AtomicU64,
+    quarantined: AtomicU64,
+    golden_mismatches: AtomicU64,
     latencies_us: Mutex<VecDeque<u64>>,
 }
 
@@ -43,6 +50,44 @@ impl Metrics {
         self.failed.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Records one panic converted to a typed error at the isolation
+    /// boundary (the worker thread survived).
+    pub(crate) fn inc_panic_absorbed(&self) {
+        self.panics_absorbed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one worker thread death.
+    pub(crate) fn inc_worker_crash(&self) {
+        self.worker_crashes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Current worker-crash count (drives [`Health::Degraded`](crate::Health)).
+    pub(crate) fn worker_crashes(&self) -> u64 {
+        self.worker_crashes.load(Ordering::Relaxed)
+    }
+
+    /// Records one supervisor respawn of a crashed worker.
+    pub(crate) fn inc_respawned(&self) {
+        self.respawned.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one batch retry attempt.
+    pub(crate) fn inc_retry(&self) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records requests failed as quarantined (also counted in
+    /// `failed`; quarantined is a labelled subset).
+    pub(crate) fn add_quarantined(&self, n: u64) {
+        self.quarantined.fetch_add(n, Ordering::Relaxed);
+        self.failed.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records one golden-check divergence (SEU detection, §IV-B).
+    pub(crate) fn inc_golden_mismatch(&self) {
+        self.golden_mismatches.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Records one completed batch of `n` requests.
     pub(crate) fn record_batch(&self, n: u64) {
         self.batches.fetch_add(1, Ordering::Relaxed);
@@ -52,7 +97,10 @@ impl Metrics {
 
     /// Records one request's queue-to-reply latency.
     pub(crate) fn record_latency(&self, micros: u64) {
-        let mut window = self.latencies_us.lock().expect("metrics lock");
+        let mut window = self
+            .latencies_us
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         window.push_back(micros);
         if window.len() > LATENCY_WINDOW {
             window.pop_front();
@@ -62,7 +110,10 @@ impl Metrics {
     /// Takes a consistent point-in-time snapshot.
     pub(crate) fn snapshot(&self) -> MetricsSnapshot {
         let mut window: Vec<u64> = {
-            let w = self.latencies_us.lock().expect("metrics lock");
+            let w = self
+                .latencies_us
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             w.iter().copied().collect()
         };
         window.sort_unstable();
@@ -89,6 +140,12 @@ impl Metrics {
             },
             p50_latency_us: percentile(0.50),
             p99_latency_us: percentile(0.99),
+            panics_absorbed: self.panics_absorbed.load(Ordering::Relaxed),
+            worker_crashes: self.worker_crashes.load(Ordering::Relaxed),
+            respawned: self.respawned.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            quarantined: self.quarantined.load(Ordering::Relaxed),
+            golden_mismatches: self.golden_mismatches.load(Ordering::Relaxed),
         }
     }
 }
@@ -98,14 +155,19 @@ impl Metrics {
 /// The counters partition every submission: a request ends up in
 /// exactly one of `served`, `rejected`, `timed_out` or `failed`, so
 /// `served + rejected + timed_out + failed == submitted` once the
-/// server has drained.
+/// server has drained. The resilience counters (`panics_absorbed`,
+/// `worker_crashes`, `respawned`, `retries`, `quarantined`,
+/// `golden_mismatches`) are observability side-channels, not part of
+/// the partition — `quarantined` requests are already counted in
+/// `failed`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MetricsSnapshot {
     /// Requests accepted into the queue plus those rejected at the door.
     pub submitted: u64,
     /// Requests answered with a model output.
     pub served: u64,
-    /// Requests rejected because the queue was full.
+    /// Requests rejected because the queue was full (including load
+    /// shedding while degraded).
     pub rejected: u64,
     /// Requests purged because their deadline expired before execution.
     pub timed_out: u64,
@@ -119,6 +181,21 @@ pub struct MetricsSnapshot {
     pub p50_latency_us: u64,
     /// 99th-percentile queue-to-reply latency in microseconds.
     pub p99_latency_us: u64,
+    /// Panics caught at the isolation boundary and converted to typed
+    /// errors (the worker survived).
+    pub panics_absorbed: u64,
+    /// Worker threads that died (panicked outside isolation).
+    pub worker_crashes: u64,
+    /// Crashed workers replaced by the supervisor.
+    pub respawned: u64,
+    /// Batch retry attempts after transient failures.
+    pub retries: u64,
+    /// Requests failed as poisoned after quarantine bisection
+    /// (a labelled subset of `failed`).
+    pub quarantined: u64,
+    /// Golden-check divergences reported by the robustness service
+    /// (deployed output ≠ golden-copy output — SEU detection, §IV-B).
+    pub golden_mismatches: u64,
 }
 
 impl MetricsSnapshot {
@@ -149,6 +226,42 @@ mod tests {
         assert!(s.accounted_for());
         assert_eq!(s.batches, 1);
         assert!((s.mean_batch - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quarantined_is_a_subset_of_failed() {
+        let m = Metrics::default();
+        for _ in 0..5 {
+            m.inc_submitted();
+        }
+        m.record_batch(3);
+        m.add_failed(1);
+        m.add_quarantined(1);
+        let s = m.snapshot();
+        assert_eq!(s.failed, 2, "quarantine also counts into failed");
+        assert_eq!(s.quarantined, 1);
+        assert!(s.accounted_for());
+    }
+
+    #[test]
+    fn resilience_counters_are_observability_only() {
+        let m = Metrics::default();
+        m.inc_submitted();
+        m.record_batch(1);
+        m.inc_panic_absorbed();
+        m.inc_worker_crash();
+        m.inc_respawned();
+        m.inc_retry();
+        m.inc_golden_mismatch();
+        let s = m.snapshot();
+        // None of them perturb the accounting partition.
+        assert!(s.accounted_for());
+        assert_eq!(
+            (s.panics_absorbed, s.worker_crashes, s.respawned),
+            (1, 1, 1)
+        );
+        assert_eq!((s.retries, s.golden_mismatches), (1, 1));
+        assert_eq!(m.worker_crashes(), 1);
     }
 
     #[test]

@@ -13,16 +13,39 @@
 //! independently in identical element order (the bit-identical batching
 //! contract, see `Tensor::split_batch`), a coalesced batch returns
 //! exactly the bytes each request would have received alone.
+//!
+//! Fault tolerance (DESIGN.md §7) wraps the execution path in four
+//! layers, outermost first:
+//!
+//! 1. **supervision** — a worker thread that dies outside panic
+//!    isolation is respawned by its own crash guard, up to
+//!    [`ResilienceConfig::respawn_budget`];
+//! 2. **panic isolation** — per-batch `catch_unwind` converts panics to
+//!    [`ServeError::WorkerCrashed`] so the thread and its queue survive;
+//! 3. **retry** — transiently failed batches re-execute under the
+//!    bounded-backoff [`RetryPolicy`], respecting request deadlines;
+//! 4. **quarantine** — deterministically failing batches are bisected
+//!    to isolate poisoned requests ([`ServeError::Quarantined`]) while
+//!    their neighbours are served.
+//!
+//! A [`GoldenPolicy`] additionally routes sampled (input, output) pairs
+//! through the §IV-B robustness service (golden model copy) to detect —
+//! and optionally repair — outputs corrupted by weight bit flips.
 
 use crate::error::ServeError;
 use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::resilience::{splitmix64, ChaosState, FaultPlan, Health, ResilienceConfig, RetryPolicy};
+use std::any::Any;
 use std::collections::VecDeque;
-use std::sync::mpsc;
-use std::sync::{Arc, Condvar, Mutex};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, PoisonError};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use vedliot_nnir::exec::{Parallelism, RunOptions, Runner};
-use vedliot_nnir::{Graph, Shape, Tensor};
+use vedliot_nnir::{Graph, NnirError, Shape, Tensor};
+use vedliot_safety::robustness::{OutputVerdict, RobustnessService};
 
 /// Batch-closure policy for the dynamic batcher.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,8 +77,39 @@ impl Default for BatchPolicy {
     }
 }
 
+/// Golden-check policy: route sampled (input, output) pairs through a
+/// [`RobustnessService`] holding an uncorrupted copy of the model taken
+/// at [`Server::start`] (paper §IV-B — the robustness service "holds a
+/// copy of the DL model and can verify the correctness of the output
+/// data"). Divergences surface as
+/// [`MetricsSnapshot::golden_mismatches`]; with `repair` the diverged
+/// reply is replaced by the golden output.
+///
+/// Requires a single-input, single-output model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GoldenPolicy {
+    /// Check every `period`-th served request (1 = check everything).
+    pub period: u64,
+    /// Maximum absolute output difference tolerated before a pair
+    /// counts as diverged.
+    pub tolerance: f32,
+    /// Replace diverged outputs with the golden copy's answer instead
+    /// of serving the corrupted one.
+    pub repair: bool,
+}
+
+impl Default for GoldenPolicy {
+    fn default() -> Self {
+        GoldenPolicy {
+            period: 8,
+            tolerance: 1e-4,
+            repair: true,
+        }
+    }
+}
+
 /// Server configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServeConfig {
     /// Bounded submission-queue capacity; submissions beyond it are
     /// rejected with [`ServeError::Rejected`].
@@ -68,6 +122,13 @@ pub struct ServeConfig {
     /// targets leave this [`Parallelism::Serial`]; batching, not
     /// threading, is the throughput lever there.
     pub parallelism: Parallelism,
+    /// Fault-tolerance policy (panic isolation, retry, quarantine,
+    /// supervision, degraded-mode load shedding).
+    pub resilience: ResilienceConfig,
+    /// Golden-copy output checking; `None` disables it.
+    pub golden: Option<GoldenPolicy>,
+    /// Chaos-injection test hook; `None` (the default) injects nothing.
+    pub chaos: Option<FaultPlan>,
 }
 
 impl Default for ServeConfig {
@@ -77,6 +138,9 @@ impl Default for ServeConfig {
             workers: 1,
             batch: BatchPolicy::default(),
             parallelism: Parallelism::Serial,
+            resilience: ResilienceConfig::default(),
+            golden: None,
+            chaos: None,
         }
     }
 }
@@ -98,12 +162,30 @@ impl ServeConfig {
                 "max_batch must be at least 1".into(),
             ));
         }
+        self.resilience.validate()?;
+        if let Some(chaos) = &self.chaos {
+            chaos.validate()?;
+        }
+        if let Some(golden) = &self.golden {
+            if golden.period == 0 {
+                return Err(ServeError::InvalidConfig(
+                    "golden.period must be at least 1".into(),
+                ));
+            }
+            if golden.tolerance.is_nan() || golden.tolerance < 0.0 {
+                return Err(ServeError::InvalidConfig(
+                    "golden.tolerance must be non-negative".into(),
+                ));
+            }
+        }
         Ok(())
     }
 }
 
 /// One queued request.
 struct Request {
+    /// 1-based submission sequence number (chaos poison targeting).
+    seq: u64,
     inputs: Vec<Tensor>,
     deadline: Option<Instant>,
     enqueued_at: Instant,
@@ -116,7 +198,8 @@ struct QueueState {
     shutting_down: bool,
 }
 
-/// State shared between the front door and the workers.
+/// State shared between the front door, the workers and the supervisor
+/// crash guards.
 struct Shared {
     state: Mutex<QueueState>,
     /// Signals workers: new request, or shutdown.
@@ -125,6 +208,128 @@ struct Shared {
     /// Per-sample graph input shapes (batch dimension forced to 1).
     input_shapes: Vec<Shape>,
     policy: BatchPolicy,
+    queue_capacity: usize,
+    resilience: ResilienceConfig,
+    /// Live chaos stream, if a fault plan is configured.
+    chaos: Option<ChaosState>,
+    /// Golden-copy robustness service, if configured.
+    golden: Option<Mutex<RobustnessService>>,
+    golden_repair: bool,
+    /// Next submission sequence number (1-based).
+    next_seq: AtomicU64,
+    /// Remaining worker respawns (may go negative under races; only
+    /// positive values grant a respawn).
+    respawns_left: AtomicI64,
+    /// Monotonic worker-thread name counter.
+    next_worker_id: AtomicUsize,
+    /// Every live worker's join handle — original and respawned alike.
+    /// Shutdown drains this until empty; a crashing worker pushes its
+    /// replacement's handle *before* its own thread exits, so the drain
+    /// cannot miss a respawn.
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Shared {
+    /// Locks the queue state, recovering from poisoning: a worker that
+    /// panicked can never be allowed to wedge the whole server, and
+    /// every mutation of `QueueState` is panic-free (pushes/pops of
+    /// already-constructed values), so the state is always consistent.
+    fn lock_state(&self) -> MutexGuard<'_, QueueState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Whether the server counts as degraded at the given queue depth.
+    /// A fraction of 1.0 disables depth-based degradation entirely —
+    /// a queue at full capacity is ordinary backpressure, not distress.
+    fn degraded(&self, queue_depth: usize) -> bool {
+        self.metrics.worker_crashes() >= self.resilience.degraded_crash_threshold
+            || (self.resilience.degraded_queue_fraction < 1.0
+                && (queue_depth as f64)
+                    >= self.resilience.degraded_queue_fraction * self.queue_capacity as f64)
+    }
+
+    /// The admission bound currently in force (shed while degraded).
+    fn effective_capacity(&self, queue_depth: usize) -> usize {
+        if self.degraded(queue_depth) {
+            ((self.resilience.shed_to * self.queue_capacity as f64).ceil() as usize).max(1)
+        } else {
+            self.queue_capacity
+        }
+    }
+}
+
+/// Everything a worker thread needs — held in an `Arc` so a crash guard
+/// can hand the same context to a replacement worker.
+struct WorkerContext {
+    shared: Arc<Shared>,
+    graphs: Arc<Vec<Graph>>,
+    parallelism: Parallelism,
+}
+
+/// Armed for the lifetime of a worker thread; if the thread unwinds
+/// (a panic escaped the isolation boundary, or isolation is disabled),
+/// the guard's drop is the supervisor: it counts the crash and respawns
+/// a replacement while the budget lasts.
+struct CrashGuard {
+    ctx: Arc<WorkerContext>,
+}
+
+impl Drop for CrashGuard {
+    fn drop(&mut self) {
+        if !std::thread::panicking() {
+            return; // normal worker exit (drained shutdown)
+        }
+        let shared = &self.ctx.shared;
+        // A worker dying while the server drains an empty queue is
+        // indistinguishable from a normal exit: no work was lost and no
+        // replacement is wanted, so it does not count as a crash.
+        // try_lock: never risk deadlocking a dying thread.
+        let idle_drain = match shared.state.try_lock() {
+            Ok(state) => state.shutting_down && state.queue.is_empty(),
+            Err(std::sync::TryLockError::Poisoned(p)) => {
+                let state = p.into_inner();
+                state.shutting_down && state.queue.is_empty()
+            }
+            Err(std::sync::TryLockError::WouldBlock) => false,
+        };
+        if idle_drain {
+            return;
+        }
+        shared.metrics.inc_worker_crash();
+        if shared.respawns_left.fetch_sub(1, Ordering::AcqRel) <= 0 {
+            return; // budget exhausted: degrade instead of flapping
+        }
+        shared.metrics.inc_respawned();
+        spawn_worker(&self.ctx);
+        // The replacement may have queued work waiting already.
+        shared.work_ready.notify_all();
+    }
+}
+
+/// Spawns one worker thread over `ctx` and registers its handle for the
+/// shutdown drain. Returns whether the spawn succeeded.
+fn spawn_worker(ctx: &Arc<WorkerContext>) -> bool {
+    let id = ctx.shared.next_worker_id.fetch_add(1, Ordering::Relaxed);
+    let worker_ctx = Arc::clone(ctx);
+    let spawned = std::thread::Builder::new()
+        .name(format!("vedliot-serve-{id}"))
+        .spawn(move || {
+            let _guard = CrashGuard {
+                ctx: Arc::clone(&worker_ctx),
+            };
+            worker_loop(&worker_ctx);
+        });
+    match spawned {
+        Ok(handle) => {
+            ctx.shared
+                .handles
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push(handle);
+            true
+        }
+        Err(_) => false,
+    }
 }
 
 /// Handle for one submitted request. Redeem it with [`Ticket::wait`].
@@ -146,6 +351,13 @@ impl Ticket {
     }
 
     /// Like [`Ticket::wait`] but gives up after `timeout`.
+    ///
+    /// Dropping the ticket afterwards orphans the request, never the
+    /// server: a worker answering an orphaned request sends into a
+    /// closed channel, which is ignored, and the request still counts
+    /// in exactly one metrics bucket (the `accounted_for` invariant is
+    /// property-tested under random timeout/fault schedules in
+    /// `tests/chaos.rs`).
     ///
     /// # Errors
     ///
@@ -175,19 +387,23 @@ impl Ticket {
 /// ```
 pub struct Server {
     shared: Arc<Shared>,
-    workers: Vec<JoinHandle<()>>,
-    queue_capacity: usize,
 }
 
 impl Server {
     /// Compiles `graph` for batch sizes `1..=max_batch` and spawns the
     /// worker pool.
     ///
+    /// When a chaos plan requests weight bit flips, the flips corrupt
+    /// the *deployed* batch-compiled graphs only; the golden copy held
+    /// by a [`GoldenPolicy`] is taken before the corruption.
+    ///
     /// # Errors
     ///
     /// [`ServeError::InvalidConfig`] for a zero capacity, worker count
-    /// or batch bound; [`ServeError::Execution`] if the graph fails
-    /// validation or batch rewriting.
+    /// or batch bound, an out-of-range resilience/chaos parameter, or a
+    /// golden policy on a model that is not single-input single-output;
+    /// [`ServeError::Execution`] if the graph fails validation or batch
+    /// rewriting.
     pub fn start(graph: &Graph, config: ServeConfig) -> Result<Self, ServeError> {
         config.validate()?;
         graph.validate()?;
@@ -196,6 +412,33 @@ impl Server {
         let mut graphs = Vec::with_capacity(config.batch.max_batch);
         for k in 1..=config.batch.max_batch {
             graphs.push(graph.with_batch(k)?);
+        }
+        // The golden copy is cloned before chaos corrupts the deployed
+        // graphs: it is the uncorrupted reference of §IV-B.
+        let golden = match &config.golden {
+            Some(policy) => {
+                if graph.inputs().len() != 1 || graph.outputs().len() != 1 {
+                    return Err(ServeError::InvalidConfig(
+                        "golden checking requires a single-input single-output model".into(),
+                    ));
+                }
+                Some(Mutex::new(RobustnessService::new(
+                    graph.with_batch(1)?,
+                    policy.period,
+                    policy.tolerance,
+                )))
+            }
+            None => None,
+        };
+        if let Some(plan) = &config.chaos {
+            if plan.weight_bit_flips > 0 {
+                // Same seed on every batch variant: the weight tensors
+                // are structurally identical, so the same logical bits
+                // flip in each and batching stays output-consistent.
+                for g in &mut graphs {
+                    vedliot_safety::inject::flip_weight_bits(g, plan.weight_bit_flips, plan.seed)?;
+                }
+            }
         }
         let input_shapes: Vec<Shape> = graphs[0]
             .inputs()
@@ -207,7 +450,6 @@ impl Server {
                     .clone()
             })
             .collect();
-        let graphs = Arc::new(graphs);
         let shared = Arc::new(Shared {
             state: Mutex::new(QueueState {
                 queue: VecDeque::new(),
@@ -217,23 +459,25 @@ impl Server {
             metrics: Metrics::default(),
             input_shapes,
             policy: config.batch,
-        });
-        let workers = (0..config.workers)
-            .map(|i| {
-                let shared = Arc::clone(&shared);
-                let graphs = Arc::clone(&graphs);
-                let parallelism = config.parallelism;
-                std::thread::Builder::new()
-                    .name(format!("vedliot-serve-{i}"))
-                    .spawn(move || worker_loop(&shared, &graphs, parallelism))
-                    .expect("spawn serve worker")
-            })
-            .collect();
-        Ok(Server {
-            shared,
-            workers,
             queue_capacity: config.queue_capacity,
-        })
+            resilience: config.resilience,
+            chaos: config.chaos.map(ChaosState::new),
+            golden,
+            golden_repair: config.golden.is_some_and(|g| g.repair),
+            next_seq: AtomicU64::new(0),
+            respawns_left: AtomicI64::new(i64::from(config.resilience.respawn_budget)),
+            next_worker_id: AtomicUsize::new(0),
+            handles: Mutex::new(Vec::new()),
+        });
+        let ctx = Arc::new(WorkerContext {
+            shared: Arc::clone(&shared),
+            graphs: Arc::new(graphs),
+            parallelism: config.parallelism,
+        });
+        for _ in 0..config.workers {
+            assert!(spawn_worker(&ctx), "spawn serve worker");
+        }
+        Ok(Server { shared })
     }
 
     /// Submits one single-sample request (one tensor per graph input,
@@ -245,8 +489,10 @@ impl Server {
     /// # Errors
     ///
     /// [`ServeError::InvalidInput`] on an input-signature mismatch,
-    /// [`ServeError::Rejected`] when the queue is full,
-    /// [`ServeError::ShuttingDown`] after [`Server::shutdown`] began.
+    /// [`ServeError::Rejected`] when the queue is full — or, while
+    /// [`Health::Degraded`], when it is fuller than the load-shedding
+    /// bound — and [`ServeError::ShuttingDown`] after
+    /// [`Server::shutdown`] began.
     pub fn submit(
         &self,
         inputs: Vec<Tensor>,
@@ -273,18 +519,19 @@ impl Server {
         }
         let (tx, rx) = mpsc::channel();
         {
-            let mut state = self.shared.state.lock().expect("serve queue lock");
+            let mut state = self.shared.lock_state();
             if state.shutting_down {
                 self.shared.metrics.inc_rejected();
                 return Err(ServeError::ShuttingDown);
             }
-            if state.queue.len() >= self.queue_capacity {
+            let bound = self.shared.effective_capacity(state.queue.len());
+            if state.queue.len() >= bound {
                 self.shared.metrics.inc_rejected();
-                return Err(ServeError::Rejected {
-                    capacity: self.queue_capacity,
-                });
+                return Err(ServeError::Rejected { capacity: bound });
             }
+            let seq = self.shared.next_seq.fetch_add(1, Ordering::Relaxed) + 1;
             state.queue.push_back(Request {
+                seq,
                 inputs,
                 deadline,
                 enqueued_at: Instant::now(),
@@ -301,33 +548,69 @@ impl Server {
         self.shared.metrics.snapshot()
     }
 
-    /// Graceful shutdown: refuses new submissions, drains every queued
-    /// request (each still gets a typed reply), joins the workers and
-    /// returns the final statistics.
-    pub fn shutdown(mut self) -> MetricsSnapshot {
-        self.begin_shutdown();
-        for handle in self.workers.drain(..) {
-            let _ = handle.join();
+    /// Current health state: [`Health::Draining`] once shutdown began,
+    /// [`Health::Degraded`] when the worker-crash count or queue depth
+    /// crossed its configured threshold, [`Health::Serving`] otherwise.
+    #[must_use]
+    pub fn health(&self) -> Health {
+        let (shutting_down, depth) = {
+            let state = self.shared.lock_state();
+            (state.shutting_down, state.queue.len())
+        };
+        if shutting_down {
+            Health::Draining
+        } else if self.shared.degraded(depth) {
+            Health::Degraded
+        } else {
+            Health::Serving
         }
+    }
+
+    /// Graceful shutdown: refuses new submissions, drains every queued
+    /// request (each still gets a typed reply), joins the workers —
+    /// including any the supervisor respawned — and returns the final
+    /// statistics.
+    pub fn shutdown(self) -> MetricsSnapshot {
+        self.begin_shutdown();
+        self.join_workers();
         self.shared.metrics.snapshot()
     }
 
     fn begin_shutdown(&self) {
-        let mut state = self.shared.state.lock().expect("serve queue lock");
+        let mut state = self.shared.lock_state();
         state.shutting_down = true;
         drop(state);
         self.shared.work_ready.notify_all();
+    }
+
+    /// Joins every worker handle. The lock is released around each
+    /// join: a crashing worker's guard pushes its replacement's handle
+    /// before the crashed thread exits, so re-checking until the vector
+    /// is empty observes every respawn.
+    fn join_workers(&self) {
+        loop {
+            let handle = self
+                .shared
+                .handles
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .pop();
+            match handle {
+                Some(h) => {
+                    let _ = h.join();
+                }
+                None => break,
+            }
+        }
     }
 }
 
 impl Drop for Server {
     fn drop(&mut self) {
-        // `shutdown` already drained `workers`; a plain drop still
+        // `shutdown` already drained the handles; a plain drop still
         // stops and joins the pool so no thread outlives the server.
         self.begin_shutdown();
-        for handle in self.workers.drain(..) {
-            let _ = handle.join();
-        }
+        self.join_workers();
     }
 }
 
@@ -349,16 +632,26 @@ fn purge_expired(state: &mut QueueState, metrics: &Metrics, now: Instant) -> usi
 }
 
 /// Worker body: form a batch under the lock, execute it outside.
-fn worker_loop(shared: &Shared, graphs: &[Graph], parallelism: Parallelism) {
+fn worker_loop(ctx: &WorkerContext) {
+    let shared = &*ctx.shared;
     // Runners are built once and reused for the worker's lifetime, so
     // every batch after the first hits warm arenas and cached weights.
-    let mut runners: Vec<Runner<'_>> = graphs
+    let mut runners: Vec<Runner<'_>> = ctx
+        .graphs
         .iter()
-        .map(|g| Runner::builder().parallelism(parallelism).build(g))
+        .map(|g| Runner::builder().parallelism(ctx.parallelism).build(g))
         .collect();
     loop {
+        // Chaos hard kill: strictly before the lock is taken and while
+        // no requests are held, so a dying worker cannot poison the
+        // queue or lose a batch — only supervision is exercised.
+        if let Some(chaos) = &shared.chaos {
+            if chaos.kill_now() {
+                panic!("chaos: worker killed at wakeup");
+            }
+        }
         let batch = {
-            let mut state = shared.state.lock().expect("serve queue lock");
+            let mut state = shared.lock_state();
             loop {
                 let now = Instant::now();
                 purge_expired(&mut state, &shared.metrics, now);
@@ -374,63 +667,225 @@ fn worker_loop(shared: &Shared, graphs: &[Graph], parallelism: Parallelism) {
                     let (s, _) = shared
                         .work_ready
                         .wait_timeout(state, linger_until - now)
-                        .expect("serve queue lock");
+                        .unwrap_or_else(PoisonError::into_inner);
                     state = s;
                 } else if state.shutting_down {
                     return;
                 } else {
-                    state = shared.work_ready.wait(state).expect("serve queue lock");
+                    state = shared
+                        .work_ready
+                        .wait(state)
+                        .unwrap_or_else(PoisonError::into_inner);
                 }
             }
         };
-        execute_batch(&mut runners, batch, &shared.metrics);
+        let salt = splitmix64(batch.first().map_or(0, |r| r.seq));
+        run_batch(ctx, &mut runners, batch, false, salt);
     }
 }
 
-/// Runs one formed batch and distributes per-request replies.
-fn execute_batch(runners: &mut [Runner<'_>], batch: Vec<Request>, metrics: &Metrics) {
-    let n = batch.len();
-    debug_assert!(n >= 1 && n <= runners.len());
-    let result = if n == 1 {
-        runners[0].execute(&batch[0].inputs, RunOptions::default())
-    } else {
-        // Coalesce along axis 0: input position i of the batched run is
-        // the concatenation of every request's tensor i, in queue order.
-        let coalesce = |i: usize| {
-            let rows: Vec<Tensor> = batch.iter().map(|req| req.inputs[i].clone()).collect();
-            Tensor::concat_batch(&rows)
+/// Runs one formed batch through the resilience layers: retry transient
+/// failures under the backoff policy, send deterministic failures to
+/// quarantine bisection, reply to every request exactly once.
+///
+/// `quarantining` marks that this (sub-)batch is part of a bisection:
+/// a single request failing deterministically there is the isolated
+/// poison and fails as [`ServeError::Quarantined`].
+fn run_batch(
+    ctx: &WorkerContext,
+    runners: &mut [Runner<'_>],
+    mut batch: Vec<Request>,
+    quarantining: bool,
+    salt: u64,
+) {
+    let shared = &*ctx.shared;
+    let policy: RetryPolicy = shared.resilience.retry;
+    let mut attempt = 0u32;
+    loop {
+        attempt += 1;
+        let error = match attempt_execute(ctx, runners, &batch) {
+            Ok(rows) => {
+                reply_ok(ctx, batch, rows);
+                return;
+            }
+            Err(e) => e,
         };
-        (0..batch[0].inputs.len())
-            .map(coalesce)
-            .collect::<Result<Vec<_>, _>>()
-            .and_then(|coalesced| runners[n - 1].execute(&coalesced, RunOptions::default()))
-    };
-    let completed = Instant::now();
-    match result {
-        Ok(out) => {
-            // Split every output back into per-request rows; row j
-            // belongs to request j because concat preserved queue order.
-            let split: Result<Vec<Vec<Tensor>>, _> = out
-                .outputs()
-                .iter()
-                .map(Tensor::split_batch)
-                .collect::<Result<Vec<_>, _>>();
-            match split {
-                Ok(per_output_rows) => {
-                    metrics.record_batch(n as u64);
-                    for (j, req) in batch.into_iter().enumerate() {
-                        let outputs: Vec<Tensor> =
-                            per_output_rows.iter().map(|rows| rows[j].clone()).collect();
-                        let micros = completed.duration_since(req.enqueued_at).as_micros() as u64;
-                        metrics.record_latency(micros);
-                        let _ = req.reply.send(Ok(outputs));
-                    }
+        if error.class().is_transient() && attempt < policy.max_attempts {
+            shared.metrics.inc_retry();
+            // Respect remaining deadlines: purge what already expired,
+            // and never sleep past the earliest deadline still in the
+            // batch.
+            purge_batch_expired(&mut batch, &shared.metrics);
+            if batch.is_empty() {
+                return;
+            }
+            let mut delay = policy.backoff(attempt, salt);
+            if let Some(earliest) = batch.iter().filter_map(|r| r.deadline).min() {
+                delay = delay.min(earliest.saturating_duration_since(Instant::now()));
+            }
+            if !delay.is_zero() {
+                std::thread::sleep(delay);
+            }
+            purge_batch_expired(&mut batch, &shared.metrics);
+            if batch.is_empty() {
+                return;
+            }
+            continue;
+        }
+        if !error.class().is_transient() && shared.resilience.quarantine {
+            if batch.len() > 1 {
+                // Bisect: the poisoned request is in one half; the
+                // other half (and the poisoned half's innocent
+                // remainder, recursively) still gets served.
+                let right = batch.split_off(batch.len() / 2);
+                run_batch(ctx, runners, batch, true, splitmix64(salt ^ 1));
+                run_batch(ctx, runners, right, true, splitmix64(salt ^ 2));
+                return;
+            }
+            if quarantining {
+                // Bisection bottomed out: this request is the poison.
+                shared.metrics.add_quarantined(batch.len() as u64);
+                for req in batch {
+                    let _ = req.reply.send(Err(ServeError::Quarantined {
+                        detail: error.to_string(),
+                    }));
                 }
-                Err(e) => fail_batch(batch, metrics, &e.into()),
+                return;
             }
         }
-        Err(e) => fail_batch(batch, metrics, &e.into()),
+        fail_batch(batch, &shared.metrics, &error);
+        return;
     }
+}
+
+/// One execution attempt: chaos hooks, the panic-isolation boundary,
+/// and the batched forward pass. Returns per-request output rows.
+fn attempt_execute(
+    ctx: &WorkerContext,
+    runners: &mut [Runner<'_>],
+    batch: &[Request],
+) -> Result<Vec<Vec<Tensor>>, ServeError> {
+    let shared = &*ctx.shared;
+    if let Some(chaos) = &shared.chaos {
+        // A poisoned request fails any batch containing it, the same
+        // deterministic way every time — the quarantine target.
+        if let Some(req) = batch.iter().find(|r| chaos.poisoned(r.seq)) {
+            return Err(ServeError::Execution(NnirError::ExecutionFailure(format!(
+                "chaos: poisoned request #{}",
+                req.seq
+            ))));
+        }
+    }
+    let guarded = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        if let Some(chaos) = &shared.chaos {
+            if chaos.panic_now() {
+                panic!("chaos: injected worker panic");
+            }
+        }
+        execute_core(runners, batch)
+    }));
+    match guarded {
+        Ok(result) => result,
+        Err(payload) => {
+            if shared.resilience.isolate_panics {
+                shared.metrics.inc_panic_absorbed();
+                Err(ServeError::WorkerCrashed {
+                    detail: panic_detail(payload.as_ref()),
+                })
+            } else {
+                // Baseline behaviour: the panic kills the worker (and
+                // silently takes the batch with it — the failure mode
+                // this module exists to remove).
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }
+}
+
+/// Best-effort stringification of a panic payload.
+fn panic_detail(payload: &(dyn Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".into())
+}
+
+/// Coalesce → execute → split back into per-request output rows.
+fn execute_core(
+    runners: &mut [Runner<'_>],
+    batch: &[Request],
+) -> Result<Vec<Vec<Tensor>>, ServeError> {
+    let n = batch.len();
+    debug_assert!(n >= 1 && n <= runners.len());
+    if n == 1 {
+        let out = runners[0].execute(&batch[0].inputs, RunOptions::default())?;
+        return Ok(vec![out.into_outputs()]);
+    }
+    // Coalesce along axis 0: input position i of the batched run is
+    // the concatenation of every request's tensor i, in queue order.
+    let coalesced = (0..batch[0].inputs.len())
+        .map(|i| {
+            let rows: Vec<Tensor> = batch.iter().map(|req| req.inputs[i].clone()).collect();
+            Tensor::concat_batch(&rows)
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let out = runners[n - 1].execute(&coalesced, RunOptions::default())?;
+    // Split every output back into per-request rows; row j belongs to
+    // request j because concat preserved queue order.
+    let per_output_rows: Vec<Vec<Tensor>> = out
+        .outputs()
+        .iter()
+        .map(Tensor::split_batch)
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok((0..n)
+        .map(|j| per_output_rows.iter().map(|rows| rows[j].clone()).collect())
+        .collect())
+}
+
+/// Answers every request in a successful batch, running sampled golden
+/// checks (and repairs) first.
+fn reply_ok(ctx: &WorkerContext, batch: Vec<Request>, mut rows: Vec<Vec<Tensor>>) {
+    let shared = &*ctx.shared;
+    let completed = Instant::now();
+    if let Some(service) = &shared.golden {
+        let mut service = service.lock().unwrap_or_else(PoisonError::into_inner);
+        for (req, outputs) in batch.iter().zip(rows.iter_mut()) {
+            // The golden check is an observer: its own failure must
+            // never fail a request that executed successfully.
+            if let Ok(check) = service.check(&req.inputs[0], &outputs[0]) {
+                if matches!(check.verdict, OutputVerdict::Diverged { .. }) {
+                    shared.metrics.inc_golden_mismatch();
+                    if shared.golden_repair {
+                        if let Some(golden) = check.golden {
+                            outputs[0] = golden;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    shared.metrics.record_batch(batch.len() as u64);
+    for (req, outputs) in batch.into_iter().zip(rows) {
+        let micros = completed.duration_since(req.enqueued_at).as_micros() as u64;
+        shared.metrics.record_latency(micros);
+        let _ = req.reply.send(Ok(outputs));
+    }
+}
+
+/// Replies `DeadlineExceeded` to every request in the batch whose
+/// deadline has passed and removes it (mid-retry counterpart of
+/// [`purge_expired`]).
+fn purge_batch_expired(batch: &mut Vec<Request>, metrics: &Metrics) {
+    let now = Instant::now();
+    batch.retain(|req| {
+        let expired = req.deadline.is_some_and(|d| now >= d);
+        if expired {
+            metrics.inc_timed_out();
+            let _ = req.reply.send(Err(ServeError::DeadlineExceeded));
+        }
+        !expired
+    });
 }
 
 /// Answers every request in a failed batch with the same typed error.
@@ -479,6 +934,36 @@ mod tests {
     }
 
     #[test]
+    fn invalid_chaos_probability_is_rejected() {
+        let cfg = ServeConfig {
+            chaos: Some(FaultPlan {
+                panic_per_batch: 2.0,
+                ..FaultPlan::quiet(1)
+            }),
+            ..ServeConfig::default()
+        };
+        assert!(matches!(
+            Server::start(&demo_graph(), cfg),
+            Err(ServeError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn golden_policy_requires_single_io_model() {
+        let cfg = ServeConfig {
+            golden: Some(GoldenPolicy {
+                period: 0,
+                ..GoldenPolicy::default()
+            }),
+            ..ServeConfig::default()
+        };
+        assert!(matches!(
+            Server::start(&demo_graph(), cfg),
+            Err(ServeError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
     fn wrong_input_arity_is_typed_invalid_input() {
         let server = Server::start(&demo_graph(), ServeConfig::default()).unwrap();
         let err = server.submit(vec![], None).unwrap_err();
@@ -502,6 +987,7 @@ mod tests {
     #[test]
     fn single_request_round_trips() {
         let server = Server::start(&demo_graph(), ServeConfig::default()).unwrap();
+        assert_eq!(server.health(), Health::Serving);
         let out = server
             .submit(vec![demo_input(11)], None)
             .unwrap()
@@ -518,6 +1004,7 @@ mod tests {
     fn submit_after_shutdown_is_refused() {
         let server = Server::start(&demo_graph(), ServeConfig::default()).unwrap();
         server.begin_shutdown();
+        assert_eq!(server.health(), Health::Draining);
         assert_eq!(
             server.submit(vec![demo_input(1)], None).unwrap_err(),
             ServeError::ShuttingDown
@@ -534,6 +1021,7 @@ mod tests {
             shutting_down: false,
         };
         state.queue.push_back(Request {
+            seq: 1,
             inputs: vec![],
             deadline: Some(now - Duration::from_millis(1)),
             enqueued_at: now,
@@ -543,5 +1031,45 @@ mod tests {
         assert!(state.queue.is_empty());
         assert_eq!(rx.recv().unwrap(), Err(ServeError::DeadlineExceeded));
         assert_eq!(metrics.snapshot().timed_out, 1);
+    }
+
+    #[test]
+    fn degraded_crash_threshold_sheds_load() {
+        // Crash-threshold degradation with a shed bound of half the
+        // queue: after one (injected) crash the server admits at most
+        // 2 queued requests instead of 4.
+        let server = Server::start(
+            &demo_graph(),
+            ServeConfig {
+                queue_capacity: 4,
+                batch: BatchPolicy {
+                    max_batch: 4,
+                    max_linger: Duration::from_secs(30),
+                },
+                resilience: ResilienceConfig {
+                    degraded_crash_threshold: 1,
+                    shed_to: 0.5,
+                    ..ResilienceConfig::default()
+                },
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(server.health(), Health::Serving);
+        server.shared.metrics.inc_worker_crash();
+        assert_eq!(server.health(), Health::Degraded);
+        let t1 = server.submit(vec![demo_input(1)], None).unwrap();
+        let t2 = server.submit(vec![demo_input(2)], None).unwrap();
+        // Shed bound ceil(0.5 * 4) = 2: the third submission is shed.
+        let err = server.submit(vec![demo_input(3)], None).unwrap_err();
+        assert_eq!(err, ServeError::Rejected { capacity: 2 });
+        let m = {
+            let handle = std::thread::spawn(move || server.shutdown());
+            assert!(t1.wait().is_ok());
+            assert!(t2.wait().is_ok());
+            handle.join().unwrap()
+        };
+        assert!(m.accounted_for());
+        assert_eq!(m.rejected, 1);
     }
 }
