@@ -3,13 +3,17 @@
 #
 #   ./ci.sh            # everything (what the driver runs)
 #   ./ci.sh --fast     # skip the release build (lints + tests only)
+#   ./ci.sh --deep     # everything, plus deep-bound interleaving model
+#                      # checks and (nightly-only) sanitizer runs
 #
 # Tier-1 (ROADMAP.md): cargo build --release && cargo test -q
 set -euo pipefail
 cd "$(dirname "$0")"
 
 fast=0
+deep=0
 [[ "${1:-}" == "--fast" ]] && fast=1
+[[ "${1:-}" == "--deep" ]] && deep=1
 
 echo "==> repo hygiene"
 # The harness prints to stdout; its output is recorded in EXPERIMENTS.md,
@@ -38,5 +42,24 @@ cargo test -q -p vedliot-serve --test serving smoke_100_requests_zero_lost
 
 echo "==> chaos smoke test (200 requests, seeded fault plan, availability >= 0.95)"
 cargo test -q -p vedliot-serve --test chaos smoke_200_requests_under_seeded_chaos
+
+if [[ $deep -eq 1 ]]; then
+  echo "==> deep: interleaving model check at enlarged bounds"
+  INTERLEAVE_DEPTH=deep cargo test -q -p vedliot-serve --test interleave
+
+  echo "==> deep: zoo lint sweep (error severity must be clean)"
+  cargo run -q --release -p vedliot --bin vedliot -- lint > /dev/null
+
+  # ThreadSanitizer needs -Z sanitizer, a nightly-only flag. The serve
+  # crate's lock discipline is model-checked above on stable; when a
+  # nightly toolchain is available, also run the real threads under TSan.
+  if rustc --version | grep -q nightly; then
+    echo "==> deep: ThreadSanitizer over the serve test suite"
+    RUSTFLAGS="-Z sanitizer=thread" cargo test -q -p vedliot-serve \
+      --target "$(rustc -vV | sed -n 's/host: //p')"
+  else
+    echo "==> deep: skipping ThreadSanitizer (requires a nightly toolchain; stable $(rustc --version | cut -d' ' -f2) active)"
+  fi
+fi
 
 echo "CI green."

@@ -395,7 +395,7 @@ impl ReconfigurableAccelerator {
             let r = PerfModel::new(mode.to_spec("mode")).run(workload)?;
             if r.latency_ms <= latency_bound_ms {
                 let power = mode.power_w();
-                if candidate.map(|(_, p)| power < p).unwrap_or(true) {
+                if candidate.is_none_or(|(_, p)| power < p) {
                     candidate = Some((i, power));
                 }
             }

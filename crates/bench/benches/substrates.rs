@@ -54,7 +54,7 @@ fn bench_zoo(c: &mut Criterion) {
         ("zoo/tiny_cnn_exec_parallel", Parallelism::Auto),
     ] {
         c.bench_function(label, |b| {
-            let mut runner = Runner::builder().parallelism(par).build(&cnn);
+            let mut runner = Runner::builder().parallelism(par).build(&cnn).unwrap();
             b.iter(|| {
                 runner
                     .execute(
@@ -75,7 +75,7 @@ fn bench_executor(c: &mut Criterion) {
     let model = zoo::lenet5(10).expect("builds");
     let input = Tensor::random(Shape::nchw(1, 1, 28, 28), 3, 1.0);
     c.bench_function("executor/lenet5_inference", |b| {
-        let mut runner = Runner::builder().build(&model);
+        let mut runner = Runner::builder().build(&model).unwrap();
         b.iter(|| {
             runner
                 .execute(
@@ -93,7 +93,7 @@ fn bench_executor(c: &mut Criterion) {
             ("parallel", Parallelism::Auto),
         ] {
             c.bench_function(&format!("executor/lenet5_b{batch}_{mode}"), |b| {
-                let mut runner = Runner::builder().parallelism(par).build(&g);
+                let mut runner = Runner::builder().parallelism(par).build(&g).unwrap();
                 b.iter(|| {
                     runner
                         .execute(

@@ -5,7 +5,7 @@
 //! Experiments (DESIGN.md §3): `fig2`, `fig3`, `fig4`, `fig4-ext`,
 //! `compression`, `gap`, `twine`, `pmp`, `cfu`, `safety`, `paeb`, `arc`,
 //! `motor`, `mirror`, `reconfig`, `reqeng`, `memory`, `codesign`,
-//! `executor`, `serving`, `resilience`, or `all`.
+//! `executor`, `serving`, `resilience`, `lint`, or `all`.
 
 use vedliot_bench::experiments;
 
@@ -34,13 +34,14 @@ fn main() {
         "executor" => vec![experiments::executor_parallel()],
         "serving" => vec![experiments::serving()],
         "resilience" => vec![experiments::resilience()],
+        "lint" => vec![experiments::lint()],
         "all" => experiments::all(),
         other => {
             eprintln!("unknown experiment '{other}'");
             eprintln!(
                 "choose one of: fig2 fig3 fig4 fig4-ext compression gap twine pmp cfu \
                  safety paeb arc motor mirror reconfig reqeng memory codesign ablation \
-                 executor serving resilience all"
+                 executor serving resilience lint all"
             );
             std::process::exit(2);
         }

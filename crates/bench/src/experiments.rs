@@ -109,8 +109,8 @@ pub fn fig3() -> Experiment {
     }
     let gm = db.geometric_mean_tops_per_watt();
     let span = (
-        entries.first().map(|e| e.tdp_w).unwrap_or(0.0),
-        entries.last().map(|e| e.tdp_w).unwrap_or(0.0),
+        entries.first().map_or(0.0, |e| e.tdp_w),
+        entries.last().map_or(0.0, |e| e.tdp_w),
     );
     Experiment {
         id: "E2",
@@ -197,7 +197,7 @@ pub fn fig4_ext() -> Vec<Experiment> {
 /// E5 — Deep Compression: ratio vs accuracy on a trained FC model.
 #[must_use]
 pub fn compression() -> Experiment {
-    let data = gaussian_prototypes(Shape::nf(1, 96), 5, 60, 3.0, 41);
+    let data = gaussian_prototypes(&Shape::nf(1, 96), 5, 60, 3.0, 41);
     let mut model = mlp("compress-target", 96, &[64, 32], 5).expect("mlp builds");
     let base_acc = train_mlp(&mut model, &data, &TrainConfig::default()).expect("training runs");
 
@@ -908,7 +908,10 @@ pub fn executor_parallel() -> Experiment {
         let g = model.with_batch(batch).expect("rebatch");
         let input = Tensor::random(Shape::nchw(batch, 1, 28, 28), 3, 1.0);
         let time_ms = |par: Parallelism| -> f64 {
-            let mut runner = Runner::builder().parallelism(par).build(&g);
+            let mut runner = Runner::builder()
+                .parallelism(par)
+                .build(&g)
+                .expect("zoo graph passes the verifier");
             // Warm the arena and weight cache outside the timed region.
             runner
                 .execute(std::slice::from_ref(&input), RunOptions::default())
@@ -1064,6 +1067,50 @@ pub fn serving() -> Experiment {
     }
 }
 
+/// E-LINT — full static-analysis sweep over the zoo and its optimized
+/// variants (the `harness lint` / `vedliot lint` report).
+#[must_use]
+pub fn lint() -> Experiment {
+    use vedliot::nnir::analysis::Severity;
+    use vedliot::toolchain::lint::lint_suite;
+
+    let summary = lint_suite().expect("zoo models build and pass the transform gates");
+    let mut table = Table::new(&["model", "errors", "warnings", "notes", "first finding"]);
+    for entry in &summary.entries {
+        let first = entry
+            .report
+            .diagnostics
+            .first()
+            .map_or_else(|| "-".to_string(), ToString::to_string);
+        table.push(vec![
+            entry.model.clone(),
+            entry.report.at(Severity::Error).count().to_string(),
+            entry.report.at(Severity::Warning).count().to_string(),
+            entry.report.at(Severity::Info).count().to_string(),
+            first,
+        ]);
+    }
+    let notes = vec![
+        format!(
+            "{} models linted; {} errors, {} warnings, {} notes",
+            summary.entries.len(),
+            summary.count_at(Severity::Error),
+            summary.count_at(Severity::Warning),
+            summary.count_at(Severity::Info),
+        ),
+        format!(
+            "error-clean: {} (the Runner::build gate enforces this before any execution)",
+            summary.is_clean(Severity::Error)
+        ),
+    ];
+    Experiment {
+        id: "E-LINT",
+        title: "static verifier / lint sweep (zoo + optimized variants)".into(),
+        table,
+        notes,
+    }
+}
+
 /// E22 — serving availability under a seeded chaos plan: the
 /// fault-tolerant configuration (panic isolation + retry + quarantine +
 /// supervision + golden-copy repair) against the pre-resilience
@@ -1107,7 +1154,9 @@ pub fn resilience() -> Experiment {
         .map(|i| Tensor::random(Shape::nchw(1, 1, 8, 8), i as u64, 1.0))
         .collect();
     // Ground truth: the clean model's answer for every input.
-    let mut clean_runner = Runner::builder().build(&model);
+    let mut clean_runner = Runner::builder()
+        .build(&model)
+        .expect("zoo graph passes the verifier");
     let clean: Vec<Tensor> = inputs
         .iter()
         .map(|input| {
@@ -1268,6 +1317,7 @@ pub fn all() -> Vec<Experiment> {
         executor_parallel(),
         serving(),
         resilience(),
+        lint(),
     ]);
     out
 }

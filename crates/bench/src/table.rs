@@ -50,8 +50,8 @@ impl Table {
         let fmt_row = |cells: &[String], widths: &[usize]| -> String {
             let mut line = String::new();
             for (i, w) in widths.iter().enumerate() {
-                let cell = cells.get(i).map(String::as_str).unwrap_or("");
-                line.push_str(&format!("{cell:<width$}  ", width = w));
+                let cell = cells.get(i).map_or("", String::as_str);
+                line.push_str(&format!("{cell:<w$}  "));
             }
             line.trim_end().to_string()
         };

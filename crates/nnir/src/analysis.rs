@@ -1,0 +1,1484 @@
+//! Multi-pass static analysis over NNIR graphs.
+//!
+//! The toolchain's contract is "compile → verify → deploy": every graph
+//! that reaches an executor or a deployment target must be *provably*
+//! well-formed first. This module is the verify stage — a set of
+//! [`AnalysisPass`]es that re-derive every invariant from first
+//! principles (never trusting stored annotations) and report violations
+//! as structured [`Diagnostic`]s with stable codes, severities and
+//! node provenance pointing back into the textual interchange format.
+//!
+//! Three gate points consume the analyzer:
+//!
+//! * [`Runner::build`](crate::exec::RunnerBuilder::build) runs the
+//!   Error-severity pass set ([`Analyzer::error_gate`]) as a hard gate
+//!   before execution; rejected graphs surface as
+//!   [`NnirError::VerifierRejected`] with the diagnostic code.
+//! * `vedliot-toolchain` wraps every optimization pass in
+//!   [`verify_transform`] — a pass that breaks an invariant becomes a
+//!   typed error at the transform boundary, not a downstream
+//!   miscompute.
+//! * `harness lint` / `vedliot lint` run the full pass set
+//!   ([`Analyzer::full`]) over the model zoo and its compressed /
+//!   quantized variants and print a [`Report`].
+//!
+//! Diagnostic codes are a stable public contract (see the
+//! display-stability tests): `V0xx` are Error-severity structural
+//! violations, `W1xx` are Warnings, `I2xx` are Infos, `T0xx` are
+//! transform-boundary violations.
+
+use crate::error::NnirError;
+use crate::graph::{Graph, Node, NodeId, TensorId, WeightInit};
+use crate::ops::Op;
+use crate::shape::Shape;
+use std::collections::HashMap;
+use std::fmt;
+
+// --------------------------------------------------------------------
+// Diagnostics model
+// --------------------------------------------------------------------
+
+/// Severity of a [`Diagnostic`]. Ordered: `Info < Warning < Error`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Advisory output (e.g. quantization-readiness findings).
+    Info,
+    /// Suspicious but executable (e.g. dead nodes, aliased weights).
+    Warning,
+    /// The graph violates a structural invariant and must not execute.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Info => write!(f, "info"),
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// Stable diagnostic code. Each code maps to exactly one severity and
+/// one invariant; codes are never renumbered (the display-stability
+/// tests covenant this).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Code {
+    /// `V001` — a node's recorded id disagrees with its schedule index.
+    NodeIdMismatch,
+    /// `V002` — a node references a tensor id outside the graph.
+    UnknownTensorRef,
+    /// `V003` — a node consumes a tensor produced at or after its own
+    /// schedule position (a cycle, once the schedule is unrolled).
+    ScheduleViolation,
+    /// `V004` — a stored tensor shape disagrees with re-inference.
+    ShapeDisagreement,
+    /// `V005` — explicit weights disagree with the required layout.
+    WeightShapeMismatch,
+    /// `V006` — the graph input/output interface references an invalid
+    /// tensor.
+    BadInterface,
+    /// `V007` — a dangling edge: an in-range tensor that no node
+    /// produces and that is not a graph input.
+    DanglingEdge,
+    /// `V008` — an operator contract violation (arity, attributes, or
+    /// input-shape constraints) found by re-running shape inference.
+    OperatorContract,
+    /// `V009` — two nodes claim to produce the same tensor.
+    DuplicateProducer,
+    /// `W101` — a dead node: its result cannot reach any graph output.
+    DeadNode,
+    /// `W102` — two nodes share a name (provenance becomes ambiguous).
+    DuplicateName,
+    /// `W103` — two weighted nodes share a weight seed, so they
+    /// materialize identical parameters (weight aliasing).
+    WeightAliasing,
+    /// `W104` — graph inputs disagree on the leading batch dimension.
+    BatchDimMismatch,
+    /// `W105` — an explicit weight holds a non-finite or implausibly
+    /// large value (the signature of an SEU / bit-flip corruption).
+    SuspectWeight,
+    /// `W106` — a graph input no node consumes.
+    UnusedInput,
+    /// `I201` — value-range propagation says this op can exceed the
+    /// INT8 grid at unit scale (quantization-readiness finding).
+    QuantSaturation,
+    /// `T001` — a transform changed the graph's I/O interface.
+    InterfaceChanged,
+}
+
+impl Code {
+    /// The stable code string (`V001`, `W102`, ...).
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Code::NodeIdMismatch => "V001",
+            Code::UnknownTensorRef => "V002",
+            Code::ScheduleViolation => "V003",
+            Code::ShapeDisagreement => "V004",
+            Code::WeightShapeMismatch => "V005",
+            Code::BadInterface => "V006",
+            Code::DanglingEdge => "V007",
+            Code::OperatorContract => "V008",
+            Code::DuplicateProducer => "V009",
+            Code::DeadNode => "W101",
+            Code::DuplicateName => "W102",
+            Code::WeightAliasing => "W103",
+            Code::BatchDimMismatch => "W104",
+            Code::SuspectWeight => "W105",
+            Code::UnusedInput => "W106",
+            Code::QuantSaturation => "I201",
+            Code::InterfaceChanged => "T001",
+        }
+    }
+
+    /// The severity every diagnostic with this code carries.
+    #[must_use]
+    pub fn severity(self) -> Severity {
+        match self {
+            Code::NodeIdMismatch
+            | Code::UnknownTensorRef
+            | Code::ScheduleViolation
+            | Code::ShapeDisagreement
+            | Code::WeightShapeMismatch
+            | Code::BadInterface
+            | Code::DanglingEdge
+            | Code::OperatorContract
+            | Code::DuplicateProducer
+            | Code::InterfaceChanged => Severity::Error,
+            Code::DeadNode
+            | Code::DuplicateName
+            | Code::WeightAliasing
+            | Code::BatchDimMismatch
+            | Code::SuspectWeight
+            | Code::UnusedInput => Severity::Warning,
+            Code::QuantSaturation => Severity::Info,
+        }
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One analysis finding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Stable code (also fixes the severity).
+    pub code: Code,
+    /// Human-readable description of the violation.
+    pub message: String,
+    /// The offending node, when the finding is node-scoped.
+    pub node: Option<NodeId>,
+    /// The offending node's name, for logs that outlive the graph.
+    pub node_name: Option<String>,
+    /// The offending tensor, when the finding is tensor-scoped.
+    pub tensor: Option<TensorId>,
+    /// 1-based line this node occupies in [`crate::textual::write`]
+    /// output — provenance back into the interchange format.
+    pub text_line: Option<usize>,
+    /// The legacy [`NnirError`] this finding maps to, when the checked
+    /// invariant predates the analyzer (keeps [`Graph::validate`]'s
+    /// error surface stable).
+    pub source: Option<NnirError>,
+}
+
+impl Diagnostic {
+    fn new(code: Code, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            message: message.into(),
+            node: None,
+            node_name: None,
+            tensor: None,
+            text_line: None,
+            source: None,
+        }
+    }
+
+    fn at_node(mut self, graph: &Graph, node: &Node) -> Self {
+        self.node = Some(node.id);
+        self.node_name = Some(node.name.clone());
+        self.text_line = text_line_of_node(graph, node.id);
+        self
+    }
+
+    fn at_tensor(mut self, tensor: TensorId) -> Self {
+        self.tensor = Some(tensor);
+        self
+    }
+
+    fn with_source(mut self, source: NnirError) -> Self {
+        self.source = Some(source);
+        self
+    }
+
+    /// Severity, derived from the code.
+    #[must_use]
+    pub fn severity(&self) -> Severity {
+        self.code.severity()
+    }
+
+    /// Converts an Error-severity finding into the typed verifier
+    /// rejection carried by [`NnirError::VerifierRejected`].
+    #[must_use]
+    pub fn to_error(&self) -> NnirError {
+        let node = match (&self.node_name, self.node, self.tensor) {
+            (Some(name), _, _) => name.clone(),
+            (None, Some(id), _) => id.to_string(),
+            (None, None, Some(t)) => t.to_string(),
+            (None, None, None) => "graph".to_string(),
+        };
+        NnirError::VerifierRejected {
+            code: self.code.as_str().to_string(),
+            node,
+            detail: self.message.clone(),
+        }
+    }
+
+    /// The error [`Graph::validate`] reports for this finding: the
+    /// legacy variant when the invariant predates the analyzer,
+    /// otherwise [`NnirError::VerifierRejected`].
+    #[must_use]
+    pub fn to_legacy_error(&self) -> NnirError {
+        self.source.clone().unwrap_or_else(|| self.to_error())
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.severity(), self.code)?;
+        if let Some(name) = &self.node_name {
+            let id = self.node.map(|n| n.to_string()).unwrap_or_default();
+            write!(f, " {id} \"{name}\"")?;
+        } else if let Some(t) = self.tensor {
+            write!(f, " {t}")?;
+        }
+        if let Some(line) = self.text_line {
+            write!(f, " @line {line}")?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+/// 1-based line a node occupies in [`crate::textual::write`] output:
+/// line 1 is the `model` line, graph inputs follow, then one `node`
+/// line per operator in schedule order.
+#[must_use]
+pub fn text_line_of_node(graph: &Graph, node: NodeId) -> Option<usize> {
+    let idx = node.0;
+    if idx >= graph.nodes().len() {
+        return None;
+    }
+    let preceding = graph.nodes()[..idx]
+        .iter()
+        .filter(|n| !matches!(n.op, Op::Input(_)))
+        .count();
+    Some(1 + graph.inputs().len() + preceding + 1)
+}
+
+// --------------------------------------------------------------------
+// Report
+// --------------------------------------------------------------------
+
+/// Maximum diagnostics printed per severity band in [`Report::render`].
+const RENDER_CAP: usize = 20;
+
+/// The outcome of running an [`Analyzer`] over one graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Report {
+    /// Every finding, in pass order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Names of the passes that ran.
+    pub passes_run: Vec<&'static str>,
+}
+
+impl Report {
+    /// Findings at exactly the given severity.
+    pub fn at(&self, severity: Severity) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(move |d| d.severity() == severity)
+    }
+
+    /// Number of Error-severity findings.
+    #[must_use]
+    pub fn error_count(&self) -> usize {
+        self.at(Severity::Error).count()
+    }
+
+    /// Whether the graph is clean at (and above) the given severity.
+    #[must_use]
+    pub fn is_clean(&self, severity: Severity) -> bool {
+        self.diagnostics.iter().all(|d| d.severity() < severity)
+    }
+
+    /// The first Error-severity finding, if any.
+    #[must_use]
+    pub fn first_error(&self) -> Option<&Diagnostic> {
+        self.diagnostics
+            .iter()
+            .find(|d| d.severity() == Severity::Error)
+    }
+
+    /// Renders a human-readable lint report for one model.
+    #[must_use]
+    pub fn render(&self, model: &str) -> String {
+        let mut out = String::new();
+        let (e, w, i) = (
+            self.error_count(),
+            self.at(Severity::Warning).count(),
+            self.at(Severity::Info).count(),
+        );
+        out.push_str(&format!(
+            "lint {model}: {e} errors, {w} warnings, {i} infos\n"
+        ));
+        for severity in [Severity::Error, Severity::Warning, Severity::Info] {
+            let band: Vec<&Diagnostic> = self.at(severity).collect();
+            for d in band.iter().take(RENDER_CAP) {
+                out.push_str(&format!("  {d}\n"));
+            }
+            if band.len() > RENDER_CAP {
+                out.push_str(&format!(
+                    "  ... and {} more {severity} findings\n",
+                    band.len() - RENDER_CAP
+                ));
+            }
+        }
+        out
+    }
+}
+
+// --------------------------------------------------------------------
+// Analyzer / passes
+// --------------------------------------------------------------------
+
+/// One analysis pass: inspects a graph and appends findings.
+///
+/// Passes never mutate the graph and never trust annotations another
+/// pass has already checked — each re-derives what it needs, so a pass
+/// list can be reordered or subset freely.
+pub trait AnalysisPass {
+    /// Pass name for reports.
+    fn name(&self) -> &'static str;
+    /// Appends this pass's findings for `graph` to `out`.
+    fn run(&self, graph: &Graph, out: &mut Vec<Diagnostic>);
+}
+
+/// An ordered pipeline of [`AnalysisPass`]es.
+#[derive(Default)]
+pub struct Analyzer {
+    passes: Vec<Box<dyn AnalysisPass>>,
+}
+
+impl Analyzer {
+    /// The Error-severity pass set: every structural invariant a graph
+    /// must satisfy before execution. Cheap (no weight
+    /// materialization); this is what [`Graph::validate`] and the
+    /// `Runner::build` gate run.
+    #[must_use]
+    pub fn error_gate() -> Self {
+        let mut a = Analyzer::default();
+        a.push(StructureCheck);
+        a.push(ScheduleCheck);
+        a.push(DataflowCheck);
+        a
+    }
+
+    /// The full pass set: the error gate plus warning- and info-level
+    /// analyses (dead code, naming, weight sanity, batch consistency,
+    /// quantization readiness). Quantization readiness materializes
+    /// seeded weights per node, so this costs roughly one weight-init
+    /// sweep over the model.
+    #[must_use]
+    pub fn full() -> Self {
+        let mut a = Analyzer::error_gate();
+        a.push(DeadCodeCheck);
+        a.push(NamingCheck);
+        a.push(BatchDimCheck);
+        a.push(WeightSanityCheck);
+        a.push(QuantReadinessCheck::default());
+        a
+    }
+
+    /// Appends a pass to the pipeline.
+    pub fn push(&mut self, pass: impl AnalysisPass + 'static) {
+        self.passes.push(Box::new(pass));
+    }
+
+    /// Runs every pass and collects the findings.
+    #[must_use]
+    pub fn analyze(&self, graph: &Graph) -> Report {
+        let mut diagnostics = Vec::new();
+        let mut passes_run = Vec::with_capacity(self.passes.len());
+        for pass in &self.passes {
+            pass.run(graph, &mut diagnostics);
+            passes_run.push(pass.name());
+        }
+        Report {
+            diagnostics,
+            passes_run,
+        }
+    }
+}
+
+impl fmt::Debug for Analyzer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let names: Vec<&str> = self.passes.iter().map(|p| p.name()).collect();
+        f.debug_struct("Analyzer").field("passes", &names).finish()
+    }
+}
+
+/// Runs the Error-severity gate and rejects with a coded
+/// [`NnirError::VerifierRejected`] — the check `Runner::build` applies
+/// before admitting a graph to execution.
+///
+/// # Errors
+///
+/// The first Error-severity diagnostic, as `VerifierRejected`.
+pub fn verify_for_execution(graph: &Graph) -> Result<(), NnirError> {
+    match Analyzer::error_gate().analyze(graph).first_error() {
+        Some(d) => Err(d.to_error()),
+        None => Ok(()),
+    }
+}
+
+/// Runs the Error-severity gate, reporting the first violation as the
+/// legacy error variant where one exists — the body of
+/// [`Graph::validate`].
+///
+/// # Errors
+///
+/// The first Error-severity diagnostic's legacy error.
+pub fn validate_legacy(graph: &Graph) -> Result<(), NnirError> {
+    match Analyzer::error_gate().analyze(graph).first_error() {
+        Some(d) => Err(d.to_legacy_error()),
+        None => Ok(()),
+    }
+}
+
+// --------------------------------------------------------------------
+// Transform differential check
+// --------------------------------------------------------------------
+
+/// The externally observable interface of a graph: its input and
+/// output shapes. Optimization passes may rewrite everything *inside*
+/// a model, but a deployed model's I/O contract must survive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InterfaceSignature {
+    input_shapes: Vec<Shape>,
+    output_shapes: Vec<Shape>,
+}
+
+impl InterfaceSignature {
+    /// Captures the interface of `graph`.
+    #[must_use]
+    pub fn of(graph: &Graph) -> Self {
+        let shape_of = |t: &TensorId| graph.tensor_shape(*t).cloned().unwrap_or_default();
+        InterfaceSignature {
+            input_shapes: graph.inputs().iter().map(shape_of).collect(),
+            output_shapes: graph.outputs().iter().map(shape_of).collect(),
+        }
+    }
+}
+
+/// Verify-after-transform: checks that a transformed graph still
+/// passes the Error-severity gate *and* kept the I/O interface it had
+/// before the transform.
+///
+/// # Errors
+///
+/// [`NnirError::VerifierRejected`] carrying the diagnostic code — a
+/// structural code (`V0xx`) when the transform broke an invariant,
+/// `T001` when it changed the interface.
+pub fn verify_transform(
+    pass: &str,
+    before: &InterfaceSignature,
+    after: &Graph,
+) -> Result<(), NnirError> {
+    if let Some(d) = Analyzer::error_gate().analyze(after).first_error() {
+        let mut d = d.clone();
+        d.message = format!("after pass '{pass}': {}", d.message);
+        return Err(d.to_error());
+    }
+    let now = InterfaceSignature::of(after);
+    if now != *before {
+        let d = Diagnostic::new(
+            Code::InterfaceChanged,
+            format!(
+                "pass '{pass}' changed the graph interface: inputs {:?} -> {:?}, outputs {:?} -> {:?}",
+                before.input_shapes, now.input_shapes, before.output_shapes, now.output_shapes
+            ),
+        );
+        return Err(d.to_error());
+    }
+    Ok(())
+}
+
+// --------------------------------------------------------------------
+// Error-severity passes
+// --------------------------------------------------------------------
+
+/// Checks node ids, tensor references, producer uniqueness, dangling
+/// edges and the graph I/O interface (`V001`, `V002`, `V006`, `V007`,
+/// `V009`).
+struct StructureCheck;
+
+impl AnalysisPass for StructureCheck {
+    fn name(&self) -> &'static str {
+        "structure"
+    }
+
+    fn run(&self, graph: &Graph, out: &mut Vec<Diagnostic>) {
+        let tensor_count = graph.tensor_count();
+        let mut produced_by: Vec<Option<NodeId>> = vec![None; tensor_count];
+        for (i, node) in graph.nodes().iter().enumerate() {
+            if node.id.0 != i {
+                // Provenance by schedule position — the recorded id is
+                // exactly what is wrong here.
+                let mut d = Diagnostic::new(
+                    Code::NodeIdMismatch,
+                    format!("node at schedule index {i} records id {}", node.id),
+                )
+                .with_source(NnirError::UnknownNode(node.id.0));
+                d.node = Some(NodeId(i));
+                d.node_name = Some(node.name.clone());
+                d.text_line = text_line_of_node(graph, NodeId(i));
+                out.push(d);
+            }
+            for &t in &node.inputs {
+                if t.0 >= tensor_count {
+                    out.push(
+                        Diagnostic::new(
+                            Code::UnknownTensorRef,
+                            format!("input {t} is outside the graph's {tensor_count} tensors"),
+                        )
+                        .at_node(graph, node)
+                        .at_tensor(t)
+                        .with_source(NnirError::UnknownTensor(t.0)),
+                    );
+                } else if graph.producer(t).is_none() && !graph.inputs().contains(&t) {
+                    out.push(
+                        Diagnostic::new(
+                            Code::DanglingEdge,
+                            format!("input {t} has no producer and is not a graph input"),
+                        )
+                        .at_node(graph, node)
+                        .at_tensor(t),
+                    );
+                }
+            }
+            if node.output.0 >= tensor_count {
+                out.push(
+                    Diagnostic::new(
+                        Code::UnknownTensorRef,
+                        format!(
+                            "output {} is outside the graph's {tensor_count} tensors",
+                            node.output
+                        ),
+                    )
+                    .at_node(graph, node)
+                    .at_tensor(node.output)
+                    .with_source(NnirError::UnknownTensor(node.output.0)),
+                );
+            } else if let Some(first) = produced_by[node.output.0] {
+                out.push(
+                    Diagnostic::new(
+                        Code::DuplicateProducer,
+                        format!("tensor {} is already produced by {first}", node.output),
+                    )
+                    .at_node(graph, node)
+                    .at_tensor(node.output),
+                );
+            } else {
+                produced_by[node.output.0] = Some(node.id);
+            }
+        }
+        for &t in graph.inputs().iter().chain(graph.outputs()) {
+            if t.0 >= tensor_count {
+                out.push(
+                    Diagnostic::new(
+                        Code::BadInterface,
+                        format!("graph interface references unknown tensor {t}"),
+                    )
+                    .at_tensor(t)
+                    .with_source(NnirError::UnknownTensor(t.0)),
+                );
+            }
+        }
+    }
+}
+
+/// Checks the topological schedule: every consumed tensor must be
+/// produced strictly earlier (`V003`; a violation is a cycle once the
+/// schedule is unrolled).
+struct ScheduleCheck;
+
+impl AnalysisPass for ScheduleCheck {
+    fn name(&self) -> &'static str {
+        "schedule"
+    }
+
+    fn run(&self, graph: &Graph, out: &mut Vec<Diagnostic>) {
+        for (i, node) in graph.nodes().iter().enumerate() {
+            for &t in &node.inputs {
+                if t.0 >= graph.tensor_count() {
+                    continue; // reported by StructureCheck
+                }
+                if let Some(p) = graph.producer(t) {
+                    if p.0 >= i {
+                        out.push(
+                            Diagnostic::new(
+                                Code::ScheduleViolation,
+                                format!("input {t} is produced by {p}, at or after this node"),
+                            )
+                            .at_node(graph, node)
+                            .at_tensor(t)
+                            .with_source(NnirError::GraphCyclic),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Full dataflow verification: re-derives every output shape from the
+/// inputs through [`Op::infer_shape`] and cross-checks stored
+/// annotations and explicit weight layouts (`V004`, `V005`, `V008`).
+struct DataflowCheck;
+
+impl AnalysisPass for DataflowCheck {
+    fn name(&self) -> &'static str {
+        "dataflow"
+    }
+
+    fn run(&self, graph: &Graph, out: &mut Vec<Diagnostic>) {
+        for node in graph.nodes() {
+            // Nodes with unresolvable references are already fatal;
+            // re-deriving their dataflow would index out of bounds.
+            if node.output.0 >= graph.tensor_count()
+                || node.inputs.iter().any(|t| t.0 >= graph.tensor_count())
+            {
+                continue;
+            }
+            let in_shapes: Vec<&Shape> = node
+                .inputs
+                .iter()
+                .map(|t| graph.tensor_shape(*t).expect("bounds checked"))
+                .collect();
+            let inferred = match node.op.infer_shape(&in_shapes) {
+                Ok(s) => s,
+                Err(e) => {
+                    out.push(
+                        Diagnostic::new(
+                            Code::OperatorContract,
+                            format!("shape inference rejects this node: {e}"),
+                        )
+                        .at_node(graph, node)
+                        .with_source(e),
+                    );
+                    continue;
+                }
+            };
+            let stored = graph.tensor_shape(node.output).expect("bounds checked");
+            if &inferred != stored {
+                out.push(
+                    Diagnostic::new(
+                        Code::ShapeDisagreement,
+                        format!("records {stored} but re-inference gives {inferred}"),
+                    )
+                    .at_node(graph, node)
+                    .at_tensor(node.output)
+                    .with_source(NnirError::ShapeMismatch {
+                        op: node.op.name().into(),
+                        detail: format!(
+                            "node {} records {stored} but re-inference gives {inferred}",
+                            node.name
+                        ),
+                    }),
+                );
+            }
+            if let WeightInit::Explicit(tensors) = &node.weights {
+                let expected = node.weight_shapes(&in_shapes);
+                if tensors.len() != expected.len()
+                    || tensors.iter().zip(&expected).any(|(t, s)| t.shape() != s)
+                {
+                    out.push(
+                        Diagnostic::new(
+                            Code::WeightShapeMismatch,
+                            format!(
+                                "explicit weights [{}] do not match required [{}]",
+                                tensors
+                                    .iter()
+                                    .map(|t| t.shape().to_string())
+                                    .collect::<Vec<_>>()
+                                    .join(", "),
+                                expected
+                                    .iter()
+                                    .map(ToString::to_string)
+                                    .collect::<Vec<_>>()
+                                    .join(", ")
+                            ),
+                        )
+                        .at_node(graph, node)
+                        .with_source(NnirError::ShapeMismatch {
+                            op: node.op.name().into(),
+                            detail: format!("node {} has inconsistent weight shapes", node.name),
+                        }),
+                    );
+                }
+            }
+        }
+    }
+}
+
+// --------------------------------------------------------------------
+// Warning-severity passes
+// --------------------------------------------------------------------
+
+/// Flags nodes whose results cannot reach any graph output (`W101`)
+/// and graph inputs nothing consumes (`W106`).
+struct DeadCodeCheck;
+
+impl AnalysisPass for DeadCodeCheck {
+    fn name(&self) -> &'static str {
+        "dead-code"
+    }
+
+    fn run(&self, graph: &Graph, out: &mut Vec<Diagnostic>) {
+        let n = graph.nodes().len();
+        let mut live = vec![false; n];
+        let mut stack: Vec<NodeId> = graph
+            .outputs()
+            .iter()
+            .filter_map(|&t| graph.producer(t))
+            .collect();
+        while let Some(id) = stack.pop() {
+            if id.0 >= n || live[id.0] {
+                continue;
+            }
+            live[id.0] = true;
+            for &t in &graph.nodes()[id.0].inputs {
+                if let Some(p) = graph.producer(t) {
+                    stack.push(p);
+                }
+            }
+        }
+        for (i, node) in graph.nodes().iter().enumerate() {
+            if !live[i] {
+                out.push(
+                    Diagnostic::new(
+                        Code::DeadNode,
+                        "result never reaches a graph output".to_string(),
+                    )
+                    .at_node(graph, node),
+                );
+            }
+        }
+        let consumed: Vec<bool> = {
+            let fanout = graph.fanout();
+            fanout.iter().map(|c| !c.is_empty()).collect()
+        };
+        for &t in graph.inputs() {
+            if t.0 < consumed.len() && !consumed[t.0] && !graph.outputs().contains(&t) {
+                out.push(
+                    Diagnostic::new(Code::UnusedInput, "graph input is never consumed")
+                        .at_tensor(t),
+                );
+            }
+        }
+    }
+}
+
+/// Flags duplicate node names (`W102`) and weighted nodes sharing a
+/// weight seed (`W103` — they would materialize identical parameters).
+struct NamingCheck;
+
+impl AnalysisPass for NamingCheck {
+    fn name(&self) -> &'static str {
+        "naming"
+    }
+
+    fn run(&self, graph: &Graph, out: &mut Vec<Diagnostic>) {
+        let mut names: HashMap<&str, NodeId> = HashMap::new();
+        let mut seeds: HashMap<u64, NodeId> = HashMap::new();
+        for node in graph.nodes() {
+            if let Some(&first) = names.get(node.name.as_str()) {
+                out.push(
+                    Diagnostic::new(
+                        Code::DuplicateName,
+                        format!("name is already used by {first}"),
+                    )
+                    .at_node(graph, node),
+                );
+            } else {
+                names.insert(node.name.as_str(), node.id);
+            }
+            let has_weights = {
+                let in_shapes: Vec<&Shape> = node
+                    .inputs
+                    .iter()
+                    .filter_map(|t| graph.tensor_shape(*t))
+                    .collect();
+                in_shapes.len() == node.inputs.len() && !node.weight_shapes(&in_shapes).is_empty()
+            };
+            if has_weights {
+                if let WeightInit::Seeded(s) = node.weights {
+                    if let Some(&first) = seeds.get(&s) {
+                        out.push(
+                            Diagnostic::new(
+                                Code::WeightAliasing,
+                                format!("weight seed {s} is already used by {first}"),
+                            )
+                            .at_node(graph, node),
+                        );
+                    } else {
+                        seeds.insert(s, node.id);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Flags graphs whose inputs disagree on the leading batch dimension,
+/// or whose nodes change it mid-graph (`W104`).
+struct BatchDimCheck;
+
+impl AnalysisPass for BatchDimCheck {
+    fn name(&self) -> &'static str {
+        "batch-dim"
+    }
+
+    fn run(&self, graph: &Graph, out: &mut Vec<Diagnostic>) {
+        let mut batches = graph
+            .inputs()
+            .iter()
+            .filter_map(|&t| graph.tensor_shape(t))
+            .map(Shape::batch);
+        let Some(expected) = batches.next() else {
+            return;
+        };
+        if batches.any(|b| b != expected) {
+            out.push(Diagnostic::new(
+                Code::BatchDimMismatch,
+                format!("graph inputs disagree on the batch dimension (first is {expected})"),
+            ));
+            return;
+        }
+        for node in graph.nodes() {
+            if node.inputs.is_empty() {
+                continue;
+            }
+            let out_batch = graph.tensor_shape(node.output).map(Shape::batch);
+            if out_batch.is_some_and(|b| b != expected) {
+                out.push(
+                    Diagnostic::new(
+                        Code::BatchDimMismatch,
+                        format!(
+                            "output batch {} differs from graph batch {expected}",
+                            out_batch.unwrap_or(0)
+                        ),
+                    )
+                    .at_node(graph, node),
+                );
+            }
+        }
+    }
+}
+
+/// Magnitude above which an explicit weight is considered corrupted
+/// (no initialization or training pass in this codebase produces
+/// weights anywhere near it, but a high-exponent bit flip does).
+const SUSPECT_WEIGHT_LIMIT: f32 = 1.0e6;
+
+/// Flags explicit weights holding non-finite or implausibly large
+/// values (`W105`) — the static signature of an SEU-style bit flip.
+struct WeightSanityCheck;
+
+impl AnalysisPass for WeightSanityCheck {
+    fn name(&self) -> &'static str {
+        "weight-sanity"
+    }
+
+    fn run(&self, graph: &Graph, out: &mut Vec<Diagnostic>) {
+        for node in graph.nodes() {
+            let WeightInit::Explicit(tensors) = &node.weights else {
+                continue;
+            };
+            let mut bad = 0usize;
+            let mut worst = 0.0f32;
+            for t in tensors {
+                for &x in t.data() {
+                    if !x.is_finite() || x.abs() > SUSPECT_WEIGHT_LIMIT {
+                        bad += 1;
+                        if !x.is_finite() {
+                            worst = f32::INFINITY;
+                        } else {
+                            worst = worst.max(x.abs());
+                        }
+                    }
+                }
+            }
+            if bad > 0 {
+                out.push(
+                    Diagnostic::new(
+                        Code::SuspectWeight,
+                        format!(
+                            "{bad} weight value(s) non-finite or beyond |{SUSPECT_WEIGHT_LIMIT:e}| (worst {worst:e}) — possible bit-flip corruption"
+                        ),
+                    )
+                    .at_node(graph, node),
+                );
+            }
+        }
+    }
+}
+
+// --------------------------------------------------------------------
+// Quantization readiness (value-range propagation)
+// --------------------------------------------------------------------
+
+/// Worst-case |activation| a symmetric INT8 grid represents at unit
+/// scale; ops whose propagated range exceeds it need calibration
+/// (larger per-tensor scales) or saturate.
+const INT8_UNIT_GRID: f32 = 127.0;
+
+/// Propagates worst-case activation magnitudes from the inputs
+/// (assumed calibrated to |x| <= 1) through every op, flagging ops
+/// whose range exceeds the INT8 grid at unit scale (`I201`). Feeds the
+/// ROADMAP quantized-execution item: a flagged op needs an activation
+/// scale of at least `range / 127`.
+pub struct QuantReadinessCheck {
+    /// Assumed |x| bound of every graph input (default 1.0).
+    pub input_absmax: f32,
+}
+
+impl Default for QuantReadinessCheck {
+    fn default() -> Self {
+        QuantReadinessCheck { input_absmax: 1.0 }
+    }
+}
+
+impl QuantReadinessCheck {
+    /// Worst-case output magnitude of one node given input magnitudes.
+    /// Conservative interval arithmetic: weighted ops bound by the
+    /// largest L1 row norm of their materialized weights.
+    fn node_bound(graph: &Graph, node: &Node, in_abs: &[f32]) -> f32 {
+        let a = in_abs.first().copied().unwrap_or(0.0);
+        match &node.op {
+            Op::Input(_) => a,
+            Op::Conv2d(_) | Op::Dense { .. } | Op::BatchNorm => {
+                weighted_bound(graph, node).map_or(a, |(l1, bias)| l1 * a + bias)
+            }
+            Op::Activation(kind) => kind.abs_bound(a),
+            Op::MaxPool2d(_) | Op::AvgPool2d(_) | Op::GlobalAvgPool => a,
+            Op::Add => in_abs.iter().sum(),
+            Op::Mul => in_abs.iter().product(),
+            Op::Concat => in_abs.iter().copied().fold(0.0, f32::max),
+            Op::Upsample { .. } | Op::Flatten => a,
+            Op::Softmax => 1.0,
+            Op::FakeQuant { scale } => a.min(INT8_UNIT_GRID * scale.abs()),
+        }
+    }
+}
+
+/// Largest L1 row norm and largest |bias| of a weighted node's
+/// materialized parameters. `None` for weightless nodes.
+fn weighted_bound(graph: &Graph, node: &Node) -> Option<(f32, f32)> {
+    let in_shapes: Vec<&Shape> = node
+        .inputs
+        .iter()
+        .map(|t| graph.tensor_shape(*t))
+        .collect::<Option<_>>()?;
+    let shapes = node.weight_shapes(&in_shapes);
+    if shapes.is_empty() {
+        return None;
+    }
+    let weights = match &node.weights {
+        WeightInit::Explicit(tensors) => tensors.clone(),
+        WeightInit::Seeded(seed) => crate::exec::materialize_seeded(&node.op, &shapes, *seed),
+        WeightInit::None => return None,
+    };
+    if weights.is_empty() {
+        return None;
+    }
+    match &node.op {
+        Op::BatchNorm => {
+            let scale = weights[0].data().iter().fold(0.0f32, |m, x| m.max(x.abs()));
+            let shift = weights
+                .get(1)
+                .map_or(0.0, |t| t.data().iter().fold(0.0f32, |m, x| m.max(x.abs())));
+            Some((scale, shift))
+        }
+        _ => {
+            // Row = one output unit (channel / feature): the kernel is
+            // stored [out, ...], so rows are contiguous chunks.
+            let w = &weights[0];
+            let out_units = w.shape().dim(0).unwrap_or(1).max(1);
+            let per_row = w.data().len() / out_units;
+            let l1 = if per_row == 0 {
+                0.0
+            } else {
+                w.data()
+                    .chunks(per_row)
+                    .map(|row| row.iter().map(|x| x.abs()).sum::<f32>())
+                    .fold(0.0f32, f32::max)
+            };
+            let bias = weights
+                .get(1)
+                .map_or(0.0, |t| t.data().iter().fold(0.0f32, |m, x| m.max(x.abs())));
+            Some((l1, bias))
+        }
+    }
+}
+
+impl AnalysisPass for QuantReadinessCheck {
+    fn name(&self) -> &'static str {
+        "quant-readiness"
+    }
+
+    fn run(&self, graph: &Graph, out: &mut Vec<Diagnostic>) {
+        let mut abs = vec![0.0f32; graph.tensor_count()];
+        for &t in graph.inputs() {
+            if t.0 < abs.len() {
+                abs[t.0] = self.input_absmax;
+            }
+        }
+        for node in graph.nodes() {
+            if node.output.0 >= abs.len() || node.inputs.iter().any(|t| t.0 >= abs.len()) {
+                continue; // structurally broken; the error gate owns it
+            }
+            let in_abs: Vec<f32> = node.inputs.iter().map(|t| abs[t.0]).collect();
+            let bound = Self::node_bound(graph, node, &in_abs);
+            abs[node.output.0] = bound;
+            if bound > INT8_UNIT_GRID && !matches!(node.op, Op::Input(_)) {
+                out.push(
+                    Diagnostic::new(
+                        Code::QuantSaturation,
+                        format!(
+                            "worst-case |activation| {bound:.1} exceeds the INT8 grid at unit scale; calibrate with scale >= {:.3}",
+                            bound / INT8_UNIT_GRID
+                        ),
+                    )
+                    .at_node(graph, node),
+                );
+            }
+        }
+    }
+}
+
+// --------------------------------------------------------------------
+// Tests
+// --------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+    use crate::ops::{ActKind, Conv2dAttrs};
+    use crate::tensor::Tensor;
+
+    fn tiny() -> Graph {
+        let mut b = GraphBuilder::new("tiny");
+        let x = b.input(Shape::nchw(1, 3, 8, 8));
+        let c = b
+            .apply("conv", Op::Conv2d(Conv2dAttrs::same(4, 3, 1)), &[x])
+            .unwrap();
+        let r = b
+            .apply("relu", Op::Activation(ActKind::Relu), &[c])
+            .unwrap();
+        b.finish(vec![r])
+    }
+
+    #[test]
+    fn clean_graph_produces_no_findings() {
+        let report = Analyzer::full().analyze(&tiny());
+        assert!(report.is_clean(Severity::Info), "{report:?}");
+        assert_eq!(report.passes_run.len(), 8);
+    }
+
+    #[test]
+    fn zoo_models_are_error_clean() {
+        for model in [
+            crate::zoo::lenet5(10).unwrap(),
+            crate::zoo::tiny_cnn("t", Shape::nchw(1, 3, 16, 16), &[4], 3).unwrap(),
+            crate::zoo::conv1d_classifier("c", 1, 64, &[8, 16], 3).unwrap(),
+            crate::zoo::mobilenet_v3_large(10).unwrap(),
+        ] {
+            let report = Analyzer::error_gate().analyze(&model);
+            assert!(
+                report.is_clean(Severity::Error),
+                "{}",
+                report.render(model.name())
+            );
+        }
+    }
+
+    #[test]
+    fn edge_retarget_is_a_schedule_violation() {
+        let mut g = tiny();
+        // Make the conv consume its own output: a self-loop.
+        let out = g.nodes()[0].output;
+        g.nodes_mut()[0].inputs[0] = out;
+        let report = Analyzer::error_gate().analyze(&g);
+        let first = report.first_error().expect("must be rejected");
+        assert_eq!(first.code, Code::ScheduleViolation);
+        assert_eq!(first.to_legacy_error(), NnirError::GraphCyclic);
+    }
+
+    #[test]
+    fn attr_tamper_is_a_shape_disagreement() {
+        let mut g = tiny();
+        g.nodes_mut()[0].op = Op::Conv2d(Conv2dAttrs::same(5, 3, 1));
+        let report = Analyzer::error_gate().analyze(&g);
+        let first = report.first_error().expect("must be rejected");
+        assert_eq!(first.code, Code::ShapeDisagreement);
+        assert!(matches!(
+            first.to_legacy_error(),
+            NnirError::ShapeMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn shape_tamper_is_detected() {
+        let mut g = tiny();
+        g.tensor_shapes_mut()[1] = Shape::nchw(1, 7, 8, 8);
+        let report = Analyzer::error_gate().analyze(&g);
+        assert_eq!(
+            report.first_error().map(|d| d.code),
+            Some(Code::ShapeDisagreement)
+        );
+    }
+
+    #[test]
+    fn wrong_explicit_weights_are_rejected() {
+        let mut g = tiny();
+        g.nodes_mut()[0].weights =
+            WeightInit::Explicit(vec![Tensor::zeros(Shape::new(vec![4, 3, 5, 5]))]);
+        let report = Analyzer::error_gate().analyze(&g);
+        assert_eq!(
+            report.first_error().map(|d| d.code),
+            Some(Code::WeightShapeMismatch)
+        );
+    }
+
+    #[test]
+    fn out_of_range_reference_is_unknown_tensor() {
+        let mut g = tiny();
+        g.nodes_mut()[1].inputs[0] = TensorId(99);
+        let report = Analyzer::error_gate().analyze(&g);
+        let first = report.first_error().expect("must be rejected");
+        assert_eq!(first.code, Code::UnknownTensorRef);
+        assert_eq!(first.to_legacy_error(), NnirError::UnknownTensor(99));
+    }
+
+    #[test]
+    fn duplicate_producer_is_detected() {
+        let mut g = tiny();
+        // Point the relu's output at the conv's output tensor.
+        let conv_out = g.nodes()[0].output;
+        g.nodes_mut()[1].output = conv_out;
+        let report = Analyzer::error_gate().analyze(&g);
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == Code::DuplicateProducer));
+    }
+
+    #[test]
+    fn dead_node_and_unused_input_are_warnings() {
+        let mut b = GraphBuilder::new("dead");
+        let x = b.input(Shape::nf(1, 4));
+        let unused = b.input(Shape::nf(1, 4));
+        let _ = unused;
+        let live = b
+            .apply("live", Op::Activation(ActKind::Relu), &[x])
+            .unwrap();
+        let _dead = b
+            .apply("dead", Op::Activation(ActKind::Sigmoid), &[x])
+            .unwrap();
+        let g = b.finish(vec![live]);
+        let report = Analyzer::full().analyze(&g);
+        assert!(report.is_clean(Severity::Error));
+        let codes: Vec<Code> = report.diagnostics.iter().map(|d| d.code).collect();
+        assert!(codes.contains(&Code::DeadNode), "{codes:?}");
+        assert!(codes.contains(&Code::UnusedInput), "{codes:?}");
+        let dead = report
+            .diagnostics
+            .iter()
+            .find(|d| d.code == Code::DeadNode)
+            .unwrap();
+        assert_eq!(dead.node_name.as_deref(), Some("dead"));
+    }
+
+    #[test]
+    fn duplicate_names_and_aliased_seeds_are_warnings() {
+        let mut b = GraphBuilder::new("alias");
+        let x = b.input(Shape::nf(1, 4));
+        let d1 = b
+            .apply(
+                "fc",
+                Op::Dense {
+                    out_features: 4,
+                    bias: false,
+                },
+                &[x],
+            )
+            .unwrap();
+        let d2 = b
+            .apply(
+                "fc",
+                Op::Dense {
+                    out_features: 4,
+                    bias: false,
+                },
+                &[d1],
+            )
+            .unwrap();
+        let mut g = b.finish(vec![d2]);
+        // Alias the second dense onto the first's seed.
+        g.nodes_mut()[1].weights = WeightInit::Seeded(1);
+        let report = Analyzer::full().analyze(&g);
+        let codes: Vec<Code> = report.diagnostics.iter().map(|d| d.code).collect();
+        assert!(codes.contains(&Code::DuplicateName), "{codes:?}");
+        assert!(codes.contains(&Code::WeightAliasing), "{codes:?}");
+    }
+
+    #[test]
+    fn batch_dim_mismatch_is_a_warning() {
+        let mut b = GraphBuilder::new("batch");
+        let x = b.input(Shape::nf(2, 4));
+        let y = b.input(Shape::nf(3, 4));
+        let a = b.apply("ax", Op::Activation(ActKind::Relu), &[x]).unwrap();
+        let c = b.apply("ay", Op::Activation(ActKind::Relu), &[y]).unwrap();
+        let g = b.finish(vec![a, c]);
+        let report = Analyzer::full().analyze(&g);
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == Code::BatchDimMismatch));
+    }
+
+    #[test]
+    fn bit_flipped_weight_is_a_suspect_weight_warning() {
+        let mut b = GraphBuilder::new("flip");
+        let x = b.input(Shape::nf(1, 2));
+        let d = b
+            .apply_with_weights(
+                "fc",
+                Op::Dense {
+                    out_features: 1,
+                    bias: false,
+                },
+                &[x],
+                WeightInit::Explicit(vec![Tensor::from_vec(
+                    Shape::new(vec![1, 2]),
+                    vec![0.5, -0.25],
+                )
+                .unwrap()]),
+            )
+            .unwrap();
+        let mut g = b.finish(vec![d]);
+        // Flip bit 30 (high exponent) of the first weight — the SEU model.
+        if let WeightInit::Explicit(ws) = &mut g.nodes_mut()[0].weights {
+            let flipped = f32::from_bits(ws[0].data()[0].to_bits() ^ (1 << 30));
+            ws[0].data_mut()[0] = flipped;
+            assert!(flipped.abs() > SUSPECT_WEIGHT_LIMIT);
+        }
+        // Still executable (Error-clean) but flagged by the full set.
+        let report = Analyzer::full().analyze(&g);
+        assert!(report.is_clean(Severity::Error));
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == Code::SuspectWeight));
+    }
+
+    #[test]
+    fn quant_readiness_flags_range_expansion_and_fake_quant_clamps_it() {
+        // A dense layer with huge explicit weights must be flagged...
+        let mut b = GraphBuilder::new("sat");
+        let x = b.input(Shape::nf(1, 4));
+        let w = Tensor::from_vec(Shape::new(vec![2, 4]), vec![100.0; 8]).unwrap();
+        let d = b
+            .apply_with_weights(
+                "big",
+                Op::Dense {
+                    out_features: 2,
+                    bias: false,
+                },
+                &[x],
+                WeightInit::Explicit(vec![w]),
+            )
+            .unwrap();
+        let g = b.finish(vec![d]);
+        let report = Analyzer::full().analyze(&g);
+        let sat: Vec<&Diagnostic> = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.code == Code::QuantSaturation)
+            .collect();
+        assert_eq!(sat.len(), 1);
+        assert_eq!(sat[0].node_name.as_deref(), Some("big"));
+
+        // ...and a FakeQuant in front clamps the propagated range.
+        let mut b = GraphBuilder::new("clamped");
+        let x = b.input(Shape::nf(1, 4));
+        let q = b.apply("q", Op::FakeQuant { scale: 0.01 }, &[x]).unwrap();
+        let w = Tensor::from_vec(Shape::new(vec![2, 4]), vec![10.0; 8]).unwrap();
+        let d = b
+            .apply_with_weights(
+                "scaled",
+                Op::Dense {
+                    out_features: 2,
+                    bias: false,
+                },
+                &[q],
+                WeightInit::Explicit(vec![w]),
+            )
+            .unwrap();
+        let g = b.finish(vec![d]);
+        let report = Analyzer::full().analyze(&g);
+        assert!(
+            !report
+                .diagnostics
+                .iter()
+                .any(|d| d.code == Code::QuantSaturation),
+            "{}",
+            report.render("clamped")
+        );
+    }
+
+    #[test]
+    fn text_line_provenance_matches_textual_write() {
+        let g = tiny();
+        let text = crate::textual::write(&g).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        // Line 1 model, line 2 input, line 3 node n0, line 4 node n1.
+        let conv_line = text_line_of_node(&g, NodeId(0)).unwrap();
+        assert!(lines[conv_line - 1].contains("\"conv\""), "{text}");
+        let relu_line = text_line_of_node(&g, NodeId(1)).unwrap();
+        assert!(lines[relu_line - 1].contains("\"relu\""), "{text}");
+    }
+
+    #[test]
+    fn verify_for_execution_rejects_with_coded_error() {
+        let mut g = tiny();
+        g.nodes_mut()[0].op = Op::Conv2d(Conv2dAttrs::same(5, 3, 1));
+        let err = verify_for_execution(&g).unwrap_err();
+        match err {
+            NnirError::VerifierRejected { code, node, .. } => {
+                assert_eq!(code, "V004");
+                assert_eq!(node, "conv");
+            }
+            other => panic!("expected VerifierRejected, got {other}"),
+        }
+    }
+
+    #[test]
+    fn verify_transform_catches_interface_changes() {
+        let g = tiny();
+        let sig = InterfaceSignature::of(&g);
+        // Unchanged graph passes.
+        verify_transform("identity", &sig, &g).unwrap();
+        // A transform that changes the output shape is rejected as T001.
+        let changed = g.with_batch(4).unwrap();
+        let err = verify_transform("rebatch", &sig, &changed).unwrap_err();
+        match err {
+            NnirError::VerifierRejected { code, .. } => assert_eq!(code, "T001"),
+            other => panic!("expected VerifierRejected, got {other}"),
+        }
+        // A transform that breaks an invariant is rejected with the
+        // structural code.
+        let mut broken = g.clone();
+        broken.nodes_mut()[0].op = Op::Conv2d(Conv2dAttrs::same(5, 3, 1));
+        let err = verify_transform("breaker", &sig, &broken).unwrap_err();
+        match err {
+            NnirError::VerifierRejected { code, detail, .. } => {
+                assert_eq!(code, "V004");
+                assert!(detail.contains("breaker"), "{detail}");
+            }
+            other => panic!("expected VerifierRejected, got {other}"),
+        }
+    }
+
+    /// Diagnostic codes and rendered forms are a stable public
+    /// contract (the same covenant as the `NnirError`/`ServeError`
+    /// display tests): downstream lint consumers match on them.
+    #[test]
+    fn diagnostic_codes_are_stable() {
+        for (code, s) in [
+            (Code::NodeIdMismatch, "V001"),
+            (Code::UnknownTensorRef, "V002"),
+            (Code::ScheduleViolation, "V003"),
+            (Code::ShapeDisagreement, "V004"),
+            (Code::WeightShapeMismatch, "V005"),
+            (Code::BadInterface, "V006"),
+            (Code::DanglingEdge, "V007"),
+            (Code::OperatorContract, "V008"),
+            (Code::DuplicateProducer, "V009"),
+            (Code::DeadNode, "W101"),
+            (Code::DuplicateName, "W102"),
+            (Code::WeightAliasing, "W103"),
+            (Code::BatchDimMismatch, "W104"),
+            (Code::SuspectWeight, "W105"),
+            (Code::UnusedInput, "W106"),
+            (Code::QuantSaturation, "I201"),
+            (Code::InterfaceChanged, "T001"),
+        ] {
+            assert_eq!(code.as_str(), s);
+        }
+    }
+
+    #[test]
+    fn diagnostic_display_is_stable() {
+        let g = tiny();
+        let d = Diagnostic::new(
+            Code::ShapeDisagreement,
+            "records A but re-inference gives B",
+        )
+        .at_node(&g, &g.nodes()[0]);
+        assert_eq!(
+            d.to_string(),
+            "error[V004] n0 \"conv\" @line 3: records A but re-inference gives B"
+        );
+        let t = Diagnostic::new(Code::UnusedInput, "graph input is never consumed")
+            .at_tensor(TensorId(0));
+        assert_eq!(
+            t.to_string(),
+            "warning[W106] t0: graph input is never consumed"
+        );
+        let i = Diagnostic::new(Code::QuantSaturation, "needs scale >= 2.000");
+        assert_eq!(i.to_string(), "info[I201]: needs scale >= 2.000");
+    }
+
+    #[test]
+    fn severity_orders_info_warning_error() {
+        assert!(Severity::Info < Severity::Warning);
+        assert!(Severity::Warning < Severity::Error);
+        assert_eq!(Severity::Error.to_string(), "error");
+        assert_eq!(Severity::Warning.to_string(), "warning");
+        assert_eq!(Severity::Info.to_string(), "info");
+    }
+
+    #[test]
+    fn report_render_summarizes_and_caps() {
+        let mut report = Report {
+            diagnostics: Vec::new(),
+            passes_run: vec!["structure"],
+        };
+        for i in 0..(RENDER_CAP + 5) {
+            report
+                .diagnostics
+                .push(Diagnostic::new(Code::QuantSaturation, format!("op {i}")));
+        }
+        let text = report.render("m");
+        assert!(text.starts_with("lint m: 0 errors, 0 warnings, 25 infos"));
+        assert!(text.contains("... and 5 more info findings"));
+    }
+}

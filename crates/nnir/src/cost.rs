@@ -89,12 +89,7 @@ impl CostReport {
         let mut live: u64 = graph
             .inputs()
             .iter()
-            .map(|t| {
-                graph
-                    .tensor_shape(*t)
-                    .map(|s| s.elem_count() as u64)
-                    .unwrap_or(0)
-            })
+            .map(|t| graph.tensor_shape(*t).map_or(0, |s| s.elem_count() as u64))
             .sum();
         let mut peak = live;
 
@@ -125,10 +120,7 @@ impl CostReport {
             peak = peak.max(live);
             for t in &node.inputs {
                 if last_use[t.0] == step {
-                    let elems = graph
-                        .tensor_shape(*t)
-                        .map(|s| s.elem_count() as u64)
-                        .unwrap_or(0);
+                    let elems = graph.tensor_shape(*t).map_or(0, |s| s.elem_count() as u64);
                     live = live.saturating_sub(elems);
                 }
             }

@@ -77,13 +77,13 @@ impl ClassificationSet {
 /// ```
 /// use vedliot_nnir::{dataset, Shape};
 ///
-/// let set = dataset::gaussian_prototypes(Shape::nchw(1, 1, 8, 8), 4, 25, 2.0, 7);
+/// let set = dataset::gaussian_prototypes(&Shape::nchw(1, 1, 8, 8), 4, 25, 2.0, 7);
 /// assert_eq!(set.len(), 100);
 /// assert_eq!(set.classes, 4);
 /// ```
 #[must_use]
 pub fn gaussian_prototypes(
-    sample_shape: Shape,
+    sample_shape: &Shape,
     classes: usize,
     per_class: usize,
     separation: f64,
@@ -141,15 +141,15 @@ mod tests {
 
     #[test]
     fn generator_is_deterministic() {
-        let a = gaussian_prototypes(Shape::nf(1, 16), 3, 5, 2.0, 1);
-        let b = gaussian_prototypes(Shape::nf(1, 16), 3, 5, 2.0, 1);
+        let a = gaussian_prototypes(&Shape::nf(1, 16), 3, 5, 2.0, 1);
+        let b = gaussian_prototypes(&Shape::nf(1, 16), 3, 5, 2.0, 1);
         assert_eq!(a.samples[0], b.samples[0]);
         assert_eq!(a.labels, b.labels);
     }
 
     #[test]
     fn labels_are_interleaved_and_balanced() {
-        let set = gaussian_prototypes(Shape::nf(1, 4), 3, 4, 1.0, 2);
+        let set = gaussian_prototypes(&Shape::nf(1, 4), 3, 4, 1.0, 2);
         assert_eq!(set.labels[..3], [0, 1, 2]);
         let count0 = set.labels.iter().filter(|&&l| l == 0).count();
         assert_eq!(count0, 4);
@@ -157,7 +157,7 @@ mod tests {
 
     #[test]
     fn split_preserves_total_and_rough_balance() {
-        let set = gaussian_prototypes(Shape::nf(1, 4), 2, 50, 1.0, 3);
+        let set = gaussian_prototypes(&Shape::nf(1, 4), 2, 50, 1.0, 3);
         let (train, test) = set.split(0.8);
         assert_eq!(train.len() + test.len(), set.len());
         assert!((train.len() as f64 - 80.0).abs() <= 2.0);
@@ -175,8 +175,8 @@ mod tests {
 
     #[test]
     fn higher_separation_increases_magnitude() {
-        let low = gaussian_prototypes(Shape::nf(1, 64), 2, 1, 0.5, 4);
-        let high = gaussian_prototypes(Shape::nf(1, 64), 2, 1, 5.0, 4);
+        let low = gaussian_prototypes(&Shape::nf(1, 64), 2, 1, 0.5, 4);
+        let high = gaussian_prototypes(&Shape::nf(1, 64), 2, 1, 5.0, 4);
         assert!(high.samples[0].abs_max() > low.samples[0].abs_max());
     }
 }

@@ -67,6 +67,17 @@ pub enum NnirError {
         /// Description of the invalid attribute.
         detail: String,
     },
+    /// The static verifier ([`crate::analysis`]) rejected the graph at a
+    /// gate point (pre-execution, or after a toolchain transform).
+    VerifierRejected {
+        /// Stable diagnostic code (`V001`, `T001`, ...).
+        code: String,
+        /// The offending node's name (or a tensor/graph identifier when
+        /// the finding is not node-scoped).
+        node: String,
+        /// Human-readable description of the violated invariant.
+        detail: String,
+    },
 }
 
 impl NnirError {
@@ -102,6 +113,9 @@ impl fmt::Display for NnirError {
             NnirError::DeadlineExceeded => write!(f, "execution deadline exceeded"),
             NnirError::InvalidAttribute { op, detail } => {
                 write!(f, "invalid attribute on {op}: {detail}")
+            }
+            NnirError::VerifierRejected { code, node, detail } => {
+                write!(f, "verifier rejected graph: [{code}] {node}: {detail}")
             }
         }
     }
@@ -142,6 +156,11 @@ mod tests {
             NnirError::DeadlineExceeded,
             NnirError::UnknownTensor(3),
             NnirError::ExecutionFailure("missing weight".into()),
+            NnirError::VerifierRejected {
+                code: "V003".into(),
+                node: "conv1".into(),
+                detail: "cycle".into(),
+            },
         ];
         for e in samples {
             assert_eq!(e.class(), ErrorClass::Permanent);
@@ -165,6 +184,15 @@ mod tests {
         assert_eq!(
             NnirError::ExecutionFailure("bad weight".into()).to_string(),
             "execution failure: bad weight"
+        );
+        assert_eq!(
+            NnirError::VerifierRejected {
+                code: "V004".into(),
+                node: "conv1".into(),
+                detail: "records [1x4] but re-inference gives [1x5]".into(),
+            }
+            .to_string(),
+            "verifier rejected graph: [V004] conv1: records [1x4] but re-inference gives [1x5]"
         );
     }
 }

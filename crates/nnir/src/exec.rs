@@ -85,11 +85,8 @@ impl Parallelism {
 fn hardware_threads() -> usize {
     use std::sync::OnceLock;
     static THREADS: OnceLock<usize> = OnceLock::new();
-    *THREADS.get_or_init(|| {
-        std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1)
-    })
+    *THREADS
+        .get_or_init(|| std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get))
 }
 
 /// Runs `f(unit_index, chunk)` for every `chunk_len`-sized chunk of
@@ -226,7 +223,7 @@ impl RunOutput {
 /// let input = Tensor::random(Shape::nchw(1, 1, 28, 28), 7, 1.0);
 /// let mut runner = Runner::builder()
 ///     .parallelism(Parallelism::Serial)
-///     .build(&model);
+///     .build(&model)?;
 /// let outputs = runner.execute(&[input], RunOptions::default())?.into_outputs();
 /// assert_eq!(outputs[0].shape().dims(), &[1, 10]);
 /// # Ok(())
@@ -247,15 +244,26 @@ impl RunnerBuilder {
 
     /// Builds a runner over `graph`, allocating its (initially empty)
     /// arenas.
-    #[must_use]
-    pub fn build(self, graph: &Graph) -> Runner<'_> {
-        Runner {
+    ///
+    /// Runs the static verifier's Error-severity passes
+    /// ([`crate::analysis::verify_for_execution`]) first: execution is
+    /// gated on a provably well-formed graph, so a transform or
+    /// deserialization bug surfaces here as a coded diagnostic instead
+    /// of a downstream miscompute.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnirError::VerifierRejected`] if the graph fails any
+    /// Error-severity analysis pass.
+    pub fn build(self, graph: &Graph) -> Result<Runner<'_>, NnirError> {
+        crate::analysis::verify_for_execution(graph)?;
+        Ok(Runner {
             graph,
             parallelism: self.parallelism,
             weights: vec![None; graph.nodes().len()],
             values: vec![None; graph.tensor_count()],
             col: Vec::new(),
-        }
+        })
     }
 }
 
@@ -439,20 +447,37 @@ impl<'g> Runner<'g> {
 
 impl<'g> Runner<'g> {
     /// Creates a runner with the default parallelism.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the static verifier rejects the graph. The replacement
+    /// API (`Runner::builder().build(graph)`) returns the rejection as
+    /// a typed error instead.
     #[deprecated(since = "0.2.0", note = "use `Runner::builder().build(graph)`")]
     #[must_use]
     pub fn new(graph: &'g Graph) -> Self {
-        Runner::builder().build(graph)
+        Runner::builder()
+            .build(graph)
+            .expect("graph rejected by verifier")
     }
 
     /// Creates a runner with an explicit parallelism policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the static verifier rejects the graph. The replacement
+    /// API (`Runner::builder().parallelism(..).build(graph)`) returns
+    /// the rejection as a typed error instead.
     #[deprecated(
         since = "0.2.0",
         note = "use `Runner::builder().parallelism(..).build(graph)`"
     )]
     #[must_use]
     pub fn with_parallelism(graph: &'g Graph, parallelism: Parallelism) -> Self {
-        Runner::builder().parallelism(parallelism).build(graph)
+        Runner::builder()
+            .parallelism(parallelism)
+            .build(graph)
+            .expect("graph rejected by verifier")
     }
 
     /// Runs one forward pass, returning the graph outputs.
@@ -498,7 +523,7 @@ pub type Executor<'g> = Runner<'g>;
 /// Same conditions as [`Runner::node_weights`].
 #[deprecated(since = "0.2.0", note = "use `Runner::node_weights`")]
 pub fn materialize_node_weights(graph: &Graph, node: &Node) -> Result<Vec<Tensor>, NnirError> {
-    Runner::builder().build(graph).node_weights(node)
+    Runner::builder().build(graph)?.node_weights(node)
 }
 
 /// Dispatches one node evaluation into a preallocated output tensor.
@@ -560,7 +585,9 @@ fn eval_node_into(
 }
 
 /// Deterministic fan-in-scaled initialization for seeded weights.
-fn materialize_seeded(op: &Op, shapes: &[Shape], seed: u64) -> Vec<Tensor> {
+/// `pub(crate)` so the analyzer's quantization-readiness pass can bound
+/// per-node weight magnitudes without building a runner.
+pub(crate) fn materialize_seeded(op: &Op, shapes: &[Shape], seed: u64) -> Vec<Tensor> {
     shapes
         .iter()
         .enumerate()
@@ -965,6 +992,7 @@ fn batchnorm_into(
 // Pooling
 // --------------------------------------------------------------------
 
+#[derive(Clone, Copy)]
 enum PoolMode {
     Max,
     Avg,
@@ -1136,12 +1164,12 @@ mod tests {
 
     fn run_graph(g: &Graph, inputs: &[Tensor]) -> Result<Vec<Tensor>, NnirError> {
         Ok(Runner::builder()
-            .build(g)
+            .build(g)?
             .execute(inputs, RunOptions::default())?
             .into_outputs())
     }
 
-    fn run_single(op: Op, inputs: Vec<Tensor>, weights: Option<WeightInit>) -> Tensor {
+    fn run_single(op: Op, inputs: &[Tensor], weights: Option<WeightInit>) -> Tensor {
         let mut b = GraphBuilder::new("t");
         let ids: Vec<_> = inputs.iter().map(|t| b.input(t.shape().clone())).collect();
         let out = match weights {
@@ -1149,7 +1177,7 @@ mod tests {
             None => b.apply("op", op, &ids).unwrap(),
         };
         let g = b.finish(vec![out]);
-        run_graph(&g, &inputs).unwrap().remove(0)
+        run_graph(&g, inputs).unwrap().remove(0)
     }
 
     #[test]
@@ -1159,7 +1187,7 @@ mod tests {
         let kernel = Tensor::from_vec(Shape::new(vec![1, 1, 1, 1]), vec![1.0]).unwrap();
         let out = run_single(
             Op::Conv2d(Conv2dAttrs::pointwise(1)),
-            vec![input.clone()],
+            std::slice::from_ref(&input),
             Some(WeightInit::Explicit(vec![kernel])),
         );
         assert_eq!(out.data(), input.data());
@@ -1172,7 +1200,7 @@ mod tests {
         let kernel = Tensor::full(Shape::new(vec![1, 1, 3, 3]), 1.0);
         let out = run_single(
             Op::Conv2d(Conv2dAttrs::same(1, 3, 1)),
-            vec![input],
+            &[input],
             Some(WeightInit::Explicit(vec![kernel])),
         );
         assert_eq!(out.at(&[0, 0, 2, 2]), 9.0); // interior
@@ -1188,7 +1216,7 @@ mod tests {
         attrs.padding = (0, 0);
         let out = run_single(
             Op::Conv2d(attrs),
-            vec![input],
+            &[input],
             Some(WeightInit::Explicit(vec![kernel])),
         );
         assert_eq!(out.data(), &[20.0, 500.0]);
@@ -1204,7 +1232,7 @@ mod tests {
                 out_features: 2,
                 bias: true,
             },
-            vec![input],
+            &[input],
             Some(WeightInit::Explicit(vec![weight, bias])),
         );
         assert_eq!(out.data(), &[1.5, 4.5]);
@@ -1217,7 +1245,7 @@ mod tests {
         let shift = Tensor::from_vec(Shape::new(vec![2]), vec![1.0, 0.0]).unwrap();
         let out = run_single(
             Op::BatchNorm,
-            vec![input],
+            &[input],
             Some(WeightInit::Explicit(vec![scale, shift])),
         );
         assert_eq!(out.data(), &[3.0, 5.0, 1.5, 2.0]);
@@ -1228,11 +1256,11 @@ mod tests {
         let input = Tensor::from_vec(Shape::nchw(1, 1, 2, 2), vec![1.0, 2.0, 3.0, 4.0]).unwrap();
         let max = run_single(
             Op::MaxPool2d(Pool2dAttrs::square(2, 2)),
-            vec![input.clone()],
+            std::slice::from_ref(&input),
             None,
         );
         assert_eq!(max.data(), &[4.0]);
-        let avg = run_single(Op::AvgPool2d(Pool2dAttrs::square(2, 2)), vec![input], None);
+        let avg = run_single(Op::AvgPool2d(Pool2dAttrs::square(2, 2)), &[input], None);
         assert_eq!(avg.data(), &[2.5]);
     }
 
@@ -1241,7 +1269,7 @@ mod tests {
         let input = Tensor::full(Shape::nchw(1, 1, 2, 2), 4.0);
         let out = run_single(
             Op::AvgPool2d(Pool2dAttrs::square(3, 1).with_padding(1)),
-            vec![input],
+            &[input],
             None,
         );
         // Corner windows see 4 valid elements of value 4.0 -> average 4.0.
@@ -1251,7 +1279,7 @@ mod tests {
     #[test]
     fn global_avg_pool_averages_plane() {
         let input = Tensor::from_vec(Shape::nchw(1, 1, 2, 2), vec![1.0, 2.0, 3.0, 6.0]).unwrap();
-        let out = run_single(Op::GlobalAvgPool, vec![input], None);
+        let out = run_single(Op::GlobalAvgPool, &[input], None);
         assert_eq!(out.data(), &[3.0]);
     }
 
@@ -1259,10 +1287,10 @@ mod tests {
     fn add_mul_and_broadcast() {
         let a = Tensor::full(Shape::nchw(1, 2, 2, 2), 3.0);
         let b = Tensor::full(Shape::nchw(1, 2, 2, 2), 2.0);
-        let sum = run_single(Op::Add, vec![a.clone(), b.clone()], None);
+        let sum = run_single(Op::Add, &[a.clone(), b.clone()], None);
         assert!(sum.data().iter().all(|&x| x == 5.0));
         let gate = Tensor::from_vec(Shape::nchw(1, 2, 1, 1), vec![0.5, 2.0]).unwrap();
-        let scaled = run_single(Op::Mul, vec![a, gate], None);
+        let scaled = run_single(Op::Mul, &[a, gate], None);
         assert_eq!(scaled.at(&[0, 0, 1, 1]), 1.5);
         assert_eq!(scaled.at(&[0, 1, 1, 1]), 6.0);
     }
@@ -1271,7 +1299,7 @@ mod tests {
     fn concat_stacks_channels_in_order() {
         let a = Tensor::full(Shape::nchw(1, 1, 1, 2), 1.0);
         let b = Tensor::full(Shape::nchw(1, 2, 1, 2), 2.0);
-        let out = run_single(Op::Concat, vec![a, b], None);
+        let out = run_single(Op::Concat, &[a, b], None);
         assert_eq!(out.shape(), &Shape::nchw(1, 3, 1, 2));
         assert_eq!(out.at(&[0, 0, 0, 0]), 1.0);
         assert_eq!(out.at(&[0, 2, 0, 1]), 2.0);
@@ -1280,7 +1308,7 @@ mod tests {
     #[test]
     fn upsample_replicates_nearest() {
         let input = Tensor::from_vec(Shape::nchw(1, 1, 1, 2), vec![1.0, 2.0]).unwrap();
-        let out = run_single(Op::Upsample { factor: 2 }, vec![input], None);
+        let out = run_single(Op::Upsample { factor: 2 }, &[input], None);
         assert_eq!(out.shape(), &Shape::nchw(1, 1, 2, 4));
         assert_eq!(out.at(&[0, 0, 1, 0]), 1.0);
         assert_eq!(out.at(&[0, 0, 0, 3]), 2.0);
@@ -1289,7 +1317,7 @@ mod tests {
     #[test]
     fn softmax_rows_sum_to_one() {
         let input = Tensor::from_vec(Shape::nf(2, 3), vec![1.0, 2.0, 3.0, 0.0, 0.0, 0.0]).unwrap();
-        let out = run_single(Op::Softmax, vec![input], None);
+        let out = run_single(Op::Softmax, &[input], None);
         let row0: f32 = out.data()[0..3].iter().sum();
         let row1: f32 = out.data()[3..6].iter().sum();
         assert!((row0 - 1.0).abs() < 1e-6 && (row1 - 1.0).abs() < 1e-6);
@@ -1426,7 +1454,7 @@ mod tests {
     #[test]
     fn runner_reuses_arena_across_runs() {
         let g = crate::zoo::lenet5(10).unwrap();
-        let mut runner = Runner::builder().build(&g);
+        let mut runner = Runner::builder().build(&g).unwrap();
         let a = Tensor::random(Shape::nchw(1, 1, 28, 28), 3, 1.0);
         let b = Tensor::random(Shape::nchw(1, 1, 28, 28), 4, 1.0);
         let opts = RunOptions::default();
@@ -1446,12 +1474,14 @@ mod tests {
         let serial = Runner::builder()
             .parallelism(Parallelism::Serial)
             .build(&g)
+            .unwrap()
             .execute(std::slice::from_ref(&input), RunOptions::default())
             .unwrap()
             .into_outputs();
         let parallel = Runner::builder()
             .parallelism(Parallelism::Threads(4))
             .build(&g)
+            .unwrap()
             .execute(&[input], RunOptions::default())
             .unwrap()
             .into_outputs();
@@ -1464,7 +1494,7 @@ mod tests {
     fn capture_intermediates_returns_every_value() {
         let g = crate::zoo::lenet5(10).unwrap();
         let input = Tensor::random(Shape::nchw(1, 1, 28, 28), 9, 1.0);
-        let mut runner = Runner::builder().build(&g);
+        let mut runner = Runner::builder().build(&g).unwrap();
         let out = runner
             .execute(&[input], RunOptions::new().capture_intermediates(true))
             .unwrap();
@@ -1479,7 +1509,7 @@ mod tests {
     fn expired_deadline_rejects_before_execution() {
         let g = crate::zoo::lenet5(10).unwrap();
         let input = Tensor::random(Shape::nchw(1, 1, 28, 28), 9, 1.0);
-        let mut runner = Runner::builder().build(&g);
+        let mut runner = Runner::builder().build(&g).unwrap();
         let past = std::time::Instant::now() - std::time::Duration::from_millis(1);
         let err = runner.execute(&[input], RunOptions::new().deadline(past));
         assert_eq!(err.unwrap_err(), NnirError::DeadlineExceeded);
@@ -1489,7 +1519,7 @@ mod tests {
     fn generous_deadline_does_not_interfere() {
         let g = crate::zoo::lenet5(10).unwrap();
         let input = Tensor::random(Shape::nchw(1, 1, 28, 28), 9, 1.0);
-        let mut runner = Runner::builder().build(&g);
+        let mut runner = Runner::builder().build(&g).unwrap();
         let free = runner.execute(std::slice::from_ref(&input), RunOptions::default());
         let bounded = runner.execute(
             std::slice::from_ref(&input),
@@ -1514,7 +1544,11 @@ mod tests {
         let node = &g.nodes()[0];
         assert_eq!(
             materialize_node_weights(&g, node).unwrap(),
-            Runner::builder().build(&g).node_weights(node).unwrap()
+            Runner::builder()
+                .build(&g)
+                .unwrap()
+                .node_weights(node)
+                .unwrap()
         );
         let values = Runner::with_parallelism(&g, Parallelism::Serial)
             .run_with_intermediates(&[input])

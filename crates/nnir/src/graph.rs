@@ -230,57 +230,24 @@ impl Graph {
     /// Re-checks every structural invariant (shapes, references, schedule).
     ///
     /// Builders cannot produce invalid graphs; this exists so optimization
-    /// passes can assert they did not break anything.
+    /// passes can assert they did not break anything. It is a thin alias
+    /// for the Error-severity pass set of [`crate::analysis`] — the one
+    /// source of truth for graph invariants — reporting the first
+    /// violation as the legacy error variant where one exists.
     ///
     /// # Errors
     ///
     /// Returns the first violated invariant.
     pub fn validate(&self) -> Result<(), NnirError> {
-        for (i, node) in self.nodes.iter().enumerate() {
-            if node.id.0 != i {
-                return Err(NnirError::UnknownNode(node.id.0));
-            }
-            for t in &node.inputs {
-                if t.0 >= self.tensor_shapes.len() {
-                    return Err(NnirError::UnknownTensor(t.0));
-                }
-                // Schedule invariant: inputs are produced by earlier nodes
-                // (or are graph inputs).
-                if let Some(p) = self.producers[t.0] {
-                    if p.0 >= i {
-                        return Err(NnirError::GraphCyclic);
-                    }
-                }
-            }
-            let in_shapes = self.node_input_shapes(node);
-            let inferred = node.op.infer_shape(&in_shapes)?;
-            if inferred != self.tensor_shapes[node.output.0] {
-                return Err(NnirError::ShapeMismatch {
-                    op: node.op.name().into(),
-                    detail: format!(
-                        "node {} records {} but re-inference gives {inferred}",
-                        node.name, self.tensor_shapes[node.output.0]
-                    ),
-                });
-            }
-            if let WeightInit::Explicit(tensors) = &node.weights {
-                let expected = node.weight_shapes(&in_shapes);
-                if tensors.len() != expected.len()
-                    || tensors.iter().zip(&expected).any(|(t, s)| t.shape() != s)
-                {
-                    return Err(NnirError::ShapeMismatch {
-                        op: node.op.name().into(),
-                        detail: format!("node {} has inconsistent weight shapes", node.name),
-                    });
-                }
-            }
-        }
-        for t in self.inputs.iter().chain(self.outputs.iter()) {
-            if t.0 >= self.tensor_shapes.len() {
-                return Err(NnirError::UnknownTensor(t.0));
-            }
-        }
-        Ok(())
+        crate::analysis::validate_legacy(self)
+    }
+
+    /// Test-only access to the recorded tensor shapes, so verifier tests
+    /// can simulate annotation corruption (e.g. a tampered serialized
+    /// form) without a builder.
+    #[cfg(test)]
+    pub(crate) fn tensor_shapes_mut(&mut self) -> &mut [Shape] {
+        &mut self.tensor_shapes
     }
 
     /// Rebuilds the graph with a different batch size on every input.
@@ -384,8 +351,7 @@ impl Graph {
     pub fn batch(&self) -> usize {
         self.inputs
             .first()
-            .map(|t| self.tensor_shapes[t.0].batch())
-            .unwrap_or(1)
+            .map_or(1, |t| self.tensor_shapes[t.0].batch())
     }
 }
 

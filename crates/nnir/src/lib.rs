@@ -24,7 +24,10 @@
 //! * [`metrics`] — confusion matrix, accuracy, precision/recall — the
 //!   quality measurements Kenning reports,
 //! * [`textual`] — a line-based open interchange format for graph
-//!   architectures (the ONNX-compatibility role).
+//!   architectures (the ONNX-compatibility role),
+//! * [`analysis`] — the multi-pass static verifier and lint framework
+//!   (structured diagnostics with stable codes; the hard gate in front
+//!   of execution and behind every toolchain transform).
 //!
 //! # Example
 //!
@@ -40,6 +43,7 @@
 //! # }
 //! ```
 
+pub mod analysis;
 pub mod cost;
 pub mod dataset;
 pub mod dtype;

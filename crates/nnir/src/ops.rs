@@ -61,6 +61,25 @@ impl ActKind {
             ActKind::Tanh => x.tanh(),
         }
     }
+
+    /// Worst-case output magnitude given a worst-case input magnitude
+    /// `a` (i.e. `max |f(x)| for |x| <= a`). Used by the
+    /// quantization-readiness analysis to propagate value ranges.
+    #[must_use]
+    pub fn abs_bound(self, a: f32) -> f32 {
+        match self {
+            // |relu(x)| <= |x|; same for the self-gated families whose
+            // gate is in [0, 1].
+            ActKind::Relu | ActKind::HardSwish | ActKind::Silu => a,
+            ActKind::Relu6 => a.min(6.0),
+            // Negative side is scaled by |slope| (which may exceed 1).
+            ActKind::LeakyRelu(slope) => a * slope.abs().max(1.0),
+            ActKind::HardSigmoid | ActKind::Sigmoid => 1.0,
+            ActKind::Tanh => 1.0,
+            // mish(x) <= x for x > 0 and is bounded below by ~ -0.31.
+            ActKind::Mish => a.max(0.31),
+        }
+    }
 }
 
 impl fmt::Display for ActKind {
@@ -326,7 +345,16 @@ impl Op {
                 }
                 Ok(Shape::nf(s.batch(), *out_features))
             }
-            Op::BatchNorm | Op::Activation(_) | Op::FakeQuant { .. } => Ok(inputs[0].clone()),
+            Op::BatchNorm | Op::Activation(_) => Ok(inputs[0].clone()),
+            Op::FakeQuant { scale } => {
+                if !scale.is_finite() || *scale < 0.0 {
+                    return Err(NnirError::InvalidAttribute {
+                        op: "FakeQuant".into(),
+                        detail: format!("scale {scale} must be finite and non-negative"),
+                    });
+                }
+                Ok(inputs[0].clone())
+            }
             Op::MaxPool2d(attrs) | Op::AvgPool2d(attrs) => {
                 let s = inputs[0];
                 let [n, c, h, w] =

@@ -398,11 +398,13 @@ mod tests {
         let input = crate::Tensor::random(Shape::nchw(1, 1, 28, 28), 3, 1.0);
         let a = Runner::builder()
             .build(&model)
+            .unwrap()
             .execute(std::slice::from_ref(&input), RunOptions::default())
             .unwrap()
             .into_outputs();
         let b = Runner::builder()
             .build(&parsed)
+            .unwrap()
             .execute(std::slice::from_ref(&input), RunOptions::default())
             .unwrap()
             .into_outputs();
@@ -413,7 +415,7 @@ mod tests {
     fn explicit_weights_are_rejected_by_writer() {
         use crate::dataset::gaussian_prototypes;
         use crate::train::{mlp, train_mlp, TrainConfig};
-        let data = gaussian_prototypes(Shape::nf(1, 4), 2, 5, 2.0, 1);
+        let data = gaussian_prototypes(&Shape::nf(1, 4), 2, 5, 2.0, 1);
         let mut model = mlp("t", 4, &[], 2).unwrap();
         train_mlp(&mut model, &data, &TrainConfig::default()).unwrap();
         let result = write(&model);

@@ -124,7 +124,7 @@ pub fn train_mlp(
         .first()
         .map(|l| l.in_f)
         .ok_or_else(|| NnirError::ExecutionFailure("graph has no dense layers".into()))?;
-    let classes = layers.last().map(|l| l.out_f).unwrap_or(0);
+    let classes = layers.last().map_or(0, |l| l.out_f);
     if data.classes != classes {
         return Err(NnirError::ExecutionFailure(format!(
             "dataset has {} classes but model outputs {classes}",
@@ -194,9 +194,7 @@ pub fn evaluate_with(
 
     // Spawn threads only when the total work amortizes them: model cost
     // per sample times sample count, mirroring the kernel-level policy.
-    let macs = crate::cost::CostReport::of(graph)
-        .map(|c| c.total_macs as usize)
-        .unwrap_or(0);
+    let macs = crate::cost::CostReport::of(graph).map_or(0, |c| c.total_macs as usize);
     let workers = parallelism
         .max_threads()
         .min(data.len())
@@ -207,7 +205,7 @@ pub fn evaluate_with(
         // sample level here, not inside the kernels.
         let mut runner = crate::exec::Runner::builder()
             .parallelism(crate::exec::Parallelism::Serial)
-            .build(graph);
+            .build(graph)?;
         let mut preds = Vec::with_capacity(range.len());
         for i in range {
             let x = data.samples[i].reshape(input_shape.clone())?;
@@ -366,7 +364,7 @@ fn sgd_step(layers: &mut [Layer], x: &[f32], label: usize, config: &TrainConfig)
                 .map(|m| &m[o * layer.in_f..(o + 1) * layer.in_f]);
             for (i, w) in row.iter_mut().enumerate() {
                 grad_prev[i] += *w * g;
-                if mask_row.map(|m| m[i]).unwrap_or(true) {
+                if mask_row.is_none_or(|m| m[i]) {
                     *w -= config.learning_rate * (g * input[i] + config.weight_decay * *w);
                 }
             }
@@ -383,7 +381,7 @@ mod tests {
 
     #[test]
     fn mlp_learns_separable_data() {
-        let data = gaussian_prototypes(Shape::nf(1, 16), 3, 30, 2.5, 11);
+        let data = gaussian_prototypes(&Shape::nf(1, 16), 3, 30, 2.5, 11);
         let mut model = mlp("probe", 16, &[24], 3).unwrap();
         let acc = train_mlp(
             &mut model,
@@ -399,7 +397,7 @@ mod tests {
 
     #[test]
     fn trained_weights_are_explicit_and_valid() {
-        let data = gaussian_prototypes(Shape::nf(1, 8), 2, 10, 3.0, 5);
+        let data = gaussian_prototypes(&Shape::nf(1, 8), 2, 10, 3.0, 5);
         let mut model = mlp("t", 8, &[], 2).unwrap();
         train_mlp(&mut model, &data, &TrainConfig::default()).unwrap();
         assert!(model
@@ -412,7 +410,7 @@ mod tests {
 
     #[test]
     fn class_count_mismatch_is_rejected() {
-        let data = gaussian_prototypes(Shape::nf(1, 8), 4, 5, 1.0, 5);
+        let data = gaussian_prototypes(&Shape::nf(1, 8), 4, 5, 1.0, 5);
         let mut model = mlp("t", 8, &[], 2).unwrap();
         assert!(train_mlp(&mut model, &data, &TrainConfig::default()).is_err());
     }
@@ -420,13 +418,13 @@ mod tests {
     #[test]
     fn unsupported_op_is_rejected() {
         let mut model = crate::zoo::lenet5(10).unwrap();
-        let data = gaussian_prototypes(Shape::nf(1, 784), 10, 2, 1.0, 5);
+        let data = gaussian_prototypes(&Shape::nf(1, 784), 10, 2, 1.0, 5);
         assert!(train_mlp(&mut model, &data, &TrainConfig::default()).is_err());
     }
 
     #[test]
     fn evaluate_matches_training_accuracy_shape() {
-        let data = gaussian_prototypes(Shape::nf(1, 8), 2, 20, 3.0, 6);
+        let data = gaussian_prototypes(&Shape::nf(1, 8), 2, 20, 3.0, 6);
         let mut model = mlp("t", 8, &[12], 2).unwrap();
         train_mlp(&mut model, &data, &TrainConfig::default()).unwrap();
         let cm = evaluate(&model, &data).unwrap();

@@ -101,7 +101,8 @@ fn fused_mbconv(
         s.conv_bn_act(t, Conv2dAttrs::pointwise(out), None)?
     };
     if stride == 1 && in_c == out {
-        s.builder.apply("residual", Op::Add, &[t, x])
+        let name = s.next_name("residual");
+        s.builder.apply(name, Op::Add, &[t, x])
     } else {
         Ok(t)
     }
@@ -126,7 +127,8 @@ fn mbconv(
     }
     t = s.conv_bn_act(t, Conv2dAttrs::pointwise(out), None)?;
     if stride == 1 && in_c == out {
-        s.builder.apply("residual", Op::Add, &[t, x])
+        let name = s.next_name("residual");
+        s.builder.apply(name, Op::Add, &[t, x])
     } else {
         Ok(t)
     }

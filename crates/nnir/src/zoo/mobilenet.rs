@@ -102,7 +102,8 @@ fn bneck(s: &mut Stack, x: TensorId, in_c: usize, row: &BneckSpec) -> Result<Ten
     t = s.conv_bn_act(t, Conv2dAttrs::pointwise(row.out), None)?;
     // Residual when shape is preserved.
     if row.stride == 1 && in_c == row.out {
-        t = s.builder.apply("residual", Op::Add, &[t, x])?;
+        let name = s.next_name("residual");
+        t = s.builder.apply(name, Op::Add, &[t, x])?;
     }
     Ok(t)
 }
@@ -143,7 +144,11 @@ mod tests {
     #[test]
     fn residuals_only_where_shape_preserved() {
         let g = mobilenet_v3_large(1000).unwrap();
-        let residuals = g.nodes().iter().filter(|n| n.name == "residual").count();
+        let residuals = g
+            .nodes()
+            .iter()
+            .filter(|n| n.name.starts_with("residual"))
+            .count();
         // Rows with stride 1 and in == out: rows 1,3,5,6,8,9,10,12,14,15.
         assert_eq!(residuals, 10);
     }

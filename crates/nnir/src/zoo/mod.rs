@@ -41,7 +41,7 @@ impl Stack {
         }
     }
 
-    fn next_name(&mut self, kind: &str) -> String {
+    pub(crate) fn next_name(&mut self, kind: &str) -> String {
         self.counter += 1;
         format!("{kind}{}", self.counter)
     }

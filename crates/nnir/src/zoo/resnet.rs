@@ -88,9 +88,13 @@ fn bottleneck(
     } else {
         x
     };
-    let sum = s.builder.apply("add", Op::Add, &[c, shortcut])?;
-    s.builder
-        .apply("block.relu", Op::Activation(ActKind::Relu), &[sum])
+    let name = s.next_name("add");
+    let sum = s.builder.apply(name.clone(), Op::Add, &[c, shortcut])?;
+    s.builder.apply(
+        format!("{name}.relu"),
+        Op::Activation(ActKind::Relu),
+        &[sum],
+    )
 }
 
 #[cfg(test)]
@@ -114,7 +118,11 @@ mod tests {
     #[test]
     fn has_16_bottleneck_blocks() {
         let g = resnet50(1000).unwrap();
-        let adds = g.nodes().iter().filter(|n| n.name == "add").count();
+        let adds = g
+            .nodes()
+            .iter()
+            .filter(|n| n.name.starts_with("add") && !n.name.ends_with(".relu"))
+            .count();
         assert_eq!(adds, 16);
     }
 

@@ -184,6 +184,7 @@ mod tests {
         g.validate().unwrap();
         let out = Runner::builder()
             .build(&g)
+            .unwrap()
             .execute(
                 &[Tensor::random(Shape::nchw(1, 1, 28, 28), 3, 1.0)],
                 RunOptions::default(),
@@ -226,6 +227,7 @@ mod tests {
         g.validate().unwrap();
         let out = Runner::builder()
             .build(&g)
+            .unwrap()
             .execute(
                 &[Tensor::random(Shape::nchw(1, 3, 1, 256), 9, 1.0)],
                 RunOptions::default(),

@@ -124,10 +124,14 @@ fn csp_stage(
         let inner = if wide { filters / 2 } else { half };
         let a = s.conv_bn_act(t, Conv2dAttrs::pointwise(inner), Some(MISH))?;
         let b = s.conv_bn_act(a, Conv2dAttrs::same(half, 3, 1), Some(MISH))?;
-        t = s.builder.apply("res.add", Op::Add, &[b, t])?;
+        let name = s.next_name("res");
+        t = s.builder.apply(format!("{name}.add"), Op::Add, &[b, t])?;
     }
     let t = s.conv_bn_act(t, Conv2dAttrs::pointwise(half), Some(MISH))?;
-    let cat = s.builder.apply("csp.concat", Op::Concat, &[t, route])?;
+    let cname = s.next_name("csp");
+    let cat = s
+        .builder
+        .apply(format!("{cname}.concat"), Op::Concat, &[t, route])?;
     s.conv_bn_act(cat, Conv2dAttrs::pointwise(filters), Some(MISH))
 }
 
@@ -174,7 +178,11 @@ mod tests {
     fn backbone_has_23_residual_adds() {
         // 1 + 2 + 8 + 8 + 4 residual units in CSPDarknet53.
         let g = yolov4(416, 80).unwrap();
-        let adds = g.nodes().iter().filter(|n| n.name == "res.add").count();
+        let adds = g
+            .nodes()
+            .iter()
+            .filter(|n| n.name.ends_with(".add"))
+            .count();
         assert_eq!(adds, 23);
     }
 

@@ -11,7 +11,7 @@ use vedliot_nnir::{Graph, GraphBuilder, NnirError, Shape, Tensor};
 fn run_with(g: &Graph, par: Parallelism, inputs: &[Tensor]) -> Result<Vec<Tensor>, NnirError> {
     Ok(Runner::builder()
         .parallelism(par)
-        .build(g)
+        .build(g)?
         .execute(inputs, RunOptions::default())?
         .into_outputs())
 }
@@ -150,7 +150,7 @@ proptest! {
 
         let batched_out = run_once(&batched_graph, std::slice::from_ref(&input)).unwrap().remove(0);
 
-        let mut runner = Runner::builder().build(&single);
+        let mut runner = Runner::builder().build(&single).unwrap();
         let per_sample: Vec<Tensor> = input
             .split_batch()
             .unwrap()

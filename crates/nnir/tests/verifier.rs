@@ -1,0 +1,210 @@
+//! Integration tests of the static-verifier gate in front of execution.
+//!
+//! Everything here uses only the public API: graphs are corrupted
+//! through [`Graph::nodes_mut`] (the `Node` fields are public precisely
+//! so tools — and attackers — can rewrite graphs), and the assertion is
+//! always on what `Runner::builder().build(..)` returns, i.e. the gate
+//! the executor actually sits behind.
+
+use proptest::prelude::*;
+use vedliot_nnir::exec::{RunOptions, Runner};
+use vedliot_nnir::graph::WeightInit;
+use vedliot_nnir::ops::{ActKind, Conv2dAttrs, Op};
+use vedliot_nnir::{zoo, GraphBuilder, NnirError, Shape, Tensor, TensorId};
+
+/// Builds and returns the rejection, panicking if the gate passed.
+fn rejected_code(graph: &vedliot_nnir::Graph) -> String {
+    match Runner::builder().build(graph) {
+        Ok(_) => panic!("verifier accepted a corrupted graph"),
+        Err(NnirError::VerifierRejected { code, .. }) => code,
+        Err(other) => panic!("expected VerifierRejected, got {other:?}"),
+    }
+}
+
+#[test]
+fn clean_zoo_models_pass_the_gate() {
+    for g in [
+        zoo::lenet5(10).unwrap(),
+        zoo::tiny_cnn("t", Shape::nchw(1, 3, 16, 16), &[8, 16], 4).unwrap(),
+        zoo::mobilenet_v3_large(10).unwrap(),
+    ] {
+        assert!(Runner::builder().build(&g).is_ok(), "{} rejected", g.name());
+    }
+}
+
+#[test]
+fn edge_retarget_to_self_is_rejected_as_schedule_violation() {
+    let mut g = zoo::lenet5(10).unwrap();
+    // Point a node's input at its own output: a one-node cycle.
+    let victim = g.nodes_mut().get_mut(2).unwrap();
+    victim.inputs[0] = victim.output;
+    assert_eq!(rejected_code(&g), "V003");
+}
+
+#[test]
+fn edge_retarget_out_of_range_is_rejected_as_unknown_tensor() {
+    let mut g = zoo::lenet5(10).unwrap();
+    g.nodes_mut()[2].inputs[0] = TensorId(9999);
+    assert_eq!(rejected_code(&g), "V002");
+}
+
+#[test]
+fn attribute_tamper_is_rejected_as_shape_disagreement() {
+    let mut g = zoo::lenet5(10).unwrap();
+    let conv = g
+        .nodes_mut()
+        .iter_mut()
+        .find(|n| matches!(n.op, Op::Conv2d(_)))
+        .unwrap();
+    // Widen the conv: every recorded downstream shape is now a lie.
+    if let Op::Conv2d(attrs) = &mut conv.op {
+        attrs.out_channels += 1;
+    }
+    assert_eq!(rejected_code(&g), "V004");
+}
+
+#[test]
+fn wrong_explicit_weight_shape_is_rejected() {
+    let mut g = zoo::lenet5(10).unwrap();
+    let conv = g
+        .nodes_mut()
+        .iter_mut()
+        .find(|n| matches!(n.op, Op::Conv2d(_)))
+        .unwrap();
+    conv.weights = WeightInit::Explicit(vec![Tensor::zeros(Shape::new(vec![1, 1, 1, 1]))]);
+    assert_eq!(rejected_code(&g), "V005");
+}
+
+#[test]
+fn nan_fake_quant_scale_is_rejected_as_operator_contract() {
+    // The closest analogue of a "dtype flip": a FakeQuant scale whose
+    // bits were stomped into a NaN.
+    let mut b = GraphBuilder::new("q");
+    let x = b.input(Shape::nf(1, 8));
+    let d = b
+        .apply(
+            "dense",
+            Op::Dense {
+                out_features: 4,
+                bias: true,
+            },
+            &[x],
+        )
+        .unwrap();
+    let q = b.apply("fq", Op::FakeQuant { scale: 0.1 }, &[d]).unwrap();
+    let mut g = b.finish(vec![q]);
+    g.nodes_mut()
+        .iter_mut()
+        .find(|n| matches!(n.op, Op::FakeQuant { .. }))
+        .unwrap()
+        .op = Op::FakeQuant { scale: f32::NAN };
+    assert_eq!(rejected_code(&g), "V008");
+}
+
+#[test]
+fn rejection_is_permanent_and_displays_its_code() {
+    let mut g = zoo::lenet5(10).unwrap();
+    g.nodes_mut()[2].inputs[0] = TensorId(9999);
+    let err = Runner::builder().build(&g).unwrap_err();
+    assert!(!err.class().is_transient());
+    let text = err.to_string();
+    assert!(
+        text.starts_with("verifier rejected graph: [V002]"),
+        "{text}"
+    );
+}
+
+/// The mutation operators the proptest below draws from.
+#[derive(Debug, Clone, Copy)]
+enum Mutation {
+    SelfLoop,
+    DanglingRef,
+    WidenConv,
+    ShrinkWeights,
+}
+
+fn chain(stages: &[usize], act: bool) -> vedliot_nnir::Graph {
+    let mut b = GraphBuilder::new("chain");
+    let mut t = b.input(Shape::nchw(1, 2, 8, 8));
+    for (i, &oc) in stages.iter().enumerate() {
+        t = b
+            .apply(
+                format!("conv{i}"),
+                Op::Conv2d(Conv2dAttrs::same(oc, 3, 1)),
+                &[t],
+            )
+            .unwrap();
+        if act {
+            t = b
+                .apply(format!("act{i}"), Op::Activation(ActKind::Relu), &[t])
+                .unwrap();
+        }
+    }
+    b.finish(vec![t])
+}
+
+proptest! {
+    /// Soundness: any graph the verifier accepts executes without an
+    /// `ExecutionFailure` (the gate implies the executor's
+    /// preconditions).
+    #[test]
+    fn accepted_graphs_execute(
+        stages in proptest::collection::vec(1usize..6, 1..4),
+        act in any::<bool>(),
+    ) {
+        let g = chain(&stages, act);
+        let mut runner = Runner::builder().build(&g).expect("builder graphs verify");
+        let input = Tensor::random(Shape::nchw(1, 2, 8, 8), 11, 1.0);
+        let out = runner.execute(&[input], RunOptions::default());
+        prop_assert!(out.is_ok(), "verified graph failed to execute: {:?}", out.err());
+    }
+
+    /// Completeness over the mutation operators: every corrupted graph
+    /// is rejected at the gate with the documented code.
+    #[test]
+    fn mutated_graphs_are_rejected_with_the_right_code(
+        stages in proptest::collection::vec(1usize..6, 1..4),
+        which in 0usize..4,
+        victim_salt in any::<u64>(),
+    ) {
+        let mutation = [
+            Mutation::SelfLoop,
+            Mutation::DanglingRef,
+            Mutation::WidenConv,
+            Mutation::ShrinkWeights,
+        ][which];
+        let mut g = chain(&stages, false);
+        let n = g.nodes().len();
+        let victim = (victim_salt as usize) % n;
+        let expected = match mutation {
+            Mutation::SelfLoop => {
+                let node = &mut g.nodes_mut()[victim];
+                node.inputs[0] = node.output;
+                "V003"
+            }
+            Mutation::DanglingRef => {
+                g.nodes_mut()[victim].inputs[0] = TensorId(usize::MAX);
+                "V002"
+            }
+            Mutation::WidenConv => {
+                match &mut g.nodes_mut()[victim].op {
+                    Op::Conv2d(attrs) => attrs.out_channels += 1,
+                    _ => unreachable!("chain(act=false) is all convs"),
+                }
+                "V004"
+            }
+            Mutation::ShrinkWeights => {
+                g.nodes_mut()[victim].weights =
+                    WeightInit::Explicit(vec![Tensor::zeros(Shape::new(vec![1, 1, 1, 1]))]);
+                "V005"
+            }
+        };
+        match Runner::builder().build(&g) {
+            Ok(_) => prop_assert!(false, "{mutation:?} on node {victim} was accepted"),
+            Err(NnirError::VerifierRejected { code, .. }) => {
+                prop_assert_eq!(&code, expected, "{:?} on node {}", mutation, victim);
+            }
+            Err(other) => prop_assert!(false, "non-verifier error {other:?}"),
+        }
+    }
+}

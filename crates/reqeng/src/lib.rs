@@ -238,7 +238,7 @@ impl Framework {
         let mut seen: HashSet<ViewId> = HashSet::from([from]);
         let mut queue = VecDeque::from([from]);
         while let Some(v) = queue.pop_front() {
-            for &n in adjacency.get(&v).map(Vec::as_slice).unwrap_or(&[]) {
+            for &n in adjacency.get(&v).map_or(&[][..], Vec::as_slice) {
                 if seen.insert(n) {
                     prev.insert(n, v);
                     if n == to {

@@ -102,7 +102,7 @@ pub fn flip_weight_bits(
     seed: u64,
 ) -> Result<BitFlipReport, NnirError> {
     let materialized: Vec<Option<Vec<vedliot_nnir::Tensor>>> = {
-        let exec = Runner::builder().build(graph);
+        let exec = Runner::builder().build(graph)?;
         graph
             .nodes()
             .iter()
@@ -187,6 +187,7 @@ mod tests {
     fn run_once(g: &vedliot_nnir::Graph, inputs: &[Tensor]) -> Vec<Tensor> {
         Runner::builder()
             .build(g)
+            .unwrap()
             .execute(inputs, RunOptions::default())
             .unwrap()
             .into_outputs()
@@ -239,6 +240,49 @@ mod tests {
         let c = inject_sensor_fault(&series, SensorFault::Noise { sigma: 1.0 }, 6);
         assert_eq!(a, b);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn catastrophic_bit_flip_is_verifier_catchable_as_suspect_weight() {
+        use vedliot_nnir::analysis::{Analyzer, Code, Severity};
+
+        // Search seeds until a flip lands in a high exponent bit and
+        // produces a physically-implausible weight magnitude. The
+        // uniform bit draw hits the exponent ~25% of the time, so this
+        // terminates almost immediately.
+        let mut found = None;
+        for seed in 0..64 {
+            let mut model = zoo::lenet5(10).unwrap();
+            flip_weight_bits(&mut model, 8, seed).unwrap();
+            let huge = model.nodes().iter().any(|n| match &n.weights {
+                WeightInit::Explicit(ts) => ts
+                    .iter()
+                    .any(|t| t.data().iter().any(|w| !w.is_finite() || w.abs() > 1.0e6)),
+                _ => false,
+            });
+            if huge {
+                found = Some(model);
+                break;
+            }
+        }
+        let model = found.expect("some seed in 0..64 produces a catastrophic flip");
+
+        // The legacy structural validator cannot see value corruption …
+        model.validate().unwrap();
+        // … and the Error gate still admits the graph (golden-copy
+        // repair relies on corrupted graphs remaining executable) …
+        assert!(Runner::builder().build(&model).is_ok());
+        // … but the full analyzer flags the bit-flip signature as W105.
+        let report = Analyzer::full().analyze(&model);
+        assert!(report.is_clean(Severity::Error));
+        assert!(
+            report
+                .diagnostics
+                .iter()
+                .any(|d| d.code == Code::SuspectWeight),
+            "expected a W105 finding:\n{}",
+            report.render("lenet5-flipped")
+        );
     }
 
     #[test]

@@ -125,7 +125,7 @@ impl RobustnessService {
         }
         self.stats.checked += 1;
         let mut golden_out = Runner::builder()
-            .build(&self.golden)
+            .build(&self.golden)?
             .execute(std::slice::from_ref(input), RunOptions::default())?
             .into_outputs();
         let max_diff = golden_out[0].max_abs_diff(claimed_output)?;
@@ -152,6 +152,7 @@ mod tests {
     fn run_once(g: &vedliot_nnir::Graph, inputs: &[Tensor]) -> Vec<Tensor> {
         Runner::builder()
             .build(g)
+            .unwrap()
             .execute(inputs, RunOptions::default())
             .unwrap()
             .into_outputs()

@@ -109,7 +109,7 @@ impl Default for GoldenPolicy {
 }
 
 /// Server configuration.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ServeConfig {
     /// Bounded submission-queue capacity; submissions beyond it are
     /// rejected with [`ServeError::Rejected`].
@@ -639,7 +639,12 @@ fn worker_loop(ctx: &WorkerContext) {
     let mut runners: Vec<Runner<'_>> = ctx
         .graphs
         .iter()
-        .map(|g| Runner::builder().parallelism(ctx.parallelism).build(g))
+        .map(|g| {
+            Runner::builder()
+                .parallelism(ctx.parallelism)
+                .build(g)
+                .expect("batch graph was verified at Server::start")
+        })
         .collect();
     loop {
         // Chaos hard kill: strictly before the lock is taken and while

@@ -153,7 +153,7 @@ fn golden_check_detects_and_repairs_bit_flipped_deployment() {
     let tickets: Vec<_> = (0..requests)
         .map(|i| server.submit(vec![demo_input(i)], None).unwrap())
         .collect();
-    let clean = Runner::builder().build(&graph);
+    let clean = Runner::builder().build(&graph).unwrap();
     let mut clean = clean;
     for (i, t) in tickets.into_iter().enumerate() {
         let served = t.wait().unwrap();
@@ -203,6 +203,7 @@ fn golden_check_detect_only_serves_corrupted_bytes() {
         .unwrap();
     let solo = Runner::builder()
         .build(&graph)
+        .unwrap()
         .execute(std::slice::from_ref(&demo_input(7)), RunOptions::default())
         .unwrap()
         .into_outputs();

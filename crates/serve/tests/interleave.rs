@@ -1,0 +1,357 @@
+//! Deterministic-interleaving model check of the serving concurrency
+//! protocol.
+//!
+//! The server's correctness argument rests on two properties that unit
+//! tests only probe for *some* thread schedules:
+//!
+//! 1. **Ticket/accounting partition** — every submitted request gets
+//!    exactly one reply, and `served + rejected == submitted` (the
+//!    model has no deadlines or faults, so the other outcome counters
+//!    stay zero).
+//! 2. **Close/drain protocol** — once shutdown begins, no new request
+//!    is accepted, every already-queued request is still drained and
+//!    answered, and every worker terminates (no deadlock, no abandoned
+//!    queue).
+//!
+//! This test checks the properties for **every** schedule, by modelling
+//! the protocol as an explicit-state transition system and exhaustively
+//! enumerating interleavings with memoized DFS. Each transition is one
+//! lock-held critical section from `server.rs`:
+//!
+//! * `Submit(c)` — the body of `Server::submit`'s locked block:
+//!   check `shutting_down`, check capacity, enqueue (all under the
+//!   queue mutex, exactly as in the implementation).
+//! * `Shutdown` — `begin_shutdown`: set the flag, notify.
+//! * `Take(w)` — the worker's locked batch-take: enabled whenever the
+//!   queue is non-empty, because the linger timeout can always have
+//!   elapsed; drains `min(len, max_batch)`.
+//! * `Finish(w)` — the out-of-lock batch execution: one `Ok` reply per
+//!   request in the held batch.
+//! * `Exit(w)` — the worker's exit path: queue empty **and**
+//!   `shutting_down`.
+//!
+//! A worker with an empty queue and no shutdown is parked on the
+//! condvar — its transition set is empty, which the enumeration treats
+//! as "blocked", and the deadlock check requires that some other
+//! transition is always enabled until the system reaches a terminal
+//! state.
+//!
+//! A meta-test then seeds two protocol bugs (exit-while-queued and
+//! submit-ignores-shutdown) and asserts the checker rejects both — the
+//! checker has teeth.
+//!
+//! Set `INTERLEAVE_DEPTH=deep` (as `ci.sh --deep` does) to enlarge the
+//! bounds.
+
+use std::collections::HashSet;
+
+/// Which deliberately-broken protocol variant to model, if any.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Bug {
+    /// Worker exit checks only `shutting_down`, not queue emptiness —
+    /// the drain half of the close/drain protocol is missing.
+    ExitWithQueuedWork,
+    /// `submit` checks capacity but not `shutting_down` — requests can
+    /// slip into the queue after the workers have begun (or finished)
+    /// exiting.
+    IgnoreShutdownOnSubmit,
+}
+
+#[derive(Clone, Copy)]
+struct Spec {
+    capacity: usize,
+    max_batch: usize,
+    clients: usize,
+    workers: usize,
+    bug: Option<Bug>,
+}
+
+#[derive(Clone, PartialEq, Eq, Hash)]
+enum Worker {
+    /// At the top of `worker_loop`, about to take the lock.
+    AtLoop,
+    /// Holding a formed batch outside the lock.
+    Executing(Vec<u8>),
+    /// Returned.
+    Exited,
+}
+
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct State {
+    queue: Vec<u8>,
+    shutting_down: bool,
+    shutdown_fired: bool,
+    /// Per-client: has this client's single submit run yet?
+    submitted_by: Vec<bool>,
+    workers: Vec<Worker>,
+    /// Per-request reply count (must end at exactly 1).
+    replies: Vec<u8>,
+    submitted: u32,
+    served: u32,
+    rejected: u32,
+}
+
+impl State {
+    fn initial(spec: &Spec) -> State {
+        State {
+            queue: Vec::new(),
+            shutting_down: false,
+            shutdown_fired: false,
+            submitted_by: vec![false; spec.clients],
+            workers: vec![Worker::AtLoop; spec.workers],
+            replies: vec![0; spec.clients],
+            submitted: 0,
+            served: 0,
+            rejected: 0,
+        }
+    }
+
+    fn terminal(&self) -> bool {
+        self.submitted_by.iter().all(|&s| s)
+            && self.shutdown_fired
+            && self.workers.iter().all(|w| *w == Worker::Exited)
+    }
+}
+
+#[derive(Clone, Copy)]
+enum Transition {
+    Submit(usize),
+    Shutdown,
+    Take(usize),
+    Finish(usize),
+    Exit(usize),
+}
+
+fn enabled(spec: &Spec, s: &State) -> Vec<Transition> {
+    let mut out = Vec::new();
+    for (c, done) in s.submitted_by.iter().enumerate() {
+        if !done {
+            out.push(Transition::Submit(c));
+        }
+    }
+    if !s.shutdown_fired {
+        out.push(Transition::Shutdown);
+    }
+    for (w, worker) in s.workers.iter().enumerate() {
+        match worker {
+            Worker::AtLoop => {
+                if !s.queue.is_empty() {
+                    // The linger timeout may always have elapsed, so a
+                    // non-empty queue always permits a (partial) take.
+                    out.push(Transition::Take(w));
+                }
+                let exit_ok = if spec.bug == Some(Bug::ExitWithQueuedWork) {
+                    s.shutting_down
+                } else {
+                    s.queue.is_empty() && s.shutting_down
+                };
+                if exit_ok {
+                    out.push(Transition::Exit(w));
+                }
+                // Empty queue without shutdown: parked on the condvar,
+                // no transition.
+            }
+            Worker::Executing(_) => out.push(Transition::Finish(w)),
+            Worker::Exited => {}
+        }
+    }
+    out
+}
+
+fn apply(spec: &Spec, s: &State, t: Transition) -> State {
+    let mut n = s.clone();
+    match t {
+        Transition::Submit(c) => {
+            n.submitted_by[c] = true;
+            n.submitted += 1;
+            let reject_for_shutdown =
+                n.shutting_down && spec.bug != Some(Bug::IgnoreShutdownOnSubmit);
+            if reject_for_shutdown || n.queue.len() >= spec.capacity {
+                n.rejected += 1;
+                n.replies[c] += 1;
+            } else {
+                n.queue.push(c as u8);
+            }
+        }
+        Transition::Shutdown => {
+            n.shutdown_fired = true;
+            n.shutting_down = true;
+        }
+        Transition::Take(w) => {
+            let take = n.queue.len().min(spec.max_batch);
+            let batch: Vec<u8> = n.queue.drain(..take).collect();
+            n.workers[w] = Worker::Executing(batch);
+        }
+        Transition::Finish(w) => {
+            if let Worker::Executing(batch) = std::mem::replace(&mut n.workers[w], Worker::AtLoop) {
+                for req in batch {
+                    n.replies[req as usize] += 1;
+                    n.served += 1;
+                }
+            }
+        }
+        Transition::Exit(w) => {
+            n.workers[w] = Worker::Exited;
+        }
+    }
+    n
+}
+
+/// Safety invariants that must hold in *every* reachable state.
+fn check_state(spec: &Spec, s: &State) -> Result<(), String> {
+    if s.queue.len() > spec.capacity {
+        return Err(format!(
+            "queue overflow: {} > capacity {}",
+            s.queue.len(),
+            spec.capacity
+        ));
+    }
+    for (c, &count) in s.replies.iter().enumerate() {
+        if count > 1 {
+            return Err(format!("request {c} replied to {count} times"));
+        }
+    }
+    Ok(())
+}
+
+/// Invariants of a terminal (fully quiesced) state.
+fn check_terminal(s: &State) -> Result<(), String> {
+    if !s.queue.is_empty() {
+        return Err(format!(
+            "shutdown abandoned {} queued request(s)",
+            s.queue.len()
+        ));
+    }
+    for (c, &count) in s.replies.iter().enumerate() {
+        if count != 1 {
+            return Err(format!("request {c} got {count} replies, want exactly 1"));
+        }
+    }
+    if s.served + s.rejected != s.submitted {
+        return Err(format!(
+            "accounting leak: served {} + rejected {} != submitted {}",
+            s.served, s.rejected, s.submitted
+        ));
+    }
+    Ok(())
+}
+
+#[derive(Debug)]
+struct Explored {
+    states: usize,
+    terminals: usize,
+}
+
+/// Exhaustive memoized DFS over every interleaving of the model.
+fn explore(spec: &Spec) -> Result<Explored, String> {
+    let mut visited: HashSet<State> = HashSet::new();
+    let mut stack = vec![State::initial(spec)];
+    let mut terminals = 0usize;
+    while let Some(s) = stack.pop() {
+        if visited.contains(&s) {
+            continue;
+        }
+        check_state(spec, &s)?;
+        let ts = enabled(spec, &s);
+        if ts.is_empty() {
+            if !s.terminal() {
+                return Err(format!(
+                    "deadlock: no transition enabled, queue={:?} workers alive={}",
+                    s.queue,
+                    s.workers.iter().filter(|w| **w != Worker::Exited).count()
+                ));
+            }
+            check_terminal(&s)?;
+            terminals += 1;
+        } else {
+            for t in ts {
+                let n = apply(spec, &s, t);
+                if !visited.contains(&n) {
+                    stack.push(n);
+                }
+            }
+        }
+        visited.insert(s);
+    }
+    Ok(Explored {
+        states: visited.len(),
+        terminals,
+    })
+}
+
+fn base_spec() -> Spec {
+    let deep = std::env::var("INTERLEAVE_DEPTH").is_ok_and(|v| v == "deep");
+    if deep {
+        Spec {
+            capacity: 2,
+            max_batch: 2,
+            clients: 5,
+            workers: 3,
+            bug: None,
+        }
+    } else {
+        Spec {
+            capacity: 2,
+            max_batch: 2,
+            clients: 3,
+            workers: 2,
+            bug: None,
+        }
+    }
+}
+
+#[test]
+fn every_interleaving_preserves_ticket_accounting_and_drain() {
+    let spec = base_spec();
+    let explored = explore(&spec).unwrap_or_else(|violation| {
+        panic!("model check failed: {violation}");
+    });
+    // The bound must actually generate schedule diversity, or the
+    // check is vacuous.
+    assert!(
+        explored.states > 300,
+        "suspiciously small state space: {}",
+        explored.states
+    );
+    assert!(explored.terminals >= 1);
+}
+
+#[test]
+fn single_worker_single_client_is_also_clean() {
+    // The degenerate bound where the close/drain races are sharpest:
+    // one worker must both drain and exit.
+    let spec = Spec {
+        capacity: 1,
+        max_batch: 1,
+        clients: 2,
+        workers: 1,
+        bug: None,
+    };
+    explore(&spec).expect("protocol holds at minimal bounds");
+}
+
+#[test]
+fn checker_rejects_exit_with_queued_work() {
+    let spec = Spec {
+        bug: Some(Bug::ExitWithQueuedWork),
+        ..base_spec()
+    };
+    let violation = explore(&spec).expect_err("bug must be caught");
+    assert!(
+        violation.contains("abandoned") || violation.contains("replies"),
+        "unexpected violation message: {violation}"
+    );
+}
+
+#[test]
+fn checker_rejects_submit_that_ignores_shutdown() {
+    let spec = Spec {
+        bug: Some(Bug::IgnoreShutdownOnSubmit),
+        ..base_spec()
+    };
+    let violation = explore(&spec).expect_err("bug must be caught");
+    assert!(
+        violation.contains("abandoned") || violation.contains("replies"),
+        "unexpected violation message: {violation}"
+    );
+}

@@ -50,7 +50,10 @@ fn queue_full_rejects_with_capacity() {
         let results: Vec<_> = {
             let s = server;
             let handle = std::thread::spawn(move || s.shutdown());
-            let results = tickets.into_iter().map(|t| t.wait()).collect();
+            let results = tickets
+                .into_iter()
+                .map(vedliot_serve::Ticket::wait)
+                .collect();
             let m = handle.join().unwrap();
             assert!(m.accounted_for());
             assert_eq!(m.rejected, 1);
@@ -146,6 +149,7 @@ fn smoke_100_requests_zero_lost() {
 fn solo_run(graph: &Graph, input: &Tensor) -> Vec<Tensor> {
     Runner::builder()
         .build(graph)
+        .unwrap()
         .execute(std::slice::from_ref(input), RunOptions::default())
         .unwrap()
         .into_outputs()

@@ -192,7 +192,7 @@ pub fn deep_compress(
 
     let mut out = graph.clone();
     let materialized: Vec<Option<Vec<Tensor>>> = {
-        let exec = Runner::builder().build(&out);
+        let exec = Runner::builder().build(&out)?;
         out.nodes()
             .iter()
             .map(|node| {
@@ -209,7 +209,7 @@ pub fn deep_compress(
     let mut raw_bytes = 0usize;
     // Count non-compressible parameters (biases, batch norms).
     {
-        let exec = Runner::builder().build(graph);
+        let exec = Runner::builder().build(graph)?;
         for node in graph.nodes() {
             match node.op {
                 Op::Conv2d(_) | Op::Dense { .. } => {
@@ -261,7 +261,7 @@ pub fn deep_compress(
         let n = w.data().len();
         let mut surviving: Vec<f32> = Vec::new();
         let mut survivor_mask: Vec<bool> = Vec::with_capacity(n);
-        for &x in w.data().iter() {
+        for &x in w.data() {
             let alive = x.abs() >= threshold && threshold != f32::INFINITY && x != 0.0;
             survivor_mask.push(alive);
             if alive {
@@ -335,7 +335,7 @@ mod tests {
     use vedliot_nnir::Shape;
 
     fn trained_mlp() -> (Graph, vedliot_nnir::dataset::ClassificationSet) {
-        let data = gaussian_prototypes(Shape::nf(1, 64), 4, 40, 3.0, 21);
+        let data = gaussian_prototypes(&Shape::nf(1, 64), 4, 40, 3.0, 21);
         let mut model = mlp("lenet-300-100-ish", 64, &[48, 24], 4).unwrap();
         train_mlp(&mut model, &data, &TrainConfig::default()).unwrap();
         (model, data)
@@ -427,7 +427,7 @@ mod tests {
             ..CompressionConfig::default()
         };
         let (compressed, _) = deep_compress(&model, &config).unwrap();
-        let exec = Runner::builder().build(&compressed);
+        let exec = Runner::builder().build(&compressed).unwrap();
         for node in compressed.nodes() {
             if matches!(node.op, Op::Dense { .. }) {
                 let w = &exec.node_weights(node).unwrap()[0];

@@ -162,7 +162,7 @@ mod tests {
 
     #[test]
     fn report_covers_duration_resources_and_quality() {
-        let data = gaussian_prototypes(Shape::nf(1, 16), 3, 20, 3.0, 9);
+        let data = gaussian_prototypes(&Shape::nf(1, 16), 3, 20, 3.0, 9);
         let mut model = mlp("edge-classifier", 16, &[24], 3).unwrap();
         train_mlp(&mut model, &data, &TrainConfig::default()).unwrap();
         let mut pm = PassManager::new();
@@ -181,7 +181,7 @@ mod tests {
 
     #[test]
     fn markdown_report_contains_all_sections() {
-        let data = gaussian_prototypes(Shape::nf(1, 8), 2, 10, 3.0, 4);
+        let data = gaussian_prototypes(&Shape::nf(1, 8), 2, 10, 3.0, 4);
         let mut model = mlp("md", 8, &[], 2).unwrap();
         train_mlp(&mut model, &data, &TrainConfig::default()).unwrap();
         let mut pm = PassManager::new();

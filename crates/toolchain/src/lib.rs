@@ -19,6 +19,9 @@
 //! * [`deploy`] — Kenning's measurement surface: compile a model for a
 //!   catalog target and report latency, memory, energy and quality
 //!   (confusion matrix) in one [`deploy::DeploymentReport`].
+//! * [`lint`] — the whole-zoo lint driver behind `vedliot lint`: the
+//!   full static analyzer over every zoo network and the optimized
+//!   variants every pass produces.
 //!
 //! # Example
 //!
@@ -44,6 +47,7 @@ pub mod deploy;
 pub mod error;
 pub mod huffman;
 pub mod kmeans;
+pub mod lint;
 pub mod passes;
 
 pub use compress::{deep_compress, CompressionConfig, CompressionReport};

@@ -1,0 +1,234 @@
+//! Whole-zoo lint driver: the `vedliot lint` / `harness lint` backend.
+//!
+//! Runs the full static analyzer ([`vedliot_nnir::analysis`]) over every
+//! evaluation network in the zoo *and* over optimized variants of the
+//! small networks (fused, pruned, quantized, FP16-converted,
+//! deep-compressed). The toolchain's verify-after-transform gate already
+//! guarantees the variants are Error-clean; the lint sweep additionally
+//! surfaces Warning/Info findings (dead nodes, aliased seeds, batch-dim
+//! drift, INT8 saturation risk) that the hard gates deliberately allow.
+
+use crate::compress::{deep_compress, CompressionConfig};
+use crate::error::ToolchainError;
+use crate::passes::{
+    ConvertFp16, FuseConvBn, Pass, PassManager, PruneChannels, PruneConnections, QuantizeInt8,
+};
+use vedliot_nnir::analysis::{Analyzer, Report, Severity};
+use vedliot_nnir::{zoo, Graph, Shape, Tensor};
+
+/// One linted model (a zoo network or an optimized variant of one).
+#[derive(Debug)]
+pub struct LintEntry {
+    /// Display name, e.g. `lenet5` or `tiny-cnn + quantize-int8`.
+    pub model: String,
+    /// The full analyzer's findings for this model.
+    pub report: Report,
+}
+
+/// Result of linting the whole suite.
+#[derive(Debug)]
+pub struct LintSummary {
+    /// One entry per linted model, in suite order.
+    pub entries: Vec<LintEntry>,
+}
+
+impl LintSummary {
+    /// Total findings at exactly the given severity across all models.
+    #[must_use]
+    pub fn count_at(&self, severity: Severity) -> usize {
+        self.entries
+            .iter()
+            .map(|e| e.report.at(severity).count())
+            .sum()
+    }
+
+    /// Whether every model is clean at the given severity or above.
+    #[must_use]
+    pub fn is_clean(&self, severity: Severity) -> bool {
+        self.entries.iter().all(|e| e.report.is_clean(severity))
+    }
+
+    /// Renders the per-model reports plus a one-line totals footer.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for entry in &self.entries {
+            out.push_str(&entry.report.render(&entry.model));
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "lint: {} models, {} errors, {} warnings, {} notes\n",
+            self.entries.len(),
+            self.count_at(Severity::Error),
+            self.count_at(Severity::Warning),
+            self.count_at(Severity::Info),
+        ));
+        out
+    }
+}
+
+/// The small network the optimized variants are derived from.
+fn variant_base() -> Result<Graph, ToolchainError> {
+    Ok(zoo::tiny_cnn(
+        "tiny-cnn",
+        Shape::nchw(1, 3, 16, 16),
+        &[8, 16],
+        4,
+    )?)
+}
+
+fn lint(analyzer: &Analyzer, entries: &mut Vec<LintEntry>, model: &str, graph: &Graph) {
+    entries.push(LintEntry {
+        model: model.to_string(),
+        report: analyzer.analyze(graph),
+    });
+}
+
+/// Runs one pass over the variant base and lints the result.
+fn lint_variant(
+    analyzer: &Analyzer,
+    entries: &mut Vec<LintEntry>,
+    pass: impl Pass + 'static,
+) -> Result<(), ToolchainError> {
+    let name = format!("tiny-cnn + {}", pass.name());
+    let mut pm = PassManager::new();
+    pm.push(pass);
+    let (optimized, _) = pm.run(variant_base()?)?;
+    lint(analyzer, entries, &name, &optimized);
+    Ok(())
+}
+
+/// Lints every zoo model plus optimized/compressed variants.
+///
+/// This is the backend of `vedliot lint` and the harness `lint`
+/// experiment. The suite covers:
+///
+/// * all seven zoo networks (LeNet-5 through YOLOv4), and
+/// * the small CNN after each toolchain pass (fusion, connection and
+///   channel pruning, calibrated INT8 quantization, FP16 conversion)
+///   and after the Deep Compression pipeline.
+///
+/// # Errors
+///
+/// Propagates graph-construction or pass failures — including
+/// [`vedliot_nnir::NnirError::VerifierRejected`] from the toolchain's
+/// verify-after-transform gate; the lint sweep itself never fails on
+/// findings (findings go in the [`LintSummary`]).
+pub fn lint_suite() -> Result<LintSummary, ToolchainError> {
+    let analyzer = Analyzer::full();
+    let mut entries = Vec::new();
+
+    // The whole zoo.
+    lint(&analyzer, &mut entries, "lenet5", &zoo::lenet5(10)?);
+    lint(&analyzer, &mut entries, "tiny-cnn", &variant_base()?);
+    lint(
+        &analyzer,
+        &mut entries,
+        "conv1d-classifier",
+        &zoo::conv1d_classifier("conv1d", 1, 64, &[8, 16], 3)?,
+    );
+    lint(
+        &analyzer,
+        &mut entries,
+        "mobilenet-v3-large",
+        &zoo::mobilenet_v3_large(100)?,
+    );
+    lint(&analyzer, &mut entries, "resnet50", &zoo::resnet50(10)?);
+    lint(
+        &analyzer,
+        &mut entries,
+        "efficientnet-v2-s",
+        &zoo::efficientnet_v2_s(100)?,
+    );
+    lint(&analyzer, &mut entries, "yolov4", &zoo::yolov4(416, 80)?);
+
+    // Optimized variants of the small CNN, one per toolchain pass.
+    lint_variant(&analyzer, &mut entries, FuseConvBn::new())?;
+    lint_variant(&analyzer, &mut entries, PruneConnections::new(0.5))?;
+    lint_variant(&analyzer, &mut entries, PruneChannels::new(0.5))?;
+    let calib = vec![Tensor::random(Shape::nchw(1, 3, 16, 16), 7, 1.0)];
+    lint_variant(
+        &analyzer,
+        &mut entries,
+        QuantizeInt8::with_calibration(calib),
+    )?;
+    lint_variant(&analyzer, &mut entries, ConvertFp16::new())?;
+
+    // The Deep Compression pipeline's decoded model.
+    let (compressed, _) = deep_compress(
+        &variant_base()?,
+        &CompressionConfig {
+            sparsity: 0.5,
+            ..CompressionConfig::default()
+        },
+    )?;
+    lint(
+        &analyzer,
+        &mut entries,
+        "tiny-cnn + deep-compress",
+        &compressed,
+    );
+
+    Ok(LintSummary { entries })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_covers_zoo_and_variants() {
+        let summary = lint_suite().unwrap();
+        assert!(
+            summary.entries.len() >= 13,
+            "expected zoo + variants, got {}",
+            summary.entries.len()
+        );
+        let names: Vec<&str> = summary.entries.iter().map(|e| e.model.as_str()).collect();
+        assert!(names.contains(&"resnet50"));
+        assert!(names.contains(&"tiny-cnn + quantize-int8"));
+        assert!(names.contains(&"tiny-cnn + deep-compress"));
+    }
+
+    #[test]
+    fn suite_is_error_clean() {
+        // Acceptance gate: every zoo model and every optimized variant
+        // lints clean at Error severity.
+        let summary = lint_suite().unwrap();
+        for entry in &summary.entries {
+            assert!(
+                entry.report.is_clean(Severity::Error),
+                "{} has errors:\n{}",
+                entry.model,
+                entry.report.render(&entry.model)
+            );
+        }
+    }
+
+    #[test]
+    fn suite_is_warning_clean() {
+        // Regression for the lint-driven sweep: the zoo builders once
+        // reused block-local node names ("residual", "add", "res.add")
+        // across blocks, producing 99 W102 duplicate-name findings —
+        // every node now carries a unique name, and no other
+        // warning-severity finding exists in the suite. Info findings
+        // (I201 quantization-readiness) are expected and allowed.
+        let summary = lint_suite().unwrap();
+        for entry in &summary.entries {
+            assert!(
+                entry.report.is_clean(Severity::Warning),
+                "{} has warnings:\n{}",
+                entry.model,
+                entry.report.render(&entry.model)
+            );
+        }
+    }
+
+    #[test]
+    fn render_has_totals_footer() {
+        let summary = lint_suite().unwrap();
+        let text = summary.render();
+        assert!(text.contains("lint:"), "{text}");
+        assert!(text.contains("errors"), "{text}");
+    }
+}

@@ -8,6 +8,7 @@
 
 use crate::error::ToolchainError;
 use serde::{Deserialize, Serialize};
+use vedliot_nnir::analysis;
 use vedliot_nnir::exec::{RunOptions, Runner};
 use vedliot_nnir::graph::WeightInit;
 use vedliot_nnir::{Graph, GraphBuilder, Op, Shape, Tensor, TensorId};
@@ -17,6 +18,14 @@ use vedliot_nnir::{Graph, GraphBuilder, Op, Shape, Tensor, TensorId};
 /// Passes consume and return whole graphs (graphs are cheap to rebuild
 /// and this keeps every intermediate state valid), plus a human-readable
 /// summary of what changed.
+///
+/// **Transform contract:** when run through a [`PassManager`], every
+/// pass output is re-verified (`vedliot_nnir::analysis`): the
+/// Error-severity passes must come back clean and the graph's
+/// input/output interface must be unchanged, or the pipeline aborts
+/// with [`vedliot_nnir::NnirError::VerifierRejected`] (`T001` for an
+/// interface change). A pass may restructure the graph's interior
+/// freely; it may not alter what the model consumes or produces.
 pub trait Pass {
     /// Pass name for logs.
     fn name(&self) -> &str;
@@ -69,17 +78,23 @@ impl PassManager {
         self.passes.is_empty()
     }
 
-    /// Runs the pipeline, validating the graph after every pass.
+    /// Runs the pipeline with a verify-after-transform differential
+    /// check around every pass: the transformed graph must pass the
+    /// static verifier's Error-severity gate *and* preserve the model's
+    /// I/O interface. A pass that breaks an invariant becomes a typed
+    /// [`NnirError::VerifierRejected`](vedliot_nnir::NnirError) at the
+    /// transform boundary — never a downstream miscompute.
     ///
     /// # Errors
     ///
-    /// Propagates the first pass failure.
+    /// Propagates the first pass failure or verifier rejection.
     pub fn run(&self, graph: Graph) -> Result<(Graph, Vec<PassLog>), ToolchainError> {
         let mut g = graph;
         let mut logs = Vec::with_capacity(self.passes.len());
         for pass in &self.passes {
+            let before = analysis::InterfaceSignature::of(&g);
             let (next, detail) = pass.run(g)?;
-            next.validate()?;
+            analysis::verify_transform(pass.name(), &before, &next)?;
             logs.push(PassLog {
                 pass: pass.name().to_string(),
                 detail,
@@ -137,7 +152,7 @@ impl Pass for FuseConvBn {
             }
         }
 
-        let exec = Runner::builder().build(&graph);
+        let exec = Runner::builder().build(&graph)?;
         let mut b = GraphBuilder::new(graph.name().to_string());
         // Tensor remapping old -> new.
         let mut remap: Vec<Option<TensorId>> = vec![None; graph.tensor_count()];
@@ -185,7 +200,7 @@ impl Pass for FuseConvBn {
                     }
                 }
                 let folded_bias: Vec<f32> = (0..oc)
-                    .map(|o| shift[o] + scale[o] * old_bias.map(|b| b.data()[o]).unwrap_or(0.0))
+                    .map(|o| shift[o] + scale[o] * old_bias.map_or(0.0, |b| b.data()[o]))
                     .collect();
                 attrs.bias = true;
                 let weights = WeightInit::Explicit(vec![
@@ -260,7 +275,7 @@ impl Pass for PruneConnections {
         let mut zeroed = 0usize;
         // Materialize first (immutable borrow), then write back.
         let materialized: Vec<Option<Vec<Tensor>>> = {
-            let exec = Runner::builder().build(&graph);
+            let exec = Runner::builder().build(&graph)?;
             graph
                 .nodes()
                 .iter()
@@ -373,7 +388,7 @@ impl Pass for PruneNeurons {
             });
         }
 
-        let exec = Runner::builder().build(&graph);
+        let exec = Runner::builder().build(&graph)?;
         // Materialized weights per dense node.
         let mut weights: Vec<Vec<Tensor>> = Vec::new();
         for &i in &dense_ids {
@@ -560,7 +575,7 @@ impl Pass for PruneChannels {
         // Which convs may be pruned: every conv whose *next* conv/dense
         // consumer can be sliced. The last conv before flatten/dense
         // keeps its channels (the classifier input width must not move).
-        let exec = Runner::builder().build(&graph);
+        let exec = Runner::builder().build(&graph)?;
         let conv_indices: Vec<usize> = graph
             .nodes()
             .iter()
@@ -786,7 +801,7 @@ impl Pass for QuantizeInt8 {
         if !self.calibration.is_empty() {
             let mut absmax = vec![0.0f32; graph.tensor_count()];
             {
-                let mut exec = Runner::builder().build(&graph);
+                let mut exec = Runner::builder().build(&graph)?;
                 let opts = RunOptions::new().capture_intermediates(true);
                 for sample in &self.calibration {
                     let values = exec
@@ -848,7 +863,7 @@ impl Pass for QuantizeInt8 {
         }
 
         let materialized: Vec<Option<Vec<Tensor>>> = {
-            let exec = Runner::builder().build(&graph);
+            let exec = Runner::builder().build(&graph)?;
             graph
                 .nodes()
                 .iter()
@@ -947,7 +962,7 @@ impl Pass for ConvertFp16 {
 
     fn run(&self, mut graph: Graph) -> Result<(Graph, String), ToolchainError> {
         let materialized: Vec<Option<Vec<Tensor>>> = {
-            let exec = Runner::builder().build(&graph);
+            let exec = Runner::builder().build(&graph)?;
             graph
                 .nodes()
                 .iter()
@@ -994,6 +1009,7 @@ mod tests {
         let input = Tensor::random(Shape::nchw(1, 3, 16, 16), 3, 1.0);
         let before = Runner::builder()
             .build(&g)
+            .unwrap()
             .execute(std::slice::from_ref(&input), RunOptions::default())
             .unwrap()
             .into_outputs();
@@ -1010,6 +1026,7 @@ mod tests {
         assert!(detail.contains(&bn_before.to_string()));
         let after = Runner::builder()
             .build(&fused)
+            .unwrap()
             .execute(&[input], RunOptions::default())
             .unwrap()
             .into_outputs();
@@ -1032,7 +1049,7 @@ mod tests {
         pruned.validate().unwrap();
         assert!(detail.contains("70.0%"), "{detail}");
         // Count zeros directly.
-        let exec = Runner::builder().build(&pruned);
+        let exec = Runner::builder().build(&pruned).unwrap();
         for node in pruned.nodes() {
             if matches!(node.op, Op::Conv2d(_)) {
                 let w = &exec.node_weights(node).unwrap()[0];
@@ -1046,13 +1063,13 @@ mod tests {
     #[test]
     fn pruning_keeps_large_weights() {
         let mut model = mlp("m", 4, &[], 2).unwrap();
-        let data = gaussian_prototypes(Shape::nf(1, 4), 2, 10, 3.0, 3);
+        let data = gaussian_prototypes(&Shape::nf(1, 4), 2, 10, 3.0, 3);
         train_mlp(&mut model, &data, &TrainConfig::default()).unwrap();
-        let exec = Runner::builder().build(&model);
+        let exec = Runner::builder().build(&model).unwrap();
         let before = exec.node_weights(&model.nodes()[0]).unwrap()[0].clone();
         let max_before = before.abs_max();
         let (pruned, _) = PruneConnections::new(0.5).run(model).unwrap();
-        let exec = Runner::builder().build(&pruned);
+        let exec = Runner::builder().build(&pruned).unwrap();
         let after = exec.node_weights(&pruned.nodes()[0]).unwrap()[0].clone();
         // The single largest weight always survives.
         assert_eq!(after.abs_max(), max_before);
@@ -1060,7 +1077,7 @@ mod tests {
 
     #[test]
     fn neuron_pruning_shrinks_hidden_layer() {
-        let data = gaussian_prototypes(Shape::nf(1, 12), 3, 30, 3.0, 7);
+        let data = gaussian_prototypes(&Shape::nf(1, 12), 3, 30, 3.0, 7);
         let mut model = mlp("m", 12, &[32], 3).unwrap();
         let base_acc = train_mlp(&mut model, &data, &TrainConfig::default()).unwrap();
         let (pruned, _) = PruneNeurons::new(0.5).run(model).unwrap();
@@ -1095,7 +1112,7 @@ mod tests {
     fn quantization_snaps_weights_to_grid() {
         let g = cnn();
         let (quant, _) = QuantizeInt8::new().run(g).unwrap();
-        let exec = Runner::builder().build(&quant);
+        let exec = Runner::builder().build(&quant).unwrap();
         for node in quant.nodes() {
             if matches!(node.op, Op::Conv2d(_)) {
                 let w = &exec.node_weights(node).unwrap()[0];
@@ -1117,7 +1134,7 @@ mod tests {
     #[test]
     fn quantization_error_is_bounded_by_half_step() {
         let g = cnn();
-        let exec = Runner::builder().build(&g);
+        let exec = Runner::builder().build(&g).unwrap();
         let originals: Vec<Option<Tensor>> = g
             .nodes()
             .iter()
@@ -1130,7 +1147,7 @@ mod tests {
             })
             .collect();
         let (quant, _) = QuantizeInt8::new().run(g).unwrap();
-        let exec = Runner::builder().build(&quant);
+        let exec = Runner::builder().build(&quant).unwrap();
         for (node, orig) in quant.nodes().iter().zip(originals) {
             let Some(orig) = orig else { continue };
             let w = &exec.node_weights(node).unwrap()[0];
@@ -1144,7 +1161,7 @@ mod tests {
     fn quantized_model_accuracy_loss_is_negligible() {
         // The §III claim: "quantize parameters … with negligible accuracy
         // loss" on a well-separated problem.
-        let data = gaussian_prototypes(Shape::nf(1, 16), 4, 40, 3.0, 13);
+        let data = gaussian_prototypes(&Shape::nf(1, 16), 4, 40, 3.0, 13);
         let mut model = mlp("m", 16, &[24], 4).unwrap();
         let base = train_mlp(&mut model, &data, &TrainConfig::default()).unwrap();
         let (quant, _) = QuantizeInt8::new().run(model).unwrap();
@@ -1179,6 +1196,7 @@ mod tests {
         // The quantized graph still executes.
         let out = Runner::builder()
             .build(&quantized)
+            .unwrap()
             .execute(
                 &[Tensor::random(Shape::nchw(1, 3, 16, 16), 9, 1.0)],
                 RunOptions::default(),
@@ -1192,7 +1210,7 @@ mod tests {
     fn full_int8_quantization_keeps_mlp_accuracy() {
         // Weights AND activations on the INT8 grid — the deployable PTQ
         // accuracy measurement.
-        let data = gaussian_prototypes(Shape::nf(1, 16), 3, 30, 3.0, 19);
+        let data = gaussian_prototypes(&Shape::nf(1, 16), 3, 30, 3.0, 19);
         let mut model = mlp("full-ptq", 16, &[24], 3).unwrap();
         let base = train_mlp(&mut model, &data, &TrainConfig::default()).unwrap();
         let calib: Vec<Tensor> = data.samples.iter().take(8).cloned().collect();
@@ -1256,5 +1274,70 @@ mod tests {
     #[should_panic(expected = "sparsity must be in [0, 1)")]
     fn full_sparsity_is_rejected() {
         let _ = PruneConnections::new(1.0);
+    }
+
+    /// A pass that breaks a graph invariant (wrong explicit weight
+    /// shape, smuggled in through `nodes_mut`).
+    struct CorruptingPass;
+
+    impl Pass for CorruptingPass {
+        fn name(&self) -> &str {
+            "corrupting-pass"
+        }
+
+        fn run(&self, mut graph: Graph) -> Result<(Graph, String), ToolchainError> {
+            for node in graph.nodes_mut() {
+                if matches!(node.op, Op::Conv2d(_)) {
+                    node.weights =
+                        WeightInit::Explicit(vec![Tensor::zeros(Shape::new(vec![1, 1, 1, 1]))]);
+                    break;
+                }
+            }
+            Ok((graph, "corrupted a conv".into()))
+        }
+    }
+
+    /// A pass that silently changes the model's I/O interface.
+    struct RebatchingPass;
+
+    impl Pass for RebatchingPass {
+        fn name(&self) -> &str {
+            "rebatching-pass"
+        }
+
+        fn run(&self, graph: Graph) -> Result<(Graph, String), ToolchainError> {
+            Ok((graph.with_batch(2)?, "doubled the batch".into()))
+        }
+    }
+
+    #[test]
+    fn verify_after_transform_rejects_invariant_breakers() {
+        let mut pm = PassManager::new();
+        pm.push(CorruptingPass);
+        let err = pm.run(cnn()).unwrap_err();
+        match err {
+            ToolchainError::Graph(vedliot_nnir::NnirError::VerifierRejected {
+                code,
+                detail,
+                ..
+            }) => {
+                assert_eq!(code, "V005");
+                assert!(detail.contains("corrupting-pass"), "{detail}");
+            }
+            other => panic!("expected VerifierRejected, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn verify_after_transform_rejects_interface_changes() {
+        let mut pm = PassManager::new();
+        pm.push(RebatchingPass);
+        let err = pm.run(cnn()).unwrap_err();
+        match err {
+            ToolchainError::Graph(vedliot_nnir::NnirError::VerifierRejected { code, .. }) => {
+                assert_eq!(code, "T001");
+            }
+            other => panic!("expected VerifierRejected, got {other:?}"),
+        }
     }
 }

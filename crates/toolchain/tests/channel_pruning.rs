@@ -31,6 +31,7 @@ fn pruned_chain_still_executes_with_right_shapes() {
     let (pruned, _) = PruneChannels::new(0.5).run(g).unwrap();
     let out = Runner::builder()
         .build(&pruned)
+        .unwrap()
         .execute(
             &[Tensor::random(Shape::nchw(1, 3, 32, 32), 5, 1.0)],
             RunOptions::default(),
@@ -84,7 +85,7 @@ fn keep_fraction_one_is_identity_in_cost() {
 fn batchnorm_params_track_pruned_channels() {
     let g = chain();
     let (pruned, _) = PruneChannels::new(0.5).run(g).unwrap();
-    let exec = Runner::builder().build(&pruned);
+    let exec = Runner::builder().build(&pruned).unwrap();
     for node in pruned.nodes() {
         if node.op == Op::BatchNorm {
             let c = pruned.node_input_shapes(node)[0].dim(1).unwrap();

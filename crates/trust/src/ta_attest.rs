@@ -75,7 +75,7 @@ mod tests {
 
     fn booted_tz() -> TrustZone {
         let mut tz = TrustZone::new();
-        tz.install_ta("monitor", b"robustness-monitor-v2", |input| input.to_vec())
+        tz.install_ta("monitor", b"robustness-monitor-v2", <[u8]>::to_vec)
             .unwrap();
         tz.enter_normal_world();
         tz

@@ -1,0 +1,52 @@
+//! The `vedliot` command-line front door.
+//!
+//! ```text
+//! vedliot lint            # full static-analysis sweep over the zoo
+//! ```
+//!
+//! `lint` runs the complete analyzer ([`vedliot::nnir::analysis`]) over
+//! every zoo network plus the optimized variants each toolchain pass
+//! produces, prints the per-model reports and exits non-zero if any
+//! model has Error-severity findings (Warning/Info findings are
+//! reported but do not fail the run).
+
+use vedliot::nnir::analysis::Severity;
+use vedliot::toolchain::lint::lint_suite;
+
+fn usage() -> ! {
+    eprintln!("usage: vedliot <command>");
+    eprintln!();
+    eprintln!("commands:");
+    eprintln!("  lint    run the static verifier over the model zoo and its");
+    eprintln!("          optimized variants, printing a diagnostic report");
+    std::process::exit(2);
+}
+
+fn run_lint() -> i32 {
+    let summary = match lint_suite() {
+        Ok(summary) => summary,
+        Err(err) => {
+            // A transform-gate rejection surfaces here as a hard error:
+            // one of the toolchain passes produced a graph the verifier
+            // refused.
+            eprintln!("lint: suite failed to build: {err}");
+            return 1;
+        }
+    };
+    print!("{}", summary.render());
+    if summary.is_clean(Severity::Error) {
+        0
+    } else {
+        eprintln!("lint: error-severity findings present");
+        1
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let Some(command) = args.next() else { usage() };
+    match command.as_str() {
+        "lint" => std::process::exit(run_lint()),
+        _ => usage(),
+    }
+}

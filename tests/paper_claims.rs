@@ -85,7 +85,7 @@ fn deep_compression_ratio_and_accuracy() {
     use vedliot::nnir::train::evaluate;
     use vedliot::toolchain::passes::{Pass, PruneConnections};
 
-    let data = gaussian_prototypes(Shape::nf(1, 96), 5, 60, 3.0, 41);
+    let data = gaussian_prototypes(&Shape::nf(1, 96), 5, 60, 3.0, 41);
     let mut model = mlp("compress-target", 96, &[64, 32], 5).unwrap();
     let base_acc = train_mlp(&mut model, &data, &TrainConfig::default()).unwrap();
 

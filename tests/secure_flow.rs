@@ -62,6 +62,7 @@ fn enclave_hosted_robustness_service_detects_corruption() {
     flip_weight_bits(&mut deployed, 40, 13).unwrap();
     let claimed = Runner::builder()
         .build(&deployed)
+        .unwrap()
         .execute(std::slice::from_ref(&input), RunOptions::default())
         .unwrap()
         .into_outputs()

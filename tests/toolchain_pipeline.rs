@@ -14,7 +14,7 @@ use vedliot::toolchain::{benchmark_deployment, deep_compress, CompressionConfig}
 /// throughout (the full Kenning flow).
 #[test]
 fn train_compress_deploy_keeps_quality() {
-    let data = gaussian_prototypes(Shape::nf(1, 48), 4, 50, 3.0, 17);
+    let data = gaussian_prototypes(&Shape::nf(1, 48), 4, 50, 3.0, 17);
     let mut model = mlp("sensor-classifier", 48, &[32, 16], 4).unwrap();
     let float_acc = train_mlp(&mut model, &data, &TrainConfig::default()).unwrap();
     assert!(float_acc > 0.9);
@@ -47,7 +47,7 @@ fn train_compress_deploy_keeps_quality() {
 /// dense hardware).
 #[test]
 fn neuron_pruning_shrinks_deployment_memory() {
-    let data = gaussian_prototypes(Shape::nf(1, 32), 3, 40, 3.0, 23);
+    let data = gaussian_prototypes(&Shape::nf(1, 32), 3, 40, 3.0, 23);
     let mut model = mlp("m", 32, &[64], 3).unwrap();
     train_mlp(&mut model, &data, &TrainConfig::default()).unwrap();
 
