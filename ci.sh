@@ -43,6 +43,9 @@ cargo test -q -p vedliot-serve --test serving smoke_100_requests_zero_lost
 echo "==> chaos smoke test (200 requests, seeded fault plan, availability >= 0.95)"
 cargo test -q -p vedliot-serve --test chaos smoke_200_requests_under_seeded_chaos
 
+echo "==> observability smoke test (traced 50-request run, exact span accounting, exporter goldens)"
+cargo test -q -p vedliot-serve --test observe
+
 if [[ $deep -eq 1 ]]; then
   echo "==> deep: interleaving model check at enlarged bounds"
   INTERLEAVE_DEPTH=deep cargo test -q -p vedliot-serve --test interleave

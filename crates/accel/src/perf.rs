@@ -24,6 +24,7 @@ use crate::catalog::{AcceleratorClass, AcceleratorSpec};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use vedliot_nnir::cost::CostReport;
+use vedliot_nnir::profile::RunProfile;
 use vedliot_nnir::{DataType, Graph, NnirError};
 
 /// Error produced by the performance model.
@@ -142,6 +143,70 @@ impl RunResult {
             .map(|l| l.latency_us)
             .sum::<f64>()
             / total
+    }
+}
+
+/// One layer's measured execution joined against the roofline
+/// prediction (see [`PerfModel::compare_profile`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerComparison {
+    /// Layer name (match key between profile and prediction).
+    pub name: String,
+    /// Measured kernel duration in microseconds.
+    pub measured_us: f64,
+    /// Roofline-predicted latency in microseconds.
+    pub predicted_us: f64,
+    /// Achieved GOPS from the measurement.
+    pub measured_gops: f64,
+    /// Predicted GOPS from the roofline.
+    pub predicted_gops: f64,
+    /// Which roof the model says limits this layer.
+    pub bound: Bound,
+}
+
+impl LayerComparison {
+    /// Measured over predicted latency: > 1 means the layer ran slower
+    /// than the model predicts for this platform.
+    #[must_use]
+    pub fn ratio(&self) -> f64 {
+        if self.predicted_us <= 0.0 {
+            return 0.0;
+        }
+        self.measured_us / self.predicted_us
+    }
+}
+
+/// A measured profile joined against one platform's prediction —
+/// Fig. 4's measured-vs-theoretical comparison, per layer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProfileComparison {
+    /// Platform the prediction was made for.
+    pub platform: String,
+    /// Workload model name (from the measured profile).
+    pub model: String,
+    /// Measured wall time of the profiled pass in microseconds.
+    pub measured_total_us: f64,
+    /// Predicted end-to-end latency in microseconds.
+    pub predicted_total_us: f64,
+    /// Per-layer join, in prediction order.
+    pub per_layer: Vec<LayerComparison>,
+}
+
+impl fmt::Display for ProfileComparison {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} on {}: measured {:.0} us vs predicted {:.0} us",
+            self.model, self.platform, self.measured_total_us, self.predicted_total_us
+        )?;
+        for l in &self.per_layer {
+            writeln!(
+                f,
+                "  {:<12} measured {:>10.1} us ({:>8.3} GOPS)  predicted {:>10.1} us ({:>8.3} GOPS)  {:?}-bound",
+                l.name, l.measured_us, l.measured_gops, l.predicted_us, l.predicted_gops, l.bound
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -397,6 +462,58 @@ impl PerfModel {
         })
     }
 
+    /// Joins a *measured* per-op profile (from
+    /// `Runner::execute` with `RunOptions::profile`) against this
+    /// platform's roofline prediction for the same graph — Fig. 4 as a
+    /// live per-layer report instead of a purely analytical one.
+    ///
+    /// Layers are matched by name; predicted layers with no measured
+    /// counterpart (or vice versa) are skipped, so the comparison is
+    /// meaningful even when the cost model elides zero-op layers.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`run`](Self::run).
+    pub fn compare_profile(
+        &self,
+        graph: &Graph,
+        profile: &RunProfile,
+    ) -> Result<ProfileComparison, AccelError> {
+        let predicted = self.run(graph)?;
+        let mut per_layer = Vec::with_capacity(predicted.per_layer.len());
+        for layer in &predicted.per_layer {
+            let Some(node) = profile.per_node.iter().find(|n| n.name == layer.name) else {
+                continue;
+            };
+            let measured_us = node.duration_ns as f64 / 1e3;
+            let ops = node.ops() as f64;
+            per_layer.push(LayerComparison {
+                name: layer.name.clone(),
+                measured_us,
+                predicted_us: layer.latency_us,
+                // ops / (µs · 1000) = ops per ns = GOPS.
+                measured_gops: if measured_us > 0.0 {
+                    ops / (measured_us * 1e3)
+                } else {
+                    0.0
+                },
+                predicted_gops: if layer.latency_us > 0.0 {
+                    ops / (layer.latency_us * 1e3)
+                } else {
+                    0.0
+                },
+                bound: layer.bound,
+            });
+        }
+        Ok(ProfileComparison {
+            platform: predicted.platform,
+            model: profile.model.clone(),
+            measured_total_us: profile.wall_ns as f64 / 1e3,
+            predicted_total_us: predicted.latency_ms * 1e3,
+            per_layer,
+        })
+    }
+
     /// Runs a workload at each batch size (rebatching the graph), the
     /// B1/B4/B8 sweep of Fig. 4.
     ///
@@ -558,6 +675,37 @@ mod tests {
         let real_b1 = pm.run(&yolo).unwrap();
         assert!(naive_b1.latency_ms < real_b1.latency_ms / 2.0);
         assert!(real_b1.achieved_gops < naive_b1.achieved_gops);
+    }
+
+    #[test]
+    fn compare_profile_joins_measurement_to_prediction() {
+        use vedliot_nnir::exec::{RunOptions, Runner};
+        use vedliot_nnir::{Shape, Tensor};
+        let c = catalog();
+        let g = zoo::lenet5(10).unwrap();
+        let input = Tensor::random(Shape::nchw(1, 1, 28, 28), 5, 1.0);
+        let mut runner = Runner::builder().build(&g).unwrap();
+        runner
+            .execute(std::slice::from_ref(&input), RunOptions::default())
+            .unwrap();
+        let profile = runner
+            .execute(&[input], RunOptions::new().profile(true))
+            .unwrap()
+            .into_profile()
+            .unwrap();
+        let pm = PerfModel::new(c.find("Xavier NX").unwrap().clone());
+        let cmp = pm.compare_profile(&g, &profile).unwrap();
+        assert_eq!(cmp.platform, "Xavier NX");
+        assert_eq!(cmp.model, g.name());
+        // Every predicted (non-zero-op) layer found its measurement.
+        let predicted = pm.run(&g).unwrap();
+        assert_eq!(cmp.per_layer.len(), predicted.per_layer.len());
+        for l in &cmp.per_layer {
+            assert!(l.predicted_us > 0.0, "{}", l.name);
+            assert!(l.predicted_gops > 0.0, "{}", l.name);
+        }
+        assert!(cmp.measured_total_us > 0.0);
+        assert!(cmp.to_string().contains("Xavier NX"));
     }
 
     #[test]

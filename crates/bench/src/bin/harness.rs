@@ -5,7 +5,7 @@
 //! Experiments (DESIGN.md §3): `fig2`, `fig3`, `fig4`, `fig4-ext`,
 //! `compression`, `gap`, `twine`, `pmp`, `cfu`, `safety`, `paeb`, `arc`,
 //! `motor`, `mirror`, `reconfig`, `reqeng`, `memory`, `codesign`,
-//! `executor`, `serving`, `resilience`, `lint`, or `all`.
+//! `executor`, `serving`, `resilience`, `observe`, `lint`, or `all`.
 
 use vedliot_bench::experiments;
 
@@ -34,6 +34,7 @@ fn main() {
         "executor" => vec![experiments::executor_parallel()],
         "serving" => vec![experiments::serving()],
         "resilience" => vec![experiments::resilience()],
+        "observe" => vec![experiments::observe()],
         "lint" => vec![experiments::lint()],
         "all" => experiments::all(),
         other => {
@@ -41,7 +42,7 @@ fn main() {
             eprintln!(
                 "choose one of: fig2 fig3 fig4 fig4-ext compression gap twine pmp cfu \
                  safety paeb arc motor mirror reconfig reqeng memory codesign ablation \
-                 executor serving resilience lint all"
+                 executor serving resilience observe lint all"
             );
             std::process::exit(2);
         }

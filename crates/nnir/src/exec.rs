@@ -33,6 +33,7 @@
 
 use crate::graph::{Graph, Node, WeightInit};
 use crate::ops::{Conv2dAttrs, Op, Pool2dAttrs};
+use crate::profile::{NodeProfile, RunProfile};
 use crate::shape::Shape;
 use crate::tensor::Tensor;
 use crate::NnirError;
@@ -144,6 +145,10 @@ pub struct RunOptions {
     /// completing a doomed pass — the primitive the serving layer's
     /// per-request deadlines build on.
     pub deadline: Option<std::time::Instant>,
+    /// Record a per-node [`RunProfile`] (name, op, duration, static
+    /// operation counts) for this pass. Off by default: a plain run
+    /// takes zero extra clock reads.
+    pub profile: bool,
 }
 
 impl RunOptions {
@@ -172,6 +177,13 @@ impl RunOptions {
     pub fn deadline_in(self, budget: std::time::Duration) -> Self {
         self.deadline(std::time::Instant::now() + budget)
     }
+
+    /// Requests a per-node execution profile for this pass.
+    #[must_use]
+    pub fn profile(mut self, profile: bool) -> Self {
+        self.profile = profile;
+        self
+    }
 }
 
 /// Result of one [`Runner::execute`] call.
@@ -179,6 +191,7 @@ impl RunOptions {
 pub struct RunOutput {
     outputs: Vec<Tensor>,
     intermediates: Option<Vec<Option<Tensor>>>,
+    profile: Option<RunProfile>,
 }
 
 impl RunOutput {
@@ -205,6 +218,19 @@ impl RunOutput {
     #[must_use]
     pub fn into_intermediates(self) -> Option<Vec<Option<Tensor>>> {
         self.intermediates
+    }
+
+    /// The per-node execution profile; `Some` only when
+    /// [`RunOptions::profile`] was set.
+    #[must_use]
+    pub fn profile(&self) -> Option<&RunProfile> {
+        self.profile.as_ref()
+    }
+
+    /// Consumes the result, returning the execution profile.
+    #[must_use]
+    pub fn into_profile(self) -> Option<RunProfile> {
+        self.profile
     }
 }
 
@@ -317,7 +343,8 @@ impl<'g> Runner<'g> {
         inputs: &[Tensor],
         options: RunOptions,
     ) -> Result<RunOutput, NnirError> {
-        self.forward(inputs, options.deadline)?;
+        let wall_start = options.profile.then(std::time::Instant::now);
+        let per_node = self.forward(inputs, options)?;
         let outputs = self
             .graph
             .outputs()
@@ -329,9 +356,19 @@ impl<'g> Runner<'g> {
             })
             .collect::<Result<Vec<_>, _>>()?;
         let intermediates = options.capture_intermediates.then(|| self.values.clone());
+        // Wall time spans input staging through output collection, so
+        // coverage (kernel time / wall) honestly reports what the
+        // per-node records miss.
+        let profile = per_node.map(|per_node| RunProfile {
+            model: self.graph.name().to_string(),
+            batch: self.graph.batch(),
+            per_node,
+            wall_ns: wall_start.expect("set when profiling").elapsed().as_nanos() as u64,
+        });
         Ok(RunOutput {
             outputs,
             intermediates,
+            profile,
         })
     }
 
@@ -364,12 +401,14 @@ impl<'g> Runner<'g> {
         }
     }
 
-    /// Evaluates every node in topological order into the value arena.
+    /// Evaluates every node in topological order into the value arena,
+    /// returning per-node timing records when [`RunOptions::profile`]
+    /// is set.
     fn forward(
         &mut self,
         inputs: &[Tensor],
-        deadline: Option<std::time::Instant>,
-    ) -> Result<(), NnirError> {
+        options: RunOptions,
+    ) -> Result<Option<Vec<NodeProfile>>, NnirError> {
         let graph_inputs = self.graph.inputs();
         if inputs.len() != graph_inputs.len() {
             return Err(NnirError::ExecutionFailure(format!(
@@ -398,10 +437,11 @@ impl<'g> Runner<'g> {
         }
 
         let nodes: &'g [Node] = self.graph.nodes();
+        let mut profile = options.profile.then(|| Vec::with_capacity(nodes.len()));
         for (idx, node) in nodes.iter().enumerate() {
             // Deadline gate: a run over budget stops before the next
             // kernel rather than finishing a pass nobody will read.
-            if let Some(deadline) = deadline {
+            if let Some(deadline) = options.deadline {
                 if std::time::Instant::now() >= deadline {
                     return Err(NnirError::DeadlineExceeded);
                 }
@@ -427,6 +467,7 @@ impl<'g> Runner<'g> {
                 })?);
             }
             let weights = self.weights[idx].as_ref().expect("cached above");
+            let node_start = profile.is_some().then(std::time::Instant::now);
             eval_node_into(
                 node,
                 &ins,
@@ -435,9 +476,23 @@ impl<'g> Runner<'g> {
                 &mut self.col,
                 self.parallelism,
             )?;
+            if let Some(records) = profile.as_mut() {
+                // Stop the clock before the bookkeeping below, so a
+                // node's record measures only its kernel.
+                let duration_ns =
+                    node_start.expect("set when profiling").elapsed().as_nanos() as u64;
+                let in_shapes = self.graph.node_input_shapes(node);
+                records.push(NodeProfile {
+                    name: node.name.clone(),
+                    op: node.op.to_string(),
+                    macs: node.op.macs(&in_shapes, out.shape()),
+                    elementwise: node.op.elementwise_ops(&in_shapes, out.shape()),
+                    duration_ns,
+                });
+            }
             self.values[node.output.0] = Some(out);
         }
-        Ok(())
+        Ok(profile)
     }
 }
 
@@ -1503,6 +1558,35 @@ mod tests {
         assert!(values.iter().all(Option::is_some));
         // Plain runs do not pay the clone.
         assert!(out.outputs()[0].shape().dims() == [1, 10]);
+    }
+
+    #[test]
+    fn profiled_run_records_every_node() {
+        let g = crate::zoo::lenet5(10).unwrap();
+        let input = Tensor::random(Shape::nchw(1, 1, 28, 28), 9, 1.0);
+        let mut runner = Runner::builder().build(&g).unwrap();
+        // Warm the arenas so the profiled pass measures steady state.
+        runner
+            .execute(std::slice::from_ref(&input), RunOptions::default())
+            .unwrap();
+        let out = runner
+            .execute(
+                std::slice::from_ref(&input),
+                RunOptions::new().profile(true),
+            )
+            .unwrap();
+        let profile = out.profile().expect("profiled");
+        assert_eq!(profile.model, g.name());
+        assert_eq!(profile.per_node.len(), g.nodes().len());
+        assert!(profile.wall_ns > 0 && profile.nodes_ns() <= profile.wall_ns);
+        // Static op counts agree with the whole-graph cost report.
+        let report = crate::cost::CostReport::of(&g).unwrap();
+        let macs: u64 = profile.per_node.iter().map(|n| n.macs).sum();
+        assert_eq!(macs, report.total_macs);
+        // Unprofiled runs carry no profile and match bit-for-bit.
+        let plain = runner.execute(&[input], RunOptions::default()).unwrap();
+        assert!(plain.profile().is_none());
+        assert_eq!(plain.outputs(), out.outputs());
     }
 
     #[test]

@@ -16,6 +16,8 @@
 //!   accounting (the quantities that drive the paper's Figs. 3 and 4),
 //! * [`exec`] — a reference f32 executor (real inference, used by the
 //!   compression and safety experiments),
+//! * [`profile`] — opt-in per-op execution profiles (measured duration
+//!   plus static operation counts → achieved GFLOP/s per layer),
 //! * [`zoo`] — from-scratch builders for the evaluation networks the paper
 //!   names: ResNet-50, MobileNetV3-Large and YOLOv4, plus small networks
 //!   for the industrial use cases,
@@ -52,6 +54,7 @@ pub mod exec;
 pub mod graph;
 pub mod metrics;
 pub mod ops;
+pub mod profile;
 pub mod shape;
 pub mod tensor;
 pub mod textual;

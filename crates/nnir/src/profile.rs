@@ -1,0 +1,255 @@
+//! Per-op execution profiles — the measured half of Fig. 4.
+//!
+//! [`RunProfile`] is what [`Runner::execute`](crate::exec::Runner::execute)
+//! returns when [`RunOptions::profile`](crate::exec::RunOptions::profile)
+//! is set: one [`NodeProfile`] per scheduled node with its measured
+//! duration and the static operation counts from [`crate::cost`], from
+//! which each node's *achieved* GFLOP/s falls out (1 op/ns = 1 GOPS).
+//! Cross-referencing these against the `vedliot-accel` roofline
+//! prediction for the same layer turns the paper's
+//! measured-vs-theoretical comparison into a live per-layer report
+//! (`PerfModel::compare_profile`).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use vedliot_obs::hist::Histogram;
+use vedliot_obs::{Export, Exportable, Metric, MetricValue};
+
+/// Measured execution record for one graph node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeProfile {
+    /// Layer name.
+    pub name: String,
+    /// Operator description (e.g. `Conv2d(64o, 3x3/1, g1)`).
+    pub op: String,
+    /// Static multiply-accumulate count (from [`crate::cost`]).
+    pub macs: u64,
+    /// Static element-wise operation count.
+    pub elementwise: u64,
+    /// Measured kernel duration in nanoseconds.
+    pub duration_ns: u64,
+}
+
+impl NodeProfile {
+    /// Total operations (2 × MACs + element-wise — the paper's GOPS
+    /// convention).
+    #[must_use]
+    pub fn ops(&self) -> u64 {
+        2 * self.macs + self.elementwise
+    }
+
+    /// Achieved GFLOP/s (0 when the duration was below timer
+    /// resolution).
+    #[must_use]
+    pub fn achieved_gops(&self) -> f64 {
+        if self.duration_ns == 0 {
+            0.0
+        } else {
+            self.ops() as f64 / self.duration_ns as f64
+        }
+    }
+}
+
+/// Measured per-op profile of one forward pass.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunProfile {
+    /// Model name.
+    pub model: String,
+    /// Batch size executed.
+    pub batch: usize,
+    /// Per-node records in schedule order.
+    pub per_node: Vec<NodeProfile>,
+    /// Wall time of the whole `execute` call in nanoseconds (input
+    /// staging + kernels + output collection).
+    pub wall_ns: u64,
+}
+
+impl RunProfile {
+    /// Sum of the per-node kernel durations.
+    #[must_use]
+    pub fn nodes_ns(&self) -> u64 {
+        self.per_node.iter().map(|n| n.duration_ns).sum()
+    }
+
+    /// Total operations across all nodes.
+    #[must_use]
+    pub fn total_ops(&self) -> u64 {
+        self.per_node.iter().map(NodeProfile::ops).sum()
+    }
+
+    /// Fraction of the wall time the per-node records account for —
+    /// the acceptance bar for the profiler is ≥ 0.95 on a warm runner.
+    #[must_use]
+    pub fn coverage(&self) -> f64 {
+        if self.wall_ns == 0 {
+            0.0
+        } else {
+            self.nodes_ns() as f64 / self.wall_ns as f64
+        }
+    }
+
+    /// Whole-pass achieved GFLOP/s against the wall time.
+    #[must_use]
+    pub fn achieved_gops(&self) -> f64 {
+        if self.wall_ns == 0 {
+            0.0
+        } else {
+            self.total_ops() as f64 / self.wall_ns as f64
+        }
+    }
+
+    /// The `n` most expensive nodes by measured duration.
+    #[must_use]
+    pub fn top_by_time(&self, n: usize) -> Vec<&NodeProfile> {
+        let mut nodes: Vec<&NodeProfile> = self.per_node.iter().collect();
+        nodes.sort_by(|a, b| b.duration_ns.cmp(&a.duration_ns).then(a.name.cmp(&b.name)));
+        nodes.truncate(n);
+        nodes
+    }
+}
+
+impl fmt::Display for RunProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "profile of {} (batch {}): {} nodes, wall {} ns, coverage {:.1}%, {:.3} GFLOP/s",
+            self.model,
+            self.batch,
+            self.per_node.len(),
+            self.wall_ns,
+            self.coverage() * 100.0,
+            self.achieved_gops()
+        )?;
+        for node in &self.per_node {
+            writeln!(
+                f,
+                "  {:<12} {:<24} {:>10} ns {:>12} ops {:>8.3} GFLOP/s",
+                node.name,
+                node.op,
+                node.duration_ns,
+                node.ops(),
+                node.achieved_gops()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+impl Exportable for RunProfile {
+    fn export(&self) -> Export {
+        let durations = Histogram::new();
+        for node in &self.per_node {
+            durations.record(node.duration_ns);
+        }
+        Export {
+            subsystem: "runner".into(),
+            metrics: vec![
+                Metric {
+                    name: "nodes".into(),
+                    help: "graph nodes profiled".into(),
+                    value: MetricValue::Counter(self.per_node.len() as u64),
+                },
+                Metric {
+                    name: "wall_ns".into(),
+                    help: "wall time of the profiled forward pass".into(),
+                    value: MetricValue::Counter(self.wall_ns),
+                },
+                Metric {
+                    name: "total_ops".into(),
+                    help: "static operations executed (2*MACs + elementwise)".into(),
+                    value: MetricValue::Counter(self.total_ops()),
+                },
+                Metric {
+                    name: "coverage".into(),
+                    help: "fraction of wall time attributed to per-node kernels".into(),
+                    value: MetricValue::Gauge(self.coverage()),
+                },
+                Metric {
+                    name: "achieved_gops".into(),
+                    help: "achieved GFLOP/s over the wall time".into(),
+                    value: MetricValue::Gauge(self.achieved_gops()),
+                },
+                Metric {
+                    name: "node_duration_ns".into(),
+                    help: "per-node kernel duration distribution".into(),
+                    value: MetricValue::Histogram(durations.snapshot()),
+                },
+            ],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_profile() -> RunProfile {
+        RunProfile {
+            model: "demo".into(),
+            batch: 1,
+            per_node: vec![
+                NodeProfile {
+                    name: "conv1".into(),
+                    op: "Conv2d(4o, 3x3/1, g1)".into(),
+                    macs: 6912,
+                    elementwise: 0,
+                    duration_ns: 9000,
+                },
+                NodeProfile {
+                    name: "fc".into(),
+                    op: "Dense(10)".into(),
+                    macs: 2560,
+                    elementwise: 10,
+                    duration_ns: 500,
+                },
+            ],
+            wall_ns: 10_000,
+        }
+    }
+
+    #[test]
+    fn aggregates_are_consistent() {
+        let p = demo_profile();
+        assert_eq!(p.nodes_ns(), 9500);
+        assert_eq!(p.total_ops(), 2 * 6912 + 2 * 2560 + 10);
+        assert!((p.coverage() - 0.95).abs() < 1e-12);
+        assert!((p.achieved_gops() - p.total_ops() as f64 / 1e4).abs() < 1e-12);
+        assert_eq!(p.top_by_time(1)[0].name, "conv1");
+    }
+
+    #[test]
+    fn gops_guards_zero_duration() {
+        let node = NodeProfile {
+            name: "n".into(),
+            op: "Flatten".into(),
+            macs: 0,
+            elementwise: 0,
+            duration_ns: 0,
+        };
+        assert_eq!(node.achieved_gops(), 0.0);
+    }
+
+    #[test]
+    fn display_is_stable() {
+        let text = demo_profile().to_string();
+        assert!(text.starts_with(
+            "profile of demo (batch 1): 2 nodes, wall 10000 ns, coverage 95.0%, 1.895 GFLOP/s"
+        ));
+        assert!(text.contains("conv1"));
+        assert!(text.contains("13824 ops"));
+    }
+
+    #[test]
+    fn export_format_is_stable() {
+        let json = demo_profile().export().to_json();
+        assert!(json.starts_with("{\"subsystem\":\"runner\",\"metrics\":["));
+        assert!(json.contains("\"name\":\"wall_ns\",\"help\":\"wall time of the profiled forward pass\",\"type\":\"counter\",\"value\":10000"));
+        assert!(json.contains("\"name\":\"coverage\""));
+        assert!(json.contains("\"type\":\"gauge\",\"value\":0.95}"));
+        let round = vedliot_obs::Export::from_json(&json).expect("round-trips");
+        assert_eq!(round.to_json(), json);
+        let prom = demo_profile().export().to_prometheus();
+        assert!(prom.contains("vedliot_runner_wall_ns 10000\n"));
+        assert!(prom.contains("# TYPE vedliot_runner_node_duration_ns histogram"));
+    }
+}

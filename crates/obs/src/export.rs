@@ -1,0 +1,538 @@
+//! The unified exporter: one trait, two wire formats.
+//!
+//! Every observable subsystem (serving metrics, runner profiles, RECS
+//! telemetry, trace breakdowns) implements [`Exportable`] by describing
+//! itself as an [`Export`] — a named set of counters, gauges and
+//! histograms. The [`Export`] then renders to hand-rolled JSON
+//! ([`Export::to_json`]) or Prometheus text exposition
+//! ([`Export::to_prometheus`]), so a scraper sees one schema no matter
+//! which layer produced the numbers.
+//!
+//! The vendored `serde` is a marker-trait stand-in with no serializer,
+//! so the JSON written here *is* the interchange format; it parses back
+//! via [`Export::from_json`] (round-trip property-tested), which is
+//! what keeps the pinned CI goldens honest.
+
+use crate::hist::HistogramSnapshot;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// One metric value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum MetricValue {
+    /// Monotonically increasing count.
+    Counter(u64),
+    /// Instantaneous level (finite values only; non-finite renders 0).
+    Gauge(f64),
+    /// Full distribution.
+    Histogram(HistogramSnapshot),
+}
+
+/// One named metric with a help string.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Metric {
+    /// Metric name (lowercase snake_case by convention).
+    pub name: String,
+    /// One-line description, rendered into `# HELP` / JSON.
+    pub help: String,
+    /// The value.
+    pub value: MetricValue,
+}
+
+/// An exportable snapshot: a subsystem name plus its metrics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Export {
+    /// Subsystem the metrics belong to (`serve`, `runner`, `recs`, …).
+    pub subsystem: String,
+    /// The metrics, in a stable order chosen by the producer.
+    pub metrics: Vec<Metric>,
+}
+
+/// Anything that can describe itself to the unified exporter.
+pub trait Exportable {
+    /// The subsystem's current metrics.
+    fn export(&self) -> Export;
+}
+
+fn finite(v: f64) -> f64 {
+    if v.is_finite() {
+        v
+    } else {
+        0.0
+    }
+}
+
+fn json_escape(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Sanitizes a name into the Prometheus metric-name alphabet.
+fn prom_name(s: &str) -> String {
+    let mut out: String = s
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+impl Export {
+    /// Renders the export as compact JSON with a stable key order.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str("{\"subsystem\":\"");
+        json_escape(&mut out, &self.subsystem);
+        out.push_str("\",\"metrics\":[");
+        for (i, m) in self.metrics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":\"");
+            json_escape(&mut out, &m.name);
+            out.push_str("\",\"help\":\"");
+            json_escape(&mut out, &m.help);
+            out.push_str("\",");
+            match &m.value {
+                MetricValue::Counter(v) => {
+                    let _ = write!(out, "\"type\":\"counter\",\"value\":{v}");
+                }
+                MetricValue::Gauge(v) => {
+                    let _ = write!(out, "\"type\":\"gauge\",\"value\":{}", finite(*v));
+                }
+                MetricValue::Histogram(h) => {
+                    let _ = write!(
+                        out,
+                        "\"type\":\"histogram\",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"counts\":[",
+                        h.count, h.sum, h.min, h.max
+                    );
+                    for (j, c) in h.counts.iter().enumerate() {
+                        if j > 0 {
+                            out.push(',');
+                        }
+                        let _ = write!(out, "{c}");
+                    }
+                    out.push(']');
+                }
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Renders the export in the Prometheus text exposition format.
+    /// Metric names are prefixed `vedliot_<subsystem>_`; histograms
+    /// emit cumulative `_bucket{le="…"}` series over the log2 bounds
+    /// (up to the highest occupied bucket) plus `_sum`/`_count`.
+    #[must_use]
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::with_capacity(512);
+        let prefix = prom_name(&self.subsystem);
+        for m in &self.metrics {
+            let name = format!("vedliot_{prefix}_{}", prom_name(&m.name));
+            let kind = match &m.value {
+                MetricValue::Counter(_) => "counter",
+                MetricValue::Gauge(_) => "gauge",
+                MetricValue::Histogram(_) => "histogram",
+            };
+            let _ = writeln!(out, "# HELP {name} {}", m.help.replace('\n', " "));
+            let _ = writeln!(out, "# TYPE {name} {kind}");
+            match &m.value {
+                MetricValue::Counter(v) => {
+                    let _ = writeln!(out, "{name} {v}");
+                }
+                MetricValue::Gauge(v) => {
+                    let _ = writeln!(out, "{name} {}", finite(*v));
+                }
+                MetricValue::Histogram(h) => {
+                    let last = h.counts.iter().rposition(|&c| c > 0).unwrap_or(0);
+                    let mut cumulative = 0u64;
+                    for (i, &c) in h.counts.iter().enumerate().take(last + 1) {
+                        cumulative += c;
+                        let (_, hi) = crate::hist::bucket_bounds(i);
+                        let _ = writeln!(out, "{name}_bucket{{le=\"{hi}\"}} {cumulative}");
+                    }
+                    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count);
+                    let _ = writeln!(out, "{name}_sum {}", h.sum);
+                    let _ = writeln!(out, "{name}_count {}", h.count);
+                }
+            }
+        }
+        out
+    }
+
+    /// Parses an export back from [`to_json`](Self::to_json) output.
+    /// Returns `None` on any structural mismatch — this is a schema
+    /// reader for round-trip checks and golden diffing, not a general
+    /// JSON library.
+    #[must_use]
+    pub fn from_json(text: &str) -> Option<Export> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        let export = p.export()?;
+        p.skip_ws();
+        if p.pos == p.bytes.len() {
+            Some(export)
+        } else {
+            None
+        }
+    }
+}
+
+/// Minimal recursive-descent reader for the schema `to_json` writes.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(u8::is_ascii_whitespace)
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> Option<()> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Some(())
+        } else {
+            None
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn key(&mut self, expected: &str) -> Option<()> {
+        let k = self.string()?;
+        if k == expected {
+            self.eat(b':')
+        } else {
+            None
+        }
+    }
+
+    fn string(&mut self) -> Option<String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos)? {
+                b'"' => {
+                    self.pos += 1;
+                    return Some(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos)? {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self.bytes.get(self.pos + 1..self.pos + 5)?;
+                            let code =
+                                u32::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?;
+                            out.push(char::from_u32(code)?);
+                            self.pos += 4;
+                        }
+                        _ => return None,
+                    }
+                    self.pos += 1;
+                }
+                _ => {
+                    // Consume one full UTF-8 scalar.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..]).ok()?;
+                    let c = rest.chars().next()?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Option<f64> {
+        self.skip_ws();
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()?
+            .parse()
+            .ok()
+    }
+
+    fn u64_number(&mut self) -> Option<u64> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.bytes.get(self.pos).is_some_and(u8::is_ascii_digit) {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()?
+            .parse()
+            .ok()
+    }
+
+    fn u64_array(&mut self) -> Option<Vec<u64>> {
+        self.eat(b'[')?;
+        let mut out = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Some(out);
+        }
+        loop {
+            out.push(self.u64_number()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Some(out);
+                }
+                _ => return None,
+            }
+        }
+    }
+
+    fn export(&mut self) -> Option<Export> {
+        self.eat(b'{')?;
+        self.key("subsystem")?;
+        let subsystem = self.string()?;
+        self.eat(b',')?;
+        self.key("metrics")?;
+        self.eat(b'[')?;
+        let mut metrics = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+        } else {
+            loop {
+                metrics.push(self.metric()?);
+                match self.peek()? {
+                    b',' => self.pos += 1,
+                    b']' => {
+                        self.pos += 1;
+                        break;
+                    }
+                    _ => return None,
+                }
+            }
+        }
+        self.eat(b'}')?;
+        Some(Export { subsystem, metrics })
+    }
+
+    fn metric(&mut self) -> Option<Metric> {
+        self.eat(b'{')?;
+        self.key("name")?;
+        let name = self.string()?;
+        self.eat(b',')?;
+        self.key("help")?;
+        let help = self.string()?;
+        self.eat(b',')?;
+        self.key("type")?;
+        let kind = self.string()?;
+        self.eat(b',')?;
+        let value = match kind.as_str() {
+            "counter" => {
+                self.key("value")?;
+                MetricValue::Counter(self.u64_number()?)
+            }
+            "gauge" => {
+                self.key("value")?;
+                MetricValue::Gauge(self.number()?)
+            }
+            "histogram" => {
+                self.key("count")?;
+                let count = self.u64_number()?;
+                self.eat(b',')?;
+                self.key("sum")?;
+                let sum = self.u64_number()?;
+                self.eat(b',')?;
+                self.key("min")?;
+                let min = self.u64_number()?;
+                self.eat(b',')?;
+                self.key("max")?;
+                let max = self.u64_number()?;
+                self.eat(b',')?;
+                self.key("counts")?;
+                let counts = self.u64_array()?;
+                MetricValue::Histogram(HistogramSnapshot {
+                    counts,
+                    count,
+                    sum,
+                    min,
+                    max,
+                })
+            }
+            _ => return None,
+        };
+        self.eat(b'}')?;
+        Some(Metric { name, help, value })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::Histogram;
+
+    fn sample_export() -> Export {
+        let h = Histogram::new();
+        for v in [1u64, 2, 3, 4, 5, 6] {
+            h.record(v);
+        }
+        Export {
+            subsystem: "demo".into(),
+            metrics: vec![
+                Metric {
+                    name: "served".into(),
+                    help: "requests served".into(),
+                    value: MetricValue::Counter(42),
+                },
+                Metric {
+                    name: "mean_batch".into(),
+                    help: "mean requests per batch".into(),
+                    value: MetricValue::Gauge(3.5),
+                },
+                Metric {
+                    name: "latency_us".into(),
+                    help: "reply latency".into(),
+                    value: MetricValue::Histogram(h.snapshot()),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_format_is_stable() {
+        let j = sample_export().to_json();
+        assert!(j.starts_with("{\"subsystem\":\"demo\",\"metrics\":["));
+        assert!(j.contains(
+            "{\"name\":\"served\",\"help\":\"requests served\",\"type\":\"counter\",\"value\":42}"
+        ));
+        assert!(j.contains(
+            "{\"name\":\"mean_batch\",\"help\":\"mean requests per batch\",\"type\":\"gauge\",\"value\":3.5}"
+        ));
+        assert!(j.contains("\"type\":\"histogram\",\"count\":6,\"sum\":21,\"min\":1,\"max\":6,\"counts\":[0,1,2,3,"));
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let e = sample_export();
+        assert_eq!(Export::from_json(&e.to_json()), Some(e));
+    }
+
+    #[test]
+    fn json_round_trips_awkward_strings() {
+        let e = Export {
+            subsystem: "we\"ird\\sub".into(),
+            metrics: vec![Metric {
+                name: "a\nb".into(),
+                help: "tabs\tand \u{1}controls and ünïcode".into(),
+                value: MetricValue::Counter(0),
+            }],
+        };
+        assert_eq!(Export::from_json(&e.to_json()), Some(e));
+    }
+
+    #[test]
+    fn malformed_json_is_rejected() {
+        assert_eq!(Export::from_json(""), None);
+        assert_eq!(Export::from_json("{\"subsystem\":\"x\"}"), None);
+        let good = sample_export().to_json();
+        assert_eq!(Export::from_json(&good[..good.len() - 1]), None);
+        assert_eq!(Export::from_json(&format!("{good} trailing")), None);
+    }
+
+    #[test]
+    fn prometheus_format_is_stable() {
+        let p = sample_export().to_prometheus();
+        let expected_head = "\
+# HELP vedliot_demo_served requests served
+# TYPE vedliot_demo_served counter
+vedliot_demo_served 42
+# HELP vedliot_demo_mean_batch mean requests per batch
+# TYPE vedliot_demo_mean_batch gauge
+vedliot_demo_mean_batch 3.5
+# HELP vedliot_demo_latency_us reply latency
+# TYPE vedliot_demo_latency_us histogram
+vedliot_demo_latency_us_bucket{le=\"0\"} 0
+vedliot_demo_latency_us_bucket{le=\"1\"} 1
+vedliot_demo_latency_us_bucket{le=\"3\"} 3
+vedliot_demo_latency_us_bucket{le=\"7\"} 6
+vedliot_demo_latency_us_bucket{le=\"+Inf\"} 6
+vedliot_demo_latency_us_sum 21
+vedliot_demo_latency_us_count 6
+";
+        assert_eq!(p, expected_head);
+    }
+
+    #[test]
+    fn prometheus_sanitizes_names() {
+        let e = Export {
+            subsystem: "my sub".into(),
+            metrics: vec![Metric {
+                name: "9lives-total".into(),
+                help: "multi\nline help".into(),
+                value: MetricValue::Gauge(f64::NAN),
+            }],
+        };
+        let p = e.to_prometheus();
+        assert!(p.contains("vedliot_my_sub__9lives_total 0\n"));
+        assert!(p.contains("# HELP vedliot_my_sub__9lives_total multi line help\n"));
+    }
+
+    #[test]
+    fn empty_histogram_export_round_trips() {
+        let e = Export {
+            subsystem: "s".into(),
+            metrics: vec![Metric {
+                name: "h".into(),
+                help: String::new(),
+                value: MetricValue::Histogram(HistogramSnapshot::empty()),
+            }],
+        };
+        assert_eq!(Export::from_json(&e.to_json()), Some(e.clone()));
+        // An empty histogram still emits the +Inf bucket and totals.
+        let p = e.to_prometheus();
+        assert!(p.contains("vedliot_s_h_bucket{le=\"+Inf\"} 0\n"));
+        assert!(p.contains("vedliot_s_h_count 0\n"));
+    }
+}

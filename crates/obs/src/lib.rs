@@ -1,0 +1,38 @@
+//! Observability substrate for the VEDLIoT reproduction.
+//!
+//! The paper's evaluation methodology is *measurement*: Fig. 4 compares
+//! measured against theoretical performance per platform, and §II-A's
+//! dynamically configurable infrastructure is driven by per-node
+//! power/thermal/utilization telemetry. This crate is the shared
+//! machinery that lets every subsystem produce such measurements
+//! without perturbing the thing being measured:
+//!
+//! * [`hist`] — wait-free log2-bucketed atomic histograms. Workers
+//!   record a sample with a handful of relaxed atomic increments; a
+//!   snapshot yields the *full* latency distribution, not just two
+//!   percentiles (and replaces the serving layer's old
+//!   mutex-guarded rolling window — the reply-path hot lock).
+//! * [`trace`] — a bounded lock-free ring of request-lifecycle
+//!   [`SpanRecord`](trace::SpanRecord)s. Each request's timeline
+//!   (enqueue → queue-wait → batch-linger → dispatch → execute →
+//!   reply) is written with per-slot seqlock versioning: writers never
+//!   block, readers retry until they observe a torn-free record.
+//! * [`export`] — one [`Exportable`](export::Exportable) trait and two
+//!   renderers (hand-rolled JSON and Prometheus text exposition) shared
+//!   by serving metrics, runner profiles and RECS telemetry, so every
+//!   subsystem exports over the same path. The vendored `serde` is a
+//!   no-op stand-in, so the JSON model here *is* the wire format — it
+//!   round-trips through [`export::Export::from_json`].
+//!
+//! The overhead budget (DESIGN.md §9): disabled observability costs one
+//! branch per batch; enabled tracing is a few relaxed atomics per
+//! request and must stay within a single-digit-percent tax, asserted
+//! live by experiment E23 (`harness observe`).
+
+pub mod export;
+pub mod hist;
+pub mod trace;
+
+pub use export::{Export, Exportable, Metric, MetricValue};
+pub use hist::{Histogram, HistogramSnapshot};
+pub use trace::{SpanOutcome, SpanRecord, StageBreakdown, TraceRing};

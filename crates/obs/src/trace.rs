@@ -1,0 +1,533 @@
+//! Request-lifecycle spans and the bounded lock-free trace ring.
+//!
+//! A [`SpanRecord`] is one request's timeline through the serving
+//! pipeline, as five monotonic microsecond timestamps (relative to the
+//! server's trace epoch) plus the linger attribution:
+//!
+//! ```text
+//! enqueue ──queue-wait──► dequeue ──dispatch──► exec_start ──execute──► exec_end ──reply──► reply
+//!          └─batch-linger┘(carved out of the enqueue→dequeue interval)
+//! ```
+//!
+//! Because the stages are *defined* as differences of one monotonic
+//! clock, they sum to the end-to-end latency exactly (integer
+//! microseconds) — the invariant the CI observability smoke asserts.
+//!
+//! The [`TraceRing`] stores the most recent `capacity` spans. Writers
+//! are lock-free: a slot is claimed by a single CAS on its seqlock
+//! version (odd = write in progress) and filled with relaxed stores;
+//! a writer that loses the CAS race (only possible when another writer
+//! has lapped the whole ring mid-write) drops its span and counts it.
+//! Readers retry a slot until they observe the same even version on
+//! both sides of the field loads, so a snapshot never contains a torn
+//! record — property-tested under concurrent hammering in
+//! `tests/proptests.rs`.
+
+use crate::hist::{Histogram, HistogramSnapshot};
+use crate::{Export, Exportable, Metric, MetricValue};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::atomic::{fence, AtomicU64, Ordering};
+
+/// How a traced request left the pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum SpanOutcome {
+    /// Answered with a model output.
+    #[default]
+    Ok,
+    /// Answered with an execution error.
+    Failed,
+    /// Purged because its deadline expired.
+    TimedOut,
+    /// Isolated as the poison by quarantine bisection.
+    Quarantined,
+}
+
+impl SpanOutcome {
+    fn code(self) -> u64 {
+        match self {
+            SpanOutcome::Ok => 0,
+            SpanOutcome::Failed => 1,
+            SpanOutcome::TimedOut => 2,
+            SpanOutcome::Quarantined => 3,
+        }
+    }
+
+    fn from_code(code: u64) -> Self {
+        match code {
+            1 => SpanOutcome::Failed,
+            2 => SpanOutcome::TimedOut,
+            3 => SpanOutcome::Quarantined,
+            _ => SpanOutcome::Ok,
+        }
+    }
+}
+
+impl fmt::Display for SpanOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            SpanOutcome::Ok => "ok",
+            SpanOutcome::Failed => "failed",
+            SpanOutcome::TimedOut => "timed_out",
+            SpanOutcome::Quarantined => "quarantined",
+        })
+    }
+}
+
+/// One request's span timeline. All timestamps are microseconds since
+/// the owning server's trace epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct SpanRecord {
+    /// Submission sequence number (1-based).
+    pub seq: u64,
+    /// Accepted into the submission queue.
+    pub enqueue_us: u64,
+    /// Drained out of the queue into a formed batch (for a request
+    /// purged while still queued, this equals `reply_us`).
+    pub dequeue_us: u64,
+    /// First execution attempt began.
+    pub exec_start_us: u64,
+    /// Final execution attempt finished (includes retries + backoff).
+    pub exec_end_us: u64,
+    /// Reply recorded (the end-to-end completion point).
+    pub reply_us: u64,
+    /// Portion of the queued interval spent deliberately lingering for
+    /// batch companions (`≤ dequeue_us − enqueue_us`).
+    pub linger_us: u64,
+    /// Size of the batch this request executed in (0 if never batched).
+    pub batch: u32,
+    /// Execution retries this request survived.
+    pub retries: u32,
+    /// Terminal outcome.
+    pub outcome: SpanOutcome,
+}
+
+/// Number of packed words per ring slot.
+const WORDS: usize = 8;
+
+impl SpanRecord {
+    /// Queue-wait stage: queued time not attributed to lingering.
+    #[must_use]
+    pub fn queue_wait_us(&self) -> u64 {
+        (self.dequeue_us.saturating_sub(self.enqueue_us)).saturating_sub(self.linger_us)
+    }
+
+    /// Dispatch stage: batch formed → first execution attempt.
+    #[must_use]
+    pub fn dispatch_us(&self) -> u64 {
+        self.exec_start_us.saturating_sub(self.dequeue_us)
+    }
+
+    /// Execute stage: first attempt begins → final attempt ends
+    /// (retries and backoff included).
+    #[must_use]
+    pub fn execute_us(&self) -> u64 {
+        self.exec_end_us.saturating_sub(self.exec_start_us)
+    }
+
+    /// Reply stage: execution done → reply recorded.
+    #[must_use]
+    pub fn reply_stage_us(&self) -> u64 {
+        self.reply_us.saturating_sub(self.exec_end_us)
+    }
+
+    /// End-to-end latency (enqueue → reply).
+    #[must_use]
+    pub fn end_to_end_us(&self) -> u64 {
+        self.reply_us.saturating_sub(self.enqueue_us)
+    }
+
+    /// Sum of the five stages. Equals [`end_to_end_us`](Self::end_to_end_us)
+    /// exactly whenever the record [`is_monotonic`](Self::is_monotonic).
+    #[must_use]
+    pub fn stage_sum_us(&self) -> u64 {
+        self.queue_wait_us()
+            + self.linger_us
+            + self.dispatch_us()
+            + self.execute_us()
+            + self.reply_stage_us()
+    }
+
+    /// Whether the timeline is well-formed: timestamps are monotone and
+    /// the linger attribution fits inside the queued interval.
+    #[must_use]
+    pub fn is_monotonic(&self) -> bool {
+        self.enqueue_us <= self.dequeue_us
+            && self.dequeue_us <= self.exec_start_us
+            && self.exec_start_us <= self.exec_end_us
+            && self.exec_end_us <= self.reply_us
+            && self.linger_us <= self.dequeue_us - self.enqueue_us
+    }
+
+    fn pack(&self) -> [u64; WORDS] {
+        [
+            self.seq,
+            self.enqueue_us,
+            self.dequeue_us,
+            self.exec_start_us,
+            self.exec_end_us,
+            self.reply_us,
+            self.linger_us,
+            (u64::from(self.batch) << 32)
+                | (u64::from(self.retries.min(0x00FF_FFFF)) << 8)
+                | self.outcome.code(),
+        ]
+    }
+
+    fn unpack(words: [u64; WORDS]) -> Self {
+        SpanRecord {
+            seq: words[0],
+            enqueue_us: words[1],
+            dequeue_us: words[2],
+            exec_start_us: words[3],
+            exec_end_us: words[4],
+            reply_us: words[5],
+            linger_us: words[6],
+            batch: (words[7] >> 32) as u32,
+            retries: ((words[7] >> 8) & 0x00FF_FFFF) as u32,
+            outcome: SpanOutcome::from_code(words[7] & 0xFF),
+        }
+    }
+}
+
+impl fmt::Display for SpanRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "span#{} [{}] e2e={}us queue={}us linger={}us dispatch={}us execute={}us reply={}us batch={} retries={}",
+            self.seq,
+            self.outcome,
+            self.end_to_end_us(),
+            self.queue_wait_us(),
+            self.linger_us,
+            self.dispatch_us(),
+            self.execute_us(),
+            self.reply_stage_us(),
+            self.batch,
+            self.retries
+        )
+    }
+}
+
+/// One seqlock-versioned slot: `version` is even when stable, odd while
+/// a writer owns it; it strictly increases, so a reader that sees the
+/// same even version before and after its field loads read a coherent
+/// record. Version 0 means "never written".
+struct Slot {
+    version: AtomicU64,
+    words: [AtomicU64; WORDS],
+}
+
+/// Bounded lock-free ring of the most recent spans.
+pub struct TraceRing {
+    slots: Vec<Slot>,
+    head: AtomicU64,
+    recorded: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl fmt::Debug for TraceRing {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TraceRing")
+            .field("capacity", &self.slots.len())
+            .field("recorded", &self.recorded())
+            .field("dropped", &self.dropped())
+            .finish()
+    }
+}
+
+impl TraceRing {
+    /// A ring retaining the most recent `capacity` spans.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is 0.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "trace ring needs at least one slot");
+        TraceRing {
+            slots: (0..capacity)
+                .map(|_| Slot {
+                    version: AtomicU64::new(0),
+                    words: std::array::from_fn(|_| AtomicU64::new(0)),
+                })
+                .collect(),
+            head: AtomicU64::new(0),
+            recorded: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Slots in the ring.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Spans successfully recorded (including those since overwritten).
+    #[must_use]
+    pub fn recorded(&self) -> u64 {
+        self.recorded.load(Ordering::Relaxed)
+    }
+
+    /// Spans dropped because a concurrent writer held the claimed slot.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Records one span. Lock-free and non-blocking: the only loss mode
+    /// is a writer lapped by the entire ring mid-write, counted in
+    /// [`dropped`](Self::dropped).
+    pub fn record(&self, span: &SpanRecord) {
+        let idx = (self.head.fetch_add(1, Ordering::Relaxed) % self.slots.len() as u64) as usize;
+        let slot = &self.slots[idx];
+        let version = slot.version.load(Ordering::Acquire);
+        if version & 1 == 1
+            || slot
+                .version
+                .compare_exchange(version, version + 1, Ordering::Acquire, Ordering::Relaxed)
+                .is_err()
+        {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        for (word, value) in slot.words.iter().zip(span.pack()) {
+            word.store(value, Ordering::Relaxed);
+        }
+        slot.version.store(version + 2, Ordering::Release);
+        self.recorded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Reads every stable span currently in the ring, ordered by
+    /// submission sequence. Slots mid-write are retried a few times,
+    /// then skipped; torn records are never returned.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<SpanRecord> {
+        let mut spans: Vec<SpanRecord> = self.slots.iter().filter_map(read_slot).collect();
+        spans.sort_unstable_by_key(|s| s.seq);
+        spans
+    }
+}
+
+fn read_slot(slot: &Slot) -> Option<SpanRecord> {
+    for _ in 0..16 {
+        let before = slot.version.load(Ordering::Acquire);
+        if before == 0 {
+            return None; // never written
+        }
+        if before & 1 == 1 {
+            std::hint::spin_loop();
+            continue; // writer active
+        }
+        let mut words = [0u64; WORDS];
+        for (out, word) in words.iter_mut().zip(&slot.words) {
+            *out = word.load(Ordering::Relaxed);
+        }
+        fence(Ordering::Acquire);
+        if slot.version.load(Ordering::Relaxed) == before {
+            return Some(SpanRecord::unpack(words));
+        }
+    }
+    None
+}
+
+/// Per-stage latency attribution over a set of spans — the answer to
+/// "where did the p99 go": queue, linger, dispatch, execute or reply.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageBreakdown {
+    /// Spans aggregated.
+    pub spans: u64,
+    /// Queue-wait distribution (µs).
+    pub queue_us: HistogramSnapshot,
+    /// Batch-linger distribution (µs).
+    pub linger_us: HistogramSnapshot,
+    /// Dispatch distribution (µs).
+    pub dispatch_us: HistogramSnapshot,
+    /// Execute distribution (µs, retries included).
+    pub execute_us: HistogramSnapshot,
+    /// Reply distribution (µs).
+    pub reply_us: HistogramSnapshot,
+    /// End-to-end distribution (µs).
+    pub end_to_end_us: HistogramSnapshot,
+}
+
+impl StageBreakdown {
+    /// Aggregates a snapshot of spans into per-stage distributions.
+    #[must_use]
+    pub fn of(spans: &[SpanRecord]) -> Self {
+        let (queue, linger, dispatch, execute, reply, e2e) = (
+            Histogram::new(),
+            Histogram::new(),
+            Histogram::new(),
+            Histogram::new(),
+            Histogram::new(),
+            Histogram::new(),
+        );
+        for s in spans {
+            queue.record(s.queue_wait_us());
+            linger.record(s.linger_us);
+            dispatch.record(s.dispatch_us());
+            execute.record(s.execute_us());
+            reply.record(s.reply_stage_us());
+            e2e.record(s.end_to_end_us());
+        }
+        StageBreakdown {
+            spans: spans.len() as u64,
+            queue_us: queue.snapshot(),
+            linger_us: linger.snapshot(),
+            dispatch_us: dispatch.snapshot(),
+            execute_us: execute.snapshot(),
+            reply_us: reply.snapshot(),
+            end_to_end_us: e2e.snapshot(),
+        }
+    }
+
+    /// (stage name, distribution) pairs in pipeline order.
+    #[must_use]
+    pub fn stages(&self) -> [(&'static str, &HistogramSnapshot); 5] {
+        [
+            ("queue", &self.queue_us),
+            ("linger", &self.linger_us),
+            ("dispatch", &self.dispatch_us),
+            ("execute", &self.execute_us),
+            ("reply", &self.reply_us),
+        ]
+    }
+}
+
+impl fmt::Display for StageBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "stage attribution over {} spans (us):", self.spans)?;
+        for (name, h) in self.stages() {
+            writeln!(
+                f,
+                "  {name:<8} mean={:<8.1} p50~{:<6} p99~{}",
+                h.mean(),
+                h.quantile(0.50),
+                h.quantile(0.99)
+            )?;
+        }
+        write!(
+            f,
+            "  {:<8} mean={:<8.1} p50~{:<6} p99~{}",
+            "e2e",
+            self.end_to_end_us.mean(),
+            self.end_to_end_us.quantile(0.50),
+            self.end_to_end_us.quantile(0.99)
+        )
+    }
+}
+
+impl Exportable for StageBreakdown {
+    fn export(&self) -> Export {
+        let mut metrics = vec![Metric {
+            name: "spans".into(),
+            help: "spans aggregated into this breakdown".into(),
+            value: MetricValue::Counter(self.spans),
+        }];
+        for (name, h) in self.stages() {
+            metrics.push(Metric {
+                name: format!("{name}_us"),
+                help: format!("{name} stage latency in microseconds"),
+                value: MetricValue::Histogram(h.clone()),
+            });
+        }
+        metrics.push(Metric {
+            name: "end_to_end_us".into(),
+            help: "end-to-end request latency in microseconds".into(),
+            value: MetricValue::Histogram(self.end_to_end_us.clone()),
+        });
+        Export {
+            subsystem: "trace".into(),
+            metrics,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(seq: u64) -> SpanRecord {
+        SpanRecord {
+            seq,
+            enqueue_us: 100 * seq,
+            dequeue_us: 100 * seq + 40,
+            exec_start_us: 100 * seq + 42,
+            exec_end_us: 100 * seq + 90,
+            reply_us: 100 * seq + 95,
+            linger_us: 30,
+            batch: 4,
+            retries: 1,
+            outcome: SpanOutcome::Ok,
+        }
+    }
+
+    #[test]
+    fn stages_sum_to_end_to_end_exactly() {
+        let s = span(3);
+        assert!(s.is_monotonic());
+        assert_eq!(s.queue_wait_us(), 10);
+        assert_eq!(s.dispatch_us(), 2);
+        assert_eq!(s.execute_us(), 48);
+        assert_eq!(s.reply_stage_us(), 5);
+        assert_eq!(s.stage_sum_us(), s.end_to_end_us());
+        assert_eq!(s.end_to_end_us(), 95);
+    }
+
+    #[test]
+    fn pack_round_trips() {
+        let s = span(u64::MAX / 200);
+        assert_eq!(SpanRecord::unpack(s.pack()), s);
+        for outcome in [
+            SpanOutcome::Ok,
+            SpanOutcome::Failed,
+            SpanOutcome::TimedOut,
+            SpanOutcome::Quarantined,
+        ] {
+            let s = SpanRecord { outcome, ..span(7) };
+            assert_eq!(SpanRecord::unpack(s.pack()).outcome, outcome);
+        }
+    }
+
+    #[test]
+    fn ring_keeps_the_most_recent_spans() {
+        let ring = TraceRing::new(8);
+        for seq in 1..=20 {
+            ring.record(&span(seq));
+        }
+        let spans = ring.snapshot();
+        assert_eq!(spans.len(), 8);
+        assert_eq!(ring.recorded(), 20);
+        assert_eq!(ring.dropped(), 0);
+        // The last 8 written survive, in seq order.
+        let seqs: Vec<u64> = spans.iter().map(|s| s.seq).collect();
+        assert_eq!(seqs, (13..=20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_ring_snapshot_is_empty() {
+        assert!(TraceRing::new(4).snapshot().is_empty());
+    }
+
+    #[test]
+    fn breakdown_aggregates_every_span() {
+        let spans: Vec<SpanRecord> = (1..=50).map(span).collect();
+        let b = StageBreakdown::of(&spans);
+        assert_eq!(b.spans, 50);
+        assert_eq!(b.end_to_end_us.count, 50);
+        assert_eq!(b.execute_us.count, 50);
+        // Every span has identical stage structure here.
+        assert_eq!(b.end_to_end_us.min, 95);
+        assert_eq!(b.end_to_end_us.max, 95);
+    }
+
+    #[test]
+    fn span_display_is_stable() {
+        assert_eq!(
+            span(3).to_string(),
+            "span#3 [ok] e2e=95us queue=10us linger=30us dispatch=2us execute=48us reply=5us batch=4 retries=1"
+        );
+    }
+}

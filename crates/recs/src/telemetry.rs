@@ -9,6 +9,8 @@
 
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
+use std::fmt;
+use vedliot_obs::{Export, Exportable, Metric, MetricValue};
 
 /// One telemetry sample from a microserver slot.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -154,6 +156,95 @@ impl NodeTelemetry {
         }
         Health::Ok
     }
+
+    /// Point-in-time view of the tracker for export through the
+    /// workspace [`Exportable`] pipeline (same JSON/Prometheus path as
+    /// serve metrics and runner profiles).
+    #[must_use]
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        let latest = self.samples.back();
+        TelemetrySnapshot {
+            samples: self.samples.len() as u64,
+            mean_power_w: self.mean_power_w(),
+            power_w: latest.map_or(0.0, |s| s.power_w),
+            temperature_c: latest.map_or(0.0, |s| s.temperature_c),
+            utilization: latest.map_or(0.0, |s| s.utilization),
+            healthy: self.health().is_ok(),
+        }
+    }
+}
+
+/// Exportable view of one node's recent telemetry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TelemetrySnapshot {
+    /// Samples retained in the rolling window.
+    pub samples: u64,
+    /// Mean power over the window in watts.
+    pub mean_power_w: f64,
+    /// Latest power draw in watts (0 when no samples).
+    pub power_w: f64,
+    /// Latest module temperature in °C (0 when no samples).
+    pub temperature_c: f64,
+    /// Latest compute utilization in `[0, 1]` (0 when no samples).
+    pub utilization: f64,
+    /// Whether [`NodeTelemetry::health`] reported [`Health::Ok`].
+    pub healthy: bool,
+}
+
+impl fmt::Display for TelemetrySnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "telemetry: {} samples, {:.1} W mean ({:.1} W now), {:.1} °C, {:.0}% util, {}",
+            self.samples,
+            self.mean_power_w,
+            self.power_w,
+            self.temperature_c,
+            self.utilization * 100.0,
+            if self.healthy { "healthy" } else { "degraded" }
+        )
+    }
+}
+
+impl Exportable for TelemetrySnapshot {
+    fn export(&self) -> Export {
+        let gauge = |name: &str, help: &str, value: f64| Metric {
+            name: name.into(),
+            help: help.into(),
+            value: MetricValue::Gauge(value),
+        };
+        Export {
+            subsystem: "recs".into(),
+            metrics: vec![
+                Metric {
+                    name: "samples".into(),
+                    help: "telemetry samples retained in the window".into(),
+                    value: MetricValue::Counter(self.samples),
+                },
+                gauge(
+                    "mean_power_w",
+                    "mean power over the window in watts",
+                    self.mean_power_w,
+                ),
+                gauge("power_w", "latest power draw in watts", self.power_w),
+                gauge(
+                    "temperature_c",
+                    "latest module temperature in celsius",
+                    self.temperature_c,
+                ),
+                gauge(
+                    "utilization",
+                    "latest compute utilization in [0,1]",
+                    self.utilization,
+                ),
+                gauge(
+                    "healthy",
+                    "1 when health checks pass, 0 when degraded",
+                    if self.healthy { 1.0 } else { 0.0 },
+                ),
+            ],
+        }
+    }
 }
 
 #[cfg(test)]
@@ -219,5 +310,32 @@ mod tests {
         let t = NodeTelemetry::new(15.0, 85.0, 8);
         assert!(t.is_empty());
         assert!(t.health().is_ok());
+        let s = t.snapshot();
+        assert_eq!(s.samples, 0);
+        assert!(s.healthy);
+    }
+
+    #[test]
+    fn snapshot_display_is_stable() {
+        let mut t = NodeTelemetry::new(15.0, 85.0, 8);
+        t.record(sample(0, 8.0, 60.0));
+        t.record(sample(1, 10.0, 62.0));
+        assert_eq!(
+            t.snapshot().to_string(),
+            "telemetry: 2 samples, 9.0 W mean (10.0 W now), 62.0 °C, 50% util, healthy"
+        );
+    }
+
+    #[test]
+    fn snapshot_exports_through_the_shared_pipeline() {
+        let mut t = NodeTelemetry::new(15.0, 85.0, 8);
+        t.record(sample(0, 16.5, 60.0));
+        let export = t.snapshot().export();
+        assert_eq!(export.subsystem, "recs");
+        let json = export.to_json();
+        assert_eq!(Export::from_json(&json).unwrap(), export);
+        let prom = export.to_prometheus();
+        assert!(prom.contains("vedliot_recs_power_w 16.5\n"), "{prom}");
+        assert!(prom.contains("vedliot_recs_healthy 0\n"), "{prom}");
     }
 }

@@ -30,6 +30,14 @@
 //!   supervisor respawns dead worker threads within a budget. All of it
 //!   is validated by the seeded chaos harness ([`FaultPlan`],
 //!   `tests/chaos.rs`, experiment E22).
+//! - **Observability is free when off, cheap when on.** Latency
+//!   percentiles come from a wait-free log2 histogram (no lock on the
+//!   reply path), queue depth / high-water mark / inflight gauges ride
+//!   the existing atomics, and opt-in request tracing
+//!   ([`TracePolicy`]) records a per-request stage timeline
+//!   (enqueue → queue-wait → linger → execute → reply) into a
+//!   lock-free ring read by [`Server::trace_spans`] — experiment E23
+//!   measures the tax.
 
 pub mod error;
 pub mod metrics;
@@ -39,4 +47,4 @@ pub mod server;
 pub use error::ServeError;
 pub use metrics::MetricsSnapshot;
 pub use resilience::{FaultPlan, Health, ResilienceConfig, RetryPolicy};
-pub use server::{BatchPolicy, GoldenPolicy, ServeConfig, Server, Ticket};
+pub use server::{BatchPolicy, GoldenPolicy, ServeConfig, Server, Ticket, TracePolicy};

@@ -1,17 +1,19 @@
 //! Serving counters and latency tracking.
 //!
-//! Mirrors the style of `vedliot_recs::telemetry`: cheap always-on
-//! counters plus a bounded rolling window for distribution statistics,
-//! snapshotted into a serialisable report. The counters are atomic so
-//! workers update them without taking the queue lock.
+//! The counters are atomic so workers update them without taking the
+//! queue lock — and since this PR, so is the latency distribution: the
+//! old `Mutex<VecDeque>` rolling window made every reply serialize on
+//! one lock at the hottest point of the reply path. It is replaced by a
+//! wait-free log2-bucketed [`vedliot_obs::Histogram`], so recording a
+//! latency is five relaxed atomic ops and never blocks. Percentiles
+//! come from the histogram snapshot (accurate to within one power-of-
+//! two bucket) instead of exact order statistics over the last 1024
+//! samples — the E23 bench quantifies the before/after.
 
 use serde::{Deserialize, Serialize};
-use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
-
-/// Number of per-request latency samples retained for percentiles.
-const LATENCY_WINDOW: usize = 1024;
+use vedliot_obs::hist::HistogramSnapshot;
+use vedliot_obs::{Export, Exportable, Histogram, Metric, MetricValue};
 
 /// Live metric store shared by the server front door and its workers.
 #[derive(Debug, Default)]
@@ -23,6 +25,11 @@ pub(crate) struct Metrics {
     failed: AtomicU64,
     batches: AtomicU64,
     batched_samples: AtomicU64,
+    // Gauges: current queue occupancy, its high-water mark, and
+    // requests dequeued but not yet replied to.
+    queue_depth: AtomicU64,
+    queue_hwm: AtomicU64,
+    inflight: AtomicU64,
     // Resilience counters (see DESIGN.md §7).
     panics_absorbed: AtomicU64,
     worker_crashes: AtomicU64,
@@ -30,7 +37,7 @@ pub(crate) struct Metrics {
     retries: AtomicU64,
     quarantined: AtomicU64,
     golden_mismatches: AtomicU64,
-    latencies_us: Mutex<VecDeque<u64>>,
+    latency: Histogram,
 }
 
 impl Metrics {
@@ -48,6 +55,29 @@ impl Metrics {
 
     pub(crate) fn add_failed(&self, n: u64) {
         self.failed.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records one request entering the queue, maintaining the
+    /// high-water mark.
+    pub(crate) fn queue_pushed(&self) {
+        let depth = self.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
+        self.queue_hwm.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Records `n` requests leaving the queue (drained into a batch or
+    /// purged).
+    pub(crate) fn queue_popped(&self, n: u64) {
+        self.queue_depth.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` requests entering execution (dequeued, not replied).
+    pub(crate) fn inflight_add(&self, n: u64) {
+        self.inflight.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` requests replied to (any outcome).
+    pub(crate) fn inflight_sub(&self, n: u64) {
+        self.inflight.fetch_sub(n, Ordering::Relaxed);
     }
 
     /// Records one panic converted to a typed error at the isolation
@@ -95,35 +125,16 @@ impl Metrics {
         self.served.fetch_add(n, Ordering::Relaxed);
     }
 
-    /// Records one request's queue-to-reply latency.
+    /// Records one request's queue-to-reply latency. Wait-free: this
+    /// sits on the reply path of every request, concurrently across
+    /// all workers.
     pub(crate) fn record_latency(&self, micros: u64) {
-        let mut window = self
-            .latencies_us
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
-        window.push_back(micros);
-        if window.len() > LATENCY_WINDOW {
-            window.pop_front();
-        }
+        self.latency.record(micros);
     }
 
     /// Takes a consistent point-in-time snapshot.
     pub(crate) fn snapshot(&self) -> MetricsSnapshot {
-        let mut window: Vec<u64> = {
-            let w = self
-                .latencies_us
-                .lock()
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
-            w.iter().copied().collect()
-        };
-        window.sort_unstable();
-        let percentile = |p: f64| -> u64 {
-            if window.is_empty() {
-                return 0;
-            }
-            let rank = (p * (window.len() - 1) as f64).round() as usize;
-            window[rank.min(window.len() - 1)]
-        };
+        let latency_us = self.latency.snapshot();
         let batches = self.batches.load(Ordering::Relaxed);
         let batched_samples = self.batched_samples.load(Ordering::Relaxed);
         MetricsSnapshot {
@@ -138,14 +149,18 @@ impl Metrics {
             } else {
                 batched_samples as f64 / batches as f64
             },
-            p50_latency_us: percentile(0.50),
-            p99_latency_us: percentile(0.99),
+            p50_latency_us: latency_us.quantile(0.50),
+            p99_latency_us: latency_us.quantile(0.99),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            queue_hwm: self.queue_hwm.load(Ordering::Relaxed),
+            inflight: self.inflight.load(Ordering::Relaxed),
             panics_absorbed: self.panics_absorbed.load(Ordering::Relaxed),
             worker_crashes: self.worker_crashes.load(Ordering::Relaxed),
             respawned: self.respawned.load(Ordering::Relaxed),
             retries: self.retries.load(Ordering::Relaxed),
             quarantined: self.quarantined.load(Ordering::Relaxed),
             golden_mismatches: self.golden_mismatches.load(Ordering::Relaxed),
+            latency_us,
         }
     }
 }
@@ -177,10 +192,19 @@ pub struct MetricsSnapshot {
     pub batches: u64,
     /// Mean requests per executed batch (0 when no batches ran).
     pub mean_batch: f64,
-    /// Median queue-to-reply latency in microseconds (rolling window).
+    /// Median queue-to-reply latency in microseconds (histogram
+    /// estimate, within one log2 bucket of exact).
     pub p50_latency_us: u64,
     /// 99th-percentile queue-to-reply latency in microseconds.
     pub p99_latency_us: u64,
+    /// Full queue-to-reply latency distribution.
+    pub latency_us: HistogramSnapshot,
+    /// Requests sitting in the queue right now.
+    pub queue_depth: u64,
+    /// Highest queue occupancy ever observed.
+    pub queue_hwm: u64,
+    /// Requests dequeued into batches but not yet replied to.
+    pub inflight: u64,
     /// Panics caught at the isolation boundary and converted to typed
     /// errors (the worker survived).
     pub panics_absorbed: u64,
@@ -206,9 +230,98 @@ impl MetricsSnapshot {
     }
 }
 
+impl Exportable for MetricsSnapshot {
+    fn export(&self) -> Export {
+        let counter = |name: &str, help: &str, value: u64| Metric {
+            name: name.into(),
+            help: help.into(),
+            value: MetricValue::Counter(value),
+        };
+        Export {
+            subsystem: "serve".into(),
+            metrics: vec![
+                counter(
+                    "submitted",
+                    "requests accepted or rejected at the door",
+                    self.submitted,
+                ),
+                counter(
+                    "served",
+                    "requests answered with a model output",
+                    self.served,
+                ),
+                counter(
+                    "rejected",
+                    "requests rejected because the queue was full",
+                    self.rejected,
+                ),
+                counter(
+                    "timed_out",
+                    "requests purged past their deadline",
+                    self.timed_out,
+                ),
+                counter(
+                    "failed",
+                    "requests answered with an execution error",
+                    self.failed,
+                ),
+                counter("batches", "batched forward passes executed", self.batches),
+                Metric {
+                    name: "mean_batch".into(),
+                    help: "mean requests per executed batch".into(),
+                    value: MetricValue::Gauge(self.mean_batch),
+                },
+                Metric {
+                    name: "queue_depth".into(),
+                    help: "requests sitting in the queue".into(),
+                    value: MetricValue::Gauge(self.queue_depth as f64),
+                },
+                Metric {
+                    name: "queue_hwm".into(),
+                    help: "highest queue occupancy observed".into(),
+                    value: MetricValue::Gauge(self.queue_hwm as f64),
+                },
+                Metric {
+                    name: "inflight".into(),
+                    help: "requests dequeued but not yet replied to".into(),
+                    value: MetricValue::Gauge(self.inflight as f64),
+                },
+                counter(
+                    "panics_absorbed",
+                    "panics converted to typed errors",
+                    self.panics_absorbed,
+                ),
+                counter(
+                    "worker_crashes",
+                    "worker threads that died",
+                    self.worker_crashes,
+                ),
+                counter("respawned", "crashed workers replaced", self.respawned),
+                counter("retries", "batch retry attempts", self.retries),
+                counter(
+                    "quarantined",
+                    "requests failed as poisoned",
+                    self.quarantined,
+                ),
+                counter(
+                    "golden_mismatches",
+                    "golden-check divergences",
+                    self.golden_mismatches,
+                ),
+                Metric {
+                    name: "latency_us".into(),
+                    help: "queue-to-reply latency in microseconds".into(),
+                    value: MetricValue::Histogram(self.latency_us.clone()),
+                },
+            ],
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use vedliot_obs::hist::bucket_of;
 
     #[test]
     fn counters_partition_submissions() {
@@ -265,25 +378,51 @@ mod tests {
     }
 
     #[test]
-    fn percentiles_come_from_the_window() {
+    fn percentiles_come_from_the_histogram() {
         let m = Metrics::default();
         for us in 1..=100 {
             m.record_latency(us);
         }
         let s = m.snapshot();
-        assert_eq!(s.p50_latency_us, 51);
-        assert_eq!(s.p99_latency_us, 99);
+        // Exact order statistics with the histogram's rank convention
+        // would give p50 = 50 and p99 = 99; the bucket-midpoint
+        // estimate must land in the same log2 bucket.
+        assert_eq!(bucket_of(s.p50_latency_us), bucket_of(50));
+        assert_eq!(bucket_of(s.p99_latency_us), bucket_of(99));
+        // The full distribution is in the snapshot too.
+        assert_eq!(s.latency_us.count, 100);
+        assert_eq!(s.latency_us.min, 1);
+        assert_eq!(s.latency_us.max, 100);
     }
 
     #[test]
-    fn window_is_bounded() {
+    fn histogram_keeps_the_full_distribution() {
+        // The old rolling window forgot everything past 1024 samples;
+        // the histogram keeps exact count/sum/min/max forever.
         let m = Metrics::default();
         for us in 0..5000u64 {
             m.record_latency(us);
         }
         let s = m.snapshot();
-        // Only the most recent LATENCY_WINDOW samples survive.
-        assert!(s.p50_latency_us >= (5000 - super::LATENCY_WINDOW as u64));
+        assert_eq!(s.latency_us.count, 5000);
+        assert_eq!(s.latency_us.sum, (0..5000).sum::<u64>());
+        assert_eq!((s.latency_us.min, s.latency_us.max), (0, 4999));
+    }
+
+    #[test]
+    fn gauges_track_queue_and_inflight() {
+        let m = Metrics::default();
+        for _ in 0..4 {
+            m.queue_pushed();
+        }
+        m.queue_popped(3);
+        m.inflight_add(3);
+        m.queue_pushed();
+        m.inflight_sub(2);
+        let s = m.snapshot();
+        assert_eq!(s.queue_depth, 2);
+        assert_eq!(s.queue_hwm, 4);
+        assert_eq!(s.inflight, 1);
     }
 
     #[test]
@@ -291,6 +430,23 @@ mod tests {
         let s = Metrics::default().snapshot();
         assert_eq!(s.p50_latency_us, 0);
         assert_eq!(s.p99_latency_us, 0);
+        assert_eq!(s.latency_us.count, 0);
         assert!(s.accounted_for());
+    }
+
+    #[test]
+    fn snapshot_exports_all_subsystem_metrics() {
+        let m = Metrics::default();
+        m.inc_submitted();
+        m.record_batch(1);
+        m.record_latency(250);
+        let export = m.snapshot().export();
+        assert_eq!(export.subsystem, "serve");
+        let json = export.to_json();
+        assert!(json.contains("\"name\":\"latency_us\""));
+        assert_eq!(vedliot_obs::Export::from_json(&json), Some(export.clone()));
+        let prom = export.to_prometheus();
+        assert!(prom.contains("vedliot_serve_served 1\n"));
+        assert!(prom.contains("vedliot_serve_latency_us_count 1\n"));
     }
 }

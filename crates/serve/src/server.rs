@@ -45,6 +45,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use vedliot_nnir::exec::{Parallelism, RunOptions, Runner};
 use vedliot_nnir::{Graph, NnirError, Shape, Tensor};
+use vedliot_obs::{SpanOutcome, SpanRecord, TraceRing};
 use vedliot_safety::robustness::{OutputVerdict, RobustnessService};
 
 /// Batch-closure policy for the dynamic batcher.
@@ -108,6 +109,26 @@ impl Default for GoldenPolicy {
     }
 }
 
+/// Request-lifecycle tracing policy: every request gets a
+/// [`SpanRecord`] timeline (enqueue → queue-wait → batch-linger →
+/// execute → reply) written into a bounded lock-free ring at reply
+/// time. Read the ring with [`Server::trace_spans`].
+///
+/// Tracing off (`ServeConfig::trace = None`, the default) costs zero
+/// extra clock reads on the request path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TracePolicy {
+    /// Spans retained in the ring; once full, new spans overwrite the
+    /// oldest slots.
+    pub capacity: usize,
+}
+
+impl Default for TracePolicy {
+    fn default() -> Self {
+        TracePolicy { capacity: 1024 }
+    }
+}
+
 /// Server configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ServeConfig {
@@ -129,6 +150,8 @@ pub struct ServeConfig {
     pub golden: Option<GoldenPolicy>,
     /// Chaos-injection test hook; `None` (the default) injects nothing.
     pub chaos: Option<FaultPlan>,
+    /// Request-lifecycle tracing; `None` (the default) disables it.
+    pub trace: Option<TracePolicy>,
 }
 
 impl Default for ServeConfig {
@@ -141,6 +164,7 @@ impl Default for ServeConfig {
             resilience: ResilienceConfig::default(),
             golden: None,
             chaos: None,
+            trace: None,
         }
     }
 }
@@ -178,8 +202,34 @@ impl ServeConfig {
                 ));
             }
         }
+        if let Some(trace) = &self.trace {
+            if trace.capacity == 0 {
+                return Err(ServeError::InvalidConfig(
+                    "trace.capacity must be at least 1".into(),
+                ));
+            }
+        }
         Ok(())
     }
+}
+
+/// Per-request span scratch: stage timestamps (µs since the server
+/// epoch) accumulated while the request moves through the pipeline,
+/// folded into a [`SpanRecord`] at reply time. All zeros when tracing
+/// is disabled — and never read.
+#[derive(Debug, Clone, Copy, Default)]
+struct SpanScratch {
+    dequeue_us: u64,
+    linger_us: u64,
+    exec_start_us: u64,
+    exec_end_us: u64,
+    /// Batch size this request executed in.
+    batch: u32,
+    retries: u32,
+    /// Whether `exec_start_us` has been stamped — 0 is a legal
+    /// epoch-relative timestamp, so a flag is needed to stamp only the
+    /// *first* attempt.
+    started: bool,
 }
 
 /// One queued request.
@@ -189,6 +239,7 @@ struct Request {
     inputs: Vec<Tensor>,
     deadline: Option<Instant>,
     enqueued_at: Instant,
+    span: SpanScratch,
     reply: mpsc::Sender<Result<Vec<Tensor>, ServeError>>,
 }
 
@@ -212,6 +263,10 @@ struct Shared {
     resilience: ResilienceConfig,
     /// Live chaos stream, if a fault plan is configured.
     chaos: Option<ChaosState>,
+    /// Lock-free span ring, if tracing is configured.
+    trace: Option<TraceRing>,
+    /// Server start time: the zero point of every span timestamp.
+    epoch: Instant,
     /// Golden-copy robustness service, if configured.
     golden: Option<Mutex<RobustnessService>>,
     golden_repair: bool,
@@ -227,6 +282,31 @@ struct Shared {
     /// replacement's handle *before* its own thread exits, so the drain
     /// cannot miss a respawn.
     handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// Microseconds from `epoch` to `t`, saturating at zero.
+fn us_since(epoch: Instant, t: Instant) -> u64 {
+    t.saturating_duration_since(epoch).as_micros() as u64
+}
+
+/// Records `req`'s lifecycle span into the trace ring (no-op when
+/// tracing is disabled). Called immediately before the reply is sent,
+/// so a redeemed ticket implies its span is already visible.
+fn emit_span(shared: &Shared, req: &Request, outcome: SpanOutcome, reply_at: Instant) {
+    let Some(ring) = &shared.trace else { return };
+    let s = &req.span;
+    ring.record(&SpanRecord {
+        seq: req.seq,
+        enqueue_us: us_since(shared.epoch, req.enqueued_at),
+        dequeue_us: s.dequeue_us,
+        exec_start_us: s.exec_start_us,
+        exec_end_us: s.exec_end_us,
+        reply_us: us_since(shared.epoch, reply_at),
+        linger_us: s.linger_us,
+        batch: s.batch,
+        retries: s.retries,
+        outcome,
+    });
 }
 
 impl Shared {
@@ -462,6 +542,8 @@ impl Server {
             queue_capacity: config.queue_capacity,
             resilience: config.resilience,
             chaos: config.chaos.map(ChaosState::new),
+            trace: config.trace.map(|t| TraceRing::new(t.capacity)),
+            epoch: Instant::now(),
             golden,
             golden_repair: config.golden.is_some_and(|g| g.repair),
             next_seq: AtomicU64::new(0),
@@ -535,8 +617,10 @@ impl Server {
                 inputs,
                 deadline,
                 enqueued_at: Instant::now(),
+                span: SpanScratch::default(),
                 reply: tx,
             });
+            self.shared.metrics.queue_pushed();
         }
         self.shared.work_ready.notify_one();
         Ok(Ticket { rx })
@@ -546,6 +630,20 @@ impl Server {
     #[must_use]
     pub fn metrics(&self) -> MetricsSnapshot {
         self.shared.metrics.snapshot()
+    }
+
+    /// The request-lifecycle spans currently held in the trace ring,
+    /// oldest first. Empty unless [`ServeConfig::trace`] was set. A
+    /// span is recorded immediately *before* its reply is sent, so a
+    /// request whose ticket has been redeemed is guaranteed visible
+    /// here (until the ring overwrites it).
+    #[must_use]
+    pub fn trace_spans(&self) -> Vec<SpanRecord> {
+        self.shared
+            .trace
+            .as_ref()
+            .map(TraceRing::snapshot)
+            .unwrap_or_default()
     }
 
     /// Current health state: [`Health::Draining`] once shutdown began,
@@ -616,7 +714,16 @@ impl Drop for Server {
 
 /// Replies to every queued request whose deadline has already expired
 /// and drops it from the queue. Returns how many were purged.
-fn purge_expired(state: &mut QueueState, metrics: &Metrics, now: Instant) -> usize {
+///
+/// `trace` carries the span ring and the server epoch; a request purged
+/// here never executed, so its span collapses every post-queue stage to
+/// the purge instant (queue-wait accounts for its whole lifetime).
+fn purge_expired(
+    state: &mut QueueState,
+    metrics: &Metrics,
+    trace: Option<(&TraceRing, Instant)>,
+    now: Instant,
+) -> usize {
     let before = state.queue.len();
     // VecDeque has no retain-with-side-effect order guarantee problem
     // here: replies are independent, order is irrelevant.
@@ -624,11 +731,28 @@ fn purge_expired(state: &mut QueueState, metrics: &Metrics, now: Instant) -> usi
         let expired = req.deadline.is_some_and(|d| now >= d);
         if expired {
             metrics.inc_timed_out();
+            if let Some((ring, epoch)) = trace {
+                let t = us_since(epoch, now);
+                ring.record(&SpanRecord {
+                    seq: req.seq,
+                    enqueue_us: us_since(epoch, req.enqueued_at),
+                    dequeue_us: t,
+                    exec_start_us: t,
+                    exec_end_us: t,
+                    reply_us: t,
+                    linger_us: 0,
+                    batch: 0,
+                    retries: 0,
+                    outcome: SpanOutcome::TimedOut,
+                });
+            }
             let _ = req.reply.send(Err(ServeError::DeadlineExceeded));
         }
         !expired
     });
-    before - state.queue.len()
+    let purged = before - state.queue.len();
+    metrics.queue_popped(purged as u64);
+    purged
 }
 
 /// Worker body: form a batch under the lock, execute it outside.
@@ -659,13 +783,31 @@ fn worker_loop(ctx: &WorkerContext) {
             let mut state = shared.lock_state();
             loop {
                 let now = Instant::now();
-                purge_expired(&mut state, &shared.metrics, now);
+                let trace = shared.trace.as_ref().map(|r| (r, shared.epoch));
+                purge_expired(&mut state, &shared.metrics, trace, now);
                 if let Some(oldest) = state.queue.front() {
                     let full = state.queue.len() >= shared.policy.max_batch;
                     let linger_until = oldest.enqueued_at + shared.policy.max_linger;
                     if full || state.shutting_down || now >= linger_until {
                         let take = state.queue.len().min(shared.policy.max_batch);
-                        break state.queue.drain(..take).collect::<Vec<_>>();
+                        let mut batch = state.queue.drain(..take).collect::<Vec<_>>();
+                        shared.metrics.queue_popped(take as u64);
+                        shared.metrics.inflight_add(take as u64);
+                        if shared.trace.is_some() {
+                            // Stamp the dequeue and attribute the part
+                            // of the wait the batcher *chose* (up to
+                            // max_linger) to the linger stage.
+                            let dequeue_us = us_since(shared.epoch, now);
+                            for req in &mut batch {
+                                req.span.dequeue_us = dequeue_us;
+                                req.span.linger_us =
+                                    now.saturating_duration_since(req.enqueued_at)
+                                        .min(shared.policy.max_linger)
+                                        .as_micros() as u64;
+                                req.span.batch = take as u32;
+                            }
+                        }
+                        break batch;
                     }
                     // Wait for companions, a shutdown, or the linger
                     // window to elapse — whichever comes first.
@@ -708,7 +850,26 @@ fn run_batch(
     let mut attempt = 0u32;
     loop {
         attempt += 1;
-        let error = match attempt_execute(ctx, runners, &batch) {
+        if shared.trace.is_some() {
+            // Stamp the first attempt's start; retries and bisection
+            // sub-batches keep the original start so the execute stage
+            // covers the request's whole time on a runner.
+            let now_us = us_since(shared.epoch, Instant::now());
+            for req in &mut batch {
+                if !req.span.started {
+                    req.span.exec_start_us = now_us;
+                    req.span.started = true;
+                }
+            }
+        }
+        let result = attempt_execute(ctx, runners, &batch);
+        if shared.trace.is_some() {
+            let now_us = us_since(shared.epoch, Instant::now());
+            for req in &mut batch {
+                req.span.exec_end_us = now_us;
+            }
+        }
+        let error = match result {
             Ok(rows) => {
                 reply_ok(ctx, batch, rows);
                 return;
@@ -717,10 +878,13 @@ fn run_batch(
         };
         if error.class().is_transient() && attempt < policy.max_attempts {
             shared.metrics.inc_retry();
+            for req in &mut batch {
+                req.span.retries += 1;
+            }
             // Respect remaining deadlines: purge what already expired,
             // and never sleep past the earliest deadline still in the
             // batch.
-            purge_batch_expired(&mut batch, &shared.metrics);
+            purge_batch_expired(&mut batch, shared);
             if batch.is_empty() {
                 return;
             }
@@ -731,7 +895,7 @@ fn run_batch(
             if !delay.is_zero() {
                 std::thread::sleep(delay);
             }
-            purge_batch_expired(&mut batch, &shared.metrics);
+            purge_batch_expired(&mut batch, shared);
             if batch.is_empty() {
                 return;
             }
@@ -750,7 +914,10 @@ fn run_batch(
             if quarantining {
                 // Bisection bottomed out: this request is the poison.
                 shared.metrics.add_quarantined(batch.len() as u64);
+                shared.metrics.inflight_sub(batch.len() as u64);
+                let replied = Instant::now();
                 for req in batch {
+                    emit_span(shared, &req, SpanOutcome::Quarantined, replied);
                     let _ = req.reply.send(Err(ServeError::Quarantined {
                         detail: error.to_string(),
                     }));
@@ -758,7 +925,7 @@ fn run_batch(
                 return;
             }
         }
-        fail_batch(batch, &shared.metrics, &error);
+        fail_batch(batch, shared, &error);
         return;
     }
 }
@@ -871,22 +1038,29 @@ fn reply_ok(ctx: &WorkerContext, batch: Vec<Request>, mut rows: Vec<Vec<Tensor>>
         }
     }
     shared.metrics.record_batch(batch.len() as u64);
+    shared.metrics.inflight_sub(batch.len() as u64);
     for (req, outputs) in batch.into_iter().zip(rows) {
         let micros = completed.duration_since(req.enqueued_at).as_micros() as u64;
         shared.metrics.record_latency(micros);
+        // The golden check above ran between exec-end and `completed`,
+        // so its cost lands in the span's reply stage.
+        emit_span(shared, &req, SpanOutcome::Ok, completed);
         let _ = req.reply.send(Ok(outputs));
     }
 }
 
 /// Replies `DeadlineExceeded` to every request in the batch whose
 /// deadline has passed and removes it (mid-retry counterpart of
-/// [`purge_expired`]).
-fn purge_batch_expired(batch: &mut Vec<Request>, metrics: &Metrics) {
+/// [`purge_expired`]; these requests *did* dequeue and execute, so
+/// their spans keep the real stage timestamps).
+fn purge_batch_expired(batch: &mut Vec<Request>, shared: &Shared) {
     let now = Instant::now();
     batch.retain(|req| {
         let expired = req.deadline.is_some_and(|d| now >= d);
         if expired {
-            metrics.inc_timed_out();
+            shared.metrics.inc_timed_out();
+            shared.metrics.inflight_sub(1);
+            emit_span(shared, req, SpanOutcome::TimedOut, now);
             let _ = req.reply.send(Err(ServeError::DeadlineExceeded));
         }
         !expired
@@ -894,9 +1068,12 @@ fn purge_batch_expired(batch: &mut Vec<Request>, metrics: &Metrics) {
 }
 
 /// Answers every request in a failed batch with the same typed error.
-fn fail_batch(batch: Vec<Request>, metrics: &Metrics, error: &ServeError) {
-    metrics.add_failed(batch.len() as u64);
+fn fail_batch(batch: Vec<Request>, shared: &Shared, error: &ServeError) {
+    shared.metrics.add_failed(batch.len() as u64);
+    shared.metrics.inflight_sub(batch.len() as u64);
+    let replied = Instant::now();
     for req in batch {
+        emit_span(shared, &req, SpanOutcome::Failed, replied);
         let _ = req.reply.send(Err(error.clone()));
     }
 }
@@ -1030,9 +1207,10 @@ mod tests {
             inputs: vec![],
             deadline: Some(now - Duration::from_millis(1)),
             enqueued_at: now,
+            span: SpanScratch::default(),
             reply: tx,
         });
-        assert_eq!(purge_expired(&mut state, &metrics, now), 1);
+        assert_eq!(purge_expired(&mut state, &metrics, None, now), 1);
         assert!(state.queue.is_empty());
         assert_eq!(rx.recv().unwrap(), Err(ServeError::DeadlineExceeded));
         assert_eq!(metrics.snapshot().timed_out, 1);

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! vedliot lint            # full static-analysis sweep over the zoo
+//! vedliot obs             # observability quick-start: profile + trace + export
 //! ```
 //!
 //! `lint` runs the complete analyzer ([`vedliot::nnir::analysis`]) over
@@ -9,6 +10,12 @@
 //! produces, prints the per-model reports and exits non-zero if any
 //! model has Error-severity findings (Warning/Info findings are
 //! reported but do not fail the run).
+//!
+//! `obs` demonstrates the observability layer end to end: a profiled
+//! LeNet-5 run (per-op durations + achieved GFLOP/s, cross-referenced
+//! against the Xavier NX roofline), a traced 50-request serve run with
+//! its stage breakdown, and the serve metrics rendered through both the
+//! JSON and Prometheus exporters.
 
 use vedliot::nnir::analysis::Severity;
 use vedliot::toolchain::lint::lint_suite;
@@ -19,6 +26,8 @@ fn usage() -> ! {
     eprintln!("commands:");
     eprintln!("  lint    run the static verifier over the model zoo and its");
     eprintln!("          optimized variants, printing a diagnostic report");
+    eprintln!("  obs     observability quick-start: per-op profile vs roofline,");
+    eprintln!("          traced serve run, JSON + Prometheus export");
     std::process::exit(2);
 }
 
@@ -42,11 +51,104 @@ fn run_lint() -> i32 {
     }
 }
 
+fn run_obs() -> i32 {
+    use std::time::Duration;
+    use vedliot::accel::catalog::catalog;
+    use vedliot::accel::perf::PerfModel;
+    use vedliot::nnir::exec::{RunOptions, Runner};
+    use vedliot::nnir::{zoo, Shape, Tensor};
+    use vedliot::obs::{Exportable, StageBreakdown};
+    use vedliot::serve::{BatchPolicy, ServeConfig, Server, TracePolicy};
+
+    // 1) Per-op profile of LeNet-5, compared to the roofline model.
+    let model = match zoo::lenet5(10) {
+        Ok(g) => g,
+        Err(err) => {
+            eprintln!("obs: lenet5 failed to build: {err}");
+            return 1;
+        }
+    };
+    let input = Tensor::random(Shape::nchw(1, 1, 28, 28), 23, 1.0);
+    let mut runner = match Runner::builder().build(&model) {
+        Ok(r) => r,
+        Err(err) => {
+            eprintln!("obs: runner failed to build: {err}");
+            return 1;
+        }
+    };
+    // Warm pass so the profile measures kernels, not first-touch cost.
+    if let Err(err) = runner.execute(std::slice::from_ref(&input), RunOptions::default()) {
+        eprintln!("obs: warm-up run failed: {err}");
+        return 1;
+    }
+    let profile = match runner.execute(
+        std::slice::from_ref(&input),
+        RunOptions::new().profile(true),
+    ) {
+        Ok(out) => out.into_profile().expect("profile requested"),
+        Err(err) => {
+            eprintln!("obs: profiled run failed: {err}");
+            return 1;
+        }
+    };
+    println!("{profile}");
+    if let Some(spec) = catalog().find("Xavier NX") {
+        match PerfModel::new(spec.clone()).compare_profile(&model, &profile) {
+            Ok(cmp) => println!("\n{cmp}"),
+            Err(err) => eprintln!("obs: roofline comparison failed: {err}"),
+        }
+    }
+
+    // 2) A traced 50-request serve run and its stage breakdown.
+    let gesture = zoo::tiny_cnn("obs-demo", Shape::nchw(1, 1, 8, 8), &[4], 3).expect("builds");
+    let server = match Server::start(
+        &gesture,
+        ServeConfig {
+            queue_capacity: 64,
+            batch: BatchPolicy {
+                max_batch: 4,
+                max_linger: Duration::from_micros(200),
+            },
+            trace: Some(TracePolicy { capacity: 64 }),
+            ..ServeConfig::default()
+        },
+    ) {
+        Ok(s) => s,
+        Err(err) => {
+            eprintln!("obs: server failed to start: {err}");
+            return 1;
+        }
+    };
+    let tickets: Vec<_> = (0..50)
+        .map(|i| {
+            server
+                .submit(vec![Tensor::random(Shape::nchw(1, 1, 8, 8), i, 1.0)], None)
+                .expect("queue sized for the demo")
+        })
+        .collect();
+    for t in tickets {
+        if let Err(err) = t.wait() {
+            eprintln!("obs: request failed: {err}");
+            return 1;
+        }
+    }
+    let spans = server.trace_spans();
+    let metrics = server.shutdown();
+    println!("\n{}", StageBreakdown::of(&spans));
+
+    // 3) The same serve metrics through both exporters.
+    let export = metrics.export();
+    println!("\n--- JSON ---\n{}", export.to_json());
+    println!("\n--- Prometheus ---\n{}", export.to_prometheus());
+    0
+}
+
 fn main() {
     let mut args = std::env::args().skip(1);
     let Some(command) = args.next() else { usage() };
     match command.as_str() {
         "lint" => std::process::exit(run_lint()),
+        "obs" => std::process::exit(run_obs()),
         _ => usage(),
     }
 }

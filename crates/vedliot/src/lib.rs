@@ -15,6 +15,7 @@
 //! | Module | Subsystem | Paper section |
 //! |---|---|---|
 //! | [`nnir`] | NN graph IR, cost analysis, executor, model zoo | §III |
+//! | [`obs`] | Observability: lock-free histograms, request tracing, JSON/Prometheus export | cross-cutting |
 //! | [`toolchain`] | Kenning-style optimization passes, Deep Compression, deployment benchmarking | §III |
 //! | [`accel`] | Accelerator catalog (Fig. 3), roofline perf/power model (Fig. 4), four design approaches, memory study | §II-B/C |
 //! | [`recs`] | RECS|Box / t.RECS / uRECS chassis, microservers (Fig. 2), fabric, scheduler, mobile network | §II-A |
@@ -44,6 +45,7 @@
 
 pub use vedliot_accel as accel;
 pub use vedliot_nnir as nnir;
+pub use vedliot_obs as obs;
 pub use vedliot_recs as recs;
 pub use vedliot_reqeng as reqeng;
 pub use vedliot_safety as safety;
