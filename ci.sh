@@ -46,6 +46,25 @@ cargo test -q -p vedliot-serve --test chaos smoke_200_requests_under_seeded_chao
 echo "==> observability smoke test (traced 50-request run, exact span accounting, exporter goldens)"
 cargo test -q -p vedliot-serve --test observe
 
+if [[ $fast -eq 0 ]]; then
+  echo "==> kernel perf gate (E24 batched per-sample conv cost vs recorded baseline)"
+  # BENCH_pr6.json is the checked-in snapshot from `harness kernels`.
+  # Regenerate a fresh snapshot and fail if the E21 cliff metric
+  # (per-sample cost at batch 8 relative to batch 1) regressed above the
+  # recorded baseline with 30% timing-noise headroom.
+  baseline=$(sed 's/.*"name":"b8_over_b1"[^}]*"value"://;s/}.*//' BENCH_pr6.json)
+  BENCH_OUT=target/BENCH_pr6.json ./target/release/harness kernels > /dev/null
+  fresh=$(sed 's/.*"name":"b8_over_b1"[^}]*"value"://;s/}.*//' target/BENCH_pr6.json)
+  echo "    b8/b1 per-sample cost: baseline ${baseline}, fresh ${fresh}"
+  awk -v f="$fresh" -v b="$baseline" 'BEGIN {
+    limit = b * 1.30; if (limit < 1.0) limit = 1.0;
+    if (f > limit) {
+      printf "ERROR: batched per-sample conv cost regressed: %s > limit %.3f (baseline %s)\n", f, limit, b;
+      exit 1;
+    }
+  }'
+fi
+
 if [[ $deep -eq 1 ]]; then
   echo "==> deep: interleaving model check at enlarged bounds"
   INTERLEAVE_DEPTH=deep cargo test -q -p vedliot-serve --test interleave

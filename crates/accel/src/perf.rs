@@ -89,8 +89,27 @@ pub struct LayerTiming {
     pub memory_us: f64,
     /// Actual layer latency (max of the roofs).
     pub latency_us: f64,
+    /// Modelled memory traffic (weights + activations) in bytes at the
+    /// run's precision.
+    #[serde(default)]
+    pub bytes: u64,
     /// Which roof limited the layer.
     pub bound: Bound,
+}
+
+impl LayerTiming {
+    /// Arithmetic intensity in operations per byte of modelled traffic
+    /// (2·MACs over weight + activation bytes). Quantizing to INT8
+    /// shrinks the traffic 4× vs FP32, so intensity rises 4× — the
+    /// roofline argument for the INT8 execution path.
+    #[must_use]
+    pub fn arithmetic_intensity(&self) -> f64 {
+        if self.bytes == 0 {
+            0.0
+        } else {
+            2.0 * self.macs as f64 / self.bytes as f64
+        }
+    }
 }
 
 /// Result of running one workload on one platform at one batch size.
@@ -128,6 +147,22 @@ impl RunResult {
             return 0.0;
         }
         self.achieved_gops / self.avg_power_w
+    }
+
+    /// Whole-model arithmetic intensity: total modelled operations over
+    /// total modelled memory traffic, in ops per byte.
+    #[must_use]
+    pub fn arithmetic_intensity(&self) -> f64 {
+        let bytes: u64 = self.per_layer.iter().map(|l| l.bytes).sum();
+        if bytes == 0 {
+            0.0
+        } else {
+            self.per_layer
+                .iter()
+                .map(|l| 2.0 * l.macs as f64)
+                .sum::<f64>()
+                / bytes as f64
+        }
     }
 
     /// Fraction of execution *time* spent in memory-bound layers.
@@ -356,7 +391,8 @@ impl PerfModel {
             // Memory roof: weights once + input/output activations.
             let weight_bytes = layer.params as f64 * bytes_per_elem;
             let act_bytes = (layer.input_elems + layer.output_elems) as f64 * bytes_per_elem;
-            let memory_s = (weight_bytes + act_bytes) / bw_bytes_per_s;
+            let traffic_bytes = weight_bytes + act_bytes;
+            let memory_s = traffic_bytes / bw_bytes_per_s;
 
             let latency_s = compute_s.max(memory_s);
             total_s += latency_s;
@@ -371,6 +407,7 @@ impl PerfModel {
                 compute_us: compute_s * 1e6,
                 memory_us: memory_s * 1e6,
                 latency_us: latency_s * 1e6,
+                bytes: traffic_bytes as u64,
                 bound: if ideal_compute_s >= memory_s {
                     Bound::Compute
                 } else {
@@ -706,6 +743,37 @@ mod tests {
         }
         assert!(cmp.measured_total_us > 0.0);
         assert!(cmp.to_string().contains("Xavier NX"));
+    }
+
+    #[test]
+    fn int8_quadruples_arithmetic_intensity_over_fp32() {
+        // Same graph, same platform: INT8 moves 4x fewer bytes per op,
+        // so modelled arithmetic intensity rises exactly 4x per layer
+        // and for the whole model.
+        let c = catalog();
+        let m = zoo::mobilenet_v3_large(1000).unwrap();
+        let spec = c.find("Xavier AGX (30W)").unwrap().clone();
+        let f32_run = PerfModel::new(spec.clone())
+            .with_precision(DataType::F32)
+            .run(&m)
+            .unwrap();
+        let i8_run = PerfModel::new(spec)
+            .with_precision(DataType::I8)
+            .run(&m)
+            .unwrap();
+        let ratio = i8_run.arithmetic_intensity() / f32_run.arithmetic_intensity();
+        assert!((ratio - 4.0).abs() < 1e-6, "model intensity ratio {ratio}");
+        for (f, i) in f32_run.per_layer.iter().zip(&i8_run.per_layer) {
+            assert_eq!(f.name, i.name);
+            assert_eq!(f.bytes, 4 * i.bytes, "{}", f.name);
+            if i.macs > 0 {
+                assert!(
+                    (i.arithmetic_intensity() - 4.0 * f.arithmetic_intensity()).abs() < 1e-6,
+                    "{}",
+                    i.name
+                );
+            }
+        }
     }
 
     #[test]

@@ -5,7 +5,13 @@
 //! Experiments (DESIGN.md §3): `fig2`, `fig3`, `fig4`, `fig4-ext`,
 //! `compression`, `gap`, `twine`, `pmp`, `cfu`, `safety`, `paeb`, `arc`,
 //! `motor`, `mirror`, `reconfig`, `reqeng`, `memory`, `codesign`,
-//! `executor`, `serving`, `resilience`, `observe`, `lint`, or `all`.
+//! `executor`, `serving`, `resilience`, `observe`, `kernels`, `lint`,
+//! or `all`.
+//!
+//! `kernels` additionally writes `BENCH_pr6.json` (the obs JSON export
+//! of the E24 kernel measurements) to the current directory — the
+//! perf-trajectory snapshot ci.sh compares against its checked-in
+//! baseline. Set `BENCH_OUT` to redirect the snapshot path.
 
 use vedliot_bench::experiments;
 
@@ -35,6 +41,16 @@ fn main() {
         "serving" => vec![experiments::serving()],
         "resilience" => vec![experiments::resilience()],
         "observe" => vec![experiments::observe()],
+        "kernels" => {
+            let (experiment, snapshot) = experiments::kernels_with_snapshot();
+            let path = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_pr6.json".into());
+            std::fs::write(&path, snapshot.to_json()).unwrap_or_else(|e| {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(1);
+            });
+            eprintln!("wrote kernel snapshot to {path}");
+            vec![experiment]
+        }
         "lint" => vec![experiments::lint()],
         "all" => experiments::all(),
         other => {
@@ -42,7 +58,7 @@ fn main() {
             eprintln!(
                 "choose one of: fig2 fig3 fig4 fig4-ext compression gap twine pmp cfu \
                  safety paeb arc motor mirror reconfig reqeng memory codesign ablation \
-                 executor serving resilience observe lint all"
+                 executor serving resilience observe kernels lint all"
             );
             std::process::exit(2);
         }

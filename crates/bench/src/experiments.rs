@@ -1050,6 +1050,22 @@ pub fn serving() -> Experiment {
             m.served.to_string(),
         ]);
     }
+    assert!(
+        best_batched_rps >= sequential_rps,
+        "batching must not lose to sequential: {best_batched_rps:.0} vs {sequential_rps:.0} req/s"
+    );
+    // The cliff guard: batching only wins on *compute* if the engine's
+    // per-sample cost does not rise with batch on this conv model. This
+    // is the regression E21 originally missed — the full-batch im2col
+    // scratch outgrew cache, so per-sample cost climbed with batch and
+    // the batcher won on queue-overhead amortization alone.
+    let solo_ms = per_sample_ms(&model, 1, 32, true);
+    let batched_ms = per_sample_ms(&model, 8, 32, true);
+    assert!(
+        batched_ms <= solo_ms * 1.35,
+        "per-sample batch-scaling cliff is back: {batched_ms:.4} ms/sample at b=8 \
+         vs {solo_ms:.4} ms/sample at b=1"
+    );
     Experiment {
         id: "E21",
         title: "serving — dynamic batching vs sequential single-request execution".into(),
@@ -1061,10 +1077,198 @@ pub fn serving() -> Experiment {
                 best_batched_rps,
                 sequential_rps
             ),
+            format!(
+                "engine per-sample cost stays flat with batch: {solo_ms:.4} ms/sample at b=1 \
+                 vs {batched_ms:.4} ms/sample at b=8"
+            ),
             "every policy serves all requests (served + rejected + timed_out + failed == submitted)"
                 .into(),
         ],
     }
+}
+
+/// Engine-level per-sample cost in milliseconds: median of 3 timed
+/// windows of `reps` serial forward passes each, per sample.
+fn per_sample_ms(model: &Graph, batch: usize, reps: usize, int8: bool) -> f64 {
+    use std::time::Instant;
+    use vedliot::nnir::exec::{Parallelism, RunOptions, Runner};
+    use vedliot::nnir::Tensor;
+
+    let g = model.with_batch(batch).expect("rebatch");
+    let shape = g
+        .tensor_shape(g.inputs()[0])
+        .expect("graph has an input")
+        .clone();
+    let input = Tensor::random(shape, 7, 1.0);
+    let mut runner = Runner::builder()
+        .parallelism(Parallelism::Serial)
+        .int8(int8)
+        .build(&g)
+        .expect("zoo graph passes the verifier");
+    runner
+        .execute(std::slice::from_ref(&input), RunOptions::default())
+        .expect("warm-up run");
+    let mut windows: Vec<f64> = (0..3)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..reps {
+                runner
+                    .execute(std::slice::from_ref(&input), RunOptions::default())
+                    .expect("runs");
+            }
+            start.elapsed().as_secs_f64() * 1e3 / (reps * batch) as f64
+        })
+        .collect();
+    windows.sort_by(f64::total_cmp);
+    windows[1]
+}
+
+/// E24 — cache-blocked kernels: per-sample conv cost vs batch (the E21
+/// cliff fix) and the INT8 execution path against its fake-quant f32
+/// reference.
+///
+/// Before the pixel-blocked im2col, the conv scratch was the full-batch
+/// `n*opix*k_len` matrix, so growing the batch pushed the working set
+/// out of cache and per-sample cost *rose* with batch. The blocked
+/// kernel's scratch is batch-independent, so per-sample cost must now be
+/// non-increasing from batch 1 to 8 (asserted here with noise headroom).
+#[must_use]
+pub fn kernels() -> Experiment {
+    kernels_with_snapshot().0
+}
+
+/// [`kernels`] plus the machine-readable snapshot that `harness kernels`
+/// writes to `BENCH_pr6.json` (the perf-trajectory baseline ci.sh
+/// checks against).
+#[must_use]
+pub fn kernels_with_snapshot() -> (Experiment, vedliot::obs::Export) {
+    use vedliot::nnir::exec::{RunOptions, Runner};
+    use vedliot::nnir::Tensor;
+    use vedliot::obs::{Export, Metric, MetricValue};
+    use vedliot::toolchain::passes::{Pass, QuantizeInt8};
+
+    let model = zoo::lenet5(10).expect("builds");
+    let mut table = Table::new(&["config", "per-sample ms", "vs f32 b=1"]);
+    let batches = [1usize, 2, 4, 8];
+    let mut costs = Vec::new();
+    for &b in &batches {
+        let ms = per_sample_ms(&model, b, 8, true);
+        costs.push(ms);
+        table.push(vec![
+            format!("f32 b={b}"),
+            format!("{ms:.3}"),
+            format!("{:.2}x", ms / costs[0]),
+        ]);
+    }
+    let ratio = costs[3] / costs[0];
+    assert!(
+        ratio <= 1.35,
+        "per-sample conv cost must not rise with batch (E21 cliff): b8/b1 = {ratio:.2}"
+    );
+
+    // The INT8 path on the calibrated, per-channel-quantized model vs
+    // the same graph forced down the fake-quant f32 reference path.
+    let calib: Vec<Tensor> = (0..4)
+        .map(|i| Tensor::random(Shape::nchw(1, 1, 28, 28), i + 1, 1.0))
+        .collect();
+    let (quantized, _) = QuantizeInt8::with_calibration(calib)
+        .run(model)
+        .expect("quantization pass succeeds");
+    let f32_ms = per_sample_ms(&quantized, 1, 8, false);
+    let int8_ms = per_sample_ms(&quantized, 1, 8, true);
+    table.push(vec![
+        "fake-quant f32 b=1".into(),
+        format!("{f32_ms:.3}"),
+        format!("{:.2}x", f32_ms / costs[0]),
+    ]);
+    table.push(vec![
+        "int8 b=1".into(),
+        format!("{int8_ms:.3}"),
+        format!("{:.2}x", int8_ms / costs[0]),
+    ]);
+
+    // Numeric contract: INT8 output within 1e-4 * max(1, |out|_inf) of
+    // the fake-quant reference, with the i8 kernels actually engaged.
+    let input = Tensor::random(Shape::nchw(1, 1, 28, 28), 77, 1.0);
+    let mut int8_runner = Runner::builder().build(&quantized).expect("builds");
+    assert!(int8_runner.uses_int8(), "INT8 plan must engage on lenet5");
+    let got = int8_runner
+        .execute(
+            std::slice::from_ref(&input),
+            RunOptions::new().profile(true),
+        )
+        .expect("runs");
+    let int8_nodes = got.profile().expect("profiled").int8_nodes();
+    let want = Runner::builder()
+        .int8(false)
+        .build(&quantized)
+        .expect("builds")
+        .execute(&[input], RunOptions::default())
+        .expect("runs");
+    let diff = got.outputs()[0]
+        .max_abs_diff(&want.outputs()[0])
+        .expect("same shape");
+    let bound = 1e-4 * want.outputs()[0].abs_max().max(1.0);
+    assert!(
+        diff <= bound,
+        "INT8 tolerance contract violated: {diff} > {bound}"
+    );
+
+    let export = Export {
+        subsystem: "kernels".into(),
+        metrics: vec![
+            Metric {
+                name: "per_sample_ms_b1".into(),
+                help: "serial per-sample LeNet-5 latency at batch 1".into(),
+                value: MetricValue::Gauge(costs[0]),
+            },
+            Metric {
+                name: "per_sample_ms_b8".into(),
+                help: "serial per-sample LeNet-5 latency at batch 8".into(),
+                value: MetricValue::Gauge(costs[3]),
+            },
+            Metric {
+                name: "b8_over_b1".into(),
+                help: "batched per-sample conv cost relative to batch 1 (the E21 cliff metric)"
+                    .into(),
+                value: MetricValue::Gauge(ratio),
+            },
+            Metric {
+                name: "int8_per_sample_ms".into(),
+                help: "per-sample latency of the quantized model on the INT8 kernel path".into(),
+                value: MetricValue::Gauge(int8_ms),
+            },
+            Metric {
+                name: "int8_nodes".into(),
+                help: "nodes executed on the INT8 kernel path".into(),
+                value: MetricValue::Counter(int8_nodes as u64),
+            },
+            Metric {
+                name: "int8_max_abs_diff".into(),
+                help: "INT8 output deviation from the fake-quant f32 reference".into(),
+                value: MetricValue::Gauge(f64::from(diff)),
+            },
+        ],
+    };
+    let experiment = Experiment {
+        id: "E24",
+        title: "kernel microarchitecture — per-sample cost vs batch and the INT8 path".into(),
+        table,
+        notes: vec![
+            format!(
+                "per-sample conv cost is batch-flat: b8/b1 = {ratio:.2} (was >1 before the \
+                 pixel-blocked im2col; scratch is now cache-resident and batch-independent)"
+            ),
+            format!(
+                "INT8 path engaged on {int8_nodes} nodes with i8 weights + i32 accumulation; \
+                 output within {diff:.2e} of the fake-quant f32 reference (bound {bound:.2e})"
+            ),
+            "blocked f32 kernels are bit-identical to the serial reference (equivalence \
+             proptests)"
+                .into(),
+        ],
+    };
+    (experiment, export)
 }
 
 /// E-LINT — full static-analysis sweep over the zoo and its optimized
@@ -1576,6 +1780,7 @@ pub fn all() -> Vec<Experiment> {
         serving(),
         resilience(),
         observe(),
+        kernels(),
         lint(),
     ]);
     out

@@ -446,6 +446,18 @@ pub fn verify_for_execution(graph: &Graph) -> Result<(), NnirError> {
     }
 }
 
+/// Whether the I201 quantization-readiness check passes for `graph`:
+/// no layer's worst-case activation bound exceeds the symmetric INT8
+/// grid. This is the eligibility gate the execution engine consults
+/// before selecting its i8-weight / i32-accumulator kernels — the same
+/// check `vedliot lint` surfaces as I201 findings.
+#[must_use]
+pub fn int8_ready(graph: &Graph) -> bool {
+    let mut findings = Vec::new();
+    QuantReadinessCheck::default().run(graph, &mut findings);
+    findings.is_empty()
+}
+
 /// Runs the Error-severity gate, reporting the first violation as the
 /// legacy error variant where one exists — the body of
 /// [`Graph::validate`].

@@ -16,26 +16,37 @@
 //! the above.
 //!
 //! Heavy kernels (`conv2d`, `dense`, `pool2d`, `batchnorm`) are data
-//! parallel: the output buffer is split into disjoint batch ×
-//! output-channel tiles and distributed over scoped threads according
-//! to a [`Parallelism`] policy. Grouped and depthwise convolutions use
-//! a direct loop nest; dense (`groups == 1`) convolutions lower to
-//! im2col + a row-blocked GEMM whose inner dot product walks the
-//! reduction axis in the same ascending (channel, ky, kx) order as the
-//! direct kernel — padded positions contribute an exact `0.0` — so
-//! serial, parallel, direct and GEMM paths all produce bit-identical
-//! results. [`Parallelism::Serial`] keeps the plain path available for
+//! parallel: the output buffer is split into disjoint contiguous tiles
+//! and distributed over scoped threads according to a [`Parallelism`]
+//! policy. Grouped and depthwise convolutions use a direct loop nest;
+//! dense (`groups == 1`) convolutions lower to a *pixel-blocked* im2col
+//! plus register-tiled GEMM: patch rows for a cache-sized block of output
+//! pixels are gathered (padded positions contribute an exact `0.0`) and
+//! multiplied through the 4-lane [`dot4`] microkernel. Every output
+//! scalar is a pure function of its operands — the lane split and
+//! combine order are fixed — so serial and threaded runs, any pixel
+//! blocking and any batch size produce bit-identical results.
+//! [`Parallelism::Serial`] keeps the single-threaded path available for
 //! equivalence testing.
+//!
+//! Graphs whose conv/dense weights carry an i8 [`QuantPayload`]
+//! ([`Tensor::quant`]) and whose activations are pinned to the INT8
+//! grid by `FakeQuant` producers are executed — when the I201
+//! quantization-readiness check passes — with a real INT8 kernel:
+//! i8 weight codes × i8 activation codes accumulated in i32 (the dot
+//! product the CFU/socsim story accelerates), dequantized with one
+//! multiply per output scalar. See [`RunnerBuilder::int8`].
 //!
 //! Weights declared as [`WeightInit::Seeded`] are materialized on first
 //! use with a deterministic fan-in-scaled uniform initialization, so two
 //! runs of the same graph always produce identical outputs.
 
+use crate::dtype::DataType;
 use crate::graph::{Graph, Node, WeightInit};
 use crate::ops::{Conv2dAttrs, Op, Pool2dAttrs};
 use crate::profile::{NodeProfile, RunProfile};
 use crate::shape::Shape;
-use crate::tensor::Tensor;
+use crate::tensor::{QuantPayload, Tensor};
 use crate::NnirError;
 
 // --------------------------------------------------------------------
@@ -94,9 +105,10 @@ fn hardware_threads() -> usize {
 /// `data`, distributing contiguous runs of chunks over `workers` scoped
 /// threads. Each chunk is touched by exactly one thread, so results are
 /// independent of the worker count.
-fn par_chunks<F>(workers: usize, data: &mut [f32], chunk_len: usize, f: F)
+fn par_chunks<T, F>(workers: usize, data: &mut [T], chunk_len: usize, f: F)
 where
-    F: Fn(usize, &mut [f32]) + Sync,
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
 {
     let units = data.len().div_ceil(chunk_len.max(1));
     if workers <= 1 || units <= 1 {
@@ -122,6 +134,94 @@ where
             base += take.div_ceil(chunk_len);
         }
     });
+}
+
+// --------------------------------------------------------------------
+// Microkernels
+// --------------------------------------------------------------------
+
+/// Patch elements held in one im2col scratch block: the cache budget
+/// for a tile of output pixels (64 KiB of f32). The block size is
+/// independent of the batch, which is the E21 cliff fix — the previous
+/// kernel materialized `n * opix * k_len` scratch at once, fell out of
+/// cache as the batch grew, and made per-sample cost *rise* with batch.
+const COL_BLOCK_ELEMS: usize = 16 * 1024;
+
+/// 4-lane f32 dot product — the register tile of every GEMM-shaped
+/// kernel here.
+///
+/// The reduction is a pure function of the operand slices: lane `i`
+/// accumulates elements `i, i+4, i+8, …`, the tail lands on lanes
+/// `0..len%4` in order, and the lanes combine as `(l0+l1) + (l2+l3)`.
+/// Because no call site changes that association, serial and threaded
+/// runs, any pixel blocking and any batch size produce bit-identical
+/// results — while the four independent accumulators let the compiler
+/// keep four scalar FMAs (or one SIMD lane set) in flight instead of
+/// serializing on one add chain.
+#[inline]
+fn dot4(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut lanes = [0.0f32; 4];
+    let mut ac = a.chunks_exact(4);
+    let mut bc = b.chunks_exact(4);
+    for (av, bv) in (&mut ac).zip(&mut bc) {
+        lanes[0] += av[0] * bv[0];
+        lanes[1] += av[1] * bv[1];
+        lanes[2] += av[2] * bv[2];
+        lanes[3] += av[3] * bv[3];
+    }
+    for (i, (&av, &bv)) in ac.remainder().iter().zip(bc.remainder()).enumerate() {
+        lanes[i] += av * bv;
+    }
+    (lanes[0] + lanes[1]) + (lanes[2] + lanes[3])
+}
+
+/// i32-accumulating INT8 dot product — the arithmetic the CFU/socsim
+/// accelerator story (E9) implements in hardware. Integer accumulation
+/// is exact, so the lane layout is free; it mirrors [`dot4`] so both
+/// paths vectorize alike. i32 cannot overflow for any reduction this
+/// engine runs: `|a·b| ≤ 127² = 16129` per term allows `K > 130_000`.
+#[inline]
+fn dot4_i8(a: &[i8], b: &[i8]) -> i32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut lanes = [0i32; 4];
+    let mut ac = a.chunks_exact(4);
+    let mut bc = b.chunks_exact(4);
+    for (av, bv) in (&mut ac).zip(&mut bc) {
+        lanes[0] += i32::from(av[0]) * i32::from(bv[0]);
+        lanes[1] += i32::from(av[1]) * i32::from(bv[1]);
+        lanes[2] += i32::from(av[2]) * i32::from(bv[2]);
+        lanes[3] += i32::from(av[3]) * i32::from(bv[3]);
+    }
+    for (i, (&av, &bv)) in ac.remainder().iter().zip(bc.remainder()).enumerate() {
+        lanes[i] += i32::from(av) * i32::from(bv);
+    }
+    (lanes[0] + lanes[1]) + (lanes[2] + lanes[3])
+}
+
+/// Quantizes one already-scaled activation (`x / scale`) to its INT8
+/// code. Activations produced by a `FakeQuant` node lie exactly on the
+/// grid `k · scale` for integer `|k| ≤ 127`, so the round here recovers
+/// `k` exactly and the INT8 path loses nothing at the input boundary.
+#[inline]
+fn quantize_unit(x: f32) -> i8 {
+    x.round().clamp(-127.0, 127.0) as i8
+}
+
+/// Reusable kernel scratch owned by the [`Runner`], grown to the
+/// largest kernel seen and reused across runs.
+#[derive(Debug, Default)]
+struct Scratch {
+    /// f32 im2col patch block (one cache-sized pixel tile — never the
+    /// whole batch).
+    col: Vec<f32>,
+    /// Output tile the blocked GEMM writes before scattering into the
+    /// strided output planes.
+    outb: Vec<f32>,
+    /// Quantized input activations (INT8 path).
+    qin: Vec<i8>,
+    /// i8 im2col patch block (INT8 path).
+    qcol: Vec<i8>,
 }
 
 // --------------------------------------------------------------------
@@ -255,9 +355,19 @@ impl RunOutput {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct RunnerBuilder {
     parallelism: Parallelism,
+    int8: bool,
+}
+
+impl Default for RunnerBuilder {
+    fn default() -> Self {
+        RunnerBuilder {
+            parallelism: Parallelism::default(),
+            int8: true,
+        }
+    }
 }
 
 impl RunnerBuilder {
@@ -265,6 +375,25 @@ impl RunnerBuilder {
     #[must_use]
     pub fn parallelism(mut self, parallelism: Parallelism) -> Self {
         self.parallelism = parallelism;
+        self
+    }
+
+    /// Enables or disables automatic INT8 kernel selection (default:
+    /// enabled).
+    ///
+    /// When enabled, conv/dense nodes whose weights carry an i8
+    /// [`QuantPayload`] and whose input is produced by a `FakeQuant`
+    /// node execute with the i8-weight / i32-accumulator kernel,
+    /// provided the graph passes the I201 quantization-readiness check
+    /// ([`crate::analysis::int8_ready`]). With it disabled the runner
+    /// always takes the f32 reference path — the baseline the INT8
+    /// tolerance contract is stated against: outputs agree with the
+    /// fake-quant f32 reference to within f32 summation rounding of the
+    /// same quantized operands (≤ `1e-4 · max(1, |out|_∞)` for every
+    /// kernel size this engine runs).
+    #[must_use]
+    pub fn int8(mut self, enabled: bool) -> Self {
+        self.int8 = enabled;
         self
     }
 
@@ -283,14 +412,62 @@ impl RunnerBuilder {
     /// Error-severity analysis pass.
     pub fn build(self, graph: &Graph) -> Result<Runner<'_>, NnirError> {
         crate::analysis::verify_for_execution(graph)?;
+        let int8_plans = if self.int8 {
+            int8_plans(graph)
+        } else {
+            vec![None; graph.nodes().len()]
+        };
         Ok(Runner {
             graph,
             parallelism: self.parallelism,
             weights: vec![None; graph.nodes().len()],
             values: vec![None; graph.tensor_count()],
-            col: Vec::new(),
+            scratch: Scratch::default(),
+            int8_plans,
         })
     }
+}
+
+/// Computes the per-node INT8 execution plan: `Some(input_scale)` for
+/// every node the runner will execute with the i8-weight /
+/// i32-accumulator kernel, `None` for the f32 path.
+///
+/// A node qualifies when (a) the whole graph passes the I201
+/// quantization-readiness check, (b) it is a dense (`groups == 1`)
+/// convolution or a dense layer whose explicit weights carry an i8
+/// [`QuantPayload`], and (c) its data input is produced by a
+/// `FakeQuant` node — whose scale quantizes incoming activations
+/// *exactly*, since they already lie on that grid.
+fn int8_plans(graph: &Graph) -> Vec<Option<f32>> {
+    let nodes = graph.nodes();
+    if !crate::analysis::int8_ready(graph) {
+        return vec![None; nodes.len()];
+    }
+    nodes
+        .iter()
+        .map(|node| {
+            let eligible_op = match &node.op {
+                Op::Conv2d(attrs) => attrs.groups == 1,
+                Op::Dense { .. } => true,
+                _ => false,
+            };
+            if !eligible_op {
+                return None;
+            }
+            let WeightInit::Explicit(tensors) = &node.weights else {
+                return None;
+            };
+            let quant = tensors.first().and_then(Tensor::quant)?;
+            if quant.dtype != DataType::I8 {
+                return None;
+            }
+            let producer = nodes.iter().find(|p| p.output == node.inputs[0])?;
+            match producer.op {
+                Op::FakeQuant { scale } if scale > 0.0 => Some(scale),
+                _ => None,
+            }
+        })
+        .collect()
 }
 
 // --------------------------------------------------------------------
@@ -312,8 +489,12 @@ pub struct Runner<'g> {
     weights: Vec<Option<Vec<Tensor>>>,
     /// Value arena per tensor id, reused across runs.
     values: Vec<Option<Tensor>>,
-    /// im2col scratch, grown to the largest convolution seen.
-    col: Vec<f32>,
+    /// Kernel scratch (im2col tiles, INT8 code buffers), grown to the
+    /// largest kernel seen.
+    scratch: Scratch,
+    /// Build-time INT8 kernel selection: the input activation scale for
+    /// each node that executes on the i8 path (see [`int8_plans`]).
+    int8_plans: Vec<Option<f32>>,
 }
 
 impl<'g> Runner<'g> {
@@ -327,6 +508,13 @@ impl<'g> Runner<'g> {
     #[must_use]
     pub fn parallelism(&self) -> Parallelism {
         self.parallelism
+    }
+
+    /// Whether at least one node was selected for the INT8 kernel path
+    /// at build time.
+    #[must_use]
+    pub fn uses_int8(&self) -> bool {
+        self.int8_plans.iter().any(Option::is_some)
     }
 
     /// Runs one forward pass — the one execution entrypoint.
@@ -467,15 +655,14 @@ impl<'g> Runner<'g> {
                 })?);
             }
             let weights = self.weights[idx].as_ref().expect("cached above");
+            let int8_scale = self.int8_plans[idx];
             let node_start = profile.is_some().then(std::time::Instant::now);
-            eval_node_into(
-                node,
-                &ins,
-                weights,
-                &mut out,
-                &mut self.col,
-                self.parallelism,
-            )?;
+            let mut ctx = KernelCtx {
+                scratch: &mut self.scratch,
+                par: self.parallelism,
+                int8_scale,
+            };
+            eval_node_into(node, &ins, weights, &mut out, &mut ctx)?;
             if let Some(records) = profile.as_mut() {
                 // Stop the clock before the bookkeeping below, so a
                 // node's record measures only its kernel.
@@ -488,6 +675,11 @@ impl<'g> Runner<'g> {
                     macs: node.op.macs(&in_shapes, out.shape()),
                     elementwise: node.op.elementwise_ops(&in_shapes, out.shape()),
                     duration_ns,
+                    precision: if int8_scale.is_some() {
+                        DataType::I8
+                    } else {
+                        DataType::F32
+                    },
                 });
             }
             self.values[node.output.0] = Some(out);
@@ -581,21 +773,44 @@ pub fn materialize_node_weights(graph: &Graph, node: &Node) -> Result<Vec<Tensor
     Runner::builder().build(graph)?.node_weights(node)
 }
 
+/// Mutable per-node kernel context: the runner's scratch arenas, the
+/// parallelism policy and the node's INT8 plan.
+struct KernelCtx<'a> {
+    scratch: &'a mut Scratch,
+    par: Parallelism,
+    /// `Some(input_scale)` when the build-time plan selected the INT8
+    /// kernel for this node.
+    int8_scale: Option<f32>,
+}
+
+impl<'a> KernelCtx<'a> {
+    /// f32-only context (no INT8 plan) over `scratch` — the direct
+    /// kernel-call harness the unit tests use.
+    #[cfg(test)]
+    fn f32(scratch: &'a mut Scratch, par: Parallelism) -> Self {
+        KernelCtx {
+            scratch,
+            par,
+            int8_scale: None,
+        }
+    }
+}
+
 /// Dispatches one node evaluation into a preallocated output tensor.
 fn eval_node_into(
     node: &Node,
     ins: &[&Tensor],
     weights: &[Tensor],
     out: &mut Tensor,
-    col: &mut Vec<f32>,
-    par: Parallelism,
+    ctx: &mut KernelCtx<'_>,
 ) -> Result<(), NnirError> {
+    let par = ctx.par;
     match &node.op {
         Op::Input(_) => Err(NnirError::ExecutionFailure(
             "input op cannot be evaluated".into(),
         )),
-        Op::Conv2d(attrs) => conv2d_into(ins[0], attrs, weights, out, col, par),
-        Op::Dense { bias, .. } => dense_into(ins[0], weights, *bias, out, par),
+        Op::Conv2d(attrs) => conv2d_into(ins[0], attrs, weights, out, ctx),
+        Op::Dense { bias, .. } => dense_into(ins[0], weights, *bias, out, ctx),
         Op::BatchNorm => {
             if weights.len() < 2 {
                 return Err(NnirError::ExecutionFailure(format!(
@@ -785,19 +1000,75 @@ fn conv2d_geometry(
     Ok((icg, ocg, oh, ow))
 }
 
+/// Derived dense-conv (`groups == 1`) geometry shared by the f32 and
+/// INT8 GEMM paths.
+#[derive(Clone, Copy)]
+struct ConvGeom {
+    in_c: usize,
+    h: usize,
+    w: usize,
+    out_c: usize,
+    kh: usize,
+    kw: usize,
+    sh: usize,
+    sw: usize,
+    ph: usize,
+    pw: usize,
+    ow: usize,
+    /// Output pixels per (batch, channel) plane.
+    opix: usize,
+}
+
+impl ConvGeom {
+    /// Patch row length: the GEMM reduction axis.
+    fn k_len(self) -> usize {
+        self.in_c * self.kh * self.kw
+    }
+}
+
+/// Gathers the K-length im2col patch row for output pixel `p` of batch
+/// item `bi` into `dst`, reading from `src` laid out NCHW. Positions
+/// outside the input contribute `pad` (an exact zero on both numeric
+/// paths), K in the kernel's own ascending (ic, ky, kx) order.
+#[inline]
+fn fill_patch<T: Copy>(src: &[T], g: ConvGeom, bi: usize, p: usize, dst: &mut [T], pad: T) {
+    let oy = p / g.ow;
+    let ox = p % g.ow;
+    let mut i = 0usize;
+    for ic in 0..g.in_c {
+        let plane = &src[(bi * g.in_c + ic) * g.h * g.w..][..g.h * g.w];
+        for ky in 0..g.kh {
+            let iy = (oy * g.sh + ky) as isize - g.ph as isize;
+            let row_ok = iy >= 0 && iy < g.h as isize;
+            for kx in 0..g.kw {
+                let ix = (ox * g.sw + kx) as isize - g.pw as isize;
+                dst[i] = if row_ok && ix >= 0 && ix < g.w as isize {
+                    plane[iy as usize * g.w + ix as usize]
+                } else {
+                    pad
+                };
+                i += 1;
+            }
+        }
+    }
+}
+
 /// Convolution with groups, stride and symmetric padding.
 ///
-/// Dense (`groups == 1`) convolutions lower to im2col + GEMM; grouped
-/// and depthwise ones use the direct loop nest. Both walk the reduction
-/// in ascending (channel, ky, kx) order, so they agree bit-for-bit.
+/// Dense (`groups == 1`) convolutions lower to pixel-blocked im2col +
+/// a [`dot4`]-tiled GEMM (or the INT8 variant when `int8_scale` and an
+/// i8 weight payload are present); grouped and depthwise ones use the
+/// direct loop nest. Each output scalar is a fixed-association
+/// reduction over the patch, so results are independent of threading,
+/// blocking and batch size.
 fn conv2d_into(
     input: &Tensor,
     attrs: &Conv2dAttrs,
     weights: &[Tensor],
     out: &mut Tensor,
-    col: &mut Vec<f32>,
-    par: Parallelism,
+    ctx: &mut KernelCtx<'_>,
 ) -> Result<(), NnirError> {
+    let par = ctx.par;
     let [n, in_c, h, w] = dims4(input.shape())?;
     let (kh, kw) = attrs.kernel;
     let (sh, sw) = attrs.stride;
@@ -842,59 +1113,59 @@ fn conv2d_into(
     if attrs.groups == 1 {
         // im2col: one K-length patch row per output pixel, K laid out in
         // the kernel's own (ic, ky, kx) order so the GEMM inner loop is a
-        // contiguous dot product on both sides.
-        let k_len = in_c * kh * kw;
-        let col_len = n * opix * k_len;
-        col.resize(col_len, 0.0);
-        let fill = |u: usize, dst: &mut [f32]| {
-            let bi = u / opix;
-            let p = u % opix;
-            let oy = p / ow;
-            let ox = p % ow;
-            let mut i = 0usize;
-            for ic in 0..in_c {
-                let plane = &in_data[(bi * in_c + ic) * h * w..][..h * w];
-                for ky in 0..kh {
-                    let iy = (oy * sh + ky) as isize - ph as isize;
-                    let row_ok = iy >= 0 && iy < h as isize;
-                    for kx in 0..kw {
-                        let ix = (ox * sw + kx) as isize - pw as isize;
-                        dst[i] = if row_ok && ix >= 0 && ix < w as isize {
-                            plane[iy as usize * w + ix as usize]
-                        } else {
-                            0.0
-                        };
-                        i += 1;
-                    }
-                }
-            }
-        };
-        par_chunks(par.workers_for(col_len), &mut col[..col_len], k_len, fill);
-
-        // GEMM over (batch, out-channel) row tiles: each unit computes one
-        // output plane as opix contiguous dot products of length K.
-        let col_ro: &[f32] = col;
-        let gemm_work = n * out_c * opix * k_len;
-        par_chunks(
-            par.workers_for(gemm_work),
-            out.data_mut(),
+        // contiguous dot product on both sides. Pixels are processed in
+        // cache-sized blocks — scratch never scales with the batch.
+        let geom = ConvGeom {
+            in_c,
+            h,
+            w,
+            out_c,
+            kh,
+            kw,
+            sh,
+            sw,
+            ph,
+            pw,
+            ow,
             opix,
-            |u, dst| {
-                let bi = u / out_c;
-                let oc = u % out_c;
-                let b0 = bias_data.map_or(0.0, |b| b[oc]);
-                let krow = &k_data[oc * k_len..][..k_len];
-                let cb = &col_ro[bi * opix * k_len..][..opix * k_len];
-                for (p, o) in dst.iter_mut().enumerate() {
-                    let crow = &cb[p * k_len..][..k_len];
-                    let mut acc = b0;
-                    for (kv, cv) in krow.iter().zip(crow.iter()) {
-                        acc += kv * cv;
+        };
+        let k_len = in_c * kh * kw;
+
+        if let (Some(_), Some(q)) = (ctx.int8_scale, kernel.quant()) {
+            return conv2d_int8(input, q, bias_data, out, ctx, geom);
+        }
+
+        let block_pix = (COL_BLOCK_ELEMS / k_len).clamp(1, opix);
+        let Scratch { col, outb, .. } = ctx.scratch;
+        col.resize(block_pix * k_len, 0.0);
+        outb.resize(out_c * block_pix, 0.0);
+        let out_data = out.data_mut();
+        for bi in 0..n {
+            let mut p0 = 0usize;
+            while p0 < opix {
+                let pb = block_pix.min(opix - p0);
+                let colb = &mut col[..pb * k_len];
+                par_chunks(par.workers_for(pb * k_len), colb, k_len, |j, dst| {
+                    fill_patch(in_data, geom, bi, p0 + j, dst, 0.0);
+                });
+                let colb: &[f32] = colb;
+                // GEMM tile: one out-channel row of `pb` pixels per unit,
+                // each pixel a dot4 over the cache-resident patch block.
+                let tile = &mut outb[..out_c * pb];
+                par_chunks(par.workers_for(out_c * pb * k_len), tile, pb, |oc, dst| {
+                    let b0 = bias_data.map_or(0.0, |b| b[oc]);
+                    let krow = &k_data[oc * k_len..][..k_len];
+                    for (p, o) in dst.iter_mut().enumerate() {
+                        *o = b0 + dot4(krow, &colb[p * k_len..][..k_len]);
                     }
-                    *o = acc;
+                });
+                for oc in 0..out_c {
+                    out_data[(bi * out_c + oc) * opix + p0..][..pb]
+                        .copy_from_slice(&tile[oc * pb..][..pb]);
                 }
-            },
-        );
+                p0 += pb;
+            }
+        }
         return Ok(());
     }
 
@@ -934,6 +1205,84 @@ fn conv2d_into(
     Ok(())
 }
 
+/// Dense-conv INT8 kernel: quantizes the input activations once (exact,
+/// since a `FakeQuant` producer pinned them to the grid), gathers i8
+/// patch blocks, accumulates each output scalar in i32 via [`dot4_i8`]
+/// and dequantizes with one multiply: `bias + acc · w_scale[oc] ·
+/// in_scale`.
+fn conv2d_int8(
+    input: &Tensor,
+    q: &QuantPayload,
+    bias_data: Option<&[f32]>,
+    out: &mut Tensor,
+    ctx: &mut KernelCtx<'_>,
+    geom: ConvGeom,
+) -> Result<(), NnirError> {
+    let in_scale = ctx.int8_scale.expect("int8 kernel requires a plan");
+    let par = ctx.par;
+    let in_data = input.data();
+    let n = input.shape().batch();
+    let k_len = geom.k_len();
+    let opix = geom.opix;
+    let codes: &[i8] = &q.codes;
+    let w_scales: &[f32] = &q.scales;
+    if codes.len() != geom.out_c * k_len || w_scales.len() != geom.out_c {
+        return Err(NnirError::ExecutionFailure(format!(
+            "int8 conv payload mismatch: {} codes / {} scales for a {}x{} kernel",
+            codes.len(),
+            w_scales.len(),
+            geom.out_c,
+            k_len
+        )));
+    }
+    let inv = 1.0 / in_scale;
+    let Scratch {
+        outb, qin, qcol, ..
+    } = ctx.scratch;
+    qin.resize(in_data.len(), 0);
+    for (c, &x) in qin.iter_mut().zip(in_data) {
+        *c = quantize_unit(x * inv);
+    }
+    let qin: &[i8] = qin;
+    // i8 patches are 4× denser than f32, so the same cache budget holds
+    // 4× the pixels per block.
+    let block_pix = (4 * COL_BLOCK_ELEMS / k_len).clamp(1, opix);
+    qcol.resize(block_pix * k_len, 0);
+    outb.resize(geom.out_c * block_pix, 0.0);
+    let out_data = out.data_mut();
+    for bi in 0..n {
+        let mut p0 = 0usize;
+        while p0 < opix {
+            let pb = block_pix.min(opix - p0);
+            let colb = &mut qcol[..pb * k_len];
+            par_chunks(par.workers_for(pb * k_len), colb, k_len, |j, dst| {
+                fill_patch(qin, geom, bi, p0 + j, dst, 0i8);
+            });
+            let colb: &[i8] = colb;
+            let tile = &mut outb[..geom.out_c * pb];
+            par_chunks(
+                par.workers_for(geom.out_c * pb * k_len),
+                tile,
+                pb,
+                |oc, dst| {
+                    let b0 = bias_data.map_or(0.0, |b| b[oc]);
+                    let dq = w_scales[oc] * in_scale;
+                    let krow = &codes[oc * k_len..][..k_len];
+                    for (p, o) in dst.iter_mut().enumerate() {
+                        *o = b0 + dot4_i8(krow, &colb[p * k_len..][..k_len]) as f32 * dq;
+                    }
+                },
+            );
+            for oc in 0..geom.out_c {
+                out_data[(bi * geom.out_c + oc) * opix + p0..][..pb]
+                    .copy_from_slice(&tile[oc * pb..][..pb]);
+            }
+            p0 += pb;
+        }
+    }
+    Ok(())
+}
+
 // --------------------------------------------------------------------
 // Dense
 // --------------------------------------------------------------------
@@ -943,8 +1292,9 @@ fn dense_into(
     weights: &[Tensor],
     bias: bool,
     out: &mut Tensor,
-    par: Parallelism,
+    ctx: &mut KernelCtx<'_>,
 ) -> Result<(), NnirError> {
+    let par = ctx.par;
     let n = input.shape().batch();
     let in_f = input.shape().dim(1).ok_or_else(|| {
         NnirError::ExecutionFailure(format!("dense expects [n, f] input, got {}", input.shape()))
@@ -960,6 +1310,15 @@ fn dense_into(
     }
     let out_f = weight.shape().dim(0).unwrap_or(0);
     let w_in_f = weight.shape().dim(1).unwrap_or(0);
+    if out_f == 0 {
+        // Regression guard: the old per-scalar schedule papered over
+        // this with `out_f.max(1)` guards and silently produced an
+        // empty tensor.
+        return Err(NnirError::ExecutionFailure(format!(
+            "dense weight has zero output features: {}",
+            weight.shape()
+        )));
+    }
     if w_in_f != in_f {
         return Err(NnirError::ExecutionFailure(format!(
             "dense weight expects {w_in_f} input features but input has {in_f}"
@@ -984,18 +1343,63 @@ fn dense_into(
     let w_data = weight.data();
     let in_data = input.data();
     let bias_data = b.map(Tensor::data);
-    // One unit per output scalar: dot(weight row, input row).
     let work = n * out_f * in_f;
-    par_chunks(par.workers_for(work), out.data_mut(), 1, |u, dst| {
-        let bi = u / out_f.max(1);
-        let of = u % out_f.max(1);
-        let mut acc = bias_data.map_or(0.0, |b| b[of]);
-        let row = &w_data[of * in_f..][..in_f];
-        let x = &in_data[bi * in_f..][..in_f];
-        for (wv, xv) in row.iter().zip(x.iter()) {
-            acc += wv * xv;
+    let workers = par.workers_for(work);
+    // One unit per batch row of the output; a solo row is further split
+    // into feature blocks so single-sample heads still use every
+    // worker. (The old schedule made one unit per output *scalar* —
+    // chunk size 1 — which defeated vectorization of the inner dot and
+    // paid scheduling overhead per scalar.) Chunking never affects
+    // bits: each output scalar is one dot4 of the same operands.
+    let chunk = if n == 1 {
+        out_f.div_ceil(workers * 4).max(1)
+    } else {
+        out_f
+    };
+
+    if let Some(q) = ctx.int8_scale.and(weight.quant()) {
+        let in_scale = ctx.int8_scale.expect("checked above");
+        let codes: &[i8] = &q.codes;
+        let w_scales: &[f32] = &q.scales;
+        if codes.len() != out_f * in_f || w_scales.len() != out_f {
+            return Err(NnirError::ExecutionFailure(format!(
+                "int8 dense payload mismatch: {} codes / {} scales for [{out_f}, {in_f}]",
+                codes.len(),
+                w_scales.len()
+            )));
         }
-        dst[0] = acc;
+        let inv = 1.0 / in_scale;
+        let qin = &mut ctx.scratch.qin;
+        qin.resize(in_data.len(), 0);
+        for (c, &x) in qin.iter_mut().zip(in_data) {
+            *c = quantize_unit(x * inv);
+        }
+        let qin: &[i8] = qin;
+        par_chunks(workers, out.data_mut(), chunk, |u, dst| {
+            let base = u * chunk;
+            let bi = base / out_f;
+            let of0 = base % out_f;
+            let x = &qin[bi * in_f..][..in_f];
+            for (i, o) in dst.iter_mut().enumerate() {
+                let of = of0 + i;
+                let b0 = bias_data.map_or(0.0, |b| b[of]);
+                let acc = dot4_i8(&codes[of * in_f..][..in_f], x);
+                *o = b0 + acc as f32 * (w_scales[of] * in_scale);
+            }
+        });
+        return Ok(());
+    }
+
+    par_chunks(workers, out.data_mut(), chunk, |u, dst| {
+        let base = u * chunk;
+        let bi = base / out_f;
+        let of0 = base % out_f;
+        let x = &in_data[bi * in_f..][..in_f];
+        for (i, o) in dst.iter_mut().enumerate() {
+            let of = of0 + i;
+            let b0 = bias_data.map_or(0.0, |b| b[of]);
+            *o = b0 + dot4(&w_data[of * in_f..][..in_f], x);
+        }
     });
     Ok(())
 }
@@ -1414,13 +1818,13 @@ mod tests {
         attrs.groups = 2;
         let kernel = Tensor::full(Shape::new(vec![4, 1, 3, 3]), 1.0);
         let mut out = Tensor::zeros(Shape::nchw(1, 4, 4, 4));
+        let mut scratch = Scratch::default();
         let err = conv2d_into(
             &input,
             &attrs,
             &[kernel],
             &mut out,
-            &mut Vec::new(),
-            Parallelism::Serial,
+            &mut KernelCtx::f32(&mut scratch, Parallelism::Serial),
         );
         assert!(
             matches!(err, Err(NnirError::ExecutionFailure(_))),
@@ -1436,13 +1840,13 @@ mod tests {
         attrs.padding = (0, 0);
         let kernel = Tensor::full(Shape::new(vec![1, 1, 5, 5]), 1.0);
         let mut out = Tensor::zeros(Shape::nchw(1, 1, 1, 1));
+        let mut scratch = Scratch::default();
         let err = conv2d_into(
             &input,
             &attrs,
             &[kernel],
             &mut out,
-            &mut Vec::new(),
-            Parallelism::Serial,
+            &mut KernelCtx::f32(&mut scratch, Parallelism::Serial),
         );
         assert!(
             matches!(err, Err(NnirError::ExecutionFailure(_))),
@@ -1469,15 +1873,49 @@ mod tests {
         let input = Tensor::full(Shape::nf(1, 3), 1.0);
         let bad_rank = Tensor::full(Shape::new(vec![6]), 1.0);
         let mut out = Tensor::zeros(Shape::nf(1, 2));
+        let mut scratch = Scratch::default();
         assert!(matches!(
-            dense_into(&input, &[bad_rank], false, &mut out, Parallelism::Serial),
+            dense_into(
+                &input,
+                &[bad_rank],
+                false,
+                &mut out,
+                &mut KernelCtx::f32(&mut scratch, Parallelism::Serial)
+            ),
             Err(NnirError::ExecutionFailure(_))
         ));
         let wrong_in_f = Tensor::full(Shape::nf(2, 4), 1.0);
         assert!(matches!(
-            dense_into(&input, &[wrong_in_f], false, &mut out, Parallelism::Serial),
+            dense_into(
+                &input,
+                &[wrong_in_f],
+                false,
+                &mut out,
+                &mut KernelCtx::f32(&mut scratch, Parallelism::Serial)
+            ),
             Err(NnirError::ExecutionFailure(_))
         ));
+    }
+
+    #[test]
+    fn dense_rejects_zero_output_features() {
+        // Regression: the per-scalar schedule's `out_f.max(1)` guards
+        // used to let a [0, in_f] weight "succeed" with an empty output.
+        let input = Tensor::full(Shape::nf(1, 3), 1.0);
+        let empty = Tensor::zeros(Shape::nf(0, 3));
+        let mut out = Tensor::zeros(Shape::nf(1, 0));
+        let mut scratch = Scratch::default();
+        let err = dense_into(
+            &input,
+            &[empty],
+            false,
+            &mut out,
+            &mut KernelCtx::f32(&mut scratch, Parallelism::Serial),
+        );
+        assert!(
+            matches!(&err, Err(NnirError::ExecutionFailure(msg)) if msg.contains("zero output features")),
+            "{err:?}"
+        );
     }
 
     #[test]
@@ -1662,5 +2100,110 @@ mod tests {
         for (i, &x) in data.iter().enumerate() {
             assert_eq!(x, 1.0 + (i / 10) as f32);
         }
+    }
+
+    // ---- microkernels ----
+
+    #[test]
+    fn dot4_matches_documented_lane_association() {
+        // Lane j accumulates elements j, j+4, ... in index order; the
+        // combine is (l0+l1)+(l2+l3). Bit-exact by construction for any
+        // length, including tails of 1..3.
+        for len in [0usize, 1, 2, 3, 4, 5, 7, 8, 13, 127] {
+            let a: Vec<f32> = (0..len).map(|i| (i as f32 * 0.37).sin()).collect();
+            let b: Vec<f32> = (0..len).map(|i| (i as f32 * 0.11).cos() - 0.4).collect();
+            let mut lanes = [0.0f32; 4];
+            for i in 0..len {
+                lanes[i % 4] += a[i] * b[i];
+            }
+            let reference = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+            assert_eq!(dot4(&a, &b).to_bits(), reference.to_bits(), "len {len}");
+        }
+    }
+
+    #[test]
+    fn dot4_i8_is_exact_against_wide_reference() {
+        // i32 accumulation never rounds: compare against an i64 sum.
+        let a: Vec<i8> = (0..301)
+            .map(|i| ((i * 37 + 11) % 255 - 127) as i8)
+            .collect();
+        let b: Vec<i8> = (0..301).map(|i| ((i * 53 + 7) % 255 - 127) as i8).collect();
+        let wide: i64 = a
+            .iter()
+            .zip(&b)
+            .map(|(&x, &y)| i64::from(x) * i64::from(y))
+            .sum();
+        assert_eq!(i64::from(dot4_i8(&a, &b)), wide);
+    }
+
+    // ---- INT8 execution path ----
+
+    #[test]
+    fn int8_dense_path_engages_and_matches_fake_quant_reference() {
+        // x -> FakeQuant -> Dense with per-channel i8 weights: the plan
+        // should select the INT8 kernel, and its output must match the
+        // fake-quant f32 reference within the stated tolerance.
+        let scale = 1.0 / 127.0;
+        let mut b = GraphBuilder::new("q");
+        let x = b.input(Shape::nf(2, 8));
+        let q = b.apply("x.q", Op::FakeQuant { scale }, &[x]).unwrap();
+        let mut w = Tensor::random(Shape::nf(3, 8), 5, 1.0);
+        w.quantize_i8_per_channel();
+        let fc = b
+            .apply_with_weights(
+                "fc",
+                Op::Dense {
+                    out_features: 3,
+                    bias: false,
+                },
+                &[q],
+                WeightInit::Explicit(vec![w]),
+            )
+            .unwrap();
+        let g = b.finish(vec![fc]);
+        let input = Tensor::random(Shape::nf(2, 8), 9, 1.0);
+
+        let mut int8 = Runner::builder().build(&g).unwrap();
+        assert!(
+            int8.uses_int8(),
+            "I201-clean quantized graph should plan INT8"
+        );
+        let mut reference = Runner::builder().int8(false).build(&g).unwrap();
+        assert!(!reference.uses_int8());
+
+        let got = int8
+            .execute(
+                std::slice::from_ref(&input),
+                RunOptions::new().profile(true),
+            )
+            .unwrap();
+        let want = reference.execute(&[input], RunOptions::default()).unwrap();
+        assert_eq!(got.profile().expect("profiled").int8_nodes(), 1);
+        let diff = got.outputs()[0].max_abs_diff(&want.outputs()[0]).unwrap();
+        let bound = 1e-4 * want.outputs()[0].abs_max().max(1.0);
+        assert!(diff <= bound, "int8 vs fake-quant diff {diff} > {bound}");
+    }
+
+    #[test]
+    fn uncalibrated_graph_never_plans_int8() {
+        // No FakeQuant producer -> no activation scale -> f32 path even
+        // though the weights carry an i8 payload.
+        let mut b = GraphBuilder::new("nq");
+        let x = b.input(Shape::nf(1, 8));
+        let mut w = Tensor::random(Shape::nf(3, 8), 5, 1.0);
+        w.quantize_i8_per_channel();
+        let fc = b
+            .apply_with_weights(
+                "fc",
+                Op::Dense {
+                    out_features: 3,
+                    bias: false,
+                },
+                &[x],
+                WeightInit::Explicit(vec![w]),
+            )
+            .unwrap();
+        let g = b.finish(vec![fc]);
+        assert!(!Runner::builder().build(&g).unwrap().uses_int8());
     }
 }

@@ -10,6 +10,7 @@
 //! measured-vs-theoretical comparison into a live per-layer report
 //! (`PerfModel::compare_profile`).
 
+use crate::dtype::DataType;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use vedliot_obs::hist::Histogram;
@@ -28,6 +29,11 @@ pub struct NodeProfile {
     pub elementwise: u64,
     /// Measured kernel duration in nanoseconds.
     pub duration_ns: u64,
+    /// Numeric path the kernel executed: [`DataType::I8`] when the
+    /// runner selected the INT8 kernel for this node, [`DataType::F32`]
+    /// otherwise.
+    #[serde(default)]
+    pub precision: DataType,
 }
 
 impl NodeProfile {
@@ -98,6 +104,15 @@ impl RunProfile {
         }
     }
 
+    /// Nodes that executed on the INT8 kernel path.
+    #[must_use]
+    pub fn int8_nodes(&self) -> usize {
+        self.per_node
+            .iter()
+            .filter(|n| n.precision == DataType::I8)
+            .count()
+    }
+
     /// The `n` most expensive nodes by measured duration.
     #[must_use]
     pub fn top_by_time(&self, n: usize) -> Vec<&NodeProfile> {
@@ -123,12 +138,13 @@ impl fmt::Display for RunProfile {
         for node in &self.per_node {
             writeln!(
                 f,
-                "  {:<12} {:<24} {:>10} ns {:>12} ops {:>8.3} GFLOP/s",
+                "  {:<12} {:<24} {:>10} ns {:>12} ops {:>8.3} GFLOP/s  {}",
                 node.name,
                 node.op,
                 node.duration_ns,
                 node.ops(),
-                node.achieved_gops()
+                node.achieved_gops(),
+                node.precision
             )?;
         }
         Ok(())
@@ -170,6 +186,11 @@ impl Exportable for RunProfile {
                     value: MetricValue::Gauge(self.achieved_gops()),
                 },
                 Metric {
+                    name: "int8_nodes".into(),
+                    help: "nodes executed on the INT8 kernel path".into(),
+                    value: MetricValue::Counter(self.int8_nodes() as u64),
+                },
+                Metric {
                     name: "node_duration_ns".into(),
                     help: "per-node kernel duration distribution".into(),
                     value: MetricValue::Histogram(durations.snapshot()),
@@ -194,6 +215,7 @@ mod tests {
                     macs: 6912,
                     elementwise: 0,
                     duration_ns: 9000,
+                    precision: DataType::F32,
                 },
                 NodeProfile {
                     name: "fc".into(),
@@ -201,6 +223,7 @@ mod tests {
                     macs: 2560,
                     elementwise: 10,
                     duration_ns: 500,
+                    precision: DataType::I8,
                 },
             ],
             wall_ns: 10_000,
@@ -215,6 +238,7 @@ mod tests {
         assert!((p.coverage() - 0.95).abs() < 1e-12);
         assert!((p.achieved_gops() - p.total_ops() as f64 / 1e4).abs() < 1e-12);
         assert_eq!(p.top_by_time(1)[0].name, "conv1");
+        assert_eq!(p.int8_nodes(), 1);
     }
 
     #[test]
@@ -225,8 +249,10 @@ mod tests {
             macs: 0,
             elementwise: 0,
             duration_ns: 0,
+            precision: DataType::default(),
         };
         assert_eq!(node.achieved_gops(), 0.0);
+        assert_eq!(node.precision, DataType::F32);
     }
 
     #[test]

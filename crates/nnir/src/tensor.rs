@@ -1,13 +1,32 @@
 //! Dense f32 tensors used by the reference executor.
 //!
-//! The IR keeps all *values* in f32; quantized execution in the toolchain is
-//! modelled by fake-quantization (quantize→dequantize round trips), which is
-//! how post-training quantization error is normally evaluated before
-//! deployment.
+//! The IR keeps all *values* in f32. Quantized *weights* may carry a
+//! [`QuantPayload`] sidecar — the integer codes plus per-row scales that
+//! [`Tensor::quantize_i8_per_channel`] produces — while `data` keeps the
+//! dequantized view, so every f32 consumer (shape checks, cost model,
+//! fake-quant accuracy evaluation) is unaffected and only the execution
+//! engine's INT8 kernels read the codes.
 
+use crate::dtype::DataType;
 use crate::shape::Shape;
 use crate::NnirError;
 use serde::{Deserialize, Serialize};
+
+/// Quantized sidecar representation of a tensor.
+///
+/// `codes` are row-major signed integer codes in the same element order
+/// as the tensor's f32 data; `scales` holds one symmetric scale per
+/// dim-0 row (conv output channel / dense output feature), so
+/// `data[r * row_len + i] == f32::from(codes[r * row_len + i]) * scales[r]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantPayload {
+    /// Storage type of the codes (currently always [`DataType::I8`]).
+    pub dtype: DataType,
+    /// Integer codes, same element order as the f32 data.
+    pub codes: Vec<i8>,
+    /// One scale per dim-0 row.
+    pub scales: Vec<f32>,
+}
 
 /// A dense, row-major f32 tensor.
 ///
@@ -24,6 +43,12 @@ use serde::{Deserialize, Serialize};
 pub struct Tensor {
     shape: Shape,
     data: Vec<f32>,
+    /// Quantized sidecar; present only on weights that went through
+    /// [`quantize_i8_per_channel`](Tensor::quantize_i8_per_channel).
+    /// Dropped by any mutation of the f32 data, which would otherwise
+    /// desynchronize the codes.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    quant: Option<Box<QuantPayload>>,
 }
 
 impl Tensor {
@@ -34,6 +59,7 @@ impl Tensor {
         Tensor {
             shape,
             data: vec![0.0; n],
+            quant: None,
         }
     }
 
@@ -44,6 +70,7 @@ impl Tensor {
         Tensor {
             shape,
             data: vec![value; n],
+            quant: None,
         }
     }
 
@@ -64,7 +91,11 @@ impl Tensor {
                 ),
             });
         }
-        Ok(Tensor { shape, data })
+        Ok(Tensor {
+            shape,
+            data,
+            quant: None,
+        })
     }
 
     /// Creates a tensor by evaluating `f` at each linear index.
@@ -74,6 +105,7 @@ impl Tensor {
         Tensor {
             data: (0..n).map(&mut f).collect(),
             shape,
+            quant: None,
         }
     }
 
@@ -90,8 +122,55 @@ impl Tensor {
     }
 
     /// Mutable view of the raw data (row-major).
+    ///
+    /// Drops any [`QuantPayload`]: mutating the f32 view invalidates
+    /// the integer codes derived from it.
     pub fn data_mut(&mut self) -> &mut [f32] {
+        self.quant = None;
         &mut self.data
+    }
+
+    /// The quantized sidecar, if this tensor carries one.
+    #[must_use]
+    pub fn quant(&self) -> Option<&QuantPayload> {
+        self.quant.as_deref()
+    }
+
+    /// Quantizes the tensor to symmetric per-channel INT8 in place.
+    ///
+    /// Each dim-0 row gets its own scale `row_abs_max / 127`; codes are
+    /// `round(x / scale)` clamped to ±127. The f32 data is replaced by
+    /// the dequantized view `code * scale` (the per-channel fake-quant
+    /// the PTQ accuracy evaluation runs on), and the codes + scales are
+    /// attached as a [`QuantPayload`] for the execution engine's INT8
+    /// kernels. An all-zero row keeps scale 0 and codes 0.
+    pub fn quantize_i8_per_channel(&mut self) {
+        let rows = self.shape.dim(0).unwrap_or(1).max(1);
+        let row_len = self.data.len() / rows;
+        let mut codes = vec![0i8; self.data.len()];
+        let mut scales = vec![0.0f32; rows];
+        for r in 0..rows {
+            let row = &mut self.data[r * row_len..][..row_len];
+            let absmax = row.iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+            if absmax == 0.0 {
+                continue;
+            }
+            let scale = absmax / 127.0;
+            scales[r] = scale;
+            for (c, x) in codes[r * row_len..][..row_len]
+                .iter_mut()
+                .zip(row.iter_mut())
+            {
+                let q = (*x / scale).round().clamp(-127.0, 127.0);
+                *c = q as i8;
+                *x = q * scale;
+            }
+        }
+        self.quant = Some(Box::new(QuantPayload {
+            dtype: DataType::I8,
+            codes,
+            scales,
+        }));
     }
 
     /// Consumes the tensor and returns the raw data.
@@ -117,6 +196,7 @@ impl Tensor {
     /// Panics if the index is out of range.
     pub fn set(&mut self, idx: &[usize], value: f32) {
         let off = self.shape.offset(idx);
+        self.quant = None;
         self.data[off] = value;
     }
 
@@ -136,6 +216,7 @@ impl Tensor {
         Ok(Tensor {
             shape,
             data: self.data.clone(),
+            quant: None,
         })
     }
 
@@ -258,6 +339,7 @@ impl Tensor {
     /// using the given deterministic seed (xorshift; reproducible across
     /// platforms, no external RNG state).
     pub fn fill_random(&mut self, seed: u64, scale: f32) {
+        self.quant = None;
         let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1);
         for x in &mut self.data {
             // xorshift64*
@@ -350,6 +432,57 @@ mod tests {
     #[test]
     fn split_batch_rejects_scalars() {
         assert!(Tensor::zeros(Shape::scalar()).split_batch().is_err());
+    }
+
+    #[test]
+    fn per_channel_quantization_sets_payload_and_dequantized_view() {
+        let mut t =
+            Tensor::from_vec(Shape::nf(2, 3), vec![1.0, -0.5, 0.25, 100.0, -50.0, 25.0]).unwrap();
+        t.quantize_i8_per_channel();
+        let q = t.quant().expect("payload");
+        assert_eq!(q.dtype, DataType::I8);
+        assert_eq!(q.scales.len(), 2);
+        // Each row gets its own scale: 1/127 and 100/127.
+        assert!((q.scales[0] - 1.0 / 127.0).abs() < 1e-9);
+        assert!((q.scales[1] - 100.0 / 127.0).abs() < 1e-9);
+        // The f32 view is exactly the dequantized codes.
+        for r in 0..2 {
+            for i in 0..3 {
+                assert_eq!(
+                    t.data()[r * 3 + i],
+                    f32::from(q.codes[r * 3 + i]) * q.scales[r]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_rows_quantize_to_zero_scale() {
+        let mut t = Tensor::from_vec(Shape::nf(2, 2), vec![0.0, 0.0, 2.0, -1.0]).unwrap();
+        t.quantize_i8_per_channel();
+        let q = t.quant().unwrap();
+        assert_eq!(q.scales[0], 0.0);
+        assert_eq!(&q.codes[..2], &[0, 0]);
+        assert!(q.scales[1] > 0.0);
+    }
+
+    #[test]
+    fn mutation_drops_quant_payload() {
+        let mut t = Tensor::random(Shape::nf(2, 4), 3, 1.0);
+        t.quantize_i8_per_channel();
+        assert!(t.quant().is_some());
+        t.data_mut()[0] = 9.0;
+        assert!(t.quant().is_none());
+        t.quantize_i8_per_channel();
+        t.set(&[0, 0], 1.0);
+        assert!(t.quant().is_none());
+        t.quantize_i8_per_channel();
+        t.fill_random(1, 1.0);
+        assert!(t.quant().is_none());
+        // Reshape changes the row axis, so the payload does not follow.
+        let mut t = Tensor::random(Shape::nf(2, 4), 5, 1.0);
+        t.quantize_i8_per_channel();
+        assert!(t.reshape(Shape::nf(4, 2)).unwrap().quant().is_none());
     }
 
     #[test]

@@ -269,6 +269,48 @@ proptest! {
     }
 }
 
+proptest! {
+    /// The cache-blocked kernels are **bit-identical** to the serial
+    /// schedule — the 4-lane microkernel is a pure function of the
+    /// operand slices, so thread count, pixel blocking, and batch
+    /// grouping cannot change a single ULP. Exercised across odd
+    /// shapes: `K = in_c*kh*kw` deliberately not a multiple of the
+    /// 4-lane tile, stride/padding edge cases, and dense tail lengths.
+    #[test]
+    fn blocked_kernels_are_bit_identical_to_serial(
+        batch in 1usize..5,
+        in_c in 1usize..5,
+        out_c in 1usize..6,
+        h in 5usize..12,
+        w in 5usize..12,
+        kernel in 1usize..5,
+        stride in 1usize..4,
+        pad in 0usize..3,
+        hidden in 1usize..30,
+        seed in 0u64..1_000,
+    ) {
+        let mut attrs = Conv2dAttrs::same(out_c, kernel, stride);
+        attrs.padding = (pad, pad);
+        let mut b = GraphBuilder::new("bits");
+        let x = b.input(Shape::nchw(batch, in_c, h, w));
+        let Ok(c) = b.apply("conv", Op::Conv2d(attrs), &[x]) else {
+            // Kernel larger than the padded input: rejected at build
+            // time, nothing to compare.
+            return Ok(());
+        };
+        let f = b.apply("flatten", Op::Flatten, &[c]).unwrap();
+        let d = b.apply("fc", Op::Dense { out_features: hidden, bias: true }, &[f]).unwrap();
+        let g = b.finish(vec![d]);
+        let input = Tensor::random(Shape::nchw(batch, in_c, h, w), seed, 1.0);
+        let serial = run_with(&g, Parallelism::Serial, std::slice::from_ref(&input)).unwrap();
+        for threads in [2usize, 4, 7] {
+            let threaded =
+                run_with(&g, Parallelism::Threads(threads), std::slice::from_ref(&input)).unwrap();
+            prop_assert_eq!(&serial, &threaded, "diverged at {} threads", threads);
+        }
+    }
+}
+
 /// MobileNetV3-style stem at 32x32: strided conv + BN + hard-swish,
 /// a depthwise conv, a squeeze-excite gate (GAP, 1x1 reduce/expand,
 /// channel-wise Mul) and a pointwise projection — the op mix the

@@ -751,13 +751,20 @@ impl Pass for PruneChannels {
 // Quantization
 // --------------------------------------------------------------------
 
-/// Per-tensor symmetric INT8 post-training quantization with activation
-/// range calibration.
+/// Per-channel symmetric INT8 post-training quantization with
+/// activation range calibration.
 ///
-/// Weights are *fake-quantized* in place (snapped to the INT8 grid and
-/// dequantized), which is how PTQ accuracy is evaluated before real
-/// deployment; activation scales are recorded from calibration data and
-/// reported for the deployment target.
+/// Weights get one scale per output channel (conv output channel /
+/// dense row) — the per-tensor scheme the pass used to apply let one
+/// large channel wash out the grid for every small one, which is where
+/// the paper's PTQ accuracy tables and ours diverged. The quantized
+/// weights are stored both as a dequantized f32 view (so every f32
+/// consumer, including accuracy evaluation, sees fake-quantized
+/// values) and as an `i8` code + scale payload
+/// ([`Tensor::quant`](vedliot_nnir::tensor::Tensor::quant)) that the
+/// runner's INT8 kernels execute directly; activation scales are
+/// recorded from calibration data as `FakeQuant` nodes, which is what
+/// makes a graph I201-eligible for the INT8 execution path.
 #[derive(Debug, Clone, Default)]
 pub struct QuantizeInt8 {
     calibration: Vec<Tensor>,
@@ -777,14 +784,6 @@ impl QuantizeInt8 {
     pub fn with_calibration(calibration: Vec<Tensor>) -> Self {
         QuantizeInt8 { calibration }
     }
-}
-
-/// Snaps a value to the symmetric INT8 grid defined by `scale`.
-fn fake_quant_i8(x: f32, scale: f32) -> f32 {
-    if scale == 0.0 {
-        return 0.0;
-    }
-    (x / scale).round().clamp(-127.0, 127.0) * scale
 }
 
 impl Pass for QuantizeInt8 {
@@ -879,18 +878,14 @@ impl Pass for QuantizeInt8 {
         let mut quantized_layers = 0usize;
         for (node, weights) in graph.nodes_mut().iter_mut().zip(materialized) {
             let Some(mut weights) = weights else { continue };
-            let w = &mut weights[0];
-            let scale = w.abs_max() / 127.0;
-            for x in w.data_mut() {
-                *x = fake_quant_i8(*x, scale);
-            }
+            weights[0].quantize_i8_per_channel();
             node.weights = WeightInit::Explicit(weights);
             quantized_layers += 1;
         }
         Ok((
             graph,
             format!(
-                "fake-quantized {quantized_layers} layers to INT8 ({act_scales} activation scales calibrated)"
+                "quantized {quantized_layers} layers to per-channel INT8 ({act_scales} activation scales calibrated)"
             ),
         ))
     }
@@ -1108,24 +1103,33 @@ mod tests {
         assert!(matches!(err, Err(ToolchainError::UnsupportedGraph { .. })));
     }
 
+    /// Per-tensor symmetric INT8 fake-quantization — the scheme the
+    /// pass used before per-channel scales, kept as the comparison
+    /// baseline for the accuracy-delta tests.
+    fn fake_quant_i8(x: f32, scale: f32) -> f32 {
+        if scale == 0.0 {
+            return 0.0;
+        }
+        (x / scale).round().clamp(-127.0, 127.0) * scale
+    }
+
     #[test]
-    fn quantization_snaps_weights_to_grid() {
+    fn quantization_snaps_weights_to_per_channel_grid() {
         let g = cnn();
         let (quant, _) = QuantizeInt8::new().run(g).unwrap();
         let exec = Runner::builder().build(&quant).unwrap();
         for node in quant.nodes() {
             if matches!(node.op, Op::Conv2d(_)) {
                 let w = &exec.node_weights(node).unwrap()[0];
-                let scale = w.abs_max() / 127.0;
-                if scale == 0.0 {
-                    continue;
-                }
-                for &x in w.data() {
-                    let steps = x / scale;
-                    assert!(
-                        (steps - steps.round()).abs() < 1e-3,
-                        "weight {x} not on grid with scale {scale}"
-                    );
+                let payload = w.quant().expect("i8 payload emitted");
+                let rows = payload.scales.len();
+                let row_len = w.data().len() / rows;
+                for (r, &scale) in payload.scales.iter().enumerate() {
+                    for (i, &x) in w.data()[r * row_len..][..row_len].iter().enumerate() {
+                        // The f32 view is exactly code * row scale.
+                        let code = f32::from(payload.codes[r * row_len + i]);
+                        assert_eq!(x, code * scale, "row {r} weight {x} off its channel grid");
+                    }
                 }
             }
         }
@@ -1155,6 +1159,115 @@ mod tests {
             let diff = w.max_abs_diff(&orig).unwrap();
             assert!(diff <= scale / 2.0 * 1.0001 + 1e-6);
         }
+    }
+
+    #[test]
+    fn per_channel_scales_shrink_quantization_error_vs_per_tensor() {
+        // Channels with very different magnitudes are exactly where the
+        // old per-tensor scheme lost accuracy: the largest row set the
+        // grid step for every other row. Build such a dense layer and
+        // measure both schemes' weight- and output-space damage.
+        let dense_graph = |w: Tensor| {
+            let out_f = w.shape().dim(0).unwrap();
+            let in_f = w.shape().dim(1).unwrap();
+            let mut b = GraphBuilder::new("hetero");
+            let x = b.input(Shape::nf(1, in_f));
+            let fc = b
+                .apply_with_weights(
+                    "fc",
+                    Op::Dense {
+                        out_features: out_f,
+                        bias: false,
+                    },
+                    &[x],
+                    WeightInit::Explicit(vec![w]),
+                )
+                .unwrap();
+            b.finish(vec![fc])
+        };
+        let run = |g: &Graph, input: &Tensor| {
+            Runner::builder()
+                .build(g)
+                .unwrap()
+                .execute(std::slice::from_ref(input), RunOptions::default())
+                .unwrap()
+                .into_outputs()
+                .remove(0)
+        };
+
+        let mut original = Tensor::random(Shape::nf(4, 16), 21, 1.0);
+        // Spread row magnitudes across four orders of magnitude.
+        {
+            let data = original.data_mut();
+            for (r, gain) in [100.0f32, 1.0, 0.1, 0.01].into_iter().enumerate() {
+                for x in &mut data[r * 16..][..16] {
+                    *x *= gain;
+                }
+            }
+        }
+        let mut per_channel = original.clone();
+        per_channel.quantize_i8_per_channel();
+        let mut per_tensor = original.clone();
+        let tensor_scale = per_tensor.abs_max() / 127.0;
+        for x in per_tensor.data_mut() {
+            *x = fake_quant_i8(*x, tensor_scale);
+        }
+
+        let pc_err = per_channel.max_abs_diff(&original).unwrap();
+        let pt_err = per_tensor.max_abs_diff(&original).unwrap();
+        assert!(
+            pc_err < pt_err,
+            "weight error: per-channel {pc_err} vs per-tensor {pt_err}"
+        );
+
+        let input = Tensor::random(Shape::nf(1, 16), 33, 1.0);
+        let float_out = run(&dense_graph(original), &input);
+        let pc_delta = run(&dense_graph(per_channel), &input)
+            .max_abs_diff(&float_out)
+            .unwrap();
+        let pt_delta = run(&dense_graph(per_tensor), &input)
+            .max_abs_diff(&float_out)
+            .unwrap();
+        assert!(
+            pc_delta < pt_delta,
+            "output delta: per-channel {pc_delta} vs per-tensor {pt_delta}"
+        );
+    }
+
+    #[test]
+    fn per_channel_accuracy_beats_per_tensor_on_trained_model() {
+        // The compressed-zoo claim: per-channel PTQ accuracy is no
+        // worse than the per-tensor scheme on a trained model.
+        let data = gaussian_prototypes(&Shape::nf(1, 16), 4, 40, 3.0, 13);
+        let mut model = mlp("m", 16, &[24], 4).unwrap();
+        train_mlp(&mut model, &data, &TrainConfig::default()).unwrap();
+
+        // Per-tensor baseline, applied the way the pass used to.
+        let mut per_tensor = model.clone();
+        let materialized: Vec<Option<Vec<Tensor>>> = {
+            let exec = Runner::builder().build(&per_tensor).unwrap();
+            per_tensor
+                .nodes()
+                .iter()
+                .map(|n| matches!(n.op, Op::Dense { .. }).then(|| exec.node_weights(n).unwrap()))
+                .collect()
+        };
+        for (node, weights) in per_tensor.nodes_mut().iter_mut().zip(materialized) {
+            let Some(mut weights) = weights else { continue };
+            let scale = weights[0].abs_max() / 127.0;
+            for x in weights[0].data_mut() {
+                *x = fake_quant_i8(*x, scale);
+            }
+            node.weights = WeightInit::Explicit(weights);
+        }
+        let pt_acc = evaluate(&per_tensor, &data).unwrap().accuracy();
+
+        let (per_channel, _) = QuantizeInt8::new().run(model).unwrap();
+        let pc_acc = evaluate(&per_channel, &data).unwrap().accuracy();
+        assert!(
+            pc_acc >= pt_acc,
+            "per-channel accuracy {pc_acc} < per-tensor {pt_acc}"
+        );
     }
 
     #[test]
@@ -1220,6 +1333,54 @@ mod tests {
             acc >= base - 0.05,
             "full INT8 accuracy {acc} vs float {base}"
         );
+    }
+
+    #[test]
+    fn int8_kernel_matches_fake_quant_reference_on_eligible_zoo_models() {
+        // The INT8 numeric contract: on an I201-eligible calibrated
+        // graph the i8-weight / i32-accumulate kernel differs from the
+        // fake-quant f32 reference only by f32 summation rounding —
+        // within 1e-4 * max(1, |out|_inf).
+        let models: Vec<(Graph, Shape)> = vec![
+            (zoo::lenet5(10).unwrap(), Shape::nchw(1, 1, 28, 28)),
+            (
+                zoo::tiny_cnn("gesture", Shape::nchw(1, 3, 16, 16), &[8, 16], 4).unwrap(),
+                Shape::nchw(1, 3, 16, 16),
+            ),
+            (
+                zoo::conv1d_classifier("motor", 2, 64, &[8, 16], 3).unwrap(),
+                Shape::nchw(1, 2, 1, 64),
+            ),
+        ];
+        for (model, shape) in models {
+            let name = model.name().to_string();
+            let calib: Vec<Tensor> = (0..4)
+                .map(|s| Tensor::random(shape.clone(), s + 1, 1.0))
+                .collect();
+            let (quantized, _) = QuantizeInt8::with_calibration(calib).run(model).unwrap();
+            assert!(
+                analysis::int8_ready(&quantized),
+                "{name} not I201-eligible after calibration"
+            );
+            let mut int8 = Runner::builder().build(&quantized).unwrap();
+            assert!(int8.uses_int8(), "{name}: INT8 plan did not engage");
+            let mut reference = Runner::builder().int8(false).build(&quantized).unwrap();
+            let input = Tensor::random(shape, 99, 1.0);
+            let got = int8
+                .execute(
+                    std::slice::from_ref(&input),
+                    RunOptions::new().profile(true),
+                )
+                .unwrap();
+            assert!(got.profile().unwrap().int8_nodes() > 0, "{name}");
+            let want = reference.execute(&[input], RunOptions::default()).unwrap();
+            let diff = got.outputs()[0].max_abs_diff(&want.outputs()[0]).unwrap();
+            let bound = 1e-4 * want.outputs()[0].abs_max().max(1.0);
+            assert!(
+                diff <= bound,
+                "{name}: INT8 vs fake-quant diff {diff} > {bound}"
+            );
+        }
     }
 
     #[test]
