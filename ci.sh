@@ -46,6 +46,9 @@ cargo test -q -p vedliot-serve --test chaos smoke_200_requests_under_seeded_chao
 echo "==> observability smoke test (traced 50-request run, exact span accounting, exporter goldens)"
 cargo test -q -p vedliot-serve --test observe
 
+echo "==> routing smoke test (multi-tenant isolation, priority admission, bit-identity)"
+cargo test -q -p vedliot-serve --test routing
+
 if [[ $fast -eq 0 ]]; then
   echo "==> kernel perf gate (E24 batched per-sample conv cost vs recorded baseline)"
   # BENCH_pr6.json is the checked-in snapshot from `harness kernels`.
@@ -60,6 +63,24 @@ if [[ $fast -eq 0 ]]; then
     limit = b * 1.30; if (limit < 1.0) limit = 1.0;
     if (f > limit) {
       printf "ERROR: batched per-sample conv cost regressed: %s > limit %.3f (baseline %s)\n", f, limit, b;
+      exit 1;
+    }
+  }'
+
+  echo "==> routing availability gate (E25 per-priority availability vs recorded baseline)"
+  # BENCH_pr7.json is the checked-in snapshot from `harness routing`.
+  # The E25 run asserts the admission contract internally (high >= 0.98,
+  # batch shed first, bit-identity); the gate re-checks the fresh
+  # high-priority availability against both the hard floor and the
+  # recorded baseline with 2% scheduling-noise headroom.
+  baseline=$(sed 's/.*"labels":{"priority":"high"},"type":"gauge","value"://;s/}.*//' BENCH_pr7.json)
+  BENCH_OUT=target/BENCH_pr7.json ./target/release/harness routing > /dev/null
+  fresh=$(sed 's/.*"labels":{"priority":"high"},"type":"gauge","value"://;s/}.*//' target/BENCH_pr7.json)
+  echo "    high-priority availability: baseline ${baseline}, fresh ${fresh}"
+  awk -v f="$fresh" -v b="$baseline" 'BEGIN {
+    floor = b - 0.02; if (floor < 0.98) floor = 0.98;
+    if (f < floor) {
+      printf "ERROR: high-priority availability regressed: %s < floor %.3f (baseline %s)\n", f, floor, b;
       exit 1;
     }
   }'

@@ -5,13 +5,15 @@
 //! Experiments (DESIGN.md §3): `fig2`, `fig3`, `fig4`, `fig4-ext`,
 //! `compression`, `gap`, `twine`, `pmp`, `cfu`, `safety`, `paeb`, `arc`,
 //! `motor`, `mirror`, `reconfig`, `reqeng`, `memory`, `codesign`,
-//! `executor`, `serving`, `resilience`, `observe`, `kernels`, `lint`,
-//! or `all`.
+//! `executor`, `serving`, `resilience`, `observe`, `kernels`,
+//! `routing`, `lint`, or `all`.
 //!
 //! `kernels` additionally writes `BENCH_pr6.json` (the obs JSON export
 //! of the E24 kernel measurements) to the current directory — the
 //! perf-trajectory snapshot ci.sh compares against its checked-in
-//! baseline. Set `BENCH_OUT` to redirect the snapshot path.
+//! baseline. `routing` likewise writes `BENCH_pr7.json` (the E25
+//! per-priority availability snapshot). Set `BENCH_OUT` to redirect
+//! either snapshot path.
 
 use vedliot_bench::experiments;
 
@@ -51,6 +53,16 @@ fn main() {
             eprintln!("wrote kernel snapshot to {path}");
             vec![experiment]
         }
+        "routing" => {
+            let (experiment, snapshot) = experiments::routing_with_snapshot();
+            let path = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_pr7.json".into());
+            std::fs::write(&path, snapshot.to_json()).unwrap_or_else(|e| {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(1);
+            });
+            eprintln!("wrote routing snapshot to {path}");
+            vec![experiment]
+        }
         "lint" => vec![experiments::lint()],
         "all" => experiments::all(),
         other => {
@@ -58,7 +70,7 @@ fn main() {
             eprintln!(
                 "choose one of: fig2 fig3 fig4 fig4-ext compression gap twine pmp cfu \
                  safety paeb arc motor mirror reconfig reqeng memory codesign ablation \
-                 executor serving resilience observe kernels lint all"
+                 executor serving resilience observe kernels routing lint all"
             );
             std::process::exit(2);
         }

@@ -962,7 +962,7 @@ pub fn executor_parallel() -> Experiment {
 pub fn serving() -> Experiment {
     use std::time::{Duration, Instant};
     use vedliot::nnir::Tensor;
-    use vedliot::serve::{BatchPolicy, ServeConfig, Server};
+    use vedliot::serve::{BatchPolicy, ServeConfig, Server, SubmitRequest};
 
     // A Smart-Mirror-class gesture network (§V-C): microsecond-scale
     // per-sample compute, which is exactly the regime edge serving lives
@@ -990,19 +990,16 @@ pub fn serving() -> Experiment {
         ("batched b≤4", 4),
         ("batched b≤8", 8),
     ] {
-        let server = Server::start(
-            &model,
-            ServeConfig {
-                queue_capacity: requests + 8,
-                workers: 1,
-                batch: BatchPolicy {
-                    max_batch,
-                    max_linger: Duration::from_micros(200),
-                },
-                ..ServeConfig::default()
-            },
-        )
-        .expect("server starts");
+        let config = ServeConfig::builder()
+            .queue_capacity(requests + 8)
+            .workers(1)
+            .batch(BatchPolicy {
+                max_batch,
+                max_linger: Duration::from_micros(200),
+            })
+            .build()
+            .expect("valid serve config");
+        let server = Server::start(&model, config).expect("server starts");
         // Warm the runners (arena + weight cache) outside the timed
         // region, mirroring E20's methodology: async rounds so the
         // batcher actually forms full batches during warm-up.
@@ -1012,7 +1009,7 @@ pub fn serving() -> Experiment {
                 .take(max_batch)
                 .map(|input| {
                     server
-                        .submit(vec![input.clone()], None)
+                        .submit_request(SubmitRequest::new(vec![input.clone()]))
                         .expect("warmup accepted")
                 })
                 .collect();
@@ -1025,7 +1022,7 @@ pub fn serving() -> Experiment {
             .iter()
             .map(|input| {
                 server
-                    .submit(vec![input.clone()], None)
+                    .submit_request(SubmitRequest::new(vec![input.clone()]))
                     .expect("queue sized for the run")
             })
             .collect();
@@ -1144,7 +1141,7 @@ pub fn kernels() -> Experiment {
 pub fn kernels_with_snapshot() -> (Experiment, vedliot::obs::Export) {
     use vedliot::nnir::exec::{RunOptions, Runner};
     use vedliot::nnir::Tensor;
-    use vedliot::obs::{Export, Metric, MetricValue};
+    use vedliot::obs::{Export, Metric};
     use vedliot::toolchain::passes::{Pass, QuantizeInt8};
 
     let model = zoo::lenet5(10).expect("builds");
@@ -1217,37 +1214,36 @@ pub fn kernels_with_snapshot() -> (Experiment, vedliot::obs::Export) {
     let export = Export {
         subsystem: "kernels".into(),
         metrics: vec![
-            Metric {
-                name: "per_sample_ms_b1".into(),
-                help: "serial per-sample LeNet-5 latency at batch 1".into(),
-                value: MetricValue::Gauge(costs[0]),
-            },
-            Metric {
-                name: "per_sample_ms_b8".into(),
-                help: "serial per-sample LeNet-5 latency at batch 8".into(),
-                value: MetricValue::Gauge(costs[3]),
-            },
-            Metric {
-                name: "b8_over_b1".into(),
-                help: "batched per-sample conv cost relative to batch 1 (the E21 cliff metric)"
-                    .into(),
-                value: MetricValue::Gauge(ratio),
-            },
-            Metric {
-                name: "int8_per_sample_ms".into(),
-                help: "per-sample latency of the quantized model on the INT8 kernel path".into(),
-                value: MetricValue::Gauge(int8_ms),
-            },
-            Metric {
-                name: "int8_nodes".into(),
-                help: "nodes executed on the INT8 kernel path".into(),
-                value: MetricValue::Counter(int8_nodes as u64),
-            },
-            Metric {
-                name: "int8_max_abs_diff".into(),
-                help: "INT8 output deviation from the fake-quant f32 reference".into(),
-                value: MetricValue::Gauge(f64::from(diff)),
-            },
+            Metric::gauge(
+                "per_sample_ms_b1",
+                "serial per-sample LeNet-5 latency at batch 1",
+                costs[0],
+            ),
+            Metric::gauge(
+                "per_sample_ms_b8",
+                "serial per-sample LeNet-5 latency at batch 8",
+                costs[3],
+            ),
+            Metric::gauge(
+                "b8_over_b1",
+                "batched per-sample conv cost relative to batch 1 (the E21 cliff metric)",
+                ratio,
+            ),
+            Metric::gauge(
+                "int8_per_sample_ms",
+                "per-sample latency of the quantized model on the INT8 kernel path",
+                int8_ms,
+            ),
+            Metric::counter(
+                "int8_nodes",
+                "nodes executed on the INT8 kernel path",
+                int8_nodes as u64,
+            ),
+            Metric::gauge(
+                "int8_max_abs_diff",
+                "INT8 output deviation from the fake-quant f32 reference",
+                f64::from(diff),
+            ),
         ],
     };
     let experiment = Experiment {
@@ -1265,6 +1261,267 @@ pub fn kernels_with_snapshot() -> (Experiment, vedliot::obs::Export) {
             ),
             "blocked f32 kernels are bit-identical to the serial reference (equivalence \
              proptests)"
+                .into(),
+        ],
+    };
+    (experiment, export)
+}
+
+/// E25 — multi-tenant routing under overload. See
+/// [`routing_with_snapshot`].
+#[must_use]
+pub fn routing() -> Experiment {
+    routing_with_snapshot().0
+}
+
+/// E25 — the multi-tenant gateway at overload under a seeded fault
+/// plan: a two-model zoo, three priority classes, one noisy tenant.
+///
+/// 600 requests are fired at a 32-slot gateway faster than two
+/// single-worker pools can serve them, with seeded chaos (soft panics
+/// and hard worker kills) armed on one of the two tenants. The
+/// admission protocol must hold its ordering promises *while
+/// degraded*:
+///
+/// * high-priority availability stays ≥ 0.98 — arriving high work
+///   displaces queued lower-priority work instead of being refused;
+/// * nothing sheds the high class (`shed[high] == 0` structurally);
+/// * the batch class is shed first and in volume;
+/// * availability is monotone in priority: high ≥ normal ≥ batch;
+/// * every served reply is bit-identical to a direct [`Runner`] run of
+///   the same model — routing and displacement never mix tenants;
+/// * the merged gateway ledger stays exact: `accounted_for()` over all
+///   600 submissions.
+///
+/// Also returns the machine-readable snapshot `harness routing` writes
+/// to `BENCH_pr7.json` (the per-priority availability baseline ci.sh
+/// checks against).
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn routing_with_snapshot() -> (Experiment, vedliot::obs::Export) {
+    use std::time::Duration;
+    use vedliot::nnir::exec::{RunOptions, Runner};
+    use vedliot::nnir::Tensor;
+    use vedliot::obs::{Export, Metric};
+    use vedliot::serve::{
+        BatchPolicy, FaultPlan, ModelConfig, Priority, ResilienceConfig, ServeConfig, Server,
+        SubmitRequest, DEFAULT_MODEL,
+    };
+
+    // Injected chaos panics are expected by the dozen; keep them out of
+    // the harness output while leaving real panics loud.
+    static HOOK: std::sync::Once = std::sync::Once::new();
+    HOOK.call_once(|| {
+        let default_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let quiet = info
+                .payload()
+                .downcast_ref::<&str>()
+                .is_some_and(|s| s.starts_with("chaos:"));
+            if !quiet {
+                default_hook(info);
+            }
+        }));
+    });
+
+    // Two tenants sized so execution is much slower than submission:
+    // the 32-slot gateway is guaranteed to saturate and the admission
+    // protocol (not the happy path) is what gets measured.
+    let shape = Shape::nchw(1, 1, 16, 16);
+    let alpha = zoo::tiny_cnn("route-alpha", shape.clone(), &[8, 8], 3).expect("builds");
+    let beta = zoo::tiny_cnn("route-beta", shape.clone(), &[8, 8], 5).expect("builds");
+    let requests = 600usize;
+    let capacity = 32usize;
+    let inputs: Vec<Tensor> = (0..requests)
+        .map(|i| Tensor::random(shape.clone(), i as u64, 1.0))
+        .collect();
+
+    let config = ServeConfig::builder()
+        .queue_capacity(capacity)
+        .workers(1)
+        .batch(BatchPolicy {
+            max_batch: 4,
+            max_linger: Duration::from_micros(200),
+        })
+        .resilience(ResilienceConfig {
+            degraded_queue_fraction: 0.75,
+            shed_to: 0.5,
+            respawn_budget: 64,
+            ..ResilienceConfig::default()
+        })
+        .build()
+        .expect("valid serve config");
+    let server = Server::start(&alpha, config).expect("server starts");
+    // The noisy tenant: seeded soft panics (absorbed and retried) and
+    // hard worker kills (respawned from the budget). No weight flips —
+    // served bytes must stay bit-identical to the clean model.
+    server
+        .load(
+            "beta",
+            &beta,
+            ModelConfig::default()
+                .batch(BatchPolicy {
+                    max_batch: 4,
+                    max_linger: Duration::from_micros(200),
+                })
+                .chaos(FaultPlan {
+                    seed: 0xE25_0001,
+                    panic_per_batch: 0.05,
+                    kill_per_wakeup: 0.01,
+                    poison_every: 0,
+                    weight_bit_flips: 0,
+                }),
+        )
+        .expect("beta loads");
+
+    // Deterministic traffic mix: models alternate per request, and each
+    // pool sees its own priority wheel (10% high / 50% normal / 40%
+    // batch) — decorrelated from the model choice so neither tenant
+    // carries the whole high class.
+    let class_of = |i: usize| match (i / 2) % 10 {
+        0 => Priority::High,
+        1..=5 => Priority::Normal,
+        _ => Priority::Batch,
+    };
+    // Ground truth for bit-identity: the same graphs run solo.
+    let mut clean_alpha = Runner::builder().build(&alpha).expect("alpha builds");
+    let mut clean_beta = Runner::builder().build(&beta).expect("beta builds");
+    let mut submitted = [0u64; 3];
+    let mut served = [0u64; 3];
+    // Ten bursts of 60 against the 32-slot gateway, each drained to
+    // empty before the next: every burst is a guaranteed ~2× overload
+    // (machine speed only moves how much of the tail sheds), while the
+    // high class — 10% of arrivals, drained first — never outgrows its
+    // pool's quota.
+    let wave = 60usize;
+    for wave_start in (0..requests).step_by(wave) {
+        let tickets: Vec<_> = (wave_start..wave_start + wave)
+            .map(|i| {
+                let model = if i % 2 == 0 { DEFAULT_MODEL } else { "beta" };
+                let class = class_of(i);
+                submitted[class.index()] += 1;
+                let ticket = server.submit_request(
+                    SubmitRequest::new(vec![inputs[i].clone()])
+                        .model(model)
+                        .priority(class),
+                );
+                (i, class, ticket)
+            })
+            .collect();
+        for (i, class, ticket) in tickets {
+            let Ok(ticket) = ticket else { continue };
+            let Ok(out) = ticket.wait() else { continue };
+            served[class.index()] += 1;
+            let solo = if i % 2 == 0 {
+                &mut clean_alpha
+            } else {
+                &mut clean_beta
+            }
+            .execute(std::slice::from_ref(&inputs[i]), RunOptions::default())
+            .expect("solo run")
+            .into_outputs();
+            assert_eq!(
+                solo, out,
+                "request {i} ({class}) diverged from its model's solo run"
+            );
+        }
+    }
+    let alpha_m = server.model_metrics(DEFAULT_MODEL).expect("alpha metrics");
+    let beta_m = server.model_metrics("beta").expect("beta metrics");
+    let m = server.shutdown();
+
+    assert!(m.accounted_for(), "a submission leaked: {m:?}");
+    assert_eq!(m.submitted, requests as u64);
+    let avail: Vec<f64> = (0..3)
+        .map(|c| served[c] as f64 / submitted[c] as f64)
+        .collect();
+    assert!(
+        avail[0] >= 0.98,
+        "high-priority availability {:.3} under overload + seeded chaos (served {}/{})",
+        avail[0],
+        served[0],
+        submitted[0]
+    );
+    assert_eq!(
+        m.shed_by_priority[0], 0,
+        "nothing outranks the high class, so nothing may shed it: {m:?}"
+    );
+    assert!(
+        m.shed_by_priority[2] > 0,
+        "overload must shed batch-class work first: {m:?}"
+    );
+    assert!(
+        avail[0] >= avail[1] && avail[1] >= avail[2],
+        "availability must be monotone in priority: {avail:?}"
+    );
+
+    let mut table = Table::new(&["priority", "submitted", "served", "shed", "availability"]);
+    for p in Priority::ALL {
+        let c = p.index();
+        table.push(vec![
+            p.to_string(),
+            submitted[c].to_string(),
+            served[c].to_string(),
+            m.shed_by_priority[c].to_string(),
+            format!("{:.3}", avail[c]),
+        ]);
+    }
+
+    let mut metrics = Vec::new();
+    for p in Priority::ALL {
+        let c = p.index();
+        metrics.push(
+            Metric::gauge(
+                "availability",
+                "per-priority availability at overload under the seeded fault plan",
+                avail[c],
+            )
+            .with_label("priority", p.as_label()),
+        );
+        metrics.push(
+            Metric::counter(
+                "shed",
+                "requests shed to protect higher-priority admission",
+                m.shed_by_priority[c],
+            )
+            .with_label("priority", p.as_label()),
+        );
+    }
+    for (model, snap) in [("alpha", &alpha_m), ("beta", &beta_m)] {
+        metrics.push(
+            Metric::counter("served", "requests served by this tenant", snap.served)
+                .with_label("model", model),
+        );
+        metrics.push(
+            Metric::counter(
+                "panics_absorbed",
+                "chaos panics absorbed inside this tenant's pool",
+                snap.panics_absorbed,
+            )
+            .with_label("model", model),
+        );
+    }
+    let export = Export {
+        subsystem: "routing".into(),
+        metrics,
+    };
+    let experiment = Experiment {
+        id: "E25",
+        title: "multi-tenant routing — priority admission at overload under seeded chaos".into(),
+        table,
+        notes: vec![
+            format!(
+                "600 requests vs a 32-slot gateway, two single-worker tenants: high availability \
+                 {:.3}, shed order batch-first ({} batch / {} normal / {} high)",
+                avail[0], m.shed_by_priority[2], m.shed_by_priority[1], m.shed_by_priority[0]
+            ),
+            format!(
+                "noisy tenant (seeded panics + kills) absorbed {} panics and respawned {}/{} \
+                 crashed workers without touching its neighbour's replies",
+                beta_m.panics_absorbed, beta_m.respawned, beta_m.worker_crashes
+            ),
+            "every served reply checked bit-identical to a direct Runner execution of its own \
+             model — displacement never mixes tenants"
                 .into(),
         ],
     };
@@ -1333,7 +1590,7 @@ pub fn resilience() -> Experiment {
     use vedliot::nnir::exec::{RunOptions, Runner};
     use vedliot::nnir::Tensor;
     use vedliot::serve::{
-        BatchPolicy, FaultPlan, GoldenPolicy, ResilienceConfig, ServeConfig, Server,
+        BatchPolicy, FaultPlan, GoldenPolicy, ResilienceConfig, ServeConfig, Server, SubmitRequest,
     };
 
     // Injected chaos panics are expected by the dozen; keep them out of
@@ -1394,38 +1651,36 @@ pub fn resilience() -> Experiment {
     ]);
     let mut availability = [0.0f64; 2];
     for (arm, label, resilient) in [(0, "baseline (disabled)", false), (1, "resilient", true)] {
-        let server = Server::start(
-            &model,
-            ServeConfig {
-                queue_capacity: requests + 8,
-                workers: 2,
-                batch: BatchPolicy {
-                    max_batch: 4,
-                    max_linger: Duration::from_micros(200),
-                },
-                resilience: if resilient {
-                    ResilienceConfig {
-                        respawn_budget: 32,
-                        ..ResilienceConfig::default()
-                    }
-                } else {
-                    ResilienceConfig::disabled()
-                },
-                golden: resilient.then_some(GoldenPolicy {
-                    period: 1,
-                    tolerance,
-                    repair: true,
-                }),
-                chaos: Some(plan),
-                ..ServeConfig::default()
-            },
-        )
-        .expect("server starts");
+        let mut builder = ServeConfig::builder()
+            .queue_capacity(requests + 8)
+            .workers(2)
+            .batch(BatchPolicy {
+                max_batch: 4,
+                max_linger: Duration::from_micros(200),
+            })
+            .resilience(if resilient {
+                ResilienceConfig {
+                    respawn_budget: 32,
+                    ..ResilienceConfig::default()
+                }
+            } else {
+                ResilienceConfig::disabled()
+            })
+            .chaos(plan);
+        if resilient {
+            builder = builder.golden(GoldenPolicy {
+                period: 1,
+                tolerance,
+                repair: true,
+            });
+        }
+        let config = builder.build().expect("valid serve config");
+        let server = Server::start(&model, config).expect("server starts");
         let tickets: Vec<_> = inputs
             .iter()
             .map(|input| {
                 server
-                    .submit(vec![input.clone()], None)
+                    .submit_request(SubmitRequest::new(vec![input.clone()]))
                     .expect("queue sized for the run")
             })
             .collect();
@@ -1519,7 +1774,7 @@ pub fn observe() -> Experiment {
     use vedliot::nnir::exec::{RunOptions, Runner};
     use vedliot::nnir::Tensor;
     use vedliot::obs::{Histogram, StageBreakdown};
-    use vedliot::serve::{BatchPolicy, ServeConfig, Server, TracePolicy};
+    use vedliot::serve::{BatchPolicy, ServeConfig, Server, SubmitRequest, TracePolicy};
 
     // -- 1) per-op profile vs the roofline prediction -----------------
     let model = zoo::lenet5(10).expect("lenet builds");
@@ -1573,23 +1828,21 @@ pub fn observe() -> Experiment {
         .map(|i| Tensor::random(Shape::nchw(1, 1, 8, 8), i as u64, 1.0))
         .collect();
     let run_once = |trace: Option<TracePolicy>| {
-        let server = Server::start(
-            &serve_model,
-            ServeConfig {
-                queue_capacity: requests + 8,
-                workers: 1,
-                batch: BatchPolicy {
-                    max_batch: 4,
-                    max_linger: Duration::from_micros(200),
-                },
-                trace,
-                ..ServeConfig::default()
-            },
-        )
-        .expect("server starts");
+        let mut builder = ServeConfig::builder()
+            .queue_capacity(requests + 8)
+            .workers(1)
+            .batch(BatchPolicy {
+                max_batch: 4,
+                max_linger: Duration::from_micros(200),
+            });
+        if let Some(trace) = trace {
+            builder = builder.trace(trace);
+        }
+        let config = builder.build().expect("valid serve config");
+        let server = Server::start(&serve_model, config).expect("server starts");
         for input in inputs.iter().take(8) {
             server
-                .submit(vec![input.clone()], None)
+                .submit_request(SubmitRequest::new(vec![input.clone()]))
                 .expect("warmup accepted")
                 .wait()
                 .expect("warmup served");
@@ -1599,7 +1852,7 @@ pub fn observe() -> Experiment {
             .iter()
             .map(|input| {
                 server
-                    .submit(vec![input.clone()], None)
+                    .submit_request(SubmitRequest::new(vec![input.clone()]))
                     .expect("queue sized for the run")
             })
             .collect();
@@ -1781,6 +2034,7 @@ pub fn all() -> Vec<Experiment> {
         resilience(),
         observe(),
         kernels(),
+        routing(),
         lint(),
     ]);
     out

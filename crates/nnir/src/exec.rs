@@ -10,10 +10,10 @@
 //! materialization has the same single owner:
 //! [`Runner::node_weights`].
 //!
-//! The pre-redesign surface — the stateless [`Executor`] facade and the
+//! The pre-redesign surface (the stateless `Executor` facade and the
 //! split `run` / `run_with_intermediates` / `materialize_node_weights`
-//! entry points — survives only as `#[deprecated]` thin aliases over
-//! the above.
+//! entry points) has been removed after a four-release deprecation
+//! window; see CHANGELOG.md for the old → new spelling table.
 //!
 //! Heavy kernels (`conv2d`, `dense`, `pool2d`, `batchnorm`) are data
 //! parallel: the output buffer is split into disjoint contiguous tiles
@@ -686,91 +686,6 @@ impl<'g> Runner<'g> {
         }
         Ok(profile)
     }
-}
-
-// --------------------------------------------------------------------
-// Deprecated pre-redesign surface (thin aliases, no logic)
-// --------------------------------------------------------------------
-
-impl<'g> Runner<'g> {
-    /// Creates a runner with the default parallelism.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the static verifier rejects the graph. The replacement
-    /// API (`Runner::builder().build(graph)`) returns the rejection as
-    /// a typed error instead.
-    #[deprecated(since = "0.2.0", note = "use `Runner::builder().build(graph)`")]
-    #[must_use]
-    pub fn new(graph: &'g Graph) -> Self {
-        Runner::builder()
-            .build(graph)
-            .expect("graph rejected by verifier")
-    }
-
-    /// Creates a runner with an explicit parallelism policy.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the static verifier rejects the graph. The replacement
-    /// API (`Runner::builder().parallelism(..).build(graph)`) returns
-    /// the rejection as a typed error instead.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Runner::builder().parallelism(..).build(graph)`"
-    )]
-    #[must_use]
-    pub fn with_parallelism(graph: &'g Graph, parallelism: Parallelism) -> Self {
-        Runner::builder()
-            .parallelism(parallelism)
-            .build(graph)
-            .expect("graph rejected by verifier")
-    }
-
-    /// Runs one forward pass, returning the graph outputs.
-    ///
-    /// # Errors
-    ///
-    /// Same conditions as [`execute`](Self::execute).
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Runner::execute(inputs, RunOptions::default())`"
-    )]
-    pub fn run(&mut self, inputs: &[Tensor]) -> Result<Vec<Tensor>, NnirError> {
-        Ok(self.execute(inputs, RunOptions::default())?.into_outputs())
-    }
-
-    /// Runs one forward pass and returns *every* value tensor.
-    ///
-    /// # Errors
-    ///
-    /// Same conditions as [`execute`](Self::execute).
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Runner::execute` with `RunOptions::new().capture_intermediates(true)`"
-    )]
-    pub fn run_with_intermediates(
-        &mut self,
-        inputs: &[Tensor],
-    ) -> Result<Vec<Option<Tensor>>, NnirError> {
-        let out = self.execute(inputs, RunOptions::new().capture_intermediates(true))?;
-        Ok(out.into_intermediates().unwrap_or_default())
-    }
-}
-
-/// The stateless execution facade of the pre-redesign API. [`Runner`]
-/// is the one door now; this alias keeps old spellings compiling.
-#[deprecated(since = "0.2.0", note = "use `Runner` (built via `Runner::builder()`)")]
-pub type Executor<'g> = Runner<'g>;
-
-/// Materializes the weight tensors for a node.
-///
-/// # Errors
-///
-/// Same conditions as [`Runner::node_weights`].
-#[deprecated(since = "0.2.0", note = "use `Runner::node_weights`")]
-pub fn materialize_node_weights(graph: &Graph, node: &Node) -> Result<Vec<Tensor>, NnirError> {
-    Runner::builder().build(graph)?.node_weights(node)
 }
 
 /// Mutable per-node kernel context: the runner's scratch arenas, the
@@ -2051,31 +1966,6 @@ mod tests {
             free.unwrap().into_outputs(),
             bounded.unwrap().into_outputs()
         );
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_aliases_still_reach_the_one_door() {
-        // Compat pin: the old spellings must keep compiling and agree
-        // with the new entrypoint until the aliases are removed.
-        let g = crate::zoo::lenet5(10).unwrap();
-        let input = Tensor::random(Shape::nchw(1, 1, 28, 28), 3, 1.0);
-        let via_alias = Executor::new(&g).run(std::slice::from_ref(&input)).unwrap();
-        let via_door = run_graph(&g, std::slice::from_ref(&input)).unwrap();
-        assert_eq!(via_alias, via_door);
-        let node = &g.nodes()[0];
-        assert_eq!(
-            materialize_node_weights(&g, node).unwrap(),
-            Runner::builder()
-                .build(&g)
-                .unwrap()
-                .node_weights(node)
-                .unwrap()
-        );
-        let values = Runner::with_parallelism(&g, Parallelism::Serial)
-            .run_with_intermediates(&[input])
-            .unwrap();
-        assert_eq!(values.len(), g.tensor_count());
     }
 
     #[test]

@@ -14,7 +14,7 @@ use crate::dtype::DataType;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use vedliot_obs::hist::Histogram;
-use vedliot_obs::{Export, Exportable, Metric, MetricValue};
+use vedliot_obs::{Export, Exportable, Metric};
 
 /// Measured execution record for one graph node.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -160,41 +160,37 @@ impl Exportable for RunProfile {
         Export {
             subsystem: "runner".into(),
             metrics: vec![
-                Metric {
-                    name: "nodes".into(),
-                    help: "graph nodes profiled".into(),
-                    value: MetricValue::Counter(self.per_node.len() as u64),
-                },
-                Metric {
-                    name: "wall_ns".into(),
-                    help: "wall time of the profiled forward pass".into(),
-                    value: MetricValue::Counter(self.wall_ns),
-                },
-                Metric {
-                    name: "total_ops".into(),
-                    help: "static operations executed (2*MACs + elementwise)".into(),
-                    value: MetricValue::Counter(self.total_ops()),
-                },
-                Metric {
-                    name: "coverage".into(),
-                    help: "fraction of wall time attributed to per-node kernels".into(),
-                    value: MetricValue::Gauge(self.coverage()),
-                },
-                Metric {
-                    name: "achieved_gops".into(),
-                    help: "achieved GFLOP/s over the wall time".into(),
-                    value: MetricValue::Gauge(self.achieved_gops()),
-                },
-                Metric {
-                    name: "int8_nodes".into(),
-                    help: "nodes executed on the INT8 kernel path".into(),
-                    value: MetricValue::Counter(self.int8_nodes() as u64),
-                },
-                Metric {
-                    name: "node_duration_ns".into(),
-                    help: "per-node kernel duration distribution".into(),
-                    value: MetricValue::Histogram(durations.snapshot()),
-                },
+                Metric::counter("nodes", "graph nodes profiled", self.per_node.len() as u64),
+                Metric::counter(
+                    "wall_ns",
+                    "wall time of the profiled forward pass",
+                    self.wall_ns,
+                ),
+                Metric::counter(
+                    "total_ops",
+                    "static operations executed (2*MACs + elementwise)",
+                    self.total_ops(),
+                ),
+                Metric::gauge(
+                    "coverage",
+                    "fraction of wall time attributed to per-node kernels",
+                    self.coverage(),
+                ),
+                Metric::gauge(
+                    "achieved_gops",
+                    "achieved GFLOP/s over the wall time",
+                    self.achieved_gops(),
+                ),
+                Metric::counter(
+                    "int8_nodes",
+                    "nodes executed on the INT8 kernel path",
+                    self.int8_nodes() as u64,
+                ),
+                Metric::histogram(
+                    "node_duration_ns",
+                    "per-node kernel duration distribution",
+                    durations.snapshot(),
+                ),
             ],
         }
     }

@@ -35,8 +35,59 @@ pub struct Metric {
     pub name: String,
     /// One-line description, rendered into `# HELP` / JSON.
     pub help: String,
+    /// Dimension labels as `(key, value)` pairs in producer-chosen
+    /// order (`model`, `priority`, …). Empty for unlabelled metrics,
+    /// and omitted from the JSON wire format when empty so pre-label
+    /// exports keep their exact bytes.
+    pub labels: Vec<(String, String)>,
     /// The value.
     pub value: MetricValue,
+}
+
+impl Metric {
+    /// A monotonically increasing counter.
+    #[must_use]
+    pub fn counter(name: impl Into<String>, help: impl Into<String>, value: u64) -> Self {
+        Metric {
+            name: name.into(),
+            help: help.into(),
+            labels: Vec::new(),
+            value: MetricValue::Counter(value),
+        }
+    }
+
+    /// An instantaneous level.
+    #[must_use]
+    pub fn gauge(name: impl Into<String>, help: impl Into<String>, value: f64) -> Self {
+        Metric {
+            name: name.into(),
+            help: help.into(),
+            labels: Vec::new(),
+            value: MetricValue::Gauge(value),
+        }
+    }
+
+    /// A full distribution.
+    #[must_use]
+    pub fn histogram(
+        name: impl Into<String>,
+        help: impl Into<String>,
+        value: HistogramSnapshot,
+    ) -> Self {
+        Metric {
+            name: name.into(),
+            help: help.into(),
+            labels: Vec::new(),
+            value: MetricValue::Histogram(value),
+        }
+    }
+
+    /// Appends one dimension label (builder-style).
+    #[must_use]
+    pub fn with_label(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.labels.push((key.into(), value.into()));
+        self
+    }
 }
 
 /// An exportable snapshot: a subsystem name plus its metrics.
@@ -78,6 +129,36 @@ fn json_escape(out: &mut String, s: &str) {
     }
 }
 
+/// Escapes a Prometheus label value (backslash, quote, newline).
+fn prom_label_value(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a `{k="v",…}` label set; empty string when no labels.
+fn prom_labels(labels: &[(String, String)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{}=\"{}\"", prom_name(k), prom_label_value(v));
+    }
+    out.push('}');
+    out
+}
+
 /// Sanitizes a name into the Prometheus metric-name alphabet.
 fn prom_name(s: &str) -> String {
     let mut out: String = s
@@ -113,6 +194,20 @@ impl Export {
             out.push_str("\",\"help\":\"");
             json_escape(&mut out, &m.help);
             out.push_str("\",");
+            if !m.labels.is_empty() {
+                out.push_str("\"labels\":{");
+                for (j, (k, v)) in m.labels.iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    out.push('"');
+                    json_escape(&mut out, k);
+                    out.push_str("\":\"");
+                    json_escape(&mut out, v);
+                    out.push('"');
+                }
+                out.push_str("},");
+            }
             match &m.value {
                 MetricValue::Counter(v) => {
                     let _ = write!(out, "\"type\":\"counter\",\"value\":{v}");
@@ -156,26 +251,33 @@ impl Export {
                 MetricValue::Gauge(_) => "gauge",
                 MetricValue::Histogram(_) => "histogram",
             };
+            let labels = prom_labels(&m.labels);
             let _ = writeln!(out, "# HELP {name} {}", m.help.replace('\n', " "));
             let _ = writeln!(out, "# TYPE {name} {kind}");
             match &m.value {
                 MetricValue::Counter(v) => {
-                    let _ = writeln!(out, "{name} {v}");
+                    let _ = writeln!(out, "{name}{labels} {v}");
                 }
                 MetricValue::Gauge(v) => {
-                    let _ = writeln!(out, "{name} {}", finite(*v));
+                    let _ = writeln!(out, "{name}{labels} {}", finite(*v));
                 }
                 MetricValue::Histogram(h) => {
+                    // Bucket series splice `le` into the shared label set.
+                    let le_prefix = if m.labels.is_empty() {
+                        String::from("{")
+                    } else {
+                        format!("{},", &labels[..labels.len() - 1])
+                    };
                     let last = h.counts.iter().rposition(|&c| c > 0).unwrap_or(0);
                     let mut cumulative = 0u64;
                     for (i, &c) in h.counts.iter().enumerate().take(last + 1) {
                         cumulative += c;
                         let (_, hi) = crate::hist::bucket_bounds(i);
-                        let _ = writeln!(out, "{name}_bucket{{le=\"{hi}\"}} {cumulative}");
+                        let _ = writeln!(out, "{name}_bucket{le_prefix}le=\"{hi}\"}} {cumulative}");
                     }
-                    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count);
-                    let _ = writeln!(out, "{name}_sum {}", h.sum);
-                    let _ = writeln!(out, "{name}_count {}", h.count);
+                    let _ = writeln!(out, "{name}_bucket{le_prefix}le=\"+Inf\"}} {}", h.count);
+                    let _ = writeln!(out, "{name}_sum{labels} {}", h.sum);
+                    let _ = writeln!(out, "{name}_count{labels} {}", h.count);
                 }
             }
         }
@@ -358,6 +460,29 @@ impl Parser<'_> {
         Some(Export { subsystem, metrics })
     }
 
+    fn label_map(&mut self) -> Option<Vec<(String, String)>> {
+        self.eat(b'{')?;
+        let mut out = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Some(out);
+        }
+        loop {
+            let k = self.string()?;
+            self.eat(b':')?;
+            let v = self.string()?;
+            out.push((k, v));
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Some(out);
+                }
+                _ => return None,
+            }
+        }
+    }
+
     fn metric(&mut self) -> Option<Metric> {
         self.eat(b'{')?;
         self.key("name")?;
@@ -366,8 +491,26 @@ impl Parser<'_> {
         self.key("help")?;
         let help = self.string()?;
         self.eat(b',')?;
-        self.key("type")?;
-        let kind = self.string()?;
+        // `labels` is only written when non-empty, so the next key is
+        // either `labels` or `type`.
+        let next = self.string()?;
+        self.eat(b':')?;
+        let mut labels = Vec::new();
+        let kind = if next == "labels" {
+            labels = self.label_map()?;
+            if labels.is_empty() {
+                // An empty map is never written; reject it so the
+                // round-trip stays byte-exact.
+                return None;
+            }
+            self.eat(b',')?;
+            self.key("type")?;
+            self.string()?
+        } else if next == "type" {
+            self.string()?
+        } else {
+            return None;
+        };
         self.eat(b',')?;
         let value = match kind.as_str() {
             "counter" => {
@@ -404,7 +547,12 @@ impl Parser<'_> {
             _ => return None,
         };
         self.eat(b'}')?;
-        Some(Metric { name, help, value })
+        Some(Metric {
+            name,
+            help,
+            labels,
+            value,
+        })
     }
 }
 
@@ -421,21 +569,9 @@ mod tests {
         Export {
             subsystem: "demo".into(),
             metrics: vec![
-                Metric {
-                    name: "served".into(),
-                    help: "requests served".into(),
-                    value: MetricValue::Counter(42),
-                },
-                Metric {
-                    name: "mean_batch".into(),
-                    help: "mean requests per batch".into(),
-                    value: MetricValue::Gauge(3.5),
-                },
-                Metric {
-                    name: "latency_us".into(),
-                    help: "reply latency".into(),
-                    value: MetricValue::Histogram(h.snapshot()),
-                },
+                Metric::counter("served", "requests served", 42),
+                Metric::gauge("mean_batch", "mean requests per batch", 3.5),
+                Metric::histogram("latency_us", "reply latency", h.snapshot()),
             ],
         }
     }
@@ -463,13 +599,43 @@ mod tests {
     fn json_round_trips_awkward_strings() {
         let e = Export {
             subsystem: "we\"ird\\sub".into(),
-            metrics: vec![Metric {
-                name: "a\nb".into(),
-                help: "tabs\tand \u{1}controls and ünïcode".into(),
-                value: MetricValue::Counter(0),
-            }],
+            metrics: vec![
+                Metric::counter("a\nb", "tabs\tand \u{1}controls and ünïcode", 0)
+                    .with_label("mo\"del", "zo\\o\n"),
+            ],
         };
         assert_eq!(Export::from_json(&e.to_json()), Some(e));
+    }
+
+    #[test]
+    fn labelled_metrics_round_trip_and_render() {
+        let e = Export {
+            subsystem: "serve".into(),
+            metrics: vec![
+                Metric::counter("served", "served by class", 7)
+                    .with_label("model", "lenet5")
+                    .with_label("priority", "high"),
+                Metric::histogram("latency_us", "latency by model", {
+                    let h = Histogram::new();
+                    h.record(3);
+                    h.snapshot()
+                })
+                .with_label("model", "lenet5"),
+            ],
+        };
+        let j = e.to_json();
+        assert!(j.contains(
+            "{\"name\":\"served\",\"help\":\"served by class\",\
+             \"labels\":{\"model\":\"lenet5\",\"priority\":\"high\"},\
+             \"type\":\"counter\",\"value\":7}"
+        ));
+        assert_eq!(Export::from_json(&j), Some(e.clone()));
+        let p = e.to_prometheus();
+        assert!(p.contains("vedliot_serve_served{model=\"lenet5\",priority=\"high\"} 7\n"));
+        assert!(p.contains("vedliot_serve_latency_us_bucket{model=\"lenet5\",le=\"3\"} 1\n"));
+        assert!(p.contains("vedliot_serve_latency_us_bucket{model=\"lenet5\",le=\"+Inf\"} 1\n"));
+        assert!(p.contains("vedliot_serve_latency_us_sum{model=\"lenet5\"} 3\n"));
+        assert!(p.contains("vedliot_serve_latency_us_count{model=\"lenet5\"} 1\n"));
     }
 
     #[test]
@@ -508,11 +674,7 @@ vedliot_demo_latency_us_count 6
     fn prometheus_sanitizes_names() {
         let e = Export {
             subsystem: "my sub".into(),
-            metrics: vec![Metric {
-                name: "9lives-total".into(),
-                help: "multi\nline help".into(),
-                value: MetricValue::Gauge(f64::NAN),
-            }],
+            metrics: vec![Metric::gauge("9lives-total", "multi\nline help", f64::NAN)],
         };
         let p = e.to_prometheus();
         assert!(p.contains("vedliot_my_sub__9lives_total 0\n"));
@@ -523,11 +685,7 @@ vedliot_demo_latency_us_count 6
     fn empty_histogram_export_round_trips() {
         let e = Export {
             subsystem: "s".into(),
-            metrics: vec![Metric {
-                name: "h".into(),
-                help: String::new(),
-                value: MetricValue::Histogram(HistogramSnapshot::empty()),
-            }],
+            metrics: vec![Metric::histogram("h", "", HistogramSnapshot::empty())],
         };
         assert_eq!(Export::from_json(&e.to_json()), Some(e.clone()));
         // An empty histogram still emits the +Inf bucket and totals.

@@ -133,6 +133,27 @@ impl HistogramSnapshot {
         }
     }
 
+    /// Folds another snapshot into this one: bucket counts add
+    /// elementwise, totals add, and min/max widen. The result is
+    /// exactly the snapshot one histogram would hold had it recorded
+    /// both sample streams — what the multi-tenant gateway uses to
+    /// aggregate per-model latency distributions into a fleet view.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        if other.count > 0 {
+            self.min = if self.count == 0 {
+                other.min
+            } else {
+                self.min.min(other.min)
+            };
+            self.max = self.max.max(other.max);
+        }
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+    }
+
     /// Mean sample value (0 when empty).
     #[must_use]
     pub fn mean(&self) -> f64 {
@@ -266,6 +287,29 @@ mod tests {
         assert_eq!(s.counts.iter().sum::<u64>(), 40_000);
         assert_eq!(s.min, 0);
         assert_eq!(s.max, 39_999);
+    }
+
+    #[test]
+    fn merge_matches_single_histogram_of_both_streams() {
+        let (a, b, both) = (Histogram::new(), Histogram::new(), Histogram::new());
+        for v in [1u64, 5, 9, 200] {
+            a.record(v);
+            both.record(v);
+        }
+        for v in [0u64, 3, 1_000_000] {
+            b.record(v);
+            both.record(v);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged, both.snapshot());
+        // Merging an empty snapshot is the identity in both directions.
+        let mut e = HistogramSnapshot::empty();
+        e.merge(&both.snapshot());
+        assert_eq!(e, both.snapshot());
+        let mut m = both.snapshot();
+        m.merge(&HistogramSnapshot::empty());
+        assert_eq!(m, both.snapshot());
     }
 
     #[test]

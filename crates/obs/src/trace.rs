@@ -24,7 +24,7 @@
 //! `tests/proptests.rs`.
 
 use crate::hist::{Histogram, HistogramSnapshot};
-use crate::{Export, Exportable, Metric, MetricValue};
+use crate::{Export, Exportable, Metric};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::sync::atomic::{fence, AtomicU64, Ordering};
@@ -41,6 +41,9 @@ pub enum SpanOutcome {
     TimedOut,
     /// Isolated as the poison by quarantine bisection.
     Quarantined,
+    /// Evicted from the queue to make room for a strictly
+    /// higher-priority request (multi-tenant admission).
+    Shed,
 }
 
 impl SpanOutcome {
@@ -50,6 +53,7 @@ impl SpanOutcome {
             SpanOutcome::Failed => 1,
             SpanOutcome::TimedOut => 2,
             SpanOutcome::Quarantined => 3,
+            SpanOutcome::Shed => 4,
         }
     }
 
@@ -58,6 +62,7 @@ impl SpanOutcome {
             1 => SpanOutcome::Failed,
             2 => SpanOutcome::TimedOut,
             3 => SpanOutcome::Quarantined,
+            4 => SpanOutcome::Shed,
             _ => SpanOutcome::Ok,
         }
     }
@@ -70,6 +75,7 @@ impl fmt::Display for SpanOutcome {
             SpanOutcome::Failed => "failed",
             SpanOutcome::TimedOut => "timed_out",
             SpanOutcome::Quarantined => "quarantined",
+            SpanOutcome::Shed => "shed",
         })
     }
 }
@@ -98,6 +104,11 @@ pub struct SpanRecord {
     pub batch: u32,
     /// Execution retries this request survived.
     pub retries: u32,
+    /// Numeric id of the model pool that served the request (assigned
+    /// by the gateway in load order; 0 for single-model servers).
+    pub model: u16,
+    /// Priority class code (0 = high, 1 = normal, 2 = batch).
+    pub priority: u8,
     /// Terminal outcome.
     pub outcome: SpanOutcome,
 }
@@ -160,6 +171,11 @@ impl SpanRecord {
     }
 
     fn pack(&self) -> [u64; WORDS] {
+        // Word 7 layout (high → low):
+        //   batch:16 | retries:16 | model:16 | priority:8 | outcome:8
+        // Batch and retries saturate at u16::MAX; real batches are
+        // single digits and a request that retried 65k times has a
+        // bigger problem than a clipped trace field.
         [
             self.seq,
             self.enqueue_us,
@@ -168,8 +184,10 @@ impl SpanRecord {
             self.exec_end_us,
             self.reply_us,
             self.linger_us,
-            (u64::from(self.batch) << 32)
-                | (u64::from(self.retries.min(0x00FF_FFFF)) << 8)
+            (u64::from(self.batch.min(0xFFFF)) << 48)
+                | (u64::from(self.retries.min(0xFFFF)) << 32)
+                | (u64::from(self.model) << 16)
+                | (u64::from(self.priority) << 8)
                 | self.outcome.code(),
         ]
     }
@@ -183,8 +201,10 @@ impl SpanRecord {
             exec_end_us: words[4],
             reply_us: words[5],
             linger_us: words[6],
-            batch: (words[7] >> 32) as u32,
-            retries: ((words[7] >> 8) & 0x00FF_FFFF) as u32,
+            batch: ((words[7] >> 48) & 0xFFFF) as u32,
+            retries: ((words[7] >> 32) & 0xFFFF) as u32,
+            model: ((words[7] >> 16) & 0xFFFF) as u16,
+            priority: ((words[7] >> 8) & 0xFF) as u8,
             outcome: SpanOutcome::from_code(words[7] & 0xFF),
         }
     }
@@ -194,7 +214,7 @@ impl fmt::Display for SpanRecord {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "span#{} [{}] e2e={}us queue={}us linger={}us dispatch={}us execute={}us reply={}us batch={} retries={}",
+            "span#{} [{}] e2e={}us queue={}us linger={}us dispatch={}us execute={}us reply={}us batch={} retries={} model={} prio={}",
             self.seq,
             self.outcome,
             self.end_to_end_us(),
@@ -204,7 +224,9 @@ impl fmt::Display for SpanRecord {
             self.execute_us(),
             self.reply_stage_us(),
             self.batch,
-            self.retries
+            self.retries,
+            self.model,
+            self.priority
         )
     }
 }
@@ -421,23 +443,23 @@ impl fmt::Display for StageBreakdown {
 
 impl Exportable for StageBreakdown {
     fn export(&self) -> Export {
-        let mut metrics = vec![Metric {
-            name: "spans".into(),
-            help: "spans aggregated into this breakdown".into(),
-            value: MetricValue::Counter(self.spans),
-        }];
+        let mut metrics = vec![Metric::counter(
+            "spans",
+            "spans aggregated into this breakdown",
+            self.spans,
+        )];
         for (name, h) in self.stages() {
-            metrics.push(Metric {
-                name: format!("{name}_us"),
-                help: format!("{name} stage latency in microseconds"),
-                value: MetricValue::Histogram(h.clone()),
-            });
+            metrics.push(Metric::histogram(
+                format!("{name}_us"),
+                format!("{name} stage latency in microseconds"),
+                h.clone(),
+            ));
         }
-        metrics.push(Metric {
-            name: "end_to_end_us".into(),
-            help: "end-to-end request latency in microseconds".into(),
-            value: MetricValue::Histogram(self.end_to_end_us.clone()),
-        });
+        metrics.push(Metric::histogram(
+            "end_to_end_us",
+            "end-to-end request latency in microseconds",
+            self.end_to_end_us.clone(),
+        ));
         Export {
             subsystem: "trace".into(),
             metrics,
@@ -460,6 +482,8 @@ mod tests {
             linger_us: 30,
             batch: 4,
             retries: 1,
+            model: 2,
+            priority: 1,
             outcome: SpanOutcome::Ok,
         }
     }
@@ -480,11 +504,20 @@ mod tests {
     fn pack_round_trips() {
         let s = span(u64::MAX / 200);
         assert_eq!(SpanRecord::unpack(s.pack()), s);
+        let extremes = SpanRecord {
+            model: u16::MAX,
+            priority: 2,
+            batch: 0xFFFF,
+            retries: 0xFFFF,
+            ..span(9)
+        };
+        assert_eq!(SpanRecord::unpack(extremes.pack()), extremes);
         for outcome in [
             SpanOutcome::Ok,
             SpanOutcome::Failed,
             SpanOutcome::TimedOut,
             SpanOutcome::Quarantined,
+            SpanOutcome::Shed,
         ] {
             let s = SpanRecord { outcome, ..span(7) };
             assert_eq!(SpanRecord::unpack(s.pack()).outcome, outcome);
@@ -527,7 +560,7 @@ mod tests {
     fn span_display_is_stable() {
         assert_eq!(
             span(3).to_string(),
-            "span#3 [ok] e2e=95us queue=10us linger=30us dispatch=2us execute=48us reply=5us batch=4 retries=1"
+            "span#3 [ok] e2e=95us queue=10us linger=30us dispatch=2us execute=48us reply=5us batch=4 retries=1 model=2 prio=1"
         );
     }
 }

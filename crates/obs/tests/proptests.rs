@@ -108,9 +108,14 @@ proptest! {
                     MetricValue::Histogram(h.snapshot())
                 }
             };
+            let mut labels = Vec::new();
+            for l in 0..(next() % 3) {
+                labels.push((format!("key_{l}"), format!("val\"ue {}", next() % 100)));
+            }
             metrics.push(Metric {
                 name: format!("metric_{i}"),
                 help: format!("help \"quoted\" \\slashed\nnewline {i}"),
+                labels,
                 value,
             });
         }
@@ -131,6 +136,8 @@ fn coherent_span(seq: u64) -> SpanRecord {
         linger_us: seq.wrapping_mul(17),
         batch: (seq % 97) as u32,
         retries: (seq % 89) as u32,
+        model: (seq % 11) as u16,
+        priority: (seq % 3) as u8,
         outcome: SpanOutcome::Ok,
     }
 }

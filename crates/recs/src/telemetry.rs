@@ -10,7 +10,7 @@
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use std::fmt;
-use vedliot_obs::{Export, Exportable, Metric, MetricValue};
+use vedliot_obs::{Export, Exportable, Metric};
 
 /// One telemetry sample from a microserver slot.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -208,19 +208,15 @@ impl fmt::Display for TelemetrySnapshot {
 
 impl Exportable for TelemetrySnapshot {
     fn export(&self) -> Export {
-        let gauge = |name: &str, help: &str, value: f64| Metric {
-            name: name.into(),
-            help: help.into(),
-            value: MetricValue::Gauge(value),
-        };
+        let gauge = |name: &str, help: &str, value: f64| Metric::gauge(name, help, value);
         Export {
             subsystem: "recs".into(),
             metrics: vec![
-                Metric {
-                    name: "samples".into(),
-                    help: "telemetry samples retained in the window".into(),
-                    value: MetricValue::Counter(self.samples),
-                },
+                Metric::counter(
+                    "samples",
+                    "telemetry samples retained in the window",
+                    self.samples,
+                ),
                 gauge(
                     "mean_power_w",
                     "mean power over the window in watts",

@@ -58,6 +58,24 @@ pub enum ServeError {
         /// Display form of the underlying deterministic failure.
         detail: String,
     },
+    /// The request named a model key that is not loaded in the gateway
+    /// registry.
+    UnknownModel {
+        /// The model key the request asked for.
+        model: String,
+    },
+    /// The model's share of the gateway queue is exhausted; admitting
+    /// this request would let one tenant starve the others.
+    QuotaExceeded {
+        /// The per-model queue quota that was exhausted.
+        quota: usize,
+    },
+    /// The request was shed by priority-class admission: either it was
+    /// evicted from the queue to make room for strictly-higher-priority
+    /// work, or it arrived while degraded admission had closed (or
+    /// shrunk) its class and nothing lower-priority could be displaced
+    /// instead.
+    ShedLowPriority,
 }
 
 impl ServeError {
@@ -66,15 +84,21 @@ impl ServeError {
     ///
     /// Transient: [`Rejected`](Self::Rejected) (queue pressure drains),
     /// [`WorkerCrashed`](Self::WorkerCrashed) (the crash may have been
-    /// a soft error — an SEU, a storm — that a retry escapes) and
+    /// a soft error — an SEU, a storm — that a retry escapes),
     /// [`Disconnected`](Self::Disconnected) (a respawned worker can
-    /// answer a resubmission). Everything else is deterministic for the
-    /// request and permanent; engine failures defer to
+    /// answer a resubmission), [`QuotaExceeded`](Self::QuotaExceeded)
+    /// (the tenant's queue share drains) and
+    /// [`ShedLowPriority`](Self::ShedLowPriority) (degradation passes,
+    /// higher-priority pressure subsides). Everything else is
+    /// deterministic for the request and permanent — including
+    /// [`UnknownModel`](Self::UnknownModel): retrying a request for a
+    /// model nobody loaded cannot succeed. Engine failures defer to
     /// [`NnirError::class`].
     #[must_use]
     pub fn class(&self) -> ErrorClass {
         match self {
             ServeError::Rejected { .. } | ServeError::WorkerCrashed { .. } => ErrorClass::Transient,
+            ServeError::QuotaExceeded { .. } | ServeError::ShedLowPriority => ErrorClass::Transient,
             ServeError::Disconnected => ErrorClass::Transient,
             ServeError::Execution(e) => e.class(),
             _ => ErrorClass::Permanent,
@@ -101,6 +125,15 @@ impl fmt::Display for ServeError {
             }
             ServeError::Quarantined { detail } => {
                 write!(f, "request quarantined as poisoned: {detail}")
+            }
+            ServeError::UnknownModel { model } => {
+                write!(f, "unknown model '{model}'")
+            }
+            ServeError::QuotaExceeded { quota } => {
+                write!(f, "per-model queue quota exhausted (quota {quota})")
+            }
+            ServeError::ShedLowPriority => {
+                write!(f, "request shed: admission prefers higher-priority work")
             }
         }
     }
@@ -166,6 +199,21 @@ mod tests {
             .to_string(),
             "request quarantined as poisoned: poisoned input"
         );
+        assert_eq!(
+            ServeError::UnknownModel {
+                model: "lenet5".into()
+            }
+            .to_string(),
+            "unknown model 'lenet5'"
+        );
+        assert_eq!(
+            ServeError::QuotaExceeded { quota: 4 }.to_string(),
+            "per-model queue quota exhausted (quota 4)"
+        );
+        assert_eq!(
+            ServeError::ShedLowPriority.to_string(),
+            "request shed: admission prefers higher-priority work"
+        );
     }
 
     #[test]
@@ -181,6 +229,10 @@ mod tests {
             .class()
             .is_transient());
         assert!(ServeError::Disconnected.class().is_transient());
+        assert!(ServeError::QuotaExceeded { quota: 2 }
+            .class()
+            .is_transient());
+        assert!(ServeError::ShedLowPriority.class().is_transient());
         for permanent in [
             ServeError::DeadlineExceeded,
             ServeError::ShuttingDown,
@@ -188,6 +240,7 @@ mod tests {
             ServeError::InvalidInput("i".into()),
             ServeError::Execution(NnirError::GraphCyclic),
             ServeError::Quarantined { detail: "p".into() },
+            ServeError::UnknownModel { model: "m".into() },
         ] {
             assert_eq!(permanent.class(), ErrorClass::Permanent);
         }

@@ -1,50 +1,73 @@
-//! `vedliot-serve` — batched serving front-end for VEDLIoT models.
+//! `vedliot-serve` — multi-tenant batched serving gateway for VEDLIoT
+//! models.
 //!
 //! The paper's pipeline ends at an optimised model; this crate is the
-//! piece that puts one in front of traffic on an edge node. Requests
-//! enter through a bounded submission queue, a dynamic batcher
-//! coalesces them along axis 0 (close on `max_batch` reached or
-//! `max_linger` elapsed), and a worker pool executes each batch through
-//! the one-door [`Runner`](vedliot_nnir::exec::Runner) API — one warm
-//! arena-backed runner per batch size per worker.
+//! piece that puts a *zoo* of them in front of traffic on an edge node.
+//! A model registry hosts many verified graphs concurrently
+//! ([`Server::load`] / [`Server::unload`] are hot — unload drains
+//! in-flight work before returning). Requests enter through a typed
+//! [`SubmitRequest`] naming a model and a [`Priority`] class, a
+//! per-model dynamic batcher coalesces them along axis 0 (close on
+//! `max_batch` reached or `max_linger` elapsed, with an optional
+//! arrival-rate-adaptive linger), and each model's worker pool executes
+//! batches through the one-door [`Runner`](vedliot_nnir::exec::Runner)
+//! API — one warm arena-backed runner per batch size per worker.
 //!
 //! The serving contract:
 //!
 //! - **No request is silently dropped.** Every submission is answered
 //!   with outputs or a typed [`ServeError`]; after
 //!   [`Server::shutdown`], `served + rejected + timed_out + failed`
-//!   equals `submitted` ([`MetricsSnapshot::accounted_for`]).
-//! - **Backpressure over buffering.** A full queue rejects at the door
-//!   with [`ServeError::Rejected`] instead of growing without bound.
+//!   equals `submitted` ([`MetricsSnapshot::accounted_for`]) — per
+//!   model and for the merged gateway aggregate.
+//! - **Backpressure over buffering.** A full gateway queue rejects at
+//!   the door with [`ServeError::Rejected`]; a tenant that exhausts its
+//!   weighted queue share is refused with [`ServeError::QuotaExceeded`]
+//!   before it can starve the others.
+//! - **Priority admission sheds lowest-first.** Under pressure the
+//!   queue evicts the youngest request of the lowest queued class to
+//!   admit strictly-higher-priority work
+//!   ([`ServeError::ShedLowPriority`]), and degraded health closes
+//!   `Batch` admission entirely — `Priority::High` is never refused
+//!   while lower-priority work sits queued.
 //! - **Deadlines are enforced before execution.** An expired request is
 //!   purged with [`ServeError::DeadlineExceeded`], never run late.
-//! - **Batching is invisible.** Kernels reduce batch rows independently
-//!   in identical element order, so a coalesced request receives
-//!   bit-identical bytes to a solo run (property-tested in
-//!   `tests/serving.rs`).
-//! - **Faults stay contained.** A panicking batch is absorbed at the
-//!   worker's isolation boundary ([`ServeError::WorkerCrashed`]),
-//!   transient failures retry under a bounded-backoff [`RetryPolicy`],
-//!   deterministically failing batches are bisected so only the
-//!   poisoned request fails ([`ServeError::Quarantined`]), and a
-//!   supervisor respawns dead worker threads within a budget. All of it
-//!   is validated by the seeded chaos harness ([`FaultPlan`],
-//!   `tests/chaos.rs`, experiment E22).
+//! - **Batching is invisible and never crosses models.** Kernels reduce
+//!   batch rows independently in identical element order, so a
+//!   coalesced request receives bit-identical bytes to a solo run
+//!   (property-tested in `tests/serving.rs`), and a batch only ever
+//!   holds requests for its own pool's model.
+//! - **Faults stay contained — per tenant.** A panicking batch is
+//!   absorbed at the worker's isolation boundary
+//!   ([`ServeError::WorkerCrashed`]), transient failures retry under a
+//!   bounded-backoff [`RetryPolicy`], deterministically failing batches
+//!   are bisected so only the poisoned request fails
+//!   ([`ServeError::Quarantined`]), and a supervisor respawns dead
+//!   worker threads within a budget. One model's poisoned traffic
+//!   cannot degrade another tenant's pool (seeded chaos harness:
+//!   [`FaultPlan`], `tests/chaos.rs`, experiments E22/E25).
 //! - **Observability is free when off, cheap when on.** Latency
 //!   percentiles come from a wait-free log2 histogram (no lock on the
 //!   reply path), queue depth / high-water mark / inflight gauges ride
-//!   the existing atomics, and opt-in request tracing
+//!   the existing atomics, per-priority counters make class
+//!   availability a snapshot read, and opt-in request tracing
 //!   ([`TracePolicy`]) records a per-request stage timeline
-//!   (enqueue → queue-wait → linger → execute → reply) into a
-//!   lock-free ring read by [`Server::trace_spans`] — experiment E23
-//!   measures the tax.
+//!   (enqueue → queue-wait → linger → execute → reply) tagged with
+//!   model and priority into a lock-free ring read by
+//!   [`Server::trace_spans`] — experiment E23 measures the tax.
 
 pub mod error;
 pub mod metrics;
+mod pool;
 pub mod resilience;
+pub mod routing;
 pub mod server;
 
 pub use error::ServeError;
 pub use metrics::MetricsSnapshot;
 pub use resilience::{FaultPlan, Health, ResilienceConfig, RetryPolicy};
-pub use server::{BatchPolicy, GoldenPolicy, ServeConfig, Server, Ticket, TracePolicy};
+pub use routing::{ModelConfig, Priority, SubmitRequest};
+pub use server::{
+    BatchPolicy, GoldenPolicy, ServeConfig, ServeConfigBuilder, Server, Ticket, TracePolicy,
+    DEFAULT_MODEL,
+};

@@ -1,21 +1,29 @@
 //! Serving counters and latency tracking.
 //!
 //! The counters are atomic so workers update them without taking the
-//! queue lock — and since this PR, so is the latency distribution: the
-//! old `Mutex<VecDeque>` rolling window made every reply serialize on
-//! one lock at the hottest point of the reply path. It is replaced by a
-//! wait-free log2-bucketed [`vedliot_obs::Histogram`], so recording a
-//! latency is five relaxed atomic ops and never blocks. Percentiles
-//! come from the histogram snapshot (accurate to within one power-of-
-//! two bucket) instead of exact order statistics over the last 1024
-//! samples — the E23 bench quantifies the before/after.
+//! queue lock, and the latency distribution is a wait-free
+//! log2-bucketed [`vedliot_obs::Histogram`] — recording a latency is
+//! five relaxed atomic ops and never blocks. Percentiles come from the
+//! histogram snapshot (accurate to within one power-of-two bucket).
+//!
+//! Since the multi-tenant gateway, each model pool owns one [`Metrics`]
+//! store, and three counters are additionally split by
+//! [`Priority`](crate::Priority) class (`submitted`, `served`, `shed`)
+//! so per-class availability — the E25 acceptance metric — falls out of
+//! a snapshot directly. [`MetricsSnapshot::merge`] folds pool snapshots
+//! into the gateway-wide aggregate; [`MetricsSnapshot::labelled_export`]
+//! attaches the model key as a label on every exported metric.
 
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
 use vedliot_obs::hist::HistogramSnapshot;
-use vedliot_obs::{Export, Exportable, Histogram, Metric, MetricValue};
+use vedliot_obs::{Export, Exportable, Histogram, Metric};
 
-/// Live metric store shared by the server front door and its workers.
+/// Exporter labels for the three priority classes, in
+/// [`Priority::index`](crate::Priority::index) order.
+const PRIORITY_LABELS: [&str; 3] = ["high", "normal", "batch"];
+
+/// Live metric store shared by a pool's front door and its workers.
 #[derive(Debug, Default)]
 pub(crate) struct Metrics {
     submitted: AtomicU64,
@@ -23,6 +31,11 @@ pub(crate) struct Metrics {
     rejected: AtomicU64,
     timed_out: AtomicU64,
     failed: AtomicU64,
+    // Per-priority-class splits, indexed by `Priority::index`.
+    // `shed` counts into `rejected` too (a labelled subset).
+    submitted_by_priority: [AtomicU64; 3],
+    served_by_priority: [AtomicU64; 3],
+    shed_by_priority: [AtomicU64; 3],
     batches: AtomicU64,
     batched_samples: AtomicU64,
     // Gauges: current queue occupancy, its high-water mark, and
@@ -41,11 +54,22 @@ pub(crate) struct Metrics {
 }
 
 impl Metrics {
-    pub(crate) fn inc_submitted(&self) {
+    /// Records one submission of the given priority class.
+    pub(crate) fn inc_submitted(&self, class: usize) {
         self.submitted.fetch_add(1, Ordering::Relaxed);
+        self.submitted_by_priority[class].fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn inc_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one request shed by priority-class admission (evicted
+    /// for higher-priority work, or refused while its class was shed).
+    /// Shed requests count into `rejected` — a labelled subset, like
+    /// `quarantined` inside `failed`.
+    pub(crate) fn inc_shed(&self, class: usize) {
+        self.shed_by_priority[class].fetch_add(1, Ordering::Relaxed);
         self.rejected.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -64,8 +88,8 @@ impl Metrics {
         self.queue_hwm.fetch_max(depth, Ordering::Relaxed);
     }
 
-    /// Records `n` requests leaving the queue (drained into a batch or
-    /// purged).
+    /// Records `n` requests leaving the queue (drained into a batch,
+    /// purged, or evicted).
     pub(crate) fn queue_popped(&self, n: u64) {
         self.queue_depth.fetch_sub(n, Ordering::Relaxed);
     }
@@ -125,6 +149,12 @@ impl Metrics {
         self.served.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Records one served request of the given priority class (the
+    /// total is kept by [`Metrics::record_batch`]).
+    pub(crate) fn inc_served(&self, class: usize) {
+        self.served_by_priority[class].fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Records one request's queue-to-reply latency. Wait-free: this
     /// sits on the reply path of every request, concurrently across
     /// all workers.
@@ -137,12 +167,22 @@ impl Metrics {
         let latency_us = self.latency.snapshot();
         let batches = self.batches.load(Ordering::Relaxed);
         let batched_samples = self.batched_samples.load(Ordering::Relaxed);
+        let by = |arr: &[AtomicU64; 3]| {
+            [
+                arr[0].load(Ordering::Relaxed),
+                arr[1].load(Ordering::Relaxed),
+                arr[2].load(Ordering::Relaxed),
+            ]
+        };
         MetricsSnapshot {
             submitted: self.submitted.load(Ordering::Relaxed),
             served: self.served.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
             timed_out: self.timed_out.load(Ordering::Relaxed),
             failed: self.failed.load(Ordering::Relaxed),
+            submitted_by_priority: by(&self.submitted_by_priority),
+            served_by_priority: by(&self.served_by_priority),
+            shed_by_priority: by(&self.shed_by_priority),
             batches,
             mean_batch: if batches == 0 {
                 0.0
@@ -165,7 +205,8 @@ impl Metrics {
     }
 }
 
-/// Point-in-time serving statistics.
+/// Point-in-time serving statistics (one pool, or a gateway aggregate
+/// built with [`MetricsSnapshot::merge`]).
 ///
 /// The counters partition every submission: a request ends up in
 /// exactly one of `served`, `rejected`, `timed_out` or `failed`, so
@@ -174,20 +215,28 @@ impl Metrics {
 /// `worker_crashes`, `respawned`, `retries`, `quarantined`,
 /// `golden_mismatches`) are observability side-channels, not part of
 /// the partition — `quarantined` requests are already counted in
-/// `failed`.
+/// `failed`, and shed requests in `rejected`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MetricsSnapshot {
     /// Requests accepted into the queue plus those rejected at the door.
     pub submitted: u64,
     /// Requests answered with a model output.
     pub served: u64,
-    /// Requests rejected because the queue was full (including load
-    /// shedding while degraded).
+    /// Requests rejected because the gateway queue was full, the model
+    /// quota was exhausted, or priority-class admission shed them.
     pub rejected: u64,
     /// Requests purged because their deadline expired before execution.
     pub timed_out: u64,
     /// Requests answered with an execution error.
     pub failed: u64,
+    /// `submitted` split by priority class, indexed `[high, normal,
+    /// batch]` (see [`Priority::index`](crate::Priority::index)).
+    pub submitted_by_priority: [u64; 3],
+    /// `served` split by priority class.
+    pub served_by_priority: [u64; 3],
+    /// Requests shed by priority-class admission, split by the shed
+    /// request's class (a labelled subset of `rejected`).
+    pub shed_by_priority: [u64; 3],
     /// Batched forward passes executed.
     pub batches: u64,
     /// Mean requests per executed batch (0 when no batches ran).
@@ -201,7 +250,9 @@ pub struct MetricsSnapshot {
     pub latency_us: HistogramSnapshot,
     /// Requests sitting in the queue right now.
     pub queue_depth: u64,
-    /// Highest queue occupancy ever observed.
+    /// Highest queue occupancy ever observed. In a merged aggregate
+    /// this is the *sum* of per-pool high-water marks — an upper bound
+    /// on simultaneous occupancy, not an observation of it.
     pub queue_hwm: u64,
     /// Requests dequeued into batches but not yet replied to.
     pub inflight: u64,
@@ -223,97 +274,190 @@ pub struct MetricsSnapshot {
 }
 
 impl MetricsSnapshot {
+    /// An all-zero snapshot — the identity element of
+    /// [`MetricsSnapshot::merge`].
+    #[must_use]
+    pub fn empty() -> Self {
+        Metrics::default().snapshot()
+    }
+
     /// Whether every submitted request received exactly one reply.
     #[must_use]
     pub fn accounted_for(&self) -> bool {
         self.served + self.rejected + self.timed_out + self.failed == self.submitted
     }
+
+    /// Total requests shed by priority-class admission across classes.
+    #[must_use]
+    pub fn shed(&self) -> u64 {
+        self.shed_by_priority.iter().sum()
+    }
+
+    /// Folds `other` into `self`: counters and the latency histogram
+    /// add, the batch mean re-weights by batch count, and the latency
+    /// percentiles are recomputed from the merged distribution. Used by
+    /// the gateway to aggregate per-pool snapshots (live and retired).
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        // Weighted mean before the batch counters move. Exact in f64:
+        // mean_batch · batches is the integer batched-samples count.
+        let total_batches = self.batches + other.batches;
+        self.mean_batch = if total_batches == 0 {
+            0.0
+        } else {
+            (self.mean_batch * self.batches as f64 + other.mean_batch * other.batches as f64)
+                / total_batches as f64
+        };
+        self.batches = total_batches;
+        self.submitted += other.submitted;
+        self.served += other.served;
+        self.rejected += other.rejected;
+        self.timed_out += other.timed_out;
+        self.failed += other.failed;
+        for i in 0..3 {
+            self.submitted_by_priority[i] += other.submitted_by_priority[i];
+            self.served_by_priority[i] += other.served_by_priority[i];
+            self.shed_by_priority[i] += other.shed_by_priority[i];
+        }
+        self.queue_depth += other.queue_depth;
+        self.queue_hwm += other.queue_hwm;
+        self.inflight += other.inflight;
+        self.panics_absorbed += other.panics_absorbed;
+        self.worker_crashes += other.worker_crashes;
+        self.respawned += other.respawned;
+        self.retries += other.retries;
+        self.quarantined += other.quarantined;
+        self.golden_mismatches += other.golden_mismatches;
+        self.latency_us.merge(&other.latency_us);
+        self.p50_latency_us = self.latency_us.quantile(0.50);
+        self.p99_latency_us = self.latency_us.quantile(0.99);
+    }
+
+    /// Like [`Exportable::export`] but with a `model` label on every
+    /// metric — how the gateway publishes per-tenant series side by
+    /// side through one exporter.
+    #[must_use]
+    pub fn labelled_export(&self, model: &str) -> Export {
+        let mut export = self.export();
+        for metric in &mut export.metrics {
+            metric.labels.insert(0, ("model".into(), model.into()));
+        }
+        export
+    }
 }
 
 impl Exportable for MetricsSnapshot {
     fn export(&self) -> Export {
-        let counter = |name: &str, help: &str, value: u64| Metric {
-            name: name.into(),
-            help: help.into(),
-            value: MetricValue::Counter(value),
-        };
+        let mut metrics = vec![
+            Metric::counter(
+                "submitted",
+                "requests accepted or rejected at the door",
+                self.submitted,
+            ),
+            Metric::counter(
+                "served",
+                "requests answered with a model output",
+                self.served,
+            ),
+            Metric::counter(
+                "rejected",
+                "requests rejected because the queue was full",
+                self.rejected,
+            ),
+            Metric::counter(
+                "timed_out",
+                "requests purged past their deadline",
+                self.timed_out,
+            ),
+            Metric::counter(
+                "failed",
+                "requests answered with an execution error",
+                self.failed,
+            ),
+            Metric::counter(
+                "shed",
+                "requests shed by priority-class admission",
+                self.shed(),
+            ),
+        ];
+        for (i, label) in PRIORITY_LABELS.iter().enumerate() {
+            metrics.push(
+                Metric::counter(
+                    "submitted_by_priority",
+                    "requests submitted in this priority class",
+                    self.submitted_by_priority[i],
+                )
+                .with_label("priority", *label),
+            );
+            metrics.push(
+                Metric::counter(
+                    "served_by_priority",
+                    "requests served in this priority class",
+                    self.served_by_priority[i],
+                )
+                .with_label("priority", *label),
+            );
+            metrics.push(
+                Metric::counter(
+                    "shed_by_priority",
+                    "requests shed in this priority class",
+                    self.shed_by_priority[i],
+                )
+                .with_label("priority", *label),
+            );
+        }
+        metrics.extend([
+            Metric::counter("batches", "batched forward passes executed", self.batches),
+            Metric::gauge(
+                "mean_batch",
+                "mean requests per executed batch",
+                self.mean_batch,
+            ),
+            Metric::gauge(
+                "queue_depth",
+                "requests sitting in the queue",
+                self.queue_depth as f64,
+            ),
+            Metric::gauge(
+                "queue_hwm",
+                "highest queue occupancy observed",
+                self.queue_hwm as f64,
+            ),
+            Metric::gauge(
+                "inflight",
+                "requests dequeued but not yet replied to",
+                self.inflight as f64,
+            ),
+            Metric::counter(
+                "panics_absorbed",
+                "panics converted to typed errors",
+                self.panics_absorbed,
+            ),
+            Metric::counter(
+                "worker_crashes",
+                "worker threads that died",
+                self.worker_crashes,
+            ),
+            Metric::counter("respawned", "crashed workers replaced", self.respawned),
+            Metric::counter("retries", "batch retry attempts", self.retries),
+            Metric::counter(
+                "quarantined",
+                "requests failed as poisoned",
+                self.quarantined,
+            ),
+            Metric::counter(
+                "golden_mismatches",
+                "golden-check divergences",
+                self.golden_mismatches,
+            ),
+            Metric::histogram(
+                "latency_us",
+                "queue-to-reply latency in microseconds",
+                self.latency_us.clone(),
+            ),
+        ]);
         Export {
             subsystem: "serve".into(),
-            metrics: vec![
-                counter(
-                    "submitted",
-                    "requests accepted or rejected at the door",
-                    self.submitted,
-                ),
-                counter(
-                    "served",
-                    "requests answered with a model output",
-                    self.served,
-                ),
-                counter(
-                    "rejected",
-                    "requests rejected because the queue was full",
-                    self.rejected,
-                ),
-                counter(
-                    "timed_out",
-                    "requests purged past their deadline",
-                    self.timed_out,
-                ),
-                counter(
-                    "failed",
-                    "requests answered with an execution error",
-                    self.failed,
-                ),
-                counter("batches", "batched forward passes executed", self.batches),
-                Metric {
-                    name: "mean_batch".into(),
-                    help: "mean requests per executed batch".into(),
-                    value: MetricValue::Gauge(self.mean_batch),
-                },
-                Metric {
-                    name: "queue_depth".into(),
-                    help: "requests sitting in the queue".into(),
-                    value: MetricValue::Gauge(self.queue_depth as f64),
-                },
-                Metric {
-                    name: "queue_hwm".into(),
-                    help: "highest queue occupancy observed".into(),
-                    value: MetricValue::Gauge(self.queue_hwm as f64),
-                },
-                Metric {
-                    name: "inflight".into(),
-                    help: "requests dequeued but not yet replied to".into(),
-                    value: MetricValue::Gauge(self.inflight as f64),
-                },
-                counter(
-                    "panics_absorbed",
-                    "panics converted to typed errors",
-                    self.panics_absorbed,
-                ),
-                counter(
-                    "worker_crashes",
-                    "worker threads that died",
-                    self.worker_crashes,
-                ),
-                counter("respawned", "crashed workers replaced", self.respawned),
-                counter("retries", "batch retry attempts", self.retries),
-                counter(
-                    "quarantined",
-                    "requests failed as poisoned",
-                    self.quarantined,
-                ),
-                counter(
-                    "golden_mismatches",
-                    "golden-check divergences",
-                    self.golden_mismatches,
-                ),
-                Metric {
-                    name: "latency_us".into(),
-                    help: "queue-to-reply latency in microseconds".into(),
-                    value: MetricValue::Histogram(self.latency_us.clone()),
-                },
-            ],
+            metrics,
         }
     }
 }
@@ -326,8 +470,8 @@ mod tests {
     #[test]
     fn counters_partition_submissions() {
         let m = Metrics::default();
-        for _ in 0..10 {
-            m.inc_submitted();
+        for i in 0..10 {
+            m.inc_submitted(i % 3);
         }
         m.inc_rejected();
         m.inc_timed_out();
@@ -335,6 +479,7 @@ mod tests {
         m.add_failed(1);
         let s = m.snapshot();
         assert_eq!(s.submitted, 10);
+        assert_eq!(s.submitted_by_priority, [4, 3, 3]);
         assert_eq!(s.served, 7);
         assert!(s.accounted_for());
         assert_eq!(s.batches, 1);
@@ -342,10 +487,26 @@ mod tests {
     }
 
     #[test]
+    fn shed_is_a_subset_of_rejected() {
+        let m = Metrics::default();
+        for _ in 0..4 {
+            m.inc_submitted(2);
+        }
+        m.record_batch(2);
+        m.inc_rejected();
+        m.inc_shed(2);
+        let s = m.snapshot();
+        assert_eq!(s.rejected, 2, "shed also counts into rejected");
+        assert_eq!(s.shed_by_priority, [0, 0, 1]);
+        assert_eq!(s.shed(), 1);
+        assert!(s.accounted_for());
+    }
+
+    #[test]
     fn quarantined_is_a_subset_of_failed() {
         let m = Metrics::default();
         for _ in 0..5 {
-            m.inc_submitted();
+            m.inc_submitted(1);
         }
         m.record_batch(3);
         m.add_failed(1);
@@ -359,7 +520,7 @@ mod tests {
     #[test]
     fn resilience_counters_are_observability_only() {
         let m = Metrics::default();
-        m.inc_submitted();
+        m.inc_submitted(1);
         m.record_batch(1);
         m.inc_panic_absorbed();
         m.inc_worker_crash();
@@ -397,8 +558,6 @@ mod tests {
 
     #[test]
     fn histogram_keeps_the_full_distribution() {
-        // The old rolling window forgot everything past 1024 samples;
-        // the histogram keeps exact count/sum/min/max forever.
         let m = Metrics::default();
         for us in 0..5000u64 {
             m.record_latency(us);
@@ -427,7 +586,7 @@ mod tests {
 
     #[test]
     fn empty_window_reports_zero() {
-        let s = Metrics::default().snapshot();
+        let s = MetricsSnapshot::empty();
         assert_eq!(s.p50_latency_us, 0);
         assert_eq!(s.p99_latency_us, 0);
         assert_eq!(s.latency_us.count, 0);
@@ -435,18 +594,85 @@ mod tests {
     }
 
     #[test]
+    fn merge_sums_counters_and_reweights_the_mean() {
+        let a = Metrics::default();
+        for _ in 0..3 {
+            a.inc_submitted(0);
+        }
+        a.record_batch(3); // one batch of 3
+        for _ in 0..3 {
+            a.inc_served(0);
+        }
+        a.record_latency(10);
+        let b = Metrics::default();
+        b.inc_submitted(2);
+        b.record_batch(1); // one batch of 1
+        b.inc_served(2);
+        b.inc_submitted(2);
+        b.inc_shed(2);
+        b.record_latency(1000);
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.submitted, 5);
+        assert_eq!(merged.served, 4);
+        assert_eq!(merged.served_by_priority, [3, 0, 1]);
+        assert_eq!(merged.shed_by_priority, [0, 0, 1]);
+        assert_eq!(merged.batches, 2);
+        assert!(
+            (merged.mean_batch - 2.0).abs() < 1e-9,
+            "(3 + 1) / 2 batches"
+        );
+        assert_eq!(merged.latency_us.count, 2);
+        assert_eq!(merged.latency_us.min, 10);
+        assert_eq!(merged.latency_us.max, 1000);
+        assert!(merged.accounted_for());
+        // Identity element.
+        let mut with_empty = a.snapshot();
+        with_empty.merge(&MetricsSnapshot::empty());
+        assert_eq!(with_empty, a.snapshot());
+    }
+
+    #[test]
     fn snapshot_exports_all_subsystem_metrics() {
         let m = Metrics::default();
-        m.inc_submitted();
+        m.inc_submitted(0);
         m.record_batch(1);
+        m.inc_served(0);
         m.record_latency(250);
         let export = m.snapshot().export();
         assert_eq!(export.subsystem, "serve");
         let json = export.to_json();
         assert!(json.contains("\"name\":\"latency_us\""));
+        assert!(json.contains("\"labels\":{\"priority\":\"high\"}"));
         assert_eq!(vedliot_obs::Export::from_json(&json), Some(export.clone()));
         let prom = export.to_prometheus();
         assert!(prom.contains("vedliot_serve_served 1\n"));
+        assert!(prom.contains("vedliot_serve_served_by_priority{priority=\"high\"} 1\n"));
         assert!(prom.contains("vedliot_serve_latency_us_count 1\n"));
+    }
+
+    #[test]
+    fn labelled_export_tags_every_metric_with_the_model() {
+        let m = Metrics::default();
+        m.inc_submitted(1);
+        m.record_batch(1);
+        m.inc_served(1);
+        let export = m.snapshot().labelled_export("lenet5");
+        for metric in &export.metrics {
+            assert_eq!(
+                metric.labels.first().map(|(k, v)| (k.as_str(), v.as_str())),
+                Some(("model", "lenet5")),
+                "{} missing the model label",
+                metric.name
+            );
+        }
+        let prom = export.to_prometheus();
+        assert!(
+            prom.contains("vedliot_serve_served{model=\"lenet5\"} 1\n"),
+            "{prom}"
+        );
+        assert!(prom.contains(
+            "vedliot_serve_served_by_priority{model=\"lenet5\",priority=\"normal\"} 1\n"
+        ));
     }
 }

@@ -1,52 +1,40 @@
-//! The serving front-end: bounded queue → dynamic batcher → workers.
+//! The serving gateway: a registry of per-model worker pools behind one
+//! typed front door.
 //!
-//! [`Server::start`] compiles one graph per admissible batch size
-//! (`1..=max_batch`, via [`Graph::with_batch`]) and spawns a worker
-//! pool. Each worker owns one arena-backed [`Runner`] per batch size,
-//! so steady-state serving performs no allocation beyond the request
-//! queue itself.
+//! [`Server::start`] boots the gateway with one model (registered as
+//! `"default"`); [`Server::load`] / [`Server::unload`] grow and shrink
+//! the zoo at runtime without stopping traffic. Each model gets its own
+//! [`pool`](crate::pool): priority queues, worker threads, metrics,
+//! chaos stream and golden service — isolation is per tenant, while the
+//! gateway enforces the global queue capacity and hosts the shared span
+//! ring.
 //!
-//! The dynamic batcher coalesces single-sample submissions along axis 0
-//! under two closure rules: a batch executes as soon as `max_batch`
-//! requests are queued, or once the oldest queued request has lingered
-//! for `max_linger`. Because every kernel reduces batch rows
-//! independently in identical element order (the bit-identical batching
-//! contract, see `Tensor::split_batch`), a coalesced batch returns
-//! exactly the bytes each request would have received alone.
+//! Clients submit through [`Server::submit_request`] with a typed
+//! [`SubmitRequest`] naming the model and [`Priority`] class. The old
+//! positional `submit(inputs, deadline)` survives as a `#[deprecated]`
+//! shim that routes to the default model at [`Priority::Normal`].
 //!
-//! Fault tolerance (DESIGN.md §7) wraps the execution path in four
-//! layers, outermost first:
-//!
-//! 1. **supervision** — a worker thread that dies outside panic
-//!    isolation is respawned by its own crash guard, up to
-//!    [`ResilienceConfig::respawn_budget`];
-//! 2. **panic isolation** — per-batch `catch_unwind` converts panics to
-//!    [`ServeError::WorkerCrashed`] so the thread and its queue survive;
-//! 3. **retry** — transiently failed batches re-execute under the
-//!    bounded-backoff [`RetryPolicy`], respecting request deadlines;
-//! 4. **quarantine** — deterministically failing batches are bisected
-//!    to isolate poisoned requests ([`ServeError::Quarantined`]) while
-//!    their neighbours are served.
-//!
-//! A [`GoldenPolicy`] additionally routes sampled (input, output) pairs
-//! through the §IV-B robustness service (golden model copy) to detect —
-//! and optionally repair — outputs corrupted by weight bit flips.
+//! The per-pool serving pipeline — dynamic batching under the
+//! bit-identical batching contract, four-layer fault tolerance (panic
+//! isolation, bounded-backoff retry, quarantine bisection, supervised
+//! respawn) and golden-copy output checking — is documented in
+//! [`crate::pool`]; the priority admission/eviction protocol is there
+//! too.
 
 use crate::error::ServeError;
-use crate::metrics::{Metrics, MetricsSnapshot};
-use crate::resilience::{splitmix64, ChaosState, FaultPlan, Health, ResilienceConfig, RetryPolicy};
-use std::any::Any;
-use std::collections::VecDeque;
-use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{mpsc, PoisonError};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
-use std::thread::JoinHandle;
+use crate::metrics::MetricsSnapshot;
+use crate::pool::{GatewayShared, ModelPool};
+use crate::resilience::{FaultPlan, Health, ResilienceConfig};
+use crate::routing::{ModelConfig, SubmitRequest};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex, PoisonError, RwLock};
 use std::time::{Duration, Instant};
-use vedliot_nnir::exec::{Parallelism, RunOptions, Runner};
-use vedliot_nnir::{Graph, NnirError, Shape, Tensor};
-use vedliot_obs::{SpanOutcome, SpanRecord, TraceRing};
-use vedliot_safety::robustness::{OutputVerdict, RobustnessService};
+use vedliot_nnir::exec::Parallelism;
+use vedliot_nnir::{Graph, Tensor};
+use vedliot_obs::{SpanRecord, TraceRing};
+
+/// Key [`Server::start`] registers its boot model under.
+pub const DEFAULT_MODEL: &str = "default";
 
 /// Batch-closure policy for the dynamic batcher.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -79,12 +67,11 @@ impl Default for BatchPolicy {
 }
 
 /// Golden-check policy: route sampled (input, output) pairs through a
-/// [`RobustnessService`] holding an uncorrupted copy of the model taken
-/// at [`Server::start`] (paper §IV-B — the robustness service "holds a
-/// copy of the DL model and can verify the correctness of the output
-/// data"). Divergences surface as
-/// [`MetricsSnapshot::golden_mismatches`]; with `repair` the diverged
-/// reply is replaced by the golden output.
+/// robustness service holding an uncorrupted copy of the model taken at
+/// load time (paper §IV-B — the robustness service "holds a copy of the
+/// DL model and can verify the correctness of the output data").
+/// Divergences surface as [`MetricsSnapshot::golden_mismatches`]; with
+/// `repair` the diverged reply is replaced by the golden output.
 ///
 /// Requires a single-input, single-output model.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -112,7 +99,8 @@ impl Default for GoldenPolicy {
 /// Request-lifecycle tracing policy: every request gets a
 /// [`SpanRecord`] timeline (enqueue → queue-wait → batch-linger →
 /// execute → reply) written into a bounded lock-free ring at reply
-/// time. Read the ring with [`Server::trace_spans`].
+/// time, labelled with the model id and priority class. Read the ring
+/// with [`Server::trace_spans`].
 ///
 /// Tracing off (`ServeConfig::trace = None`, the default) costs zero
 /// extra clock reads on the request path.
@@ -129,29 +117,43 @@ impl Default for TracePolicy {
     }
 }
 
-/// Server configuration.
+/// Gateway configuration.
+///
+/// `#[non_exhaustive]`: construct it with [`ServeConfig::builder`] (or
+/// start from [`ServeConfig::default`] inside this crate) — fields may
+/// be added without a breaking change.
+#[non_exhaustive]
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ServeConfig {
-    /// Bounded submission-queue capacity; submissions beyond it are
-    /// rejected with [`ServeError::Rejected`].
+    /// Bounded gateway-wide queue capacity, shared by every loaded
+    /// model; submissions beyond it are rejected with
+    /// [`ServeError::Rejected`] (unless they can displace queued
+    /// lower-priority work in their own pool).
     pub queue_capacity: usize,
-    /// Worker threads, each owning its own set of runners.
+    /// Worker threads for the default model's pool.
     pub workers: usize,
-    /// Dynamic batching policy.
+    /// Dynamic batching policy for the default model.
     pub batch: BatchPolicy,
-    /// Intra-batch parallelism of each worker's runners. On single-core
-    /// targets leave this [`Parallelism::Serial`]; batching, not
-    /// threading, is the throughput lever there.
+    /// Intra-batch parallelism of each worker's runners, gateway-wide.
+    /// On single-core targets leave this [`Parallelism::Serial`];
+    /// batching, not threading, is the throughput lever there.
     pub parallelism: Parallelism,
     /// Fault-tolerance policy (panic isolation, retry, quarantine,
-    /// supervision, degraded-mode load shedding).
+    /// supervision, degraded-mode load shedding), applied to every
+    /// pool.
     pub resilience: ResilienceConfig,
-    /// Golden-copy output checking; `None` disables it.
+    /// Golden-copy output checking for the default model.
     pub golden: Option<GoldenPolicy>,
-    /// Chaos-injection test hook; `None` (the default) injects nothing.
+    /// Chaos-injection test hook for the default model; `None` (the
+    /// default) injects nothing.
     pub chaos: Option<FaultPlan>,
     /// Request-lifecycle tracing; `None` (the default) disables it.
     pub trace: Option<TracePolicy>,
+    /// Deadline floor: the shortest deadline headroom clients are
+    /// promised. When set, every loaded model's `max_linger` must stay
+    /// at or below it — a batcher that lingers longer than the deadline
+    /// floor would time out well-formed requests by policy.
+    pub deadline_floor: Option<Duration>,
 }
 
 impl Default for ServeConfig {
@@ -165,12 +167,22 @@ impl Default for ServeConfig {
             golden: None,
             chaos: None,
             trace: None,
+            deadline_floor: None,
         }
     }
 }
 
 impl ServeConfig {
-    fn validate(&self) -> Result<(), ServeError> {
+    /// A validating builder — the only way to construct a
+    /// [`ServeConfig`] outside this crate.
+    #[must_use]
+    pub fn builder() -> ServeConfigBuilder {
+        ServeConfigBuilder {
+            config: ServeConfig::default(),
+        }
+    }
+
+    pub(crate) fn validate(&self) -> Result<(), ServeError> {
         if self.queue_capacity == 0 {
             return Err(ServeError::InvalidConfig(
                 "queue_capacity must be at least 1".into(),
@@ -181,27 +193,7 @@ impl ServeConfig {
                 "workers must be at least 1".into(),
             ));
         }
-        if self.batch.max_batch == 0 {
-            return Err(ServeError::InvalidConfig(
-                "max_batch must be at least 1".into(),
-            ));
-        }
         self.resilience.validate()?;
-        if let Some(chaos) = &self.chaos {
-            chaos.validate()?;
-        }
-        if let Some(golden) = &self.golden {
-            if golden.period == 0 {
-                return Err(ServeError::InvalidConfig(
-                    "golden.period must be at least 1".into(),
-                ));
-            }
-            if golden.tolerance.is_nan() || golden.tolerance < 0.0 {
-                return Err(ServeError::InvalidConfig(
-                    "golden.tolerance must be non-negative".into(),
-                ));
-            }
-        }
         if let Some(trace) = &self.trace {
             if trace.capacity == 0 {
                 return Err(ServeError::InvalidConfig(
@@ -209,206 +201,153 @@ impl ServeConfig {
                 ));
             }
         }
-        Ok(())
+        validate_model_config(&self.default_model_config(), self.deadline_floor)
+    }
+
+    /// The default model's pool configuration implied by the gateway
+    /// config (weight 1, weight-derived quota).
+    pub(crate) fn default_model_config(&self) -> ModelConfig {
+        let mut cfg = ModelConfig::default()
+            .workers(self.workers)
+            .batch(self.batch);
+        cfg.golden = self.golden;
+        cfg.chaos = self.chaos;
+        cfg
     }
 }
 
-/// Per-request span scratch: stage timestamps (µs since the server
-/// epoch) accumulated while the request moves through the pipeline,
-/// folded into a [`SpanRecord`] at reply time. All zeros when tracing
-/// is disabled — and never read.
-#[derive(Debug, Clone, Copy, Default)]
-struct SpanScratch {
-    dequeue_us: u64,
-    linger_us: u64,
-    exec_start_us: u64,
-    exec_end_us: u64,
-    /// Batch size this request executed in.
-    batch: u32,
-    retries: u32,
-    /// Whether `exec_start_us` has been stamped — 0 is a legal
-    /// epoch-relative timestamp, so a flag is needed to stamp only the
-    /// *first* attempt.
-    started: bool,
-}
-
-/// One queued request.
-struct Request {
-    /// 1-based submission sequence number (chaos poison targeting).
-    seq: u64,
-    inputs: Vec<Tensor>,
-    deadline: Option<Instant>,
-    enqueued_at: Instant,
-    span: SpanScratch,
-    reply: mpsc::Sender<Result<Vec<Tensor>, ServeError>>,
-}
-
-/// Queue state guarded by the server mutex.
-struct QueueState {
-    queue: VecDeque<Request>,
-    shutting_down: bool,
-}
-
-/// State shared between the front door, the workers and the supervisor
-/// crash guards.
-struct Shared {
-    state: Mutex<QueueState>,
-    /// Signals workers: new request, or shutdown.
-    work_ready: Condvar,
-    metrics: Metrics,
-    /// Per-sample graph input shapes (batch dimension forced to 1).
-    input_shapes: Vec<Shape>,
-    policy: BatchPolicy,
-    queue_capacity: usize,
-    resilience: ResilienceConfig,
-    /// Live chaos stream, if a fault plan is configured.
-    chaos: Option<ChaosState>,
-    /// Lock-free span ring, if tracing is configured.
-    trace: Option<TraceRing>,
-    /// Server start time: the zero point of every span timestamp.
-    epoch: Instant,
-    /// Golden-copy robustness service, if configured.
-    golden: Option<Mutex<RobustnessService>>,
-    golden_repair: bool,
-    /// Next submission sequence number (1-based).
-    next_seq: AtomicU64,
-    /// Remaining worker respawns (may go negative under races; only
-    /// positive values grant a respawn).
-    respawns_left: AtomicI64,
-    /// Monotonic worker-thread name counter.
-    next_worker_id: AtomicUsize,
-    /// Every live worker's join handle — original and respawned alike.
-    /// Shutdown drains this until empty; a crashing worker pushes its
-    /// replacement's handle *before* its own thread exits, so the drain
-    /// cannot miss a respawn.
-    handles: Mutex<Vec<JoinHandle<()>>>,
-}
-
-/// Microseconds from `epoch` to `t`, saturating at zero.
-fn us_since(epoch: Instant, t: Instant) -> u64 {
-    t.saturating_duration_since(epoch).as_micros() as u64
-}
-
-/// Records `req`'s lifecycle span into the trace ring (no-op when
-/// tracing is disabled). Called immediately before the reply is sent,
-/// so a redeemed ticket implies its span is already visible.
-fn emit_span(shared: &Shared, req: &Request, outcome: SpanOutcome, reply_at: Instant) {
-    let Some(ring) = &shared.trace else { return };
-    let s = &req.span;
-    ring.record(&SpanRecord {
-        seq: req.seq,
-        enqueue_us: us_since(shared.epoch, req.enqueued_at),
-        dequeue_us: s.dequeue_us,
-        exec_start_us: s.exec_start_us,
-        exec_end_us: s.exec_end_us,
-        reply_us: us_since(shared.epoch, reply_at),
-        linger_us: s.linger_us,
-        batch: s.batch,
-        retries: s.retries,
-        outcome,
-    });
-}
-
-impl Shared {
-    /// Locks the queue state, recovering from poisoning: a worker that
-    /// panicked can never be allowed to wedge the whole server, and
-    /// every mutation of `QueueState` is panic-free (pushes/pops of
-    /// already-constructed values), so the state is always consistent.
-    fn lock_state(&self) -> MutexGuard<'_, QueueState> {
-        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+/// Validates one model's pool configuration against the gateway's
+/// deadline floor.
+fn validate_model_config(
+    cfg: &ModelConfig,
+    deadline_floor: Option<Duration>,
+) -> Result<(), ServeError> {
+    if cfg.workers == 0 {
+        return Err(ServeError::InvalidConfig(
+            "model workers must be at least 1".into(),
+        ));
     }
-
-    /// Whether the server counts as degraded at the given queue depth.
-    /// A fraction of 1.0 disables depth-based degradation entirely —
-    /// a queue at full capacity is ordinary backpressure, not distress.
-    fn degraded(&self, queue_depth: usize) -> bool {
-        self.metrics.worker_crashes() >= self.resilience.degraded_crash_threshold
-            || (self.resilience.degraded_queue_fraction < 1.0
-                && (queue_depth as f64)
-                    >= self.resilience.degraded_queue_fraction * self.queue_capacity as f64)
+    if cfg.weight == 0 {
+        return Err(ServeError::InvalidConfig(
+            "model weight must be at least 1".into(),
+        ));
     }
-
-    /// The admission bound currently in force (shed while degraded).
-    fn effective_capacity(&self, queue_depth: usize) -> usize {
-        if self.degraded(queue_depth) {
-            ((self.resilience.shed_to * self.queue_capacity as f64).ceil() as usize).max(1)
-        } else {
-            self.queue_capacity
+    if cfg.quota == Some(0) {
+        return Err(ServeError::InvalidConfig(
+            "model quota must be at least 1".into(),
+        ));
+    }
+    if cfg.batch.max_batch == 0 {
+        return Err(ServeError::InvalidConfig(
+            "max_batch must be at least 1".into(),
+        ));
+    }
+    if let Some(floor) = deadline_floor {
+        if cfg.batch.max_linger > floor {
+            return Err(ServeError::InvalidConfig(format!(
+                "max_linger {:?} exceeds the deadline floor {floor:?}",
+                cfg.batch.max_linger
+            )));
         }
     }
-}
-
-/// Everything a worker thread needs — held in an `Arc` so a crash guard
-/// can hand the same context to a replacement worker.
-struct WorkerContext {
-    shared: Arc<Shared>,
-    graphs: Arc<Vec<Graph>>,
-    parallelism: Parallelism,
-}
-
-/// Armed for the lifetime of a worker thread; if the thread unwinds
-/// (a panic escaped the isolation boundary, or isolation is disabled),
-/// the guard's drop is the supervisor: it counts the crash and respawns
-/// a replacement while the budget lasts.
-struct CrashGuard {
-    ctx: Arc<WorkerContext>,
-}
-
-impl Drop for CrashGuard {
-    fn drop(&mut self) {
-        if !std::thread::panicking() {
-            return; // normal worker exit (drained shutdown)
-        }
-        let shared = &self.ctx.shared;
-        // A worker dying while the server drains an empty queue is
-        // indistinguishable from a normal exit: no work was lost and no
-        // replacement is wanted, so it does not count as a crash.
-        // try_lock: never risk deadlocking a dying thread.
-        let idle_drain = match shared.state.try_lock() {
-            Ok(state) => state.shutting_down && state.queue.is_empty(),
-            Err(std::sync::TryLockError::Poisoned(p)) => {
-                let state = p.into_inner();
-                state.shutting_down && state.queue.is_empty()
-            }
-            Err(std::sync::TryLockError::WouldBlock) => false,
-        };
-        if idle_drain {
-            return;
-        }
-        shared.metrics.inc_worker_crash();
-        if shared.respawns_left.fetch_sub(1, Ordering::AcqRel) <= 0 {
-            return; // budget exhausted: degrade instead of flapping
-        }
-        shared.metrics.inc_respawned();
-        spawn_worker(&self.ctx);
-        // The replacement may have queued work waiting already.
-        shared.work_ready.notify_all();
+    if let Some(chaos) = &cfg.chaos {
+        chaos.validate()?;
     }
+    if let Some(golden) = &cfg.golden {
+        if golden.period == 0 {
+            return Err(ServeError::InvalidConfig(
+                "golden.period must be at least 1".into(),
+            ));
+        }
+        if golden.tolerance.is_nan() || golden.tolerance < 0.0 {
+            return Err(ServeError::InvalidConfig(
+                "golden.tolerance must be non-negative".into(),
+            ));
+        }
+    }
+    Ok(())
 }
 
-/// Spawns one worker thread over `ctx` and registers its handle for the
-/// shutdown drain. Returns whether the spawn succeeded.
-fn spawn_worker(ctx: &Arc<WorkerContext>) -> bool {
-    let id = ctx.shared.next_worker_id.fetch_add(1, Ordering::Relaxed);
-    let worker_ctx = Arc::clone(ctx);
-    let spawned = std::thread::Builder::new()
-        .name(format!("vedliot-serve-{id}"))
-        .spawn(move || {
-            let _guard = CrashGuard {
-                ctx: Arc::clone(&worker_ctx),
-            };
-            worker_loop(&worker_ctx);
-        });
-    match spawned {
-        Ok(handle) => {
-            ctx.shared
-                .handles
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner)
-                .push(handle);
-            true
-        }
-        Err(_) => false,
+/// Validating builder for [`ServeConfig`]; see [`ServeConfig::builder`].
+#[derive(Debug, Clone)]
+pub struct ServeConfigBuilder {
+    config: ServeConfig,
+}
+
+impl ServeConfigBuilder {
+    /// Sets the gateway-wide queue capacity.
+    #[must_use]
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.config.queue_capacity = capacity;
+        self
+    }
+
+    /// Sets the default model's worker count.
+    #[must_use]
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.config.workers = workers;
+        self
+    }
+
+    /// Sets the default model's batching policy.
+    #[must_use]
+    pub fn batch(mut self, batch: BatchPolicy) -> Self {
+        self.config.batch = batch;
+        self
+    }
+
+    /// Sets the gateway-wide intra-batch parallelism.
+    #[must_use]
+    pub fn parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.config.parallelism = parallelism;
+        self
+    }
+
+    /// Sets the gateway-wide resilience policy.
+    #[must_use]
+    pub fn resilience(mut self, resilience: ResilienceConfig) -> Self {
+        self.config.resilience = resilience;
+        self
+    }
+
+    /// Enables golden-copy output checking for the default model.
+    #[must_use]
+    pub fn golden(mut self, golden: GoldenPolicy) -> Self {
+        self.config.golden = Some(golden);
+        self
+    }
+
+    /// Arms a chaos fault plan for the default model.
+    #[must_use]
+    pub fn chaos(mut self, chaos: FaultPlan) -> Self {
+        self.config.chaos = Some(chaos);
+        self
+    }
+
+    /// Enables request-lifecycle tracing.
+    #[must_use]
+    pub fn trace(mut self, trace: TracePolicy) -> Self {
+        self.config.trace = Some(trace);
+        self
+    }
+
+    /// Sets the deadline floor (see [`ServeConfig::deadline_floor`]).
+    #[must_use]
+    pub fn deadline_floor(mut self, floor: Duration) -> Self {
+        self.config.deadline_floor = Some(floor);
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidConfig`] for a zero capacity, worker count
+    /// or batch bound, an out-of-range resilience/chaos/golden
+    /// parameter, or a `max_linger` above the deadline floor.
+    pub fn build(self) -> Result<ServeConfig, ServeError> {
+        self.config.validate()?;
+        Ok(self.config)
     }
 }
 
@@ -416,7 +355,7 @@ fn spawn_worker(ctx: &Arc<WorkerContext>) -> bool {
 #[must_use = "an unredeemed ticket discards the request's result"]
 #[derive(Debug)]
 pub struct Ticket {
-    rx: mpsc::Receiver<Result<Vec<Tensor>, ServeError>>,
+    pub(crate) rx: mpsc::Receiver<Result<Vec<Tensor>, ServeError>>,
 }
 
 impl Ticket {
@@ -450,28 +389,41 @@ impl Ticket {
     }
 }
 
-/// Batched model server.
+/// Multi-tenant batched model gateway.
 ///
 /// ```
-/// use std::time::Duration;
 /// use vedliot_nnir::{zoo, Shape, Tensor};
-/// use vedliot_serve::{ServeConfig, Server};
+/// use vedliot_serve::{Priority, ServeConfig, Server, SubmitRequest};
 ///
 /// let graph = zoo::tiny_cnn("demo", Shape::nchw(1, 1, 8, 8), &[4], 3).unwrap();
-/// let server = Server::start(&graph, ServeConfig::default()).unwrap();
+/// let config = ServeConfig::builder().build().unwrap();
+/// let server = Server::start(&graph, config).unwrap();
 /// let input = Tensor::random(Shape::nchw(1, 1, 8, 8), 7, 1.0);
-/// let ticket = server.submit(vec![input], None).unwrap();
+/// let ticket = server
+///     .submit_request(SubmitRequest::new(vec![input]).priority(Priority::High))
+///     .unwrap();
 /// let outputs = ticket.wait().unwrap();
 /// assert_eq!(outputs[0].shape(), &Shape::nf(1, 3));
 /// server.shutdown();
 /// ```
 pub struct Server {
-    shared: Arc<Shared>,
+    gateway: Arc<GatewayShared>,
+    /// Loaded pools in load order; the first entry is the default
+    /// model.
+    pools: RwLock<Vec<Arc<ModelPool>>>,
+    /// Final snapshots of unloaded pools — aggregate accounting
+    /// survives an unload.
+    retired: Mutex<Vec<MetricsSnapshot>>,
+    next_model_id: AtomicUsize,
+    parallelism: Parallelism,
+    resilience: ResilienceConfig,
+    deadline_floor: Option<Duration>,
+    shutting_down: AtomicBool,
 }
 
 impl Server {
-    /// Compiles `graph` for batch sizes `1..=max_batch` and spawns the
-    /// worker pool.
+    /// Boots the gateway and loads `graph` as the `"default"` model
+    /// (compiled for batch sizes `1..=max_batch`, workers spawned).
     ///
     /// When a chaos plan requests weight bit flips, the flips corrupt
     /// the *deployed* batch-compiled graphs only; the golden copy held
@@ -486,602 +438,304 @@ impl Server {
     /// rewriting.
     pub fn start(graph: &Graph, config: ServeConfig) -> Result<Self, ServeError> {
         config.validate()?;
-        graph.validate()?;
-        // One graph per admissible batch size. Workers build their
-        // runners against these; index k-1 serves batches of k.
-        let mut graphs = Vec::with_capacity(config.batch.max_batch);
-        for k in 1..=config.batch.max_batch {
-            graphs.push(graph.with_batch(k)?);
-        }
-        // The golden copy is cloned before chaos corrupts the deployed
-        // graphs: it is the uncorrupted reference of §IV-B.
-        let golden = match &config.golden {
-            Some(policy) => {
-                if graph.inputs().len() != 1 || graph.outputs().len() != 1 {
-                    return Err(ServeError::InvalidConfig(
-                        "golden checking requires a single-input single-output model".into(),
-                    ));
-                }
-                Some(Mutex::new(RobustnessService::new(
-                    graph.with_batch(1)?,
-                    policy.period,
-                    policy.tolerance,
-                )))
-            }
-            None => None,
-        };
-        if let Some(plan) = &config.chaos {
-            if plan.weight_bit_flips > 0 {
-                // Same seed on every batch variant: the weight tensors
-                // are structurally identical, so the same logical bits
-                // flip in each and batching stays output-consistent.
-                for g in &mut graphs {
-                    vedliot_safety::inject::flip_weight_bits(g, plan.weight_bit_flips, plan.seed)?;
-                }
-            }
-        }
-        let input_shapes: Vec<Shape> = graphs[0]
-            .inputs()
-            .iter()
-            .map(|&id| {
-                graphs[0]
-                    .tensor_shape(id)
-                    .expect("validated graph has input shapes")
-                    .clone()
-            })
-            .collect();
-        let shared = Arc::new(Shared {
-            state: Mutex::new(QueueState {
-                queue: VecDeque::new(),
-                shutting_down: false,
-            }),
-            work_ready: Condvar::new(),
-            metrics: Metrics::default(),
-            input_shapes,
-            policy: config.batch,
+        let gateway = Arc::new(GatewayShared {
+            total_queued: AtomicUsize::new(0),
             queue_capacity: config.queue_capacity,
-            resilience: config.resilience,
-            chaos: config.chaos.map(ChaosState::new),
+            total_weight: AtomicU64::new(0),
             trace: config.trace.map(|t| TraceRing::new(t.capacity)),
             epoch: Instant::now(),
-            golden,
-            golden_repair: config.golden.is_some_and(|g| g.repair),
-            next_seq: AtomicU64::new(0),
-            respawns_left: AtomicI64::new(i64::from(config.resilience.respawn_budget)),
-            next_worker_id: AtomicUsize::new(0),
-            handles: Mutex::new(Vec::new()),
         });
-        let ctx = Arc::new(WorkerContext {
-            shared: Arc::clone(&shared),
-            graphs: Arc::new(graphs),
+        let server = Server {
+            gateway,
+            pools: RwLock::new(Vec::new()),
+            retired: Mutex::new(Vec::new()),
+            next_model_id: AtomicUsize::new(0),
             parallelism: config.parallelism,
-        });
-        for _ in 0..config.workers {
-            assert!(spawn_worker(&ctx), "spawn serve worker");
-        }
-        Ok(Server { shared })
+            resilience: config.resilience,
+            deadline_floor: config.deadline_floor,
+            shutting_down: AtomicBool::new(false),
+        };
+        server.load(DEFAULT_MODEL, graph, config.default_model_config())?;
+        Ok(server)
     }
 
-    /// Submits one single-sample request (one tensor per graph input,
-    /// batch dimension 1) with an optional execution deadline.
-    ///
-    /// Returns immediately with a [`Ticket`]; the request is answered
-    /// by a worker, batched with whatever else is queued.
+    /// Loads `graph` under `key` as a new tenant: compiles its batch
+    /// variants, spawns its pool and registers it for routing. Hot:
+    /// traffic to other models is never paused.
     ///
     /// # Errors
     ///
+    /// [`ServeError::InvalidConfig`] for an invalid model config or a
+    /// key that is already loaded; [`ServeError::ShuttingDown`] once
+    /// shutdown began; [`ServeError::Execution`] if the graph fails
+    /// validation or batch rewriting.
+    pub fn load(&self, key: &str, graph: &Graph, cfg: ModelConfig) -> Result<(), ServeError> {
+        if self.shutting_down.load(Ordering::Acquire) {
+            return Err(ServeError::ShuttingDown);
+        }
+        validate_model_config(&cfg, self.deadline_floor)?;
+        let mut pools = self.pools.write().unwrap_or_else(PoisonError::into_inner);
+        if pools.iter().any(|p| p.key == key) {
+            return Err(ServeError::InvalidConfig(format!(
+                "model '{key}' is already loaded"
+            )));
+        }
+        let id = self.next_model_id.fetch_add(1, Ordering::Relaxed);
+        let pool = ModelPool::start(
+            key,
+            id as u16,
+            graph,
+            &cfg,
+            self.parallelism,
+            self.resilience,
+            Arc::clone(&self.gateway),
+        )?;
+        self.gateway
+            .total_weight
+            .fetch_add(u64::from(cfg.weight), Ordering::Relaxed);
+        pools.push(pool);
+        Ok(())
+    }
+
+    /// Unloads the model registered under `key`: new submissions to it
+    /// are refused immediately ([`ServeError::UnknownModel`]), queued
+    /// requests drain with typed replies, its workers are joined, and
+    /// its final statistics are returned (and folded into the gateway
+    /// aggregate forever). If the default model is unloaded, the next
+    /// still-loaded model (in load order) becomes the default.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownModel`] if no such model is loaded.
+    pub fn unload(&self, key: &str) -> Result<MetricsSnapshot, ServeError> {
+        let pool = {
+            let mut pools = self.pools.write().unwrap_or_else(PoisonError::into_inner);
+            let idx = pools.iter().position(|p| p.key == key).ok_or_else(|| {
+                ServeError::UnknownModel {
+                    model: key.to_string(),
+                }
+            })?;
+            pools.remove(idx)
+        };
+        pool.begin_shutdown();
+        pool.join_workers();
+        self.gateway
+            .total_weight
+            .fetch_sub(u64::from(pool.weight), Ordering::Relaxed);
+        let snapshot = pool.snapshot();
+        self.retired
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(snapshot.clone());
+        Ok(snapshot)
+    }
+
+    /// Keys of the currently loaded models, in load order (the first is
+    /// the default).
+    #[must_use]
+    pub fn models(&self) -> Vec<String> {
+        self.pools
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .map(|p| p.key.clone())
+            .collect()
+    }
+
+    /// Submits one typed request (one single-sample tensor per graph
+    /// input). Returns immediately with a [`Ticket`]; the request is
+    /// answered by its model's pool, batched with whatever else that
+    /// pool has queued — never with another model's requests.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownModel`] for an unloaded model key,
     /// [`ServeError::InvalidInput`] on an input-signature mismatch,
-    /// [`ServeError::Rejected`] when the queue is full — or, while
-    /// [`Health::Degraded`], when it is fuller than the load-shedding
-    /// bound — and [`ServeError::ShuttingDown`] after
-    /// [`Server::shutdown`] began.
+    /// [`ServeError::Rejected`] when the gateway queue is full,
+    /// [`ServeError::QuotaExceeded`] when the model's queue share is
+    /// exhausted, [`ServeError::ShedLowPriority`] when degraded
+    /// admission sheds the request, and [`ServeError::ShuttingDown`]
+    /// after [`Server::shutdown`] began. (The quota/capacity refusals
+    /// apply only when no strictly-lower-priority request could be
+    /// displaced instead.)
+    pub fn submit_request(&self, request: SubmitRequest) -> Result<Ticket, ServeError> {
+        let pool = {
+            let pools = self.pools.read().unwrap_or_else(PoisonError::into_inner);
+            let found = match &request.model {
+                Some(key) => pools.iter().find(|p| &p.key == key),
+                None => pools.first(),
+            };
+            match found {
+                Some(pool) => Arc::clone(pool),
+                None => {
+                    return Err(ServeError::UnknownModel {
+                        model: request.model.unwrap_or_else(|| DEFAULT_MODEL.to_string()),
+                    })
+                }
+            }
+        };
+        pool.submit(request.inputs, request.priority, request.deadline)
+    }
+
+    /// Submits one single-sample request to the default model at
+    /// [`Priority::Normal`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Server::submit_request`].
+    #[deprecated(
+        note = "use submit_request(SubmitRequest::new(inputs).deadline(..)) — \
+                the typed builder also selects the model and priority class"
+    )]
     pub fn submit(
         &self,
         inputs: Vec<Tensor>,
         deadline: Option<Instant>,
     ) -> Result<Ticket, ServeError> {
-        self.shared.metrics.inc_submitted();
-        if inputs.len() != self.shared.input_shapes.len() {
-            self.shared.metrics.inc_rejected();
-            return Err(ServeError::InvalidInput(format!(
-                "expected {} input tensors, got {}",
-                self.shared.input_shapes.len(),
-                inputs.len()
-            )));
+        let mut request = SubmitRequest::new(inputs);
+        if let Some(d) = deadline {
+            request = request.deadline(d);
         }
-        for (tensor, expected) in inputs.iter().zip(&self.shared.input_shapes) {
-            if tensor.shape() != expected {
-                self.shared.metrics.inc_rejected();
-                return Err(ServeError::InvalidInput(format!(
-                    "input shape {:?} does not match single-sample signature {:?}",
-                    tensor.shape(),
-                    expected
-                )));
-            }
-        }
-        let (tx, rx) = mpsc::channel();
-        {
-            let mut state = self.shared.lock_state();
-            if state.shutting_down {
-                self.shared.metrics.inc_rejected();
-                return Err(ServeError::ShuttingDown);
-            }
-            let bound = self.shared.effective_capacity(state.queue.len());
-            if state.queue.len() >= bound {
-                self.shared.metrics.inc_rejected();
-                return Err(ServeError::Rejected { capacity: bound });
-            }
-            let seq = self.shared.next_seq.fetch_add(1, Ordering::Relaxed) + 1;
-            state.queue.push_back(Request {
-                seq,
-                inputs,
-                deadline,
-                enqueued_at: Instant::now(),
-                span: SpanScratch::default(),
-                reply: tx,
-            });
-            self.shared.metrics.queue_pushed();
-        }
-        self.shared.work_ready.notify_one();
-        Ok(Ticket { rx })
+        self.submit_request(request)
     }
 
-    /// Current serving statistics.
+    /// Gateway-wide serving statistics: every live pool's counters plus
+    /// the retained final snapshots of unloaded models, merged. The
+    /// accounting partition (`accounted_for`) holds for the aggregate
+    /// exactly as for each pool.
     #[must_use]
     pub fn metrics(&self) -> MetricsSnapshot {
-        self.shared.metrics.snapshot()
+        let mut aggregate = MetricsSnapshot::empty();
+        for snapshot in self
+            .retired
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+        {
+            aggregate.merge(snapshot);
+        }
+        for pool in self
+            .pools
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+        {
+            aggregate.merge(&pool.snapshot());
+        }
+        aggregate
     }
 
-    /// The request-lifecycle spans currently held in the trace ring,
-    /// oldest first. Empty unless [`ServeConfig::trace`] was set. A
-    /// span is recorded immediately *before* its reply is sent, so a
-    /// request whose ticket has been redeemed is guaranteed visible
-    /// here (until the ring overwrites it).
+    /// One model's current statistics.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownModel`] if no such model is loaded.
+    pub fn model_metrics(&self, key: &str) -> Result<MetricsSnapshot, ServeError> {
+        self.with_pool(key, super::pool::ModelPool::snapshot)
+    }
+
+    /// The request-lifecycle spans currently held in the shared trace
+    /// ring, oldest first — all models interleaved; the span's `model`
+    /// field is the model's load-order id. Empty unless
+    /// [`ServeConfig::trace`] was set. A span is recorded immediately
+    /// *before* its reply is sent, so a request whose ticket has been
+    /// redeemed is guaranteed visible here (until the ring overwrites
+    /// it).
     #[must_use]
     pub fn trace_spans(&self) -> Vec<SpanRecord> {
-        self.shared
+        self.gateway
             .trace
             .as_ref()
             .map(TraceRing::snapshot)
             .unwrap_or_default()
     }
 
-    /// Current health state: [`Health::Draining`] once shutdown began,
-    /// [`Health::Degraded`] when the worker-crash count or queue depth
-    /// crossed its configured threshold, [`Health::Serving`] otherwise.
+    /// Gateway health: [`Health::Draining`] once shutdown began,
+    /// [`Health::Degraded`] when *any* loaded pool is degraded,
+    /// [`Health::Serving`] otherwise.
     #[must_use]
     pub fn health(&self) -> Health {
-        let (shutting_down, depth) = {
-            let state = self.shared.lock_state();
-            (state.shutting_down, state.queue.len())
-        };
-        if shutting_down {
-            Health::Draining
-        } else if self.shared.degraded(depth) {
+        if self.shutting_down.load(Ordering::Acquire) {
+            return Health::Draining;
+        }
+        let pools = self.pools.read().unwrap_or_else(PoisonError::into_inner);
+        if pools.iter().any(|p| p.health() == Health::Degraded) {
             Health::Degraded
         } else {
             Health::Serving
         }
     }
 
-    /// Graceful shutdown: refuses new submissions, drains every queued
-    /// request (each still gets a typed reply), joins the workers —
-    /// including any the supervisor respawned — and returns the final
-    /// statistics.
+    /// One model's health.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownModel`] if no such model is loaded.
+    pub fn model_health(&self, key: &str) -> Result<Health, ServeError> {
+        self.with_pool(key, ModelPool::health)
+    }
+
+    /// Graceful shutdown: refuses new submissions, drains every pool's
+    /// queued requests (each still gets a typed reply), joins all
+    /// workers — including any the supervisors respawned — and returns
+    /// the final gateway-wide statistics.
     pub fn shutdown(self) -> MetricsSnapshot {
         self.begin_shutdown();
         self.join_workers();
-        self.shared.metrics.snapshot()
+        self.metrics()
     }
 
-    fn begin_shutdown(&self) {
-        let mut state = self.shared.lock_state();
-        state.shutting_down = true;
-        drop(state);
-        self.shared.work_ready.notify_all();
-    }
-
-    /// Joins every worker handle. The lock is released around each
-    /// join: a crashing worker's guard pushes its replacement's handle
-    /// before the crashed thread exits, so re-checking until the vector
-    /// is empty observes every respawn.
-    fn join_workers(&self) {
-        loop {
-            let handle = self
-                .shared
-                .handles
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner)
-                .pop();
-            match handle {
-                Some(h) => {
-                    let _ = h.join();
-                }
-                None => break,
-            }
+    pub(crate) fn begin_shutdown(&self) {
+        self.shutting_down.store(true, Ordering::Release);
+        let pools = self.live_pools();
+        for pool in &pools {
+            pool.begin_shutdown();
         }
+    }
+
+    fn join_workers(&self) {
+        let pools = self.live_pools();
+        for pool in &pools {
+            pool.join_workers();
+        }
+    }
+
+    fn live_pools(&self) -> Vec<Arc<ModelPool>> {
+        self.pools
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .map(Arc::clone)
+            .collect()
+    }
+
+    fn with_pool<T>(&self, key: &str, f: impl FnOnce(&ModelPool) -> T) -> Result<T, ServeError> {
+        let pools = self.pools.read().unwrap_or_else(PoisonError::into_inner);
+        pools
+            .iter()
+            .find(|p| p.key == key)
+            .map(|p| f(p))
+            .ok_or_else(|| ServeError::UnknownModel {
+                model: key.to_string(),
+            })
     }
 }
 
 impl Drop for Server {
     fn drop(&mut self) {
-        // `shutdown` already drained the handles; a plain drop still
-        // stops and joins the pool so no thread outlives the server.
+        // `shutdown` already drained the pools; a plain drop still
+        // stops and joins them so no thread outlives the server.
         self.begin_shutdown();
         self.join_workers();
-    }
-}
-
-/// Replies to every queued request whose deadline has already expired
-/// and drops it from the queue. Returns how many were purged.
-///
-/// `trace` carries the span ring and the server epoch; a request purged
-/// here never executed, so its span collapses every post-queue stage to
-/// the purge instant (queue-wait accounts for its whole lifetime).
-fn purge_expired(
-    state: &mut QueueState,
-    metrics: &Metrics,
-    trace: Option<(&TraceRing, Instant)>,
-    now: Instant,
-) -> usize {
-    let before = state.queue.len();
-    // VecDeque has no retain-with-side-effect order guarantee problem
-    // here: replies are independent, order is irrelevant.
-    state.queue.retain(|req| {
-        let expired = req.deadline.is_some_and(|d| now >= d);
-        if expired {
-            metrics.inc_timed_out();
-            if let Some((ring, epoch)) = trace {
-                let t = us_since(epoch, now);
-                ring.record(&SpanRecord {
-                    seq: req.seq,
-                    enqueue_us: us_since(epoch, req.enqueued_at),
-                    dequeue_us: t,
-                    exec_start_us: t,
-                    exec_end_us: t,
-                    reply_us: t,
-                    linger_us: 0,
-                    batch: 0,
-                    retries: 0,
-                    outcome: SpanOutcome::TimedOut,
-                });
-            }
-            let _ = req.reply.send(Err(ServeError::DeadlineExceeded));
-        }
-        !expired
-    });
-    let purged = before - state.queue.len();
-    metrics.queue_popped(purged as u64);
-    purged
-}
-
-/// Worker body: form a batch under the lock, execute it outside.
-fn worker_loop(ctx: &WorkerContext) {
-    let shared = &*ctx.shared;
-    // Runners are built once and reused for the worker's lifetime, so
-    // every batch after the first hits warm arenas and cached weights.
-    let mut runners: Vec<Runner<'_>> = ctx
-        .graphs
-        .iter()
-        .map(|g| {
-            Runner::builder()
-                .parallelism(ctx.parallelism)
-                .build(g)
-                .expect("batch graph was verified at Server::start")
-        })
-        .collect();
-    loop {
-        // Chaos hard kill: strictly before the lock is taken and while
-        // no requests are held, so a dying worker cannot poison the
-        // queue or lose a batch — only supervision is exercised.
-        if let Some(chaos) = &shared.chaos {
-            if chaos.kill_now() {
-                panic!("chaos: worker killed at wakeup");
-            }
-        }
-        let batch = {
-            let mut state = shared.lock_state();
-            loop {
-                let now = Instant::now();
-                let trace = shared.trace.as_ref().map(|r| (r, shared.epoch));
-                purge_expired(&mut state, &shared.metrics, trace, now);
-                if let Some(oldest) = state.queue.front() {
-                    let full = state.queue.len() >= shared.policy.max_batch;
-                    let linger_until = oldest.enqueued_at + shared.policy.max_linger;
-                    if full || state.shutting_down || now >= linger_until {
-                        let take = state.queue.len().min(shared.policy.max_batch);
-                        let mut batch = state.queue.drain(..take).collect::<Vec<_>>();
-                        shared.metrics.queue_popped(take as u64);
-                        shared.metrics.inflight_add(take as u64);
-                        if shared.trace.is_some() {
-                            // Stamp the dequeue and attribute the part
-                            // of the wait the batcher *chose* (up to
-                            // max_linger) to the linger stage.
-                            let dequeue_us = us_since(shared.epoch, now);
-                            for req in &mut batch {
-                                req.span.dequeue_us = dequeue_us;
-                                req.span.linger_us =
-                                    now.saturating_duration_since(req.enqueued_at)
-                                        .min(shared.policy.max_linger)
-                                        .as_micros() as u64;
-                                req.span.batch = take as u32;
-                            }
-                        }
-                        break batch;
-                    }
-                    // Wait for companions, a shutdown, or the linger
-                    // window to elapse — whichever comes first.
-                    let (s, _) = shared
-                        .work_ready
-                        .wait_timeout(state, linger_until - now)
-                        .unwrap_or_else(PoisonError::into_inner);
-                    state = s;
-                } else if state.shutting_down {
-                    return;
-                } else {
-                    state = shared
-                        .work_ready
-                        .wait(state)
-                        .unwrap_or_else(PoisonError::into_inner);
-                }
-            }
-        };
-        let salt = splitmix64(batch.first().map_or(0, |r| r.seq));
-        run_batch(ctx, &mut runners, batch, false, salt);
-    }
-}
-
-/// Runs one formed batch through the resilience layers: retry transient
-/// failures under the backoff policy, send deterministic failures to
-/// quarantine bisection, reply to every request exactly once.
-///
-/// `quarantining` marks that this (sub-)batch is part of a bisection:
-/// a single request failing deterministically there is the isolated
-/// poison and fails as [`ServeError::Quarantined`].
-fn run_batch(
-    ctx: &WorkerContext,
-    runners: &mut [Runner<'_>],
-    mut batch: Vec<Request>,
-    quarantining: bool,
-    salt: u64,
-) {
-    let shared = &*ctx.shared;
-    let policy: RetryPolicy = shared.resilience.retry;
-    let mut attempt = 0u32;
-    loop {
-        attempt += 1;
-        if shared.trace.is_some() {
-            // Stamp the first attempt's start; retries and bisection
-            // sub-batches keep the original start so the execute stage
-            // covers the request's whole time on a runner.
-            let now_us = us_since(shared.epoch, Instant::now());
-            for req in &mut batch {
-                if !req.span.started {
-                    req.span.exec_start_us = now_us;
-                    req.span.started = true;
-                }
-            }
-        }
-        let result = attempt_execute(ctx, runners, &batch);
-        if shared.trace.is_some() {
-            let now_us = us_since(shared.epoch, Instant::now());
-            for req in &mut batch {
-                req.span.exec_end_us = now_us;
-            }
-        }
-        let error = match result {
-            Ok(rows) => {
-                reply_ok(ctx, batch, rows);
-                return;
-            }
-            Err(e) => e,
-        };
-        if error.class().is_transient() && attempt < policy.max_attempts {
-            shared.metrics.inc_retry();
-            for req in &mut batch {
-                req.span.retries += 1;
-            }
-            // Respect remaining deadlines: purge what already expired,
-            // and never sleep past the earliest deadline still in the
-            // batch.
-            purge_batch_expired(&mut batch, shared);
-            if batch.is_empty() {
-                return;
-            }
-            let mut delay = policy.backoff(attempt, salt);
-            if let Some(earliest) = batch.iter().filter_map(|r| r.deadline).min() {
-                delay = delay.min(earliest.saturating_duration_since(Instant::now()));
-            }
-            if !delay.is_zero() {
-                std::thread::sleep(delay);
-            }
-            purge_batch_expired(&mut batch, shared);
-            if batch.is_empty() {
-                return;
-            }
-            continue;
-        }
-        if !error.class().is_transient() && shared.resilience.quarantine {
-            if batch.len() > 1 {
-                // Bisect: the poisoned request is in one half; the
-                // other half (and the poisoned half's innocent
-                // remainder, recursively) still gets served.
-                let right = batch.split_off(batch.len() / 2);
-                run_batch(ctx, runners, batch, true, splitmix64(salt ^ 1));
-                run_batch(ctx, runners, right, true, splitmix64(salt ^ 2));
-                return;
-            }
-            if quarantining {
-                // Bisection bottomed out: this request is the poison.
-                shared.metrics.add_quarantined(batch.len() as u64);
-                shared.metrics.inflight_sub(batch.len() as u64);
-                let replied = Instant::now();
-                for req in batch {
-                    emit_span(shared, &req, SpanOutcome::Quarantined, replied);
-                    let _ = req.reply.send(Err(ServeError::Quarantined {
-                        detail: error.to_string(),
-                    }));
-                }
-                return;
-            }
-        }
-        fail_batch(batch, shared, &error);
-        return;
-    }
-}
-
-/// One execution attempt: chaos hooks, the panic-isolation boundary,
-/// and the batched forward pass. Returns per-request output rows.
-fn attempt_execute(
-    ctx: &WorkerContext,
-    runners: &mut [Runner<'_>],
-    batch: &[Request],
-) -> Result<Vec<Vec<Tensor>>, ServeError> {
-    let shared = &*ctx.shared;
-    if let Some(chaos) = &shared.chaos {
-        // A poisoned request fails any batch containing it, the same
-        // deterministic way every time — the quarantine target.
-        if let Some(req) = batch.iter().find(|r| chaos.poisoned(r.seq)) {
-            return Err(ServeError::Execution(NnirError::ExecutionFailure(format!(
-                "chaos: poisoned request #{}",
-                req.seq
-            ))));
-        }
-    }
-    let guarded = std::panic::catch_unwind(AssertUnwindSafe(|| {
-        if let Some(chaos) = &shared.chaos {
-            if chaos.panic_now() {
-                panic!("chaos: injected worker panic");
-            }
-        }
-        execute_core(runners, batch)
-    }));
-    match guarded {
-        Ok(result) => result,
-        Err(payload) => {
-            if shared.resilience.isolate_panics {
-                shared.metrics.inc_panic_absorbed();
-                Err(ServeError::WorkerCrashed {
-                    detail: panic_detail(payload.as_ref()),
-                })
-            } else {
-                // Baseline behaviour: the panic kills the worker (and
-                // silently takes the batch with it — the failure mode
-                // this module exists to remove).
-                std::panic::resume_unwind(payload);
-            }
-        }
-    }
-}
-
-/// Best-effort stringification of a panic payload.
-fn panic_detail(payload: &(dyn Any + Send)) -> String {
-    payload
-        .downcast_ref::<&str>()
-        .map(|s| (*s).to_string())
-        .or_else(|| payload.downcast_ref::<String>().cloned())
-        .unwrap_or_else(|| "non-string panic payload".into())
-}
-
-/// Coalesce → execute → split back into per-request output rows.
-fn execute_core(
-    runners: &mut [Runner<'_>],
-    batch: &[Request],
-) -> Result<Vec<Vec<Tensor>>, ServeError> {
-    let n = batch.len();
-    debug_assert!(n >= 1 && n <= runners.len());
-    if n == 1 {
-        let out = runners[0].execute(&batch[0].inputs, RunOptions::default())?;
-        return Ok(vec![out.into_outputs()]);
-    }
-    // Coalesce along axis 0: input position i of the batched run is
-    // the concatenation of every request's tensor i, in queue order.
-    let coalesced = (0..batch[0].inputs.len())
-        .map(|i| {
-            let rows: Vec<Tensor> = batch.iter().map(|req| req.inputs[i].clone()).collect();
-            Tensor::concat_batch(&rows)
-        })
-        .collect::<Result<Vec<_>, _>>()?;
-    let out = runners[n - 1].execute(&coalesced, RunOptions::default())?;
-    // Split every output back into per-request rows; row j belongs to
-    // request j because concat preserved queue order.
-    let per_output_rows: Vec<Vec<Tensor>> = out
-        .outputs()
-        .iter()
-        .map(Tensor::split_batch)
-        .collect::<Result<Vec<_>, _>>()?;
-    Ok((0..n)
-        .map(|j| per_output_rows.iter().map(|rows| rows[j].clone()).collect())
-        .collect())
-}
-
-/// Answers every request in a successful batch, running sampled golden
-/// checks (and repairs) first.
-fn reply_ok(ctx: &WorkerContext, batch: Vec<Request>, mut rows: Vec<Vec<Tensor>>) {
-    let shared = &*ctx.shared;
-    let completed = Instant::now();
-    if let Some(service) = &shared.golden {
-        let mut service = service.lock().unwrap_or_else(PoisonError::into_inner);
-        for (req, outputs) in batch.iter().zip(rows.iter_mut()) {
-            // The golden check is an observer: its own failure must
-            // never fail a request that executed successfully.
-            if let Ok(check) = service.check(&req.inputs[0], &outputs[0]) {
-                if matches!(check.verdict, OutputVerdict::Diverged { .. }) {
-                    shared.metrics.inc_golden_mismatch();
-                    if shared.golden_repair {
-                        if let Some(golden) = check.golden {
-                            outputs[0] = golden;
-                        }
-                    }
-                }
-            }
-        }
-    }
-    shared.metrics.record_batch(batch.len() as u64);
-    shared.metrics.inflight_sub(batch.len() as u64);
-    for (req, outputs) in batch.into_iter().zip(rows) {
-        let micros = completed.duration_since(req.enqueued_at).as_micros() as u64;
-        shared.metrics.record_latency(micros);
-        // The golden check above ran between exec-end and `completed`,
-        // so its cost lands in the span's reply stage.
-        emit_span(shared, &req, SpanOutcome::Ok, completed);
-        let _ = req.reply.send(Ok(outputs));
-    }
-}
-
-/// Replies `DeadlineExceeded` to every request in the batch whose
-/// deadline has passed and removes it (mid-retry counterpart of
-/// [`purge_expired`]; these requests *did* dequeue and execute, so
-/// their spans keep the real stage timestamps).
-fn purge_batch_expired(batch: &mut Vec<Request>, shared: &Shared) {
-    let now = Instant::now();
-    batch.retain(|req| {
-        let expired = req.deadline.is_some_and(|d| now >= d);
-        if expired {
-            shared.metrics.inc_timed_out();
-            shared.metrics.inflight_sub(1);
-            emit_span(shared, req, SpanOutcome::TimedOut, now);
-            let _ = req.reply.send(Err(ServeError::DeadlineExceeded));
-        }
-        !expired
-    });
-}
-
-/// Answers every request in a failed batch with the same typed error.
-fn fail_batch(batch: Vec<Request>, shared: &Shared, error: &ServeError) {
-    shared.metrics.add_failed(batch.len() as u64);
-    shared.metrics.inflight_sub(batch.len() as u64);
-    let replied = Instant::now();
-    for req in batch {
-        emit_span(shared, &req, SpanOutcome::Failed, replied);
-        let _ = req.reply.send(Err(error.clone()));
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::resilience::Health;
     use vedliot_nnir::zoo;
+    use vedliot_nnir::Shape;
 
     fn demo_graph() -> Graph {
         zoo::tiny_cnn("serve-test", Shape::nchw(1, 1, 8, 8), &[4], 3).unwrap()
@@ -1092,27 +746,46 @@ mod tests {
     }
 
     #[test]
-    fn zero_capacity_config_is_rejected() {
-        let cfg = ServeConfig {
-            queue_capacity: 0,
-            ..ServeConfig::default()
-        };
+    fn builder_rejects_zero_capacity_and_workers() {
         assert!(matches!(
-            Server::start(&demo_graph(), cfg),
+            ServeConfig::builder().queue_capacity(0).build(),
+            Err(ServeError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            ServeConfig::builder().workers(0).build(),
+            Err(ServeError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            ServeConfig::builder()
+                .batch(BatchPolicy {
+                    max_batch: 0,
+                    max_linger: Duration::ZERO,
+                })
+                .build(),
             Err(ServeError::InvalidConfig(_))
         ));
     }
 
     #[test]
-    fn zero_workers_config_is_rejected() {
-        let cfg = ServeConfig {
-            workers: 0,
-            ..ServeConfig::default()
-        };
-        assert!(matches!(
-            Server::start(&demo_graph(), cfg),
-            Err(ServeError::InvalidConfig(_))
-        ));
+    fn builder_rejects_linger_above_the_deadline_floor() {
+        let err = ServeConfig::builder()
+            .batch(BatchPolicy {
+                max_batch: 8,
+                max_linger: Duration::from_millis(10),
+            })
+            .deadline_floor(Duration::from_millis(5))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ServeError::InvalidConfig(msg) if msg.contains("deadline floor")));
+        // At the floor exactly is fine.
+        assert!(ServeConfig::builder()
+            .batch(BatchPolicy {
+                max_batch: 8,
+                max_linger: Duration::from_millis(5),
+            })
+            .deadline_floor(Duration::from_millis(5))
+            .build()
+            .is_ok());
     }
 
     #[test]
@@ -1131,7 +804,7 @@ mod tests {
     }
 
     #[test]
-    fn golden_policy_requires_single_io_model() {
+    fn zero_golden_period_is_rejected() {
         let cfg = ServeConfig {
             golden: Some(GoldenPolicy {
                 period: 0,
@@ -1146,22 +819,17 @@ mod tests {
     }
 
     #[test]
-    fn wrong_input_arity_is_typed_invalid_input() {
+    fn wrong_input_arity_and_shape_are_typed_invalid_input() {
         let server = Server::start(&demo_graph(), ServeConfig::default()).unwrap();
-        let err = server.submit(vec![], None).unwrap_err();
-        assert!(matches!(err, ServeError::InvalidInput(_)));
         let err = server
-            .submit(vec![demo_input(1), demo_input(2)], None)
+            .submit_request(SubmitRequest::new(vec![]))
             .unwrap_err();
         assert!(matches!(err, ServeError::InvalidInput(_)));
-    }
-
-    #[test]
-    fn wrong_input_shape_is_typed_invalid_input() {
-        let server = Server::start(&demo_graph(), ServeConfig::default()).unwrap();
         let bad = Tensor::random(Shape::nchw(1, 1, 4, 4), 3, 1.0);
         assert!(matches!(
-            server.submit(vec![bad], None).unwrap_err(),
+            server
+                .submit_request(SubmitRequest::new(vec![bad]))
+                .unwrap_err(),
             ServeError::InvalidInput(_)
         ));
     }
@@ -1170,8 +838,9 @@ mod tests {
     fn single_request_round_trips() {
         let server = Server::start(&demo_graph(), ServeConfig::default()).unwrap();
         assert_eq!(server.health(), Health::Serving);
+        assert_eq!(server.models(), vec![DEFAULT_MODEL.to_string()]);
         let out = server
-            .submit(vec![demo_input(11)], None)
+            .submit_request(SubmitRequest::new(vec![demo_input(11)]))
             .unwrap()
             .wait()
             .unwrap();
@@ -1179,6 +848,22 @@ mod tests {
         assert_eq!(out[0].shape(), &Shape::nf(1, 3));
         let m = server.shutdown();
         assert_eq!(m.served, 1);
+        assert_eq!(m.served_by_priority, [0, 1, 0]);
+        assert!(m.accounted_for());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_submit_routes_to_default_at_normal() {
+        let server = Server::start(&demo_graph(), ServeConfig::default()).unwrap();
+        let out = server
+            .submit(vec![demo_input(5)], None)
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(out[0].shape(), &Shape::nf(1, 3));
+        let m = server.shutdown();
+        assert_eq!(m.submitted_by_priority, [0, 1, 0]);
         assert!(m.accounted_for());
     }
 
@@ -1188,39 +873,107 @@ mod tests {
         server.begin_shutdown();
         assert_eq!(server.health(), Health::Draining);
         assert_eq!(
-            server.submit(vec![demo_input(1)], None).unwrap_err(),
+            server
+                .submit_request(SubmitRequest::new(vec![demo_input(1)]))
+                .unwrap_err(),
             ServeError::ShuttingDown
+        );
+        assert_eq!(
+            server.load("late", &demo_graph(), ModelConfig::default()),
+            Err(ServeError::ShuttingDown)
         );
     }
 
     #[test]
-    fn purge_expired_replies_and_counts() {
-        let metrics = Metrics::default();
-        let (tx, rx) = mpsc::channel();
-        let now = Instant::now();
-        let mut state = QueueState {
-            queue: VecDeque::new(),
-            shutting_down: false,
-        };
-        state.queue.push_back(Request {
-            seq: 1,
-            inputs: vec![],
-            deadline: Some(now - Duration::from_millis(1)),
-            enqueued_at: now,
-            span: SpanScratch::default(),
-            reply: tx,
-        });
-        assert_eq!(purge_expired(&mut state, &metrics, None, now), 1);
-        assert!(state.queue.is_empty());
-        assert_eq!(rx.recv().unwrap(), Err(ServeError::DeadlineExceeded));
-        assert_eq!(metrics.snapshot().timed_out, 1);
+    fn unknown_model_is_a_typed_refusal() {
+        let server = Server::start(&demo_graph(), ServeConfig::default()).unwrap();
+        let err = server
+            .submit_request(SubmitRequest::new(vec![demo_input(1)]).model("missing"))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ServeError::UnknownModel {
+                model: "missing".into()
+            }
+        );
+        assert!(server.model_metrics("missing").is_err());
+        assert!(server.model_health("missing").is_err());
+        server.shutdown();
     }
 
     #[test]
-    fn degraded_crash_threshold_sheds_load() {
+    fn load_routes_and_unload_drains() {
+        let server = Server::start(&demo_graph(), ServeConfig::default()).unwrap();
+        // Second tenant with a distinct class count so routing is
+        // observable in the output shape.
+        let other = zoo::tiny_cnn("other", Shape::nchw(1, 1, 8, 8), &[4], 5).unwrap();
+        server
+            .load("other", &other, ModelConfig::default().weight(3))
+            .unwrap();
+        assert_eq!(server.models(), vec!["default".to_string(), "other".into()]);
+        // Duplicate keys are refused.
+        assert!(matches!(
+            server.load("other", &other, ModelConfig::default()),
+            Err(ServeError::InvalidConfig(_))
+        ));
+        let out = server
+            .submit_request(SubmitRequest::new(vec![demo_input(2)]).model("other"))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(out[0].shape(), &Shape::nf(1, 5), "routed to 'other'");
+        let out = server
+            .submit_request(SubmitRequest::new(vec![demo_input(3)]))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(out[0].shape(), &Shape::nf(1, 3), "default still default");
+        // Unload returns the tenant's final accounting and folds it
+        // into the aggregate.
+        let final_other = server.unload("other").unwrap();
+        assert_eq!(final_other.served, 1);
+        assert!(final_other.accounted_for());
+        assert_eq!(server.models(), vec!["default".to_string()]);
+        assert_eq!(
+            server
+                .submit_request(SubmitRequest::new(vec![demo_input(4)]).model("other"))
+                .unwrap_err(),
+            ServeError::UnknownModel {
+                model: "other".into()
+            }
+        );
+        assert!(server.unload("other").is_err());
+        let m = server.shutdown();
+        // default: 2 submissions (one refused as UnknownModel never
+        // reached a pool); other: 1. Aggregate keeps the unloaded
+        // tenant's counters.
+        assert_eq!(m.served, 2);
+        assert!(m.accounted_for());
+    }
+
+    #[test]
+    fn default_falls_to_next_model_after_unload() {
+        let server = Server::start(&demo_graph(), ServeConfig::default()).unwrap();
+        let other = zoo::tiny_cnn("other", Shape::nchw(1, 1, 8, 8), &[4], 5).unwrap();
+        server
+            .load("other", &other, ModelConfig::default())
+            .unwrap();
+        server.unload(DEFAULT_MODEL).unwrap();
+        let out = server
+            .submit_request(SubmitRequest::new(vec![demo_input(1)]))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(out[0].shape(), &Shape::nf(1, 5), "'other' became default");
+        server.shutdown();
+    }
+
+    #[test]
+    fn degraded_crash_threshold_sheds_lowest_priority_first() {
         // Crash-threshold degradation with a shed bound of half the
-        // queue: after one (injected) crash the server admits at most
-        // 2 queued requests instead of 4.
+        // quota: Normal admission shrinks to 2 slots and the third
+        // Normal submission is shed — the new typed refusal replaces
+        // the old `Rejected{capacity}` answer.
         let server = Server::start(
             &demo_graph(),
             ServeConfig {
@@ -1239,13 +992,23 @@ mod tests {
         )
         .unwrap();
         assert_eq!(server.health(), Health::Serving);
-        server.shared.metrics.inc_worker_crash();
+        server
+            .with_pool(DEFAULT_MODEL, |pool| pool.metrics.inc_worker_crash())
+            .unwrap();
         assert_eq!(server.health(), Health::Degraded);
-        let t1 = server.submit(vec![demo_input(1)], None).unwrap();
-        let t2 = server.submit(vec![demo_input(2)], None).unwrap();
-        // Shed bound ceil(0.5 * 4) = 2: the third submission is shed.
-        let err = server.submit(vec![demo_input(3)], None).unwrap_err();
-        assert_eq!(err, ServeError::Rejected { capacity: 2 });
+        assert_eq!(server.model_health(DEFAULT_MODEL), Ok(Health::Degraded));
+        let t1 = server
+            .submit_request(SubmitRequest::new(vec![demo_input(1)]))
+            .unwrap();
+        let t2 = server
+            .submit_request(SubmitRequest::new(vec![demo_input(2)]))
+            .unwrap();
+        // Shed bound ceil(0.5 * 4) = 2: the third Normal submission is
+        // shed (no lower-priority work to displace).
+        let err = server
+            .submit_request(SubmitRequest::new(vec![demo_input(3)]))
+            .unwrap_err();
+        assert_eq!(err, ServeError::ShedLowPriority);
         let m = {
             let handle = std::thread::spawn(move || server.shutdown());
             assert!(t1.wait().is_ok());
@@ -1254,5 +1017,6 @@ mod tests {
         };
         assert!(m.accounted_for());
         assert_eq!(m.rejected, 1);
+        assert_eq!(m.shed_by_priority, [0, 1, 0]);
     }
 }

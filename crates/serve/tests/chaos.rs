@@ -20,7 +20,8 @@ use std::time::{Duration, Instant};
 use vedliot_nnir::exec::{RunOptions, Runner};
 use vedliot_nnir::{zoo, Graph, Shape, Tensor};
 use vedliot_serve::{
-    BatchPolicy, FaultPlan, GoldenPolicy, Health, ResilienceConfig, ServeConfig, ServeError, Server,
+    BatchPolicy, FaultPlan, GoldenPolicy, Health, ResilienceConfig, ServeConfig, ServeError,
+    Server, SubmitRequest,
 };
 
 fn demo_graph() -> Graph {
@@ -60,32 +61,33 @@ fn silence_chaos_panics() {
 fn smoke_200_requests_under_seeded_chaos() {
     silence_chaos_panics();
     let requests: u64 = 200;
-    let server = Server::start(
-        &demo_graph(),
-        ServeConfig {
-            queue_capacity: 256,
-            workers: 2,
-            batch: BatchPolicy {
-                max_batch: 4,
-                max_linger: Duration::from_micros(200),
-            },
-            resilience: ResilienceConfig {
-                respawn_budget: 32,
-                ..ResilienceConfig::default()
-            },
-            chaos: Some(FaultPlan {
-                seed: 0xC0FF_EE00,
-                panic_per_batch: 0.20,
-                kill_per_wakeup: 0.05,
-                poison_every: 50,
-                weight_bit_flips: 0,
-            }),
-            ..ServeConfig::default()
-        },
-    )
-    .unwrap();
+    let config = ServeConfig::builder()
+        .queue_capacity(256)
+        .workers(2)
+        .batch(BatchPolicy {
+            max_batch: 4,
+            max_linger: Duration::from_micros(200),
+        })
+        .resilience(ResilienceConfig {
+            respawn_budget: 32,
+            ..ResilienceConfig::default()
+        })
+        .chaos(FaultPlan {
+            seed: 0xC0FF_EE00,
+            panic_per_batch: 0.20,
+            kill_per_wakeup: 0.05,
+            poison_every: 50,
+            weight_bit_flips: 0,
+        })
+        .build()
+        .unwrap();
+    let server = Server::start(&demo_graph(), config).unwrap();
     let tickets: Vec<_> = (0..requests)
-        .map(|i| server.submit(vec![demo_input(i)], None).unwrap())
+        .map(|i| {
+            server
+                .submit_request(SubmitRequest::new(vec![demo_input(i)]))
+                .unwrap()
+        })
         .collect();
     let mut ok = 0u64;
     let mut quarantined = 0u64;
@@ -129,29 +131,30 @@ fn smoke_200_requests_under_seeded_chaos() {
 fn golden_check_detects_and_repairs_bit_flipped_deployment() {
     let graph = demo_graph();
     let requests: u64 = 16;
-    let server = Server::start(
-        &graph,
-        ServeConfig {
-            queue_capacity: 32,
-            batch: BatchPolicy {
-                max_batch: 4,
-                max_linger: Duration::from_micros(200),
-            },
-            golden: Some(GoldenPolicy {
-                period: 1,
-                tolerance: 1e-4,
-                repair: true,
-            }),
-            chaos: Some(FaultPlan {
-                weight_bit_flips: 40,
-                ..FaultPlan::quiet(0xBAD_5EED)
-            }),
-            ..ServeConfig::default()
-        },
-    )
-    .unwrap();
+    let config = ServeConfig::builder()
+        .queue_capacity(32)
+        .batch(BatchPolicy {
+            max_batch: 4,
+            max_linger: Duration::from_micros(200),
+        })
+        .golden(GoldenPolicy {
+            period: 1,
+            tolerance: 1e-4,
+            repair: true,
+        })
+        .chaos(FaultPlan {
+            weight_bit_flips: 40,
+            ..FaultPlan::quiet(0xBAD_5EED)
+        })
+        .build()
+        .unwrap();
+    let server = Server::start(&graph, config).unwrap();
     let tickets: Vec<_> = (0..requests)
-        .map(|i| server.submit(vec![demo_input(i)], None).unwrap())
+        .map(|i| {
+            server
+                .submit_request(SubmitRequest::new(vec![demo_input(i)]))
+                .unwrap()
+        })
         .collect();
     let clean = Runner::builder().build(&graph).unwrap();
     let mut clean = clean;
@@ -180,24 +183,21 @@ fn golden_check_detects_and_repairs_bit_flipped_deployment() {
 #[test]
 fn golden_check_detect_only_serves_corrupted_bytes() {
     let graph = demo_graph();
-    let server = Server::start(
-        &graph,
-        ServeConfig {
-            golden: Some(GoldenPolicy {
-                period: 1,
-                tolerance: 1e-4,
-                repair: false,
-            }),
-            chaos: Some(FaultPlan {
-                weight_bit_flips: 40,
-                ..FaultPlan::quiet(0xBAD_5EED)
-            }),
-            ..ServeConfig::default()
-        },
-    )
-    .unwrap();
+    let config = ServeConfig::builder()
+        .golden(GoldenPolicy {
+            period: 1,
+            tolerance: 1e-4,
+            repair: false,
+        })
+        .chaos(FaultPlan {
+            weight_bit_flips: 40,
+            ..FaultPlan::quiet(0xBAD_5EED)
+        })
+        .build()
+        .unwrap();
+    let server = Server::start(&graph, config).unwrap();
     let served = server
-        .submit(vec![demo_input(7)], None)
+        .submit_request(SubmitRequest::new(vec![demo_input(7)]))
         .unwrap()
         .wait()
         .unwrap();
@@ -217,35 +217,41 @@ fn golden_check_detect_only_serves_corrupted_bytes() {
 }
 
 /// A queue-full burst while degraded: depth-based degradation flips
-/// health and the door sheds to the configured fraction.
+/// health, normal-class admission tightens to the shed bound, and with
+/// nothing lower-priority queued to displace the burst is shed.
 #[test]
 fn degraded_queue_depth_sheds_bursts() {
-    let server = Server::start(
-        &demo_graph(),
-        ServeConfig {
-            queue_capacity: 8,
-            batch: BatchPolicy {
-                max_batch: 64,
-                max_linger: Duration::from_secs(30),
-            },
-            resilience: ResilienceConfig {
-                degraded_queue_fraction: 0.5,
-                shed_to: 0.5,
-                ..ResilienceConfig::default()
-            },
-            ..ServeConfig::default()
-        },
-    )
-    .unwrap();
+    let config = ServeConfig::builder()
+        .queue_capacity(8)
+        .batch(BatchPolicy {
+            max_batch: 64,
+            max_linger: Duration::from_secs(30),
+        })
+        .resilience(ResilienceConfig {
+            degraded_queue_fraction: 0.5,
+            shed_to: 0.5,
+            ..ResilienceConfig::default()
+        })
+        .build()
+        .unwrap();
+    let server = Server::start(&demo_graph(), config).unwrap();
     assert_eq!(server.health(), Health::Serving);
     let tickets: Vec<_> = (0..4)
-        .map(|i| server.submit(vec![demo_input(i)], None).unwrap())
+        .map(|i| {
+            server
+                .submit_request(SubmitRequest::new(vec![demo_input(i)]))
+                .unwrap()
+        })
         .collect();
     // Depth 4 of 8 crossed the 0.5 degradation fraction…
     assert_eq!(server.health(), Health::Degraded);
-    // …so the burst is shed at ceil(0.5 * 8) = 4, not at capacity 8.
-    let err = server.submit(vec![demo_input(99)], None).unwrap_err();
-    assert_eq!(err, ServeError::Rejected { capacity: 4 });
+    // …so normal-class admission tightens to ceil(0.5 * 8) = 4 slots,
+    // and with only normal work queued there is no lower class to
+    // displace: the burst is shed.
+    let err = server
+        .submit_request(SubmitRequest::new(vec![demo_input(99)]))
+        .unwrap_err();
+    assert_eq!(err, ServeError::ShedLowPriority);
     let m = {
         let handle = std::thread::spawn(move || server.shutdown());
         for t in tickets {
@@ -255,6 +261,11 @@ fn degraded_queue_depth_sheds_bursts() {
     };
     assert!(m.accounted_for());
     assert_eq!((m.served, m.rejected), (4, 1));
+    assert_eq!(
+        m.shed_by_priority,
+        [0, 1, 0],
+        "the shed burst was normal-class"
+    );
 }
 
 proptest! {
@@ -276,40 +287,38 @@ proptest! {
         deadline_us in proptest::collection::vec(0u64..5000, 24),
     ) {
         silence_chaos_panics();
-        let server = Server::start(
-            &demo_graph(),
-            ServeConfig {
-                queue_capacity: 32,
-                workers: 2,
-                batch: BatchPolicy {
-                    max_batch: 4,
-                    max_linger: Duration::from_micros(100),
-                },
-                resilience: ResilienceConfig {
-                    respawn_budget: 64,
-                    ..ResilienceConfig::default()
-                },
-                chaos: Some(FaultPlan {
-                    seed: chaos_seed,
-                    panic_per_batch: panic_rate,
-                    kill_per_wakeup: kill_rate,
-                    poison_every,
-                    weight_bit_flips: 0,
-                }),
-                ..ServeConfig::default()
-            },
-        )
-        .unwrap();
+        let config = ServeConfig::builder()
+            .queue_capacity(32)
+            .workers(2)
+            .batch(BatchPolicy {
+                max_batch: 4,
+                max_linger: Duration::from_micros(100),
+            })
+            .resilience(ResilienceConfig {
+                respawn_budget: 64,
+                ..ResilienceConfig::default()
+            })
+            .chaos(FaultPlan {
+                seed: chaos_seed,
+                panic_per_batch: panic_rate,
+                kill_per_wakeup: kill_rate,
+                poison_every,
+                weight_bit_flips: 0,
+            })
+            .build()
+            .unwrap();
+        let server = Server::start(&demo_graph(), config).unwrap();
         let now = Instant::now();
         let tickets: Vec<_> = (0..n_requests)
             .map(|i| {
                 // Draws below 1000 mean "no deadline"; everything else
                 // is a tight deadline — the deadline-storm case.
-                let deadline = match deadline_us[i as usize] {
-                    us if us < 1000 => None,
-                    us => Some(now + Duration::from_micros(us)),
+                let request = SubmitRequest::new(vec![demo_input(i)]);
+                let request = match deadline_us[i as usize] {
+                    us if us < 1000 => request,
+                    us => request.deadline(now + Duration::from_micros(us)),
                 };
-                server.submit(vec![demo_input(i)], deadline).unwrap()
+                server.submit_request(request).unwrap()
             })
             .collect();
         // Impatient callers: some tickets get a tiny timeout and are

@@ -5,7 +5,9 @@
 use std::time::{Duration, Instant};
 use vedliot_nnir::{zoo, Graph, Shape, Tensor};
 use vedliot_obs::{Exportable, Histogram, SpanOutcome, StageBreakdown};
-use vedliot_serve::{BatchPolicy, MetricsSnapshot, ServeConfig, Server, TracePolicy};
+use vedliot_serve::{
+    BatchPolicy, MetricsSnapshot, Priority, ServeConfig, Server, SubmitRequest, TracePolicy,
+};
 
 fn demo_graph() -> Graph {
     zoo::tiny_cnn("observe-test", Shape::nchw(1, 1, 8, 8), &[4], 3).unwrap()
@@ -16,15 +18,15 @@ fn demo_input(seed: u64) -> Tensor {
 }
 
 fn traced_config() -> ServeConfig {
-    ServeConfig {
-        queue_capacity: 128,
-        batch: BatchPolicy {
+    ServeConfig::builder()
+        .queue_capacity(128)
+        .batch(BatchPolicy {
             max_batch: 4,
             max_linger: Duration::from_micros(200),
-        },
-        trace: Some(TracePolicy { capacity: 128 }),
-        ..ServeConfig::default()
-    }
+        })
+        .trace(TracePolicy { capacity: 128 })
+        .build()
+        .unwrap()
 }
 
 /// The ci.sh observability smoke: a seeded ~50-request traced run where
@@ -35,7 +37,16 @@ fn traced_config() -> ServeConfig {
 fn traced_run_produces_coherent_spans() {
     let server = Server::start(&demo_graph(), traced_config()).unwrap();
     let tickets: Vec<_> = (0..50)
-        .map(|i| server.submit(vec![demo_input(i)], None).unwrap())
+        .map(|i| {
+            let priority = if i % 2 == 0 {
+                Priority::High
+            } else {
+                Priority::Normal
+            };
+            server
+                .submit_request(SubmitRequest::new(vec![demo_input(i)]).priority(priority))
+                .unwrap()
+        })
         .collect();
     for t in tickets {
         t.wait().unwrap();
@@ -52,7 +63,13 @@ fn traced_run_produces_coherent_spans() {
         assert_eq!(span.outcome, SpanOutcome::Ok);
         assert!(span.batch >= 1 && span.batch <= 4, "{span}");
         assert_eq!(span.retries, 0);
+        assert_eq!(span.model, 0, "single-model gateway: dense id 0");
+        assert!(span.priority <= 1, "only High (0) and Normal (1) submitted");
     }
+    assert!(
+        spans.iter().any(|s| s.priority == 0) && spans.iter().any(|s| s.priority == 1),
+        "both priority classes appear in the trace"
+    );
     let breakdown = StageBreakdown::of(&spans);
     assert_eq!(breakdown.spans, 50);
     assert_eq!(breakdown.end_to_end_us.count, 50);
@@ -67,8 +84,12 @@ fn traced_run_produces_coherent_spans() {
 fn expired_requests_get_timed_out_spans() {
     let server = Server::start(&demo_graph(), traced_config()).unwrap();
     let past = Instant::now() - Duration::from_millis(1);
-    let live = server.submit(vec![demo_input(1)], None).unwrap();
-    let dead = server.submit(vec![demo_input(2)], Some(past)).unwrap();
+    let live = server
+        .submit_request(SubmitRequest::new(vec![demo_input(1)]))
+        .unwrap();
+    let dead = server
+        .submit_request(SubmitRequest::new(vec![demo_input(2)]).deadline(past))
+        .unwrap();
     assert!(live.wait().is_ok());
     assert_eq!(
         dead.wait().unwrap_err(),
@@ -95,7 +116,10 @@ fn expired_requests_get_timed_out_spans() {
 #[test]
 fn tracing_disabled_records_nothing() {
     let server = Server::start(&demo_graph(), ServeConfig::default()).unwrap();
-    let out = server.submit(vec![demo_input(3)], None).unwrap().wait();
+    let out = server
+        .submit_request(SubmitRequest::new(vec![demo_input(3)]))
+        .unwrap()
+        .wait();
     assert!(out.is_ok());
     assert!(server.trace_spans().is_empty());
     let m = server.shutdown();
@@ -117,6 +141,9 @@ fn deterministic_snapshot() -> MetricsSnapshot {
         rejected: 1,
         timed_out: 2,
         failed: 1,
+        submitted_by_priority: [3, 5, 2],
+        served_by_priority: [3, 3, 0],
+        shed_by_priority: [0, 0, 1],
         batches: 2,
         mean_batch: 3.0,
         p50_latency_us: 384,
@@ -165,4 +192,16 @@ fn exporter_prometheus_matches_golden() {
         include_str!("goldens/serve_metrics.prom"),
         &deterministic_snapshot().export().to_prometheus(),
     );
+}
+
+#[test]
+fn labelled_export_tags_the_tenant() {
+    let prom = deterministic_snapshot()
+        .labelled_export("alpha")
+        .to_prometheus();
+    assert!(
+        prom.contains("vedliot_serve_served{model=\"alpha\"} 6\n"),
+        "{prom}"
+    );
+    assert!(prom.contains("vedliot_serve_shed_by_priority{model=\"alpha\",priority=\"batch\"} 1\n"));
 }

@@ -6,7 +6,7 @@ use proptest::prelude::*;
 use std::time::{Duration, Instant};
 use vedliot_nnir::exec::{RunOptions, Runner};
 use vedliot_nnir::{zoo, Graph, Shape, Tensor};
-use vedliot_serve::{BatchPolicy, ServeConfig, ServeError, Server};
+use vedliot_serve::{BatchPolicy, ServeConfig, ServeError, Server, SubmitRequest};
 
 fn demo_graph() -> Graph {
     zoo::tiny_cnn("serve-it", Shape::nchw(1, 1, 8, 8), &[4], 3).unwrap()
@@ -29,21 +29,24 @@ fn holding_policy() -> BatchPolicy {
 #[test]
 fn queue_full_rejects_with_capacity() {
     let graph = demo_graph();
-    let server = Server::start(
-        &graph,
-        ServeConfig {
-            queue_capacity: 4,
-            workers: 1,
-            batch: holding_policy(),
-            ..ServeConfig::default()
-        },
-    )
-    .unwrap();
+    let config = ServeConfig::builder()
+        .queue_capacity(4)
+        .workers(1)
+        .batch(holding_policy())
+        .build()
+        .unwrap();
+    let server = Server::start(&graph, config).unwrap();
     let tickets: Vec<_> = (0..4)
-        .map(|i| server.submit(vec![demo_input(i)], None).unwrap())
+        .map(|i| {
+            server
+                .submit_request(SubmitRequest::new(vec![demo_input(i)]))
+                .unwrap()
+        })
         .collect();
     // Fifth submission hits the bound — typed backpressure, not loss.
-    let err = server.submit(vec![demo_input(99)], None).unwrap_err();
+    let err = server
+        .submit_request(SubmitRequest::new(vec![demo_input(99)]))
+        .unwrap_err();
     assert_eq!(err, ServeError::Rejected { capacity: 4 });
     // Shutdown drains the four queued requests; all are served.
     let m = {
@@ -68,22 +71,23 @@ fn queue_full_rejects_with_capacity() {
 #[test]
 fn expired_deadline_is_purged_with_typed_reply() {
     let graph = demo_graph();
-    let server = Server::start(
-        &graph,
-        ServeConfig {
-            batch: holding_policy(),
-            ..ServeConfig::default()
-        },
-    )
-    .unwrap();
+    let config = ServeConfig::builder()
+        .batch(holding_policy())
+        .build()
+        .unwrap();
+    let server = Server::start(&graph, config).unwrap();
     // Already expired at submit time: the worker must purge it before
     // execution and answer with DeadlineExceeded — never drop it.
     let past = Instant::now() - Duration::from_millis(5);
-    let late = server.submit(vec![demo_input(1)], Some(past)).unwrap();
+    let late = server
+        .submit_request(SubmitRequest::new(vec![demo_input(1)]).deadline(past))
+        .unwrap();
     assert_eq!(late.wait(), Err(ServeError::DeadlineExceeded));
     // A generous deadline is untouched by the purge.
     let future = Instant::now() + Duration::from_secs(60);
-    let fine = server.submit(vec![demo_input(2)], Some(future)).unwrap();
+    let fine = server
+        .submit_request(SubmitRequest::new(vec![demo_input(2)]).deadline(future))
+        .unwrap();
     let m = server.shutdown();
     assert!(fine.wait().is_ok());
     assert_eq!(m.timed_out, 1);
@@ -94,17 +98,18 @@ fn expired_deadline_is_purged_with_typed_reply() {
 #[test]
 fn shutdown_drains_in_flight_work() {
     let graph = demo_graph();
-    let server = Server::start(
-        &graph,
-        ServeConfig {
-            queue_capacity: 32,
-            batch: holding_policy(),
-            ..ServeConfig::default()
-        },
-    )
-    .unwrap();
+    let config = ServeConfig::builder()
+        .queue_capacity(32)
+        .batch(holding_policy())
+        .build()
+        .unwrap();
+    let server = Server::start(&graph, config).unwrap();
     let tickets: Vec<_> = (0..10)
-        .map(|i| server.submit(vec![demo_input(i)], None).unwrap())
+        .map(|i| {
+            server
+                .submit_request(SubmitRequest::new(vec![demo_input(i)]))
+                .unwrap()
+        })
         .collect();
     let m = server.shutdown();
     assert_eq!(m.served, 10);
@@ -118,21 +123,22 @@ fn shutdown_drains_in_flight_work() {
 #[test]
 fn smoke_100_requests_zero_lost() {
     let graph = demo_graph();
-    let server = Server::start(
-        &graph,
-        ServeConfig {
-            queue_capacity: 128,
-            workers: 2,
-            batch: BatchPolicy {
-                max_batch: 8,
-                max_linger: Duration::from_micros(200),
-            },
-            ..ServeConfig::default()
-        },
-    )
-    .unwrap();
+    let config = ServeConfig::builder()
+        .queue_capacity(128)
+        .workers(2)
+        .batch(BatchPolicy {
+            max_batch: 8,
+            max_linger: Duration::from_micros(200),
+        })
+        .build()
+        .unwrap();
+    let server = Server::start(&graph, config).unwrap();
     let tickets: Vec<_> = (0..100)
-        .map(|i| server.submit(vec![demo_input(i)], None).unwrap())
+        .map(|i| {
+            server
+                .submit_request(SubmitRequest::new(vec![demo_input(i)]))
+                .unwrap()
+        })
         .collect();
     for t in tickets {
         let out = t.wait().expect("every accepted request is served");
@@ -166,22 +172,23 @@ proptest! {
         max_batch in 1usize..6,
     ) {
         let graph = demo_graph();
-        let server = Server::start(
-            &graph,
-            ServeConfig {
-                queue_capacity: 16,
-                workers: 1,
-                batch: BatchPolicy {
-                    max_batch,
-                    max_linger: Duration::from_millis(5),
-                },
-                ..ServeConfig::default()
-            },
-        )
-        .unwrap();
+        let config = ServeConfig::builder()
+            .queue_capacity(16)
+            .workers(1)
+            .batch(BatchPolicy {
+                max_batch,
+                max_linger: Duration::from_millis(5),
+            })
+            .build()
+            .unwrap();
+        let server = Server::start(&graph, config).unwrap();
         let tickets: Vec<_> = seeds
             .iter()
-            .map(|&s| server.submit(vec![demo_input(s)], None).unwrap())
+            .map(|&s| {
+                server
+                    .submit_request(SubmitRequest::new(vec![demo_input(s)]))
+                    .unwrap()
+            })
             .collect();
         for (&seed, ticket) in seeds.iter().zip(tickets) {
             let served = ticket.wait().unwrap();

@@ -3,6 +3,7 @@
 //! ```text
 //! vedliot lint            # full static-analysis sweep over the zoo
 //! vedliot obs             # observability quick-start: profile + trace + export
+//! vedliot route           # multi-model gateway demo: load/unload + priorities
 //! ```
 //!
 //! `lint` runs the complete analyzer ([`vedliot::nnir::analysis`]) over
@@ -16,6 +17,12 @@
 //! against the Xavier NX roofline), a traced 50-request serve run with
 //! its stage breakdown, and the serve metrics rendered through both the
 //! JSON and Prometheus exporters.
+//!
+//! `route` demonstrates the multi-tenant gateway: two models hot-loaded
+//! into one server, mixed-priority traffic routed to each by name
+//! through [`vedliot::serve::SubmitRequest`], one tenant hot-unloaded
+//! (drained, never dropped) while the other keeps serving, and the
+//! per-model metrics rendered with `model`/`priority` labels.
 
 use vedliot::nnir::analysis::Severity;
 use vedliot::toolchain::lint::lint_suite;
@@ -28,6 +35,8 @@ fn usage() -> ! {
     eprintln!("          optimized variants, printing a diagnostic report");
     eprintln!("  obs     observability quick-start: per-op profile vs roofline,");
     eprintln!("          traced serve run, JSON + Prometheus export");
+    eprintln!("  route   multi-model gateway demo: hot load/unload, priority");
+    eprintln!("          classes, per-tenant labelled metrics");
     std::process::exit(2);
 }
 
@@ -58,7 +67,7 @@ fn run_obs() -> i32 {
     use vedliot::nnir::exec::{RunOptions, Runner};
     use vedliot::nnir::{zoo, Shape, Tensor};
     use vedliot::obs::{Exportable, StageBreakdown};
-    use vedliot::serve::{BatchPolicy, ServeConfig, Server, TracePolicy};
+    use vedliot::serve::{BatchPolicy, ServeConfig, Server, SubmitRequest, TracePolicy};
 
     // 1) Per-op profile of LeNet-5, compared to the roofline model.
     let model = match zoo::lenet5(10) {
@@ -101,18 +110,16 @@ fn run_obs() -> i32 {
 
     // 2) A traced 50-request serve run and its stage breakdown.
     let gesture = zoo::tiny_cnn("obs-demo", Shape::nchw(1, 1, 8, 8), &[4], 3).expect("builds");
-    let server = match Server::start(
-        &gesture,
-        ServeConfig {
-            queue_capacity: 64,
-            batch: BatchPolicy {
-                max_batch: 4,
-                max_linger: Duration::from_micros(200),
-            },
-            trace: Some(TracePolicy { capacity: 64 }),
-            ..ServeConfig::default()
-        },
-    ) {
+    let config = ServeConfig::builder()
+        .queue_capacity(64)
+        .batch(BatchPolicy {
+            max_batch: 4,
+            max_linger: Duration::from_micros(200),
+        })
+        .trace(TracePolicy { capacity: 64 })
+        .build()
+        .expect("valid demo config");
+    let server = match Server::start(&gesture, config) {
         Ok(s) => s,
         Err(err) => {
             eprintln!("obs: server failed to start: {err}");
@@ -122,7 +129,11 @@ fn run_obs() -> i32 {
     let tickets: Vec<_> = (0..50)
         .map(|i| {
             server
-                .submit(vec![Tensor::random(Shape::nchw(1, 1, 8, 8), i, 1.0)], None)
+                .submit_request(SubmitRequest::new(vec![Tensor::random(
+                    Shape::nchw(1, 1, 8, 8),
+                    i,
+                    1.0,
+                )]))
                 .expect("queue sized for the demo")
         })
         .collect();
@@ -143,12 +154,114 @@ fn run_obs() -> i32 {
     0
 }
 
+fn run_route() -> i32 {
+    use std::time::Duration;
+    use vedliot::nnir::{zoo, Shape, Tensor};
+    use vedliot::serve::{
+        BatchPolicy, ModelConfig, Priority, ServeConfig, Server, SubmitRequest, DEFAULT_MODEL,
+    };
+
+    // Two of the VEDLIoT use-case networks share one gateway: a gesture
+    // detector as the default model and a larger classifier hot-loaded
+    // next to it.
+    let gesture = zoo::tiny_cnn("gesture", Shape::nchw(1, 1, 8, 8), &[4], 3).expect("builds");
+    let classifier = zoo::tiny_cnn("classifier", Shape::nchw(1, 1, 8, 8), &[8], 5).expect("builds");
+    let config = ServeConfig::builder()
+        .queue_capacity(64)
+        .batch(BatchPolicy {
+            max_batch: 4,
+            max_linger: Duration::from_micros(200),
+        })
+        .build()
+        .expect("valid demo config");
+    let server = match Server::start(&gesture, config) {
+        Ok(s) => s,
+        Err(err) => {
+            eprintln!("route: server failed to start: {err}");
+            return 1;
+        }
+    };
+    if let Err(err) = server.load("classifier", &classifier, ModelConfig::default().weight(2)) {
+        eprintln!("route: classifier failed to load: {err}");
+        return 1;
+    }
+    println!("loaded models: {:?}", server.models());
+
+    // Mixed-priority traffic, routed by model name.
+    let input = |seed: u64| Tensor::random(Shape::nchw(1, 1, 8, 8), seed, 1.0);
+    let tickets: Vec<_> = (0..30u64)
+        .map(|i| {
+            let (model, priority) = match i % 3 {
+                0 => (DEFAULT_MODEL, Priority::High),
+                1 => ("classifier", Priority::Normal),
+                _ => ("classifier", Priority::Batch),
+            };
+            server
+                .submit_request(
+                    SubmitRequest::new(vec![input(i)])
+                        .model(model)
+                        .priority(priority),
+                )
+                .expect("queue sized for the demo")
+        })
+        .collect();
+    for t in tickets {
+        if let Err(err) = t.wait() {
+            eprintln!("route: request failed: {err}");
+            return 1;
+        }
+    }
+
+    // Hot-unload the classifier: queued work drains, the snapshot is
+    // the tenant's final ledger, and the gesture model keeps serving.
+    let retired = match server.unload("classifier") {
+        Ok(m) => m,
+        Err(err) => {
+            eprintln!("route: unload failed: {err}");
+            return 1;
+        }
+    };
+    println!(
+        "unloaded classifier: served {} (by priority {:?}), models now {:?}",
+        retired.served,
+        retired.served_by_priority,
+        server.models()
+    );
+    let still_serving = server
+        .submit_request(SubmitRequest::new(vec![input(99)]).priority(Priority::High))
+        .and_then(vedliot::serve::Ticket::wait);
+    if let Err(err) = still_serving {
+        eprintln!("route: default model must outlive its neighbour: {err}");
+        return 1;
+    }
+
+    // Per-tenant metrics with model/priority labels, then the merged
+    // gateway ledger (retired tenants included).
+    let gesture_metrics = server
+        .model_metrics(DEFAULT_MODEL)
+        .expect("default model is loaded");
+    println!("\n--- gesture (Prometheus) ---");
+    print!(
+        "{}",
+        gesture_metrics.labelled_export("gesture").to_prometheus()
+    );
+    let merged = server.shutdown();
+    println!(
+        "\ngateway total: {} submitted, {} served; accounted: {}",
+        merged.submitted,
+        merged.served,
+        merged.accounted_for()
+    );
+    0
+}
+
 fn main() {
     let mut args = std::env::args().skip(1);
     let Some(command) = args.next() else { usage() };
     match command.as_str() {
         "lint" => std::process::exit(run_lint()),
         "obs" => std::process::exit(run_obs()),
+        "route" => std::process::exit(run_route()),
         _ => usage(),
     }
 }
