@@ -49,6 +49,9 @@ cargo test -q -p vedliot-serve --test observe
 echo "==> routing smoke test (multi-tenant isolation, priority admission, bit-identity)"
 cargo test -q -p vedliot-serve --test routing
 
+echo "==> fleet smoke test (seeded hostile OTA rollout converges to a safe state)"
+cargo test -q -p vedliot-fleet --test fleet hostile_plan_converges_to_a_safe_state_and_every_defense_fires
+
 if [[ $fast -eq 0 ]]; then
   echo "==> kernel perf gate (E24 batched per-sample conv cost vs recorded baseline)"
   # BENCH_pr6.json is the checked-in snapshot from `harness kernels`.
@@ -81,6 +84,43 @@ if [[ $fast -eq 0 ]]; then
     floor = b - 0.02; if (floor < 0.98) floor = 0.98;
     if (f < floor) {
       printf "ERROR: high-priority availability regressed: %s < floor %.3f (baseline %s)\n", f, floor, b;
+      exit 1;
+    }
+  }'
+
+  echo "==> fleet rollout gate (E26 OTA convergence/availability vs recorded baseline)"
+  # BENCH_pr8.json is the checked-in snapshot from `harness fleet`. The
+  # E26 run asserts the hard safety invariants internally (safe-state
+  # audit, quarantine containment, canary blast radius, >=5% crash
+  # coverage); the rollout is fully seeded, so the gate holds the fresh
+  # run to the recorded availability (small headroom for float noise)
+  # and to the exact deterministic rollback counts.
+  base_avail=$(sed 's/.*"name":"availability"[^}]*"value"://;s/}.*//' BENCH_pr8.json)
+  # convergence_ticks carries a labels object, so match through its
+  # closing brace rather than relying on [^}]* reaching "value".
+  base_ticks=$(sed 's/.*"name":"convergence_ticks"[^}]*},"type":"gauge","value"://;s/}.*//' BENCH_pr8.json)
+  BENCH_OUT=target/BENCH_pr8.json ./target/release/harness fleet > /dev/null
+  fresh_avail=$(sed 's/.*"name":"availability"[^}]*"value"://;s/}.*//' target/BENCH_pr8.json)
+  fresh_ticks=$(sed 's/.*"name":"convergence_ticks"[^}]*},"type":"gauge","value"://;s/}.*//' target/BENCH_pr8.json)
+  fresh_wave_rb=$(sed 's/.*"name":"wave_rollbacks"[^}]*"value"://;s/}.*//' target/BENCH_pr8.json)
+  fresh_bad_rb=$(sed 's/.*"name":"bad_wave_rollbacks"[^}]*"value"://;s/}.*//' target/BENCH_pr8.json)
+  echo "    availability: baseline ${base_avail}, fresh ${fresh_avail}; convergence ticks: baseline ${base_ticks}, fresh ${fresh_ticks}"
+  awk -v fa="$fresh_avail" -v ba="$base_avail" -v ft="$fresh_ticks" -v bt="$base_ticks" \
+      -v wrb="$fresh_wave_rb" -v brb="$fresh_bad_rb" 'BEGIN {
+    if (fa < ba - 0.01) {
+      printf "ERROR: rollout availability regressed: %s < %.4f (baseline %s)\n", fa, ba - 0.01, ba;
+      exit 1;
+    }
+    if (ft > bt * 1.10) {
+      printf "ERROR: rollout convergence slowed: %s ticks > limit %.0f (baseline %s)\n", ft, bt * 1.10, bt;
+      exit 1;
+    }
+    if (wrb != 0) {
+      printf "ERROR: healthy release wave-rolled-back %s times (must be 0)\n", wrb;
+      exit 1;
+    }
+    if (brb != 1) {
+      printf "ERROR: bad release saw %s wave rollbacks (must be exactly 1)\n", brb;
       exit 1;
     }
   }'

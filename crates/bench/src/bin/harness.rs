@@ -6,14 +6,15 @@
 //! `compression`, `gap`, `twine`, `pmp`, `cfu`, `safety`, `paeb`, `arc`,
 //! `motor`, `mirror`, `reconfig`, `reqeng`, `memory`, `codesign`,
 //! `executor`, `serving`, `resilience`, `observe`, `kernels`,
-//! `routing`, `lint`, or `all`.
+//! `routing`, `fleet`, `lint`, or `all`.
 //!
 //! `kernels` additionally writes `BENCH_pr6.json` (the obs JSON export
 //! of the E24 kernel measurements) to the current directory — the
 //! perf-trajectory snapshot ci.sh compares against its checked-in
 //! baseline. `routing` likewise writes `BENCH_pr7.json` (the E25
-//! per-priority availability snapshot). Set `BENCH_OUT` to redirect
-//! either snapshot path.
+//! per-priority availability snapshot), and `fleet` writes
+//! `BENCH_pr8.json` (the E26 OTA convergence/availability snapshot).
+//! Set `BENCH_OUT` to redirect any snapshot path.
 
 use vedliot_bench::experiments;
 
@@ -63,6 +64,16 @@ fn main() {
             eprintln!("wrote routing snapshot to {path}");
             vec![experiment]
         }
+        "fleet" => {
+            let (experiment, snapshot) = experiments::fleet_with_snapshot();
+            let path = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_pr8.json".into());
+            std::fs::write(&path, snapshot.to_json()).unwrap_or_else(|e| {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(1);
+            });
+            eprintln!("wrote fleet snapshot to {path}");
+            vec![experiment]
+        }
         "lint" => vec![experiments::lint()],
         "all" => experiments::all(),
         other => {
@@ -70,7 +81,7 @@ fn main() {
             eprintln!(
                 "choose one of: fig2 fig3 fig4 fig4-ext compression gap twine pmp cfu \
                  safety paeb arc motor mirror reconfig reqeng memory codesign ablation \
-                 executor serving resilience observe kernels routing lint all"
+                 executor serving resilience observe kernels routing fleet lint all"
             );
             std::process::exit(2);
         }

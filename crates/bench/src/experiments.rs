@@ -2008,6 +2008,264 @@ pub fn observe() -> Experiment {
     }
 }
 
+/// Convenience wrapper returning only the experiment half of
+/// [`fleet_with_snapshot`].
+#[must_use]
+pub fn fleet() -> Experiment {
+    fleet_with_snapshot().0
+}
+
+/// E26 — fleet-scale OTA rollout robustness: 1200 edge devices take a
+/// toolchain-compressed model update over lossy, partitioned links
+/// while a hostile fault plan injects mid-download crashes, in-transit
+/// bit flips, installed-weight bit flips, crash-looping installs and
+/// forged attestations; then a second, accuracy-regressing release is
+/// pushed and must be stopped at the canary gate.
+///
+/// Hard invariants asserted here (and audited device-by-device):
+/// every reachable honest device converges to the attested,
+/// hash-verified target; zero devices serve corrupted weights;
+/// quarantined devices are never installed to; the regressed release
+/// is rolled back with its blast radius capped at the canary cohort.
+///
+/// Also returns the machine-readable snapshot `harness fleet` writes
+/// to `BENCH_pr8.json` (convergence/availability/rollback baseline
+/// ci.sh checks against).
+///
+/// # Panics
+///
+/// Panics if any rollout invariant is violated — that is the point.
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn fleet_with_snapshot() -> (Experiment, vedliot::obs::Export) {
+    use vedliot::fleet::{
+        Fleet, FleetConfig, FleetFaultPlan, Phase, Rollout, RolloutOutcome, RolloutPolicy,
+    };
+    use vedliot::nnir::dataset::gaussian_prototypes;
+    use vedliot::nnir::graph::WeightInit;
+    use vedliot::nnir::train::{train_mlp, TrainConfig};
+    use vedliot::nnir::Tensor;
+    use vedliot::obs::export::Exportable;
+    use vedliot::obs::Metric;
+
+    const DEVICES: usize = 1200;
+    const INPUTS: usize = 16;
+    const CLASSES: usize = 4;
+
+    // v1: the deployed baseline, trained to real accuracy on a held-out
+    // task (the canary accuracy gate needs a meaningful signal).
+    let eval = gaussian_prototypes(&Shape::nf(1, INPUTS), CLASSES, 40, 3.0, 26);
+    let mut v1 = mlp("edge-classifier", INPUTS, &[12], CLASSES).expect("mlp builds");
+    train_mlp(&mut v1, &eval, &TrainConfig::default()).expect("trains");
+
+    // v2: the update being shipped — the same model through the
+    // toolchain's Deep Compression pass (prune + cluster), i.e. an
+    // artifact that earns its smaller OTA payload.
+    let (v2, _) = deep_compress(
+        &v1,
+        &CompressionConfig {
+            sparsity: 0.3,
+            cluster_bits: 6,
+            ..CompressionConfig::default()
+        },
+    )
+    .expect("compresses");
+
+    // v3: the bad release — intact artifact, collapsed accuracy. Only
+    // the canary accuracy gate can catch it (hash chains and golden
+    // checks all pass, because the model is *correctly* broken).
+    let mut v3 = v2.clone();
+    for node in v3.nodes_mut() {
+        if let WeightInit::Explicit(tensors) = &mut node.weights {
+            for t in tensors {
+                let zeros = vec![0.0; t.data().len()];
+                *t = Tensor::from_vec(t.shape().clone(), zeros).expect("same shape");
+            }
+        }
+    }
+
+    let probe = Tensor::random(Shape::nf(1, INPUTS), 2026, 1.0);
+    let mut fleet_sim = Fleet::new(
+        FleetConfig {
+            devices: DEVICES,
+            seed: 0xED6E_F1EE,
+            trace_len: 256,
+        },
+        ("v1", v1),
+        probe,
+        Some(&eval),
+    )
+    .expect("fleet builds");
+    let v2_idx = fleet_sim
+        .register_version("v2", v2, Some(&eval))
+        .expect("v2 registers");
+    let v3_idx = fleet_sim
+        .register_version("v3-bad", v3, Some(&eval))
+        .expect("v3 registers");
+
+    let policy = RolloutPolicy {
+        canary: 24,
+        health_threshold: 0.8,
+        ..RolloutPolicy::default()
+    };
+
+    // Phase A: the good update under the full hostile plan. Downloads
+    // only take a handful of ticks on good links, so the per-tick crash
+    // rate is raised until ≥5% of the fleet crashes mid-rollout.
+    let mut plan = FleetFaultPlan::hostile(0xBAD5EED);
+    plan.crash_per_tick = 0.015;
+    let good = Rollout::new(v2_idx, policy, plan)
+        .run(&mut fleet_sim)
+        .expect("rollout runs");
+    let violations = fleet_sim.audit(&good);
+    assert!(violations.is_empty(), "phase A violations: {violations:#?}");
+    assert_eq!(good.outcome, RolloutOutcome::Completed, "{good:#?}");
+    let c = good.counters;
+    assert!(
+        c.crashes as usize >= DEVICES / 20,
+        "fault plan must crash ≥5% of the fleet, got {} of {DEVICES}",
+        c.crashes
+    );
+    for (what, count) in [
+        ("artifact flips caught", c.artifact_flips_caught),
+        ("resumed downloads", c.resumed_downloads),
+        ("quarantined devices", c.quarantined),
+        ("weight flips injected", c.weight_flips_injected),
+        ("weight flips caught", c.weight_flips_caught),
+        ("device rollbacks", c.device_rollbacks),
+    ] {
+        assert!(count > 0, "hostile plan never exercised: {what}");
+    }
+    assert_eq!(
+        c.wave_rollbacks, 0,
+        "healthy release must not wave-roll-back"
+    );
+    // 100% of reachable honest devices converged on the target.
+    let unreachable = good.health.quarantined + good.health.rolled_back + good.health.abandoned;
+    assert_eq!(good.health.on_target + unreachable, DEVICES);
+    assert_eq!(good.health.in_flight, 0);
+    for d in fleet_sim.devices() {
+        if d.phase == Phase::Quarantined {
+            assert!(
+                !d.installed.contains(&v2_idx),
+                "quarantined device {} was installed to",
+                d.id
+            );
+        }
+    }
+
+    // Phase B: the bad release must die at the canary gate.
+    let bad = Rollout::new(v3_idx, policy, FleetFaultPlan::quiet(0xCAFE))
+        .run(&mut fleet_sim)
+        .expect("rollout runs");
+    let violations = fleet_sim.audit(&bad);
+    assert!(violations.is_empty(), "phase B violations: {violations:#?}");
+    assert_eq!(bad.outcome, RolloutOutcome::RolledBack { wave: 0 });
+    assert_eq!(bad.counters.wave_rollbacks, 1);
+    assert!(
+        bad.counters.installs <= policy.canary as u64,
+        "blast radius exceeded the canary cohort"
+    );
+    assert_eq!(
+        bad.health.on_target, 0,
+        "bad release still running somewhere"
+    );
+
+    let mut table = Table::new(&[
+        "wave",
+        "size",
+        "on_target",
+        "rolled_back",
+        "abandoned",
+        "quarantined",
+        "gate",
+    ]);
+    for w in &good.waves {
+        table.push(vec![
+            format!("A{}", w.index),
+            w.size.to_string(),
+            w.health.on_target.to_string(),
+            w.health.rolled_back.to_string(),
+            w.health.abandoned.to_string(),
+            w.health.quarantined.to_string(),
+            if w.gate_passed { "pass" } else { "FAIL" }.to_string(),
+        ]);
+    }
+    for w in &bad.waves {
+        table.push(vec![
+            format!("B{}", w.index),
+            w.size.to_string(),
+            w.health.on_target.to_string(),
+            w.health.rolled_back.to_string(),
+            w.health.abandoned.to_string(),
+            w.health.quarantined.to_string(),
+            if w.gate_passed { "pass" } else { "FAIL" }.to_string(),
+        ]);
+    }
+
+    let mut snapshot = good.export();
+    snapshot.metrics.push(Metric::gauge(
+        "devices",
+        "Devices simulated in E26",
+        DEVICES as f64,
+    ));
+    snapshot.metrics.push(Metric::gauge(
+        "crash_fraction",
+        "Fraction of the fleet that crashed during the good rollout",
+        c.crashes as f64 / DEVICES as f64,
+    ));
+    snapshot.metrics.push(Metric::counter(
+        "bad_wave_rollbacks",
+        "Wave rollbacks during the bad-release push (must be 1)",
+        bad.counters.wave_rollbacks,
+    ));
+    snapshot.metrics.push(Metric::gauge(
+        "bad_blast_radius",
+        "Devices that ever installed the bad release",
+        bad.counters.installs as f64,
+    ));
+
+    let experiment = Experiment {
+        id: "E26",
+        title: format!(
+            "fleet OTA rollout: {DEVICES} devices, hostile fault plan, health-gated waves"
+        ),
+        table,
+        notes: vec![
+            format!(
+                "good release converged in {} ticks across {} waves: {} on target, \
+                 {} quarantined, {} rolled back, {} abandoned; availability {:.4} during \
+                 the rollout",
+                good.ticks,
+                good.waves.len(),
+                good.health.on_target,
+                good.health.quarantined,
+                good.health.rolled_back,
+                good.health.abandoned,
+                good.availability,
+            ),
+            format!(
+                "defenses under fire: {} in-transit flips rejected by chunk hashes, \
+                 {} corrupted installs caught by golden checks, {} crash loops detected, \
+                 {} crashes with {} chunked resumes, {} forged/tampered attestations \
+                 quarantined before install",
+                c.artifact_flips_caught,
+                c.weight_flips_caught,
+                c.crash_loops_detected,
+                c.crashes,
+                c.resumed_downloads,
+                c.quarantined,
+            ),
+            format!(
+                "bad release stopped at the canary accuracy gate: blast radius {} of \
+                 {DEVICES} devices, all rolled back automatically ({} wave rollback)",
+                bad.counters.installs, bad.counters.wave_rollbacks,
+            ),
+        ],
+    };
+    (experiment, snapshot)
+}
+
 /// Runs every experiment in index order.
 #[must_use]
 pub fn all() -> Vec<Experiment> {
@@ -2035,6 +2293,7 @@ pub fn all() -> Vec<Experiment> {
         observe(),
         kernels(),
         routing(),
+        fleet(),
         lint(),
     ]);
     out

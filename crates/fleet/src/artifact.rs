@@ -1,0 +1,520 @@
+//! Packed OTA model artifacts: a graph plus its explicit weights,
+//! serialized into hash-chained chunks sized for lossy links.
+//!
+//! The textual graph format deliberately excludes explicit weights (it
+//! exchanges architectures, like ONNX without initializers), so an OTA
+//! image needs its own container: the architecture dump with weights
+//! swapped for seeded placeholders, followed by a binary weight section
+//! keyed by node index. [`unpack`](ModelArtifact::unpack) materializes
+//! the placeholder weights once to recover tensor shapes, then replaces
+//! their data with the stored floats — shape agreement is structural,
+//! never trusted from the wire.
+//!
+//! Integrity is per chunk *and* end-to-end: every chunk carries a
+//! SHA-256 in the [`Manifest`], and the manifest root chains those
+//! hashes in order, so a device can reject a corrupted chunk the moment
+//! it arrives (and re-request just that chunk) while still proving the
+//! assembled payload is exactly the released image.
+
+use vedliot_nnir::exec::Runner;
+use vedliot_nnir::graph::{Graph, WeightInit};
+use vedliot_nnir::tensor::Tensor;
+use vedliot_nnir::textual;
+use vedliot_nnir::NnirError;
+use vedliot_trust::hash::sha256;
+
+/// Container magic: VEDLIoT OTA, format 1.
+const MAGIC: &[u8; 6] = b"VOTA1\n";
+
+/// Errors from packing, unpacking, or verifying an artifact.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ArtifactError {
+    /// The graph could not be serialized or parsed in textual form.
+    Text(textual::TextFormatError),
+    /// Graph-level failure (weight materialization, tensor rebuild).
+    Graph(NnirError),
+    /// The payload violates the container format.
+    Malformed(String),
+    /// A chunk's hash does not match the manifest.
+    ChunkHashMismatch {
+        /// Index of the offending chunk.
+        index: u32,
+    },
+    /// The chained root over all chunks does not match the manifest.
+    RootMismatch,
+    /// The version string contains a newline (the header is line-based).
+    BadVersionName,
+}
+
+impl std::fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArtifactError::Text(e) => write!(f, "artifact text section: {e}"),
+            ArtifactError::Graph(e) => write!(f, "artifact graph: {e}"),
+            ArtifactError::Malformed(why) => write!(f, "malformed artifact: {why}"),
+            ArtifactError::ChunkHashMismatch { index } => {
+                write!(f, "chunk {index} failed its hash check")
+            }
+            ArtifactError::RootMismatch => write!(f, "assembled payload root mismatch"),
+            ArtifactError::BadVersionName => write!(f, "version string must not contain newlines"),
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {}
+
+impl From<textual::TextFormatError> for ArtifactError {
+    fn from(e: textual::TextFormatError) -> Self {
+        ArtifactError::Text(e)
+    }
+}
+
+impl From<NnirError> for ArtifactError {
+    fn from(e: NnirError) -> Self {
+        ArtifactError::Graph(e)
+    }
+}
+
+/// The signed-off description of a release: per-chunk hashes plus a
+/// chained root. Delivered to devices over the attested control channel
+/// (out of band of the bulk chunk transfer).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// Human-readable version label (`"v2"`, `"resnet8-int8-r3"`, ...).
+    pub version: String,
+    /// Total payload size in bytes.
+    pub payload_bytes: usize,
+    /// SHA-256 of each chunk, in order.
+    pub chunk_hashes: Vec<[u8; 32]>,
+    /// Hash chain over `chunk_hashes` in order — the release identity.
+    pub root: [u8; 32],
+}
+
+impl Manifest {
+    /// Number of chunks in the release.
+    #[must_use]
+    pub fn chunk_count(&self) -> u32 {
+        u32::try_from(self.chunk_hashes.len()).unwrap_or(u32::MAX)
+    }
+
+    /// Folds the per-chunk hashes into the chained root:
+    /// `root_i = sha256(root_{i-1} || h_i)`, seeded from the version
+    /// label so two releases with identical bytes still differ.
+    #[must_use]
+    pub fn chain_root(version: &str, chunk_hashes: &[[u8; 32]]) -> [u8; 32] {
+        let mut acc = sha256(version.as_bytes());
+        for h in chunk_hashes {
+            let mut buf = [0u8; 64];
+            buf[..32].copy_from_slice(&acc);
+            buf[32..].copy_from_slice(h);
+            acc = sha256(&buf);
+        }
+        acc
+    }
+}
+
+/// One transfer unit of the payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Chunk {
+    /// Position in the payload.
+    pub index: u32,
+    /// Raw bytes (last chunk may be short).
+    pub payload: Vec<u8>,
+}
+
+impl Chunk {
+    /// Verifies this chunk against the manifest entry for its index.
+    #[must_use]
+    pub fn verify(&self, manifest: &Manifest) -> bool {
+        manifest
+            .chunk_hashes
+            .get(self.index as usize)
+            .is_some_and(|expected| &sha256(&self.payload) == expected)
+    }
+}
+
+/// A packed release: manifest plus chunked payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelArtifact {
+    /// Release manifest.
+    pub manifest: Manifest,
+    /// Payload chunks, in order.
+    pub chunks: Vec<Chunk>,
+}
+
+impl ModelArtifact {
+    /// Packs a graph (explicit weights and all) into a chunked,
+    /// hash-chained artifact.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the version label is multi-line, if the architecture
+    /// cannot be serialized, or `chunk_bytes` is zero.
+    pub fn pack(version: &str, graph: &Graph, chunk_bytes: usize) -> Result<Self, ArtifactError> {
+        if version.contains('\n') {
+            return Err(ArtifactError::BadVersionName);
+        }
+        if chunk_bytes == 0 {
+            return Err(ArtifactError::Malformed("chunk_bytes must be > 0".into()));
+        }
+        // Strip explicit weights for the architecture dump; record them
+        // in the binary section keyed by node index.
+        let mut arch = graph.clone();
+        let mut weight_records: Vec<(u32, Vec<Tensor>)> = Vec::new();
+        for (idx, node) in arch.nodes_mut().iter_mut().enumerate() {
+            if let WeightInit::Explicit(tensors) = &node.weights {
+                let idx = u32::try_from(idx)
+                    .map_err(|_| ArtifactError::Malformed("node index overflow".into()))?;
+                weight_records.push((idx, tensors.clone()));
+                node.weights = WeightInit::Seeded(0);
+            }
+        }
+        let text = textual::write(&arch)?;
+
+        let mut payload = Vec::with_capacity(text.len() + 64);
+        payload.extend_from_slice(MAGIC);
+        payload.extend_from_slice(version.as_bytes());
+        payload.push(b'\n');
+        payload.extend_from_slice(&(text.len() as u64).to_le_bytes());
+        payload.extend_from_slice(text.as_bytes());
+        payload.extend_from_slice(&(weight_records.len() as u32).to_le_bytes());
+        for (idx, tensors) in &weight_records {
+            payload.extend_from_slice(&idx.to_le_bytes());
+            payload.extend_from_slice(&(tensors.len() as u32).to_le_bytes());
+            for t in tensors {
+                payload.extend_from_slice(&(t.data().len() as u64).to_le_bytes());
+                for v in t.data() {
+                    payload.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+        }
+
+        let chunks: Vec<Chunk> = payload
+            .chunks(chunk_bytes)
+            .enumerate()
+            .map(|(i, c)| Chunk {
+                index: i as u32,
+                payload: c.to_vec(),
+            })
+            .collect();
+        let chunk_hashes: Vec<[u8; 32]> = chunks.iter().map(|c| sha256(&c.payload)).collect();
+        let root = Manifest::chain_root(version, &chunk_hashes);
+        Ok(ModelArtifact {
+            manifest: Manifest {
+                version: version.to_string(),
+                payload_bytes: payload.len(),
+                chunk_hashes,
+                root,
+            },
+            chunks,
+        })
+    }
+
+    /// Reassembles the payload bytes (no verification).
+    #[must_use]
+    pub fn payload(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.manifest.payload_bytes);
+        for c in &self.chunks {
+            out.extend_from_slice(&c.payload);
+        }
+        out
+    }
+
+    /// Total payload size in bytes.
+    #[must_use]
+    pub fn payload_bytes(&self) -> usize {
+        self.manifest.payload_bytes
+    }
+
+    /// Verifies every chunk hash and the chained root.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failing chunk, or [`ArtifactError::RootMismatch`]
+    /// if the per-chunk hashes pass but the chained root differs (a
+    /// manifest/payload mix-up).
+    pub fn verify(&self) -> Result<(), ArtifactError> {
+        if self.chunks.len() != self.manifest.chunk_hashes.len() {
+            return Err(ArtifactError::Malformed(format!(
+                "{} chunks but {} manifest hashes",
+                self.chunks.len(),
+                self.manifest.chunk_hashes.len()
+            )));
+        }
+        for c in &self.chunks {
+            if !c.verify(&self.manifest) {
+                return Err(ArtifactError::ChunkHashMismatch { index: c.index });
+            }
+        }
+        let root = Manifest::chain_root(&self.manifest.version, &self.manifest.chunk_hashes);
+        if root != self.manifest.root {
+            return Err(ArtifactError::RootMismatch);
+        }
+        Ok(())
+    }
+
+    /// Verifies integrity, parses the payload, and reattaches explicit
+    /// weights — the full install path a device runs before activation.
+    ///
+    /// # Errors
+    ///
+    /// Any integrity or format violation; nothing partial is returned.
+    pub fn unpack(&self) -> Result<Graph, ArtifactError> {
+        self.verify()?;
+        let payload = self.payload();
+        let mut r = Reader::new(&payload);
+        if r.take(MAGIC.len())? != MAGIC.as_slice() {
+            return Err(ArtifactError::Malformed("bad magic".into()));
+        }
+        let version = r.line()?;
+        if version != self.manifest.version {
+            return Err(ArtifactError::Malformed(format!(
+                "payload labeled {version:?} but manifest says {:?}",
+                self.manifest.version
+            )));
+        }
+        let text_len = usize::try_from(r.u64()?)
+            .map_err(|_| ArtifactError::Malformed("text length overflow".into()))?;
+        let text = std::str::from_utf8(r.take(text_len)?)
+            .map_err(|_| ArtifactError::Malformed("graph text is not UTF-8".into()))?;
+        let mut graph = textual::read(text)?;
+
+        // Materialize the placeholder weights once to learn shapes,
+        // then substitute the stored floats.
+        let shapes: Vec<Option<Vec<Tensor>>> = {
+            let exec = Runner::builder().build(&graph)?;
+            graph
+                .nodes()
+                .iter()
+                .map(|n| {
+                    if matches!(n.weights, WeightInit::None) {
+                        Ok(None)
+                    } else {
+                        exec.node_weights(n).map(Some)
+                    }
+                })
+                .collect::<Result<_, NnirError>>()?
+        };
+
+        let record_count = r.u32()? as usize;
+        for _ in 0..record_count {
+            let node_idx = r.u32()? as usize;
+            let tensor_count = r.u32()? as usize;
+            let template = shapes
+                .get(node_idx)
+                .and_then(Option::as_ref)
+                .ok_or_else(|| {
+                    ArtifactError::Malformed(format!(
+                        "weight record for weightless node {node_idx}"
+                    ))
+                })?;
+            if template.len() != tensor_count {
+                return Err(ArtifactError::Malformed(format!(
+                    "node {node_idx}: {tensor_count} stored tensors, structure wants {}",
+                    template.len()
+                )));
+            }
+            let mut tensors = Vec::with_capacity(tensor_count);
+            for t in template {
+                let n = usize::try_from(r.u64()?)
+                    .map_err(|_| ArtifactError::Malformed("tensor length overflow".into()))?;
+                if n != t.data().len() {
+                    return Err(ArtifactError::Malformed(format!(
+                        "node {node_idx}: stored tensor has {n} floats, shape wants {}",
+                        t.data().len()
+                    )));
+                }
+                let mut data = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let b = r.take(4)?;
+                    data.push(f32::from_le_bytes([b[0], b[1], b[2], b[3]]));
+                }
+                tensors.push(Tensor::from_vec(t.shape().clone(), data)?);
+            }
+            graph.nodes_mut()[node_idx].weights = WeightInit::Explicit(tensors);
+        }
+        if !r.at_end() {
+            return Err(ArtifactError::Malformed(
+                "trailing bytes after records".into(),
+            ));
+        }
+        Ok(graph)
+    }
+}
+
+/// Bounds-checked little-endian payload reader.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ArtifactError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| ArtifactError::Malformed("truncated payload".into()))?;
+        let out = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn line(&mut self) -> Result<String, ArtifactError> {
+        let rest = &self.buf[self.pos..];
+        let nl = rest
+            .iter()
+            .position(|&b| b == b'\n')
+            .ok_or_else(|| ArtifactError::Malformed("unterminated header line".into()))?;
+        let s = std::str::from_utf8(&rest[..nl])
+            .map_err(|_| ArtifactError::Malformed("header line is not UTF-8".into()))?
+            .to_string();
+        self.pos += nl + 1;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> Result<u32, ArtifactError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, ArtifactError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vedliot_nnir::exec::{RunOptions, Runner};
+    use vedliot_nnir::shape::Shape;
+    use vedliot_nnir::train::mlp;
+
+    fn explicit_model() -> Graph {
+        // Materialize the seeded weights so the graph carries Explicit
+        // tensors, like a trained model about to ship.
+        let mut g = mlp("ota-test", 6, &[5], 3).expect("mlp builds");
+        let materialized: Vec<Option<Vec<Tensor>>> = {
+            let exec = Runner::builder().build(&g).expect("valid graph");
+            g.nodes()
+                .iter()
+                .map(|n| {
+                    if matches!(n.weights, WeightInit::None) {
+                        None
+                    } else {
+                        Some(exec.node_weights(n).expect("materializes"))
+                    }
+                })
+                .collect()
+        };
+        for (node, w) in g.nodes_mut().iter_mut().zip(materialized) {
+            if let Some(tensors) = w {
+                node.weights = WeightInit::Explicit(tensors);
+            }
+        }
+        g
+    }
+
+    fn probe_output(g: &Graph) -> Tensor {
+        let input = Tensor::random(Shape::nf(1, 6), 11, 1.0);
+        let mut runner = Runner::builder().build(g).expect("valid graph");
+        runner
+            .execute(std::slice::from_ref(&input), RunOptions::default())
+            .expect("runs")
+            .outputs()[0]
+            .clone()
+    }
+
+    #[test]
+    fn pack_unpack_round_trips_weights_exactly() {
+        let g = explicit_model();
+        let artifact = ModelArtifact::pack("v1", &g, 96).expect("packs");
+        assert!(
+            artifact.chunks.len() > 3,
+            "model should span several chunks"
+        );
+        let back = artifact.unpack().expect("unpacks");
+        // Same architecture, same explicit weights, same outputs.
+        assert_eq!(g, back);
+        let a = probe_output(&g);
+        let b = probe_output(&back);
+        assert_eq!(a.max_abs_diff(&b).expect("same shape"), 0.0);
+    }
+
+    #[test]
+    fn every_flipped_bit_in_any_chunk_is_caught() {
+        let g = explicit_model();
+        let artifact = ModelArtifact::pack("v1", &g, 128).expect("packs");
+        for (i, chunk) in artifact.chunks.iter().enumerate() {
+            let mut evil = chunk.clone();
+            let byte = (i * 7) % evil.payload.len();
+            evil.payload[byte] ^= 1 << (i % 8);
+            assert!(
+                !evil.verify(&artifact.manifest),
+                "flipped bit in chunk {i} slipped past the hash check"
+            );
+        }
+        // And through the end-to-end path: a corrupted chunk fails unpack.
+        let mut tampered = artifact.clone();
+        tampered.chunks[1].payload[0] ^= 0x80;
+        match tampered.unpack() {
+            Err(ArtifactError::ChunkHashMismatch { index: 1 }) => {}
+            other => panic!("expected chunk-1 hash mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn root_binds_chunk_order() {
+        let g = explicit_model();
+        let mut artifact = ModelArtifact::pack("v1", &g, 64).expect("packs");
+        // Swap two chunks *and* their manifest hashes: per-chunk checks
+        // pass, but the chained root no longer matches.
+        artifact.chunks.swap(0, 1);
+        artifact.manifest.chunk_hashes.swap(0, 1);
+        let a = artifact.chunks[0].index;
+        artifact.chunks[0].index = artifact.chunks[1].index;
+        artifact.chunks[1].index = a;
+        match artifact.verify() {
+            Err(ArtifactError::RootMismatch) => {}
+            other => panic!("expected root mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn version_label_is_part_of_identity() {
+        let g = explicit_model();
+        let a = ModelArtifact::pack("v1", &g, 128).expect("packs");
+        let b = ModelArtifact::pack("v2", &g, 128).expect("packs");
+        assert_ne!(a.manifest.root, b.manifest.root);
+        assert!(ModelArtifact::pack("v\n1", &g, 128).is_err());
+    }
+
+    #[test]
+    fn truncated_payload_is_a_typed_error() {
+        let g = explicit_model();
+        let mut artifact = ModelArtifact::pack("v1", &g, 128).expect("packs");
+        // Drop the last chunk and its hash, re-root so integrity passes,
+        // leaving only the format check to catch the truncation.
+        artifact.chunks.pop();
+        artifact.manifest.chunk_hashes.pop();
+        artifact.manifest.payload_bytes = artifact.payload().len();
+        artifact.manifest.root =
+            Manifest::chain_root(&artifact.manifest.version, &artifact.manifest.chunk_hashes);
+        match artifact.unpack() {
+            Err(ArtifactError::Malformed(_)) => {}
+            other => panic!("expected malformed, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Seeded fleet-level fault injection.
+//!
+//! A [`FleetFaultPlan`] is the rollout counterpart of the serving
+//! layer's `FaultPlan` and the graph-level injectors in
+//! `vedliot-safety`: one seed, a handful of rates, and every adversity
+//! the rollout engine must survive — device crashes mid-download,
+//! network partitions, bits flipped in transit (must be caught by chunk
+//! hashes), bits flipped in installed weights (must be caught by golden
+//! checks), crash-looping installs, and compromised devices presenting
+//! forged attestations (must be quarantined, never installed to).
+//!
+//! All draws are made from salted [`DetRng`](vedliot_nnir::det::DetRng)
+//! streams keyed by `(plan seed, device, tick)`, so a plan replays
+//! identically and the convergence assertions in the harness are exact.
+
+/// How a compromised device fails attestation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompromiseKind {
+    /// The device boots tampered firmware: its boot measurement is not
+    /// the released one, so an honestly signed report is rejected.
+    TamperedFirmware,
+    /// An attacker without the device's fused key forges a report for a
+    /// legitimate device identity: the HMAC cannot verify.
+    ForgedSignature,
+}
+
+/// Seeded adversity schedule for one rollout.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetFaultPlan {
+    /// Seed for every fault stream (independent of the fleet seed).
+    pub seed: u64,
+    /// Per-tick probability that an actively updating device crashes
+    /// and reboots (downloads resume from the last verified chunk).
+    pub crash_per_tick: f64,
+    /// Per-chunk probability of a bit flipped in transit.
+    pub transit_flip_rate: f64,
+    /// Per-install probability that the written weights take bit flips
+    /// (flash wear / rowhammer model) before the soak check runs.
+    pub weight_flip_rate: f64,
+    /// Number of bits flipped when a weight-flip strike lands.
+    pub weight_flips: usize,
+    /// Per-install probability of a crash-looping install.
+    pub install_crash_rate: f64,
+    /// Fraction of the fleet compromised at rollout start (forged or
+    /// tampered attestation, split evenly by a seeded draw).
+    pub compromised_rate: f64,
+    /// Per-tick probability that a network partition event starts.
+    pub partition_rate: f64,
+    /// Devices cut off by one partition event.
+    pub partition_span: usize,
+    /// Duration of one partition event, in ticks.
+    pub partition_ticks: u64,
+}
+
+impl FleetFaultPlan {
+    /// No injected faults at all (links still follow their traces).
+    #[must_use]
+    pub fn quiet(seed: u64) -> Self {
+        FleetFaultPlan {
+            seed,
+            crash_per_tick: 0.0,
+            transit_flip_rate: 0.0,
+            weight_flip_rate: 0.0,
+            weight_flips: 0,
+            install_crash_rate: 0.0,
+            compromised_rate: 0.0,
+            partition_rate: 0.0,
+            partition_span: 0,
+            partition_ticks: 0,
+        }
+    }
+
+    /// The adversity profile E26 runs: everything at once, hard enough
+    /// that ≥5% of the fleet crashes during the rollout.
+    #[must_use]
+    pub fn hostile(seed: u64) -> Self {
+        FleetFaultPlan {
+            seed,
+            crash_per_tick: 0.002,
+            transit_flip_rate: 0.02,
+            weight_flip_rate: 0.03,
+            weight_flips: 4,
+            install_crash_rate: 0.01,
+            compromised_rate: 0.01,
+            partition_rate: 0.01,
+            partition_span: 40,
+            partition_ticks: 60,
+        }
+    }
+
+    /// Checks every rate is a probability and spans are sane.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first offending field by name.
+    pub fn validate(&self) -> Result<(), String> {
+        let rates = [
+            ("crash_per_tick", self.crash_per_tick),
+            ("transit_flip_rate", self.transit_flip_rate),
+            ("weight_flip_rate", self.weight_flip_rate),
+            ("install_crash_rate", self.install_crash_rate),
+            ("compromised_rate", self.compromised_rate),
+            ("partition_rate", self.partition_rate),
+        ];
+        for (name, rate) in rates {
+            if !(0.0..=1.0).contains(&rate) || rate.is_nan() {
+                return Err(format!("{name} = {rate} is not a probability"));
+            }
+        }
+        if self.weight_flip_rate > 0.0 && self.weight_flips == 0 {
+            return Err("weight_flip_rate > 0 but weight_flips = 0".into());
+        }
+        if self.partition_rate > 0.0 && (self.partition_span == 0 || self.partition_ticks == 0) {
+            return Err("partition_rate > 0 but partition span/duration is zero".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        assert_eq!(FleetFaultPlan::quiet(1).validate(), Ok(()));
+        assert_eq!(FleetFaultPlan::hostile(1).validate(), Ok(()));
+    }
+
+    #[test]
+    fn bad_rates_are_named() {
+        let mut plan = FleetFaultPlan::quiet(1);
+        plan.transit_flip_rate = 1.5;
+        let err = plan.validate().unwrap_err();
+        assert!(err.contains("transit_flip_rate"), "{err}");
+
+        let mut plan = FleetFaultPlan::hostile(1);
+        plan.weight_flips = 0;
+        assert!(plan.validate().is_err());
+
+        let mut plan = FleetFaultPlan::hostile(1);
+        plan.partition_span = 0;
+        assert!(plan.validate().is_err());
+    }
+}

@@ -27,6 +27,8 @@
 //!   quality measurements Kenning reports,
 //! * [`textual`] — a line-based open interchange format for graph
 //!   architectures (the ONNX-compatibility role),
+//! * [`det`] — the shared deterministic RNG substrate (splitmix64 +
+//!   xorshift64*) used by every seeded fault/chaos/fleet simulation,
 //! * [`analysis`] — the multi-pass static verifier and lint framework
 //!   (structured diagnostics with stable codes; the hard gate in front
 //!   of execution and behind every toolchain transform).
@@ -48,6 +50,7 @@
 pub mod analysis;
 pub mod cost;
 pub mod dataset;
+pub mod det;
 pub mod dtype;
 pub mod error;
 pub mod exec;

@@ -340,14 +340,11 @@ impl Tensor {
     /// platforms, no external RNG state).
     pub fn fill_random(&mut self, seed: u64, scale: f32) {
         self.quant = None;
-        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1);
+        // The raw-state seeding reproduces the historical inline
+        // xorshift64* stream exactly, so seeded fixtures are stable.
+        let mut rng = crate::det::DetRng::from_raw_state(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
         for x in &mut self.data {
-            // xorshift64*
-            state ^= state >> 12;
-            state ^= state << 25;
-            state ^= state >> 27;
-            let r = state.wrapping_mul(0x2545_F491_4F6C_DD1D);
-            let unit = (r >> 11) as f32 / (1u64 << 53) as f32; // [0,1)
+            let unit = (rng.next_u64() >> 11) as f32 / (1u64 << 53) as f32; // [0,1)
             *x = (unit * 2.0 - 1.0) * scale;
         }
     }

@@ -54,12 +54,32 @@ impl NetworkCondition {
         }
     }
 
+    /// A fully severed link: the shape a network partition presents to
+    /// a device (the fleet rollout simulation stalls downloads on it).
+    #[must_use]
+    pub fn down() -> Self {
+        NetworkCondition {
+            uplink_mbps: 0.0,
+            rtt_ms: f64::INFINITY,
+            loss: 1.0,
+        }
+    }
+
+    /// Whether the link is unusable: loss ≥ 50% or no uplink bandwidth.
+    /// [`upload_ms`](Self::upload_ms) returns `None` exactly when this
+    /// holds (property-tested — the fleet partition model depends on
+    /// the two never disagreeing).
+    #[must_use]
+    pub fn is_down(&self) -> bool {
+        self.loss >= 0.5 || self.uplink_mbps <= 0.0
+    }
+
     /// Expected time to deliver `bytes` upstream, including loss-driven
     /// retransmissions, in milliseconds. `None` when the link is
     /// unusable (loss ≥ 50%).
     #[must_use]
     pub fn upload_ms(&self, bytes: u64) -> Option<f64> {
-        if self.loss >= 0.5 || self.uplink_mbps <= 0.0 {
+        if self.is_down() {
             return None;
         }
         let goodput = self.uplink_mbps * (1.0 - self.loss);

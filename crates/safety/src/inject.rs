@@ -6,12 +6,64 @@
 //! attacks)". This module injects exactly those faults — weight bit
 //! flips (SEUs), activation corruption, sensor faults — so monitors and
 //! the robustness service can be evaluated quantitatively.
+//!
+//! Every seeded campaign draws from the shared deterministic RNG
+//! substrate ([`vedliot_nnir::det`]), so a fault schedule observed once
+//! replays bit-for-bit. The explicit-target entry points
+//! ([`flip_tensor_bit`], [`corrupt_tensor_bits`]) validate their
+//! coordinates and return a typed [`InjectError`] instead of panicking —
+//! they are driven by external plans (the fleet OTA simulation), where a
+//! malformed coordinate must be a diagnosable error, not a crash.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use vedliot_nnir::det::DetRng;
 use vedliot_nnir::exec::Runner;
 use vedliot_nnir::graph::WeightInit;
-use vedliot_nnir::{Graph, NnirError, Op};
+use vedliot_nnir::{Graph, NnirError, Op, Tensor};
+
+/// Why an injection request could not be applied.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum InjectError {
+    /// The target tensor has no elements to corrupt.
+    EmptyTensor,
+    /// The element index is outside the tensor.
+    ElementOutOfRange {
+        /// Requested element index.
+        elem: usize,
+        /// Number of elements in the tensor.
+        len: usize,
+    },
+    /// The bit index is outside an `f32` (valid bits are `0..32`).
+    BitIndexOutOfRange {
+        /// Requested bit index.
+        bit: u32,
+    },
+    /// The underlying graph rejected the operation.
+    Graph(NnirError),
+}
+
+impl std::fmt::Display for InjectError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InjectError::EmptyTensor => write!(f, "cannot inject into an empty tensor"),
+            InjectError::ElementOutOfRange { elem, len } => {
+                write!(f, "element index {elem} out of range for tensor of {len}")
+            }
+            InjectError::BitIndexOutOfRange { bit } => {
+                write!(f, "bit index {bit} out of range for f32 (valid: 0..32)")
+            }
+            InjectError::Graph(e) => write!(f, "graph error during injection: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for InjectError {}
+
+impl From<NnirError> for InjectError {
+    fn from(e: NnirError) -> Self {
+        InjectError::Graph(e)
+    }
+}
 
 /// A sensor fault applied to a time series.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -66,11 +118,9 @@ pub fn inject_sensor_fault(series: &[f64], fault: SensorFault, seed: u64) -> Vec
             }
         }
         SensorFault::Noise { sigma } => {
-            let mut rng = StdRng::seed_from_u64(seed);
+            let mut rng = DetRng::new(seed);
             for x in &mut out {
-                let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
-                let u2: f64 = rng.gen();
-                *x += sigma * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                *x += sigma * rng.gauss();
             }
         }
     }
@@ -101,7 +151,7 @@ pub fn flip_weight_bits(
     flips: usize,
     seed: u64,
 ) -> Result<BitFlipReport, NnirError> {
-    let materialized: Vec<Option<Vec<vedliot_nnir::Tensor>>> = {
+    let materialized: Vec<Option<Vec<Tensor>>> = {
         let exec = Runner::builder().build(graph)?;
         graph
             .nodes()
@@ -128,17 +178,15 @@ pub fn flip_weight_bits(
             layers_hit: Vec::new(),
         });
     }
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut tensors: Vec<Option<Vec<vedliot_nnir::Tensor>>> = materialized;
+    let mut rng = DetRng::new(seed);
+    let mut tensors: Vec<Option<Vec<Tensor>>> = materialized;
     let mut layers_hit = Vec::new();
     for _ in 0..flips {
-        let &(node_idx, len) = &candidates[rng.gen_range(0..candidates.len())];
+        let &(node_idx, len) = &candidates[rng.index(candidates.len())];
         let weights = tensors[node_idx].as_mut().expect("candidate has weights");
-        let elem = rng.gen_range(0..len);
-        let bit = rng.gen_range(0..32);
-        let w = &mut weights[0];
-        let raw = w.data()[elem].to_bits() ^ (1u32 << bit);
-        w.data_mut()[elem] = f32::from_bits(raw);
+        let elem = rng.index(len);
+        let bit = rng.index(32) as u32;
+        flip_tensor_bit(&mut weights[0], elem, bit).expect("drawn coordinates are in range");
         let name = graph.nodes()[node_idx].name.clone();
         if !layers_hit.contains(&name) {
             layers_hit.push(name);
@@ -153,38 +201,86 @@ pub fn flip_weight_bits(
     Ok(BitFlipReport { flips, layers_hit })
 }
 
-/// Flips `flips` random bits in a tensor's values — activation
-/// corruption, the runtime counterpart of [`flip_weight_bits`] (a bit
-/// error striking a feature map buffer between layers).
-#[must_use]
-pub fn corrupt_tensor(
-    tensor: &vedliot_nnir::Tensor,
-    flips: usize,
-    seed: u64,
-) -> vedliot_nnir::Tensor {
+/// Flips exactly one bit of one element in place — the precise-target
+/// primitive behind every campaign above (and the fleet simulation's
+/// installed-weight faults).
+///
+/// # Errors
+///
+/// [`InjectError::ElementOutOfRange`] / [`InjectError::BitIndexOutOfRange`]
+/// when the coordinates do not address a bit of the tensor.
+pub fn flip_tensor_bit(tensor: &mut Tensor, elem: usize, bit: u32) -> Result<(), InjectError> {
+    let len = tensor.data().len();
+    if elem >= len {
+        return Err(InjectError::ElementOutOfRange { elem, len });
+    }
+    if bit >= 32 {
+        return Err(InjectError::BitIndexOutOfRange { bit });
+    }
+    let raw = tensor.data()[elem].to_bits() ^ (1u32 << bit);
+    tensor.data_mut()[elem] = f32::from_bits(raw);
+    Ok(())
+}
+
+/// Applies an explicit list of `(element, bit)` flips to a copy of the
+/// tensor, validating every coordinate before touching anything.
+///
+/// # Errors
+///
+/// Typed [`InjectError`]s on an empty tensor or out-of-range coordinates;
+/// on error the input is untouched and nothing partial is returned.
+pub fn corrupt_tensor_bits(tensor: &Tensor, flips: &[(usize, u32)]) -> Result<Tensor, InjectError> {
+    if tensor.data().is_empty() && !flips.is_empty() {
+        return Err(InjectError::EmptyTensor);
+    }
+    for &(elem, bit) in flips {
+        let len = tensor.data().len();
+        if elem >= len {
+            return Err(InjectError::ElementOutOfRange { elem, len });
+        }
+        if bit >= 32 {
+            return Err(InjectError::BitIndexOutOfRange { bit });
+        }
+    }
     let mut out = tensor.clone();
-    if out.data().is_empty() {
-        return out;
+    for &(elem, bit) in flips {
+        flip_tensor_bit(&mut out, elem, bit).expect("coordinates validated above");
     }
-    let mut rng = StdRng::seed_from_u64(seed);
-    let len = out.data().len();
-    for _ in 0..flips {
-        let elem = rng.gen_range(0..len);
-        let bit = rng.gen_range(0..32);
-        let raw = out.data()[elem].to_bits() ^ (1u32 << bit);
-        out.data_mut()[elem] = f32::from_bits(raw);
+    Ok(out)
+}
+
+/// Flips `flips` random bits in a copy of the tensor's values —
+/// activation corruption, the runtime counterpart of
+/// [`flip_weight_bits`] (a bit error striking a feature map buffer
+/// between layers).
+///
+/// # Errors
+///
+/// [`InjectError::EmptyTensor`] when asked for at least one flip on a
+/// tensor with no elements (there is no bit to corrupt).
+pub fn corrupt_tensor(tensor: &Tensor, flips: usize, seed: u64) -> Result<Tensor, InjectError> {
+    if flips == 0 {
+        return Ok(tensor.clone());
     }
-    out
+    if tensor.data().is_empty() {
+        return Err(InjectError::EmptyTensor);
+    }
+    let mut rng = DetRng::new(seed);
+    let len = tensor.data().len();
+    let draws: Vec<(usize, u32)> = (0..flips)
+        .map(|_| (rng.index(len), rng.index(32) as u32))
+        .collect();
+    corrupt_tensor_bits(tensor, &draws)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use vedliot_nnir::exec::RunOptions;
-    use vedliot_nnir::{zoo, Shape, Tensor};
+    use vedliot_nnir::{zoo, Shape};
 
     /// One forward pass through a fresh default runner.
-    fn run_once(g: &vedliot_nnir::Graph, inputs: &[Tensor]) -> Vec<Tensor> {
+    fn run_once(g: &Graph, inputs: &[Tensor]) -> Vec<Tensor> {
         Runner::builder()
             .build(g)
             .unwrap()
@@ -306,12 +402,12 @@ mod tests {
         let model = zoo::lenet5(10).unwrap();
         let input = Tensor::random(Shape::nchw(1, 1, 28, 28), 5, 1.0);
         let clean = run_once(&model, std::slice::from_ref(&input));
-        let corrupted_input = corrupt_tensor(&input, 16, 3);
+        let corrupted_input = corrupt_tensor(&input, 16, 3).unwrap();
         assert_ne!(corrupted_input, input);
         let dirty = run_once(&model, std::slice::from_ref(&corrupted_input));
         assert!(clean[0].max_abs_diff(&dirty[0]).unwrap() > 0.0);
         // Deterministic per seed.
-        assert_eq!(corrupt_tensor(&input, 16, 3), corrupted_input);
+        assert_eq!(corrupt_tensor(&input, 16, 3).unwrap(), corrupted_input);
     }
 
     #[test]
@@ -320,5 +416,75 @@ mod tests {
         let report = flip_weight_bits(&mut model, 0, 1).unwrap();
         assert_eq!(report.flips, 0);
         model.validate().unwrap();
+    }
+
+    #[test]
+    fn empty_tensor_is_a_typed_error_not_a_panic() {
+        let empty = Tensor::zeros(Shape::nf(0, 4));
+        assert_eq!(
+            corrupt_tensor(&empty, 1, 0).unwrap_err(),
+            InjectError::EmptyTensor
+        );
+        assert_eq!(
+            corrupt_tensor_bits(&empty, &[(0, 0)]).unwrap_err(),
+            InjectError::EmptyTensor
+        );
+        // Zero requested flips on an empty tensor is a valid no-op.
+        assert_eq!(corrupt_tensor(&empty, 0, 0).unwrap(), empty);
+        assert_eq!(corrupt_tensor_bits(&empty, &[]).unwrap(), empty);
+    }
+
+    #[test]
+    fn out_of_range_coordinates_are_typed_errors() {
+        let t = Tensor::zeros(Shape::nf(1, 4));
+        let mut m = t.clone();
+        assert_eq!(
+            flip_tensor_bit(&mut m, 9, 0).unwrap_err(),
+            InjectError::ElementOutOfRange { elem: 9, len: 4 }
+        );
+        assert_eq!(
+            flip_tensor_bit(&mut m, 0, 32).unwrap_err(),
+            InjectError::BitIndexOutOfRange { bit: 32 }
+        );
+        assert_eq!(m, t, "failed flips must not modify the tensor");
+        assert_eq!(
+            corrupt_tensor_bits(&t, &[(0, 0), (4, 1)]).unwrap_err(),
+            InjectError::ElementOutOfRange { elem: 4, len: 4 }
+        );
+        assert_eq!(
+            corrupt_tensor_bits(&t, &[(1, 0), (0, 33)]).unwrap_err(),
+            InjectError::BitIndexOutOfRange { bit: 33 }
+        );
+    }
+
+    #[test]
+    fn explicit_flips_are_applied_exactly_and_are_involutive() {
+        let t = Tensor::random(Shape::nf(1, 8), 1, 1.0);
+        let once = corrupt_tensor_bits(&t, &[(2, 31), (5, 0)]).unwrap();
+        assert_ne!(once, t);
+        assert_eq!(once.data()[2], -t.data()[2], "bit 31 is the sign bit");
+        // Flipping the same bits again restores the original.
+        let twice = corrupt_tensor_bits(&once, &[(2, 31), (5, 0)]).unwrap();
+        assert_eq!(twice, t);
+        // Untouched elements stay bit-identical.
+        for i in [0, 1, 3, 4, 6, 7] {
+            assert_eq!(once.data()[i].to_bits(), t.data()[i].to_bits());
+        }
+    }
+
+    #[test]
+    fn error_display_is_stable() {
+        assert_eq!(
+            InjectError::EmptyTensor.to_string(),
+            "cannot inject into an empty tensor"
+        );
+        assert_eq!(
+            InjectError::ElementOutOfRange { elem: 7, len: 3 }.to_string(),
+            "element index 7 out of range for tensor of 3"
+        );
+        assert_eq!(
+            InjectError::BitIndexOutOfRange { bit: 40 }.to_string(),
+            "bit index 40 out of range for f32 (valid: 0..32)"
+        );
     }
 }

@@ -282,18 +282,11 @@ impl ChaosState {
     }
 }
 
-/// splitmix64 — tiny, seedable, good enough for fault schedules.
-pub(crate) fn splitmix64(x: u64) -> u64 {
-    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    z ^ (z >> 31)
-}
-
-/// Maps a u64 to [0, 1).
-fn unit_draw(x: u64) -> f64 {
-    (x >> 11) as f64 / (1u64 << 53) as f64
-}
+// The chaos streams draw from the workspace-wide deterministic RNG
+// substrate (one shared splitmix64, not a per-crate copy); the streams
+// are unchanged, so every recorded chaos schedule replays identically.
+pub(crate) use vedliot_nnir::det::splitmix64;
+use vedliot_nnir::det::unit_draw;
 
 #[cfg(test)]
 mod tests {

@@ -153,7 +153,8 @@ pub struct Verifier {
     enrolled: Vec<([u8; 32], [u8; 32])>, // (device_id, attestation_key)
     expected_measurement: Option<[u8; 32]>,
     nonce_counter: u64,
-    outstanding: Vec<[u8; 32]>,
+    // (nonce, device the challenge was issued to — None for unbound).
+    outstanding: Vec<([u8; 32], Option<[u8; 32]>)>,
 }
 
 impl Verifier {
@@ -173,20 +174,56 @@ impl Verifier {
         self.expected_measurement = Some(measurement);
     }
 
-    /// Issues a fresh challenge nonce.
+    /// Issues a fresh challenge nonce, usable by any enrolled device.
     pub fn challenge(&mut self) -> [u8; 32] {
+        self.issue(None)
+    }
+
+    /// Issues a fresh challenge nonce bound to one device: a report
+    /// quoting it is rejected unless it comes from that device. This is
+    /// the fleet-rollout shape — the backend challenges a specific
+    /// device before shipping it an update, so one compromised device
+    /// cannot answer on behalf of another.
+    pub fn challenge_for(&mut self, device_id: [u8; 32]) -> [u8; 32] {
+        self.issue(Some(device_id))
+    }
+
+    fn issue(&mut self, bound_to: Option<[u8; 32]>) -> [u8; 32] {
         self.nonce_counter += 1;
         let nonce = hmac_sha256(b"verifier-nonce", &self.nonce_counter.to_le_bytes());
-        self.outstanding.push(nonce);
+        self.outstanding.push((nonce, bound_to));
         nonce
     }
 
-    /// Verifies a report: device enrolled, nonce outstanding (consumed on
-    /// use — no replays), measurement as released, signature valid.
+    /// Number of challenges issued but not yet answered.
+    #[must_use]
+    pub fn outstanding_challenges(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    /// Verifies a report: nonce outstanding, device enrolled (and the
+    /// one the challenge was bound to), measurement as released,
+    /// signature valid.
+    ///
+    /// A challenge is strictly single-use: the outstanding nonce is
+    /// consumed by the *attempt*, whatever its outcome. A replayed
+    /// report — or a second guess after a forged one — is rejected
+    /// because its nonce is no longer outstanding; an attacker cannot
+    /// keep probing signatures against a live challenge.
     pub fn verify(&mut self, report: &AttestationReport) -> bool {
-        let Some(pos) = self.outstanding.iter().position(|n| n == &report.nonce) else {
+        let Some(pos) = self
+            .outstanding
+            .iter()
+            .position(|(n, _)| n == &report.nonce)
+        else {
             return false; // unknown or replayed nonce
         };
+        let (_, bound_to) = self.outstanding.remove(pos);
+        if let Some(bound) = bound_to {
+            if bound != report.device_id {
+                return false;
+            }
+        }
         let Some(&(_, key)) = self.enrolled.iter().find(|(id, _)| id == &report.device_id) else {
             return false;
         };
@@ -199,11 +236,7 @@ impl Verifier {
         message.extend_from_slice(&report.device_id);
         message.extend_from_slice(&report.boot_measurement);
         message.extend_from_slice(&report.nonce);
-        if hmac_sha256(&key, &message) != report.signature {
-            return false;
-        }
-        self.outstanding.remove(pos);
-        true
+        hmac_sha256(&key, &message) == report.signature
     }
 }
 
@@ -292,7 +325,64 @@ mod tests {
         let nonce = verifier.challenge();
         let report = attest(&rot, measurement, nonce);
         assert!(verifier.verify(&report));
+        assert_eq!(verifier.outstanding_challenges(), 0);
         assert!(!verifier.verify(&report), "nonce must be single-use");
+    }
+
+    #[test]
+    fn failed_attempt_consumes_the_challenge() {
+        // Replay-attack regression: an attacker submits a forged report
+        // quoting a live nonce. The attempt must burn the nonce — the
+        // attacker does not get a second guess, and even the legitimate
+        // device cannot answer the spent challenge afterwards (it must
+        // request a fresh one).
+        let rot = RootOfTrust::provision(b"device-0001");
+        let measurement = trusted_measurement();
+        let mut verifier = Verifier::new();
+        verifier.enroll(&rot);
+        verifier.expect_measurement(measurement);
+        let nonce = verifier.challenge();
+
+        let mut forged = attest(&rot, measurement, nonce);
+        forged.signature[0] ^= 0x01;
+        assert!(!verifier.verify(&forged));
+        assert_eq!(
+            verifier.outstanding_challenges(),
+            0,
+            "a failed attempt must consume the outstanding nonce"
+        );
+
+        let honest = attest(&rot, measurement, nonce);
+        assert!(
+            !verifier.verify(&honest),
+            "spent challenge must reject even a valid report"
+        );
+
+        // A fresh challenge restores service for the honest device.
+        let nonce2 = verifier.challenge();
+        assert!(verifier.verify(&attest(&rot, measurement, nonce2)));
+    }
+
+    #[test]
+    fn bound_challenge_rejects_other_devices() {
+        let alice = RootOfTrust::provision(b"device-alice");
+        let mallory = RootOfTrust::provision(b"device-mallory");
+        let measurement = trusted_measurement();
+        let mut verifier = Verifier::new();
+        verifier.enroll(&alice);
+        verifier.enroll(&mallory);
+        verifier.expect_measurement(measurement);
+
+        // Mallory (enrolled, healthy) answers Alice's challenge with a
+        // perfectly valid report — rejected: the challenge was bound.
+        let nonce = verifier.challenge_for(alice.device_id);
+        let hijack = attest(&mallory, measurement, nonce);
+        assert!(!verifier.verify(&hijack));
+        // And the attempt burned the nonce for Alice too.
+        assert!(!verifier.verify(&attest(&alice, measurement, nonce)));
+
+        let nonce2 = verifier.challenge_for(alice.device_id);
+        assert!(verifier.verify(&attest(&alice, measurement, nonce2)));
     }
 
     #[test]

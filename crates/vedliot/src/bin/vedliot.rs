@@ -4,6 +4,7 @@
 //! vedliot lint            # full static-analysis sweep over the zoo
 //! vedliot obs             # observability quick-start: profile + trace + export
 //! vedliot route           # multi-model gateway demo: load/unload + priorities
+//! vedliot fleet [seed]    # staged OTA rollout to a simulated device fleet
 //! ```
 //!
 //! `lint` runs the complete analyzer ([`vedliot::nnir::analysis`]) over
@@ -23,6 +24,13 @@
 //! through [`vedliot::serve::SubmitRequest`], one tenant hot-unloaded
 //! (drained, never dropped) while the other keeps serving, and the
 //! per-model metrics rendered with `model`/`priority` labels.
+//!
+//! `fleet` demonstrates the OTA rollout engine: a trained model packed
+//! into a hash-chained artifact and pushed to 200 simulated devices in
+//! health-gated waves under a hostile fault plan, ending with the
+//! device-by-device safety audit and the Prometheus-rendered fleet
+//! counters. Exits non-zero if the rollout fails or the audit finds a
+//! violation.
 
 use vedliot::nnir::analysis::Severity;
 use vedliot::toolchain::lint::lint_suite;
@@ -37,6 +45,9 @@ fn usage() -> ! {
     eprintln!("          traced serve run, JSON + Prometheus export");
     eprintln!("  route   multi-model gateway demo: hot load/unload, priority");
     eprintln!("          classes, per-tenant labelled metrics");
+    eprintln!("  fleet [seed]");
+    eprintln!("          fleet OTA demo: staged rollout to 200 simulated devices");
+    eprintln!("          under a hostile fault plan, with the post-rollout audit");
     std::process::exit(2);
 }
 
@@ -255,6 +266,109 @@ fn run_route() -> i32 {
     0
 }
 
+fn run_fleet(seed: u64) -> i32 {
+    use vedliot::fleet::{
+        Fleet, FleetConfig, FleetFaultPlan, Rollout, RolloutOutcome, RolloutPolicy,
+    };
+    use vedliot::nnir::dataset::gaussian_prototypes;
+    use vedliot::nnir::train::{mlp, train_mlp, TrainConfig};
+    use vedliot::nnir::{Shape, Tensor};
+    use vedliot::obs::Exportable;
+
+    const DEVICES: usize = 200;
+    let eval = gaussian_prototypes(&Shape::nf(1, 12), 3, 30, 3.0, 5);
+    let mut v1 = match mlp("demo-model", 12, &[10], 3) {
+        Ok(g) => g,
+        Err(err) => {
+            eprintln!("fleet: model failed to build: {err}");
+            return 1;
+        }
+    };
+    if let Err(err) = train_mlp(&mut v1, &eval, &TrainConfig::default()) {
+        eprintln!("fleet: training failed: {err}");
+        return 1;
+    }
+    let v2 = v1.clone();
+    let probe = Tensor::random(Shape::nf(1, 12), 99, 1.0);
+    let mut fleet = match Fleet::new(
+        FleetConfig {
+            devices: DEVICES,
+            seed,
+            trace_len: 128,
+        },
+        ("v1", v1),
+        probe,
+        Some(&eval),
+    ) {
+        Ok(f) => f,
+        Err(err) => {
+            eprintln!("fleet: fleet failed to build: {err}");
+            return 1;
+        }
+    };
+    let target = match fleet.register_version("v2", v2, Some(&eval)) {
+        Ok(idx) => idx,
+        Err(err) => {
+            eprintln!("fleet: v2 failed to register: {err}");
+            return 1;
+        }
+    };
+
+    let mut plan = FleetFaultPlan::hostile(seed.rotate_left(13));
+    plan.crash_per_tick = 0.01;
+    println!(
+        "rolling v2 out to {DEVICES} devices (seed {seed}): canary + health-gated \
+         waves, hostile fault plan\n"
+    );
+    let report = match Rollout::new(target, RolloutPolicy::default(), plan).run(&mut fleet) {
+        Ok(r) => r,
+        Err(err) => {
+            eprintln!("fleet: rollout failed: {err}");
+            return 1;
+        }
+    };
+    println!("wave  size  on_target  rolled_back  quarantined  gate");
+    for w in &report.waves {
+        println!(
+            "{:<5} {:<5} {:<10} {:<12} {:<12} {}",
+            w.index,
+            w.size,
+            w.health.on_target,
+            w.health.rolled_back,
+            w.health.quarantined,
+            if w.gate_passed { "pass" } else { "FAIL" },
+        );
+    }
+    let c = report.counters;
+    println!(
+        "\noutcome: {:?} after {} ticks; availability {:.4}",
+        report.outcome, report.ticks, report.availability
+    );
+    println!(
+        "defenses: {} transit flips caught by chunk hashes, {} corrupted installs \
+         caught by golden checks, {} crash loops detected, {} attestations quarantined, \
+         {} crashes / {} resumed downloads",
+        c.artifact_flips_caught,
+        c.weight_flips_caught,
+        c.crash_loops_detected,
+        c.quarantined,
+        c.crashes,
+        c.resumed_downloads,
+    );
+    println!("\n{}", report.export().to_prometheus());
+
+    let violations = fleet.audit(&report);
+    if !violations.is_empty() {
+        eprintln!("fleet: safety violations:");
+        for v in violations {
+            eprintln!("  - {v}");
+        }
+        return 1;
+    }
+    println!("fleet audit: clean (no device serves unverified or corrupted weights)");
+    i32::from(report.outcome != RolloutOutcome::Completed)
+}
+
 fn main() {
     let mut args = std::env::args().skip(1);
     let Some(command) = args.next() else { usage() };
@@ -262,6 +376,13 @@ fn main() {
         "lint" => std::process::exit(run_lint()),
         "obs" => std::process::exit(run_obs()),
         "route" => std::process::exit(run_route()),
+        "fleet" => {
+            let seed = args
+                .next()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(0xF1EE7u64);
+            std::process::exit(run_fleet(seed));
+        }
         _ => usage(),
     }
 }

@@ -22,6 +22,7 @@
 //! | [`socsim`] | Renode-style RV32IM SoC simulator with PMP + CFU | §II-B, §IV-C |
 //! | [`trust`] | SGX-like enclaves, WASM-like runtime, TrustZone, attestation | §IV-C |
 //! | [`safety`] | Input monitors, robustness service, fault injection, hybridization | §IV-B |
+//! | [`fleet`] | Fleet-scale OTA rollout: attested staged updates, health-gated waves, automatic rollback | §IV-B/C at scale |
 //! | [`reqeng`] | Architectural framework (concerns × levels) | §IV-A |
 //! | [`usecases`] | PAEB, motor condition, arc detection, smart mirror | §V |
 //!
@@ -44,6 +45,7 @@
 //! ```
 
 pub use vedliot_accel as accel;
+pub use vedliot_fleet as fleet;
 pub use vedliot_nnir as nnir;
 pub use vedliot_obs as obs;
 pub use vedliot_recs as recs;
