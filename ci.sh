@@ -124,6 +124,36 @@ if [[ $fast -eq 0 ]]; then
       exit 1;
     }
   }'
+
+  echo "==> analyze sweep (liveness/value-range/quant-safety over the zoo)"
+  # `lint --analyze` runs the dataflow analyses and the arena planner
+  # over every zoo model; it exits non-zero on Error-severity findings
+  # or an analysis failure.
+  cargo run -q --release -p vedliot --bin vedliot -- lint --analyze > /dev/null
+
+  echo "==> memory planner gate (E27 arena peak-memory reduction vs recorded baseline)"
+  # BENCH_pr9.json is the checked-in snapshot from `harness memory`.
+  # The E27 run asserts bit-identity and the 25% per-model bar
+  # internally; the planner is deterministic, so the gate holds the
+  # fresh reductions to the recorded baseline with a small float
+  # headroom, never below the 0.25 acceptance bar.
+  base_min=$(sed 's/.*"name":"min_conv_reduction"[^}]*"value"://;s/}.*//' BENCH_pr9.json)
+  base_all=$(sed 's/.*"name":"overall_reduction"[^}]*"value"://;s/}.*//' BENCH_pr9.json)
+  BENCH_OUT=target/BENCH_pr9.json ./target/release/harness memory > /dev/null
+  fresh_min=$(sed 's/.*"name":"min_conv_reduction"[^}]*"value"://;s/}.*//' target/BENCH_pr9.json)
+  fresh_all=$(sed 's/.*"name":"overall_reduction"[^}]*"value"://;s/}.*//' target/BENCH_pr9.json)
+  echo "    min conv reduction: baseline ${base_min}, fresh ${fresh_min}; overall: baseline ${base_all}, fresh ${fresh_all}"
+  awk -v fm="$fresh_min" -v bm="$base_min" -v fa="$fresh_all" -v ba="$base_all" 'BEGIN {
+    floor = bm - 0.02; if (floor < 0.25) floor = 0.25;
+    if (fm < floor) {
+      printf "ERROR: weakest per-model arena reduction regressed: %s < floor %.3f (baseline %s)\n", fm, floor, bm;
+      exit 1;
+    }
+    if (fa < ba - 0.02) {
+      printf "ERROR: overall arena reduction regressed: %s < %.4f (baseline %s)\n", fa, ba - 0.02, ba;
+      exit 1;
+    }
+  }'
 fi
 
 if [[ $deep -eq 1 ]]; then

@@ -463,7 +463,9 @@ pub fn co_design(
     for node in workload.nodes() {
         if let vedliot_nnir::Op::Conv2d(attrs) = &node.op {
             let in_shapes = workload.node_input_shapes(node);
-            let out_shape = workload.tensor_shape(node.output).expect("valid graph");
+            let Some(out_shape) = workload.tensor_shape(node.output) else {
+                continue;
+            };
             let macs = node.op.macs(&in_shapes, out_shape);
             channels.push((attrs.out_channels, macs));
         }

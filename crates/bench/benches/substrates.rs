@@ -1,3 +1,6 @@
+// Test/bench/example target: panics are the failure report.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 //! Criterion benchmarks of the substrates the experiments run on: the
 //! accelerator performance model (the Fig. 3/4 engine), the reference
 //! executor, the RV32 instruction-set simulator, the WASM-like VM, the

@@ -4,17 +4,23 @@
 //!
 //! Experiments (DESIGN.md §3): `fig2`, `fig3`, `fig4`, `fig4-ext`,
 //! `compression`, `gap`, `twine`, `pmp`, `cfu`, `safety`, `paeb`, `arc`,
-//! `motor`, `mirror`, `reconfig`, `reqeng`, `memory`, `codesign`,
-//! `executor`, `serving`, `resilience`, `observe`, `kernels`,
-//! `routing`, `fleet`, `lint`, or `all`.
+//! `motor`, `mirror`, `reconfig`, `reqeng`, `memory`, `memory-study`,
+//! `codesign`, `executor`, `serving`, `resilience`, `observe`,
+//! `kernels`, `routing`, `fleet`, `lint`, or `all`.
 //!
 //! `kernels` additionally writes `BENCH_pr6.json` (the obs JSON export
 //! of the E24 kernel measurements) to the current directory — the
 //! perf-trajectory snapshot ci.sh compares against its checked-in
 //! baseline. `routing` likewise writes `BENCH_pr7.json` (the E25
-//! per-priority availability snapshot), and `fleet` writes
-//! `BENCH_pr8.json` (the E26 OTA convergence/availability snapshot).
-//! Set `BENCH_OUT` to redirect any snapshot path.
+//! per-priority availability snapshot), `fleet` writes
+//! `BENCH_pr8.json` (the E26 OTA convergence/availability snapshot),
+//! and `memory` writes `BENCH_pr9.json` (the E27 arena peak-memory
+//! snapshot; the §II-B memory-hierarchy study moved to
+//! `memory-study`). Set `BENCH_OUT` to redirect any snapshot path.
+
+// Bin entry point: panicking on a broken environment is the right
+// failure mode here, unlike in library code.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use vedliot_bench::experiments;
 
@@ -37,7 +43,17 @@ fn main() {
         "mirror" => vec![experiments::mirror()],
         "reconfig" => vec![experiments::reconfig()],
         "reqeng" => vec![experiments::reqeng()],
-        "memory" => vec![experiments::memory_study()],
+        "memory" => {
+            let (experiment, snapshot) = experiments::memory_planning_with_snapshot();
+            let path = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_pr9.json".into());
+            std::fs::write(&path, snapshot.to_json()).unwrap_or_else(|e| {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(1);
+            });
+            eprintln!("wrote arena-memory snapshot to {path}");
+            vec![experiment]
+        }
+        "memory-study" => vec![experiments::memory_study()],
         "codesign" => vec![experiments::codesign()],
         "ablation" => vec![experiments::ablation_naive()],
         "executor" => vec![experiments::executor_parallel()],
@@ -80,8 +96,8 @@ fn main() {
             eprintln!("unknown experiment '{other}'");
             eprintln!(
                 "choose one of: fig2 fig3 fig4 fig4-ext compression gap twine pmp cfu \
-                 safety paeb arc motor mirror reconfig reqeng memory codesign ablation \
-                 executor serving resilience observe kernels routing fleet lint all"
+                 safety paeb arc motor mirror reconfig reqeng memory memory-study codesign \
+                 ablation executor serving resilience observe kernels routing fleet lint all"
             );
             std::process::exit(2);
         }

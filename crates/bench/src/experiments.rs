@@ -4,6 +4,11 @@
 //! headline notes. The `harness` binary prints them; EXPERIMENTS.md
 //! records the paper-vs-measured comparison.
 
+// Experiments are assertion harnesses: a panic here *is* the failure
+// report (every ✓ in EXPERIMENTS.md is an expect/assert), so the
+// library-wide unwrap/expect ban does not apply.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use crate::table::Table;
 use vedliot::accel::approaches::{
     co_design, FpgaFabric, ReconfigurableAccelerator, StaticAccelerator,
@@ -817,6 +822,163 @@ pub fn memory_study() -> Experiment {
     }
 }
 
+/// E27 — arena memory planning across the zoo. See
+/// [`memory_planning_with_snapshot`].
+#[must_use]
+pub fn memory_planning() -> Experiment {
+    memory_planning_with_snapshot().0
+}
+
+/// E27 — peak intermediate (value-arena) memory before and after the
+/// liveness-driven arena planner, across every zoo network.
+///
+/// For each model the experiment compares the planned layout (slots
+/// shared between tensors with disjoint live ranges, greedy
+/// interval-graph coloring) against the historical one-slot-per-tensor
+/// layout, and spot-checks on the small networks that planned and
+/// unplanned execution produce **bit-identical** outputs.
+///
+/// Also returns the machine-readable snapshot `harness memory` writes
+/// to `BENCH_pr9.json` (the peak-memory baseline ci.sh checks against).
+///
+/// # Panics
+///
+/// Panics if any conv zoo model falls below the 25% reduction
+/// acceptance bar, or if a spot-checked model's planned run diverges
+/// from its unplanned run by a single bit.
+#[must_use]
+pub fn memory_planning_with_snapshot() -> (Experiment, vedliot::obs::Export) {
+    use vedliot::nnir::exec::{MemoryPlan, RunOptions, Runner};
+    use vedliot::nnir::{Graph, Tensor};
+    use vedliot::obs::{Export, Metric};
+
+    /// Bit-identity spot check: one planned vs one unplanned run.
+    fn bit_identical(g: &Graph) -> bool {
+        let shape = g.tensor_shape(g.inputs()[0]).expect("input shape").clone();
+        let input = Tensor::random(shape, 27, 1.0);
+        let a = Runner::builder()
+            .build(g)
+            .expect("planned runner builds")
+            .execute(std::slice::from_ref(&input), RunOptions::default())
+            .expect("planned run")
+            .into_outputs();
+        let b = Runner::builder()
+            .memory_planning(false)
+            .build(g)
+            .expect("unplanned runner builds")
+            .execute(std::slice::from_ref(&input), RunOptions::default())
+            .expect("unplanned run")
+            .into_outputs();
+        a == b
+    }
+
+    let models: Vec<(Graph, bool)> = vec![
+        (zoo::lenet5(10).expect("builds"), true),
+        (
+            zoo::tiny_cnn("tiny-cnn", Shape::nchw(1, 3, 16, 16), &[8, 16], 4).expect("builds"),
+            true,
+        ),
+        (
+            zoo::conv1d_classifier("conv1d-classifier", 1, 64, &[8, 16], 3).expect("builds"),
+            true,
+        ),
+        (zoo::mobilenet_v3_large(1000).expect("builds"), false),
+        (zoo::resnet50(1000).expect("builds"), false),
+        (zoo::efficientnet_v2_s(1000).expect("builds"), false),
+        (zoo::yolov4(416, 80).expect("builds"), false),
+    ];
+
+    let mut table = Table::new(&[
+        "model",
+        "tensors",
+        "slots",
+        "unplanned (KiB)",
+        "planned (KiB)",
+        "saved",
+        "bit-identical",
+    ]);
+    let mut min_reduction = f64::INFINITY;
+    let mut total_peak = 0u64;
+    let mut total_unplanned = 0u64;
+    for (model, spot_check) in &models {
+        let plan = MemoryPlan::plan(model);
+        min_reduction = min_reduction.min(plan.reduction());
+        total_peak += plan.peak_bytes();
+        total_unplanned += plan.unplanned_bytes();
+        let identical = if *spot_check {
+            assert!(
+                bit_identical(model),
+                "{}: planned run diverged from unplanned",
+                model.name()
+            );
+            "yes"
+        } else {
+            "-"
+        };
+        table.push(vec![
+            model.name().to_string(),
+            model.tensor_count().to_string(),
+            plan.slot_count().to_string(),
+            format!("{:.1}", plan.unplanned_bytes() as f64 / 1024.0),
+            format!("{:.1}", plan.peak_bytes() as f64 / 1024.0),
+            format!("{:.1}%", plan.reduction() * 100.0),
+            identical.to_string(),
+        ]);
+    }
+    assert!(
+        min_reduction >= 0.25,
+        "weakest zoo reduction {min_reduction:.3} fell below the 25% acceptance bar"
+    );
+    let overall = 1.0 - total_peak as f64 / total_unplanned as f64;
+
+    let snapshot = Export {
+        subsystem: "memory-planner".into(),
+        metrics: vec![
+            Metric::gauge("models", "Zoo models planned in E27", models.len() as f64),
+            Metric::counter(
+                "total_peak_bytes",
+                "Summed peak arena bytes under planning",
+                total_peak,
+            ),
+            Metric::counter(
+                "total_unplanned_bytes",
+                "Summed arena bytes of the one-slot-per-tensor layout",
+                total_unplanned,
+            ),
+            Metric::gauge(
+                "min_conv_reduction",
+                "Weakest per-model peak-memory reduction across the zoo",
+                min_reduction,
+            ),
+            Metric::gauge(
+                "overall_reduction",
+                "Fleet-wide peak-memory reduction (summed planned vs unplanned)",
+                overall,
+            ),
+        ],
+    };
+
+    let experiment = Experiment {
+        id: "E27",
+        title: "arena memory planner: liveness-colored slots vs one slot per tensor".into(),
+        table,
+        notes: vec![
+            format!(
+                "peak intermediate memory across the zoo: {:.1} MiB planned vs {:.1} MiB \
+                 unplanned ({:.1}% saved; weakest model saves {:.1}%)",
+                total_peak as f64 / (1 << 20) as f64,
+                total_unplanned as f64 / (1 << 20) as f64,
+                overall * 100.0,
+                min_reduction * 100.0,
+            ),
+            "planned and unplanned runs are bit-identical on every spot-checked model \
+             (and proptested across random graphs in the nnir suite)"
+                .into(),
+        ],
+    };
+    (experiment, snapshot)
+}
+
 /// Co-design study (§II-B approach 4): efficiency over iterations.
 #[must_use]
 pub fn codesign() -> Experiment {
@@ -1553,11 +1715,9 @@ pub fn lint() -> Experiment {
     }
     let notes = vec![
         format!(
-            "{} models linted; {} errors, {} warnings, {} notes",
+            "{} models linted; {}",
             summary.entries.len(),
-            summary.count_at(Severity::Error),
-            summary.count_at(Severity::Warning),
-            summary.count_at(Severity::Info),
+            summary.totals(),
         ),
         format!(
             "error-clean: {} (the Runner::build gate enforces this before any execution)",
@@ -2285,6 +2445,7 @@ pub fn all() -> Vec<Experiment> {
         reconfig(),
         reqeng(),
         memory_study(),
+        memory_planning(),
         codesign(),
         ablation_naive(),
         executor_parallel(),

@@ -199,10 +199,10 @@ impl Device {
     /// Panics if there is no previous slot — the engine only calls this
     /// after an activation.
     pub fn roll_back(&mut self) {
-        self.active = self
-            .previous
-            .take()
-            .expect("rollback without a previous slot");
+        let Some(previous) = self.previous.take() else {
+            panic!("rollback without a previous slot")
+        };
+        self.active = previous;
         self.corrupted = None;
         self.phase = Phase::RolledBack;
     }

@@ -1,3 +1,6 @@
+// Test/bench/example target: panics are the failure report.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 //! Fleet rollout convergence harness: under every seeded fault plan —
 //! crashes mid-download, partitions, flipped artifact bits, flipped
 //! installed weights, crash loops, forged attestations — the fleet

@@ -104,9 +104,12 @@ pub fn gaussian_prototypes(
     for _ in 0..per_class {
         for (label, proto) in prototypes.iter().enumerate() {
             let data: Vec<f32> = proto.iter().map(|&p| p + gaussian(&mut rng)).collect();
-            samples.push(
-                Tensor::from_vec(sample_shape.clone(), data).expect("shape/data size invariant"),
-            );
+            // Prototype length equals the sample shape's element count
+            // by construction, so this cannot fail.
+            let Ok(sample) = Tensor::from_vec(sample_shape.clone(), data) else {
+                unreachable!("prototype length matches the sample shape")
+            };
+            samples.push(sample);
             labels.push(label);
         }
     }

@@ -29,13 +29,21 @@
 //! [`Parallelism::Serial`] keeps the single-threaded path available for
 //! equivalence testing.
 //!
-//! Graphs whose conv/dense weights carry an i8 [`QuantPayload`]
+//! Nodes whose conv/dense weights carry an i8 [`QuantPayload`]
 //! ([`Tensor::quant`]) and whose activations are pinned to the INT8
-//! grid by `FakeQuant` producers are executed — when the I201
-//! quantization-readiness check passes — with a real INT8 kernel:
-//! i8 weight codes × i8 activation codes accumulated in i32 (the dot
-//! product the CFU/socsim story accelerates), dequantized with one
-//! multiply per output scalar. See [`RunnerBuilder::int8`].
+//! grid by `FakeQuant` producers are executed — when the quant-safety
+//! dataflow analysis proves the worst-case rounding error fits the
+//! engine tolerance — with a real INT8 kernel: i8 weight codes × i8
+//! activation codes accumulated in i32 (the dot product the CFU/socsim
+//! story accelerates), dequantized with one multiply per output scalar.
+//! See [`RunnerBuilder::int8`].
+//!
+//! The value arena is laid out by a [`MemoryPlan`]: tensor liveness
+//! intervals are colored greedily so values with disjoint live ranges
+//! share a buffer slot, cutting peak intermediate memory without
+//! changing a single output bit (kernels fully overwrite their output
+//! buffers; the proptest suite pins planned ≡ unplanned equality). See
+//! [`RunnerBuilder::memory_planning`].
 //!
 //! Weights declared as [`WeightInit::Seeded`] are materialized on first
 //! use with a deterministic fan-in-scaled uniform initialization, so two
@@ -359,6 +367,7 @@ impl RunOutput {
 pub struct RunnerBuilder {
     parallelism: Parallelism,
     int8: bool,
+    memory_planning: bool,
 }
 
 impl Default for RunnerBuilder {
@@ -366,6 +375,7 @@ impl Default for RunnerBuilder {
         RunnerBuilder {
             parallelism: Parallelism::default(),
             int8: true,
+            memory_planning: true,
         }
     }
 }
@@ -384,8 +394,9 @@ impl RunnerBuilder {
     /// When enabled, conv/dense nodes whose weights carry an i8
     /// [`QuantPayload`] and whose input is produced by a `FakeQuant`
     /// node execute with the i8-weight / i32-accumulator kernel,
-    /// provided the graph passes the I201 quantization-readiness check
-    /// ([`crate::analysis::int8_ready`]). With it disabled the runner
+    /// provided the quant-safety dataflow analysis
+    /// ([`crate::analysis::QuantSafety`]) proves the node's worst-case
+    /// rounding error fits the tolerance below. With it disabled the runner
     /// always takes the f32 reference path — the baseline the INT8
     /// tolerance contract is stated against: outputs agree with the
     /// fake-quant f32 reference to within f32 summation rounding of the
@@ -394,6 +405,23 @@ impl RunnerBuilder {
     #[must_use]
     pub fn int8(mut self, enabled: bool) -> Self {
         self.int8 = enabled;
+        self
+    }
+
+    /// Enables or disables liveness-based arena planning (default:
+    /// enabled).
+    ///
+    /// When enabled, `build` runs the tensor liveness analysis
+    /// ([`crate::analysis::Liveness`]) and computes a [`MemoryPlan`]
+    /// that lets values with disjoint live ranges share one arena slot
+    /// — the slot-reuse that shrinks peak intermediate memory on small
+    /// devices. Kernels fully overwrite their output buffers and the
+    /// plan never aliases overlapping live ranges, so outputs are
+    /// bit-identical to the unplanned layout (proptested). Disable to
+    /// keep the historical one-slot-per-tensor layout.
+    #[must_use]
+    pub fn memory_planning(mut self, enabled: bool) -> Self {
+        self.memory_planning = enabled;
         self
     }
 
@@ -417,13 +445,19 @@ impl RunnerBuilder {
         } else {
             vec![None; graph.nodes().len()]
         };
+        let plan = if self.memory_planning {
+            MemoryPlan::plan(graph)
+        } else {
+            MemoryPlan::identity(graph)
+        };
         Ok(Runner {
             graph,
             parallelism: self.parallelism,
             weights: vec![None; graph.nodes().len()],
-            values: vec![None; graph.tensor_count()],
+            values: vec![None; plan.slot_count()],
             scratch: Scratch::default(),
             int8_plans,
+            plan,
         })
     }
 }
@@ -432,42 +466,174 @@ impl RunnerBuilder {
 /// every node the runner will execute with the i8-weight /
 /// i32-accumulator kernel, `None` for the f32 path.
 ///
-/// A node qualifies when (a) the whole graph passes the I201
-/// quantization-readiness check, (b) it is a dense (`groups == 1`)
-/// convolution or a dense layer whose explicit weights carry an i8
-/// [`QuantPayload`], and (c) its data input is produced by a
-/// `FakeQuant` node — whose scale quantizes incoming activations
-/// *exactly*, since they already lie on that grid.
+/// This is the quant-safety dataflow analysis
+/// ([`crate::analysis::QuantSafety`]): a node qualifies when it is a
+/// dense (`groups == 1`) convolution or a dense layer whose explicit
+/// weights carry an i8 [`QuantPayload`], its data input is produced by
+/// a `FakeQuant` node — whose scale quantizes incoming activations
+/// *exactly*, since they already lie on that grid — and the propagated
+/// value ranges *prove* the INT8 path's worst-case error fits under the
+/// engine's tolerance contract. Eligibility is per node: one saturating
+/// layer no longer forces the whole graph onto the f32 path.
 fn int8_plans(graph: &Graph) -> Vec<Option<f32>> {
-    let nodes = graph.nodes();
-    if !crate::analysis::int8_ready(graph) {
-        return vec![None; nodes.len()];
-    }
-    nodes
+    crate::analysis::QuantSafety::of(graph)
+        .verdicts()
         .iter()
-        .map(|node| {
-            let eligible_op = match &node.op {
-                Op::Conv2d(attrs) => attrs.groups == 1,
-                Op::Dense { .. } => true,
-                _ => false,
-            };
-            if !eligible_op {
-                return None;
-            }
-            let WeightInit::Explicit(tensors) = &node.weights else {
-                return None;
-            };
-            let quant = tensors.first().and_then(Tensor::quant)?;
-            if quant.dtype != DataType::I8 {
-                return None;
-            }
-            let producer = nodes.iter().find(|p| p.output == node.inputs[0])?;
-            match producer.op {
-                Op::FakeQuant { scale } if scale > 0.0 => Some(scale),
-                _ => None,
-            }
-        })
+        .map(|v| if v.eligible { v.input_scale } else { None })
         .collect()
+}
+
+// --------------------------------------------------------------------
+// Arena memory planner
+// --------------------------------------------------------------------
+
+/// Bytes one f32 element occupies in the value arena.
+const ARENA_ELEM_BYTES: u64 = 4;
+
+/// The arena slot-reuse plan the liveness analysis drives: a mapping
+/// from tensor ids to arena slots such that two tensors share a slot
+/// only when their live ranges are disjoint.
+///
+/// Computed once at [`RunnerBuilder::build`] by greedy interval-graph
+/// coloring over the [`Liveness`](crate::analysis::Liveness) intervals:
+/// tensors are visited in definition order, each taking the free slot
+/// that fits its size best (preferring the smallest already-large-enough
+/// buffer, then the largest smaller one) or opening a new slot. Graph
+/// outputs stay live past the end of the schedule, so their slots are
+/// never recycled and output collection is untouched.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemoryPlan {
+    /// Arena slot per tensor id.
+    slot_of: Vec<usize>,
+    /// Peak element capacity per slot (the max over its occupants).
+    slot_elems: Vec<usize>,
+    /// Total element count of the one-slot-per-tensor layout.
+    unplanned_elems: u64,
+}
+
+impl MemoryPlan {
+    /// Computes the slot-reuse plan for `graph` from tensor liveness.
+    #[must_use]
+    pub fn plan(graph: &Graph) -> Self {
+        let live = crate::analysis::Liveness::of(graph);
+        let ranges = live.ranges();
+        let tc = graph.tensor_count();
+        let elems: Vec<usize> = (0..tc)
+            .map(|t| {
+                graph
+                    .tensor_shape(crate::graph::TensorId(t))
+                    .map_or(0, Shape::elem_count)
+            })
+            .collect();
+        // Visit tensors in definition order (ties by id — producer
+        // order), the order their buffers come alive during a run.
+        let mut order: Vec<usize> = (0..tc).collect();
+        order.sort_by_key(|&t| (ranges[t].def, t));
+        let mut slot_of = vec![0usize; tc];
+        let mut slot_elems: Vec<usize> = Vec::new();
+        // Schedule position at which each slot's current occupant dies.
+        let mut slot_busy_until: Vec<Option<usize>> = Vec::new();
+        for &t in &order {
+            let r = ranges[t];
+            let need = elems[t];
+            // Best fit among the free slots: smallest capacity that
+            // already holds `need`, else the largest smaller one (grows
+            // the arena least).
+            let mut best: Option<usize> = None;
+            for (s, busy) in slot_busy_until.iter().enumerate() {
+                if busy.is_some_and(|until| until >= r.def) {
+                    continue; // occupant's live range overlaps ours
+                }
+                best = match best {
+                    None => Some(s),
+                    Some(b) => {
+                        let (cb, cs) = (slot_elems[b], slot_elems[s]);
+                        let better = if cb >= need && cs >= need {
+                            cs < cb
+                        } else {
+                            cs > cb
+                        };
+                        Some(if better { s } else { b })
+                    }
+                };
+            }
+            let s = match best {
+                Some(s) => s,
+                None => {
+                    slot_elems.push(0);
+                    slot_busy_until.push(None);
+                    slot_elems.len() - 1
+                }
+            };
+            slot_of[t] = s;
+            slot_elems[s] = slot_elems[s].max(need);
+            slot_busy_until[s] = Some(r.last_use);
+        }
+        MemoryPlan {
+            slot_of,
+            slot_elems,
+            unplanned_elems: elems.iter().map(|&e| e as u64).sum(),
+        }
+    }
+
+    /// The identity (one-slot-per-tensor) plan — the historical layout
+    /// `memory_planning(false)` keeps.
+    #[must_use]
+    pub fn identity(graph: &Graph) -> Self {
+        let tc = graph.tensor_count();
+        let slot_elems: Vec<usize> = (0..tc)
+            .map(|t| {
+                graph
+                    .tensor_shape(crate::graph::TensorId(t))
+                    .map_or(0, Shape::elem_count)
+            })
+            .collect();
+        MemoryPlan {
+            slot_of: (0..tc).collect(),
+            unplanned_elems: slot_elems.iter().map(|&e| e as u64).sum(),
+            slot_elems,
+        }
+    }
+
+    /// The arena slot holding tensor `t` during a run.
+    #[must_use]
+    pub fn slot_of(&self, t: crate::graph::TensorId) -> usize {
+        self.slot_of[t.0]
+    }
+
+    /// Number of arena slots the plan allocates.
+    #[must_use]
+    pub fn slot_count(&self) -> usize {
+        self.slot_elems.len()
+    }
+
+    /// Peak value-arena bytes under this plan: each slot sized for its
+    /// largest occupant, f32 elements.
+    #[must_use]
+    pub fn peak_bytes(&self) -> u64 {
+        self.slot_elems
+            .iter()
+            .map(|&e| e as u64 * ARENA_ELEM_BYTES)
+            .sum()
+    }
+
+    /// Value-arena bytes of the one-slot-per-tensor layout — the
+    /// baseline the plan is measured against.
+    #[must_use]
+    pub fn unplanned_bytes(&self) -> u64 {
+        self.unplanned_elems * ARENA_ELEM_BYTES
+    }
+
+    /// Fractional peak-memory reduction vs the unplanned layout
+    /// (`0.25` = 25% smaller).
+    #[must_use]
+    pub fn reduction(&self) -> f64 {
+        if self.unplanned_bytes() == 0 {
+            0.0
+        } else {
+            1.0 - self.peak_bytes() as f64 / self.unplanned_bytes() as f64
+        }
+    }
 }
 
 // --------------------------------------------------------------------
@@ -487,7 +653,9 @@ pub struct Runner<'g> {
     parallelism: Parallelism,
     /// Lazily materialized weights per node index.
     weights: Vec<Option<Vec<Tensor>>>,
-    /// Value arena per tensor id, reused across runs.
+    /// Value arena, one buffer per plan slot, reused across runs and —
+    /// under the memory plan — across tensors with disjoint live
+    /// ranges.
     values: Vec<Option<Tensor>>,
     /// Kernel scratch (im2col tiles, INT8 code buffers), grown to the
     /// largest kernel seen.
@@ -495,6 +663,8 @@ pub struct Runner<'g> {
     /// Build-time INT8 kernel selection: the input activation scale for
     /// each node that executes on the i8 path (see [`int8_plans`]).
     int8_plans: Vec<Option<f32>>,
+    /// Build-time arena layout: which slot each tensor id lives in.
+    plan: MemoryPlan,
 }
 
 impl<'g> Runner<'g> {
@@ -517,6 +687,12 @@ impl<'g> Runner<'g> {
         self.int8_plans.iter().any(Option::is_some)
     }
 
+    /// The arena slot-reuse plan this runner executes under.
+    #[must_use]
+    pub fn memory_plan(&self) -> &MemoryPlan {
+        &self.plan
+    }
+
     /// Runs one forward pass — the one execution entrypoint.
     ///
     /// # Errors
@@ -532,27 +708,31 @@ impl<'g> Runner<'g> {
         options: RunOptions,
     ) -> Result<RunOutput, NnirError> {
         let wall_start = options.profile.then(std::time::Instant::now);
-        let per_node = self.forward(inputs, options)?;
+        let (per_node, intermediates) = self.forward(inputs, options)?;
         let outputs = self
             .graph
             .outputs()
             .iter()
             .map(|t| {
-                self.values[t.0].clone().ok_or_else(|| {
+                self.values[self.plan.slot_of(*t)].clone().ok_or_else(|| {
                     NnirError::ExecutionFailure(format!("output {t} never produced"))
                 })
             })
             .collect::<Result<Vec<_>, _>>()?;
-        let intermediates = options.capture_intermediates.then(|| self.values.clone());
         // Wall time spans input staging through output collection, so
         // coverage (kernel time / wall) honestly reports what the
         // per-node records miss.
-        let profile = per_node.map(|per_node| RunProfile {
-            model: self.graph.name().to_string(),
-            batch: self.graph.batch(),
-            per_node,
-            wall_ns: wall_start.expect("set when profiling").elapsed().as_nanos() as u64,
-        });
+        let profile = per_node
+            .zip(wall_start)
+            .map(|(per_node, start)| RunProfile {
+                model: self.graph.name().to_string(),
+                batch: self.graph.batch(),
+                per_node,
+                wall_ns: start.elapsed().as_nanos() as u64,
+                arena_peak_bytes: self.plan.peak_bytes(),
+                arena_unplanned_bytes: self.plan.unplanned_bytes(),
+                arena_slots: self.plan.slot_count(),
+            });
         Ok(RunOutput {
             outputs,
             intermediates,
@@ -589,14 +769,20 @@ impl<'g> Runner<'g> {
         }
     }
 
-    /// Evaluates every node in topological order into the value arena,
-    /// returning per-node timing records when [`RunOptions::profile`]
-    /// is set.
+    /// Evaluates every node in topological order into the arena slots
+    /// the memory plan assigns, returning per-node timing records when
+    /// [`RunOptions::profile`] is set and a per-tensor-id snapshot of
+    /// every value when [`RunOptions::capture_intermediates`] is set.
+    ///
+    /// Intermediates are captured as each value is produced: under slot
+    /// reuse a tensor's buffer may be overwritten by a later value
+    /// sharing its slot, so the snapshot clones eagerly instead of
+    /// reading the arena after the run.
     fn forward(
         &mut self,
         inputs: &[Tensor],
         options: RunOptions,
-    ) -> Result<Option<Vec<NodeProfile>>, NnirError> {
+    ) -> Result<ForwardArtifacts, NnirError> {
         let graph_inputs = self.graph.inputs();
         if inputs.len() != graph_inputs.len() {
             return Err(NnirError::ExecutionFailure(format!(
@@ -605,8 +791,13 @@ impl<'g> Runner<'g> {
                 inputs.len()
             )));
         }
+        let mut captured: Option<Vec<Option<Tensor>>> = options
+            .capture_intermediates
+            .then(|| vec![None; self.graph.tensor_count()]);
         for (tid, tensor) in graph_inputs.iter().zip(inputs.iter()) {
-            let expected = self.graph.tensor_shape(*tid).expect("input shape");
+            let expected = self.graph.tensor_shape(*tid).ok_or_else(|| {
+                NnirError::ExecutionFailure(format!("input {tid} has no declared shape"))
+            })?;
             if tensor.shape() != expected {
                 return Err(NnirError::ExecutionFailure(format!(
                     "input {tid} expects shape {expected} but got {}",
@@ -615,12 +806,16 @@ impl<'g> Runner<'g> {
             }
             // Reuse the arena slot when the buffer is already the right
             // size; otherwise take a fresh copy.
-            match self.values[tid.0].take() {
-                Some(mut slot) if slot.shape() == tensor.shape() => {
-                    slot.data_mut().copy_from_slice(tensor.data());
-                    self.values[tid.0] = Some(slot);
+            let slot = self.plan.slot_of(*tid);
+            match self.values[slot].take() {
+                Some(mut buf) if buf.shape() == tensor.shape() => {
+                    buf.data_mut().copy_from_slice(tensor.data());
+                    self.values[slot] = Some(buf);
                 }
-                _ => self.values[tid.0] = Some(tensor.clone()),
+                _ => self.values[slot] = Some(tensor.clone()),
+            }
+            if let Some(cap) = captured.as_mut() {
+                cap[tid.0] = Some(tensor.clone());
             }
         }
 
@@ -644,17 +839,20 @@ impl<'g> Runner<'g> {
                     NnirError::ExecutionFailure(format!("node {} has no output shape", node.name))
                 })?
                 .clone();
-            let mut out = match self.values[node.output.0].take() {
-                Some(t) if t.shape() == &out_shape => t,
-                _ => Tensor::zeros(out_shape),
-            };
+            let out_slot = self.plan.slot_of(node.output);
+            let mut out = recycle(self.values[out_slot].take(), out_shape);
             let mut ins = Vec::with_capacity(node.inputs.len());
             for t in &node.inputs {
-                ins.push(self.values[t.0].as_ref().ok_or_else(|| {
+                ins.push(self.values[self.plan.slot_of(*t)].as_ref().ok_or_else(|| {
                     NnirError::ExecutionFailure(format!("tensor {t} consumed before production"))
                 })?);
             }
-            let weights = self.weights[idx].as_ref().expect("cached above");
+            let Some(weights) = self.weights[idx].as_ref() else {
+                return Err(NnirError::ExecutionFailure(format!(
+                    "weights for node {} were not materialized",
+                    node.name
+                )));
+            };
             let int8_scale = self.int8_plans[idx];
             let node_start = profile.is_some().then(std::time::Instant::now);
             let mut ctx = KernelCtx {
@@ -663,11 +861,10 @@ impl<'g> Runner<'g> {
                 int8_scale,
             };
             eval_node_into(node, &ins, weights, &mut out, &mut ctx)?;
-            if let Some(records) = profile.as_mut() {
+            if let (Some(records), Some(start)) = (profile.as_mut(), node_start) {
                 // Stop the clock before the bookkeeping below, so a
                 // node's record measures only its kernel.
-                let duration_ns =
-                    node_start.expect("set when profiling").elapsed().as_nanos() as u64;
+                let duration_ns = start.elapsed().as_nanos() as u64;
                 let in_shapes = self.graph.node_input_shapes(node);
                 records.push(NodeProfile {
                     name: node.name.clone(),
@@ -682,9 +879,36 @@ impl<'g> Runner<'g> {
                     },
                 });
             }
-            self.values[node.output.0] = Some(out);
+            if let Some(cap) = captured.as_mut() {
+                cap[node.output.0] = Some(out.clone());
+            }
+            self.values[out_slot] = Some(out);
         }
-        Ok(profile)
+        Ok((profile, captured))
+    }
+}
+
+/// What [`Runner::forward`] hands back to [`Runner::execute`]: per-node
+/// profile records and the per-tensor-id intermediate snapshot, each
+/// present when its [`RunOptions`] flag was set.
+type ForwardArtifacts = (Option<Vec<NodeProfile>>, Option<Vec<Option<Tensor>>>);
+
+/// Rebuilds an arena slot's buffer for `shape`: a same-shape occupant
+/// is handed back as-is (the kernel fully overwrites it), a
+/// differently-shaped one donates its heap allocation, and an empty
+/// slot allocates fresh.
+fn recycle(slot: Option<Tensor>, shape: Shape) -> Tensor {
+    match slot {
+        Some(t) if t.shape() == &shape => t,
+        Some(t) => {
+            let mut data = t.into_data();
+            data.resize(shape.elem_count(), 0.0);
+            match Tensor::from_vec(shape.clone(), data) {
+                Ok(t) => t,
+                Err(_) => Tensor::zeros(shape),
+            }
+        }
+        None => Tensor::zeros(shape),
     }
 }
 
@@ -861,17 +1085,12 @@ fn mul_broadcast_into(a: &Tensor, b: &Tensor, out: &mut Tensor) -> Result<(), Nn
 }
 
 fn dims4(s: &Shape) -> Result<[usize; 4], NnirError> {
-    if s.rank() != 4 {
-        return Err(NnirError::ExecutionFailure(format!(
+    match *s.dims() {
+        [n, c, h, w] => Ok([n, c, h, w]),
+        _ => Err(NnirError::ExecutionFailure(format!(
             "expected NCHW tensor, got {s}"
-        )));
+        ))),
     }
-    Ok([
-        s.dim(0).unwrap(),
-        s.dim(1).unwrap(),
-        s.dim(2).unwrap(),
-        s.dim(3).unwrap(),
-    ])
 }
 
 // --------------------------------------------------------------------
@@ -1133,7 +1352,11 @@ fn conv2d_int8(
     ctx: &mut KernelCtx<'_>,
     geom: ConvGeom,
 ) -> Result<(), NnirError> {
-    let in_scale = ctx.int8_scale.expect("int8 kernel requires a plan");
+    let Some(in_scale) = ctx.int8_scale else {
+        return Err(NnirError::ExecutionFailure(
+            "int8 conv kernel invoked without an activation scale".into(),
+        ));
+    };
     let par = ctx.par;
     let in_data = input.data();
     let n = input.shape().batch();
@@ -1272,8 +1495,7 @@ fn dense_into(
         out_f
     };
 
-    if let Some(q) = ctx.int8_scale.and(weight.quant()) {
-        let in_scale = ctx.int8_scale.expect("checked above");
+    if let Some((in_scale, q)) = ctx.int8_scale.zip(weight.quant()) {
         let codes: &[i8] = &q.codes;
         let w_scales: &[f32] = &q.scales;
         if codes.len() != out_f * in_f || w_scales.len() != out_f {
@@ -1894,6 +2116,104 @@ mod tests {
             .unwrap()
             .into_outputs();
         assert_eq!(serial, parallel);
+    }
+
+    // ---- arena memory planner ----
+
+    #[test]
+    fn memory_plan_never_shares_a_slot_between_overlapping_ranges() {
+        for g in [
+            crate::zoo::lenet5(10).unwrap(),
+            crate::zoo::mobilenet_v3_large(1000).unwrap(),
+        ] {
+            let plan = MemoryPlan::plan(&g);
+            let live = crate::analysis::Liveness::of(&g);
+            let ranges = live.ranges();
+            assert!(plan.slot_count() <= g.tensor_count());
+            for a in 0..g.tensor_count() {
+                for b in (a + 1)..g.tensor_count() {
+                    let (ta, tb) = (crate::graph::TensorId(a), crate::graph::TensorId(b));
+                    if plan.slot_of(ta) == plan.slot_of(tb) {
+                        assert!(
+                            !ranges[a].overlaps(ranges[b]),
+                            "{}: tensors t{a} {:?} and t{b} {:?} share slot {}",
+                            g.name(),
+                            ranges[a],
+                            ranges[b],
+                            plan.slot_of(ta)
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn memory_plan_cuts_conv_peak_memory_by_a_quarter() {
+        // The ISSUE acceptance bar: planned arenas reduce peak bytes by
+        // at least 25% on the convolutional zoo models.
+        for g in [
+            crate::zoo::lenet5(10).unwrap(),
+            crate::zoo::tiny_cnn("gesture", Shape::nchw(1, 3, 64, 64), &[8, 16, 32], 10).unwrap(),
+            crate::zoo::mobilenet_v3_large(1000).unwrap(),
+            crate::zoo::resnet50(1000).unwrap(),
+        ] {
+            let plan = MemoryPlan::plan(&g);
+            assert!(
+                plan.reduction() >= 0.25,
+                "{}: reduction {:.3} below the 25% bar ({} -> {} bytes)",
+                g.name(),
+                plan.reduction(),
+                plan.unplanned_bytes(),
+                plan.peak_bytes()
+            );
+        }
+    }
+
+    #[test]
+    fn identity_plan_keeps_one_slot_per_tensor() {
+        let g = crate::zoo::lenet5(10).unwrap();
+        let plan = MemoryPlan::identity(&g);
+        assert_eq!(plan.slot_count(), g.tensor_count());
+        assert_eq!(plan.peak_bytes(), plan.unplanned_bytes());
+        assert_eq!(plan.reduction(), 0.0);
+        let runner = Runner::builder().memory_planning(false).build(&g).unwrap();
+        assert_eq!(runner.memory_plan(), &plan);
+    }
+
+    #[test]
+    fn planned_and_unplanned_runs_are_bit_identical() {
+        let g = crate::zoo::lenet5(10).unwrap();
+        let input = Tensor::random(Shape::nchw(1, 1, 28, 28), 17, 1.0);
+        let opts = RunOptions::new().capture_intermediates(true);
+        let mut planned = Runner::builder().build(&g).unwrap();
+        let mut unplanned = Runner::builder().memory_planning(false).build(&g).unwrap();
+        assert!(planned.memory_plan().slot_count() < unplanned.memory_plan().slot_count());
+        for _ in 0..2 {
+            // Twice: the second pass runs over a dirty, shape-stable arena.
+            let a = planned.execute(std::slice::from_ref(&input), opts).unwrap();
+            let b = unplanned
+                .execute(std::slice::from_ref(&input), opts)
+                .unwrap();
+            assert_eq!(a.outputs(), b.outputs());
+            assert_eq!(a.intermediates(), b.intermediates());
+        }
+    }
+
+    #[test]
+    fn profile_reports_arena_plan_metrics() {
+        let g = crate::zoo::lenet5(10).unwrap();
+        let input = Tensor::random(Shape::nchw(1, 1, 28, 28), 9, 1.0);
+        let mut runner = Runner::builder().build(&g).unwrap();
+        let plan = runner.memory_plan().clone();
+        let out = runner
+            .execute(&[input], RunOptions::new().profile(true))
+            .unwrap();
+        let profile = out.profile().expect("profiled");
+        assert_eq!(profile.arena_peak_bytes, plan.peak_bytes());
+        assert_eq!(profile.arena_unplanned_bytes, plan.unplanned_bytes());
+        assert_eq!(profile.arena_slots, plan.slot_count());
+        assert!(profile.arena_reduction() >= 0.25);
     }
 
     // ---- one-door API: options, deadline, deprecated aliases ----

@@ -250,6 +250,20 @@ impl Graph {
         &mut self.tensor_shapes
     }
 
+    /// Test-only access to the graph interface, so verifier tests can
+    /// simulate an interface referencing unknown tensors (V006).
+    #[cfg(test)]
+    pub(crate) fn outputs_mut(&mut self) -> &mut Vec<TensorId> {
+        &mut self.outputs
+    }
+
+    /// Test-only access to the producer map, so verifier tests can
+    /// simulate a dangling edge (V007) without a builder.
+    #[cfg(test)]
+    pub(crate) fn producers_mut(&mut self) -> &mut [Option<NodeId>] {
+        &mut self.producers
+    }
+
     /// Rebuilds the graph with a different batch size on every input.
     ///
     /// Weight initializations are carried over unchanged, so an explicit

@@ -68,6 +68,18 @@ pub struct RunProfile {
     /// Wall time of the whole `execute` call in nanoseconds (input
     /// staging + kernels + output collection).
     pub wall_ns: u64,
+    /// Peak value-arena bytes under the runner's memory plan (each
+    /// slot sized for its largest occupant). Zero in profiles recorded
+    /// before arena planning existed.
+    #[serde(default)]
+    pub arena_peak_bytes: u64,
+    /// Value-arena bytes of the one-slot-per-tensor layout the planner
+    /// is measured against.
+    #[serde(default)]
+    pub arena_unplanned_bytes: u64,
+    /// Number of arena slots the memory plan allocated.
+    #[serde(default)]
+    pub arena_slots: usize,
 }
 
 impl RunProfile {
@@ -111,6 +123,18 @@ impl RunProfile {
             .iter()
             .filter(|n| n.precision == DataType::I8)
             .count()
+    }
+
+    /// Fractional peak-memory reduction the arena plan achieved vs the
+    /// one-slot-per-tensor layout (`0.25` = 25% smaller; 0 when the
+    /// profile predates planning).
+    #[must_use]
+    pub fn arena_reduction(&self) -> f64 {
+        if self.arena_unplanned_bytes == 0 {
+            0.0
+        } else {
+            1.0 - self.arena_peak_bytes as f64 / self.arena_unplanned_bytes as f64
+        }
     }
 
     /// The `n` most expensive nodes by measured duration.
@@ -186,6 +210,21 @@ impl Exportable for RunProfile {
                     "nodes executed on the INT8 kernel path",
                     self.int8_nodes() as u64,
                 ),
+                Metric::counter(
+                    "arena_peak_bytes",
+                    "peak value-arena bytes under the memory plan",
+                    self.arena_peak_bytes,
+                ),
+                Metric::counter(
+                    "arena_unplanned_bytes",
+                    "value-arena bytes of the one-slot-per-tensor layout",
+                    self.arena_unplanned_bytes,
+                ),
+                Metric::counter(
+                    "arena_slots",
+                    "arena slots the memory plan allocated",
+                    self.arena_slots as u64,
+                ),
                 Metric::histogram(
                     "node_duration_ns",
                     "per-node kernel duration distribution",
@@ -223,6 +262,9 @@ mod tests {
                 },
             ],
             wall_ns: 10_000,
+            arena_peak_bytes: 3_000,
+            arena_unplanned_bytes: 4_000,
+            arena_slots: 3,
         }
     }
 
@@ -235,6 +277,7 @@ mod tests {
         assert!((p.achieved_gops() - p.total_ops() as f64 / 1e4).abs() < 1e-12);
         assert_eq!(p.top_by_time(1)[0].name, "conv1");
         assert_eq!(p.int8_nodes(), 1);
+        assert!((p.arena_reduction() - 0.25).abs() < 1e-12);
     }
 
     #[test]
@@ -268,6 +311,8 @@ mod tests {
         assert!(json.contains("\"name\":\"wall_ns\",\"help\":\"wall time of the profiled forward pass\",\"type\":\"counter\",\"value\":10000"));
         assert!(json.contains("\"name\":\"coverage\""));
         assert!(json.contains("\"type\":\"gauge\",\"value\":0.95}"));
+        assert!(json.contains("\"name\":\"arena_peak_bytes\",\"help\":\"peak value-arena bytes under the memory plan\",\"type\":\"counter\",\"value\":3000"));
+        assert!(json.contains("\"name\":\"arena_slots\""));
         let round = vedliot_obs::Export::from_json(&json).expect("round-trips");
         assert_eq!(round.to_json(), json);
         let prom = demo_profile().export().to_prometheus();

@@ -136,6 +136,13 @@ impl Tensor {
         self.quant.as_deref()
     }
 
+    /// Detaches the quantized sidecar, keeping the (fake-quantized) f32
+    /// view. Used when an analysis refutes INT8 deployment for a layer
+    /// whose weights were already quantized.
+    pub fn clear_quant(&mut self) {
+        self.quant = None;
+    }
+
     /// Quantizes the tensor to symmetric per-channel INT8 in place.
     ///
     /// Each dim-0 row gets its own scale `row_abs_max / 127`; codes are

@@ -73,7 +73,9 @@ pub fn write(graph: &Graph) -> Result<String, TextFormatError> {
     let mut out = String::new();
     let _ = writeln!(out, "model \"{}\"", graph.name());
     for &t in graph.inputs() {
-        let shape = graph.tensor_shape(t).expect("input shape");
+        let shape = graph
+            .tensor_shape(t)
+            .ok_or_else(|| err(0, format!("graph input t{} has no shape", t.0)))?;
         let _ = writeln!(out, "input t{} [{}]", t.0, dims_to_text(shape.dims()));
     }
     for node in graph.nodes() {

@@ -236,7 +236,12 @@ pub fn evaluate_with(
         }
         handles
             .into_iter()
-            .map(|h| h.join().expect("evaluate worker panicked"))
+            .map(|h| match h.join() {
+                Ok(chunk) => chunk,
+                Err(_) => Err(NnirError::ExecutionFailure(
+                    "evaluate worker panicked".into(),
+                )),
+            })
             .collect::<Vec<_>>()
     });
     for chunk in results {
@@ -308,7 +313,9 @@ fn sgd_step(layers: &mut [Layer], x: &[f32], label: usize, config: &TrainConfig)
     let mut activations: Vec<Vec<f32>> = vec![x.to_vec()];
     let mut pre_relu_masks: Vec<Vec<bool>> = Vec::new();
     for layer in layers.iter() {
-        let input = activations.last().expect("non-empty");
+        let Some(input) = activations.last() else {
+            unreachable!("activations is seeded with the input")
+        };
         let mut out = vec![0.0f32; layer.out_f];
         for (o, slot) in out.iter_mut().enumerate() {
             let mut acc = layer.bias[o];
@@ -333,7 +340,9 @@ fn sgd_step(layers: &mut [Layer], x: &[f32], label: usize, config: &TrainConfig)
     }
 
     // Softmax cross-entropy gradient at the output.
-    let logits = activations.last().expect("non-empty");
+    let Some(logits) = activations.last() else {
+        unreachable!("activations is seeded with the input")
+    };
     let max = logits.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
     let exps: Vec<f32> = logits.iter().map(|&v| (v - max).exp()).collect();
     let sum: f32 = exps.iter().sum();

@@ -1,3 +1,6 @@
+// Test/bench/example target: panics are the failure report.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 //! Property-based tests for the IR core: shape algebra, graph invariants
 //! and executor/shape-inference agreement.
 
@@ -309,6 +312,55 @@ proptest! {
             prop_assert_eq!(&serial, &threaded, "diverged at {} threads", threads);
         }
     }
+}
+
+proptest! {
+    /// The arena memory plan is transparent: a runner with slot-reuse
+    /// planning produces **bit-identical** outputs and intermediates to
+    /// one with the historical one-slot-per-tensor layout, on random
+    /// CNN chains, across repeated warm runs. This is the safety
+    /// contract of `RunnerBuilder::memory_planning`.
+    #[test]
+    fn memory_planning_is_bit_identical_on_random_chains(
+        batch in 1usize..4,
+        stages in proptest::collection::vec(1usize..10, 1..4),
+        classes in 2usize..6,
+        seed in 0u64..1_000,
+    ) {
+        let g = vedliot_nnir::zoo::tiny_cnn("plan", Shape::nchw(1, 3, 16, 16), &stages, classes)
+            .unwrap()
+            .with_batch(batch)
+            .unwrap();
+        let input = Tensor::random(Shape::nchw(batch, 3, 16, 16), seed, 1.0);
+        let opts = RunOptions::new().capture_intermediates(true);
+        let mut planned = Runner::builder().build(&g).unwrap();
+        let mut unplanned = Runner::builder().memory_planning(false).build(&g).unwrap();
+        for _ in 0..2 {
+            let a = planned.execute(std::slice::from_ref(&input), opts).unwrap();
+            let b = unplanned.execute(std::slice::from_ref(&input), opts).unwrap();
+            prop_assert_eq!(a.outputs(), b.outputs());
+            prop_assert_eq!(a.intermediates(), b.intermediates());
+        }
+    }
+}
+
+/// The planner is transparent on the multi-consumer SE-gate stem too,
+/// where a value (the depthwise output) stays live across several
+/// nodes while unrelated values come and go.
+#[test]
+fn memory_planning_is_bit_identical_on_branching_graphs() {
+    let g = mobilenet_stem(2);
+    let input = Tensor::random(Shape::nchw(2, 3, 32, 32), 21, 1.0);
+    let opts = RunOptions::new().capture_intermediates(true);
+    let mut planned = Runner::builder().build(&g).unwrap();
+    let mut unplanned = Runner::builder().memory_planning(false).build(&g).unwrap();
+    let a = planned.execute(std::slice::from_ref(&input), opts).unwrap();
+    let b = unplanned
+        .execute(std::slice::from_ref(&input), opts)
+        .unwrap();
+    assert_eq!(a.outputs(), b.outputs());
+    assert_eq!(a.intermediates(), b.intermediates());
+    assert!(planned.memory_plan().reduction() > 0.0);
 }
 
 /// MobileNetV3-style stem at 32x32: strided conv + BN + hard-swish,

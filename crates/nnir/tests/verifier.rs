@@ -1,3 +1,6 @@
+// Test/bench/example target: panics are the failure report.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 //! Integration tests of the static-verifier gate in front of execution.
 //!
 //! Everything here uses only the public API: graphs are corrupted

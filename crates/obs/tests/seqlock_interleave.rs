@@ -1,0 +1,138 @@
+// Test/bench/example target: panics are the failure report.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+//! Seqlock interleave regression for the `TraceRing`.
+//!
+//! The ring is plain safe atomics (the workspace forbids `unsafe`), so
+//! a torn read cannot be UB — but it *could* still hand back a record
+//! stitched from two different writers if the per-slot versioning were
+//! wrong. This test races many writers against concurrent
+//! snapshotting readers and proves coherence structurally: every word
+//! of a span is derived from its sequence number alone, so any record
+//! mixing words from two writes fails the derivation check.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use vedliot_obs::{SpanOutcome, SpanRecord, TraceRing};
+
+/// A span whose every field is a fixed function of `seq`. A reader
+/// that observes a record where any field disagrees with this
+/// derivation has seen a torn (interleaved) write.
+fn derived_span(seq: u64) -> SpanRecord {
+    SpanRecord {
+        seq,
+        enqueue_us: 1_000 * seq,
+        dequeue_us: 1_000 * seq + 7,
+        exec_start_us: 1_000 * seq + 11,
+        exec_end_us: 1_000 * seq + 200,
+        reply_us: 1_000 * seq + 205,
+        linger_us: (seq % 8).min(7),
+        batch: (seq % 9) as u32,
+        retries: (seq % 3) as u32,
+        model: (seq % 5) as u16,
+        priority: (seq % 4) as u8,
+        outcome: if seq.is_multiple_of(2) {
+            SpanOutcome::Ok
+        } else {
+            SpanOutcome::Failed
+        },
+    }
+}
+
+fn assert_coherent(span: &SpanRecord) {
+    let expect = derived_span(span.seq);
+    assert_eq!(
+        *span, expect,
+        "torn read: snapshot returned a record interleaved from two writes"
+    );
+}
+
+#[test]
+fn concurrent_writers_and_readers_never_observe_torn_records() {
+    const WRITERS: usize = 4;
+    const SPANS_PER_WRITER: u64 = 20_000;
+
+    // A small ring maximizes slot contention: every writer laps the
+    // ring thousands of times while readers scan it.
+    let ring = Arc::new(TraceRing::new(8));
+    let stop = Arc::new(AtomicBool::new(false));
+
+    std::thread::scope(|scope| {
+        for w in 0..WRITERS {
+            let ring = Arc::clone(&ring);
+            scope.spawn(move || {
+                // Disjoint seq streams per writer, all derivable.
+                let mut seq = w as u64 + 1;
+                for _ in 0..SPANS_PER_WRITER {
+                    ring.record(&derived_span(seq));
+                    seq += WRITERS as u64;
+                }
+            });
+        }
+        for _ in 0..3 {
+            let ring = Arc::clone(&ring);
+            let stop = Arc::clone(&stop);
+            scope.spawn(move || {
+                let mut seen = 0usize;
+                loop {
+                    for span in ring.snapshot() {
+                        assert_coherent(&span);
+                        seen += 1;
+                    }
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                }
+                // The readers genuinely raced the writers.
+                assert!(seen > 0, "reader never observed a stable record");
+            });
+        }
+        // Writers finish on their own; then release the readers. Scope
+        // join order: spawn order is writers first, but we must flip
+        // the stop flag from a thread that outlives the writers — do
+        // it from a dedicated waiter keyed on the recorded+dropped
+        // total reaching the write count.
+        let ring = Arc::clone(&ring);
+        let stop = Arc::clone(&stop);
+        scope.spawn(move || {
+            let total = (WRITERS as u64) * SPANS_PER_WRITER;
+            while ring.recorded() + ring.dropped() < total {
+                std::thread::yield_now();
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
+    });
+
+    // Conservation: every record attempt either landed or was counted
+    // as dropped, and the final ring contents are coherent and stable.
+    assert_eq!(
+        ring.recorded() + ring.dropped(),
+        (WRITERS as u64) * SPANS_PER_WRITER
+    );
+    let finale = ring.snapshot();
+    assert!(!finale.is_empty());
+    for span in &finale {
+        assert_coherent(span);
+        assert!(span.is_monotonic());
+    }
+}
+
+#[test]
+fn snapshot_mid_write_skips_rather_than_tears() {
+    // Deterministic single-threaded sanity companion: interleave a
+    // snapshot between two writes to the same slot and check the ring
+    // returns exactly the stable record.
+    let ring = TraceRing::new(1);
+    ring.record(&derived_span(1));
+    let first = ring.snapshot();
+    assert_eq!(first.len(), 1);
+    assert_coherent(&first[0]);
+
+    ring.record(&derived_span(2));
+    let second = ring.snapshot();
+    assert_eq!(second.len(), 1);
+    assert_eq!(second[0].seq, 2);
+    assert_coherent(&second[0]);
+    assert_eq!(ring.recorded(), 2);
+    assert_eq!(ring.dropped(), 0);
+}

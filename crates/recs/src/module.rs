@@ -168,7 +168,11 @@ impl Microserver {
 #[must_use]
 pub fn standard_microservers() -> Vec<Microserver> {
     let db = catalog();
-    let pick = |needle: &str| db.find(needle).expect("catalog entry").clone();
+    let pick = |needle: &str| {
+        db.find(needle)
+            .unwrap_or_else(|| panic!("catalog entry {needle} missing"))
+            .clone()
+    };
     vec![
         Microserver {
             name: "CXP-EPYC-3451".into(),

@@ -294,10 +294,9 @@ impl NoiseMonitor {
     #[must_use]
     pub fn estimate_sigma(frame: &Tensor) -> f32 {
         let dims = frame.shape().dims();
-        if dims.len() < 2 {
+        let Some(&w) = dims.last().filter(|_| dims.len() >= 2) else {
             return 0.0;
-        }
-        let w = *dims.last().expect("rank >= 2");
+        };
         let data = frame.data();
         let mut diffs: Vec<f32> = data
             .chunks(w)

@@ -266,15 +266,11 @@ impl ModelPool {
                 }
             }
         }
+        // The graph was verified above, so every input has a shape.
         let input_shapes: Vec<Shape> = graphs[0]
             .inputs()
             .iter()
-            .map(|&tid| {
-                graphs[0]
-                    .tensor_shape(tid)
-                    .expect("validated graph has input shapes")
-                    .clone()
-            })
+            .filter_map(|&tid| graphs[0].tensor_shape(tid).cloned())
             .collect();
         let pool = Arc::new(ModelPool {
             key: key.to_string(),
@@ -628,7 +624,11 @@ fn worker_loop(ctx: &WorkerContext) {
             Runner::builder()
                 .parallelism(ctx.parallelism)
                 .build(g)
-                .expect("batch graph was verified at ModelPool::start")
+                .unwrap_or_else(|e| {
+                    // The batch graph was verified at ModelPool::start;
+                    // a worker that cannot build is a resilience event.
+                    panic!("worker failed to build a verified graph: {e}")
+                })
         })
         .collect();
     loop {

@@ -1,3 +1,6 @@
+// Test/bench/example target: panics are the failure report.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 //! The chaos-injection harness: seeded fault schedules driven through
 //! the real server, asserting the fault-tolerance contract end to end.
 //!

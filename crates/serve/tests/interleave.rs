@@ -1,3 +1,6 @@
+// Test/bench/example target: panics are the failure report.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 //! Deterministic-interleaving model check of the serving concurrency
 //! protocol.
 //!

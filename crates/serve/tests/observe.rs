@@ -1,3 +1,6 @@
+// Test/bench/example target: panics are the failure report.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 //! Observability integration: traced serve runs produce coherent span
 //! timelines, the queue/inflight gauges settle, and the exporters'
 //! output stays byte-identical to pinned goldens.

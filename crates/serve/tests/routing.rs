@@ -1,3 +1,6 @@
+// Test/bench/example target: panics are the failure report.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 //! Multi-tenant routing integration: a two-model zoo behind one
 //! gateway, exercising hot load/unload with drain, per-model quotas,
 //! priority-class shedding, per-model metrics/labels, and the key

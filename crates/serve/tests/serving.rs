@@ -1,3 +1,6 @@
+// Test/bench/example target: panics are the failure report.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 //! Integration tests for the serving contract: backpressure, deadline
 //! purge, drain-on-shutdown, the 100-request smoke test, and the
 //! property that dynamic batching is bit-invisible to callers.

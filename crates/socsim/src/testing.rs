@@ -136,9 +136,12 @@ impl FirmwareTest {
             Some(cfu) => Machine::new(self.ram_bytes).with_cfu_boxed(cfu),
             None => Machine::new(self.ram_bytes),
         };
-        machine
-            .load_firmware(&fw, 0)
-            .expect("firmware exceeds RAM size");
+        if machine.load_firmware(&fw, 0).is_err() {
+            panic!(
+                "firmware ({} bytes) exceeds the configured RAM size",
+                fw.len()
+            );
+        }
         let run_result = machine.run(self.max_cycles);
         let halted = run_result.is_ok();
         let cycles = machine.cpu().cycles;

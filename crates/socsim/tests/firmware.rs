@@ -1,3 +1,6 @@
+// Test/bench/example target: panics are the failure report.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 //! End-to-end firmware tests: the PMP secure-execution flow of paper
 //! §IV-C and the CFU-accelerated ML kernel of §II-B, both running as real
 //! software on the simulated SoC (the Renode workflow).

@@ -1,3 +1,6 @@
+// Test/bench/example target: panics are the failure report.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 //! Property-based tests: the simulated core's arithmetic must agree
 //! with Rust's integer semantics, and PMP region decoding must match
 //! membership checks.

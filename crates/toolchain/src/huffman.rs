@@ -108,8 +108,9 @@ fn code_lengths(freqs: &[u64]) -> Vec<u8> {
         _ => {}
     }
     while heap.len() > 1 {
-        let a = heap.pop().expect("len > 1");
-        let b = heap.pop().expect("len > 1");
+        let (Some(a), Some(b)) = (heap.pop(), heap.pop()) else {
+            break;
+        };
         heap.push(HeapNode {
             weight: a.weight + b.weight,
             id: next_id,
@@ -127,8 +128,9 @@ fn code_lengths(freqs: &[u64]) -> Vec<u8> {
             }
         }
     }
-    let root = heap.pop().expect("single root");
-    walk(&root, 0, &mut lengths);
+    if let Some(root) = heap.pop() {
+        walk(&root, 0, &mut lengths);
+    }
     lengths
 }
 

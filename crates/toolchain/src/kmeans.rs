@@ -139,7 +139,11 @@ pub fn kmeans_1d(values: &[f32], k: usize, iterations: usize) -> Clustering {
         .map(|(&c, _)| c)
         .collect();
     for a in &mut assignments {
-        *a = remap[*a as usize].expect("assigned cluster is used");
+        // An assigned cluster is by construction marked used, so the
+        // remap entry exists; keep the assignment untouched otherwise.
+        if let Some(new) = remap[*a as usize] {
+            *a = new;
+        }
     }
     Clustering {
         centroids: pruned,

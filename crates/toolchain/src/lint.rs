@@ -13,7 +13,7 @@ use crate::error::ToolchainError;
 use crate::passes::{
     ConvertFp16, FuseConvBn, Pass, PassManager, PruneChannels, PruneConnections, QuantizeInt8,
 };
-use vedliot_nnir::analysis::{Analyzer, Report, Severity};
+use vedliot_nnir::analysis::{Analyzer, Report, Severity, Totals};
 use vedliot_nnir::{zoo, Graph, Shape, Tensor};
 
 /// One linted model (a zoo network or an optimized variant of one).
@@ -33,13 +33,21 @@ pub struct LintSummary {
 }
 
 impl LintSummary {
+    /// Suite-wide severity totals, accumulated with the shared
+    /// [`Totals`] counter every diagnostic renderer uses.
+    #[must_use]
+    pub fn totals(&self) -> Totals {
+        let mut totals = Totals::default();
+        for entry in &self.entries {
+            totals.accumulate(entry.report.totals());
+        }
+        totals
+    }
+
     /// Total findings at exactly the given severity across all models.
     #[must_use]
     pub fn count_at(&self, severity: Severity) -> usize {
-        self.entries
-            .iter()
-            .map(|e| e.report.at(severity).count())
-            .sum()
+        self.totals().at(severity)
     }
 
     /// Whether every model is clean at the given severity or above.
@@ -49,6 +57,8 @@ impl LintSummary {
     }
 
     /// Renders the per-model reports plus a one-line totals footer.
+    /// Per-model lines and the footer both go through the shared
+    /// [`vedliot_nnir::analysis`] diagnostic formatter.
     #[must_use]
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -57,11 +67,9 @@ impl LintSummary {
             out.push('\n');
         }
         out.push_str(&format!(
-            "lint: {} models, {} errors, {} warnings, {} notes\n",
+            "lint: {} models, {}\n",
             self.entries.len(),
-            self.count_at(Severity::Error),
-            self.count_at(Severity::Warning),
-            self.count_at(Severity::Info),
+            self.totals()
         ));
         out
     }
@@ -172,6 +180,127 @@ pub fn lint_suite() -> Result<LintSummary, ToolchainError> {
     Ok(LintSummary { entries })
 }
 
+// --------------------------------------------------------------------
+// Dataflow-analysis report (`vedliot lint --analyze`)
+// --------------------------------------------------------------------
+
+/// One model's dataflow-analysis summary — a `vedliot lint --analyze`
+/// report row: tensor liveness, the arena memory plan and the
+/// quant-safety verdict counts.
+#[derive(Debug)]
+pub struct AnalyzeEntry {
+    /// Model name.
+    pub model: String,
+    /// Value tensors in the graph.
+    pub tensors: usize,
+    /// Values no consumer or graph output ever reads (W107).
+    pub dead_values: usize,
+    /// Arena slots the memory plan allocates.
+    pub plan_slots: usize,
+    /// Peak value-arena bytes under the plan.
+    pub peak_bytes: u64,
+    /// Value-arena bytes of the one-slot-per-tensor layout.
+    pub unplanned_bytes: u64,
+    /// Nodes the quant-safety dataflow analysis proves INT8-eligible.
+    pub int8_proven: usize,
+    /// Worst-case |activation| the value-range analysis propagates to
+    /// any graph output (inputs seeded at `|x| <= 1`).
+    pub output_absmax: f32,
+}
+
+impl AnalyzeEntry {
+    /// Fractional peak-memory reduction of the plan (`0.25` = 25%).
+    #[must_use]
+    pub fn reduction(&self) -> f64 {
+        if self.unplanned_bytes == 0 {
+            0.0
+        } else {
+            1.0 - self.peak_bytes as f64 / self.unplanned_bytes as f64
+        }
+    }
+}
+
+/// Runs the dataflow analyses (liveness, value ranges, quant safety)
+/// and the arena memory planner over one graph.
+#[must_use]
+pub fn analyze_model(graph: &Graph) -> AnalyzeEntry {
+    use vedliot_nnir::analysis::{value_ranges, Liveness, QuantSafety};
+    use vedliot_nnir::exec::MemoryPlan;
+
+    let live = Liveness::of(graph);
+    let plan = MemoryPlan::plan(graph);
+    let ranges = value_ranges(graph, 1.0);
+    let output_absmax = graph
+        .outputs()
+        .iter()
+        .filter_map(|t| ranges.get(t.0))
+        .map(|iv| iv.abs_max())
+        .fold(0.0f32, f32::max);
+    AnalyzeEntry {
+        model: graph.name().to_string(),
+        tensors: graph.tensor_count(),
+        dead_values: live.dead_values(graph).len(),
+        plan_slots: plan.slot_count(),
+        peak_bytes: plan.peak_bytes(),
+        unplanned_bytes: plan.unplanned_bytes(),
+        int8_proven: QuantSafety::of(graph).eligible_count(),
+        output_absmax,
+    }
+}
+
+/// Analyzes every zoo network — the backend of `vedliot lint
+/// --analyze`.
+///
+/// # Errors
+///
+/// Propagates zoo graph-construction failures.
+pub fn analyze_suite() -> Result<Vec<AnalyzeEntry>, ToolchainError> {
+    Ok(vec![
+        analyze_model(&zoo::lenet5(10)?),
+        analyze_model(&variant_base()?),
+        analyze_model(&zoo::conv1d_classifier("conv1d", 1, 64, &[8, 16], 3)?),
+        analyze_model(&zoo::mobilenet_v3_large(100)?),
+        analyze_model(&zoo::resnet50(10)?),
+        analyze_model(&zoo::efficientnet_v2_s(100)?),
+        analyze_model(&zoo::yolov4(416, 80)?),
+    ])
+}
+
+/// Renders the per-model analysis rows plus a totals footer.
+#[must_use]
+pub fn render_analysis(entries: &[AnalyzeEntry]) -> String {
+    let mut out = String::from(
+        "model                 tensors  dead  slots  peak_bytes  unplanned_bytes  saved  int8  |out|max\n",
+    );
+    for e in entries {
+        out.push_str(&format!(
+            "{:<21} {:>7} {:>5} {:>6} {:>11} {:>16} {:>5.1}% {:>5} {:>9.3e}\n",
+            e.model,
+            e.tensors,
+            e.dead_values,
+            e.plan_slots,
+            e.peak_bytes,
+            e.unplanned_bytes,
+            e.reduction() * 100.0,
+            e.int8_proven,
+            e.output_absmax,
+        ));
+    }
+    let peak: u64 = entries.iter().map(|e| e.peak_bytes).sum();
+    let unplanned: u64 = entries.iter().map(|e| e.unplanned_bytes).sum();
+    let saved = if unplanned == 0 {
+        0.0
+    } else {
+        1.0 - peak as f64 / unplanned as f64
+    };
+    out.push_str(&format!(
+        "analyze: {} models, {peak} peak bytes planned vs {unplanned} unplanned ({:.1}% saved)\n",
+        entries.len(),
+        saved * 100.0,
+    ));
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -230,5 +359,50 @@ mod tests {
         let text = summary.render();
         assert!(text.contains("lint:"), "{text}");
         assert!(text.contains("errors"), "{text}");
+        // The footer goes through the shared Totals formatter.
+        assert!(text.contains(&summary.totals().to_string()), "{text}");
+    }
+
+    #[test]
+    fn analyze_covers_zoo_with_planned_savings() {
+        let entries = analyze_suite().unwrap();
+        assert_eq!(entries.len(), 7);
+        for e in &entries {
+            assert_eq!(e.dead_values, 0, "{} has dead values", e.model);
+            assert!(
+                e.plan_slots < e.tensors,
+                "{} plan did not share slots",
+                e.model
+            );
+            assert!(
+                e.reduction() > 0.0,
+                "{} plan saved nothing ({} vs {})",
+                e.model,
+                e.peak_bytes,
+                e.unplanned_bytes
+            );
+            // Interval propagation is conservative: shallow nets get a
+            // finite bound, deep stacks may widen to infinity — but
+            // never to NaN.
+            assert!(!e.output_absmax.is_nan(), "{} range is NaN", e.model);
+        }
+        // The conv zoo models clear the 25% acceptance bar.
+        for model in ["lenet5", "tiny-cnn", "mobilenetv3-large", "resnet50"] {
+            let e = entries.iter().find(|e| e.model == model).unwrap();
+            assert!(
+                e.reduction() >= 0.25,
+                "{model}: reduction {:.3} below the bar",
+                e.reduction()
+            );
+        }
+    }
+
+    #[test]
+    fn analysis_render_has_header_and_footer() {
+        let entries = analyze_suite().unwrap();
+        let text = render_analysis(&entries);
+        assert!(text.starts_with("model"), "{text}");
+        assert!(text.contains("resnet50"), "{text}");
+        assert!(text.contains("analyze: 7 models"), "{text}");
     }
 }

@@ -13,6 +13,35 @@ use vedliot_nnir::exec::{RunOptions, Runner};
 use vedliot_nnir::graph::WeightInit;
 use vedliot_nnir::{Graph, GraphBuilder, Op, Shape, Tensor, TensorId};
 
+/// Remap lookup during a graph rebuild. The verifier's schedule
+/// invariant (producers precede consumers) means a miss is a pass bug;
+/// it surfaces as a typed error instead of a panic.
+fn remapped(
+    pass: &str,
+    remap: &[Option<TensorId>],
+    t: TensorId,
+) -> Result<TensorId, ToolchainError> {
+    remap
+        .get(t.0)
+        .copied()
+        .flatten()
+        .ok_or_else(|| ToolchainError::UnsupportedGraph {
+            pass: pass.into(),
+            detail: format!("tensor t{} consumed before it was rebuilt", t.0),
+        })
+}
+
+/// Shape of a graph input during a rebuild; a verified graph always has
+/// one.
+fn input_shape<'g>(pass: &str, graph: &'g Graph, t: TensorId) -> Result<&'g Shape, ToolchainError> {
+    graph
+        .tensor_shape(t)
+        .ok_or_else(|| ToolchainError::UnsupportedGraph {
+            pass: pass.into(),
+            detail: format!("graph input t{} has no shape", t.0),
+        })
+}
+
 /// One optimization pass over a graph.
 ///
 /// Passes consume and return whole graphs (graphs are cheap to rebuild
@@ -157,7 +186,7 @@ impl Pass for FuseConvBn {
         // Tensor remapping old -> new.
         let mut remap: Vec<Option<TensorId>> = vec![None; graph.tensor_count()];
         for &t in graph.inputs() {
-            let shape = graph.tensor_shape(t).expect("input shape").clone();
+            let shape = input_shape("fuse-conv-bn", &graph, t)?.clone();
             remap[t.0] = Some(b.input(shape));
         }
         let mut fused = 0usize;
@@ -170,7 +199,7 @@ impl Pass for FuseConvBn {
             let following_bn = if matches!(node.op, Op::Conv2d(_)) {
                 fanout[node.output.0]
                     .iter()
-                    .map(|&nid| graph.node(nid).expect("fanout node"))
+                    .filter_map(|&nid| graph.node(nid).ok())
                     .find(|n| fold_bn[n.id.0])
             } else {
                 None
@@ -179,8 +208,8 @@ impl Pass for FuseConvBn {
             let new_inputs: Vec<TensorId> = node
                 .inputs
                 .iter()
-                .map(|t| remap[t.0].expect("inputs emitted before use"))
-                .collect();
+                .map(|t| remapped("fuse-conv-bn", &remap, *t))
+                .collect::<Result<_, _>>()?;
 
             if let (Op::Conv2d(attrs), Some(bn)) = (&node.op, following_bn) {
                 // Materialize and fold.
@@ -231,8 +260,8 @@ impl Pass for FuseConvBn {
         let outputs: Vec<TensorId> = graph
             .outputs()
             .iter()
-            .map(|t| remap[t.0].expect("output produced"))
-            .collect();
+            .map(|t| remapped("fuse-conv-bn", &remap, *t))
+            .collect::<Result<_, _>>()?;
         let g = b.finish(outputs);
         Ok((
             g,
@@ -430,15 +459,15 @@ impl Pass for PruneNeurons {
         let mut b = GraphBuilder::new(graph.name().to_string());
         let mut remap: Vec<Option<TensorId>> = vec![None; graph.tensor_count()];
         for &t in graph.inputs() {
-            remap[t.0] = Some(b.input(graph.tensor_shape(t).expect("input").clone()));
+            remap[t.0] = Some(b.input(input_shape("prune-neurons", &graph, t)?.clone()));
         }
         let mut dense_seen = 0usize;
         for node in graph.nodes() {
             let new_inputs: Vec<TensorId> = node
                 .inputs
                 .iter()
-                .map(|t| remap[t.0].expect("emitted"))
-                .collect();
+                .map(|t| remapped("prune-neurons", &remap, *t))
+                .collect::<Result<_, _>>()?;
             let out = match &node.op {
                 Op::Dense { bias, .. } => {
                     let li = dense_seen;
@@ -490,8 +519,8 @@ impl Pass for PruneNeurons {
         let outputs: Vec<TensorId> = graph
             .outputs()
             .iter()
-            .map(|t| remap[t.0].expect("output produced"))
-            .collect();
+            .map(|t| remapped("prune-neurons", &remap, *t))
+            .collect::<Result<_, _>>()?;
         Ok((
             b.finish(outputs),
             format!(
@@ -630,20 +659,20 @@ impl Pass for PruneChannels {
         let mut remap: Vec<Option<TensorId>> = vec![None; graph.tensor_count()];
         let mut channels_of: Vec<Option<Vec<usize>>> = vec![None; graph.tensor_count()];
         for &t in graph.inputs() {
-            remap[t.0] = Some(b.input(graph.tensor_shape(t).expect("input").clone()));
+            remap[t.0] = Some(b.input(input_shape("prune-channels", &graph, t)?.clone()));
         }
         for (idx, node) in graph.nodes().iter().enumerate() {
             let new_inputs: Vec<TensorId> = node
                 .inputs
                 .iter()
-                .map(|t| remap[t.0].expect("emitted"))
-                .collect();
+                .map(|t| remapped("prune-channels", &remap, *t))
+                .collect::<Result<_, _>>()?;
             let in_channels = node.inputs.first().and_then(|t| channels_of[t.0].clone());
             let out = match &node.op {
                 Op::Conv2d(attrs) => {
                     let weights = exec.node_weights(node)?;
                     let w = &weights[0];
-                    let old_in = w.shape().dim(1).expect("conv kernel rank 4");
+                    let old_in = w.shape().dim(1).unwrap_or(1);
                     let kh = attrs.kernel.0;
                     let kw = attrs.kernel.1;
                     let in_keep: Vec<usize> =
@@ -735,8 +764,8 @@ impl Pass for PruneChannels {
         let outputs: Vec<TensorId> = graph
             .outputs()
             .iter()
-            .map(|t| remap[t.0].expect("output produced"))
-            .collect();
+            .map(|t| remapped("prune-channels", &remap, *t))
+            .collect::<Result<_, _>>()?;
         Ok((
             b.finish(outputs),
             format!(
@@ -820,7 +849,7 @@ impl Pass for QuantizeInt8 {
             let mut b = GraphBuilder::new(graph.name().to_string());
             let mut remap: Vec<Option<TensorId>> = vec![None; graph.tensor_count()];
             for &t in graph.inputs() {
-                let new_input = b.input(graph.tensor_shape(t).expect("input").clone());
+                let new_input = b.input(input_shape("quantize-int8", &graph, t)?.clone());
                 let scale = absmax[t.0] / 127.0;
                 let quantized = if scale > 0.0 {
                     b.apply(format!("{t}.quant"), Op::FakeQuant { scale }, &[new_input])?
@@ -833,8 +862,8 @@ impl Pass for QuantizeInt8 {
                 let new_inputs: Vec<TensorId> = node
                     .inputs
                     .iter()
-                    .map(|t| remap[t.0].expect("emitted before use"))
-                    .collect();
+                    .map(|t| remapped("quantize-int8", &remap, *t))
+                    .collect::<Result<_, _>>()?;
                 let out = b.apply_with_weights(
                     node.name.clone(),
                     node.op.clone(),
@@ -856,8 +885,8 @@ impl Pass for QuantizeInt8 {
             let outputs: Vec<TensorId> = graph
                 .outputs()
                 .iter()
-                .map(|t| remap[t.0].expect("output produced"))
-                .collect();
+                .map(|t| remapped("quantize-int8", &remap, *t))
+                .collect::<Result<_, _>>()?;
             graph = b.finish(outputs);
         }
 
@@ -882,10 +911,36 @@ impl Pass for QuantizeInt8 {
             node.weights = WeightInit::Explicit(weights);
             quantized_layers += 1;
         }
+
+        // Consult the quant-safety dataflow analysis on the calibrated
+        // graph: a layer whose INT8 execution the propagated value
+        // ranges cannot prove within the engine tolerance keeps its
+        // fake-quantized f32 weights (the accuracy story is unchanged)
+        // but loses the i8 deployment payload, so no engine mistakes it
+        // for a proven INT8 kernel.
+        let mut refuted = 0usize;
+        if !self.calibration.is_empty() {
+            let safety = vedliot_nnir::analysis::QuantSafety::of(&graph);
+            for (node, verdict) in graph.nodes_mut().iter_mut().zip(safety.verdicts()) {
+                if verdict.eligible {
+                    continue;
+                }
+                let WeightInit::Explicit(weights) = &mut node.weights else {
+                    continue;
+                };
+                if let Some(w) = weights.first_mut() {
+                    if w.quant().is_some() {
+                        w.clear_quant();
+                        refuted += 1;
+                    }
+                }
+            }
+        }
         Ok((
             graph,
             format!(
-                "quantized {quantized_layers} layers to per-channel INT8 ({act_scales} activation scales calibrated)"
+                "quantized {quantized_layers} layers to per-channel INT8 \
+                 ({act_scales} activation scales calibrated, {refuted} refuted by quant-safety analysis)"
             ),
         ))
     }

@@ -1,3 +1,6 @@
+// Test/bench/example target: panics are the failure report.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 //! Structured channel-pruning tests on linear conv chains.
 
 use vedliot_nnir::cost::CostReport;

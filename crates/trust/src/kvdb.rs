@@ -164,10 +164,10 @@ pub fn kv_module(memory_pages: u32) -> Module {
                         I32Eq,
                     ];
                     // Insert before the If (currently at index 7).
-                    let if_pos = loop_body
-                        .iter()
-                        .position(|i| matches!(i, Instr::If(_, _)))
-                        .expect("loop contains an If");
+                    let Some(if_pos) = loop_body.iter().position(|i| matches!(i, Instr::If(_, _)))
+                    else {
+                        unreachable!("the generated loop body contains an If")
+                    };
                     for (k, ins) in comparison.into_iter().enumerate() {
                         loop_body.insert(if_pos + k, ins);
                     }

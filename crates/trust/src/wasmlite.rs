@@ -426,7 +426,12 @@ impl Instance {
                 Instr::I32Const(v) => stack.push(*v),
                 Instr::LocalGet(i) => stack.push(locals[*i as usize]),
                 Instr::LocalSet(i) => locals[*i as usize] = pop!(),
-                Instr::LocalTee(i) => locals[*i as usize] = *stack.last().expect("validated"),
+                Instr::LocalTee(i) => {
+                    let Some(&top) = stack.last() else {
+                        return Err(VmError::Validation("local.tee on an empty stack".into()));
+                    };
+                    locals[*i as usize] = top;
+                }
                 Instr::I32Add => binop!(|a: i32, b: i32| a.wrapping_add(b)),
                 Instr::I32Sub => binop!(|a: i32, b: i32| a.wrapping_sub(b)),
                 Instr::I32Mul => binop!(|a: i32, b: i32| a.wrapping_mul(b)),
@@ -539,7 +544,9 @@ impl Instance {
                     let args: Vec<i32> = stack.split_off(stack.len() - params);
                     let result = self.call_depth(*i, &args, depth + 1)?;
                     if returns {
-                        stack.push(result.expect("validated return"));
+                        stack.push(result.ok_or_else(|| {
+                            VmError::Validation("void call used as a value".into())
+                        })?);
                     }
                 }
                 Instr::HostCall(i) => {

@@ -88,11 +88,15 @@ impl MirrorReport {
 #[must_use]
 pub fn mirror_chassis() -> Chassis {
     let mut chassis = Chassis::urecs();
-    let nx = standard_microservers()
+    let Some(nx) = standard_microservers()
         .into_iter()
         .find(|m| m.name.contains("Xavier NX"))
-        .expect("standard catalog includes Xavier NX");
-    chassis.insert(0, nx).expect("NX fits the uRECS envelope");
+    else {
+        panic!("standard catalog includes Xavier NX")
+    };
+    if let Err(e) = chassis.insert(0, nx) {
+        panic!("NX fits the uRECS envelope: {e}");
+    }
     chassis
 }
 

@@ -151,9 +151,11 @@ pub fn feature_dataset(per_class: usize, seed: u64) -> ClassificationSet {
                 synthesize_window(condition, seed + (i * 4 + condition.label()) as u64 + 1);
             let features = extract_features(&v, &t);
             let width = features.len();
-            samples.push(
-                Tensor::from_vec(Shape::nf(1, width), features).expect("fixed feature width"),
-            );
+            // The feature extractor always yields `width` values.
+            let Ok(sample) = Tensor::from_vec(Shape::nf(1, width), features) else {
+                unreachable!("feature width matches the declared shape")
+            };
+            samples.push(sample);
             labels.push(condition.label());
         }
     }

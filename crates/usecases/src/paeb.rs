@@ -54,13 +54,17 @@ impl PaebConfig {
     #[must_use]
     pub fn from_models() -> Self {
         let db = catalog();
-        let yolo = zoo::yolov4(416, 80).expect("yolov4 builds");
-        let car = PerfModel::new(db.find("Xavier NX").expect("catalog").clone())
-            .run(&yolo)
-            .expect("runs");
-        let edge = PerfModel::new(db.find("GTX 1660").expect("catalog").clone())
-            .run(&yolo)
-            .expect("runs");
+        let entry = |needle: &str| {
+            db.find(needle)
+                .unwrap_or_else(|| panic!("catalog entry {needle} missing"))
+                .clone()
+        };
+        let model = |r: Result<vedliot_accel::perf::RunResult, vedliot_accel::perf::AccelError>| {
+            r.unwrap_or_else(|e| panic!("perf model rejected yolov4: {e}"))
+        };
+        let yolo = zoo::yolov4(416, 80).unwrap_or_else(|e| panic!("yolov4 builds: {e}"));
+        let car = model(PerfModel::new(entry("Xavier NX")).run(&yolo));
+        let edge = model(PerfModel::new(entry("GTX 1660")).run(&yolo));
         PaebConfig {
             car_latency_ms: car.latency_ms,
             car_energy_j: car.energy_per_inference_j,

@@ -1,7 +1,7 @@
 //! The `vedliot` command-line front door.
 //!
 //! ```text
-//! vedliot lint            # full static-analysis sweep over the zoo
+//! vedliot lint [--analyze] # full static-analysis sweep over the zoo
 //! vedliot obs             # observability quick-start: profile + trace + export
 //! vedliot route           # multi-model gateway demo: load/unload + priorities
 //! vedliot fleet [seed]    # staged OTA rollout to a simulated device fleet
@@ -32,15 +32,22 @@
 //! counters. Exits non-zero if the rollout fails or the audit finds a
 //! violation.
 
+// Bin entry point: panicking on a broken environment is the right
+// failure mode here, unlike in library code.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use vedliot::nnir::analysis::Severity;
-use vedliot::toolchain::lint::lint_suite;
+use vedliot::toolchain::lint::{analyze_suite, lint_suite, render_analysis};
 
 fn usage() -> ! {
     eprintln!("usage: vedliot <command>");
     eprintln!();
     eprintln!("commands:");
-    eprintln!("  lint    run the static verifier over the model zoo and its");
-    eprintln!("          optimized variants, printing a diagnostic report");
+    eprintln!("  lint [--analyze]");
+    eprintln!("          run the static verifier over the model zoo and its");
+    eprintln!("          optimized variants, printing a diagnostic report;");
+    eprintln!("          --analyze adds the dataflow report (liveness, arena");
+    eprintln!("          memory plan, value ranges, quant-safety verdicts)");
     eprintln!("  obs     observability quick-start: per-op profile vs roofline,");
     eprintln!("          traced serve run, JSON + Prometheus export");
     eprintln!("  route   multi-model gateway demo: hot load/unload, priority");
@@ -51,7 +58,7 @@ fn usage() -> ! {
     std::process::exit(2);
 }
 
-fn run_lint() -> i32 {
+fn run_lint(analyze: bool) -> i32 {
     let summary = match lint_suite() {
         Ok(summary) => summary,
         Err(err) => {
@@ -63,6 +70,15 @@ fn run_lint() -> i32 {
         }
     };
     print!("{}", summary.render());
+    if analyze {
+        match analyze_suite() {
+            Ok(entries) => print!("\n{}", render_analysis(&entries)),
+            Err(err) => {
+                eprintln!("lint: analysis suite failed to build: {err}");
+                return 1;
+            }
+        }
+    }
     if summary.is_clean(Severity::Error) {
         0
     } else {
@@ -373,7 +389,14 @@ fn main() {
     let mut args = std::env::args().skip(1);
     let Some(command) = args.next() else { usage() };
     match command.as_str() {
-        "lint" => std::process::exit(run_lint()),
+        "lint" => {
+            let analyze = match args.next().as_deref() {
+                Some("--analyze") => true,
+                Some(_) => usage(),
+                None => false,
+            };
+            std::process::exit(run_lint(analyze));
+        }
         "obs" => std::process::exit(run_obs()),
         "route" => std::process::exit(run_route()),
         "fleet" => {

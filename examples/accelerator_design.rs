@@ -1,3 +1,6 @@
+// Test/bench/example target: panics are the failure report.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 //! The four DL-accelerator design approaches of paper §II-B, end to end:
 //! (1) off-the-shelf selection, (2) a statically configured FPGA overlay,
 //! (3) a dynamically (partially) reconfigurable region with

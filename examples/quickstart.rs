@@ -1,3 +1,6 @@
+// Test/bench/example target: panics are the failure report.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 //! Quickstart: the core VEDLIoT flow in one page.
 //!
 //! Builds one of the paper's evaluation networks, analyzes its cost,

@@ -1,3 +1,6 @@
+// Test/bench/example target: panics are the failure report.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 //! Cross-crate integration: the RECS platform hosting real workloads —
 //! chassis population, scheduling, fabric reconfiguration, failure
 //! recovery and the Smart Mirror deployment.
