@@ -52,6 +52,9 @@ cargo test -q -p vedliot-serve --test routing
 echo "==> fleet smoke test (seeded hostile OTA rollout converges to a safe state)"
 cargo test -q -p vedliot-fleet --test fleet hostile_plan_converges_to_a_safe_state_and_every_defense_fires
 
+echo "==> SLO smoke test (burn-driven incident: exact causal accounting, deterministic replay)"
+cargo test -q -p vedliot-serve --test slo
+
 if [[ $fast -eq 0 ]]; then
   echo "==> kernel perf gate (E24 batched per-sample conv cost vs recorded baseline)"
   # BENCH_pr6.json is the checked-in snapshot from `harness kernels`.
@@ -151,6 +154,43 @@ if [[ $fast -eq 0 ]]; then
     }
     if (fa < ba - 0.02) {
       printf "ERROR: overall arena reduction regressed: %s < %.4f (baseline %s)\n", fa, ba - 0.02, ba;
+      exit 1;
+    }
+  }'
+
+  echo "==> flight-recorder/SLO gate (E28 overhead, causal exactness, alert determinism)"
+  # BENCH_pr10.json is the checked-in snapshot from `harness slo`. The
+  # E28 run asserts the accounting identities and two-run bit-identity
+  # internally; the gate re-checks the fresh snapshot's hard invariants:
+  # zero orphaned causes, zero broken chains, zero ring drops, exactly
+  # one alert fired and cleared in the scripted incident, and the
+  # full-stack observability tax under the 2x ceiling (timing-noisy, so
+  # gated against the hard budget rather than the recorded baseline).
+  base_ratio=$(sed 's/.*"name":"overhead_ratio"[^}]*"value"://;s/}.*//' BENCH_pr10.json)
+  BENCH_OUT=target/BENCH_pr10.json ./target/release/harness slo > /dev/null
+  fresh_ratio=$(sed 's/.*"name":"overhead_ratio"[^}]*"value"://;s/}.*//' target/BENCH_pr10.json)
+  fresh_orphans=$(sed 's/.*"name":"journal_orphans"[^}]*"value"://;s/}.*//' target/BENCH_pr10.json)
+  fresh_broken=$(sed 's/.*"name":"causal_mismatches"[^}]*"value"://;s/}.*//' target/BENCH_pr10.json)
+  fresh_fired=$(sed 's/.*"name":"alerts_fired"[^}]*"value"://;s/}.*//' target/BENCH_pr10.json)
+  fresh_cleared=$(sed 's/.*"name":"alerts_cleared"[^}]*"value"://;s/}.*//' target/BENCH_pr10.json)
+  fresh_dropped=$(sed 's/.*"name":"fleet_journal_dropped"[^}]*"value"://;s/}.*//' target/BENCH_pr10.json)
+  echo "    overhead ratio: baseline ${base_ratio}, fresh ${fresh_ratio}; orphans ${fresh_orphans}, broken chains ${fresh_broken}"
+  awk -v r="$fresh_ratio" -v o="$fresh_orphans" -v c="$fresh_broken" \
+      -v f="$fresh_fired" -v cl="$fresh_cleared" -v d="$fresh_dropped" 'BEGIN {
+    if (r > 2.0) {
+      printf "ERROR: full-stack observability tax blew the 2x budget: ratio %s\n", r;
+      exit 1;
+    }
+    if (o != 0 || c != 0) {
+      printf "ERROR: causal accounting not exact: %s orphaned causes, %s broken chains\n", o, c;
+      exit 1;
+    }
+    if (f != 1 || cl != 1) {
+      printf "ERROR: scripted incident alert counts drifted: %s fired / %s cleared (must be 1/1)\n", f, cl;
+      exit 1;
+    }
+    if (d != 0) {
+      printf "ERROR: fleet journal dropped %s events (ring must hold the rollout)\n", d;
       exit 1;
     }
   }'

@@ -6,7 +6,7 @@
 //! `compression`, `gap`, `twine`, `pmp`, `cfu`, `safety`, `paeb`, `arc`,
 //! `motor`, `mirror`, `reconfig`, `reqeng`, `memory`, `memory-study`,
 //! `codesign`, `executor`, `serving`, `resilience`, `observe`,
-//! `kernels`, `routing`, `fleet`, `lint`, or `all`.
+//! `kernels`, `routing`, `fleet`, `slo`, `lint`, or `all`.
 //!
 //! `kernels` additionally writes `BENCH_pr6.json` (the obs JSON export
 //! of the E24 kernel measurements) to the current directory — the
@@ -14,9 +14,11 @@
 //! baseline. `routing` likewise writes `BENCH_pr7.json` (the E25
 //! per-priority availability snapshot), `fleet` writes
 //! `BENCH_pr8.json` (the E26 OTA convergence/availability snapshot),
-//! and `memory` writes `BENCH_pr9.json` (the E27 arena peak-memory
+//! `memory` writes `BENCH_pr9.json` (the E27 arena peak-memory
 //! snapshot; the §II-B memory-hierarchy study moved to
-//! `memory-study`). Set `BENCH_OUT` to redirect any snapshot path.
+//! `memory-study`), and `slo` writes `BENCH_pr10.json` (the E28
+//! flight-recorder/SLO overhead + causal-accounting snapshot). Set
+//! `BENCH_OUT` to redirect any snapshot path.
 
 // Bin entry point: panicking on a broken environment is the right
 // failure mode here, unlike in library code.
@@ -90,6 +92,16 @@ fn main() {
             eprintln!("wrote fleet snapshot to {path}");
             vec![experiment]
         }
+        "slo" => {
+            let (experiment, snapshot) = experiments::slo_with_snapshot();
+            let path = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_pr10.json".into());
+            std::fs::write(&path, snapshot.to_json()).unwrap_or_else(|e| {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(1);
+            });
+            eprintln!("wrote flight-recorder/SLO snapshot to {path}");
+            vec![experiment]
+        }
         "lint" => vec![experiments::lint()],
         "all" => experiments::all(),
         other => {
@@ -97,7 +109,8 @@ fn main() {
             eprintln!(
                 "choose one of: fig2 fig3 fig4 fig4-ext compression gap twine pmp cfu \
                  safety paeb arc motor mirror reconfig reqeng memory memory-study codesign \
-                 ablation executor serving resilience observe kernels routing fleet lint all"
+                 ablation executor serving resilience observe kernels routing fleet slo \
+                 lint all"
             );
             std::process::exit(2);
         }

@@ -89,6 +89,25 @@ impl Phase {
             Phase::Running | Phase::RolledBack | Phase::Quarantined | Phase::Abandoned
         )
     }
+
+    /// Stable numeric code for journal `DevicePhase` events (the
+    /// `detail` field). Codes are part of the flight-recorder wire
+    /// vocabulary — append-only, never renumber.
+    #[must_use]
+    pub fn code(&self) -> u64 {
+        match self {
+            Phase::Running => 0,
+            Phase::Downloading { .. } => 1,
+            Phase::Rebooting { .. } => 2,
+            Phase::Verifying => 3,
+            Phase::Attesting => 4,
+            Phase::Installing { .. } => 5,
+            Phase::Soaking { .. } => 6,
+            Phase::RolledBack => 7,
+            Phase::Quarantined => 8,
+            Phase::Abandoned => 9,
+        }
+    }
 }
 
 /// One simulated edge device.

@@ -15,6 +15,7 @@
 //! same seeds produce byte-identical [`RolloutReport`]s — the property
 //! the convergence harness (E26) asserts against.
 
+use std::sync::Arc;
 use std::time::Duration;
 
 use vedliot_nnir::det::{splitmix64, DetRng};
@@ -23,6 +24,7 @@ use vedliot_nnir::graph::Graph;
 use vedliot_nnir::tensor::Tensor;
 use vedliot_nnir::NnirError;
 use vedliot_obs::export::{Export, Exportable, Metric};
+use vedliot_obs::{CauseId, EventJournal, EventKind};
 use vedliot_safety::inject::flip_weight_bits;
 use vedliot_serve::resilience::RetryPolicy;
 use vedliot_trust::attestation::{attest, RootOfTrust, SecureBootChain, Verifier};
@@ -409,6 +411,10 @@ pub struct Fleet {
     released_measurement: [u8; 32],
     probe: Tensor,
     chunk_bytes: usize,
+    /// Flight recorder, if attached — rollout/wave/device transitions
+    /// journal into it with simulation ticks as timestamps, so "why did
+    /// device 117 roll back" is one causal-chain query.
+    journal: Option<Arc<EventJournal>>,
 }
 
 impl Fleet {
@@ -490,6 +496,7 @@ impl Fleet {
             released_measurement,
             probe,
             chunk_bytes,
+            journal: None,
         };
         fleet.register_version(baseline.0, baseline.1, eval)?;
         Ok(fleet)
@@ -532,6 +539,20 @@ impl Fleet {
             accuracy,
         });
         Ok(self.versions.len() - 1)
+    }
+
+    /// Attaches a flight recorder: subsequent rollouts journal their
+    /// wave and device transitions into it (timestamps are simulation
+    /// ticks). Share the same journal with a serving gateway to get
+    /// one causally-correlated record across both layers.
+    pub fn attach_journal(&mut self, journal: Arc<EventJournal>) {
+        self.journal = Some(journal);
+    }
+
+    /// The attached flight recorder, if any.
+    #[must_use]
+    pub fn journal(&self) -> Option<Arc<EventJournal>> {
+        self.journal.as_ref().map(Arc::clone)
     }
 
     /// The version registry.
@@ -635,6 +656,37 @@ fn run_probe(graph: &Graph, probe: &Tensor) -> Result<Tensor, NnirError> {
     Ok(out.outputs()[0].clone())
 }
 
+/// Appends to an optionally attached journal; returns the event seq
+/// (0 when no journal is attached).
+fn jappend(
+    journal: &Option<Arc<EventJournal>>,
+    at: u64,
+    kind: EventKind,
+    subject: CauseId,
+    cause: CauseId,
+    detail: u64,
+) -> u64 {
+    journal
+        .as_ref()
+        .map_or(0, |j| j.append(at, kind, subject, cause, detail))
+}
+
+/// The `CauseId` citing journal event `seq` — `NONE` when the citation
+/// target was never journalled (no journal attached).
+fn cites(seq: u64) -> CauseId {
+    if seq > 0 {
+        CauseId::event(seq)
+    } else {
+        CauseId::NONE
+    }
+}
+
+/// `DeviceRolledBack` detail codes: why the device reverted.
+const ROLLBACK_SOAK_DEADLINE: u64 = 0;
+const ROLLBACK_CRASH_LOOP: u64 = 1;
+const ROLLBACK_GOLDEN_DIVERGED: u64 = 2;
+const ROLLBACK_WAVE_REVERT: u64 = 3;
+
 /// One staged, health-gated push of a registered version to the fleet.
 #[derive(Debug, Clone)]
 pub struct Rollout {
@@ -731,17 +783,43 @@ impl Rollout {
             .collect();
         let mut wave_size = self.policy.canary;
         let mut wave_index = 0usize;
+        // The rollout's root-cause event: every wave cites it, so any
+        // device outcome chains back to "this release was pushed".
+        let root_event = jappend(
+            &fleet.journal,
+            tick,
+            EventKind::RolloutStarted,
+            CauseId::release(self.target as u64),
+            CauseId::NONE,
+            pending.len() as u64,
+        );
 
         while !pending.is_empty() {
             let take = wave_size.min(pending.len());
             let members: Vec<usize> = pending.drain(..take).collect();
             let started_tick = tick;
+            let wave_event = jappend(
+                &fleet.journal,
+                started_tick,
+                EventKind::WaveStarted,
+                CauseId::wave(wave_index as u64),
+                cites(root_event),
+                members.len() as u64,
+            );
             for &i in &members {
                 fleet.devices[i].phase = Phase::Downloading {
                     next_chunk: 0,
                     attempt: 0,
                     backoff_until: 0,
                 };
+                jappend(
+                    &fleet.journal,
+                    started_tick,
+                    EventKind::DevicePhase,
+                    CauseId::device(u64::from(fleet.devices[i].id)),
+                    cites(wave_event),
+                    fleet.devices[i].phase.code(),
+                );
             }
 
             // Tick until every member is terminal or the deadline hits.
@@ -766,12 +844,28 @@ impl Rollout {
                             | Phase::Installing { .. } => {
                                 counters.downloads_abandoned += 1;
                                 d.phase = Phase::Abandoned;
+                                jappend(
+                                    &fleet.journal,
+                                    tick,
+                                    EventKind::DevicePhase,
+                                    CauseId::device(u64::from(d.id)),
+                                    cites(wave_event),
+                                    Phase::Abandoned.code(),
+                                );
                             }
                             // Mid-soak at the deadline: already active —
                             // abort conservatively to the known-good slot.
                             Phase::Soaking { .. } => {
                                 counters.device_rollbacks += 1;
                                 d.roll_back();
+                                jappend(
+                                    &fleet.journal,
+                                    tick,
+                                    EventKind::DeviceRolledBack,
+                                    CauseId::device(u64::from(d.id)),
+                                    cites(wave_event),
+                                    ROLLBACK_SOAK_DEADLINE,
+                                );
                             }
                             _ => {}
                         }
@@ -791,7 +885,7 @@ impl Rollout {
                 }
 
                 for &i in &members {
-                    self.step_device(fleet, i, tick, &partitions, &mut counters)?;
+                    self.step_device(fleet, i, tick, &partitions, &mut counters, wave_event)?;
                 }
 
                 // Availability over the whole fleet, every tick.
@@ -841,17 +935,45 @@ impl Rollout {
                 started_tick,
                 ended_tick: tick,
             });
+            let gate_event = jappend(
+                &fleet.journal,
+                tick,
+                EventKind::HealthGate,
+                CauseId::wave(wave_index as u64),
+                cites(wave_event),
+                u64::from(gate),
+            );
 
             if !gate {
                 // Wave-level rollback: revert every device that
-                // activated the target, in any wave.
+                // activated the target, in any wave. Each revert cites
+                // the failed gate — the chain from any reverted device
+                // runs gate → wave → rollout root.
+                let mut reverted = 0u64;
                 for d in &mut fleet.devices {
                     if d.active == self.target && d.phase != Phase::Quarantined {
                         counters.device_rollbacks += 1;
+                        reverted += 1;
                         d.roll_back();
+                        jappend(
+                            &fleet.journal,
+                            tick,
+                            EventKind::DeviceRolledBack,
+                            CauseId::device(u64::from(d.id)),
+                            cites(gate_event),
+                            ROLLBACK_WAVE_REVERT,
+                        );
                     }
                 }
                 counters.wave_rollbacks += 1;
+                jappend(
+                    &fleet.journal,
+                    tick,
+                    EventKind::WaveRolledBack,
+                    CauseId::wave(wave_index as u64),
+                    cites(gate_event),
+                    reverted,
+                );
                 outcome = RolloutOutcome::RolledBack { wave: wave_index };
                 break;
             }
@@ -888,6 +1010,7 @@ impl Rollout {
         tick: u64,
         partitions: &[Partition],
         counters: &mut FleetCounters,
+        wave_event: u64,
     ) -> Result<(), FleetError> {
         let n = fleet.devices.len();
         let partitioned = partitions.iter().any(|p| (idx + n - p.offset) % n < p.span);
@@ -897,6 +1020,7 @@ impl Rollout {
             verifier,
             released_measurement,
             probe,
+            journal,
             ..
         } = fleet;
         let entry = &versions[self.target];
@@ -972,6 +1096,14 @@ impl Rollout {
                     }
                 }
                 d.phase = if next_chunk >= total {
+                    jappend(
+                        journal,
+                        tick,
+                        EventKind::DevicePhase,
+                        CauseId::device(u64::from(d.id)),
+                        cites(wave_event),
+                        Phase::Verifying.code(),
+                    );
                     Phase::Verifying
                 } else {
                     Phase::Downloading {
@@ -1025,9 +1157,34 @@ impl Rollout {
                     d.phase = Phase::Installing {
                         until: tick + self.policy.install_ticks,
                     };
+                    jappend(
+                        journal,
+                        tick,
+                        EventKind::DevicePhase,
+                        CauseId::device(u64::from(d.id)),
+                        cites(wave_event),
+                        d.phase.code(),
+                    );
                 } else {
                     counters.quarantined += 1;
                     d.phase = Phase::Quarantined;
+                    // Detail: what the attestation caught (1 =
+                    // tampered firmware, 2 = forged signature; 0 would
+                    // be an honest device wrongly cordoned — never
+                    // expected).
+                    let detail = match d.compromise {
+                        None => 0,
+                        Some(CompromiseKind::TamperedFirmware) => 1,
+                        Some(CompromiseKind::ForgedSignature) => 2,
+                    };
+                    jappend(
+                        journal,
+                        tick,
+                        EventKind::DeviceQuarantined,
+                        CauseId::device(u64::from(d.id)),
+                        cites(wave_event),
+                        detail,
+                    );
                 }
             }
             Phase::Installing { until } => {
@@ -1048,6 +1205,14 @@ impl Rollout {
                         crashes: 0,
                         crash_loop,
                     };
+                    jappend(
+                        journal,
+                        tick,
+                        EventKind::DevicePhase,
+                        CauseId::device(u64::from(d.id)),
+                        cites(wave_event),
+                        d.phase.code(),
+                    );
                 }
             }
             Phase::Soaking {
@@ -1064,6 +1229,14 @@ impl Rollout {
                     counters.crash_loops_detected += 1;
                     counters.device_rollbacks += 1;
                     d.roll_back();
+                    jappend(
+                        journal,
+                        tick,
+                        EventKind::DeviceRolledBack,
+                        CauseId::device(u64::from(d.id)),
+                        cites(wave_event),
+                        ROLLBACK_CRASH_LOOP,
+                    );
                 } else if tick >= until {
                     // Golden check: clean installs share the verified
                     // image (content-addressed by the manifest root), so
@@ -1079,8 +1252,24 @@ impl Rollout {
                         counters.weight_flips_caught += 1;
                         counters.device_rollbacks += 1;
                         d.roll_back();
+                        jappend(
+                            journal,
+                            tick,
+                            EventKind::DeviceRolledBack,
+                            CauseId::device(u64::from(d.id)),
+                            cites(wave_event),
+                            ROLLBACK_GOLDEN_DIVERGED,
+                        );
                     } else {
                         d.phase = Phase::Running;
+                        jappend(
+                            journal,
+                            tick,
+                            EventKind::DevicePhase,
+                            CauseId::device(u64::from(d.id)),
+                            cites(wave_event),
+                            Phase::Running.code(),
+                        );
                     }
                 } else {
                     d.phase = Phase::Soaking {

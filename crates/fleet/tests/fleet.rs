@@ -9,6 +9,7 @@
 //! quarantined devices never installed to; regressed waves reverted.
 
 use proptest::prelude::*;
+use std::sync::Arc;
 use vedliot_fleet::rollout::{Fleet, FleetConfig, Rollout, RolloutOutcome, RolloutPolicy};
 use vedliot_fleet::FleetFaultPlan;
 use vedliot_nnir::dataset::gaussian_prototypes;
@@ -17,6 +18,7 @@ use vedliot_nnir::graph::{Graph, WeightInit};
 use vedliot_nnir::tensor::Tensor;
 use vedliot_nnir::train::mlp;
 use vedliot_nnir::Shape;
+use vedliot_obs::{CauseId, EventJournal, EventKind};
 
 const INPUTS: usize = 12;
 const CLASSES: usize = 3;
@@ -248,6 +250,108 @@ fn compromised_majority_is_contained_not_rolled_back() {
         "{:#?}",
         report.health
     );
+}
+
+/// The flight recorder's accounting is exact: every rollback,
+/// quarantine and wave in the report is a journal event, every event
+/// chains back to the rollout root, and the whole journal replays
+/// bit-identically from the same seeds (timestamps are ticks).
+#[test]
+fn journal_accounts_for_every_rollback_and_quarantine_exactly() {
+    let run = || {
+        let (mut fleet, v2) = small_fleet(120, 99);
+        let journal = Arc::new(EventJournal::new(1 << 14));
+        fleet.attach_journal(Arc::clone(&journal));
+        // Scale the rates and gate to the fleet size so the rollout
+        // reliably exercises both rollback and quarantine (the same
+        // calibration as the hostile convergence test).
+        let mut plan = FleetFaultPlan::hostile(5);
+        plan.compromised_rate = 0.05;
+        let policy = RolloutPolicy {
+            canary: 16,
+            health_threshold: 0.8,
+            ..RolloutPolicy::default()
+        };
+        let rollout = Rollout::new(v2, policy, plan);
+        let report = rollout.run(&mut fleet).expect("runs");
+        assert_eq!(journal.dropped(), 0, "journal sized for the rollout");
+        (fleet, report, journal.snapshot())
+    };
+    let (fleet, report, events) = run();
+    let count = |k: EventKind| events.iter().filter(|e| e.kind == k).count() as u64;
+    assert_eq!(count(EventKind::RolloutStarted), 1);
+    assert_eq!(count(EventKind::WaveStarted), report.waves.len() as u64);
+    assert_eq!(count(EventKind::HealthGate), report.waves.len() as u64);
+    assert_eq!(
+        count(EventKind::DeviceRolledBack),
+        report.counters.device_rollbacks
+    );
+    assert_eq!(
+        count(EventKind::DeviceQuarantined),
+        report.counters.quarantined
+    );
+    assert_eq!(
+        count(EventKind::WaveRolledBack),
+        report.counters.wave_rollbacks
+    );
+    assert!(
+        count(EventKind::DeviceRolledBack) > 0,
+        "hostile plan rolls back"
+    );
+    assert!(
+        count(EventKind::DeviceQuarantined) > 0,
+        "hostile plan forges"
+    );
+
+    // "Why did device N roll back?" — one chain query reaches the wave
+    // that scheduled it and the rollout that pushed the release.
+    let rolled_back = fleet
+        .devices()
+        .iter()
+        .find(|d| d.phase == vedliot_fleet::Phase::RolledBack)
+        .expect("hostile plan rolled a device back");
+    let journal = fleet.journal().expect("attached");
+    let chain = journal.chain(CauseId::device(u64::from(rolled_back.id)));
+    let kinds: Vec<EventKind> = chain.iter().map(|e| e.kind).collect();
+    assert!(kinds.contains(&EventKind::DeviceRolledBack));
+    assert!(kinds.contains(&EventKind::WaveStarted));
+    assert!(kinds.contains(&EventKind::RolloutStarted), "{kinds:?}");
+
+    // Bit-deterministic replay: same seeds, same journal.
+    let (_, report_b, events_b) = run();
+    assert_eq!(report, report_b);
+    assert_eq!(events, events_b);
+}
+
+/// A failed gate chains wave-revert rollbacks through the gate event:
+/// device rollback → health gate (failed) → wave → rollout root.
+#[test]
+fn wave_revert_rollbacks_cite_the_failed_gate() {
+    let (mut fleet, v2) = small_fleet(150, 404);
+    let journal = Arc::new(EventJournal::new(1 << 13));
+    fleet.attach_journal(Arc::clone(&journal));
+    let mut plan = FleetFaultPlan::quiet(9);
+    plan.install_crash_rate = 1.0;
+    let rollout = Rollout::new(v2, RolloutPolicy::default(), plan);
+    let report = rollout.run(&mut fleet).expect("runs");
+    assert_eq!(report.outcome, RolloutOutcome::RolledBack { wave: 0 });
+    let events = journal.snapshot();
+    let wave_rollback = events
+        .iter()
+        .find(|e| e.kind == EventKind::WaveRolledBack)
+        .expect("wave rolled back");
+    // The wave rollback cites the failed gate, which cites the wave.
+    let chain = journal.chain(CauseId::event(wave_rollback.seq));
+    let kinds: Vec<EventKind> = chain.iter().map(|e| e.kind).collect();
+    assert!(kinds.contains(&EventKind::HealthGate));
+    assert!(kinds.contains(&EventKind::WaveStarted));
+    assert!(kinds.contains(&EventKind::RolloutStarted));
+    // The failed gate's detail says so.
+    let gate = events
+        .iter()
+        .find(|e| e.kind == EventKind::HealthGate)
+        .expect("gate journalled");
+    assert_eq!(gate.detail, 0, "gate failed");
 }
 
 proptest! {

@@ -129,6 +129,21 @@ fn json_escape(out: &mut String, s: &str) {
     }
 }
 
+/// Escapes a Prometheus HELP text (backslash and line feed — the two
+/// characters the exposition format requires escaped there). Leaving a
+/// raw `\` in a HELP line is invalid exposition output.
+fn prom_help(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// Escapes a Prometheus label value (backslash, quote, newline).
 fn prom_label_value(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
@@ -252,7 +267,7 @@ impl Export {
                 MetricValue::Histogram(_) => "histogram",
             };
             let labels = prom_labels(&m.labels);
-            let _ = writeln!(out, "# HELP {name} {}", m.help.replace('\n', " "));
+            let _ = writeln!(out, "# HELP {name} {}", prom_help(&m.help));
             let _ = writeln!(out, "# TYPE {name} {kind}");
             match &m.value {
                 MetricValue::Counter(v) => {
@@ -678,7 +693,39 @@ vedliot_demo_latency_us_count 6
         };
         let p = e.to_prometheus();
         assert!(p.contains("vedliot_my_sub__9lives_total 0\n"));
-        assert!(p.contains("# HELP vedliot_my_sub__9lives_total multi line help\n"));
+        // The exposition format wants line feeds *escaped* in HELP, not
+        // swallowed.
+        assert!(p.contains("# HELP vedliot_my_sub__9lives_total multi\\nline help\n"));
+    }
+
+    /// Regression: model names and event labels are user-controlled
+    /// strings; a quote or backslash in a label value (or a backslash
+    /// in HELP text) must come out escaped, never as raw exposition
+    /// syntax.
+    #[test]
+    fn prometheus_escapes_label_values_and_help() {
+        let e = Export {
+            subsystem: "serve".into(),
+            metrics: vec![Metric::counter("served", "path C:\\models\nper tenant", 7)
+                .with_label("model", "zo\\o\"v1\"\nnightly")],
+        };
+        let p = e.to_prometheus();
+        assert!(
+            p.contains("vedliot_serve_served{model=\"zo\\\\o\\\"v1\\\"\\nnightly\"} 7\n"),
+            "label value must escape backslash, quote and newline: {p}"
+        );
+        assert!(
+            p.contains("# HELP vedliot_serve_served path C:\\\\models\\nper tenant\n"),
+            "HELP must escape backslash and newline: {p}"
+        );
+        // No line in the rendering may be broken by a raw newline from
+        // a label or help string.
+        for line in p.lines() {
+            assert!(
+                line.starts_with('#') || line.starts_with("vedliot_"),
+                "invalid exposition line: {line:?}"
+            );
+        }
     }
 
     #[test]

@@ -23,16 +23,35 @@
 //!   subsystem exports over the same path. The vendored `serde` is a
 //!   no-op stand-in, so the JSON model here *is* the wire format — it
 //!   round-trips through [`export::Export::from_json`].
+//! * [`journal`] — the flight recorder: a bounded seqlock ring of
+//!   typed, timestamped [`Event`](journal::Event)s with stable J-codes
+//!   and namespaced [`CauseId`](journal::CauseId) correlation, so
+//!   "why did device 117 roll back" is a
+//!   [`chain`](journal::EventJournal::chain) query, not a re-run.
+//! * [`series`] — windowed time-series: a ring of fixed-width time
+//!   buckets (rate / error-ratio / quantile-over-window) driven by
+//!   injectable clocks, so fleet tick-time and serve wall-time both
+//!   work and seeded runs reproduce bucket contents exactly.
+//! * [`slo`] — declared objectives (availability, p99, event budgets)
+//!   evaluated as multi-window burn rates; alerts are journal events,
+//!   closing the observe→act loop (serve can drive `Health` off burn).
 //!
 //! The overhead budget (DESIGN.md §9): disabled observability costs one
 //! branch per batch; enabled tracing is a few relaxed atomics per
 //! request and must stay within a single-digit-percent tax, asserted
-//! live by experiment E23 (`harness observe`).
+//! live by experiment E23 (`harness observe`); the journal + SLO layer
+//! is held to the same budget by E28 (`harness slo`).
 
 pub mod export;
 pub mod hist;
+pub mod journal;
+pub mod series;
+pub mod slo;
 pub mod trace;
 
 pub use export::{Export, Exportable, Metric, MetricValue};
 pub use hist::{Histogram, HistogramSnapshot};
+pub use journal::{CauseId, Event, EventJournal, EventKind};
+pub use series::{Clock, ManualClock, TimeSeries, WallClock};
+pub use slo::{BurnRate, BurnWindows, Objective, Slo, SloEngine, SloState, SloTransition};
 pub use trace::{SpanOutcome, SpanRecord, StageBreakdown, TraceRing};

@@ -354,6 +354,34 @@ fn read_slot(slot: &Slot) -> Option<SpanRecord> {
     None
 }
 
+impl Exportable for TraceRing {
+    /// Subsystem `trace`: the ring's own health — spans recorded and
+    /// spans dropped — so span loss is visible to scrapers instead of
+    /// only via the `Debug` impl.
+    fn export(&self) -> Export {
+        Export {
+            subsystem: "trace".into(),
+            metrics: vec![
+                Metric::counter(
+                    "spans_recorded",
+                    "spans recorded into the trace ring (including overwritten)",
+                    self.recorded(),
+                ),
+                Metric::counter(
+                    "spans_dropped",
+                    "spans lost to a writer lapped mid-record",
+                    self.dropped(),
+                ),
+                Metric::gauge(
+                    "ring_capacity",
+                    "slots in the trace ring",
+                    self.capacity() as f64,
+                ),
+            ],
+        }
+    }
+}
+
 /// Per-stage latency attribution over a set of spans — the answer to
 /// "where did the p99 go": queue, linger, dispatch, execute or reply.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]

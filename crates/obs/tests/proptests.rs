@@ -3,7 +3,7 @@
 
 use proptest::prelude::*;
 use std::sync::Arc;
-use vedliot_obs::hist::{bucket_of, Histogram};
+use vedliot_obs::hist::{bucket_of, Histogram, HistogramSnapshot};
 use vedliot_obs::{Export, Metric, MetricValue, SpanOutcome, SpanRecord, TraceRing};
 
 /// Exact sample quantile with the same rank convention the histogram
@@ -11,6 +11,22 @@ use vedliot_obs::{Export, Metric, MetricValue, SpanOutcome, SpanRecord, TraceRin
 fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
     let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
     sorted[rank - 1]
+}
+
+/// Snapshot of a histogram that recorded exactly `samples`.
+fn snap_of(samples: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &s in samples {
+        h.record(s);
+    }
+    h.snapshot()
+}
+
+/// Out-of-place merge, so operands can be reused across assertions.
+fn merged(a: &HistogramSnapshot, b: &HistogramSnapshot) -> HistogramSnapshot {
+    let mut m = a.clone();
+    m.merge(b);
+    m
 }
 
 proptest! {
@@ -82,6 +98,77 @@ proptest! {
             assert_coherent(span);
         }
         prop_assert_eq!(ring.recorded() + ring.dropped(), (writers * 500) as u64);
+    }
+
+    /// Merging snapshots is commutative and *bucket-exact*: the merge
+    /// equals the snapshot one histogram would hold had it recorded the
+    /// concatenated stream — same count, sum, min, max, and every
+    /// bucket — including when either operand is empty.
+    #[test]
+    fn snapshot_merge_is_commutative_and_bucket_exact(
+        a in proptest::collection::vec(0u64..1_000_000, 0..200),
+        b in proptest::collection::vec(0u64..1_000_000, 0..200),
+    ) {
+        let (sa, sb) = (snap_of(&a), snap_of(&b));
+        let ab = merged(&sa, &sb);
+        prop_assert_eq!(&ab, &merged(&sb, &sa));
+        let mut both = a.clone();
+        both.extend_from_slice(&b);
+        prop_assert_eq!(&ab, &snap_of(&both));
+    }
+
+    /// Merging is associative, so fleet aggregation can fold
+    /// per-model snapshots in any grouping.
+    #[test]
+    fn snapshot_merge_is_associative(
+        a in proptest::collection::vec(0u64..1_000_000, 0..120),
+        b in proptest::collection::vec(0u64..1_000_000, 0..120),
+        c in proptest::collection::vec(0u64..1_000_000, 0..120),
+    ) {
+        let (sa, sb, sc) = (snap_of(&a), snap_of(&b), snap_of(&c));
+        prop_assert_eq!(
+            merged(&merged(&sa, &sb), &sc),
+            merged(&sa, &merged(&sb, &sc))
+        );
+    }
+
+    /// `quantile(q)` is monotonically non-decreasing in `q`, stays in
+    /// the observed `[min, max]`, and the empty snapshot answers 0
+    /// everywhere and equals `HistogramSnapshot::empty()`.
+    #[test]
+    fn quantile_is_monotonic_in_q(
+        samples in proptest::collection::vec(0u64..1_000_000, 0..300),
+    ) {
+        let snap = snap_of(&samples);
+        let mut prev = 0u64;
+        for q in [0.01, 0.10, 0.25, 0.50, 0.75, 0.90, 0.99, 1.0] {
+            let v = snap.quantile(q);
+            prop_assert!(v >= prev, "q={} gave {} after {}", q, v, prev);
+            prev = v;
+        }
+        if samples.is_empty() {
+            prop_assert_eq!(&snap, &HistogramSnapshot::empty());
+            prop_assert_eq!(snap.quantile(0.5), 0);
+        } else {
+            prop_assert!(snap.quantile(0.01) >= snap.min);
+            prop_assert!(snap.quantile(1.0) <= snap.max);
+        }
+    }
+
+    /// Single-bucket edge: a constant stream occupies one bucket, so
+    /// the min/max clamp collapses every quantile to the exact value.
+    #[test]
+    fn single_bucket_quantiles_collapse_to_the_value(
+        value in 0u64..1_000_000,
+        n in 1usize..50,
+        qi in 0usize..5,
+    ) {
+        let q = [0.01, 0.50, 0.90, 0.99, 1.0][qi];
+        let snap = snap_of(&vec![value; n]);
+        prop_assert_eq!(snap.count, n as u64);
+        prop_assert_eq!(snap.min, value);
+        prop_assert_eq!(snap.max, value);
+        prop_assert_eq!(snap.quantile(q), value);
     }
 
     /// Export JSON round-trips losslessly for arbitrary metric sets.

@@ -55,6 +55,16 @@
 //!   (enqueue → queue-wait → linger → execute → reply) tagged with
 //!   model and priority into a lock-free ring read by
 //!   [`Server::trace_spans`] — experiment E23 measures the tax.
+//! - **Incidents explain themselves.** An opt-in flight recorder
+//!   ([`JournalPolicy`]) journals admission, shed, displacement, retry,
+//!   quarantine and worker-crash events with causal links
+//!   ([`Server::journal_chain`] answers "what shed this request?"),
+//!   and an opt-in SLO engine ([`SloPolicy`]) evaluates availability
+//!   and p99-latency objectives as multi-window burn rates on the
+//!   submission-seq clock — with `drive_health`, a firing alert flips
+//!   every pool to [`Health::Degraded`] shedding, and each shed cites
+//!   the alert event that caused it (experiment E28 measures the tax
+//!   and checks the accounting is exact).
 
 pub mod error;
 pub mod metrics;
@@ -68,6 +78,11 @@ pub use metrics::MetricsSnapshot;
 pub use resilience::{FaultPlan, Health, ResilienceConfig, RetryPolicy};
 pub use routing::{ModelConfig, Priority, SubmitRequest};
 pub use server::{
-    BatchPolicy, GoldenPolicy, ServeConfig, ServeConfigBuilder, Server, Ticket, TracePolicy,
-    DEFAULT_MODEL,
+    BatchPolicy, GoldenPolicy, JournalPolicy, ServeConfig, ServeConfigBuilder, Server, SloPolicy,
+    Ticket, TracePolicy, DEFAULT_MODEL,
+};
+// Journal and SLO vocabulary, so callers can chain causes and read
+// burn state without depending on vedliot-obs directly.
+pub use vedliot_obs::{
+    BurnWindows, CauseId, Event, EventKind, Objective, Slo, SloState, SloTransition,
 };

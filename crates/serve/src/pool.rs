@@ -39,14 +39,16 @@ use crate::server::{BatchPolicy, Ticket};
 use std::any::Any;
 use std::collections::VecDeque;
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, PoisonError};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::Instant;
 use vedliot_nnir::exec::{Parallelism, RunOptions, Runner};
 use vedliot_nnir::{Graph, NnirError, Shape, Tensor};
-use vedliot_obs::{SpanOutcome, SpanRecord, TraceRing};
+use vedliot_obs::{
+    CauseId, EventJournal, EventKind, SloEngine, SpanOutcome, SpanRecord, TraceRing,
+};
 use vedliot_safety::robustness::{OutputVerdict, RobustnessService};
 
 /// State shared by every pool behind one gateway.
@@ -64,8 +66,90 @@ pub(crate) struct GatewayShared {
     /// Shared span ring, if tracing is configured — spans carry the
     /// model id, so one ring serves the whole zoo.
     pub(crate) trace: Option<TraceRing>,
+    /// Shared flight recorder, if configured — events carry the request
+    /// seq / model id as subject, so one journal serves the whole zoo.
+    pub(crate) journal: Option<Arc<EventJournal>>,
+    /// Burn-rate SLO state, if configured.
+    pub(crate) slo: Option<SloShared>,
     /// Gateway start time: the zero point of every span timestamp.
     pub(crate) epoch: Instant,
+}
+
+/// Burn-rate SLO state shared by every pool behind one gateway.
+pub(crate) struct SloShared {
+    /// The engine; locked briefly per reply to record an outcome, and
+    /// by [`Server::evaluate_slo`](crate::Server::evaluate_slo).
+    pub(crate) engine: Mutex<SloEngine>,
+    /// Largest engine-clock instant recorded so far (the submission
+    /// seq) — the `now` of the next evaluation.
+    pub(crate) last_at: AtomicU64,
+    /// Latched by `evaluate_slo`: some objective's alert is firing.
+    pub(crate) burning: AtomicBool,
+    /// Whether a firing alert drives admission to degraded mode.
+    pub(crate) drive_health: bool,
+    /// Journal seq of the `HealthDegraded` event burn-driven sheds cite
+    /// as their cause (0 before the first degradation).
+    pub(crate) degraded_cause: AtomicU64,
+}
+
+impl GatewayShared {
+    /// Microseconds since the gateway epoch — the journal timestamp.
+    pub(crate) fn now_us(&self) -> u64 {
+        us_since(self.epoch, Instant::now())
+    }
+
+    /// Appends to the flight recorder, if one is configured; returns
+    /// the event's journal seq (0 without a journal).
+    pub(crate) fn journal_append(
+        &self,
+        at: u64,
+        kind: EventKind,
+        subject: CauseId,
+        cause: CauseId,
+        detail: u64,
+    ) -> u64 {
+        self.journal
+            .as_ref()
+            .map_or(0, |j| j.append(at, kind, subject, cause, detail))
+    }
+
+    /// Whether burn-driven degradation is currently in force: an SLO
+    /// policy with `drive_health` and a firing alert.
+    pub(crate) fn burn_degraded(&self) -> bool {
+        self.slo
+            .as_ref()
+            .is_some_and(|s| s.drive_health && s.burning.load(Ordering::Relaxed))
+    }
+
+    /// The cause burn-driven sheds cite: the latched `HealthDegraded`
+    /// journal event, or `NONE` when degradation is not burn-driven.
+    pub(crate) fn shed_cause(&self) -> CauseId {
+        if !self.burn_degraded() {
+            return CauseId::NONE;
+        }
+        let seq = self
+            .slo
+            .as_ref()
+            .map_or(0, |s| s.degraded_cause.load(Ordering::Relaxed));
+        if seq > 0 {
+            CauseId::event(seq)
+        } else {
+            CauseId::NONE
+        }
+    }
+
+    /// Records one request outcome into the SLO engine. The engine
+    /// clock is the submission seq, so seeded replays evaluate
+    /// bit-identically regardless of wall timing.
+    pub(crate) fn slo_record(&self, seq: u64, ok: bool, latency_us: u64) {
+        if let Some(slo) = &self.slo {
+            slo.last_at.fetch_max(seq, Ordering::Relaxed);
+            slo.engine
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .record_request(seq, ok, latency_us);
+        }
+    }
 }
 
 /// Per-request span scratch: stage timestamps (µs since the gateway
@@ -332,8 +416,11 @@ impl ModelPool {
     /// Whether this pool counts as degraded at the given queue depth.
     /// A fraction of 1.0 disables depth-based degradation entirely —
     /// a queue at full quota is ordinary backpressure, not distress.
+    /// A firing burn alert (with `SloPolicy::drive_health`) degrades
+    /// every pool behind the gateway at once.
     fn degraded(&self, depth: usize, quota: usize) -> bool {
-        self.metrics.worker_crashes() >= self.resilience.degraded_crash_threshold
+        self.gateway.burn_degraded()
+            || self.metrics.worker_crashes() >= self.resilience.degraded_crash_threshold
             || (self.resilience.degraded_queue_fraction < 1.0
                 && (depth as f64) >= self.resilience.degraded_queue_fraction * quota as f64)
     }
@@ -393,6 +480,10 @@ impl ModelPool {
             let bound = self.admission_bound(priority, quota, degraded);
             let gateway_full =
                 self.gateway.total_queued.load(Ordering::Relaxed) >= self.gateway.queue_capacity;
+            // Victim of an eviction, if one happened: its seq and
+            // priority index, journalled as RequestDisplaced once the
+            // incoming request's seq exists to cite as the cause.
+            let mut displaced: Option<(u64, u64)> = None;
             if depth >= bound || gateway_full {
                 match state.evict_below(priority) {
                     Some(victim) => {
@@ -403,13 +494,16 @@ impl ModelPool {
                         self.metrics.inc_shed(victim.priority.index());
                         self.metrics.queue_popped(1);
                         self.gateway.total_queued.fetch_sub(1, Ordering::Relaxed);
+                        displaced = Some((victim.seq, victim.priority.index() as u64));
                         emit_span(self, &victim, SpanOutcome::Shed, Instant::now());
                         let _ = victim.reply.send(Err(ServeError::ShedLowPriority));
                     }
                     None => {
                         // Nothing below this class to displace: refuse
                         // the submission with the typed reason closest
-                        // to the cause.
+                        // to the cause. Refusals never consume a seq,
+                        // so chaos poison targeting is unaffected by
+                        // how many submissions were turned away.
                         let err = if gateway_full {
                             self.metrics.inc_rejected();
                             ServeError::Rejected {
@@ -420,6 +514,15 @@ impl ModelPool {
                             ServeError::QuotaExceeded { quota }
                         } else {
                             self.metrics.inc_shed(priority.index());
+                            // A burn-driven shed cites the degradation
+                            // event, chaining it back to the alert.
+                            self.gateway.journal_append(
+                                self.gateway.now_us(),
+                                EventKind::RequestShed,
+                                CauseId::model(u64::from(self.id)),
+                                self.gateway.shed_cause(),
+                                priority.index() as u64,
+                            );
                             ServeError::ShedLowPriority
                         };
                         return Err(err);
@@ -428,6 +531,25 @@ impl ModelPool {
             }
             let seq = self.next_seq.fetch_add(1, Ordering::Relaxed) + 1;
             let enqueued_at = Instant::now();
+            if self.gateway.journal.is_some() {
+                let at = us_since(self.gateway.epoch, enqueued_at);
+                if let Some((victim_seq, victim_priority)) = displaced {
+                    self.gateway.journal_append(
+                        at,
+                        EventKind::RequestDisplaced,
+                        CauseId::request(victim_seq),
+                        CauseId::request(seq),
+                        victim_priority,
+                    );
+                }
+                self.gateway.journal_append(
+                    at,
+                    EventKind::RequestAdmitted,
+                    CauseId::request(seq),
+                    CauseId::NONE,
+                    priority.index() as u64,
+                );
+            }
             state.queues[priority.index()].push_back(Request {
                 seq,
                 inputs,
@@ -535,10 +657,30 @@ impl Drop for CrashGuard {
             return;
         }
         pool.metrics.inc_worker_crash();
+        let crash_event = pool.gateway.journal_append(
+            pool.gateway.now_us(),
+            EventKind::WorkerCrashed,
+            CauseId::model(u64::from(pool.id)),
+            CauseId::NONE,
+            0,
+        );
         if pool.respawns_left.fetch_sub(1, Ordering::AcqRel) <= 0 {
             return; // budget exhausted: degrade instead of flapping
         }
         pool.metrics.inc_respawned();
+        // The respawn cites the crash it replaces.
+        let respawn_cause = if crash_event > 0 {
+            CauseId::event(crash_event)
+        } else {
+            CauseId::NONE
+        };
+        pool.gateway.journal_append(
+            pool.gateway.now_us(),
+            EventKind::WorkerRespawned,
+            CauseId::model(u64::from(pool.id)),
+            respawn_cause,
+            0,
+        );
         spawn_worker(&self.ctx);
         // The replacement may have queued work waiting already.
         pool.work_ready.notify_all();
@@ -586,6 +728,7 @@ fn purge_expired(state: &mut QueueState, pool: &ModelPool, now: Instant) -> usiz
             if expired {
                 purged += 1;
                 pool.metrics.inc_timed_out();
+                pool.gateway.slo_record(req.seq, false, 0);
                 if let Some(ring) = &pool.gateway.trace {
                     let t = us_since(pool.gateway.epoch, now);
                     ring.record(&SpanRecord {
@@ -752,8 +895,16 @@ fn run_batch(
         };
         if error.class().is_transient() && attempt < policy.max_attempts {
             pool.metrics.inc_retry();
+            let retried_at = pool.gateway.now_us();
             for req in &mut batch {
                 req.span.retries += 1;
+                pool.gateway.journal_append(
+                    retried_at,
+                    EventKind::RequestRetried,
+                    CauseId::request(req.seq),
+                    CauseId::NONE,
+                    u64::from(attempt),
+                );
             }
             // Respect remaining deadlines: purge what already expired,
             // and never sleep past the earliest deadline still in the
@@ -791,6 +942,14 @@ fn run_batch(
                 pool.metrics.inflight_sub(batch.len() as u64);
                 let replied = Instant::now();
                 for req in batch {
+                    pool.gateway.journal_append(
+                        us_since(pool.gateway.epoch, replied),
+                        EventKind::RequestQuarantined,
+                        CauseId::request(req.seq),
+                        CauseId::NONE,
+                        u64::from(attempt),
+                    );
+                    pool.gateway.slo_record(req.seq, false, 0);
                     emit_span(pool, &req, SpanOutcome::Quarantined, replied);
                     let _ = req.reply.send(Err(ServeError::Quarantined {
                         detail: error.to_string(),
@@ -917,6 +1076,7 @@ fn reply_ok(ctx: &WorkerContext, batch: Vec<Request>, mut rows: Vec<Vec<Tensor>>
         let micros = completed.duration_since(req.enqueued_at).as_micros() as u64;
         pool.metrics.record_latency(micros);
         pool.metrics.inc_served(req.priority.index());
+        pool.gateway.slo_record(req.seq, true, micros);
         // The golden check above ran between exec-end and `completed`,
         // so its cost lands in the span's reply stage.
         emit_span(pool, &req, SpanOutcome::Ok, completed);
@@ -935,6 +1095,7 @@ fn purge_batch_expired(batch: &mut Vec<Request>, pool: &ModelPool) {
         if expired {
             pool.metrics.inc_timed_out();
             pool.metrics.inflight_sub(1);
+            pool.gateway.slo_record(req.seq, false, 0);
             emit_span(pool, req, SpanOutcome::TimedOut, now);
             let _ = req.reply.send(Err(ServeError::DeadlineExceeded));
         }
@@ -948,6 +1109,7 @@ fn fail_batch(batch: Vec<Request>, pool: &ModelPool, error: &ServeError) {
     pool.metrics.inflight_sub(batch.len() as u64);
     let replied = Instant::now();
     for req in batch {
+        pool.gateway.slo_record(req.seq, false, 0);
         emit_span(pool, &req, SpanOutcome::Failed, replied);
         let _ = req.reply.send(Err(error.clone()));
     }
@@ -965,6 +1127,8 @@ mod tests {
             queue_capacity: capacity,
             total_weight: AtomicU64::new(total_weight),
             trace: None,
+            journal: None,
+            slo: None,
             epoch: Instant::now(),
         })
     }

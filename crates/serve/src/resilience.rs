@@ -162,9 +162,10 @@ impl Default for ResilienceConfig {
 pub enum Health {
     /// Normal operation.
     Serving,
-    /// Crash count or queue depth crossed its threshold; the server
-    /// keeps answering but sheds load at the door (see
-    /// [`ResilienceConfig::shed_to`]).
+    /// Crash count or queue depth crossed its threshold — or, with
+    /// [`SloPolicy::drive_health`](crate::SloPolicy), an SLO burn
+    /// alert is firing; the server keeps answering but sheds load at
+    /// the door (see [`ResilienceConfig::shed_to`]).
     Degraded,
     /// Shutdown has begun: queued requests drain, new ones are refused.
     Draining,

@@ -23,7 +23,7 @@
 
 use crate::error::ServeError;
 use crate::metrics::MetricsSnapshot;
-use crate::pool::{GatewayShared, ModelPool};
+use crate::pool::{GatewayShared, ModelPool, SloShared};
 use crate::resilience::{FaultPlan, Health, ResilienceConfig};
 use crate::routing::{ModelConfig, SubmitRequest};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -31,7 +31,10 @@ use std::sync::{mpsc, Arc, Mutex, PoisonError, RwLock};
 use std::time::{Duration, Instant};
 use vedliot_nnir::exec::Parallelism;
 use vedliot_nnir::{Graph, Tensor};
-use vedliot_obs::{SpanRecord, TraceRing};
+use vedliot_obs::{
+    BurnWindows, CauseId, Event, EventJournal, EventKind, Export, Exportable, Objective, Slo,
+    SloEngine, SloState, SloTransition, SpanRecord, TraceRing,
+};
 
 /// Key [`Server::start`] registers its boot model under.
 pub const DEFAULT_MODEL: &str = "default";
@@ -117,6 +120,95 @@ impl Default for TracePolicy {
     }
 }
 
+/// Flight-recorder policy: the gateway appends typed, causally
+/// correlated [`Event`]s (admission, shedding, displacement, retries,
+/// quarantines, worker crashes, model load/unload, health transitions)
+/// into a bounded [`EventJournal`]. Read it with
+/// [`Server::journal_events`]; answer "what shed this request" with
+/// [`Server::journal_chain`].
+///
+/// Off (`ServeConfig::journal = None`, the default) costs zero branches
+/// on the request path beyond one `Option` check per emission site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JournalPolicy {
+    /// Events retained in the ring; once full, new events overwrite the
+    /// oldest slots (sequence numbers keep citations unambiguous).
+    pub capacity: usize,
+}
+
+impl Default for JournalPolicy {
+    fn default() -> Self {
+        JournalPolicy { capacity: 4096 }
+    }
+}
+
+/// Burn-rate SLO policy: declared objectives evaluated as multi-window
+/// burn rates over the stream of request outcomes.
+///
+/// The engine's clock is the **submission sequence number** (not wall
+/// time), so seeded replays evaluate bit-identically: the same request
+/// outcomes in the same order produce the same burns and the same
+/// alerts. Evaluation happens only at explicit
+/// [`Server::evaluate_slo`] calls — the engine never evaluates behind
+/// the caller's back, which is what makes burn-driven degradation
+/// deterministic under replay (experiment E28).
+///
+/// With `drive_health`, a firing alert flips admission to degraded mode
+/// (the same shedding [`ResilienceConfig::shed_to`] governs) until a
+/// later evaluation clears it — health driven by the error *budget*
+/// instead of raw queue depth.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloPolicy {
+    /// Availability objective: at most `1 - target` of requests may
+    /// fail. `None` skips the objective.
+    pub availability: Option<f64>,
+    /// Latency objective: at most 1% of requests may exceed this bound
+    /// (µs). `None` skips the objective.
+    pub p99_max_us: Option<u64>,
+    /// Burn windows, in submission-seq units, shared by every
+    /// objective.
+    pub windows: BurnWindows,
+    /// Whether a firing alert drives [`Health::Degraded`] admission.
+    pub drive_health: bool,
+}
+
+impl Default for SloPolicy {
+    fn default() -> Self {
+        SloPolicy {
+            availability: Some(0.99),
+            p99_max_us: None,
+            windows: BurnWindows {
+                short: 25,
+                long: 100,
+                threshold: 2.0,
+            },
+            drive_health: false,
+        }
+    }
+}
+
+impl SloPolicy {
+    /// The declared objectives, in stable order.
+    pub(crate) fn objectives(&self) -> Vec<Objective> {
+        let mut objectives = Vec::new();
+        if let Some(target) = self.availability {
+            objectives.push(Objective::new(
+                "availability",
+                Slo::Availability { target },
+                self.windows,
+            ));
+        }
+        if let Some(max_us) = self.p99_max_us {
+            objectives.push(Objective::new(
+                "p99_latency",
+                Slo::LatencyP99 { max_us },
+                self.windows,
+            ));
+        }
+        objectives
+    }
+}
+
 /// Gateway configuration.
 ///
 /// `#[non_exhaustive]`: construct it with [`ServeConfig::builder`] (or
@@ -149,6 +241,10 @@ pub struct ServeConfig {
     pub chaos: Option<FaultPlan>,
     /// Request-lifecycle tracing; `None` (the default) disables it.
     pub trace: Option<TracePolicy>,
+    /// Flight recorder; `None` (the default) disables it.
+    pub journal: Option<JournalPolicy>,
+    /// Burn-rate SLO engine; `None` (the default) disables it.
+    pub slo: Option<SloPolicy>,
     /// Deadline floor: the shortest deadline headroom clients are
     /// promised. When set, every loaded model's `max_linger` must stay
     /// at or below it — a batcher that lingers longer than the deadline
@@ -167,6 +263,8 @@ impl Default for ServeConfig {
             golden: None,
             chaos: None,
             trace: None,
+            journal: None,
+            slo: None,
             deadline_floor: None,
         }
     }
@@ -199,6 +297,24 @@ impl ServeConfig {
                 return Err(ServeError::InvalidConfig(
                     "trace.capacity must be at least 1".into(),
                 ));
+            }
+        }
+        if let Some(journal) = &self.journal {
+            if journal.capacity == 0 {
+                return Err(ServeError::InvalidConfig(
+                    "journal.capacity must be at least 1".into(),
+                ));
+            }
+        }
+        if let Some(slo) = &self.slo {
+            let objectives = slo.objectives();
+            if objectives.is_empty() {
+                return Err(ServeError::InvalidConfig(
+                    "slo policy declares no objectives".into(),
+                ));
+            }
+            for objective in &objectives {
+                objective.validate().map_err(ServeError::InvalidConfig)?;
             }
         }
         validate_model_config(&self.default_model_config(), self.deadline_floor)
@@ -331,6 +447,20 @@ impl ServeConfigBuilder {
         self
     }
 
+    /// Enables the flight recorder.
+    #[must_use]
+    pub fn journal(mut self, journal: JournalPolicy) -> Self {
+        self.config.journal = Some(journal);
+        self
+    }
+
+    /// Enables the burn-rate SLO engine.
+    #[must_use]
+    pub fn slo(mut self, slo: SloPolicy) -> Self {
+        self.config.slo = Some(slo);
+        self
+    }
+
     /// Sets the deadline floor (see [`ServeConfig::deadline_floor`]).
     #[must_use]
     pub fn deadline_floor(mut self, floor: Duration) -> Self {
@@ -438,11 +568,33 @@ impl Server {
     /// rewriting.
     pub fn start(graph: &Graph, config: ServeConfig) -> Result<Self, ServeError> {
         config.validate()?;
+        let journal = config
+            .journal
+            .map(|p| Arc::new(EventJournal::new(p.capacity)));
+        let slo = match config.slo {
+            Some(policy) => {
+                let mut engine =
+                    SloEngine::new(policy.objectives()).map_err(ServeError::InvalidConfig)?;
+                if let Some(journal) = &journal {
+                    engine = engine.with_journal(Arc::clone(journal));
+                }
+                Some(SloShared {
+                    engine: Mutex::new(engine),
+                    last_at: AtomicU64::new(0),
+                    burning: AtomicBool::new(false),
+                    drive_health: policy.drive_health,
+                    degraded_cause: AtomicU64::new(0),
+                })
+            }
+            None => None,
+        };
         let gateway = Arc::new(GatewayShared {
             total_queued: AtomicUsize::new(0),
             queue_capacity: config.queue_capacity,
             total_weight: AtomicU64::new(0),
             trace: config.trace.map(|t| TraceRing::new(t.capacity)),
+            journal,
+            slo,
             epoch: Instant::now(),
         });
         let server = Server {
@@ -493,6 +645,13 @@ impl Server {
         self.gateway
             .total_weight
             .fetch_add(u64::from(cfg.weight), Ordering::Relaxed);
+        self.gateway.journal_append(
+            self.gateway.now_us(),
+            EventKind::ModelLoaded,
+            CauseId::model(id as u64),
+            CauseId::NONE,
+            u64::from(cfg.weight),
+        );
         pools.push(pool);
         Ok(())
     }
@@ -523,6 +682,13 @@ impl Server {
             .total_weight
             .fetch_sub(u64::from(pool.weight), Ordering::Relaxed);
         let snapshot = pool.snapshot();
+        self.gateway.journal_append(
+            self.gateway.now_us(),
+            EventKind::ModelUnloaded,
+            CauseId::model(u64::from(pool.id)),
+            CauseId::NONE,
+            0,
+        );
         self.retired
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
@@ -648,6 +814,121 @@ impl Server {
             .as_ref()
             .map(TraceRing::snapshot)
             .unwrap_or_default()
+    }
+
+    /// The gateway's flight recorder, if [`ServeConfig::journal`] was
+    /// set — share it with exporters or a fleet that journals into the
+    /// same ring.
+    #[must_use]
+    pub fn journal(&self) -> Option<Arc<EventJournal>> {
+        self.gateway.journal.as_ref().map(Arc::clone)
+    }
+
+    /// Every retained journal event, in sequence order. Empty unless
+    /// [`ServeConfig::journal`] was set.
+    #[must_use]
+    pub fn journal_events(&self) -> Vec<Event> {
+        self.gateway
+            .journal
+            .as_ref()
+            .map(|j| j.snapshot())
+            .unwrap_or_default()
+    }
+
+    /// The causal chain of `id` — "what shed request 42" is
+    /// `journal_chain(CauseId::request(42))`; the walk follows `cause`
+    /// citations upward until it reaches root-cause events.
+    #[must_use]
+    pub fn journal_chain(&self, id: CauseId) -> Vec<Event> {
+        self.gateway
+            .journal
+            .as_ref()
+            .map(|j| j.chain(id))
+            .unwrap_or_default()
+    }
+
+    /// Evaluates every declared SLO objective at the engine's current
+    /// clock (the largest recorded submission seq) and returns the
+    /// fire/clear transitions. With [`SloPolicy::drive_health`], a
+    /// firing alert flips admission to degraded mode here — and a
+    /// clear restores it — with `HealthDegraded`/`HealthRecovered`
+    /// journal events citing the alert, so burn-driven shedding is
+    /// causally accounted end to end.
+    ///
+    /// Evaluation happens *only* here: callers control the evaluation
+    /// points, which is what makes seeded replays bit-deterministic.
+    /// No-op (empty) unless [`ServeConfig::slo`] was set.
+    pub fn evaluate_slo(&self) -> Vec<SloTransition> {
+        let Some(slo) = &self.gateway.slo else {
+            return Vec::new();
+        };
+        let now = slo.last_at.load(Ordering::Relaxed);
+        let (transitions, firing, alert_cause) = {
+            let mut engine = slo.engine.lock().unwrap_or_else(PoisonError::into_inner);
+            let transitions = engine.evaluate(now);
+            (transitions, engine.firing(), engine.firing_cause())
+        };
+        let was_burning = slo.burning.load(Ordering::Relaxed);
+        if firing && !was_burning {
+            let cause = if alert_cause > 0 {
+                CauseId::event(alert_cause)
+            } else {
+                CauseId::NONE
+            };
+            let seq = self.gateway.journal_append(
+                now,
+                EventKind::HealthDegraded,
+                CauseId::model(0),
+                cause,
+                0,
+            );
+            slo.degraded_cause.store(seq, Ordering::Relaxed);
+            slo.burning.store(true, Ordering::Relaxed);
+        } else if !firing && was_burning {
+            let degraded = slo.degraded_cause.load(Ordering::Relaxed);
+            let cause = if degraded > 0 {
+                CauseId::event(degraded)
+            } else {
+                CauseId::NONE
+            };
+            self.gateway.journal_append(
+                now,
+                EventKind::HealthRecovered,
+                CauseId::model(0),
+                cause,
+                0,
+            );
+            slo.burning.store(false, Ordering::Relaxed);
+        }
+        transitions
+    }
+
+    /// Point-in-time burn/firing state of every declared objective (as
+    /// of the last [`evaluate_slo`](Self::evaluate_slo)). Empty unless
+    /// [`ServeConfig::slo`] was set.
+    #[must_use]
+    pub fn slo_states(&self) -> Vec<SloState> {
+        self.gateway
+            .slo
+            .as_ref()
+            .map(|s| {
+                s.engine
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .states()
+            })
+            .unwrap_or_default()
+    }
+
+    /// The SLO engine's exporter view (subsystem `slo`), if configured.
+    #[must_use]
+    pub fn slo_export(&self) -> Option<Export> {
+        self.gateway.slo.as_ref().map(|s| {
+            s.engine
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .export()
+        })
     }
 
     /// Gateway health: [`Health::Draining`] once shutdown began,
